@@ -1,0 +1,52 @@
+// Shared helpers for the figure-harness binaries.
+//
+// Every bench prints (a) a banner with the effective configuration so
+// bench_output.txt is self-describing, (b) the figure's series as an
+// aligned table, and (c) a CSV copy under bench_results/ for plotting.
+// Defaults are scaled down to finish in minutes; TREEPLACE_SCALE=paper
+// restores the published sizes (see DESIGN.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/env.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace treeplace::bench {
+
+inline void banner(const std::string& name, const std::string& description) {
+  std::cout << "\n==== " << name << " ====\n"
+            << description << '\n'
+            << "scale: "
+            << (bench_scale() == BenchScale::kPaper ? "paper" : "quick")
+            << " (set TREEPLACE_SCALE=paper for the published sizes), "
+            << "threads: " << ThreadPool::default_thread_count() << "\n\n";
+}
+
+inline std::vector<double> double_range(double lo, double hi, double step) {
+  std::vector<double> out;
+  for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+  return out;
+}
+
+inline std::vector<std::size_t> size_range(std::size_t lo, std::size_t hi,
+                                           std::size_t step) {
+  std::vector<std::size_t> out;
+  for (std::size_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+inline void emit(const Table& table, const std::string& csv_name,
+                 double seconds) {
+  table.print(std::cout);
+  const std::string path = "bench_results/" + csv_name + ".csv";
+  table.save_csv(path);
+  std::cout << "\n(total " << seconds << " s; CSV written to " << path
+            << ")\n";
+}
+
+}  // namespace treeplace::bench

@@ -1,0 +1,36 @@
+// Figure 10: Experiment 3 on high trees (2-4 children per node), bounds
+// swept over [10, 35].
+//
+// Paper headline: on high trees the DP/GR gap widens — GR consumes on
+// average more than 40% more power for bounds in [22, 27] and about 60%
+// more in [23, 25].
+#include "bench/power_fig_util.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 10 — power minimization (high trees)",
+                "Experiment 3 on trees with 2-4 children per node");
+
+  Experiment3Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 100);
+  config.tree.num_internal = 50;
+  config.tree.shape = kHighShape;
+  config.tree.client_probability =
+      env_double("TREEPLACE_CLIENT_PROB", 0.8);  // calibrated, see DESIGN.md
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 5;
+  config.num_pre_existing = 5;
+  config.mode_capacities = {5, 10};
+  config.static_power = 12.5;
+  config.alpha = 3.0;
+  config.cost_create = 0.1;
+  config.cost_delete = 0.01;
+  config.cost_changed = 0.001;
+  const double step = env_double("TREEPLACE_BOUND_STEP", 1.0);
+  config.cost_bounds = bench::double_range(10, 35, step);
+  config.seed = env_size_t("TREEPLACE_SEED", 48);
+
+  bench::run_power_figure("Figure 10", "fig10_power_high", config, 22, 27);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11: Experiment 3 with expensive reconfiguration costs
+// (create = delete = 1, changed = 0.1), bounds swept over [30, 90].
+//
+// Paper: "the ratio between DP and GR is better for lowest cost, because GR
+// finds less solutions than DP.  DP indeed can find solutions with lower
+// cost, taking pre-existing replicas into account."
+#include "bench/power_fig_util.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 11 — power minimization with expensive updates",
+                "Experiment 3 with create=delete=1, changed=0.1");
+
+  Experiment3Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 100);
+  config.tree.num_internal = 50;
+  config.tree.shape = kFatShape;
+  config.tree.client_probability =
+      env_double("TREEPLACE_CLIENT_PROB", 0.8);  // calibrated, see DESIGN.md
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 5;
+  config.num_pre_existing = 5;
+  config.mode_capacities = {5, 10};
+  config.static_power = 12.5;
+  config.alpha = 3.0;
+  config.cost_create = 1.0;
+  config.cost_delete = 1.0;
+  config.cost_changed = 0.1;
+  const double step = env_double("TREEPLACE_BOUND_STEP", 2.0);
+  config.cost_bounds = bench::double_range(30, 90, step);
+  config.seed = env_size_t("TREEPLACE_SEED", 49);
+
+  bench::run_power_figure("Figure 11", "fig11_power_cost", config, 30, 50);
+  return 0;
+}

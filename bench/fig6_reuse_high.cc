@@ -1,0 +1,41 @@
+// Figure 6: Experiment 1 re-run on high trees (2-4 children per node).
+// Same protocol as Figure 4; the paper reports the same qualitative
+// behaviour with a higher reuse level (deeper trees need more servers).
+#include "bench/bench_util.h"
+#include "sim/experiment1.h"
+#include "support/stats.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 6 — reuse vs pre-existing servers (high trees)",
+                "Experiment 1 on trees with 2-4 children per node");
+
+  Experiment1Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 200);
+  config.tree.num_internal = 100;
+  config.tree.shape = kHighShape;
+  config.tree.client_probability = 0.5;
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 6;
+  config.capacity = 10;
+  const std::size_t step = env_size_t("TREEPLACE_E_STEP",
+                                      5);
+  config.pre_existing_counts = bench::size_range(0, 100, step);
+  config.create = 0.1;
+  config.delete_cost = 0.01;
+  config.seed = env_size_t("TREEPLACE_SEED", 46);
+
+  Stopwatch watch;
+  const auto rows = run_experiment1(config);
+
+  Table table({"E", "reused_DP", "reused_GR", "DP_minus_GR", "servers"});
+  table.set_title("Figure 6 series (" + std::to_string(config.num_trees) +
+                  " high trees, N=100, W=10)");
+  for (const auto& r : rows) {
+    table.add_row({static_cast<std::int64_t>(r.num_pre_existing), r.reused_dp,
+                   r.reused_gr, r.reused_dp - r.reused_gr, r.servers_dp});
+  }
+  bench::emit(table, "fig6_reuse_high", watch.seconds());
+  return 0;
+}

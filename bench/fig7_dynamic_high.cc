@@ -1,0 +1,46 @@
+// Figure 7: Experiment 2 re-run on high trees (2-4 children per node).
+#include "bench/bench_util.h"
+#include "sim/experiment2.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 7 — consecutive executions (high trees)",
+                "Experiment 2 on trees with 2-4 children per node");
+
+  Experiment2Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 200);
+  config.tree.num_internal = 100;
+  config.tree.shape = kHighShape;
+  config.tree.client_probability = 0.5;
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 6;
+  config.capacity = 10;
+  config.num_steps = env_size_t("TREEPLACE_STEPS", 20);
+  config.create = 0.1;
+  config.delete_cost = 0.01;
+  config.seed = env_size_t("TREEPLACE_SEED", 47);
+
+  Stopwatch watch;
+  const Experiment2Result r = run_experiment2(config);
+
+  Table left({"step", "cum_reused_DP", "cum_reused_GR"});
+  left.set_title("Figure 7 (left): cumulative reused servers (" +
+                 std::to_string(config.num_trees) + " high trees)");
+  for (std::size_t s = 0; s < r.num_steps; ++s) {
+    left.add_row({static_cast<std::int64_t>(s + 1), r.cumulative_reused_dp[s],
+                  r.cumulative_reused_gr[s]});
+  }
+  bench::emit(left, "fig7_dynamic_left", watch.seconds());
+
+  Table right({"reused_DP_minus_GR", "occurrences", "mean_steps_per_tree"});
+  right.set_title(
+      "Figure 7 (right): histogram of per-step reuse difference");
+  for (const auto& [value, count] : r.diff_histogram.bins()) {
+    right.add_row({value, static_cast<std::int64_t>(count),
+                   static_cast<double>(count) /
+                       static_cast<double>(config.num_trees)});
+  }
+  bench::emit(right, "fig7_dynamic_right", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8 (Experiment 3): bi-criteria power minimization on fat trees.
+//
+// Paper setup: 100 trees with 50 nodes, 5 pre-existing servers, clients
+// with 1-5 requests, modes W1=5 / W2=10, P_i = W1³/10 + W_i³,
+// create=0.1 / delete=0.01 / changed=0.001; cost bound swept over [15, 45].
+// Paper headline: GR consumes on average more than 30% more power than DP
+// for cost bounds between 29 and 34.
+#include "bench/power_fig_util.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 8 — power minimization (fat trees, with pre)",
+                "normalized inverse power vs cost bound, DP vs GR sweep");
+
+  Experiment3Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 100);
+  config.tree.num_internal = 50;
+  config.tree.shape = kFatShape;
+  config.tree.client_probability =
+      env_double("TREEPLACE_CLIENT_PROB", 0.8);  // calibrated, see DESIGN.md
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 5;
+  config.num_pre_existing = 5;
+  config.mode_capacities = {5, 10};
+  config.static_power = 12.5;  // W1^3 / 10
+  config.alpha = 3.0;
+  config.cost_create = 0.1;
+  config.cost_delete = 0.01;
+  config.cost_changed = 0.001;
+  const double step = env_double("TREEPLACE_BOUND_STEP", 1.0);
+  config.cost_bounds = bench::double_range(15, 45, step);
+  config.seed = env_size_t("TREEPLACE_SEED", 44);
+
+  bench::run_power_figure("Figure 8", "fig8_power", config, 29, 34);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 9: Experiment 3 without pre-existing replicas (E = 0).
+//
+// Paper: "For low bound costs the two curves are close together because DP
+// finds a solution if and only if GR finds a solution ... and there is no
+// significant difference for other costs."
+#include "bench/power_fig_util.h"
+
+using namespace treeplace;
+
+int main() {
+  bench::banner("Figure 9 — power minimization without pre-existing replicas",
+                "Experiment 3 with E = 0");
+
+  Experiment3Config config;
+  config.num_trees = env_size_t("TREEPLACE_TREES", 100);
+  config.tree.num_internal = 50;
+  config.tree.shape = kFatShape;
+  config.tree.client_probability =
+      env_double("TREEPLACE_CLIENT_PROB", 0.8);  // calibrated, see DESIGN.md
+  config.tree.min_requests = 1;
+  config.tree.max_requests = 5;
+  config.num_pre_existing = 0;
+  config.mode_capacities = {5, 10};
+  config.static_power = 12.5;
+  config.alpha = 3.0;
+  config.cost_create = 0.1;
+  config.cost_delete = 0.01;
+  config.cost_changed = 0.001;
+  const double step = env_double("TREEPLACE_BOUND_STEP", 1.0);
+  config.cost_bounds = bench::double_range(15, 45, step);
+  config.seed = env_size_t("TREEPLACE_SEED", 45);
+
+  bench::run_power_figure("Figure 9", "fig9_power_nopre", config, 29, 34);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// NP-completeness in practice: deciding the Theorem 2 gadget.
+//
+// The MinPower instance built from a 2-Partition instance of size n has
+// n + 2 modes, and deciding it (via the proof's structural argument) costs
+// 2^n — the exponential wall the theorem predicts for arbitrary mode
+// counts.  This bench measures that wall, and contrasts it with the
+// pseudo-polynomial direct subset-sum solver: the reduction proves
+// hardness, it is not a good way to *solve* 2-Partition.
+#include "bench/bench_util.h"
+#include "core/np_reduction.h"
+#include "support/prng.h"
+
+using namespace treeplace;
+
+namespace {
+
+/// Random instance with all a_i < S/2 (the gadget premise); retries until
+/// the draw satisfies it.
+TwoPartitionInstance random_instance(int n, Xoshiro256& rng) {
+  for (;;) {
+    TwoPartitionInstance inst;
+    for (int i = 0; i < n; ++i) inst.values.push_back(rng.uniform(1, 40));
+    if (inst.sum() % 2 != 0) continue;
+    bool ok = true;
+    for (auto v : inst.values) ok = ok && (2 * v < inst.sum());
+    if (ok) return inst;
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("NP gadget — deciding the Theorem 2 instance",
+                "2^n structural enumeration vs pseudo-polynomial subset-sum");
+
+  Stopwatch total;
+  Table table({"n", "modes", "gadget_nodes", "gadget_seconds",
+               "subset_sum_seconds", "agree"});
+  table.set_title("Per-instance decision times (mean of 5 instances)");
+
+  Xoshiro256 rng(20112011);
+  const int max_n = static_cast<int>(env_size_t(
+      "TREEPLACE_NP_MAX_N", scaled<std::size_t>(18, 22)));
+  for (int n = 6; n <= max_n; n += 4) {
+    double gadget_seconds = 0;
+    double direct_seconds = 0;
+    bool agree = true;
+    int modes = 0;
+    std::size_t nodes = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const TwoPartitionInstance inst = random_instance(n, rng);
+      const MinPowerGadget gadget = build_min_power_gadget(inst);
+      modes = gadget.modes.count();
+      nodes = gadget.tree.num_internal();
+
+      Stopwatch g;
+      const bool via_gadget = gadget_has_solution(gadget, inst);
+      gadget_seconds += g.seconds();
+
+      Stopwatch d;
+      const bool direct = two_partition_brute_force(inst);
+      direct_seconds += d.seconds();
+      agree = agree && (via_gadget == direct);
+    }
+    table.add_row({static_cast<std::int64_t>(n),
+                   static_cast<std::int64_t>(modes),
+                   static_cast<std::int64_t>(nodes), gadget_seconds / 5,
+                   direct_seconds / 5,
+                   std::string(agree ? "yes" : "NO — BUG")});
+  }
+  bench::emit(table, "np_gadget", total.seconds());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared driver for the power-minimization figures (8-11): runs
+// Experiment 3 with the given configuration and prints the paper's series
+// (normalized inverse power vs cost bound) plus the GR/DP power ratio the
+// paper's ">30% more power" claims refer to.
+#pragma once
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sim/experiment3.h"
+#include "support/stats.h"
+
+namespace treeplace::bench {
+
+inline void run_power_figure(const std::string& figure,
+                             const std::string& csv_name,
+                             const Experiment3Config& config,
+                             double claim_lo, double claim_hi) {
+  Stopwatch watch;
+  const Experiment3Result result = run_experiment3(config);
+
+  Table table({"cost_bound", "power_inverse_DP", "power_inverse_GR",
+               "solved_DP", "solved_GR", "GR_over_DP_power", "both_solved"});
+  table.set_title(figure + " series (" + std::to_string(config.num_trees) +
+                  " trees, N=" + std::to_string(config.tree.num_internal) +
+                  ", E=" + std::to_string(config.num_pre_existing) + ")");
+  RunningStats claim_ratio;
+  for (const auto& row : result.rows) {
+    table.add_row({row.cost_bound, row.score_dp, row.score_gr, row.solved_dp,
+                   row.solved_gr, row.power_ratio,
+                   static_cast<std::int64_t>(row.both_solved)});
+    if (row.cost_bound >= claim_lo - 1e-9 && row.cost_bound <= claim_hi + 1e-9 &&
+        row.both_solved > 0) {
+      claim_ratio.add(row.power_ratio);
+    }
+  }
+  emit(table, csv_name, watch.seconds());
+  if (claim_ratio.count() > 0) {
+    std::cout << "mean GR/DP power ratio for bounds in [" << claim_lo << ", "
+              << claim_hi << "]: " << claim_ratio.mean()
+              << " (GR consumes " << (claim_ratio.mean() - 1.0) * 100.0
+              << "% more power than DP)\n";
+  }
+  std::cout << "mean DP solve time per tree: " << result.mean_dp_seconds
+            << " s\n";
+}
+
+}  // namespace treeplace::bench

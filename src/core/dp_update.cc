@@ -1,0 +1,250 @@
+#include "core/dp_update.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/dp_util.h"
+
+namespace treeplace {
+
+namespace {
+
+using dp::kInvalidFlow;
+
+/// Decision record for the 2-index (e, n) DP: the (e', n') retained on the
+/// already-merged side plus whether a replica sits on the merged child.
+struct CellDecision {
+  std::uint16_t e_prev = 0;
+  std::uint16_t n_prev = 0;
+  std::uint8_t place = 0;
+};
+
+/// Per-node DP state.  Tables are flat arrays indexed by e*(nb+1)+n where
+/// (eb, nb) bound the reused/new counts strictly below the node.
+struct NodeState {
+  int eb = 0;  ///< pre-existing nodes strictly below
+  int nb = 0;  ///< non-pre-existing internal nodes strictly below
+  std::vector<RequestCount> flow;
+  /// decisions[k] covers the table after merging internal child k; its
+  /// bounds are partial_eb[k+1] x partial_nb[k+1].
+  std::vector<std::vector<CellDecision>> decisions;
+  std::vector<int> partial_eb;  ///< bounds after merging children [0, k)
+  std::vector<int> partial_nb;
+};
+
+struct RootChoice {
+  int e = 0;
+  int n = 0;
+  bool place_root = false;
+  double cost = std::numeric_limits<double>::infinity();
+  int servers = 0;
+};
+
+class MinCostSolver {
+ public:
+  MinCostSolver(const Tree& tree, const MinCostConfig& config)
+      : tree_(tree), config_(config), states_(tree.num_internal()) {}
+
+  MinCostResult solve() {
+    MinCostResult result;
+    for (NodeId j : tree_.internal_post_order()) {
+      if (!process_node(j)) return result;  // infeasible client mass
+    }
+    const RootChoice best = scan_root();
+    result.merge_iterations = merge_iterations_;
+    if (!std::isfinite(best.cost)) return result;
+    result.feasible = true;
+    if (best.place_root) result.placement.add(tree_.root(), 0);
+    reconstruct(tree_.root(), best.e, best.n, result.placement);
+    return result;
+  }
+
+ private:
+  std::size_t idx(const NodeState& s, int e, int n) const {
+    return static_cast<std::size_t>(e) * static_cast<std::size_t>(s.nb + 1) +
+           static_cast<std::size_t>(n);
+  }
+
+  /// Builds the table of node j by merging its internal children into the
+  /// base table {(0,0) -> client mass}.  Returns false when the client mass
+  /// alone exceeds W: those requests traverse every ancestor together, so
+  /// the whole instance is infeasible (paper Algorithm 2, exit).
+  bool process_node(NodeId j) {
+    NodeState& s = states_[tree_.internal_index(j)];
+    const RequestCount base = tree_.client_mass(j);
+    if (base > config_.capacity) return false;
+
+    s.eb = 0;
+    s.nb = 0;
+    s.flow.assign(1, base);
+    s.partial_eb.assign(1, 0);
+    s.partial_nb.assign(1, 0);
+
+    for (NodeId c : tree_.internal_children(j)) {
+      merge_child(s, c);
+      s.partial_eb.push_back(s.eb);
+      s.partial_nb.push_back(s.nb);
+    }
+    return true;
+  }
+
+  void merge_child(NodeState& s, NodeId c) {
+    const NodeState& cs = states_[tree_.internal_index(c)];
+    const bool child_pre = tree_.pre_existing(c);
+    const int ceb = cs.eb + (child_pre ? 1 : 0);  // counts including c itself
+    const int cnb = cs.nb + (child_pre ? 0 : 1);
+
+    const int new_eb = s.eb + ceb;
+    const int new_nb = s.nb + cnb;
+    const std::size_t new_size = static_cast<std::size_t>(new_eb + 1) *
+                                 static_cast<std::size_t>(new_nb + 1);
+    std::vector<RequestCount> merged(new_size, kInvalidFlow);
+    std::vector<CellDecision> dec(new_size);
+    const auto merged_idx = [new_nb](int e, int n) {
+      return static_cast<std::size_t>(e) * static_cast<std::size_t>(new_nb + 1) +
+             static_cast<std::size_t>(n);
+    };
+
+    for (int ep = 0; ep <= s.eb; ++ep) {
+      for (int np = 0; np <= s.nb; ++np) {
+        const RequestCount tf = s.flow[idx(s, ep, np)];
+        if (tf == kInvalidFlow) continue;
+        for (int ec = 0; ec <= cs.eb; ++ec) {
+          for (int nc = 0; nc <= cs.nb; ++nc) {
+            const RequestCount cf =
+                cs.flow[static_cast<std::size_t>(ec) *
+                            static_cast<std::size_t>(cs.nb + 1) +
+                        static_cast<std::size_t>(nc)];
+            if (cf == kInvalidFlow) continue;
+            ++merge_iterations_;
+            // Option A: no replica on c — its flow joins ours.
+            const RequestCount sum = tf + cf;
+            if (sum <= config_.capacity) {
+              const std::size_t t = merged_idx(ep + ec, np + nc);
+              if (sum < merged[t]) {
+                merged[t] = sum;
+                dec[t] = CellDecision{static_cast<std::uint16_t>(ep),
+                                      static_cast<std::uint16_t>(np), 0};
+              }
+            }
+            // Option B: replica on c absorbs cf (cf <= W since the entry is
+            // valid); our flow is unchanged.
+            const std::size_t t = child_pre ? merged_idx(ep + ec + 1, np + nc)
+                                            : merged_idx(ep + ec, np + nc + 1);
+            if (tf < merged[t]) {
+              merged[t] = tf;
+              dec[t] = CellDecision{static_cast<std::uint16_t>(ep),
+                                    static_cast<std::uint16_t>(np), 1};
+            }
+          }
+        }
+      }
+    }
+
+    s.eb = new_eb;
+    s.nb = new_nb;
+    s.flow = std::move(merged);
+    s.decisions.push_back(std::move(dec));
+  }
+
+  /// Paper Algorithm 4, extended: for every (e, n) evaluate both root
+  /// options and keep the cheapest overall (ties: fewer servers, then more
+  /// reuse).
+  RootChoice scan_root() const {
+    const NodeId root = tree_.root();
+    const NodeState& s = states_[tree_.internal_index(root)];
+    const bool root_pre = tree_.pre_existing(root);
+    const int e_total = static_cast<int>(tree_.num_pre_existing());
+    RootChoice best;
+
+    const auto consider = [&](int e, int n, bool place_root, int reused,
+                              int created) {
+      const int servers = reused + created;
+      const double cost = static_cast<double>(servers) +
+                          static_cast<double>(created) * config_.create +
+                          static_cast<double>(e_total - reused) *
+                              config_.delete_cost;
+      constexpr double kTieEps = 1e-9;
+      const bool better =
+          cost < best.cost - kTieEps ||
+          (cost <= best.cost + kTieEps &&
+           (servers < best.servers ||
+            (servers == best.servers && e + (place_root && root_pre) >
+                                            best.e + (best.place_root &&
+                                                      root_pre))));
+      if (better) best = RootChoice{e, n, place_root, cost, servers};
+    };
+
+    for (int e = 0; e <= s.eb; ++e) {
+      for (int n = 0; n <= s.nb; ++n) {
+        const RequestCount f = s.flow[idx(s, e, n)];
+        if (f == kInvalidFlow) continue;
+        if (f == 0) {
+          consider(e, n, /*place_root=*/false, e, n);
+        }
+        // Root server absorbs the residual flow f (<= W by table validity).
+        if (root_pre) {
+          consider(e, n, /*place_root=*/true, e + 1, n);
+        } else {
+          consider(e, n, /*place_root=*/true, e, n + 1);
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Unwinds the per-merge decisions of node j for target counts (e, n),
+  /// adding child replicas to `placement`.
+  void reconstruct(NodeId j, int e, int n, Placement& placement) const {
+    const NodeState& s = states_[tree_.internal_index(j)];
+    const auto children = tree_.internal_children(j);
+    int cur_e = e;
+    int cur_n = n;
+    for (std::size_t k = children.size(); k-- > 0;) {
+      const NodeId c = children[k];
+      const bool child_pre = tree_.pre_existing(c);
+      const int nb_after = s.partial_nb[k + 1];
+      const std::size_t flat =
+          static_cast<std::size_t>(cur_e) *
+              static_cast<std::size_t>(nb_after + 1) +
+          static_cast<std::size_t>(cur_n);
+      const CellDecision d = s.decisions[k][flat];
+      int child_e = cur_e - d.e_prev;
+      int child_n = cur_n - d.n_prev;
+      if (d.place != 0) {
+        placement.add(c, /*mode=*/0);
+        (child_pre ? child_e : child_n) -= 1;
+      }
+      TREEPLACE_DCHECK(child_e >= 0 && child_n >= 0);
+      reconstruct(c, child_e, child_n, placement);
+      cur_e = d.e_prev;
+      cur_n = d.n_prev;
+    }
+    TREEPLACE_DCHECK(cur_e == 0 && cur_n == 0);
+  }
+
+  const Tree& tree_;
+  const MinCostConfig& config_;
+  std::vector<NodeState> states_;
+  std::uint64_t merge_iterations_ = 0;
+};
+
+}  // namespace
+
+MinCostResult solve_min_cost_with_pre(const Tree& tree,
+                                      const MinCostConfig& config) {
+  TREEPLACE_CHECK(config.capacity > 0);
+  TREEPLACE_CHECK(config.create >= 0.0);
+  TREEPLACE_CHECK(config.delete_cost >= 0.0);
+  MinCostSolver solver(tree, config);
+  MinCostResult result = solver.solve();
+  if (result.feasible) {
+    result.breakdown = evaluate_cost(
+        tree, result.placement,
+        CostModel::simple(config.create, config.delete_cost));
+  }
+  return result;
+}
+
+}  // namespace treeplace

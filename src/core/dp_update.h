@@ -1,0 +1,52 @@
+// MinCost-WithPre: optimal replica-set update with pre-existing servers.
+//
+// Implements the paper's Section 3 dynamic program (Algorithms 1-4,
+// Theorem 1).  Per internal node j, a table indexed by (e, n) — exactly e
+// reused pre-existing servers and n new servers strictly below j — stores
+// the minimal number of requests that must traverse j (Lemma 1: among
+// placements with the same counts, one minimizing the traversing requests
+// can always be extended to a global optimum).  Children are merged one at
+// a time, each merge also considering a replica on the merged child.
+//
+// Complexity is the paper's O(N·(N-E+1)²·(E+1)²) ≤ O(N^5) worst case, but
+// every index is bounded by the actual pre-existing/new node counts of the
+// partial subtree, which makes realistic trees orders of magnitude cheaper
+// (measured by bench/ablation_bounds).
+//
+// Deviation from the paper's Algorithm 4 (see DESIGN.md): for every root
+// table entry we evaluate both "no server at root" (requires zero residual
+// flow) and "server at root" (residual ≤ W), so configurations where
+// keeping an idle pre-existing root is cheaper than deleting it are found
+// even when delete > 1.
+#pragma once
+
+#include <cstdint>
+
+#include "model/cost.h"
+#include "model/placement.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct MinCostConfig {
+  RequestCount capacity = 10;  ///< W, per-server request capacity
+  double create = 0.1;         ///< extra cost of operating a new server
+  double delete_cost = 0.01;   ///< cost of removing a pre-existing server
+};
+
+struct MinCostResult {
+  bool feasible = false;
+  Placement placement;       ///< all servers at mode 0
+  CostBreakdown breakdown;   ///< recomputed by the independent evaluator
+  /// Inner-loop iterations actually executed (ablation metric; the paper's
+  /// unbounded loops would execute N·(N-E+1)²·(E+1)² of them).
+  std::uint64_t merge_iterations = 0;
+};
+
+/// Solves MinCost-WithPre on `tree` (whose pre-existing flags define E).
+/// With E empty this degenerates to MinCost-NoPre and returns a minimum
+/// replica count solution.
+MinCostResult solve_min_cost_with_pre(const Tree& tree,
+                                      const MinCostConfig& config);
+
+}  // namespace treeplace

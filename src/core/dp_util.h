@@ -1,0 +1,118 @@
+// Shared machinery for the tree dynamic programs.
+//
+// Every DP in this library fills, per internal node, a table indexed by a
+// small vector of counts ("digits" in a box with per-dimension bounds) whose
+// value is the minimal flow leaving the node's subtree (paper Lemma 1 and
+// its multi-mode generalization).  Children are merged one at a time; a
+// per-merge Decision record allows O(N) solution reconstruction without the
+// req-vector copies of the paper's pseudo-code (the optimization sketched in
+// its Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/check.h"
+#include "tree/tree.h"
+
+namespace treeplace::dp {
+
+/// Sentinel for "no solution with these counts".
+inline constexpr RequestCount kInvalidFlow =
+    std::numeric_limits<RequestCount>::max();
+
+/// A mixed-radix index space: digit d ranges over [0, bounds[d]].
+/// Zero-dimensional boxes have size 1 (the single empty state) so leaf
+/// tables need no special casing.
+class Box {
+ public:
+  Box() : size_(1) {}
+
+  explicit Box(std::vector<int> bounds) : bounds_(std::move(bounds)) {
+    strides_.resize(bounds_.size());
+    size_ = 1;
+    for (std::size_t d = bounds_.size(); d-- > 0;) {
+      TREEPLACE_DCHECK(bounds_[d] >= 0);
+      strides_[d] = size_;
+      size_ *= static_cast<std::size_t>(bounds_[d]) + 1;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t dims() const { return bounds_.size(); }
+  const std::vector<int>& bounds() const { return bounds_; }
+  std::size_t stride(std::size_t d) const { return strides_[d]; }
+
+  /// Flat index of a digit vector.
+  std::size_t flat(const std::vector<int>& digits) const {
+    TREEPLACE_DCHECK(digits.size() == bounds_.size());
+    std::size_t idx = 0;
+    for (std::size_t d = 0; d < digits.size(); ++d) {
+      TREEPLACE_DCHECK(digits[d] >= 0 && digits[d] <= bounds_[d]);
+      idx += static_cast<std::size_t>(digits[d]) * strides_[d];
+    }
+    return idx;
+  }
+
+  /// Digit vector of a flat index.
+  void decode(std::size_t flat_index, std::vector<int>& digits) const {
+    digits.resize(bounds_.size());
+    for (std::size_t d = 0; d < bounds_.size(); ++d) {
+      digits[d] = static_cast<int>(flat_index / strides_[d]);
+      flat_index %= strides_[d];
+    }
+  }
+
+ private:
+  std::vector<int> bounds_;
+  std::vector<std::size_t> strides_;
+  std::size_t size_ = 1;
+};
+
+/// One table entry compacted for merge loops: its flat index and flow, plus
+/// the entry's digit dot-product against the *destination* box strides so
+/// that combining two entries is a single addition.
+struct CompactEntry {
+  std::uint32_t flat = 0;
+  RequestCount flow = kInvalidFlow;
+  std::uint64_t dot = 0;
+};
+
+/// Collects the valid entries of `flow` (a table over `box`), computing
+/// dot-products against `target` (per-dimension: target must have the same
+/// dimensionality).
+inline std::vector<CompactEntry> compact_valid_entries(
+    const Box& box, const std::vector<RequestCount>& flow, const Box& target) {
+  TREEPLACE_DCHECK(box.dims() == target.dims());
+  std::vector<CompactEntry> out;
+  std::vector<int> digits(box.dims(), 0);
+  for (std::size_t flat = 0; flat < box.size(); ++flat) {
+    if (flow[flat] != kInvalidFlow) {
+      std::uint64_t dot = 0;
+      for (std::size_t d = 0; d < box.dims(); ++d) {
+        dot += static_cast<std::uint64_t>(digits[d]) * target.stride(d);
+      }
+      out.push_back(CompactEntry{static_cast<std::uint32_t>(flat), flow[flat],
+                                 dot});
+    }
+    // Odometer increment.
+    for (std::size_t d = box.dims(); d-- > 0;) {
+      if (++digits[d] <= box.bounds()[d]) break;
+      digits[d] = 0;
+    }
+  }
+  return out;
+}
+
+/// Per-entry provenance recorded while merging child k into a node:
+/// `left` is the flat index in the partial table before the merge, `right`
+/// the flat index in the child's final table, `mode` the mode of a replica
+/// placed on the child itself (-1 when none).
+struct Decision {
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::int8_t mode = -1;
+};
+
+}  // namespace treeplace::dp

@@ -1,0 +1,134 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treeplace {
+
+namespace {
+
+/// Invokes fn(placement) for every subset of internal nodes (modes all 0).
+template <typename Fn>
+void for_each_subset(const Tree& tree, Fn&& fn) {
+  const auto& internals = tree.internal_ids();
+  const std::size_t n = internals.size();
+  TREEPLACE_CHECK_MSG(n <= kExhaustiveMaxInternal,
+                      "exhaustive solver limited to "
+                          << kExhaustiveMaxInternal << " internal nodes, got "
+                          << n);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Placement p;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) p.add(internals[i], 0);
+    }
+    fn(std::move(p));
+  }
+}
+
+}  // namespace
+
+std::optional<int> exhaustive_min_count(const Tree& tree,
+                                        RequestCount capacity) {
+  const ModeSet modes = ModeSet::single(capacity);
+  std::optional<int> best;
+  for_each_subset(tree, [&](Placement p) {
+    if (!validate(tree, p, modes).valid) return;
+    const int count = static_cast<int>(p.size());
+    if (!best || count < *best) best = count;
+  });
+  return best;
+}
+
+std::optional<ExhaustiveCostSolution> exhaustive_min_cost(
+    const Tree& tree, RequestCount capacity, const CostModel& costs) {
+  TREEPLACE_CHECK(costs.num_modes() == 1);
+  const ModeSet modes = ModeSet::single(capacity);
+  std::optional<ExhaustiveCostSolution> best;
+  for_each_subset(tree, [&](Placement p) {
+    if (!validate(tree, p, modes).valid) return;
+    CostBreakdown b = evaluate_cost(tree, p, costs);
+    if (!best || b.cost < best->breakdown.cost - 1e-12) {
+      best = ExhaustiveCostSolution{std::move(p), b};
+    }
+  });
+  return best;
+}
+
+std::vector<CostPowerPoint> pareto_frontier(
+    std::vector<CostPowerPoint> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CostPowerPoint& a, const CostPowerPoint& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.power < b.power;
+            });
+  std::vector<CostPowerPoint> frontier;
+  constexpr double kEps = 1e-9;
+  for (const CostPowerPoint& c : candidates) {
+    if (frontier.empty() || c.power < frontier.back().power - kEps) {
+      if (!frontier.empty() &&
+          std::fabs(c.cost - frontier.back().cost) <= kEps) {
+        frontier.back() = c;  // same cost, strictly better power
+      } else {
+        frontier.push_back(c);
+      }
+    }
+  }
+  return frontier;
+}
+
+std::vector<CostPowerPoint> exhaustive_cost_power_frontier(
+    const Tree& tree, const ModeSet& modes, const CostModel& costs) {
+  TREEPLACE_CHECK(costs.num_modes() == modes.count());
+  std::vector<CostPowerPoint> candidates;
+  for_each_subset(tree, [&](Placement p) {
+    // Feasibility at top mode first (loads are mode-independent).
+    const FlowResult flows = compute_flows(tree, p);
+    if (flows.unserved > 0) return;
+    std::vector<int> min_mode(p.size());
+    for (std::size_t i = 0; i < p.nodes().size(); ++i) {
+      const int m = modes.mode_for_load(flows.load(tree, p.nodes()[i]));
+      if (m < 0) return;  // overloaded even at W_M
+      min_mode[i] = m;
+    }
+    // Enumerate configured modes >= minimal per server (odometer).
+    std::vector<int> mode = min_mode;
+    for (;;) {
+      Placement configured;
+      for (std::size_t i = 0; i < p.nodes().size(); ++i) {
+        configured.add(p.nodes()[i], mode[i]);
+      }
+      candidates.push_back(
+          CostPowerPoint{evaluate_cost(tree, configured, costs).cost,
+                         total_power(configured, modes)});
+      std::size_t d = p.size();
+      while (d-- > 0) {
+        if (++mode[d] < modes.count()) break;
+        mode[d] = min_mode[d];
+        if (d == 0) return;  // odometer wrapped completely
+      }
+      if (p.size() == 0) return;  // empty placement: single candidate
+    }
+  });
+  return pareto_frontier(std::move(candidates));
+}
+
+std::optional<double> exhaustive_min_power(const Tree& tree,
+                                           const ModeSet& modes) {
+  // With cost ignored, only minimal modes matter (power grows with mode).
+  std::optional<double> best;
+  for_each_subset(tree, [&](Placement p) {
+    const FlowResult flows = compute_flows(tree, p);
+    if (flows.unserved > 0) return;
+    double power = 0.0;
+    for (NodeId node : p.nodes()) {
+      const int m = modes.mode_for_load(flows.load(tree, node));
+      if (m < 0) return;
+      power += modes.power(m);
+    }
+    if (!best || power < *best - 1e-12) best = power;
+  });
+  return best;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,62 @@
+// Brute-force oracles for small instances — the ground truth that every
+// optimal algorithm in this library is property-tested against.
+//
+// All enumerators iterate over the 2^|N| subsets of internal nodes (and,
+// for power problems, over per-server mode choices), so they are gated to
+// small trees.  They share no code with the solvers: flows, validity, cost
+// and power all come from the independent evaluator in model/placement.h.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/cost.h"
+#include "model/modes.h"
+#include "model/placement.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Hard cap on the tree size the exhaustive solvers accept.
+inline constexpr std::size_t kExhaustiveMaxInternal = 20;
+
+/// Minimum replica count under capacity W (closest policy), or nullopt when
+/// infeasible.
+std::optional<int> exhaustive_min_count(const Tree& tree,
+                                        RequestCount capacity);
+
+struct ExhaustiveCostSolution {
+  Placement placement;
+  CostBreakdown breakdown;
+};
+
+/// Minimum Eq. 2 cost with pre-existing servers, or nullopt when infeasible.
+/// `costs` must be a single-mode model (CostModel::simple).
+std::optional<ExhaustiveCostSolution> exhaustive_min_cost(
+    const Tree& tree, RequestCount capacity, const CostModel& costs);
+
+/// A (cost, power) point attainable by some valid placement.
+struct CostPowerPoint {
+  double cost = 0.0;
+  double power = 0.0;
+};
+
+/// The Pareto frontier of attainable (cost, power) pairs: sorted by
+/// ascending cost with strictly descending power.  Empty when infeasible.
+/// Enumerates subsets and, per server, every mode from the minimal feasible
+/// one upward (higher modes can pay off through changed_{o,i} = 0).
+std::vector<CostPowerPoint> exhaustive_cost_power_frontier(
+    const Tree& tree, const ModeSet& modes, const CostModel& costs);
+
+/// Minimum total power irrespective of cost (the MinPower objective), or
+/// nullopt when infeasible.
+std::optional<double> exhaustive_min_power(const Tree& tree,
+                                           const ModeSet& modes);
+
+/// Prunes a candidate list to its Pareto frontier (ascending cost, strictly
+/// descending power).  Exposed for reuse by the DP result builders and by
+/// tests comparing frontiers.
+std::vector<CostPowerPoint> pareto_frontier(
+    std::vector<CostPowerPoint> candidates);
+
+}  // namespace treeplace

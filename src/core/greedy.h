@@ -1,0 +1,37 @@
+// The greedy baseline GR (Wu, Lin & Liu [19]) for MinCost-NoPre.
+//
+// Bottom-up traversal; at each node, while the inflow (client mass plus the
+// flows forwarded by children) exceeds the capacity W, a replica is placed
+// on the internal child currently forwarding the largest flow, absorbing it.
+// After processing the root, any residual flow forces a replica at the root
+// itself.  This is optimal in *replica count* under the closest policy, but
+// it is oblivious to pre-existing servers (the paper's Section 3 running
+// example) and to power (Section 4) — exactly the gap the DPs close.
+//
+// Ties between equal child flows are broken towards the smaller node id so
+// results are deterministic; see core/heuristics.h for a reuse-aware
+// tie-breaking variant.
+#pragma once
+
+#include "model/placement.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct GreedyResult {
+  /// False iff some node's local client mass alone exceeds W (then no
+  /// placement can serve those clients).
+  bool feasible = false;
+  /// Servers, all at mode 0; use minimize_modes() to map onto a ModeSet.
+  Placement placement;
+};
+
+/// Runs GR with server capacity `capacity`.
+GreedyResult solve_greedy_min_count(const Tree& tree, RequestCount capacity);
+
+/// Lower bound certificate used by tests: the number of replicas any valid
+/// solution must place strictly within the subtree of each node, derived
+/// from the same bottom-up flow argument.  Returns -1 when infeasible.
+int greedy_replica_count(const Tree& tree, RequestCount capacity);
+
+}  // namespace treeplace

@@ -1,0 +1,30 @@
+#include "core/greedy_power.h"
+
+#include "core/greedy.h"
+
+namespace treeplace {
+
+GreedyPowerResult solve_greedy_power(const Tree& tree, const ModeSet& modes,
+                                     const CostModel& costs) {
+  TREEPLACE_CHECK(costs.num_modes() == modes.count());
+  GreedyPowerResult result;
+  const RequestCount lo = modes.capacity(0);
+  const RequestCount hi = modes.max_capacity();
+  for (RequestCount w = lo; w <= hi; ++w) {
+    GreedyPowerCandidate candidate;
+    candidate.capacity = w;
+    GreedyResult greedy = solve_greedy_min_count(tree, w);
+    if (greedy.feasible) {
+      candidate.feasible = true;
+      candidate.placement = std::move(greedy.placement);
+      minimize_modes(tree, candidate.placement, modes);
+      candidate.breakdown = evaluate_cost(tree, candidate.placement, costs);
+      candidate.cost = candidate.breakdown.cost;
+      candidate.power = total_power(candidate.placement, modes);
+    }
+    result.candidates.push_back(std::move(candidate));
+  }
+  return result;
+}
+
+}  // namespace treeplace

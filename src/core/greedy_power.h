@@ -1,0 +1,50 @@
+// The paper's power-adapted greedy baseline (Section 5.2).
+//
+// GR does not know about power.  The paper's adaptation runs it once per
+// integer capacity W in [W_1, W_M]; each run yields a placement whose
+// servers are then configured at the smallest mode covering their load
+// ("to be fair, when a server has 5 requests or less, we operate it under
+// the first mode W1").  Each candidate is priced with the full Eq. 4 model
+// against the tree's pre-existing set; a bounded-cost query returns the
+// minimum-power candidate within budget.
+#pragma once
+
+#include <vector>
+
+#include "core/power_common.h"
+#include "model/cost.h"
+#include "model/modes.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct GreedyPowerCandidate {
+  RequestCount capacity = 0;  ///< the W this greedy run used
+  bool feasible = false;
+  Placement placement;
+  double cost = 0.0;
+  double power = 0.0;
+  CostBreakdown breakdown;
+};
+
+struct GreedyPowerResult {
+  /// One candidate per swept capacity, ascending.
+  std::vector<GreedyPowerCandidate> candidates;
+
+  /// Minimum-power feasible candidate with cost within `bound`; nullptr if
+  /// none fits.
+  const GreedyPowerCandidate* best_within_cost(double bound) const {
+    const GreedyPowerCandidate* best = nullptr;
+    for (const GreedyPowerCandidate& c : candidates) {
+      if (!c.feasible || c.cost > bound + 1e-9) continue;
+      if (best == nullptr || c.power < best->power) best = &c;
+    }
+    return best;
+  }
+};
+
+/// Sweeps all integer capacities in [W_1, W_M].
+GreedyPowerResult solve_greedy_power(const Tree& tree, const ModeSet& modes,
+                                     const CostModel& costs);
+
+}  // namespace treeplace

@@ -1,0 +1,187 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace treeplace {
+
+namespace {
+
+/// True when `candidate` is a valid single-mode placement at capacity W.
+bool valid_at_capacity(const Tree& tree, const Placement& candidate,
+                       RequestCount capacity) {
+  const FlowResult flows = compute_flows(tree, candidate);
+  if (flows.unserved > 0) return false;
+  for (NodeId node : candidate.nodes()) {
+    if (flows.load(tree, node) > capacity) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity) {
+  GreedyResult result;
+  std::vector<RequestCount> outflow(tree.num_internal(), 0);
+  std::vector<char> is_server(tree.num_internal(), 0);
+
+  for (NodeId j : tree.internal_post_order()) {
+    RequestCount inflow = tree.client_mass(j);
+    std::vector<NodeId> forwarding;
+    for (NodeId c : tree.internal_children(j)) {
+      const std::size_t ci = tree.internal_index(c);
+      inflow += outflow[ci];
+      if (outflow[ci] > 0) forwarding.push_back(c);
+    }
+    while (inflow > capacity) {
+      NodeId best = kNoNode;
+      RequestCount best_flow = 0;
+      for (NodeId c : forwarding) {
+        const std::size_t ci = tree.internal_index(c);
+        if (is_server[ci]) continue;
+        const RequestCount f = outflow[ci];
+        if (best == kNoNode || f > best_flow) {
+          best = c;
+          best_flow = f;
+        } else if (f == best_flow) {
+          // Tie: prefer a pre-existing child, then the smaller id.
+          const bool best_pre = tree.pre_existing(best);
+          const bool c_pre = tree.pre_existing(c);
+          if ((c_pre && !best_pre) || (c_pre == best_pre && c < best)) {
+            best = c;
+          }
+        }
+      }
+      if (best == kNoNode) return result;  // local client mass exceeds W
+      is_server[tree.internal_index(best)] = 1;
+      inflow -= best_flow;
+    }
+    outflow[tree.internal_index(j)] = inflow;
+  }
+
+  const std::size_t root_index = tree.internal_index(tree.root());
+  if (outflow[root_index] > 0) is_server[root_index] = 1;
+
+  result.feasible = true;
+  for (NodeId j : tree.internal_ids()) {
+    if (is_server[tree.internal_index(j)]) result.placement.add(j, 0);
+  }
+  return result;
+}
+
+LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
+                               const CostModel& costs, Placement& placement,
+                               std::size_t max_moves) {
+  TREEPLACE_CHECK(costs.num_modes() == 1);
+  LocalSearchStats stats;
+  double current_cost = evaluate_cost(tree, placement, costs).cost;
+
+  bool improved = true;
+  while (improved && stats.iterations < max_moves) {
+    improved = false;
+    // Candidate swaps: drop a created server, try every idle pre-existing
+    // node in its place.
+    const std::vector<NodeId> servers = placement.nodes();
+    for (NodeId u : servers) {
+      if (tree.pre_existing(u)) continue;  // only created servers move
+      for (NodeId v : tree.pre_existing_nodes()) {
+        if (placement.contains(v)) continue;
+        ++stats.evaluated;
+        Placement candidate = placement;
+        candidate.remove(u);
+        candidate.add(v, 0);
+        if (!valid_at_capacity(tree, candidate, capacity)) continue;
+        const double cost = evaluate_cost(tree, candidate, costs).cost;
+        if (cost < current_cost - 1e-12) {
+          placement = std::move(candidate);
+          current_cost = cost;
+          ++stats.iterations;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) break;
+    }
+  }
+  return stats;
+}
+
+LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
+                               const CostModel& costs, double cost_bound,
+                               Placement& placement,
+                               std::size_t max_moves) {
+  LocalSearchStats stats;
+
+  const auto score = [&](Placement& candidate) -> double {
+    // Returns the candidate's power after mode minimization, or infinity
+    // when invalid / over budget.
+    const FlowResult flows = compute_flows(tree, candidate);
+    if (flows.unserved > 0) return std::numeric_limits<double>::infinity();
+    for (NodeId node : candidate.nodes()) {
+      const int m = modes.mode_for_load(flows.load(tree, node));
+      if (m < 0) return std::numeric_limits<double>::infinity();
+      candidate.set_mode(node, m);
+    }
+    if (evaluate_cost(tree, candidate, costs).cost > cost_bound + 1e-9) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return total_power(candidate, modes);
+  };
+
+  double current_power = score(placement);
+  TREEPLACE_CHECK_MSG(std::isfinite(current_power),
+                      "improve_power requires a valid in-budget start");
+
+  bool improved = true;
+  while (improved && stats.iterations < max_moves) {
+    improved = false;
+    std::vector<Placement> moves;
+    const std::vector<NodeId> servers = placement.nodes();
+    // Drop moves.
+    for (NodeId u : servers) {
+      Placement c = placement;
+      c.remove(u);
+      moves.push_back(std::move(c));
+    }
+    // Move to parent / internal children.
+    for (NodeId u : servers) {
+      const NodeId p = tree.parent(u);
+      if (p != kNoNode && !placement.contains(p)) {
+        Placement c = placement;
+        c.remove(u);
+        c.add(p, 0);
+        moves.push_back(std::move(c));
+      }
+      for (NodeId child : tree.internal_children(u)) {
+        if (placement.contains(child)) continue;
+        Placement c = placement;
+        c.remove(u);
+        c.add(child, 0);
+        moves.push_back(std::move(c));
+      }
+    }
+    // Add moves (splitting load can reach lower modes).
+    for (NodeId v : tree.internal_ids()) {
+      if (placement.contains(v)) continue;
+      Placement c = placement;
+      c.add(v, 0);
+      moves.push_back(std::move(c));
+    }
+    for (Placement& candidate : moves) {
+      ++stats.evaluated;
+      const double power = score(candidate);
+      if (power < current_power - 1e-12) {
+        placement = std::move(candidate);
+        current_power = power;
+        ++stats.iterations;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace treeplace

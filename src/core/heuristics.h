@@ -1,0 +1,56 @@
+// Polynomial-time heuristics — the "future work" of the paper's Section 6.
+//
+// The paper's optimal DPs are expensive (O(N^5) and worse); its conclusion
+// calls for "polynomial time heuristics with a lower complexity than the
+// optimal solution ... local optimizations to better load-balance the
+// number of requests per replica, with the goal of minimizing the power
+// consumption".  This module provides three such heuristics, all flagged as
+// extensions (they are not part of the paper's evaluation; see
+// bench/ablation_heuristics for their cost/power gap against the DPs):
+//
+//  * greedy with reuse-aware tie-breaking — GR that absorbs a pre-existing
+//    child when flows tie, keeping GR's count optimality;
+//  * reuse local search — hill-climbing swaps of created servers onto
+//    pre-existing nodes under validity, improving Eq. 2 cost;
+//  * power local search — bounded-cost hill climbing over add/remove/move
+//    and mode-minimization moves, improving Eq. 3 power.
+#pragma once
+
+#include <cstddef>
+
+#include "core/greedy.h"
+#include "model/cost.h"
+#include "model/modes.h"
+#include "model/placement.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// GR with ties between equal child flows broken towards pre-existing
+/// children (then smaller id).  Still optimal in replica count: absorbing
+/// any maximal-flow child leaves the same residual.
+GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity);
+
+struct LocalSearchStats {
+  std::size_t iterations = 0;  ///< accepted moves
+  std::size_t evaluated = 0;   ///< candidate moves examined
+};
+
+/// Hill-climbs `placement` (single-mode, capacity W) towards lower Eq. 2
+/// cost by replacing created servers with currently unused pre-existing
+/// nodes whenever the swap keeps the solution valid.  First-improvement;
+/// terminates after `max_moves` accepted moves at the latest.
+LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
+                               const CostModel& costs, Placement& placement,
+                               std::size_t max_moves = 1000);
+
+/// Hill-climbs `placement` towards lower total power while keeping
+/// cost <= cost_bound and validity.  Moves: drop a server, add a server on
+/// any free internal node, move a server to its parent or to an internal
+/// child; after every move all modes are re-minimized.  First-improvement.
+LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
+                               const CostModel& costs, double cost_bound,
+                               Placement& placement,
+                               std::size_t max_moves = 1000);
+
+}  // namespace treeplace

@@ -1,0 +1,141 @@
+#include "core/np_reduction.h"
+
+#include <algorithm>
+
+namespace treeplace {
+
+namespace {
+
+__int128 sq(__int128 x) { return x * x; }
+
+}  // namespace
+
+MinPowerGadget build_min_power_gadget(const TwoPartitionInstance& instance) {
+  const std::size_t n = instance.values.size();
+  TREEPLACE_CHECK_MSG(n >= 1, "empty 2-Partition instance");
+  for (auto v : instance.values) {
+    TREEPLACE_CHECK_MSG(v > 0, "2-Partition values must be positive");
+  }
+  const std::uint64_t s = instance.sum();
+  TREEPLACE_CHECK_MSG(s % 2 == 0,
+                      "odd sum: trivially a no-instance, no gadget needed");
+  for (auto v : instance.values) {
+    TREEPLACE_CHECK_MSG(
+        2 * v < s,
+        "element " << v << " >= S/2: trivially decidable, and the proof's "
+                      "root-mode argument needs a_i < S/2 (see header)");
+  }
+
+  MinPowerGadget gadget;
+  gadget.k = static_cast<std::uint64_t>(n) * s * s;  // K = n·S²
+  gadget.scale = 2 * gadget.k;                       // 2K (alpha = 2)
+  const std::uint64_t two_k_sq = 2 * gadget.k * gadget.k;  // 2K² = K·(2K)
+
+  // Scaled capacities: W'_1 = 2K², W'_{i+1} = 2K² + a_i, W'_{n+2} = 2K² + S.
+  // They must be strictly increasing, so sort a copy of the values; the
+  // mode of A_i's server is located by value, not by index.
+  std::vector<RequestCount> capacities;
+  capacities.push_back(two_k_sq);
+  std::vector<std::uint64_t> sorted = instance.values;
+  std::sort(sorted.begin(), sorted.end());
+  // Strictly increasing capacities require distinct a_i; duplicates share a
+  // mode (the reduction still works: a server needs capacity 2K² + a_i and
+  // any mode with that exact capacity has the same power).
+  for (std::uint64_t a : sorted) {
+    if (capacities.back() != two_k_sq + a) {
+      capacities.push_back(two_k_sq + a);
+    }
+  }
+  if (capacities.back() != two_k_sq + s) capacities.push_back(two_k_sq + s);
+  gadget.modes = ModeSet(std::move(capacities), /*static_power=*/0.0,
+                         /*alpha=*/2.0);
+
+  // Tree of paper Figure 3: root with one client of K + (S/2)X requests and
+  // n branches A_i (client a_i·X) over B_i (client K).
+  TreeBuilder builder;
+  gadget.root = builder.add_root();
+  builder.add_client(gadget.root, two_k_sq + s / 2);  // (K + (S/2)X)·2K
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a_node = builder.add_internal(gadget.root);
+    builder.add_client(a_node, instance.values[i]);  // (a_i·X)·2K = a_i
+    const NodeId b_node = builder.add_internal(a_node);
+    builder.add_client(b_node, two_k_sq);  // K·2K
+    gadget.a_nodes.push_back(a_node);
+    gadget.b_nodes.push_back(b_node);
+  }
+  gadget.tree = std::move(builder).build();
+
+  // n·P'_max = n(2K²+S)² + n²(2K²)² + n(S/2)(2K)² + (n-1)(2K)².
+  const auto nn = static_cast<__int128>(n);
+  const auto scale_sq = sq(static_cast<__int128>(gadget.scale));
+  gadget.n_times_power_budget =
+      nn * sq(static_cast<__int128>(two_k_sq) + s) +
+      nn * nn * sq(static_cast<__int128>(two_k_sq)) +
+      nn * static_cast<__int128>(s / 2) * scale_sq +
+      (nn - 1) * scale_sq;
+  return gadget;
+}
+
+__int128 gadget_mode_power(const MinPowerGadget& gadget, int mode) {
+  return sq(static_cast<__int128>(gadget.modes.capacity(mode)));
+}
+
+bool gadget_has_solution(const MinPowerGadget& gadget,
+                         const TwoPartitionInstance& instance) {
+  const std::size_t n = instance.values.size();
+  TREEPLACE_CHECK(n <= 30);  // 2^n enumeration
+  const std::uint64_t s = instance.sum();
+  const std::uint64_t two_k_sq = 2 * gadget.k * gadget.k;
+  const auto nn = static_cast<__int128>(n);
+
+  // Root server is forced to the top mode (its client alone needs
+  // 2K² + S/2 > 2K² + a_i for typical instances; in all cases the proof
+  // places it at W_{n+2}).
+  const __int128 root_power = sq(static_cast<__int128>(two_k_sq) + s);
+
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    // i in I  <=> server on A_i (mode with capacity 2K² + a_i);
+    // i not in I <=> server on B_i (mode 1, capacity 2K²), a_i flows up.
+    __int128 power = root_power;
+    std::uint64_t flow_to_root = two_k_sq + s / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        power += sq(static_cast<__int128>(two_k_sq) + instance.values[i]);
+      } else {
+        power += sq(static_cast<__int128>(two_k_sq));
+        flow_to_root += instance.values[i];
+      }
+    }
+    const bool capacity_ok = flow_to_root <= two_k_sq + s;  // W'_{n+2}
+    if (capacity_ok && nn * power <= gadget.n_times_power_budget) return true;
+  }
+  return false;
+}
+
+bool decide_two_partition_via_gadget(const TwoPartitionInstance& instance) {
+  const std::uint64_t s = instance.sum();
+  if (s % 2 != 0) return false;
+  for (auto v : instance.values) {
+    if (2 * v > s) return false;  // an element larger than S/2 fits nowhere
+    if (2 * v == s) return true;  // {v} versus everything else
+  }
+  const MinPowerGadget gadget = build_min_power_gadget(instance);
+  return gadget_has_solution(gadget, instance);
+}
+
+bool two_partition_brute_force(const TwoPartitionInstance& instance) {
+  const std::uint64_t s = instance.sum();
+  if (s % 2 != 0) return false;
+  const std::uint64_t half = s / 2;
+  // Reachable-subset-sum DP.
+  std::vector<char> reachable(half + 1, 0);
+  reachable[0] = 1;
+  for (std::uint64_t a : instance.values) {
+    for (std::uint64_t t = half; t + 1 > a; --t) {
+      if (reachable[t - a]) reachable[t] = 1;
+    }
+  }
+  return reachable[half] != 0;
+}
+
+}  // namespace treeplace

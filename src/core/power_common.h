@@ -1,0 +1,52 @@
+// Shared result types for the MinPower-BoundedCost dynamic programs.
+//
+// Both the exact and the symmetric-cost DP answer every cost bound in one
+// pass: the root scan yields the full Pareto frontier of attainable
+// (cost, power) pairs, each with a reconstructed placement.  A bounded-cost
+// query is then a binary search; MinPower is the frontier's last point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cost.h"
+#include "model/placement.h"
+
+namespace treeplace {
+
+struct PowerParetoPoint {
+  double cost = 0.0;
+  double power = 0.0;
+  Placement placement;
+  CostBreakdown breakdown;
+};
+
+struct PowerSolveStats {
+  std::uint64_t merge_pairs = 0;   ///< (left entry, child entry) pairs visited
+  std::uint64_t table_cells = 0;   ///< total DP cells allocated
+  double solve_seconds = 0.0;
+};
+
+struct PowerDPResult {
+  bool feasible = false;
+  /// Ascending cost, strictly descending power.
+  std::vector<PowerParetoPoint> frontier;
+  PowerSolveStats stats;
+
+  /// Minimum-power point whose cost is within `bound` (inclusive, with a
+  /// 1e-9 tolerance); nullptr when no solution fits the budget.
+  const PowerParetoPoint* best_within_cost(double bound) const {
+    const PowerParetoPoint* best = nullptr;
+    for (const PowerParetoPoint& p : frontier) {
+      if (p.cost <= bound + 1e-9) best = &p;  // power decreases along the list
+    }
+    return best;
+  }
+
+  /// Unconstrained minimum power (MinPower); nullptr when infeasible.
+  const PowerParetoPoint* min_power() const {
+    return frontier.empty() ? nullptr : &frontier.back();
+  }
+};
+
+}  // namespace treeplace

@@ -1,0 +1,282 @@
+#include "core/power_dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dp_util.h"
+#include "support/timer.h"
+
+namespace treeplace {
+
+namespace {
+
+using dp::Box;
+using dp::CompactEntry;
+using dp::Decision;
+using dp::kInvalidFlow;
+
+struct NodeState {
+  Box box;  ///< state box after the merges performed so far (final once done)
+  std::vector<RequestCount> flow;
+  std::vector<std::vector<Decision>> decisions;  ///< one per merged child
+  std::vector<int> incl_bounds;  ///< box bounds including this node itself
+};
+
+struct Candidate {
+  double cost = 0.0;
+  double power = 0.0;
+  std::uint32_t flat = 0;
+  std::int8_t root_mode = -1;  ///< -1: no server at root
+  int servers = 0;
+};
+
+class ExactPowerSolver {
+ public:
+  ExactPowerSolver(const Tree& tree, const ModeSet& modes,
+                   const CostModel& costs)
+      : tree_(tree),
+        modes_(modes),
+        costs_(costs),
+        m_(modes.count()),
+        dims_(static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_)),
+        states_(tree.num_internal()) {
+    pre_total_per_mode_.assign(static_cast<std::size_t>(m_), 0);
+    for (NodeId e : tree_.pre_existing_nodes()) {
+      const int o = tree_.original_mode(e);
+      TREEPLACE_CHECK_MSG(o >= 0 && o < m_,
+                          "pre-existing node " << e
+                                               << " has original mode " << o
+                                               << " outside the ModeSet");
+      ++pre_total_per_mode_[static_cast<std::size_t>(o)];
+    }
+  }
+
+  PowerDPResult solve() {
+    Stopwatch watch;
+    PowerDPResult result;
+    for (NodeId j : tree_.internal_post_order()) {
+      if (!process_node(j)) {
+        result.stats.solve_seconds = watch.seconds();
+        return result;  // some client mass exceeds W_M: infeasible
+      }
+    }
+    std::vector<Candidate> candidates = scan_root();
+    build_frontier(std::move(candidates), result);
+    result.stats.merge_pairs = merge_pairs_;
+    result.stats.table_cells = table_cells_;
+    result.stats.solve_seconds = watch.seconds();
+    return result;
+  }
+
+ private:
+  std::size_t dim_new(int w) const { return static_cast<std::size_t>(w); }
+  std::size_t dim_reused(int o, int w) const {
+    return static_cast<std::size_t>(m_) +
+           static_cast<std::size_t>(o) * static_cast<std::size_t>(m_) +
+           static_cast<std::size_t>(w);
+  }
+  /// Dimension that a replica on `node` at mode `w` increments.
+  std::size_t dim_of(NodeId node, int w) const {
+    return tree_.pre_existing(node)
+               ? dim_reused(tree_.original_mode(node), w)
+               : dim_new(w);
+  }
+
+  bool process_node(NodeId j) {
+    NodeState& s = states_[tree_.internal_index(j)];
+    const RequestCount base = tree_.client_mass(j);
+    if (base > modes_.max_capacity()) return false;
+
+    s.box = Box(std::vector<int>(dims_, 0));
+    s.flow.assign(1, base);
+    table_cells_ += 1;
+
+    for (NodeId c : tree_.internal_children(j)) merge_child(s, c);
+
+    // Bounds seen by the parent: ours plus this node's own placement
+    // possibilities (one unit in any of its admissible dimensions).
+    s.incl_bounds = s.box.bounds();
+    for (int w = 0; w < m_; ++w) s.incl_bounds[dim_of(j, w)] += 1;
+    return true;
+  }
+
+  void merge_child(NodeState& s, NodeId c) {
+    NodeState& cs = states_[tree_.internal_index(c)];
+    std::vector<int> new_bounds(dims_);
+    for (std::size_t d = 0; d < dims_; ++d) {
+      new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
+    }
+    Box new_box(std::move(new_bounds));
+    std::vector<RequestCount> merged(new_box.size(), kInvalidFlow);
+    std::vector<Decision> dec(new_box.size());
+    table_cells_ += new_box.size();
+
+    const auto left = dp::compact_valid_entries(s.box, s.flow, new_box);
+    const auto right = dp::compact_valid_entries(cs.box, cs.flow, new_box);
+    const RequestCount w_max = modes_.max_capacity();
+
+    for (const CompactEntry& le : left) {
+      for (const CompactEntry& re : right) {
+        ++merge_pairs_;
+        // Option A: no replica on c; flows join.
+        const RequestCount sum = le.flow + re.flow;
+        if (sum <= w_max) {
+          const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
+          if (sum < merged[t]) {
+            merged[t] = sum;
+            dec[t] = Decision{le.flat, re.flat, -1};
+          }
+        }
+        // Option B: replica on c at any mode covering the child's flow.
+        for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
+          const std::size_t t = static_cast<std::size_t>(
+              le.dot + re.dot + new_box.stride(dim_of(c, w)));
+          if (le.flow < merged[t]) {
+            merged[t] = le.flow;
+            dec[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+          }
+        }
+      }
+    }
+
+    s.box = std::move(new_box);
+    s.flow = std::move(merged);
+    s.decisions.push_back(std::move(dec));
+    cs.flow.clear();
+    cs.flow.shrink_to_fit();  // child's table is no longer needed
+  }
+
+  /// Enumerates root-table states x root options into (cost, power)
+  /// candidates.
+  std::vector<Candidate> scan_root() const {
+    const NodeId root = tree_.root();
+    const NodeState& s = states_[tree_.internal_index(root)];
+    std::vector<Candidate> candidates;
+    std::vector<int> digits(dims_, 0);
+    std::vector<int> counts(dims_);
+    for (std::size_t flat = 0; flat < s.box.size(); ++flat) {
+      const RequestCount f = s.flow[flat];
+      if (f != kInvalidFlow) {
+        if (f == 0) {
+          counts.assign(digits.begin(), digits.end());
+          candidates.push_back(make_candidate(counts, flat, -1));
+        }
+        for (int w = modes_.mode_for_load(f); w < m_; ++w) {
+          counts.assign(digits.begin(), digits.end());
+          counts[dim_of(root, w)] += 1;
+          candidates.push_back(
+              make_candidate(counts, flat, static_cast<std::int8_t>(w)));
+        }
+      }
+      for (std::size_t d = dims_; d-- > 0;) {
+        if (++digits[d] <= s.box.bounds()[d]) break;
+        digits[d] = 0;
+      }
+    }
+    return candidates;
+  }
+
+  Candidate make_candidate(const std::vector<int>& counts, std::size_t flat,
+                           std::int8_t root_mode) const {
+    int servers = 0;
+    double cost = 0.0;
+    double power = 0.0;
+    for (int w = 0; w < m_; ++w) {
+      const int n_w = counts[dim_new(w)];
+      servers += n_w;
+      cost += static_cast<double>(n_w) * costs_.create(w);
+      power += static_cast<double>(n_w) * modes_.power(w);
+    }
+    std::vector<int> reused_per_mode(static_cast<std::size_t>(m_), 0);
+    for (int o = 0; o < m_; ++o) {
+      for (int w = 0; w < m_; ++w) {
+        const int e_ow = counts[dim_reused(o, w)];
+        servers += e_ow;
+        reused_per_mode[static_cast<std::size_t>(o)] += e_ow;
+        cost += static_cast<double>(e_ow) * costs_.changed(o, w);
+        power += static_cast<double>(e_ow) * modes_.power(w);
+      }
+    }
+    cost += static_cast<double>(servers);  // operating cost of 1 per server
+    for (int o = 0; o < m_; ++o) {
+      const int deleted = pre_total_per_mode_[static_cast<std::size_t>(o)] -
+                          reused_per_mode[static_cast<std::size_t>(o)];
+      TREEPLACE_DCHECK(deleted >= 0);
+      cost += static_cast<double>(deleted) * costs_.del(o);
+    }
+    return Candidate{cost, power, static_cast<std::uint32_t>(flat), root_mode,
+                     servers};
+  }
+
+  void build_frontier(std::vector<Candidate> candidates,
+                      PowerDPResult& result) const {
+    if (candidates.empty()) return;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.power != b.power) return a.power < b.power;
+                if (a.servers != b.servers) return a.servers < b.servers;
+                if (a.flat != b.flat) return a.flat < b.flat;
+                return a.root_mode < b.root_mode;
+              });
+    constexpr double kEps = 1e-9;
+    std::vector<Candidate> swept;
+    for (const Candidate& c : candidates) {
+      if (swept.empty() || c.power < swept.back().power - kEps) {
+        if (!swept.empty() && std::fabs(c.cost - swept.back().cost) <= kEps) {
+          swept.back() = c;
+        } else {
+          swept.push_back(c);
+        }
+      }
+    }
+    result.feasible = true;
+    result.frontier.reserve(swept.size());
+    for (const Candidate& c : swept) {
+      PowerParetoPoint point;
+      if (c.root_mode >= 0) point.placement.add(tree_.root(), c.root_mode);
+      reconstruct(tree_.root(), c.flat, point.placement);
+      point.breakdown = evaluate_cost(tree_, point.placement, costs_);
+      point.cost = point.breakdown.cost;
+      point.power = total_power(point.placement, modes_);
+      TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
+      TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      result.frontier.push_back(std::move(point));
+    }
+  }
+
+  void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    const NodeState& s = states_[tree_.internal_index(j)];
+    const auto children = tree_.internal_children(j);
+    for (std::size_t k = children.size(); k-- > 0;) {
+      const Decision d = s.decisions[k][flat];
+      if (d.mode >= 0) placement.add(children[k], d.mode);
+      reconstruct(children[k], d.right, placement);
+      flat = d.left;
+    }
+    TREEPLACE_DCHECK(flat == 0);
+  }
+
+  const Tree& tree_;
+  const ModeSet& modes_;
+  const CostModel& costs_;
+  const int m_;
+  const std::size_t dims_;
+  std::vector<NodeState> states_;
+  std::vector<int> pre_total_per_mode_;
+  std::uint64_t merge_pairs_ = 0;
+  std::uint64_t table_cells_ = 0;
+};
+
+}  // namespace
+
+PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
+                                const CostModel& costs) {
+  TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
+                      "cost model and mode set disagree on M");
+  ExactPowerSolver solver(tree, modes, costs);
+  return solver.solve();
+}
+
+}  // namespace treeplace

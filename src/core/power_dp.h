@@ -1,0 +1,37 @@
+// Exact DP for MinPower-BoundedCost (paper Section 4.3, Theorem 3).
+//
+// State per subtree: the exact count vector
+//   (n_1..n_M, e_{1,1}..e_{M,M})
+// of new servers per mode and reused pre-existing servers per
+// (original mode, new mode) pair, with the minimal flow leaving the subtree
+// per state (the generalization of Lemma 1: cost and power depend only on
+// the counts, and a smaller residual flow never hurts upward feasibility).
+//
+// The table dimensionality is M + M², exponential in the number of modes —
+// the paper's O(N^{2M²+2M+1}) bound — but every dimension is bounded by the
+// actual node counts of the partial subtree, which keeps moderate instances
+// (M = 2, N ≤ 50) tractable; this is what the paper means by "practical
+// usefulness limited to small values of M".  The NoPre variant is the same
+// algorithm with all e-dimensions collapsed to zero, recovering the
+// O(N^{2M+1}) bound.
+//
+// For the mode-independent cost structure used in all of the paper's
+// experiments, prefer solve_power_symmetric() (core/power_dp_symmetric.h),
+// which is orders of magnitude faster and validated to produce an identical
+// frontier.
+#pragma once
+
+#include "core/power_common.h"
+#include "model/cost.h"
+#include "model/modes.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Solves MinPower-BoundedCost-{No,With}Pre exactly on `tree` (whose
+/// pre-existing flags and original modes define E).  `costs` may be fully
+/// general (Eq. 4).  Returns the complete cost-power Pareto frontier.
+PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
+                                const CostModel& costs);
+
+}  // namespace treeplace

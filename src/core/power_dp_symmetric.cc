@@ -1,0 +1,276 @@
+#include "core/power_dp_symmetric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dp_util.h"
+#include "core/power_dp.h"
+#include "support/timer.h"
+
+namespace treeplace {
+
+namespace {
+
+using dp::Box;
+using dp::CompactEntry;
+using dp::Decision;
+using dp::kInvalidFlow;
+
+struct NodeState {
+  Box box;
+  std::vector<RequestCount> flow;
+  std::vector<std::vector<Decision>> decisions;
+  std::vector<int> incl_bounds;
+};
+
+struct Candidate {
+  double cost = 0.0;
+  double power = 0.0;
+  std::uint32_t flat = 0;
+  std::int8_t root_mode = -1;
+  int servers = 0;
+};
+
+class SymmetricPowerSolver {
+ public:
+  SymmetricPowerSolver(const Tree& tree, const ModeSet& modes,
+                       const CostModel& costs)
+      : tree_(tree),
+        modes_(modes),
+        m_(modes.count()),
+        dims_(static_cast<std::size_t>(m_) + 2),
+        create_(costs.symmetric_create()),
+        delete_(costs.symmetric_delete()),
+        changed_same_(costs.symmetric_changed_same()),
+        changed_diff_(costs.symmetric_changed_diff()),
+        costs_(costs),
+        states_(tree.num_internal()) {}
+
+  PowerDPResult solve() {
+    Stopwatch watch;
+    PowerDPResult result;
+    for (NodeId j : tree_.internal_post_order()) {
+      if (!process_node(j)) {
+        result.stats.solve_seconds = watch.seconds();
+        return result;
+      }
+    }
+    build_frontier(scan_root(), result);
+    result.stats.merge_pairs = merge_pairs_;
+    result.stats.table_cells = table_cells_;
+    result.stats.solve_seconds = watch.seconds();
+    return result;
+  }
+
+ private:
+  std::size_t dim_mode(int w) const { return static_cast<std::size_t>(w); }
+  std::size_t dim_same() const { return static_cast<std::size_t>(m_); }
+  std::size_t dim_changed() const { return static_cast<std::size_t>(m_) + 1; }
+
+  bool process_node(NodeId j) {
+    NodeState& s = states_[tree_.internal_index(j)];
+    const RequestCount base = tree_.client_mass(j);
+    if (base > modes_.max_capacity()) return false;
+
+    s.box = Box(std::vector<int>(dims_, 0));
+    s.flow.assign(1, base);
+    table_cells_ += 1;
+
+    for (NodeId c : tree_.internal_children(j)) merge_child(s, c);
+
+    s.incl_bounds = s.box.bounds();
+    for (int w = 0; w < m_; ++w) s.incl_bounds[dim_mode(w)] += 1;
+    if (tree_.pre_existing(j)) {
+      s.incl_bounds[dim_same()] += 1;
+      s.incl_bounds[dim_changed()] += 1;
+    }
+    return true;
+  }
+
+  void merge_child(NodeState& s, NodeId c) {
+    NodeState& cs = states_[tree_.internal_index(c)];
+    std::vector<int> new_bounds(dims_);
+    for (std::size_t d = 0; d < dims_; ++d) {
+      new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
+    }
+    Box new_box(std::move(new_bounds));
+    std::vector<RequestCount> merged(new_box.size(), kInvalidFlow);
+    std::vector<Decision> dec(new_box.size());
+    table_cells_ += new_box.size();
+
+    const auto left = dp::compact_valid_entries(s.box, s.flow, new_box);
+    const auto right = dp::compact_valid_entries(cs.box, cs.flow, new_box);
+    const RequestCount w_max = modes_.max_capacity();
+    const bool child_pre = tree_.pre_existing(c);
+    const int child_orig = child_pre ? tree_.original_mode(c) : -1;
+
+    for (const CompactEntry& le : left) {
+      for (const CompactEntry& re : right) {
+        ++merge_pairs_;
+        const RequestCount sum = le.flow + re.flow;
+        if (sum <= w_max) {
+          const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
+          if (sum < merged[t]) {
+            merged[t] = sum;
+            dec[t] = Decision{le.flat, re.flat, -1};
+          }
+        }
+        for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
+          std::size_t t = static_cast<std::size_t>(le.dot + re.dot +
+                                                   new_box.stride(dim_mode(w)));
+          if (child_pre) {
+            t += new_box.stride(w == child_orig ? dim_same() : dim_changed());
+          }
+          if (le.flow < merged[t]) {
+            merged[t] = le.flow;
+            dec[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+          }
+        }
+      }
+    }
+
+    s.box = std::move(new_box);
+    s.flow = std::move(merged);
+    s.decisions.push_back(std::move(dec));
+    cs.flow.clear();
+    cs.flow.shrink_to_fit();
+  }
+
+  std::vector<Candidate> scan_root() const {
+    const NodeId root = tree_.root();
+    const NodeState& s = states_[tree_.internal_index(root)];
+    const bool root_pre = tree_.pre_existing(root);
+    const int root_orig = root_pre ? tree_.original_mode(root) : -1;
+    std::vector<Candidate> candidates;
+    std::vector<int> digits(dims_, 0);
+    std::vector<int> counts(dims_);
+    for (std::size_t flat = 0; flat < s.box.size(); ++flat) {
+      const RequestCount f = s.flow[flat];
+      if (f != kInvalidFlow) {
+        if (f == 0) {
+          counts.assign(digits.begin(), digits.end());
+          candidates.push_back(make_candidate(counts, flat, -1));
+        }
+        for (int w = modes_.mode_for_load(f); w < m_; ++w) {
+          counts.assign(digits.begin(), digits.end());
+          counts[dim_mode(w)] += 1;
+          if (root_pre) {
+            counts[w == root_orig ? dim_same() : dim_changed()] += 1;
+          }
+          candidates.push_back(
+              make_candidate(counts, flat, static_cast<std::int8_t>(w)));
+        }
+      }
+      for (std::size_t d = dims_; d-- > 0;) {
+        if (++digits[d] <= s.box.bounds()[d]) break;
+        digits[d] = 0;
+      }
+    }
+    return candidates;
+  }
+
+  Candidate make_candidate(const std::vector<int>& counts, std::size_t flat,
+                           std::int8_t root_mode) const {
+    int servers = 0;
+    double power = 0.0;
+    for (int w = 0; w < m_; ++w) {
+      servers += counts[dim_mode(w)];
+      power += static_cast<double>(counts[dim_mode(w)]) * modes_.power(w);
+    }
+    const int e_same = counts[dim_same()];
+    const int e_changed = counts[dim_changed()];
+    const int reused = e_same + e_changed;
+    const int created = servers - reused;
+    TREEPLACE_DCHECK(created >= 0);
+    const int e_total = static_cast<int>(tree_.num_pre_existing());
+    const double cost = static_cast<double>(servers) +
+                        static_cast<double>(created) * create_ +
+                        static_cast<double>(e_same) * changed_same_ +
+                        static_cast<double>(e_changed) * changed_diff_ +
+                        static_cast<double>(e_total - reused) * delete_;
+    return Candidate{cost, power, static_cast<std::uint32_t>(flat), root_mode,
+                     servers};
+  }
+
+  void build_frontier(std::vector<Candidate> candidates,
+                      PowerDPResult& result) const {
+    if (candidates.empty()) return;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.power != b.power) return a.power < b.power;
+                if (a.servers != b.servers) return a.servers < b.servers;
+                if (a.flat != b.flat) return a.flat < b.flat;
+                return a.root_mode < b.root_mode;
+              });
+    constexpr double kEps = 1e-9;
+    std::vector<Candidate> swept;
+    for (const Candidate& c : candidates) {
+      if (swept.empty() || c.power < swept.back().power - kEps) {
+        if (!swept.empty() && std::fabs(c.cost - swept.back().cost) <= kEps) {
+          swept.back() = c;
+        } else {
+          swept.push_back(c);
+        }
+      }
+    }
+    result.feasible = true;
+    result.frontier.reserve(swept.size());
+    for (const Candidate& c : swept) {
+      PowerParetoPoint point;
+      if (c.root_mode >= 0) point.placement.add(tree_.root(), c.root_mode);
+      reconstruct(tree_.root(), c.flat, point.placement);
+      point.breakdown = evaluate_cost(tree_, point.placement, costs_);
+      point.cost = point.breakdown.cost;
+      point.power = total_power(point.placement, modes_);
+      TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
+      TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      result.frontier.push_back(std::move(point));
+    }
+  }
+
+  void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    const NodeState& s = states_[tree_.internal_index(j)];
+    const auto children = tree_.internal_children(j);
+    for (std::size_t k = children.size(); k-- > 0;) {
+      const Decision d = s.decisions[k][flat];
+      if (d.mode >= 0) placement.add(children[k], d.mode);
+      reconstruct(children[k], d.right, placement);
+      flat = d.left;
+    }
+    TREEPLACE_DCHECK(flat == 0);
+  }
+
+  const Tree& tree_;
+  const ModeSet& modes_;
+  const int m_;
+  const std::size_t dims_;
+  const double create_;
+  const double delete_;
+  const double changed_same_;
+  const double changed_diff_;
+  const CostModel& costs_;
+  std::vector<NodeState> states_;
+  std::uint64_t merge_pairs_ = 0;
+  std::uint64_t table_cells_ = 0;
+};
+
+}  // namespace
+
+PowerDPResult solve_power_symmetric(const Tree& tree, const ModeSet& modes,
+                                    const CostModel& costs) {
+  TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
+                      "cost model and mode set disagree on M");
+  TREEPLACE_CHECK_MSG(costs.is_symmetric(),
+                      "solve_power_symmetric requires a symmetric cost model");
+  SymmetricPowerSolver solver(tree, modes, costs);
+  return solver.solve();
+}
+
+PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
+                               const CostModel& costs) {
+  if (costs.is_symmetric()) return solve_power_symmetric(tree, modes, costs);
+  return solve_power_exact(tree, modes, costs);
+}
+
+}  // namespace treeplace

@@ -1,0 +1,35 @@
+// Reduced-state DP for MinPower-BoundedCost under symmetric costs.
+//
+// When create_i and delete_i do not depend on the mode and changed_{o,i}
+// depends only on whether o == i — the structure of every experiment in the
+// paper's Section 5.2 — the exact DP's (n_1..n_M, e_{1,1}..e_{M,M}) state
+// collapses to
+//   (m_1..m_M, e_same, e_changed)
+// where m_w counts all servers configured at mode w, e_same the reused
+// servers that kept their original mode and e_changed those that moved.
+// Cost and power are functions of this reduced vector, so keeping the
+// minimal residual flow per reduced state preserves optimality (same
+// exchange argument as Lemma 1).  The state space shrinks from
+// O(N^M · E^{M²}) to O(N^M · E²), which is what makes the paper-scale
+// Figure 8-11 sweeps affordable.  Equality of the produced frontier with
+// solve_power_exact() is enforced by randomized property tests and by
+// bench/ablation_symmetric.
+#pragma once
+
+#include "core/power_common.h"
+#include "model/cost.h"
+#include "model/modes.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Requires costs.is_symmetric(); use solve_power_exact() otherwise.
+PowerDPResult solve_power_symmetric(const Tree& tree, const ModeSet& modes,
+                                    const CostModel& costs);
+
+/// Dispatches to the symmetric DP when the cost model allows it, else to
+/// the exact DP.
+PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
+                               const CostModel& costs);
+
+}  // namespace treeplace

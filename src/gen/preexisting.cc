@@ -1,0 +1,30 @@
+#include "gen/preexisting.h"
+
+#include <algorithm>
+
+namespace treeplace {
+
+void assign_random_pre_existing(Tree& tree, std::size_t count, Xoshiro256& rng,
+                                int num_modes) {
+  TREEPLACE_CHECK(num_modes >= 1);
+  tree.clear_all_pre_existing();
+  std::vector<NodeId> candidates = tree.internal_ids();
+  count = std::min(count, candidates.size());
+  // Partial Fisher-Yates: the first `count` entries become the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform(i, candidates.size() - 1));
+    std::swap(candidates[i], candidates[j]);
+    const int mode = num_modes == 1 ? 0 : rng.uniform_int(0, num_modes - 1);
+    tree.set_pre_existing(candidates[i], mode);
+  }
+}
+
+void set_pre_existing_from_placement(Tree& tree, const Placement& placement) {
+  tree.clear_all_pre_existing();
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    tree.set_pre_existing(placement.nodes()[i], placement.modes()[i]);
+  }
+}
+
+}  // namespace treeplace

@@ -1,0 +1,22 @@
+// Seeding the pre-existing server set E for experiments.
+#pragma once
+
+#include "model/placement.h"
+#include "support/prng.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Clears E and marks `count` distinct random internal nodes as pre-existing
+/// servers.  Original modes are drawn uniformly from [0, num_modes) — the
+/// paper does not specify them (see DESIGN.md).  `count` is clamped to the
+/// number of internal nodes.
+void assign_random_pre_existing(Tree& tree, std::size_t count,
+                                Xoshiro256& rng, int num_modes = 1);
+
+/// Clears E and installs `placement`'s servers as the pre-existing set with
+/// their configured modes — the chaining step of the dynamic experiment
+/// (each update starts from the servers placed at the previous step).
+void set_pre_existing_from_placement(Tree& tree, const Placement& placement);
+
+}  // namespace treeplace

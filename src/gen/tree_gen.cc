@@ -1,0 +1,60 @@
+#include "gen/tree_gen.h"
+
+#include <deque>
+
+namespace treeplace {
+
+Tree generate_tree(const TreeGenConfig& config, Xoshiro256& shape_rng,
+                   Xoshiro256& client_rng, Xoshiro256& request_rng) {
+  TREEPLACE_CHECK(config.num_internal >= 1);
+  TREEPLACE_CHECK(config.shape.min_children >= 1);
+  TREEPLACE_CHECK(config.shape.min_children <= config.shape.max_children);
+  TREEPLACE_CHECK(config.client_probability >= 0.0 &&
+                  config.client_probability <= 1.0);
+  TREEPLACE_CHECK(config.min_requests <= config.max_requests);
+
+  TreeBuilder builder;
+  const NodeId root = builder.add_root();
+  int remaining = config.num_internal - 1;
+
+  // Breadth-first expansion: pop a node, give it U[min,max] internal
+  // children (clamped by the remaining budget), enqueue them.  This yields
+  // the paper's fan-out everywhere except at the frontier where the node
+  // budget runs out.
+  std::deque<NodeId> frontier{root};
+  std::vector<NodeId> internal_nodes{root};
+  while (remaining > 0) {
+    TREEPLACE_DCHECK(!frontier.empty());
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const int want = shape_rng.uniform_int(config.shape.min_children,
+                                           config.shape.max_children);
+    const int k = std::min(want, remaining);
+    for (int i = 0; i < k; ++i) {
+      const NodeId child = builder.add_internal(node);
+      frontier.push_back(child);
+      internal_nodes.push_back(child);
+    }
+    remaining -= k;
+  }
+
+  // Client attachment: each internal node carries one client w.p. p.
+  for (NodeId node : internal_nodes) {
+    if (client_rng.bernoulli(config.client_probability)) {
+      const auto r = static_cast<RequestCount>(request_rng.uniform(
+          config.min_requests, config.max_requests));
+      builder.add_client(node, r);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Tree generate_tree(const TreeGenConfig& config, std::uint64_t seed,
+                   std::uint64_t tree_index) {
+  Xoshiro256 shape_rng = make_rng(seed, tree_index, RngStream::kTreeShape);
+  Xoshiro256 client_rng = make_rng(seed, tree_index, RngStream::kClients);
+  Xoshiro256 request_rng = make_rng(seed, tree_index, RngStream::kRequests);
+  return generate_tree(config, shape_rng, client_rng, request_rng);
+}
+
+}  // namespace treeplace

@@ -1,0 +1,45 @@
+// Random distribution trees following the paper's Section 5 setup.
+//
+// Two shapes are used in the experiments:
+//   * "fat"  trees: each internal node has between 6 and 9 internal
+//     children (Experiments 1-3 main runs),
+//   * "high" trees: between 2 and 4 internal children (the "high trees"
+//     variants, Figures 6, 7, 10).
+// Clients are distributed randomly: each internal node carries a client
+// with probability `client_probability`, issuing U[min_requests,
+// max_requests] requests.
+#pragma once
+
+#include "support/prng.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct TreeShape {
+  int min_children = 2;
+  int max_children = 4;
+};
+
+/// Paper shape presets.
+inline constexpr TreeShape kFatShape{6, 9};
+inline constexpr TreeShape kHighShape{2, 4};
+
+struct TreeGenConfig {
+  int num_internal = 100;             ///< |N|, internal nodes
+  TreeShape shape = kFatShape;
+  double client_probability = 0.5;    ///< per internal node
+  RequestCount min_requests = 1;
+  RequestCount max_requests = 6;
+};
+
+/// Generates one random tree.  Shape, client attachment and request volumes
+/// draw from independent streams so that, e.g., changing the request range
+/// does not reshuffle topologies.
+Tree generate_tree(const TreeGenConfig& config, Xoshiro256& shape_rng,
+                   Xoshiro256& client_rng, Xoshiro256& request_rng);
+
+/// Convenience overload deriving the three streams from (seed, tree_index).
+Tree generate_tree(const TreeGenConfig& config, std::uint64_t seed,
+                   std::uint64_t tree_index);
+
+}  // namespace treeplace

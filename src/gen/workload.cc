@@ -1,0 +1,29 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+namespace treeplace {
+
+void redraw_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                     Xoshiro256& rng) {
+  TREEPLACE_CHECK(lo <= hi);
+  for (NodeId client : tree.client_ids()) {
+    tree.set_requests(client, static_cast<RequestCount>(rng.uniform(lo, hi)));
+  }
+}
+
+void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                      RequestCount max_delta, Xoshiro256& rng) {
+  TREEPLACE_CHECK(lo <= hi);
+  for (NodeId client : tree.client_ids()) {
+    const auto delta = static_cast<std::int64_t>(rng.uniform(0, 2 * max_delta)) -
+                       static_cast<std::int64_t>(max_delta);
+    const auto current = static_cast<std::int64_t>(tree.requests(client));
+    const std::int64_t next =
+        std::clamp(current + delta, static_cast<std::int64_t>(lo),
+                   static_cast<std::int64_t>(hi));
+    tree.set_requests(client, static_cast<RequestCount>(next));
+  }
+}
+
+}  // namespace treeplace

@@ -1,0 +1,23 @@
+// Workload dynamics for the 20-step update experiment (paper Experiment 2).
+//
+// The paper states only that "we update the number of requests per client"
+// between steps; we re-draw each client's volume from the same uniform
+// distribution as the initial one (documented substitution, DESIGN.md).
+#pragma once
+
+#include "support/prng.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Re-draws every client's request count uniformly in [lo, hi].
+void redraw_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                     Xoshiro256& rng);
+
+/// Perturbs each client's request count by +/- `max_delta`, clamped to
+/// [lo, hi] — a smoother dynamic used by the dynamic_day example to model
+/// gradual daily drift rather than full re-draws.
+void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                      RequestCount max_delta, Xoshiro256& rng);
+
+}  // namespace treeplace

@@ -1,0 +1,87 @@
+#include "model/cost.h"
+
+#include <cmath>
+
+namespace treeplace {
+
+namespace {
+constexpr double kEps = 1e-12;
+bool close(double a, double b) { return std::fabs(a - b) <= kEps; }
+}  // namespace
+
+CostModel::CostModel(std::vector<double> create, std::vector<double> del,
+                     std::vector<std::vector<double>> changed)
+    : create_(std::move(create)),
+      delete_(std::move(del)),
+      changed_(std::move(changed)) {
+  TREEPLACE_CHECK_MSG(!create_.empty(), "CostModel needs at least one mode");
+  TREEPLACE_CHECK(delete_.size() == create_.size());
+  TREEPLACE_CHECK(changed_.size() == create_.size());
+  for (const auto& row : changed_) {
+    TREEPLACE_CHECK(row.size() == create_.size());
+  }
+  for (double c : create_) TREEPLACE_CHECK_MSG(c >= 0, "negative create cost");
+  for (double d : delete_) TREEPLACE_CHECK_MSG(d >= 0, "negative delete cost");
+  for (const auto& row : changed_) {
+    for (double x : row) TREEPLACE_CHECK_MSG(x >= 0, "negative changed cost");
+  }
+}
+
+CostModel CostModel::uniform(int num_modes, double create, double del,
+                             double changed_diff, double changed_same) {
+  TREEPLACE_CHECK(num_modes >= 1);
+  const auto m = static_cast<std::size_t>(num_modes);
+  std::vector<std::vector<double>> changed(m, std::vector<double>(m));
+  for (std::size_t o = 0; o < m; ++o) {
+    for (std::size_t i = 0; i < m; ++i) {
+      changed[o][i] = (o == i) ? changed_same : changed_diff;
+    }
+  }
+  return CostModel(std::vector<double>(m, create), std::vector<double>(m, del),
+                   std::move(changed));
+}
+
+CostModel CostModel::simple(double create, double del) {
+  return uniform(1, create, del, /*changed_diff=*/0.0);
+}
+
+bool CostModel::is_symmetric() const {
+  for (double c : create_) {
+    if (!close(c, create_[0])) return false;
+  }
+  for (double d : delete_) {
+    if (!close(d, delete_[0])) return false;
+  }
+  const double same = changed_[0][0];
+  const double diff =
+      num_modes() > 1 ? changed_[0][1] : changed_[0][0];
+  for (std::size_t o = 0; o < changed_.size(); ++o) {
+    for (std::size_t i = 0; i < changed_.size(); ++i) {
+      const double expected = (o == i) ? same : diff;
+      if (!close(changed_[o][i], expected)) return false;
+    }
+  }
+  return true;
+}
+
+double CostModel::symmetric_create() const {
+  TREEPLACE_CHECK(is_symmetric());
+  return create_[0];
+}
+
+double CostModel::symmetric_delete() const {
+  TREEPLACE_CHECK(is_symmetric());
+  return delete_[0];
+}
+
+double CostModel::symmetric_changed_same() const {
+  TREEPLACE_CHECK(is_symmetric());
+  return changed_[0][0];
+}
+
+double CostModel::symmetric_changed_diff() const {
+  TREEPLACE_CHECK(is_symmetric());
+  return num_modes() > 1 ? changed_[0][1] : changed_[0][0];
+}
+
+}  // namespace treeplace

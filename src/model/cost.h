@@ -1,0 +1,87 @@
+// Reconfiguration cost models: paper Eq. 2 (single mode) and Eq. 4 (modes).
+//
+// A solution is priced per server: every operated server costs 1; a *new*
+// server additionally costs create_i (its mode); a *reused* pre-existing
+// server additionally costs changed_{o,i} (original mode o -> new mode i);
+// every pre-existing server that is not reused costs delete_o.
+#pragma once
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+class CostModel {
+ public:
+  /// Fully general Eq. 4 parameters.  `create` and `del` are indexed by
+  /// mode; `changed[o][i]` prices switching a pre-existing server from mode
+  /// o to mode i (changed[o][o] is typically 0).
+  CostModel(std::vector<double> create, std::vector<double> del,
+            std::vector<std::vector<double>> changed);
+
+  /// Mode-independent parameters (the form used in all paper experiments):
+  /// create_i = create, delete_i = del, changed_{o,i} = (o == i ?
+  /// changed_same : changed_diff).
+  static CostModel uniform(int num_modes, double create, double del,
+                           double changed_diff, double changed_same = 0.0);
+
+  /// Single-mode Eq. 2 model.
+  static CostModel simple(double create, double del);
+
+  int num_modes() const { return static_cast<int>(create_.size()); }
+
+  double create(int mode) const {
+    TREEPLACE_DCHECK(mode >= 0 && mode < num_modes());
+    return create_[static_cast<std::size_t>(mode)];
+  }
+  double del(int mode) const {
+    TREEPLACE_DCHECK(mode >= 0 && mode < num_modes());
+    return delete_[static_cast<std::size_t>(mode)];
+  }
+  double changed(int from_mode, int to_mode) const {
+    TREEPLACE_DCHECK(from_mode >= 0 && from_mode < num_modes());
+    TREEPLACE_DCHECK(to_mode >= 0 && to_mode < num_modes());
+    return changed_[static_cast<std::size_t>(from_mode)]
+                   [static_cast<std::size_t>(to_mode)];
+  }
+
+  /// Cost of one new server at `mode`, including the operating cost of 1.
+  double new_server_cost(int mode) const { return 1.0 + create(mode); }
+  /// Cost of one reused server moved from `from_mode` to `to_mode`,
+  /// including the operating cost of 1.
+  double reused_server_cost(int from_mode, int to_mode) const {
+    return 1.0 + changed(from_mode, to_mode);
+  }
+  /// Cost of deleting one pre-existing server at `mode`.
+  double delete_server_cost(int mode) const { return del(mode); }
+
+  /// True iff the model has the symmetric structure required by the
+  /// reduced-state power DP: create and delete independent of the mode, and
+  /// changed_{o,i} a function of (o == i) only.
+  bool is_symmetric() const;
+
+  /// For symmetric models only: the collapsed parameters.
+  double symmetric_create() const;
+  double symmetric_delete() const;
+  double symmetric_changed_same() const;
+  double symmetric_changed_diff() const;
+
+ private:
+  std::vector<double> create_;
+  std::vector<double> delete_;
+  std::vector<std::vector<double>> changed_;
+};
+
+/// Cost accounting of a concrete solution, as reported by solvers and by the
+/// independent evaluator in model/placement.h.
+struct CostBreakdown {
+  int servers = 0;        ///< R: total number of operated servers
+  int reused = 0;         ///< e: pre-existing servers kept
+  int created = 0;        ///< R - e: new servers
+  int deleted = 0;        ///< E - e: pre-existing servers removed
+  int mode_changes = 0;   ///< reused servers whose mode changed
+  double cost = 0.0;      ///< Eq. 2 / Eq. 4 value
+};
+
+}  // namespace treeplace

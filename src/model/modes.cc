@@ -1,0 +1,28 @@
+#include "model/modes.h"
+
+namespace treeplace {
+
+ModeSet::ModeSet(std::vector<RequestCount> capacities, double static_power,
+                 double alpha)
+    : capacities_(std::move(capacities)),
+      static_power_(static_power),
+      alpha_(alpha) {
+  TREEPLACE_CHECK_MSG(!capacities_.empty(), "ModeSet needs at least one mode");
+  TREEPLACE_CHECK_MSG(static_power_ >= 0.0, "negative static power");
+  TREEPLACE_CHECK_MSG(alpha_ >= 1.0, "alpha must be >= 1");
+  for (std::size_t i = 1; i < capacities_.size(); ++i) {
+    TREEPLACE_CHECK_MSG(capacities_[i - 1] < capacities_[i],
+                        "mode capacities must be strictly increasing");
+  }
+  power_.reserve(capacities_.size());
+  for (RequestCount w : capacities_) {
+    power_.push_back(static_power_ +
+                     std::pow(static_cast<double>(w), alpha_));
+  }
+}
+
+ModeSet ModeSet::single(RequestCount capacity) {
+  return ModeSet({capacity}, /*static_power=*/0.0, /*alpha=*/2.0);
+}
+
+}  // namespace treeplace

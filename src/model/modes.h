@@ -1,0 +1,70 @@
+// Server operating modes and the power model of paper Section 2.2.
+//
+// Servers run at one of M modes with capacities W_1 < ... < W_M = W.  A
+// server configured at mode i can process up to W_i requests and dissipates
+//   P(i) = P_static + W_i^alpha        (paper Eq. 3, alpha in [2, 3]).
+//
+// The paper states that the mode is the smallest one covering the load; the
+// bi-criteria DP nevertheless "sets it to all possible modes" because a
+// changed_{o,i} cost can make keeping a higher original mode cheaper.  We
+// therefore model the mode as a configured value with the feasibility
+// constraint load <= W_mode (see DESIGN.md, "Mode semantics").
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+class ModeSet {
+ public:
+  /// `capacities` must be strictly increasing; `alpha` in [2, 3] per the
+  /// paper's power models (we accept any alpha >= 1 for experimentation).
+  ModeSet(std::vector<RequestCount> capacities, double static_power,
+          double alpha);
+
+  /// Single-mode set: the classic cost-only problems (M = 1, capacity W).
+  static ModeSet single(RequestCount capacity);
+
+  /// Number of modes M.
+  int count() const { return static_cast<int>(capacities_.size()); }
+
+  /// Capacity W_{mode+1} of 0-based `mode`.
+  RequestCount capacity(int mode) const {
+    TREEPLACE_DCHECK(mode >= 0 && mode < count());
+    return capacities_[static_cast<std::size_t>(mode)];
+  }
+
+  /// Maximum capacity W = W_M.
+  RequestCount max_capacity() const { return capacities_.back(); }
+
+  double static_power() const { return static_power_; }
+  double alpha() const { return alpha_; }
+
+  /// Power dissipated by one server configured at `mode` (Eq. 3 summand).
+  double power(int mode) const {
+    TREEPLACE_DCHECK(mode >= 0 && mode < count());
+    return power_[static_cast<std::size_t>(mode)];
+  }
+
+  /// Smallest mode whose capacity covers `load`; -1 if load > W_M.
+  int mode_for_load(RequestCount load) const {
+    for (int m = 0; m < count(); ++m) {
+      if (load <= capacity(m)) return m;
+    }
+    return -1;
+  }
+
+  bool operator==(const ModeSet& other) const = default;
+
+ private:
+  std::vector<RequestCount> capacities_;
+  double static_power_ = 0.0;
+  double alpha_ = 2.0;
+  std::vector<double> power_;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,176 @@
+#include "model/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace treeplace {
+
+void Placement::add(NodeId node, int mode) {
+  TREEPLACE_CHECK(node >= 0);
+  TREEPLACE_CHECK(mode >= 0);
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  const auto idx = static_cast<std::size_t>(it - nodes_.begin());
+  TREEPLACE_CHECK_MSG(it == nodes_.end() || *it != node,
+                      "duplicate server at node " << node);
+  nodes_.insert(it, node);
+  modes_.insert(modes_.begin() + static_cast<std::ptrdiff_t>(idx), mode);
+}
+
+void Placement::remove(NodeId node) {
+  const std::size_t idx = find(node);
+  if (idx == nodes_.size()) return;
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(idx));
+  modes_.erase(modes_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+bool Placement::contains(NodeId node) const { return find(node) < nodes_.size(); }
+
+int Placement::mode(NodeId node) const {
+  const std::size_t idx = find(node);
+  TREEPLACE_CHECK_MSG(idx < nodes_.size(), "no server at node " << node);
+  return modes_[idx];
+}
+
+void Placement::set_mode(NodeId node, int mode) {
+  const std::size_t idx = find(node);
+  TREEPLACE_CHECK_MSG(idx < nodes_.size(), "no server at node " << node);
+  TREEPLACE_CHECK(mode >= 0);
+  modes_[idx] = mode;
+}
+
+std::size_t Placement::find(NodeId node) const {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return nodes_.size();
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+FlowResult compute_flows(const Tree& tree, const Placement& placement) {
+  FlowResult result;
+  result.through.assign(tree.num_internal(), 0);
+  for (NodeId j : tree.internal_post_order()) {
+    RequestCount inflow = tree.client_mass(j);
+    for (NodeId c : tree.internal_children(j)) {
+      if (!placement.contains(c)) {
+        inflow += result.through[tree.internal_index(c)];
+      }
+    }
+    result.through[tree.internal_index(j)] = inflow;
+  }
+  const NodeId root = tree.root();
+  result.unserved = placement.contains(root)
+                        ? 0
+                        : result.through[tree.internal_index(root)];
+  return result;
+}
+
+ValidationResult validate(const Tree& tree, const Placement& placement,
+                          const ModeSet& modes) {
+  auto fail = [](const std::string& reason) {
+    return ValidationResult{false, reason};
+  };
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    const NodeId node = placement.nodes()[i];
+    const int mode = placement.modes()[i];
+    if (!tree.valid_id(node) || !tree.is_internal(node)) {
+      std::ostringstream os;
+      os << "server on non-internal node " << node;
+      return fail(os.str());
+    }
+    if (mode < 0 || mode >= modes.count()) {
+      std::ostringstream os;
+      os << "server at node " << node << " has out-of-range mode " << mode;
+      return fail(os.str());
+    }
+  }
+  const FlowResult flows = compute_flows(tree, placement);
+  if (flows.unserved > 0) {
+    std::ostringstream os;
+    os << flows.unserved << " requests escape past the root unserved";
+    return fail(os.str());
+  }
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    const NodeId node = placement.nodes()[i];
+    const int mode = placement.modes()[i];
+    const RequestCount load = flows.load(tree, node);
+    if (load > modes.capacity(mode)) {
+      std::ostringstream os;
+      os << "server at node " << node << " (mode " << mode << ", capacity "
+         << modes.capacity(mode) << ") overloaded with " << load
+         << " requests";
+      return fail(os.str());
+    }
+  }
+  return ValidationResult{};
+}
+
+double total_power(const Placement& placement, const ModeSet& modes) {
+  double p = 0.0;
+  for (int mode : placement.modes()) {
+    TREEPLACE_CHECK(mode >= 0 && mode < modes.count());
+    p += modes.power(mode);
+  }
+  return p;
+}
+
+CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
+                            const CostModel& costs) {
+  CostBreakdown b;
+  b.servers = static_cast<int>(placement.size());
+  double cost = static_cast<double>(b.servers);  // operating cost 1 each
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    const NodeId node = placement.nodes()[i];
+    const int mode = placement.modes()[i];
+    if (tree.pre_existing(node)) {
+      ++b.reused;
+      const int orig = tree.original_mode(node);
+      TREEPLACE_CHECK_MSG(orig >= 0 && orig < costs.num_modes(),
+                          "pre-existing node " << node
+                                               << " has invalid original mode "
+                                               << orig);
+      if (orig != mode) ++b.mode_changes;
+      cost += costs.changed(orig, mode);
+    } else {
+      ++b.created;
+      cost += costs.create(mode);
+    }
+  }
+  for (NodeId e : tree.pre_existing_nodes()) {
+    if (!placement.contains(e)) {
+      ++b.deleted;
+      cost += costs.del(tree.original_mode(e));
+    }
+  }
+  b.cost = cost;
+  return b;
+}
+
+void minimize_modes(const Tree& tree, Placement& placement,
+                    const ModeSet& modes) {
+  const FlowResult flows = compute_flows(tree, placement);
+  for (NodeId node : placement.nodes()) {
+    const int m = modes.mode_for_load(flows.load(tree, node));
+    TREEPLACE_CHECK_MSG(m >= 0, "server at node "
+                                    << node << " overloaded even at W_M");
+    placement.set_mode(node, m);
+  }
+}
+
+std::vector<NodeId> assign_clients(const Tree& tree,
+                                   const Placement& placement) {
+  std::vector<NodeId> serving;
+  serving.reserve(tree.client_ids().size());
+  for (NodeId client : tree.client_ids()) {
+    NodeId server = kNoNode;
+    for (NodeId cur = tree.parent(client); cur != kNoNode;
+         cur = tree.parent(cur)) {
+      if (placement.contains(cur)) {
+        server = cur;
+        break;
+      }
+    }
+    serving.push_back(server);
+  }
+  return serving;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,106 @@
+// Replica placements, closest-policy flows, and the independent evaluator.
+//
+// A Placement is a set of servers (internal nodes) with a configured mode
+// each.  The *closest* service policy (paper Section 2.1) is implicit: a
+// client's requests are processed by the first ancestor holding a replica,
+// and a server processes every request that reaches it.  compute_flows()
+// realizes that policy; validate() / total_power() / evaluate_cost()
+// re-derive every reported quantity from first principles so tests can check
+// solver outputs against an implementation they do not share code with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/cost.h"
+#include "model/modes.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Adds a server at internal node `node` configured at `mode` (0-based).
+  void add(NodeId node, int mode = 0);
+
+  /// Removes the server at `node`; no-op if absent.
+  void remove(NodeId node);
+
+  bool contains(NodeId node) const;
+
+  /// Configured mode of the server at `node`; requires contains(node).
+  int mode(NodeId node) const;
+  void set_mode(NodeId node, int mode);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Server nodes in ascending id order.
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  /// Modes parallel to nodes().
+  const std::vector<int>& modes() const { return modes_; }
+
+  bool operator==(const Placement& other) const = default;
+
+ private:
+  std::size_t find(NodeId node) const;  // index or size() if absent
+
+  std::vector<NodeId> nodes_;  // sorted
+  std::vector<int> modes_;
+};
+
+/// Result of routing all client requests through a placement under the
+/// closest policy.
+struct FlowResult {
+  /// Per internal node (indexed by Tree::internal_index): requests processed
+  /// there if it is a server, else requests passing through it upward.
+  std::vector<RequestCount> through;
+  /// Requests that escape past the root unserved (0 in any valid solution).
+  RequestCount unserved = 0;
+
+  /// Load of server at `node` == through at that node.
+  RequestCount load(const Tree& tree, NodeId node) const {
+    return through[tree.internal_index(node)];
+  }
+};
+
+/// Routes requests bottom-up; servers absorb everything reaching them.
+FlowResult compute_flows(const Tree& tree, const Placement& placement);
+
+struct ValidationResult {
+  bool valid = true;
+  std::string reason;  // first violation, empty when valid
+};
+
+/// Full validity check: every client served (no unserved residue at the
+/// root), every server's load within its configured mode capacity, modes in
+/// range, servers on internal nodes.
+ValidationResult validate(const Tree& tree, const Placement& placement,
+                          const ModeSet& modes);
+
+/// Total power consumption (paper Eq. 3) of the placement.
+double total_power(const Placement& placement, const ModeSet& modes);
+
+/// Cost of `placement` as a reconfiguration of the tree's pre-existing
+/// server set E (paper Eq. 2 / Eq. 4).  The tree's original_mode() of each
+/// pre-existing server prices mode changes.
+CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
+                            const CostModel& costs);
+
+/// Lowers every server's configured mode to the smallest one covering its
+/// load (the paper's load-determined mode reading).  Requires a valid
+/// placement.
+void minimize_modes(const Tree& tree, Placement& placement,
+                    const ModeSet& modes);
+
+/// For each client, the id of the serving node (first ancestor in the
+/// placement), or kNoNode if unserved.  Exercises the closest policy
+/// client-by-client; used by tests as an independent cross-check of
+/// compute_flows().
+std::vector<NodeId> assign_clients(const Tree& tree,
+                                   const Placement& placement);
+
+}  // namespace treeplace

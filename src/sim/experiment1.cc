@@ -1,0 +1,101 @@
+#include "sim/experiment1.h"
+
+#include <algorithm>
+
+#include "core/dp_update.h"
+#include "core/greedy.h"
+#include "gen/preexisting.h"
+#include "model/placement.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/thread_pool.h"
+
+namespace treeplace {
+
+namespace {
+
+struct PerTreeRow {
+  double reused_dp = 0.0;
+  double reused_gr = 0.0;
+  double cost_dp = 0.0;
+  double cost_gr = 0.0;
+  double servers_dp = 0.0;
+  double servers_gr = 0.0;
+};
+
+}  // namespace
+
+std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config) {
+  TREEPLACE_CHECK(!config.pre_existing_counts.empty());
+  const std::size_t threads =
+      config.threads ? config.threads : ThreadPool::default_thread_count();
+  ThreadPool pool(threads);
+
+  const CostModel costs = CostModel::simple(config.create, config.delete_cost);
+  const MinCostConfig dp_config{config.capacity, config.create,
+                                config.delete_cost};
+
+  const auto per_tree = parallel_map(
+      pool, config.num_trees, [&](std::size_t t) -> std::vector<PerTreeRow> {
+        Tree tree = generate_tree(config.tree, config.seed, t);
+        // GR ignores pre-existing servers, so one run covers every E.
+        const GreedyResult gr = solve_greedy_min_count(tree, config.capacity);
+        TREEPLACE_CHECK_MSG(gr.feasible, "experiment tree infeasible");
+
+        std::vector<PerTreeRow> rows;
+        rows.reserve(config.pre_existing_counts.size());
+        for (std::size_t e_index = 0;
+             e_index < config.pre_existing_counts.size(); ++e_index) {
+          const std::size_t e = config.pre_existing_counts[e_index];
+          Xoshiro256 pre_rng =
+              make_rng(derive_seed(config.seed, e_index), t,
+                       RngStream::kPreExisting);
+          assign_random_pre_existing(tree, e, pre_rng, /*num_modes=*/1);
+
+          const MinCostResult dp = solve_min_cost_with_pre(tree, dp_config);
+          TREEPLACE_CHECK(dp.feasible);
+          const CostBreakdown gr_cost = evaluate_cost(tree, gr.placement,
+                                                      costs);
+          rows.push_back(PerTreeRow{
+              static_cast<double>(dp.breakdown.reused),
+              static_cast<double>(gr_cost.reused),
+              dp.breakdown.cost,
+              gr_cost.cost,
+              static_cast<double>(dp.breakdown.servers),
+              static_cast<double>(gr_cost.servers),
+          });
+        }
+        return rows;
+      });
+
+  std::vector<Experiment1Row> result;
+  result.reserve(config.pre_existing_counts.size());
+  for (std::size_t e_index = 0; e_index < config.pre_existing_counts.size();
+       ++e_index) {
+    RunningStats reused_dp, reused_gr, cost_dp, cost_gr, servers_dp,
+        servers_gr, advantage;
+    for (const auto& rows : per_tree) {
+      const PerTreeRow& r = rows[e_index];
+      reused_dp.add(r.reused_dp);
+      reused_gr.add(r.reused_gr);
+      cost_dp.add(r.cost_dp);
+      cost_gr.add(r.cost_gr);
+      servers_dp.add(r.servers_dp);
+      servers_gr.add(r.servers_gr);
+      advantage.add(r.reused_dp - r.reused_gr);
+    }
+    result.push_back(Experiment1Row{
+        config.pre_existing_counts[e_index],
+        reused_dp.mean(),
+        reused_gr.mean(),
+        cost_dp.mean(),
+        cost_gr.mean(),
+        servers_dp.mean(),
+        servers_gr.mean(),
+        advantage.max(),
+    });
+  }
+  return result;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,42 @@
+// Experiment 1 (paper Figures 4 and 6): impact of pre-existing servers.
+//
+// Random trees are drawn once; for each swept value E of the pre-existing
+// server count, E random internal nodes become pre-existing and both the
+// update DP (Section 3) and the greedy GR of [19] are run.  Both return
+// minimum-replica-count solutions under the experiment's cost parameters,
+// so the comparison is the number of pre-existing servers each reuses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct Experiment1Config {
+  std::size_t num_trees = 200;
+  TreeGenConfig tree{};             ///< paper: N=100, fat, p=0.5, r in [1,6]
+  RequestCount capacity = 10;       ///< W
+  std::vector<std::size_t> pre_existing_counts;  ///< swept E values
+  double create = 0.1;              ///< Eq. 2 parameters (see DESIGN.md)
+  double delete_cost = 0.01;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;          ///< 0: ThreadPool::default_thread_count()
+};
+
+struct Experiment1Row {
+  std::size_t num_pre_existing = 0;  ///< E
+  double reused_dp = 0.0;            ///< mean reused servers, DP
+  double reused_gr = 0.0;            ///< mean reused servers, GR
+  double cost_dp = 0.0;
+  double cost_gr = 0.0;
+  double servers_dp = 0.0;           ///< mean replica count (equal for both)
+  double servers_gr = 0.0;
+  double max_reuse_advantage = 0.0;  ///< max over trees of (DP - GR) reuse
+};
+
+std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config);
+
+}  // namespace treeplace

@@ -1,0 +1,117 @@
+#include "sim/experiment2.h"
+
+#include <algorithm>
+
+#include "core/dp_update.h"
+#include "core/greedy.h"
+#include "gen/preexisting.h"
+#include "gen/workload.h"
+#include "model/placement.h"
+#include "support/parallel.h"
+#include "support/thread_pool.h"
+
+namespace treeplace {
+
+namespace {
+
+struct PerTreeTrace {
+  std::vector<int> reused_dp;
+  std::vector<int> reused_gr;
+  std::vector<int> servers;
+};
+
+/// |a ∩ b| for sorted placement node lists.
+int intersection_size(const std::vector<NodeId>& a,
+                      const std::vector<NodeId>& b) {
+  int count = 0;
+  auto it_a = a.begin();
+  auto it_b = b.begin();
+  while (it_a != a.end() && it_b != b.end()) {
+    if (*it_a < *it_b) {
+      ++it_a;
+    } else if (*it_b < *it_a) {
+      ++it_b;
+    } else {
+      ++count;
+      ++it_a;
+      ++it_b;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Experiment2Result run_experiment2(const Experiment2Config& config) {
+  TREEPLACE_CHECK(config.num_steps >= 1);
+  const std::size_t threads =
+      config.threads ? config.threads : ThreadPool::default_thread_count();
+  ThreadPool pool(threads);
+
+  const MinCostConfig dp_config{config.capacity, config.create,
+                                config.delete_cost};
+
+  const auto traces = parallel_map(
+      pool, config.num_trees, [&](std::size_t t) -> PerTreeTrace {
+        Tree tree = generate_tree(config.tree, config.seed, t);
+        PerTreeTrace trace;
+        Placement prev_dp;  // empty: no pre-existing servers initially
+        Placement prev_gr;
+        for (std::size_t step = 0; step < config.num_steps; ++step) {
+          Xoshiro256 workload_rng =
+              make_rng(derive_seed(config.seed, step), t,
+                       RngStream::kWorkloadUpdate);
+          redraw_requests(tree, config.tree.min_requests,
+                          config.tree.max_requests, workload_rng);
+
+          // DP chain: previous DP servers are this step's pre-existing set.
+          set_pre_existing_from_placement(tree, prev_dp);
+          const MinCostResult dp = solve_min_cost_with_pre(tree, dp_config);
+          TREEPLACE_CHECK(dp.feasible);
+          trace.reused_dp.push_back(dp.breakdown.reused);
+          trace.servers.push_back(dp.breakdown.servers);
+
+          // GR chain: oblivious to pre-existing servers; reuse is the
+          // overlap with its own previous placement.
+          const GreedyResult gr =
+              solve_greedy_min_count(tree, config.capacity);
+          TREEPLACE_CHECK(gr.feasible);
+          trace.reused_gr.push_back(
+              intersection_size(gr.placement.nodes(), prev_gr.nodes()));
+
+          prev_dp = dp.placement;
+          prev_gr = gr.placement;
+        }
+        return trace;
+      });
+
+  Experiment2Result result;
+  result.num_trees = config.num_trees;
+  result.num_steps = config.num_steps;
+  result.step_reused_dp.assign(config.num_steps, 0.0);
+  result.step_reused_gr.assign(config.num_steps, 0.0);
+  result.step_servers.assign(config.num_steps, 0.0);
+  for (const PerTreeTrace& trace : traces) {
+    for (std::size_t s = 0; s < config.num_steps; ++s) {
+      result.step_reused_dp[s] += trace.reused_dp[s];
+      result.step_reused_gr[s] += trace.reused_gr[s];
+      result.step_servers[s] += trace.servers[s];
+      result.diff_histogram.add(trace.reused_dp[s] - trace.reused_gr[s]);
+    }
+  }
+  const auto n = static_cast<double>(std::max<std::size_t>(1, config.num_trees));
+  double cum_dp = 0.0;
+  double cum_gr = 0.0;
+  for (std::size_t s = 0; s < config.num_steps; ++s) {
+    result.step_reused_dp[s] /= n;
+    result.step_reused_gr[s] /= n;
+    result.step_servers[s] /= n;
+    cum_dp += result.step_reused_dp[s];
+    cum_gr += result.step_reused_gr[s];
+    result.cumulative_reused_dp.push_back(cum_dp);
+    result.cumulative_reused_gr.push_back(cum_gr);
+  }
+  return result;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,46 @@
+// Experiment 2 (paper Figures 5 and 7): consecutive update steps.
+//
+// Starting with no replicas, the client request volumes are re-drawn at
+// every step and each algorithm recomputes a placement *chained on its own
+// previous solution* (the previous servers become its pre-existing set).
+// The DP optimizes reuse explicitly; GR is oblivious and reuses only by
+// accident.  Reported: per-step and cumulative mean reuse for both chains,
+// and the histogram of per-step differences (the paper's right panels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "support/stats.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct Experiment2Config {
+  std::size_t num_trees = 200;
+  TreeGenConfig tree{};          ///< paper: N=100, fat, p=0.5, r in [1,6]
+  RequestCount capacity = 10;
+  std::size_t num_steps = 20;
+  double create = 0.1;
+  double delete_cost = 0.01;
+  std::uint64_t seed = 43;
+  std::size_t threads = 0;
+};
+
+struct Experiment2Result {
+  /// Index s in [0, num_steps): means over trees at step s+1.
+  std::vector<double> step_reused_dp;
+  std::vector<double> step_reused_gr;
+  std::vector<double> cumulative_reused_dp;  ///< running sums of the above
+  std::vector<double> cumulative_reused_gr;
+  std::vector<double> step_servers;          ///< mean replica count per step
+  /// Occurrences of (reused_dp - reused_gr) over all (tree, step) pairs.
+  IntHistogram diff_histogram;
+  std::size_t num_trees = 0;
+  std::size_t num_steps = 0;
+};
+
+Experiment2Result run_experiment2(const Experiment2Config& config);
+
+}  // namespace treeplace

@@ -1,0 +1,106 @@
+#include "sim/experiment3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/greedy_power.h"
+#include "core/power_dp.h"
+#include "core/power_dp_symmetric.h"
+#include "gen/preexisting.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/thread_pool.h"
+
+namespace treeplace {
+
+namespace {
+
+struct PerTree {
+  // Per cost bound: the achieved power (infinity when unsolved).
+  std::vector<double> power_dp;
+  std::vector<double> power_gr;
+  double p_opt = 0.0;  ///< unconstrained DP minimum power
+  double dp_seconds = 0.0;
+};
+
+constexpr double kUnsolved = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Experiment3Result run_experiment3(const Experiment3Config& config) {
+  TREEPLACE_CHECK(!config.cost_bounds.empty());
+  const std::size_t threads =
+      config.threads ? config.threads : ThreadPool::default_thread_count();
+  ThreadPool pool(threads);
+
+  const ModeSet modes(config.mode_capacities, config.static_power,
+                      config.alpha);
+  const CostModel costs = CostModel::uniform(
+      modes.count(), config.cost_create, config.cost_delete,
+      config.cost_changed, config.cost_changed);
+
+  const auto per_tree = parallel_map(
+      pool, config.num_trees, [&](std::size_t t) -> PerTree {
+        Tree tree = generate_tree(config.tree, config.seed, t);
+        Xoshiro256 pre_rng = make_rng(config.seed, t, RngStream::kPreExisting);
+        assign_random_pre_existing(tree, config.num_pre_existing, pre_rng,
+                                   modes.count());
+
+        const PowerDPResult dp =
+            config.use_exact_dp ? solve_power_exact(tree, modes, costs)
+                                : solve_power_symmetric(tree, modes, costs);
+        const PowerParetoPoint* unconstrained = dp.min_power();
+        TREEPLACE_CHECK_MSG(dp.feasible && unconstrained != nullptr,
+                            "experiment tree infeasible for the power DP");
+        const GreedyPowerResult gr = solve_greedy_power(tree, modes, costs);
+
+        PerTree r;
+        r.p_opt = unconstrained->power;
+        r.dp_seconds = dp.stats.solve_seconds;
+        r.power_dp.reserve(config.cost_bounds.size());
+        r.power_gr.reserve(config.cost_bounds.size());
+        for (double bound : config.cost_bounds) {
+          const PowerParetoPoint* dp_point = dp.best_within_cost(bound);
+          r.power_dp.push_back(dp_point ? dp_point->power : kUnsolved);
+          const GreedyPowerCandidate* gr_point = gr.best_within_cost(bound);
+          r.power_gr.push_back(gr_point ? gr_point->power : kUnsolved);
+        }
+        return r;
+      });
+
+  Experiment3Result result;
+  RunningStats dp_seconds;
+  for (const PerTree& r : per_tree) dp_seconds.add(r.dp_seconds);
+  result.mean_dp_seconds = dp_seconds.mean();
+
+  result.rows.reserve(config.cost_bounds.size());
+  for (std::size_t b = 0; b < config.cost_bounds.size(); ++b) {
+    RunningStats score_dp, score_gr, ratio;
+    std::size_t solved_dp = 0;
+    std::size_t solved_gr = 0;
+    for (const PerTree& r : per_tree) {
+      const double p_dp = r.power_dp[b];
+      const double p_gr = r.power_gr[b];
+      score_dp.add(std::isfinite(p_dp) ? r.p_opt / p_dp : 0.0);
+      score_gr.add(std::isfinite(p_gr) ? r.p_opt / p_gr : 0.0);
+      if (std::isfinite(p_dp)) ++solved_dp;
+      if (std::isfinite(p_gr)) ++solved_gr;
+      if (std::isfinite(p_dp) && std::isfinite(p_gr)) ratio.add(p_gr / p_dp);
+    }
+    const auto n =
+        static_cast<double>(std::max<std::size_t>(1, config.num_trees));
+    result.rows.push_back(Experiment3Row{
+        config.cost_bounds[b],
+        score_dp.mean(),
+        score_gr.mean(),
+        static_cast<double>(solved_dp) / n,
+        static_cast<double>(solved_gr) / n,
+        ratio.count() ? ratio.mean() : 0.0,
+        static_cast<std::size_t>(ratio.count()),
+    });
+  }
+  return result;
+}
+
+}  // namespace treeplace

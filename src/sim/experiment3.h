@@ -1,0 +1,55 @@
+// Experiment 3 (paper Figures 8-11): bi-criteria power minimization.
+//
+// For each tree, the power DP computes the whole cost-power Pareto frontier
+// once and the greedy baseline sweeps the capacity range once; every cost
+// bound of the sweep is then answered from those.  The paper's "power
+// inverse" y-axis is normalized per tree by the best achievable power (the
+// unbounded-cost DP minimum): score = P_opt / P_algo(bound), 0 when no
+// solution fits the budget (see DESIGN.md).  The raw GR/DP power ratio —
+// the paper's ">30% more power" claim — is reported alongside.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct Experiment3Config {
+  std::size_t num_trees = 100;
+  TreeGenConfig tree{};               ///< paper: N=50, fat, p=0.5, r in [1,5]
+  std::size_t num_pre_existing = 5;   ///< 0 for the NoPre variant (Fig. 9)
+  std::vector<RequestCount> mode_capacities{5, 10};  ///< W_1, W_2
+  double static_power = 12.5;         ///< paper: W_1^3 / 10
+  double alpha = 3.0;
+  double cost_create = 0.1;
+  double cost_delete = 0.01;
+  double cost_changed = 0.001;        ///< paper Exp. 3: same for o==i and o!=i
+  std::vector<double> cost_bounds;    ///< swept thresholds (x axis)
+  std::uint64_t seed = 44;
+  std::size_t threads = 0;
+  bool use_exact_dp = false;          ///< ablation: general DP instead of the
+                                      ///< symmetric-cost fast path
+};
+
+struct Experiment3Row {
+  double cost_bound = 0.0;
+  double score_dp = 0.0;       ///< mean normalized inverse power, DP
+  double score_gr = 0.0;       ///< mean normalized inverse power, GR
+  double solved_dp = 0.0;      ///< fraction of trees DP solves within bound
+  double solved_gr = 0.0;
+  /// Mean of P_GR / P_DP over trees where both find a solution (>= 1).
+  double power_ratio = 0.0;
+  std::size_t both_solved = 0; ///< trees contributing to power_ratio
+};
+
+struct Experiment3Result {
+  std::vector<Experiment3Row> rows;
+  double mean_dp_seconds = 0.0;  ///< mean per-tree DP solve time
+};
+
+Experiment3Result run_experiment3(const Experiment3Config& config);
+
+}  // namespace treeplace

@@ -1,0 +1,48 @@
+#include "support/env.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace treeplace {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return static_cast<std::size_t>(std::stoull(v));
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+BenchScale bench_scale() {
+  const std::string s = env_string("TREEPLACE_SCALE", "quick");
+  return s == "paper" ? BenchScale::kPaper : BenchScale::kQuick;
+}
+
+}  // namespace treeplace

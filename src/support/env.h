@@ -1,0 +1,36 @@
+// Environment-driven configuration for bench binaries.
+//
+// Bench defaults are scaled down so that `for b in build/bench/*; do $b; done`
+// completes in minutes; TREEPLACE_SCALE=paper switches every bench to the
+// published experiment sizes, and individual knobs (trees, threads, sweep
+// steps) can be overridden one by one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace treeplace {
+
+/// Read an environment variable; empty optional semantics via defaults.
+std::string env_string(const char* name, const std::string& fallback);
+std::size_t env_size_t(const char* name, std::size_t fallback);
+std::int64_t env_int64(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+
+/// Global scale selector for benches.
+enum class BenchScale {
+  kQuick,  ///< default: minutes on a laptop, same shapes as the paper
+  kPaper,  ///< published experiment sizes (CPU-hours without many cores)
+};
+
+/// TREEPLACE_SCALE=quick|paper (default quick).
+BenchScale bench_scale();
+
+/// Pick `quick` or `paper` value according to bench_scale().
+template <typename T>
+T scaled(T quick, T paper) {
+  return bench_scale() == BenchScale::kPaper ? paper : quick;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,46 @@
+// Deterministic parallel-map helpers built on ThreadPool.
+//
+// parallel_map(n, fn) evaluates fn(i) for i in [0, n) across the pool and
+// returns results in index order, so callers observe exactly the same output
+// as a sequential loop — a property the simulation reproducibility tests
+// assert directly.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace treeplace {
+
+/// Evaluate fn(i) for each i in [0, n) on `pool`, collecting results in
+/// index order.  R must be default-constructible is NOT required: results
+/// are materialized through futures.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  std::vector<R> results;
+  results.reserve(n);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+/// Run fn(i) for side effects across the pool; rethrows the first exception.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace treeplace

@@ -1,0 +1,127 @@
+// Deterministic pseudo-random generation for reproducible simulations.
+//
+// The simulation harness runs hundreds of trees in parallel; every tree gets
+// an independent, deterministic stream derived from (base seed, stream id)
+// so that results are bit-identical regardless of thread count or execution
+// order.  We use SplitMix64 for seed derivation and xoshiro256** as the
+// workhorse generator (public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+/// SplitMix64 step: used to expand a 64-bit seed into generator state and to
+/// hash (seed, stream) pairs into independent sub-seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive an independent seed for a named sub-stream.  Mixing the stream id
+/// through SplitMix64 twice keeps nearby ids statistically uncorrelated.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    TREEPLACE_DCHECK(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+    const std::uint64_t n = range + 1;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi], inclusive, as int.
+  constexpr int uniform_int(int lo, int hi) {
+    TREEPLACE_DCHECK(lo <= hi);
+    return lo + static_cast<int>(uniform(0, static_cast<std::uint64_t>(hi) -
+                                                static_cast<std::uint64_t>(lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool bernoulli(double p) { return uniform_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Named stream ids used throughout the simulators, so that adding a new
+/// consumer of randomness never perturbs existing streams.
+enum class RngStream : std::uint64_t {
+  kTreeShape = 1,
+  kClients = 2,
+  kRequests = 3,
+  kPreExisting = 4,
+  kWorkloadUpdate = 5,
+  kModes = 6,
+  kMisc = 7,
+};
+
+/// Generator for a (base seed, tree index, stream) triple.
+inline Xoshiro256 make_rng(std::uint64_t base_seed, std::uint64_t tree_index,
+                           RngStream stream) {
+  const std::uint64_t s1 = derive_seed(base_seed, tree_index);
+  return Xoshiro256(derive_seed(s1, static_cast<std::uint64_t>(stream)));
+}
+
+}  // namespace treeplace

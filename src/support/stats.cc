@@ -1,0 +1,18 @@
+#include "support/stats.h"
+
+#include <algorithm>
+
+namespace treeplace {
+
+double quantile(std::vector<double> values, double q) {
+  TREEPLACE_CHECK(!values.empty());
+  TREEPLACE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace treeplace

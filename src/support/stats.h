@@ -1,0 +1,107 @@
+// Streaming statistics and integer histograms for the experiment reports.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const std::uint64_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = n;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sparse integer histogram (value -> count).  Used for the Fig. 5/7 right
+/// panels: occurrences of (reused-in-DP − reused-in-GR) per step.
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1) {
+    bins_[value] += count;
+    total_ += count;
+  }
+
+  void merge(const IntHistogram& other) {
+    for (const auto& [v, c] : other.bins_) add(v, c);
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t value) const {
+    auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+  }
+  bool empty() const { return bins_.empty(); }
+  std::int64_t min_value() const {
+    TREEPLACE_CHECK(!bins_.empty());
+    return bins_.begin()->first;
+  }
+  std::int64_t max_value() const {
+    TREEPLACE_CHECK(!bins_.empty());
+    return bins_.rbegin()->first;
+  }
+
+  /// Ordered (value, count) pairs.
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+  double mean() const {
+    if (total_ == 0) return 0.0;
+    double s = 0;
+    for (const auto& [v, c] : bins_)
+      s += static_cast<double>(v) * static_cast<double>(c);
+    return s / static_cast<double>(total_);
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Quantile over a copy of the data (exact, nearest-rank).  q in [0,1].
+double quantile(std::vector<double> values, double q);
+
+}  // namespace treeplace

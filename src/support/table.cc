@@ -1,0 +1,89 @@
+#include "support/table.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  TREEPLACE_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  TREEPLACE_CHECK_MSG(cells.size() == columns_.size(),
+                      "row has " << cells.size() << " cells, table has "
+                                 << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << title_ << '\n';
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << (c ? "," : "") << columns_[c];
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << render(row[c]);
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  TREEPLACE_CHECK_MSG(out.good(), "cannot open " << path);
+  write_csv(out);
+}
+
+}  // namespace treeplace

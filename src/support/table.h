@@ -1,0 +1,46 @@
+// Column-aligned tables for bench/figure output, with optional CSV export.
+//
+// Every bench binary prints the series behind one paper figure as a table;
+// keeping emission in one place guarantees a uniform, parse-friendly format
+// in bench_output.txt.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace treeplace {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Title printed above the table (e.g. "Figure 4: ...").
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Human-readable aligned rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our content).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write CSV to `path`, creating parent dirs if needed.
+  void save_csv(const std::string& path) const;
+
+ private:
+  static std::string render(const Cell& cell);
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,45 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/env.h"
+
+namespace treeplace {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  TREEPLACE_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return env_size_t("TREEPLACE_THREADS", hw);
+}
+
+}  // namespace treeplace

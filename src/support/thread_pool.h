@@ -1,0 +1,66 @@
+// Fixed-size thread pool used by the simulation harness.
+//
+// The paper's experiments run hundreds of independent trees; we parallelize
+// across trees (embarrassingly parallel, deterministic per-tree seeds).
+// A simple mutex/condvar work queue is entirely sufficient: tasks are
+// long-lived (milliseconds to seconds), so queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      TREEPLACE_CHECK_MSG(!stopping_, "submit() after ThreadPool shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Default worker count: hardware concurrency, overridable by the
+  /// TREEPLACE_THREADS environment variable (see support/env.h).
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace treeplace

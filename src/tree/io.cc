@@ -1,0 +1,109 @@
+#include "tree/io.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace treeplace {
+
+namespace {
+constexpr const char* kHeader = "treeplace-tree v1";
+}  // namespace
+
+void serialize_tree(const Tree& tree, std::ostream& os) {
+  os << kHeader << '\n';
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (tree.is_internal(id)) {
+      os << "I " << id << ' ' << tree.parent(id) << ' '
+         << (tree.pre_existing(id) ? 1 : 0) << ' ' << tree.original_mode(id)
+         << '\n';
+    } else {
+      os << "C " << id << ' ' << tree.parent(id) << ' ' << tree.requests(id)
+         << '\n';
+    }
+  }
+}
+
+std::string serialize_tree(const Tree& tree) {
+  std::ostringstream os;
+  serialize_tree(tree, os);
+  return os.str();
+}
+
+Tree parse_tree(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  TREEPLACE_CHECK_MSG(header == kHeader,
+                      "bad tree header: '" << header << "'");
+  TreeBuilder builder;
+  std::string line;
+  NodeId expected_id = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    NodeId id = kNoNode;
+    NodeId parent = kNoNode;
+    ls >> tag >> id >> parent;
+    TREEPLACE_CHECK_MSG(!ls.fail(), "malformed tree line: '" << line << "'");
+    TREEPLACE_CHECK_MSG(id == expected_id,
+                        "node ids must be consecutive; expected "
+                            << expected_id << ", got " << id);
+    ++expected_id;
+    if (tag == 'I') {
+      int pre = 0;
+      int orig_mode = -1;
+      ls >> pre >> orig_mode;
+      TREEPLACE_CHECK_MSG(!ls.fail(), "malformed internal line: '" << line
+                                                                   << "'");
+      const NodeId got =
+          (parent == kNoNode) ? builder.add_root() : builder.add_internal(parent);
+      TREEPLACE_CHECK(got == id);
+      if (pre != 0) builder.set_pre_existing(id, orig_mode < 0 ? 0 : orig_mode);
+    } else if (tag == 'C') {
+      RequestCount requests = 0;
+      ls >> requests;
+      TREEPLACE_CHECK_MSG(!ls.fail(), "malformed client line: '" << line
+                                                                 << "'");
+      const NodeId got = builder.add_client(parent, requests);
+      TREEPLACE_CHECK(got == id);
+    } else {
+      TREEPLACE_CHECK_MSG(false, "unknown node tag '" << tag << "'");
+    }
+  }
+  return std::move(builder).build();
+}
+
+Tree parse_tree(const std::string& text) {
+  std::istringstream is(text);
+  return parse_tree(is);
+}
+
+std::string to_dot(const Tree& tree) {
+  std::ostringstream os;
+  os << "digraph tree {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (tree.is_internal(id)) {
+      os << "  n" << id << " [shape=circle" << ",label=\"" << id << "\"";
+      if (tree.pre_existing(id)) {
+        os << ",peripheries=2,style=filled,fillcolor=lightblue";
+      }
+      os << "];\n";
+    } else {
+      os << "  n" << id << " [shape=box,label=\"" << tree.requests(id)
+         << "\"];\n";
+    }
+  }
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (tree.parent(id) != kNoNode) {
+      os << "  n" << tree.parent(id) << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treeplace

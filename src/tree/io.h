@@ -1,0 +1,30 @@
+// Plain-text serialization and Graphviz export for distribution trees.
+//
+// Text format (one node per line, parents before children):
+//   treeplace-tree v1
+//   I <id> <parent|-1> <pre:0|1> <orig_mode|-1>
+//   C <id> <parent> <requests>
+// Ids in the file must match insertion order (0..n-1), which is what
+// serialize() emits; parse() validates this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/tree.h"
+
+namespace treeplace {
+
+/// Writes `tree` in the v1 text format.
+void serialize_tree(const Tree& tree, std::ostream& os);
+std::string serialize_tree(const Tree& tree);
+
+/// Parses the v1 text format; throws CheckError on malformed input.
+Tree parse_tree(std::istream& is);
+Tree parse_tree(const std::string& text);
+
+/// Graphviz DOT rendering: internal nodes as circles (pre-existing servers
+/// doubled), clients as boxes labelled with their request count.
+std::string to_dot(const Tree& tree);
+
+}  // namespace treeplace

@@ -1,0 +1,58 @@
+#include "tree/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace treeplace {
+
+TreeMetrics compute_metrics(const Tree& tree) {
+  TreeMetrics m;
+  m.num_internal = tree.num_internal();
+  m.num_clients = tree.num_clients();
+  m.num_pre_existing = tree.num_pre_existing();
+  m.total_requests = tree.total_requests();
+
+  for (NodeId c : tree.client_ids()) {
+    m.max_client_requests = std::max(m.max_client_requests, tree.requests(c));
+  }
+
+  std::size_t fanout_nodes = 0;
+  std::size_t fanout_sum = 0;
+  m.min_fanout = tree.num_internal();
+  for (NodeId id : tree.internal_ids()) {
+    const std::size_t f = tree.internal_children(id).size();
+    if (f > 0) {
+      ++fanout_nodes;
+      fanout_sum += f;
+      m.min_fanout = std::min(m.min_fanout, f);
+      m.max_fanout = std::max(m.max_fanout, f);
+    }
+  }
+  if (fanout_nodes == 0) {
+    m.min_fanout = 0;
+  } else {
+    m.mean_fanout =
+        static_cast<double>(fanout_sum) / static_cast<double>(fanout_nodes);
+  }
+
+  // Depth via BFS over internal nodes.
+  std::vector<std::size_t> depth(tree.num_nodes(), 0);
+  if (!tree.empty()) {
+    depth[static_cast<std::size_t>(tree.root())] = 1;
+    m.depth = 1;
+    // internal_post_order is children-first; iterate in reverse for
+    // parents-first.
+    const auto& order = tree.internal_post_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId id = *it;
+      const std::size_t d = depth[static_cast<std::size_t>(id)];
+      for (NodeId c : tree.internal_children(id)) {
+        depth[static_cast<std::size_t>(c)] = d + 1;
+        m.depth = std::max(m.depth, d + 1);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace treeplace

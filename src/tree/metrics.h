@@ -1,0 +1,25 @@
+// Structural metrics of a distribution tree, reported by benches and used by
+// the generator tests to validate the paper's tree-shape parameters.
+#pragma once
+
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct TreeMetrics {
+  std::size_t num_internal = 0;
+  std::size_t num_clients = 0;
+  std::size_t num_pre_existing = 0;
+  /// Depth of the internal-node tree (root alone = 1).
+  std::size_t depth = 0;
+  /// Internal-children fan-out over internal nodes that have at least one.
+  std::size_t min_fanout = 0;
+  std::size_t max_fanout = 0;
+  double mean_fanout = 0.0;
+  RequestCount total_requests = 0;
+  RequestCount max_client_requests = 0;
+};
+
+TreeMetrics compute_metrics(const Tree& tree);
+
+}  // namespace treeplace

@@ -1,0 +1,191 @@
+// Distribution-tree topology: the fixed network of the paper (Section 2.1).
+//
+// Nodes are partitioned into *internal* nodes (the set N, candidate replica
+// locations) and *clients* (the set C, always leaves, each issuing `r_i`
+// requests per time unit).  The topology is immutable after construction;
+// per-node attributes that the experiments mutate — client request volumes,
+// the pre-existing-server set E and original server modes — are mutable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+/// Dense node identifier, stable for the lifetime of a Tree.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Number of requests per time unit (integral, as in the paper).  64 bits:
+/// the NP-completeness gadget (core/np_reduction.h) scales its instances by
+/// 2K = 2nS² and needs request volumes far beyond 32 bits.
+using RequestCount = std::uint64_t;
+
+enum class NodeKind : std::uint8_t { kInternal, kClient };
+
+class TreeBuilder;
+
+class Tree {
+ public:
+  /// Trees are produced by TreeBuilder::build().
+  Tree() = default;
+
+  NodeId root() const { return root_; }
+  std::size_t num_nodes() const { return kind_.size(); }
+  std::size_t num_internal() const { return internal_ids_.size(); }
+  std::size_t num_clients() const { return num_nodes() - num_internal(); }
+  bool empty() const { return kind_.empty(); }
+
+  bool valid_id(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < num_nodes();
+  }
+  NodeKind kind(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return kind_[static_cast<std::size_t>(id)];
+  }
+  bool is_internal(NodeId id) const { return kind(id) == NodeKind::kInternal; }
+  bool is_client(NodeId id) const { return kind(id) == NodeKind::kClient; }
+
+  NodeId parent(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return parent_[static_cast<std::size_t>(id)];
+  }
+
+  /// All children of `id` (internal nodes and clients, in insertion order).
+  std::span<const NodeId> children(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return children_[static_cast<std::size_t>(id)];
+  }
+
+  /// Internal-node children only.
+  std::span<const NodeId> internal_children(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return internal_children_[static_cast<std::size_t>(id)];
+  }
+
+  // --- Client requests -----------------------------------------------------
+
+  /// Requests issued by client `id`.
+  RequestCount requests(NodeId id) const {
+    TREEPLACE_CHECK_MSG(is_client(id), "requests() on non-client " << id);
+    return requests_[static_cast<std::size_t>(id)];
+  }
+
+  void set_requests(NodeId id, RequestCount r) {
+    TREEPLACE_CHECK_MSG(is_client(id), "set_requests() on non-client " << id);
+    requests_[static_cast<std::size_t>(id)] = r;
+  }
+
+  /// Sum of the requests of the *client* children of internal node `id`
+  /// (the `client(j)` quantity of paper Algorithm 2).
+  RequestCount client_mass(NodeId id) const;
+
+  /// Total requests issued by all clients.
+  RequestCount total_requests() const;
+
+  /// Ids of all clients, in id order.
+  const std::vector<NodeId>& client_ids() const { return client_ids_; }
+
+  // --- Pre-existing servers (the set E) ------------------------------------
+
+  bool pre_existing(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return pre_existing_[static_cast<std::size_t>(id)];
+  }
+
+  /// Original operating mode (0-based) of a pre-existing server; only
+  /// meaningful when pre_existing(id).  Single-mode problems use mode 0.
+  int original_mode(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return original_mode_[static_cast<std::size_t>(id)];
+  }
+
+  /// Mark internal node `id` as holding a pre-existing replica operated at
+  /// `original_mode`.
+  void set_pre_existing(NodeId id, int original_mode = 0);
+  void clear_pre_existing(NodeId id);
+  void clear_all_pre_existing();
+
+  /// |E| — maintained incrementally.
+  std::size_t num_pre_existing() const { return num_pre_existing_; }
+
+  /// Ids of pre-existing servers, in id order.
+  std::vector<NodeId> pre_existing_nodes() const;
+
+  // --- Traversal helpers ----------------------------------------------------
+
+  /// Internal nodes in post order (every node appears after all of its
+  /// internal descendants).  Cached at construction.
+  const std::vector<NodeId>& internal_post_order() const { return post_order_; }
+
+  /// Ids of internal nodes, in id order.
+  const std::vector<NodeId>& internal_ids() const { return internal_ids_; }
+
+  /// Dense index of an internal node in [0, num_internal()).  Algorithms use
+  /// this to address per-internal-node tables.
+  std::size_t internal_index(NodeId id) const {
+    TREEPLACE_CHECK_MSG(is_internal(id), "internal_index() on client " << id);
+    return static_cast<std::size_t>(internal_index_[static_cast<std::size_t>(id)]);
+  }
+
+  /// True iff `ancestor` lies on the path from `id` to the root (inclusive
+  /// of `id` itself).
+  bool is_ancestor_or_self(NodeId ancestor, NodeId id) const;
+
+ private:
+  friend class TreeBuilder;
+
+  NodeId root_ = kNoNode;
+  std::vector<NodeKind> kind_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::vector<NodeId>> internal_children_;
+  std::vector<RequestCount> requests_;
+  std::vector<bool> pre_existing_;
+  std::vector<int> original_mode_;
+  std::vector<NodeId> internal_ids_;
+  std::vector<NodeId> client_ids_;
+  std::vector<std::int32_t> internal_index_;
+  std::vector<NodeId> post_order_;
+  std::size_t num_pre_existing_ = 0;
+};
+
+/// Incremental tree construction with validation at build() time.
+///
+///   TreeBuilder b;
+///   NodeId r = b.add_root();
+///   NodeId a = b.add_internal(r);
+///   b.add_client(a, /*requests=*/5);
+///   Tree t = std::move(b).build();
+class TreeBuilder {
+ public:
+  /// Adds the root (must be called exactly once, first).
+  NodeId add_root();
+
+  /// Adds an internal node under `parent` (which must be internal).
+  NodeId add_internal(NodeId parent);
+
+  /// Adds a client leaf under `parent` with `requests` requests.
+  NodeId add_client(NodeId parent, RequestCount requests);
+
+  /// Marks an already-added internal node as pre-existing.
+  void set_pre_existing(NodeId id, int original_mode = 0);
+
+  std::size_t num_nodes() const { return tree_.kind_.size(); }
+
+  /// Validates (single root, clients are leaves, acyclic by construction)
+  /// and finalizes derived structures.  The builder is consumed.
+  Tree build() &&;
+
+ private:
+  NodeId add_node(NodeId parent, NodeKind kind, RequestCount requests);
+
+  Tree tree_;
+  bool built_ = false;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,30 @@
+// Umbrella header: the full public API of the treeplace library.
+//
+// treeplace reproduces "Power-aware replica placement and update strategies
+// in tree networks" (Benoit, Renaud-Goud, Robert, 2010): optimal replica
+// placement updates with pre-existing servers (Section 3), multi-mode
+// power-aware placement (Section 4), the NP-completeness gadget, the greedy
+// baseline of Wu/Lin/Liu, heuristics, and the Section 5 experiment suite.
+#pragma once
+
+#include "core/dp_update.h"            // MinCost-WithPre DP (Theorem 1)
+#include "core/exhaustive.h"           // brute-force oracles
+#include "core/greedy.h"               // greedy GR baseline [19]
+#include "core/greedy_power.h"         // GR capacity sweep (Section 5.2)
+#include "core/heuristics.h"           // Section 6 future-work heuristics
+#include "core/np_reduction.h"         // Theorem 2 gadget (2-Partition)
+#include "core/power_dp.h"             // exact power DP (Theorem 3)
+#include "core/power_dp_symmetric.h"   // reduced-state symmetric-cost DP
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "gen/workload.h"
+#include "model/cost.h"
+#include "model/modes.h"
+#include "model/placement.h"
+#include "sim/experiment1.h"
+#include "sim/experiment2.h"
+#include "sim/experiment3.h"
+#include "support/prng.h"
+#include "tree/io.h"
+#include "tree/metrics.h"
+#include "tree/tree.h"

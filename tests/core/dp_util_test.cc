@@ -1,0 +1,100 @@
+#include "core/dp_util.h"
+
+#include <gtest/gtest.h>
+
+namespace treeplace::dp {
+namespace {
+
+TEST(BoxTest, ZeroDimensionalBoxHasOneState) {
+  const Box box{std::vector<int>{}};
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.dims(), 0u);
+  EXPECT_EQ(box.flat({}), 0u);
+}
+
+TEST(BoxTest, AllZeroBoundsBoxHasOneState) {
+  const Box box{std::vector<int>{0, 0, 0}};
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.flat({0, 0, 0}), 0u);
+}
+
+TEST(BoxTest, SizeIsProductOfExtents) {
+  const Box box{std::vector<int>{2, 3, 1}};
+  EXPECT_EQ(box.size(), 3u * 4u * 2u);
+}
+
+TEST(BoxTest, FlatDecodeRoundTrip) {
+  const Box box{std::vector<int>{2, 3, 1}};
+  std::vector<int> digits;
+  for (std::size_t flat = 0; flat < box.size(); ++flat) {
+    box.decode(flat, digits);
+    EXPECT_EQ(box.flat(digits), flat);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(digits[d], 0);
+      EXPECT_LE(digits[d], box.bounds()[d]);
+    }
+  }
+}
+
+TEST(BoxTest, FlatIsInjective) {
+  const Box box{std::vector<int>{1, 2, 2}};
+  std::vector<bool> seen(box.size(), false);
+  std::vector<int> digits(3);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 2; ++b) {
+      for (int c = 0; c <= 2; ++c) {
+        digits = {a, b, c};
+        const std::size_t flat = box.flat(digits);
+        ASSERT_LT(flat, box.size());
+        EXPECT_FALSE(seen[flat]);
+        seen[flat] = true;
+      }
+    }
+  }
+}
+
+TEST(BoxTest, StridesMatchFlat) {
+  const Box box{std::vector<int>{3, 4}};
+  // Incrementing digit d by one moves flat by stride(d).
+  EXPECT_EQ(box.flat({1, 0}) - box.flat({0, 0}), box.stride(0));
+  EXPECT_EQ(box.flat({0, 1}) - box.flat({0, 0}), box.stride(1));
+}
+
+TEST(CompactEntriesTest, SkipsInvalidAndComputesDots) {
+  const Box box{std::vector<int>{1, 1}};      // 4 states
+  const Box target{std::vector<int>{2, 3}};   // different strides
+  std::vector<RequestCount> flow(box.size(), kInvalidFlow);
+  std::vector<int> digits;
+  // Mark states (0,1) and (1,0) valid.
+  flow[box.flat({0, 1})] = 7;
+  flow[box.flat({1, 0})] = 9;
+  const auto entries = compact_valid_entries(box, flow, target);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const CompactEntry& e : entries) {
+    box.decode(e.flat, digits);
+    std::uint64_t expected_dot = 0;
+    for (std::size_t d = 0; d < 2; ++d) {
+      expected_dot += static_cast<std::uint64_t>(digits[d]) * target.stride(d);
+    }
+    EXPECT_EQ(e.dot, expected_dot);
+    EXPECT_EQ(e.flow, flow[e.flat]);
+  }
+}
+
+TEST(CompactEntriesTest, EmptyWhenAllInvalid) {
+  const Box box{std::vector<int>{2}};
+  const std::vector<RequestCount> flow(box.size(), kInvalidFlow);
+  EXPECT_TRUE(compact_valid_entries(box, flow, box).empty());
+}
+
+TEST(CompactEntriesTest, ZeroDimensionalTable) {
+  const Box box{std::vector<int>{}};
+  const std::vector<RequestCount> flow{5};
+  const auto entries = compact_valid_entries(box, flow, box);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].flow, 5u);
+  EXPECT_EQ(entries[0].dot, 0u);
+}
+
+}  // namespace
+}  // namespace treeplace::dp

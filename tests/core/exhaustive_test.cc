@@ -1,0 +1,87 @@
+#include "core/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "tests/core/test_instances.h"
+
+namespace treeplace {
+namespace {
+
+using testing::make_fig1;
+using testing::make_fig2;
+
+TEST(ExhaustiveTest, MinCountOnFig1) {
+  const auto f = make_fig1(4);
+  EXPECT_EQ(exhaustive_min_count(f.tree, 10), 2);
+  EXPECT_EQ(exhaustive_min_count(f.tree, 15), 1);
+  EXPECT_EQ(exhaustive_min_count(f.tree, 4), std::nullopt);  // C has 7
+}
+
+TEST(ExhaustiveTest, MinCostPrefersReuse) {
+  const auto f = make_fig1(2);
+  const auto sol = exhaustive_min_cost(f.tree, 10, CostModel::simple(0.1, 0.01));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->breakdown.reused, 1);
+  EXPECT_NEAR(sol->breakdown.cost, 2.1, 1e-9);
+}
+
+TEST(ExhaustiveTest, MinPowerOnFig2) {
+  // Worked example of paper Section 4.1 (see power_dp_test.cc).
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  EXPECT_NEAR(*exhaustive_min_power(make_fig2(4).tree, modes), 118.0, 1e-9);
+  EXPECT_NEAR(*exhaustive_min_power(make_fig2(10).tree, modes), 220.0, 1e-9);
+}
+
+TEST(ExhaustiveTest, MinPowerInfeasible) {
+  TreeBuilder builder;
+  builder.add_client(builder.add_root(), 11);
+  const Tree tree = std::move(builder).build();
+  EXPECT_EQ(exhaustive_min_power(tree, ModeSet({5, 10}, 0, 2)), std::nullopt);
+}
+
+TEST(ExhaustiveTest, FrontierIsSortedAndDominant) {
+  const auto f = make_fig2(4);
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  const auto frontier = exhaustive_cost_power_frontier(f.tree, modes, costs);
+  ASSERT_FALSE(frontier.empty());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].cost, frontier[i - 1].cost);
+    EXPECT_LT(frontier[i].power, frontier[i - 1].power);
+  }
+  // The unconstrained optimum appears at the high-cost end.
+  EXPECT_NEAR(frontier.back().power, 118.0, 1e-9);
+}
+
+TEST(ExhaustiveTest, SizeGuardThrows) {
+  TreeGenConfig config;
+  config.num_internal = 25;
+  const Tree tree = generate_tree(config, 1, 0);
+  EXPECT_THROW(exhaustive_min_count(tree, 10), CheckError);
+}
+
+TEST(ParetoFrontierTest, PrunesDominatedPoints) {
+  const auto frontier = pareto_frontier({{3.0, 10.0},
+                                         {1.0, 20.0},
+                                         {2.0, 15.0},
+                                         {2.5, 18.0},   // dominated
+                                         {4.0, 10.0}}); // dominated (same power)
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_DOUBLE_EQ(frontier[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(frontier[1].cost, 2.0);
+  EXPECT_DOUBLE_EQ(frontier[2].cost, 3.0);
+}
+
+TEST(ParetoFrontierTest, SameCostKeepsBestPower) {
+  const auto frontier = pareto_frontier({{1.0, 20.0}, {1.0, 15.0}});
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_DOUBLE_EQ(frontier[0].power, 15.0);
+}
+
+TEST(ParetoFrontierTest, EmptyInput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,131 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.h"
+#include "model/placement.h"
+#include "tests/core/test_instances.h"
+
+namespace treeplace {
+namespace {
+
+using testing::make_fig1;
+using testing::make_random_small;
+
+TEST(GreedyTest, Fig1PlacesLargestChildAndRoot) {
+  // Inflow at A is 11 > 10: greedy absorbs C (flow 7), leaving 4 through A;
+  // the root then serves 4 + its own client.
+  const auto f = make_fig1(/*root_requests=*/4);
+  const GreedyResult r = solve_greedy_min_count(f.tree, 10);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.placement.size(), 2u);
+  EXPECT_TRUE(r.placement.contains(f.c));
+  EXPECT_TRUE(r.placement.contains(f.r));
+  EXPECT_FALSE(r.placement.contains(f.b));  // GR never reuses B
+}
+
+TEST(GreedyTest, ResultIsAlwaysValid) {
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const Tree tree = make_random_small(101, i, 10, 1, 6, 0);
+    const GreedyResult r = solve_greedy_min_count(tree, 10);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(validate(tree, r.placement, ModeSet::single(10)).valid);
+  }
+}
+
+TEST(GreedyTest, InfeasibleWhenClientMassExceedsCapacity) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  builder.add_client(r, 11);
+  const Tree tree = std::move(builder).build();
+  EXPECT_FALSE(solve_greedy_min_count(tree, 10).feasible);
+  EXPECT_EQ(greedy_replica_count(tree, 10), -1);
+}
+
+TEST(GreedyTest, InfeasibleDeeperInTheTree) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId a = builder.add_internal(r);
+  builder.add_client(a, 7);
+  builder.add_client(a, 7);  // combined mass 14 shares every ancestor
+  const Tree tree = std::move(builder).build();
+  EXPECT_FALSE(solve_greedy_min_count(tree, 10).feasible);
+}
+
+TEST(GreedyTest, NoServersNeededWithoutClients) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  builder.add_internal(r);
+  const Tree tree = std::move(builder).build();
+  const GreedyResult r2 = solve_greedy_min_count(tree, 10);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_TRUE(r2.placement.empty());
+}
+
+TEST(GreedyTest, SingleServerAtRootWhenEverythingFits) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId a = builder.add_internal(r);
+  builder.add_client(a, 3);
+  builder.add_client(r, 4);
+  const Tree tree = std::move(builder).build();
+  const GreedyResult res = solve_greedy_min_count(tree, 10);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.placement.size(), 1u);
+  EXPECT_TRUE(res.placement.contains(r));
+}
+
+TEST(GreedyTest, ExactCapacityBoundary) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  builder.add_client(r, 10);
+  const Tree tree = std::move(builder).build();
+  EXPECT_EQ(greedy_replica_count(tree, 10), 1);  // exactly W fits
+  EXPECT_EQ(greedy_replica_count(tree, 9), -1);
+}
+
+TEST(GreedyTest, DeterministicTieBreaking) {
+  // Two children with equal flows: the smaller id is absorbed first.
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId a = builder.add_internal(r);
+  builder.add_client(a, 6);
+  const NodeId b = builder.add_internal(r);
+  builder.add_client(b, 6);
+  const Tree tree = std::move(builder).build();
+  const GreedyResult res = solve_greedy_min_count(tree, 10);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(res.placement.contains(a));
+  EXPECT_FALSE(res.placement.contains(b));
+}
+
+/// Oracle sweep: GR is optimal in replica count for the closest policy.
+class GreedyOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GreedyOptimalityTest, MatchesExhaustiveMinimum) {
+  const auto [n, capacity] = GetParam();
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const Tree tree = make_random_small(
+        202 + static_cast<std::uint64_t>(n), i, n, 1,
+        static_cast<RequestCount>(capacity), 0);
+    const auto oracle =
+        exhaustive_min_count(tree, static_cast<RequestCount>(capacity));
+    const int greedy =
+        greedy_replica_count(tree, static_cast<RequestCount>(capacity));
+    if (oracle.has_value()) {
+      EXPECT_EQ(greedy, *oracle) << "n=" << n << " W=" << capacity
+                                 << " tree=" << i;
+    } else {
+      EXPECT_EQ(greedy, -1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCapacities, GreedyOptimalityTest,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8, 10),
+                       ::testing::Values(5, 10, 17)));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,197 @@
+#include "core/power_dp.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/dp_update.h"
+#include "core/exhaustive.h"
+#include "model/placement.h"
+#include "tests/core/test_instances.h"
+
+namespace treeplace {
+namespace {
+
+using testing::make_fig2;
+using testing::make_random_small;
+
+const ModeSet kFig2Modes({7, 10}, 10.0, 2.0);  // P = 10 + W², paper §4.1
+
+TEST(PowerDpTest, Fig2WithFourRootRequests) {
+  // Paper Section 4.1: with four client requests at the root it is better
+  // to let 3 requests through (server at C, mode W1) — two W1 servers,
+  // power 2·59 = 118 — than to run A at W2 (110 + 59 = 169).
+  const auto f = make_fig2(4);
+  const CostModel costs = CostModel::uniform(2, 0.0, 0.0, 0.0);
+  const PowerDPResult r = solve_power_exact(f.tree, kFig2Modes, costs);
+  ASSERT_TRUE(r.feasible);
+  const PowerParetoPoint* best = r.min_power();
+  ASSERT_NE(best, nullptr);
+  EXPECT_NEAR(best->power, 118.0, 1e-9);
+  EXPECT_TRUE(best->placement.contains(f.c));
+  EXPECT_TRUE(best->placement.contains(f.r));
+  EXPECT_EQ(best->placement.mode(f.c), 0);
+  EXPECT_EQ(best->placement.mode(f.r), 0);
+}
+
+TEST(PowerDpTest, Fig2WithTenRootRequests) {
+  // "if it has ten requests, it is necessary to have no request going
+  // through A": server at A at W2 plus the root at W2 — power 220.
+  const auto f = make_fig2(10);
+  const CostModel costs = CostModel::uniform(2, 0.0, 0.0, 0.0);
+  const PowerDPResult r = solve_power_exact(f.tree, kFig2Modes, costs);
+  ASSERT_TRUE(r.feasible);
+  const PowerParetoPoint* best = r.min_power();
+  ASSERT_NE(best, nullptr);
+  EXPECT_NEAR(best->power, 220.0, 1e-9);
+  EXPECT_TRUE(best->placement.contains(f.a));
+  EXPECT_EQ(best->placement.mode(f.a), 1);
+  EXPECT_TRUE(best->placement.contains(f.r));
+}
+
+TEST(PowerDpTest, FrontierPointsAreValidPlacements) {
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const Tree tree = make_random_small(111, i, 8, 1, 8, 3, 2);
+    const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+    const ModeSet modes({5, 10}, 1.0, 2.0);
+    const PowerDPResult r = solve_power_exact(tree, modes, costs);
+    ASSERT_TRUE(r.feasible);
+    for (const PowerParetoPoint& p : r.frontier) {
+      EXPECT_TRUE(validate(tree, p.placement, modes).valid) << "tree " << i;
+      EXPECT_NEAR(p.power, total_power(p.placement, modes), 1e-9);
+      EXPECT_NEAR(p.cost, evaluate_cost(tree, p.placement, costs).cost, 1e-9);
+    }
+  }
+}
+
+TEST(PowerDpTest, FrontierShapeInvariant) {
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const Tree tree = make_random_small(222, i, 9, 1, 8, 2, 2);
+    const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+    const ModeSet modes({5, 10}, 1.0, 2.0);
+    const PowerDPResult r = solve_power_exact(tree, modes, costs);
+    ASSERT_TRUE(r.feasible);
+    for (std::size_t k = 1; k < r.frontier.size(); ++k) {
+      EXPECT_GT(r.frontier[k].cost, r.frontier[k - 1].cost);
+      EXPECT_LT(r.frontier[k].power, r.frontier[k - 1].power);
+    }
+  }
+}
+
+TEST(PowerDpTest, BoundedCostMonotoneInBound) {
+  const Tree tree = make_random_small(333, 0, 10, 1, 8, 3, 2);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  const ModeSet modes({5, 10}, 1.0, 2.0);
+  const PowerDPResult r = solve_power_exact(tree, modes, costs);
+  ASSERT_TRUE(r.feasible);
+  double previous = std::numeric_limits<double>::infinity();
+  for (double bound = 2.0; bound <= 20.0; bound += 0.5) {
+    const PowerParetoPoint* p = r.best_within_cost(bound);
+    if (p == nullptr) continue;
+    EXPECT_LE(p->power, previous);
+    EXPECT_LE(p->cost, bound + 1e-9);
+    previous = p->power;
+  }
+}
+
+TEST(PowerDpTest, TightBudgetYieldsNull) {
+  const auto f = make_fig2(4);
+  const CostModel costs = CostModel::uniform(2, 1.0, 1.0, 0.1);
+  const PowerDPResult r = solve_power_exact(f.tree, kFig2Modes, costs);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.best_within_cost(0.5), nullptr);  // any solution needs >= 2
+  EXPECT_NE(r.best_within_cost(100.0), nullptr);
+}
+
+TEST(PowerDpTest, InfeasibleInstance) {
+  TreeBuilder builder;
+  builder.add_client(builder.add_root(), 11);
+  const Tree tree = std::move(builder).build();
+  const PowerDPResult r = solve_power_exact(
+      tree, ModeSet({5, 10}, 0, 2), CostModel::uniform(2, 0.1, 0.01, 0.001));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.frontier.empty());
+  EXPECT_EQ(r.min_power(), nullptr);
+}
+
+TEST(PowerDpTest, SingleModeMatchesCostDp) {
+  // With M = 1 the frontier's cheapest point must equal the Section 3 DP's
+  // optimal cost, and its power is just R·P(0).
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const Tree tree = make_random_small(444, i, 10, 1, 6, 3);
+    const CostModel costs = CostModel::simple(0.1, 0.01);
+    const ModeSet modes = ModeSet::single(10);
+    const PowerDPResult power = solve_power_exact(tree, modes, costs);
+    const MinCostResult cost =
+        solve_min_cost_with_pre(tree, MinCostConfig{10, 0.1, 0.01});
+    ASSERT_EQ(power.feasible, cost.feasible);
+    if (!power.feasible) continue;
+    ASSERT_FALSE(power.frontier.empty());
+    EXPECT_NEAR(power.frontier.front().cost, cost.breakdown.cost, 1e-9)
+        << "tree " << i;
+  }
+}
+
+TEST(PowerDpTest, MinPowerMatchesExhaustiveWithZeroCosts) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const Tree tree = make_random_small(555, i, 8, 1, 9, 0, 2);
+    const ModeSet modes({6, 11}, 3.0, 2.0);
+    const CostModel costs = CostModel::uniform(2, 0.0, 0.0, 0.0);
+    const PowerDPResult dp = solve_power_exact(tree, modes, costs);
+    const auto oracle = exhaustive_min_power(tree, modes);
+    ASSERT_EQ(dp.feasible, oracle.has_value()) << "tree " << i;
+    if (oracle) {
+      EXPECT_NEAR(dp.min_power()->power, *oracle, 1e-9) << "tree " << i;
+    }
+  }
+}
+
+/// Full frontier comparison against the exhaustive oracle across mode
+/// structures and pre-existing densities.
+struct FrontierParam {
+  int n;
+  std::size_t num_pre;
+  int num_modes;
+  double static_power;
+  double alpha;
+};
+
+class PowerFrontierOracleTest
+    : public ::testing::TestWithParam<FrontierParam> {};
+
+TEST_P(PowerFrontierOracleTest, MatchesExhaustiveFrontier) {
+  const FrontierParam p = GetParam();
+  std::vector<RequestCount> caps;
+  for (int m = 0; m < p.num_modes; ++m) {
+    caps.push_back(static_cast<RequestCount>(4 + 3 * m));
+  }
+  const ModeSet modes(caps, p.static_power, p.alpha);
+  const CostModel costs = CostModel::uniform(p.num_modes, 0.1, 0.01, 0.001);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Tree tree =
+        make_random_small(666 + static_cast<std::uint64_t>(p.n), i, p.n, 1,
+                          modes.max_capacity(), p.num_pre, p.num_modes);
+    const PowerDPResult dp = solve_power_exact(tree, modes, costs);
+    const auto oracle = exhaustive_cost_power_frontier(tree, modes, costs);
+    ASSERT_EQ(dp.feasible, !oracle.empty()) << "tree " << i;
+    ASSERT_EQ(dp.frontier.size(), oracle.size()) << "tree " << i;
+    for (std::size_t k = 0; k < oracle.size(); ++k) {
+      EXPECT_NEAR(dp.frontier[k].cost, oracle[k].cost, 1e-9)
+          << "tree " << i << " point " << k;
+      EXPECT_NEAR(dp.frontier[k].power, oracle[k].power, 1e-9)
+          << "tree " << i << " point " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, PowerFrontierOracleTest,
+    ::testing::Values(FrontierParam{6, 0, 2, 1.0, 2.0},
+                      FrontierParam{7, 2, 2, 1.0, 2.0},
+                      FrontierParam{8, 3, 2, 0.0, 3.0},
+                      FrontierParam{6, 2, 3, 2.0, 2.0},
+                      FrontierParam{5, 5, 3, 1.0, 2.5},
+                      FrontierParam{7, 0, 1, 1.0, 2.0}));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,114 @@
+#include "core/power_dp_symmetric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.h"
+#include "core/power_dp.h"
+#include "model/placement.h"
+#include "support/check.h"
+#include "tests/core/test_instances.h"
+
+namespace treeplace {
+namespace {
+
+using testing::make_fig2;
+using testing::make_random_small;
+
+TEST(PowerSymmetricTest, RequiresSymmetricCosts) {
+  const auto f = make_fig2(4);
+  CostModel asym({0.1, 0.2}, {0.01, 0.01}, {{0.0, 0.1}, {0.1, 0.0}});
+  EXPECT_THROW(
+      solve_power_symmetric(f.tree, ModeSet({7, 10}, 10, 2), asym),
+      CheckError);
+}
+
+TEST(PowerSymmetricTest, Fig2WorkedExample) {
+  const auto f = make_fig2(4);
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  const CostModel costs = CostModel::uniform(2, 0.0, 0.0, 0.0);
+  const PowerDPResult r = solve_power_symmetric(f.tree, modes, costs);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.min_power()->power, 118.0, 1e-9);
+}
+
+TEST(PowerSymmetricTest, SolutionsAreValid) {
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const Tree tree = make_random_small(121, i, 12, 1, 9, 4, 2);
+    const PowerDPResult r = solve_power_symmetric(tree, modes, costs);
+    ASSERT_TRUE(r.feasible);
+    for (const PowerParetoPoint& p : r.frontier) {
+      EXPECT_TRUE(validate(tree, p.placement, modes).valid) << "tree " << i;
+      EXPECT_NEAR(p.power, total_power(p.placement, modes), 1e-9);
+      EXPECT_NEAR(p.cost, evaluate_cost(tree, p.placement, costs).cost, 1e-9);
+    }
+  }
+}
+
+TEST(PowerSymmetricTest, AutoDispatch) {
+  const auto f = make_fig2(4);
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  const CostModel sym = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  CostModel asym({0.1, 0.2}, {0.01, 0.01}, {{0.0, 0.1}, {0.1, 0.0}});
+  EXPECT_TRUE(solve_power_auto(f.tree, modes, sym).feasible);
+  EXPECT_TRUE(solve_power_auto(f.tree, modes, asym).feasible);
+}
+
+/// The core guarantee: the reduced state space loses nothing.  Frontier
+/// equality with the exact DP over random instances and cost regimes.
+struct EquivParam {
+  int n;
+  std::size_t num_pre;
+  double create;
+  double del;
+  double changed_diff;
+  double changed_same;
+};
+
+class SymmetricEquivalenceTest
+    : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(SymmetricEquivalenceTest, FrontierMatchesExactDp) {
+  const EquivParam p = GetParam();
+  const ModeSet modes({5, 10}, 2.0, 2.0);
+  const CostModel costs = CostModel::uniform(2, p.create, p.del,
+                                             p.changed_diff, p.changed_same);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Tree tree = make_random_small(
+        232 + static_cast<std::uint64_t>(p.n), i, p.n, 1, 9, p.num_pre, 2);
+    const PowerDPResult exact = solve_power_exact(tree, modes, costs);
+    const PowerDPResult sym = solve_power_symmetric(tree, modes, costs);
+    ASSERT_EQ(exact.feasible, sym.feasible) << "tree " << i;
+    ASSERT_EQ(exact.frontier.size(), sym.frontier.size()) << "tree " << i;
+    for (std::size_t k = 0; k < exact.frontier.size(); ++k) {
+      EXPECT_NEAR(exact.frontier[k].cost, sym.frontier[k].cost, 1e-9)
+          << "tree " << i << " point " << k;
+      EXPECT_NEAR(exact.frontier[k].power, sym.frontier[k].power, 1e-9)
+          << "tree " << i << " point " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostRegimes, SymmetricEquivalenceTest,
+    ::testing::Values(
+        EquivParam{8, 3, 0.1, 0.01, 0.001, 0.001},  // paper Exp. 3
+        EquivParam{8, 3, 1.0, 1.0, 0.1, 0.1},       // paper Fig. 11
+        EquivParam{8, 3, 0.1, 0.01, 0.001, 0.0},    // changed_{o,o} = 0
+        EquivParam{10, 0, 0.1, 0.01, 0.001, 0.0},   // NoPre
+        EquivParam{9, 9, 0.5, 0.3, 0.2, 0.0},       // all pre-existing
+        EquivParam{8, 4, 0.0, 0.0, 0.0, 0.0}));     // pure MinPower
+
+TEST(PowerSymmetricTest, MuchSmallerTablesThanExact) {
+  const Tree tree = make_random_small(343, 0, 14, 1, 9, 5, 2);
+  const ModeSet modes({5, 10}, 2.0, 2.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  const PowerDPResult exact = solve_power_exact(tree, modes, costs);
+  const PowerDPResult sym = solve_power_symmetric(tree, modes, costs);
+  ASSERT_TRUE(exact.feasible && sym.feasible);
+  EXPECT_LT(sym.stats.table_cells, exact.stats.table_cells);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,72 @@
+// Shared instances for the core-algorithm tests: the paper's two worked
+// examples (Figures 1 and 2) and a seeded random-small-tree factory for
+// oracle sweeps.
+#pragma once
+
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "support/prng.h"
+#include "tree/tree.h"
+
+namespace treeplace::testing {
+
+/// Paper Figure 1: root r (local client), child A, grandchildren B (4
+/// requests below, pre-existing server) and C (7 requests below), W = 10.
+struct Fig1 {
+  Tree tree;
+  NodeId r, a, b, c;
+};
+
+inline Fig1 make_fig1(RequestCount root_requests) {
+  TreeBuilder builder;
+  Fig1 f;
+  f.r = builder.add_root();
+  builder.add_client(f.r, root_requests);
+  f.a = builder.add_internal(f.r);
+  f.b = builder.add_internal(f.a);
+  builder.add_client(f.b, 4);
+  f.c = builder.add_internal(f.a);
+  builder.add_client(f.c, 7);
+  builder.set_pre_existing(f.b, 0);
+  return Fig1{std::move(builder).build(), f.r, f.a, f.b, f.c};
+}
+
+/// Paper Figure 2: root r (local client), child A, grandchildren B (3
+/// requests) and C (7 requests); modes W1=7, W2=10, power 10 + W².
+struct Fig2 {
+  Tree tree;
+  NodeId r, a, b, c;
+};
+
+inline Fig2 make_fig2(RequestCount root_requests) {
+  TreeBuilder builder;
+  Fig2 f;
+  f.r = builder.add_root();
+  builder.add_client(f.r, root_requests);
+  f.a = builder.add_internal(f.r);
+  f.b = builder.add_internal(f.a);
+  builder.add_client(f.b, 3);
+  f.c = builder.add_internal(f.a);
+  builder.add_client(f.c, 7);
+  return Fig2{std::move(builder).build(), f.r, f.a, f.b, f.c};
+}
+
+/// A small random instance for oracle sweeps: `n` internal nodes,
+/// every internal node carries a client, `num_pre` random pre-existing
+/// servers with original modes in [0, num_modes).
+inline Tree make_random_small(std::uint64_t seed, std::uint64_t index, int n,
+                              RequestCount min_req, RequestCount max_req,
+                              std::size_t num_pre, int num_modes = 1) {
+  TreeGenConfig config;
+  config.num_internal = n;
+  config.shape = TreeShape{1, 3};
+  config.client_probability = 0.8;
+  config.min_requests = min_req;
+  config.max_requests = max_req;
+  Tree tree = generate_tree(config, seed, index);
+  Xoshiro256 rng = make_rng(seed, index, RngStream::kPreExisting);
+  assign_random_pre_existing(tree, num_pre, rng, num_modes);
+  return tree;
+}
+
+}  // namespace treeplace::testing

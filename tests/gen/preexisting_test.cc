@@ -1,0 +1,107 @@
+#include "gen/preexisting.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tree_gen.h"
+
+namespace treeplace {
+namespace {
+
+Tree make_tree(int n = 50) {
+  TreeGenConfig config;
+  config.num_internal = n;
+  return generate_tree(config, 3, 0);
+}
+
+TEST(PreExistingTest, AssignsExactCount) {
+  Tree t = make_tree();
+  Xoshiro256 rng(1);
+  assign_random_pre_existing(t, 12, rng);
+  EXPECT_EQ(t.num_pre_existing(), 12u);
+}
+
+TEST(PreExistingTest, NodesAreDistinctInternal) {
+  Tree t = make_tree();
+  Xoshiro256 rng(2);
+  assign_random_pre_existing(t, 20, rng);
+  const auto nodes = t.pre_existing_nodes();
+  EXPECT_EQ(nodes.size(), 20u);
+  for (NodeId id : nodes) EXPECT_TRUE(t.is_internal(id));
+}
+
+TEST(PreExistingTest, CountClampedToInternalNodes) {
+  Tree t = make_tree(10);
+  Xoshiro256 rng(3);
+  assign_random_pre_existing(t, 100, rng);
+  EXPECT_EQ(t.num_pre_existing(), 10u);
+}
+
+TEST(PreExistingTest, ZeroClearsEverything) {
+  Tree t = make_tree();
+  Xoshiro256 rng(4);
+  assign_random_pre_existing(t, 10, rng);
+  assign_random_pre_existing(t, 0, rng);
+  EXPECT_EQ(t.num_pre_existing(), 0u);
+}
+
+TEST(PreExistingTest, ReassignmentReplacesOldSet) {
+  Tree t = make_tree();
+  Xoshiro256 rng(5);
+  assign_random_pre_existing(t, 30, rng);
+  assign_random_pre_existing(t, 5, rng);
+  EXPECT_EQ(t.num_pre_existing(), 5u);
+}
+
+TEST(PreExistingTest, ModesDrawnWithinRange) {
+  Tree t = make_tree();
+  Xoshiro256 rng(6);
+  assign_random_pre_existing(t, 25, rng, /*num_modes=*/3);
+  for (NodeId id : t.pre_existing_nodes()) {
+    EXPECT_GE(t.original_mode(id), 0);
+    EXPECT_LT(t.original_mode(id), 3);
+  }
+}
+
+TEST(PreExistingTest, SingleModeAlwaysZero) {
+  Tree t = make_tree();
+  Xoshiro256 rng(7);
+  assign_random_pre_existing(t, 25, rng, /*num_modes=*/1);
+  for (NodeId id : t.pre_existing_nodes()) {
+    EXPECT_EQ(t.original_mode(id), 0);
+  }
+}
+
+TEST(PreExistingTest, DeterministicGivenRngState) {
+  Tree t1 = make_tree();
+  Tree t2 = make_tree();
+  Xoshiro256 rng1(8);
+  Xoshiro256 rng2(8);
+  assign_random_pre_existing(t1, 15, rng1, 2);
+  assign_random_pre_existing(t2, 15, rng2, 2);
+  EXPECT_EQ(t1.pre_existing_nodes(), t2.pre_existing_nodes());
+}
+
+TEST(PreExistingTest, FromPlacementInstallsModes) {
+  Tree t = make_tree();
+  Placement p;
+  p.add(t.internal_ids()[2], 1);
+  p.add(t.internal_ids()[7], 0);
+  set_pre_existing_from_placement(t, p);
+  EXPECT_EQ(t.num_pre_existing(), 2u);
+  EXPECT_TRUE(t.pre_existing(t.internal_ids()[2]));
+  EXPECT_EQ(t.original_mode(t.internal_ids()[2]), 1);
+  EXPECT_EQ(t.original_mode(t.internal_ids()[7]), 0);
+}
+
+TEST(PreExistingTest, FromPlacementClearsPrevious) {
+  Tree t = make_tree();
+  Xoshiro256 rng(9);
+  assign_random_pre_existing(t, 20, rng);
+  Placement p;
+  p.add(t.internal_ids()[0], 0);
+  set_pre_existing_from_placement(t, p);
+  EXPECT_EQ(t.num_pre_existing(), 1u);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,141 @@
+#include "gen/tree_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/io.h"
+#include "tree/metrics.h"
+
+namespace treeplace {
+namespace {
+
+TEST(TreeGenTest, ExactInternalNodeCount) {
+  for (int n : {1, 2, 7, 50, 100, 333}) {
+    TreeGenConfig config;
+    config.num_internal = n;
+    const Tree t = generate_tree(config, 1, 0);
+    EXPECT_EQ(t.num_internal(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(TreeGenTest, DeterministicForSameSeed) {
+  TreeGenConfig config;
+  config.num_internal = 80;
+  const Tree a = generate_tree(config, 5, 3);
+  const Tree b = generate_tree(config, 5, 3);
+  EXPECT_EQ(serialize_tree(a), serialize_tree(b));
+}
+
+TEST(TreeGenTest, DifferentTreeIndicesDiffer) {
+  TreeGenConfig config;
+  config.num_internal = 80;
+  const Tree a = generate_tree(config, 5, 0);
+  const Tree b = generate_tree(config, 5, 1);
+  EXPECT_NE(serialize_tree(a), serialize_tree(b));
+}
+
+TEST(TreeGenTest, FanoutWithinShapeBounds) {
+  // Every internal node that received children and is not at the budget
+  // frontier has fan-out within [min, max]; the max can never be exceeded.
+  TreeGenConfig config;
+  config.num_internal = 200;
+  config.shape = kFatShape;
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    const Tree tree = generate_tree(config, 11, t);
+    for (NodeId id : tree.internal_ids()) {
+      EXPECT_LE(tree.internal_children(id).size(), 9u);
+    }
+  }
+}
+
+TEST(TreeGenTest, ClientProbabilityRespected) {
+  TreeGenConfig config;
+  config.num_internal = 1000;
+  config.client_probability = 0.5;
+  const Tree t = generate_tree(config, 21, 0);
+  // ~500 clients expected; allow generous slack.
+  EXPECT_GT(t.num_clients(), 400u);
+  EXPECT_LT(t.num_clients(), 600u);
+}
+
+TEST(TreeGenTest, NoClientsAtZeroProbability) {
+  TreeGenConfig config;
+  config.num_internal = 50;
+  config.client_probability = 0.0;
+  const Tree t = generate_tree(config, 21, 0);
+  EXPECT_EQ(t.num_clients(), 0u);
+}
+
+TEST(TreeGenTest, AllClientsAtProbabilityOne) {
+  TreeGenConfig config;
+  config.num_internal = 50;
+  config.client_probability = 1.0;
+  const Tree t = generate_tree(config, 21, 0);
+  EXPECT_EQ(t.num_clients(), 50u);
+}
+
+TEST(TreeGenTest, RequestRangeRespected) {
+  TreeGenConfig config;
+  config.num_internal = 300;
+  config.min_requests = 2;
+  config.max_requests = 5;
+  const Tree t = generate_tree(config, 31, 0);
+  for (NodeId c : t.client_ids()) {
+    EXPECT_GE(t.requests(c), 2u);
+    EXPECT_LE(t.requests(c), 5u);
+  }
+}
+
+TEST(TreeGenTest, RequestStreamIndependentOfClientStream) {
+  // Re-generating with a different client probability must not change the
+  // topology (shape stream is independent).
+  TreeGenConfig a;
+  a.num_internal = 60;
+  a.client_probability = 0.2;
+  TreeGenConfig b = a;
+  b.client_probability = 0.9;
+  const Tree ta = generate_tree(a, 77, 0);
+  const Tree tb = generate_tree(b, 77, 0);
+  ASSERT_EQ(ta.num_internal(), tb.num_internal());
+  for (std::size_t i = 0; i < ta.num_internal(); ++i) {
+    const NodeId id = ta.internal_ids()[i];
+    EXPECT_EQ(ta.parent(id), tb.parent(id));
+  }
+}
+
+TEST(TreeGenTest, SingleInternalNode) {
+  TreeGenConfig config;
+  config.num_internal = 1;
+  config.client_probability = 1.0;
+  const Tree t = generate_tree(config, 1, 0);
+  EXPECT_EQ(t.num_internal(), 1u);
+  EXPECT_EQ(t.num_clients(), 1u);
+}
+
+TEST(TreeGenTest, PaperFatShapeDepth) {
+  TreeGenConfig config;
+  config.num_internal = 100;
+  config.shape = kFatShape;
+  const TreeMetrics m = compute_metrics(generate_tree(config, 41, 0));
+  // 6-9 children per node: 100 nodes need at most 4 BFS levels
+  // (1 + 6 + 36 = 43 < 100 <= 1 + 9 + 81 + 729).
+  EXPECT_LE(m.depth, 4u);
+}
+
+TEST(TreeGenTest, InvalidConfigsThrow) {
+  TreeGenConfig config;
+  config.num_internal = 0;
+  EXPECT_THROW(generate_tree(config, 1, 0), CheckError);
+  config.num_internal = 10;
+  config.client_probability = 1.5;
+  EXPECT_THROW(generate_tree(config, 1, 0), CheckError);
+  config.client_probability = 0.5;
+  config.min_requests = 6;
+  config.max_requests = 5;
+  EXPECT_THROW(generate_tree(config, 1, 0), CheckError);
+  config.min_requests = 1;
+  config.shape = TreeShape{5, 3};
+  EXPECT_THROW(generate_tree(config, 1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,83 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tree_gen.h"
+
+namespace treeplace {
+namespace {
+
+Tree make_tree() {
+  TreeGenConfig config;
+  config.num_internal = 200;
+  config.client_probability = 1.0;
+  return generate_tree(config, 13, 0);
+}
+
+TEST(WorkloadTest, RedrawStaysInRange) {
+  Tree t = make_tree();
+  Xoshiro256 rng(1);
+  redraw_requests(t, 2, 6, rng);
+  for (NodeId c : t.client_ids()) {
+    EXPECT_GE(t.requests(c), 2u);
+    EXPECT_LE(t.requests(c), 6u);
+  }
+}
+
+TEST(WorkloadTest, RedrawChangesSomething) {
+  Tree t = make_tree();
+  const RequestCount before = t.total_requests();
+  Xoshiro256 rng(2);
+  redraw_requests(t, 1, 100, rng);
+  EXPECT_NE(t.total_requests(), before);
+}
+
+TEST(WorkloadTest, RedrawDeterministic) {
+  Tree t1 = make_tree();
+  Tree t2 = make_tree();
+  Xoshiro256 rng1(3);
+  Xoshiro256 rng2(3);
+  redraw_requests(t1, 1, 6, rng1);
+  redraw_requests(t2, 1, 6, rng2);
+  for (NodeId c : t1.client_ids()) {
+    EXPECT_EQ(t1.requests(c), t2.requests(c));
+  }
+}
+
+TEST(WorkloadTest, RedrawDegenerateRange) {
+  Tree t = make_tree();
+  Xoshiro256 rng(4);
+  redraw_requests(t, 3, 3, rng);
+  for (NodeId c : t.client_ids()) EXPECT_EQ(t.requests(c), 3u);
+}
+
+TEST(WorkloadTest, PerturbStaysInRangeAndNearOriginal) {
+  Tree t = make_tree();
+  Xoshiro256 rng(5);
+  redraw_requests(t, 5, 10, rng);
+  std::vector<RequestCount> before;
+  for (NodeId c : t.client_ids()) before.push_back(t.requests(c));
+  perturb_requests(t, 1, 20, /*max_delta=*/2, rng);
+  std::size_t i = 0;
+  for (NodeId c : t.client_ids()) {
+    const auto now = static_cast<std::int64_t>(t.requests(c));
+    const auto old = static_cast<std::int64_t>(before[i++]);
+    EXPECT_LE(std::abs(now - old), 2);
+    EXPECT_GE(t.requests(c), 1u);
+    EXPECT_LE(t.requests(c), 20u);
+  }
+}
+
+TEST(WorkloadTest, PerturbClampsAtBounds) {
+  Tree t = make_tree();
+  Xoshiro256 rng(6);
+  redraw_requests(t, 1, 1, rng);  // everyone at the lower bound
+  perturb_requests(t, 1, 6, /*max_delta=*/5, rng);
+  for (NodeId c : t.client_ids()) {
+    EXPECT_GE(t.requests(c), 1u);
+    EXPECT_LE(t.requests(c), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,81 @@
+#include "model/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+TEST(CostModelTest, SimpleEquation2Parameters) {
+  const CostModel costs = CostModel::simple(0.1, 0.01);
+  EXPECT_EQ(costs.num_modes(), 1);
+  EXPECT_DOUBLE_EQ(costs.new_server_cost(0), 1.1);
+  EXPECT_DOUBLE_EQ(costs.reused_server_cost(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(costs.delete_server_cost(0), 0.01);
+}
+
+TEST(CostModelTest, UniformExperiment3Parameters) {
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  EXPECT_DOUBLE_EQ(costs.create(0), 0.1);
+  EXPECT_DOUBLE_EQ(costs.create(1), 0.1);
+  EXPECT_DOUBLE_EQ(costs.del(0), 0.01);
+  EXPECT_DOUBLE_EQ(costs.changed(0, 1), 0.001);
+  EXPECT_DOUBLE_EQ(costs.changed(0, 0), 0.001);
+}
+
+TEST(CostModelTest, UniformDefaultChangedSameIsZero) {
+  const CostModel costs = CostModel::uniform(3, 0.5, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(costs.changed(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(costs.changed(1, 2), 0.1);
+}
+
+TEST(CostModelTest, SymmetryDetection) {
+  EXPECT_TRUE(CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001).is_symmetric());
+  EXPECT_TRUE(CostModel::uniform(3, 1, 1, 0.1).is_symmetric());
+  EXPECT_TRUE(CostModel::simple(0.1, 0.01).is_symmetric());
+}
+
+TEST(CostModelTest, AsymmetricCreateDetected) {
+  CostModel costs({0.1, 0.2}, {0.01, 0.01},
+                  {{0.0, 0.1}, {0.1, 0.0}});
+  EXPECT_FALSE(costs.is_symmetric());
+}
+
+TEST(CostModelTest, AsymmetricChangedDetected) {
+  CostModel costs({0.1, 0.1}, {0.01, 0.01},
+                  {{0.0, 0.1}, {0.2, 0.0}});
+  EXPECT_FALSE(costs.is_symmetric());
+}
+
+TEST(CostModelTest, SymmetricAccessors) {
+  const CostModel costs = CostModel::uniform(2, 0.3, 0.2, 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(costs.symmetric_create(), 0.3);
+  EXPECT_DOUBLE_EQ(costs.symmetric_delete(), 0.2);
+  EXPECT_DOUBLE_EQ(costs.symmetric_changed_same(), 0.05);
+  EXPECT_DOUBLE_EQ(costs.symmetric_changed_diff(), 0.1);
+}
+
+TEST(CostModelTest, SymmetricAccessorsOnAsymmetricThrow) {
+  CostModel costs({0.1, 0.2}, {0.01, 0.01}, {{0.0, 0.1}, {0.1, 0.0}});
+  EXPECT_THROW(costs.symmetric_create(), CheckError);
+}
+
+TEST(CostModelTest, NegativeCostsRejected) {
+  EXPECT_THROW(CostModel::simple(-0.1, 0.0), CheckError);
+  EXPECT_THROW(CostModel::simple(0.1, -0.1), CheckError);
+}
+
+TEST(CostModelTest, DimensionMismatchRejected) {
+  EXPECT_THROW(CostModel({0.1}, {0.1, 0.2}, {{0.0}}), CheckError);
+  EXPECT_THROW(CostModel({0.1, 0.1}, {0.1, 0.1}, {{0.0, 0.0}}), CheckError);
+}
+
+TEST(CostModelTest, SingleModeSymmetricChangedDiffFallsBack) {
+  const CostModel costs = CostModel::uniform(1, 0.1, 0.2, 0.3, 0.4);
+  // With M=1 there is no o != i pair; diff falls back to same.
+  EXPECT_DOUBLE_EQ(costs.symmetric_changed_diff(), 0.4);
+}
+
+}  // namespace
+}  // namespace treeplace

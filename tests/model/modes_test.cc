@@ -1,0 +1,75 @@
+#include "model/modes.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+TEST(ModeSetTest, PaperExperiment3Powers) {
+  // P_i = W1^3/10 + W_i^3 with W1=5, W2=10 (paper Section 5.2).
+  const ModeSet modes({5, 10}, /*static_power=*/12.5, /*alpha=*/3.0);
+  EXPECT_EQ(modes.count(), 2);
+  EXPECT_DOUBLE_EQ(modes.power(0), 137.5);
+  EXPECT_DOUBLE_EQ(modes.power(1), 1012.5);
+  EXPECT_EQ(modes.max_capacity(), 10u);
+}
+
+TEST(ModeSetTest, PaperSection41Example) {
+  // Figure 2 example: power 10 + W_i^2 with W1=7, W2=10.
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(modes.power(0), 59.0);
+  EXPECT_DOUBLE_EQ(modes.power(1), 110.0);
+  // "20 + 2x7^2 > 10 + 10^2": two slow servers beat one fast one — not.
+  EXPECT_GT(2 * modes.power(0), modes.power(1));
+}
+
+TEST(ModeSetTest, ModeForLoad) {
+  const ModeSet modes({5, 10}, 0.0, 2.0);
+  EXPECT_EQ(modes.mode_for_load(0), 0);
+  EXPECT_EQ(modes.mode_for_load(5), 0);
+  EXPECT_EQ(modes.mode_for_load(6), 1);
+  EXPECT_EQ(modes.mode_for_load(10), 1);
+  EXPECT_EQ(modes.mode_for_load(11), -1);
+}
+
+TEST(ModeSetTest, SingleMode) {
+  const ModeSet modes = ModeSet::single(10);
+  EXPECT_EQ(modes.count(), 1);
+  EXPECT_EQ(modes.max_capacity(), 10u);
+  EXPECT_EQ(modes.mode_for_load(10), 0);
+  EXPECT_EQ(modes.mode_for_load(11), -1);
+}
+
+TEST(ModeSetTest, PowerIsIncreasingInMode) {
+  const ModeSet modes({2, 5, 9, 14}, 1.0, 2.5);
+  for (int m = 1; m < modes.count(); ++m) {
+    EXPECT_GT(modes.power(m), modes.power(m - 1));
+  }
+}
+
+TEST(ModeSetTest, NonIncreasingCapacitiesThrow) {
+  EXPECT_THROW(ModeSet({5, 5}, 0.0, 2.0), CheckError);
+  EXPECT_THROW(ModeSet({10, 5}, 0.0, 2.0), CheckError);
+}
+
+TEST(ModeSetTest, EmptyThrows) {
+  EXPECT_THROW(ModeSet({}, 0.0, 2.0), CheckError);
+}
+
+TEST(ModeSetTest, NegativeStaticPowerThrows) {
+  EXPECT_THROW(ModeSet({5}, -1.0, 2.0), CheckError);
+}
+
+TEST(ModeSetTest, AlphaBelowOneThrows) {
+  EXPECT_THROW(ModeSet({5}, 0.0, 0.5), CheckError);
+}
+
+TEST(ModeSetTest, Equality) {
+  EXPECT_EQ(ModeSet({5, 10}, 1.0, 2.0), ModeSet({5, 10}, 1.0, 2.0));
+  EXPECT_NE(ModeSet({5, 10}, 1.0, 2.0), ModeSet({5, 10}, 2.0, 2.0));
+}
+
+}  // namespace
+}  // namespace treeplace

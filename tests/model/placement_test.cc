@@ -1,0 +1,285 @@
+#include "model/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tree_gen.h"
+#include "support/check.h"
+#include "support/prng.h"
+
+namespace treeplace {
+namespace {
+
+/// Paper Figure 2 topology: r -> A -> {B, C}; clients: 4 at r, 3 at B, 7 at
+/// C (see tests/core/power_dp_test.cc for the full worked example).
+struct Fig2Tree {
+  Tree tree;
+  NodeId r, a, b, c;
+};
+
+Fig2Tree make_fig2(RequestCount root_requests = 4) {
+  TreeBuilder builder;
+  Fig2Tree f;
+  f.r = builder.add_root();
+  builder.add_client(f.r, root_requests);
+  f.a = builder.add_internal(f.r);
+  f.b = builder.add_internal(f.a);
+  builder.add_client(f.b, 3);
+  f.c = builder.add_internal(f.a);
+  builder.add_client(f.c, 7);
+  f.tree = std::move(builder).build();
+  return f;
+}
+
+TEST(PlacementTest, AddRemoveContains) {
+  Placement p;
+  EXPECT_TRUE(p.empty());
+  p.add(5, 1);
+  p.add(2, 0);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.contains(5));
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_FALSE(p.contains(3));
+  p.remove(5);
+  EXPECT_FALSE(p.contains(5));
+  p.remove(5);  // idempotent
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PlacementTest, NodesSortedAndModesParallel) {
+  Placement p;
+  p.add(9, 2);
+  p.add(1, 0);
+  p.add(4, 1);
+  ASSERT_EQ(p.nodes().size(), 3u);
+  EXPECT_EQ(p.nodes()[0], 1);
+  EXPECT_EQ(p.nodes()[1], 4);
+  EXPECT_EQ(p.nodes()[2], 9);
+  EXPECT_EQ(p.mode(1), 0);
+  EXPECT_EQ(p.mode(4), 1);
+  EXPECT_EQ(p.mode(9), 2);
+}
+
+TEST(PlacementTest, DuplicateAddThrows) {
+  Placement p;
+  p.add(3);
+  EXPECT_THROW(p.add(3), CheckError);
+}
+
+TEST(PlacementTest, ModeOfAbsentThrows) {
+  Placement p;
+  EXPECT_THROW(p.mode(3), CheckError);
+  EXPECT_THROW(p.set_mode(3, 1), CheckError);
+}
+
+TEST(ComputeFlowsTest, NoServersEverythingEscapes) {
+  Fig2Tree f = make_fig2();
+  const FlowResult flows = compute_flows(f.tree, {});
+  EXPECT_EQ(flows.unserved, 14u);  // 4 + 3 + 7
+  EXPECT_EQ(flows.through[f.tree.internal_index(f.a)], 10u);
+}
+
+TEST(ComputeFlowsTest, ServerAbsorbsSubtree) {
+  Fig2Tree f = make_fig2();
+  Placement p;
+  p.add(f.a, 1);
+  const FlowResult flows = compute_flows(f.tree, p);
+  EXPECT_EQ(flows.load(f.tree, f.a), 10u);  // 3 + 7
+  EXPECT_EQ(flows.unserved, 4u);            // root's own client
+}
+
+TEST(ComputeFlowsTest, ClosestServerWins) {
+  Fig2Tree f = make_fig2();
+  Placement p;
+  p.add(f.a, 1);
+  p.add(f.c, 0);
+  const FlowResult flows = compute_flows(f.tree, p);
+  EXPECT_EQ(flows.load(f.tree, f.c), 7u);  // C's client served at C
+  EXPECT_EQ(flows.load(f.tree, f.a), 3u);  // only B's client reaches A
+}
+
+TEST(ComputeFlowsTest, RootServerServesAll) {
+  Fig2Tree f = make_fig2();
+  Placement p;
+  p.add(f.r, 1);
+  const FlowResult flows = compute_flows(f.tree, p);
+  EXPECT_EQ(flows.load(f.tree, f.r), 14u);
+  EXPECT_EQ(flows.unserved, 0u);
+}
+
+TEST(ComputeFlowsTest, AgreesWithPerClientAssignment) {
+  // Cross-check the aggregate flow computation against the client-by-client
+  // closest-ancestor scan, over random trees and random placements.
+  TreeGenConfig config;
+  config.num_internal = 60;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    const Tree tree = generate_tree(config, 99, t);
+    Xoshiro256 rng(derive_seed(99, t));
+    Placement p;
+    for (NodeId id : tree.internal_ids()) {
+      if (rng.bernoulli(0.3)) p.add(id, 0);
+    }
+    const FlowResult flows = compute_flows(tree, p);
+    const std::vector<NodeId> serving = assign_clients(tree, p);
+
+    std::vector<RequestCount> expected_load(tree.num_internal(), 0);
+    RequestCount expected_unserved = 0;
+    for (std::size_t i = 0; i < tree.client_ids().size(); ++i) {
+      const NodeId client = tree.client_ids()[i];
+      if (serving[i] == kNoNode) {
+        expected_unserved += tree.requests(client);
+      } else {
+        expected_load[tree.internal_index(serving[i])] +=
+            tree.requests(client);
+      }
+    }
+    EXPECT_EQ(flows.unserved, expected_unserved);
+    for (NodeId node : p.nodes()) {
+      EXPECT_EQ(flows.load(tree, node),
+                expected_load[tree.internal_index(node)]);
+    }
+  }
+}
+
+TEST(ValidateTest, AcceptsValidPlacement) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  Placement p;
+  p.add(f.a, 1);  // load 10 <= W2
+  p.add(f.r, 0);  // load 4 <= W1
+  EXPECT_TRUE(validate(f.tree, p, modes).valid);
+}
+
+TEST(ValidateTest, RejectsUnserved) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  Placement p;
+  p.add(f.a, 1);
+  const ValidationResult v = validate(f.tree, p, modes);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.reason.find("unserved"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsOverload) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  Placement p;
+  p.add(f.a, 0);  // load 10 > W1 = 7
+  p.add(f.r, 0);
+  const ValidationResult v = validate(f.tree, p, modes);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.reason.find("overloaded"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsServerOnClient) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes = ModeSet::single(20);
+  Placement p;
+  p.add(f.r, 0);
+  p.add(1, 0);  // node 1 is the root's client
+  EXPECT_FALSE(validate(f.tree, p, modes).valid);
+}
+
+TEST(ValidateTest, RejectsOutOfRangeMode) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes = ModeSet::single(20);
+  Placement p;
+  p.add(f.r, 5);
+  EXPECT_FALSE(validate(f.tree, p, modes).valid);
+}
+
+TEST(TotalPowerTest, SumsConfiguredModes) {
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  Placement p;
+  p.add(0, 0);
+  p.add(2, 1);
+  p.add(3, 0);
+  EXPECT_DOUBLE_EQ(total_power(p, modes), 137.5 + 1012.5 + 137.5);
+}
+
+TEST(EvaluateCostTest, Equation2Accounting) {
+  // R=2 servers, e=1 reused, E=2 pre-existing: cost = 2 + 1*c + 1*d.
+  Fig2Tree f = make_fig2();
+  f.tree.set_pre_existing(f.b, 0);
+  f.tree.set_pre_existing(f.c, 0);
+  const CostModel costs = CostModel::simple(0.5, 0.25);
+  Placement p;
+  p.add(f.c, 0);
+  p.add(f.r, 0);
+  const CostBreakdown b = evaluate_cost(f.tree, p, costs);
+  EXPECT_EQ(b.servers, 2);
+  EXPECT_EQ(b.reused, 1);
+  EXPECT_EQ(b.created, 1);
+  EXPECT_EQ(b.deleted, 1);
+  EXPECT_DOUBLE_EQ(b.cost, 2 + 0.5 + 0.25);
+}
+
+TEST(EvaluateCostTest, Equation4ModeChanges) {
+  Fig2Tree f = make_fig2();
+  f.tree.set_pre_existing(f.a, /*original_mode=*/0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  Placement p;
+  p.add(f.a, 1);  // upgrade 0 -> 1
+  p.add(f.r, 0);  // new at mode 0
+  const CostBreakdown b = evaluate_cost(f.tree, p, costs);
+  EXPECT_EQ(b.reused, 1);
+  EXPECT_EQ(b.mode_changes, 1);
+  EXPECT_DOUBLE_EQ(b.cost, 2 + 0.1 + 0.001);
+}
+
+TEST(EvaluateCostTest, NoChangeCostWhenModeKept) {
+  Fig2Tree f = make_fig2();
+  f.tree.set_pre_existing(f.a, 1);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001);
+  Placement p;
+  p.add(f.a, 1);
+  p.add(f.r, 0);
+  const CostBreakdown b = evaluate_cost(f.tree, p, costs);
+  EXPECT_EQ(b.mode_changes, 0);
+  EXPECT_DOUBLE_EQ(b.cost, 2 + 0.1);  // changed_same = 0 by default
+}
+
+TEST(MinimizeModesTest, LowersToSmallestCoveringMode) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  Placement p;
+  p.add(f.c, 1);  // load 7 fits mode 0
+  p.add(f.r, 1);  // load 7 (4 root + 3 from B) fits mode 0
+  minimize_modes(f.tree, p, modes);
+  EXPECT_EQ(p.mode(f.c), 0);
+  EXPECT_EQ(p.mode(f.r), 0);
+}
+
+TEST(MinimizeModesTest, KeepsNecessaryHighMode) {
+  Fig2Tree f = make_fig2();
+  const ModeSet modes({7, 10}, 10.0, 2.0);
+  Placement p;
+  p.add(f.a, 0);  // load 10 needs mode 1
+  p.add(f.r, 1);
+  minimize_modes(f.tree, p, modes);
+  EXPECT_EQ(p.mode(f.a), 1);
+  EXPECT_EQ(p.mode(f.r), 0);  // load 4
+}
+
+TEST(AssignClientsTest, ClosestAncestor) {
+  Fig2Tree f = make_fig2();
+  Placement p;
+  p.add(f.a, 0);
+  p.add(f.r, 0);
+  const std::vector<NodeId> serving = assign_clients(f.tree, p);
+  // Client order: root's client, B's client, C's client (id order).
+  ASSERT_EQ(serving.size(), 3u);
+  EXPECT_EQ(serving[0], f.r);
+  EXPECT_EQ(serving[1], f.a);
+  EXPECT_EQ(serving[2], f.a);
+}
+
+TEST(AssignClientsTest, UnservedIsNoNode) {
+  Fig2Tree f = make_fig2();
+  Placement p;
+  p.add(f.a, 0);
+  const std::vector<NodeId> serving = assign_clients(f.tree, p);
+  EXPECT_EQ(serving[0], kNoNode);  // root's client has no server above
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,94 @@
+#include "sim/experiment1.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+Experiment1Config small_config() {
+  Experiment1Config config;
+  config.num_trees = 8;
+  config.tree.num_internal = 30;
+  config.tree.shape = kFatShape;
+  config.capacity = 10;
+  config.pre_existing_counts = {0, 5, 15, 30};
+  config.seed = 1001;
+  config.threads = 4;
+  return config;
+}
+
+TEST(Experiment1Test, ProducesOneRowPerSweptValue) {
+  const auto rows = run_experiment1(small_config());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].num_pre_existing, 0u);
+  EXPECT_EQ(rows[3].num_pre_existing, 30u);
+}
+
+TEST(Experiment1Test, NoPreExistingMeansNoReuse) {
+  const auto rows = run_experiment1(small_config());
+  EXPECT_DOUBLE_EQ(rows[0].reused_dp, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].reused_gr, 0.0);
+}
+
+TEST(Experiment1Test, DpReusesAtLeastAsMuchAsGreedy) {
+  // Both return minimum-count solutions under the paper cost parameters;
+  // the DP maximizes reuse among them, so per tree DP >= GR — and so in
+  // the mean.
+  const auto rows = run_experiment1(small_config());
+  for (const auto& row : rows) {
+    EXPECT_GE(row.reused_dp, row.reused_gr - 1e-12)
+        << "E=" << row.num_pre_existing;
+    EXPECT_LE(row.cost_dp, row.cost_gr + 1e-12);
+  }
+}
+
+TEST(Experiment1Test, BothAlgorithmsUseMinimumReplicaCount) {
+  const auto rows = run_experiment1(small_config());
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.servers_dp, row.servers_gr, 1e-12)
+        << "E=" << row.num_pre_existing;
+  }
+}
+
+TEST(Experiment1Test, FullySeededReuseEqualsServerCount) {
+  // With every internal node pre-existing, every placed server is a reuse.
+  const auto rows = run_experiment1(small_config());
+  const auto& full = rows.back();  // E = 30 = all internal nodes
+  EXPECT_NEAR(full.reused_dp, full.servers_dp, 1e-12);
+}
+
+TEST(Experiment1Test, DeterministicAcrossRuns) {
+  const auto a = run_experiment1(small_config());
+  const auto b = run_experiment1(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].reused_dp, b[i].reused_dp);
+    EXPECT_DOUBLE_EQ(a[i].reused_gr, b[i].reused_gr);
+    EXPECT_DOUBLE_EQ(a[i].cost_dp, b[i].cost_dp);
+  }
+}
+
+TEST(Experiment1Test, ThreadCountDoesNotChangeResults) {
+  Experiment1Config c1 = small_config();
+  c1.threads = 1;
+  Experiment1Config c8 = small_config();
+  c8.threads = 8;
+  const auto a = run_experiment1(c1);
+  const auto b = run_experiment1(c8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].reused_dp, b[i].reused_dp);
+    EXPECT_DOUBLE_EQ(a[i].cost_gr, b[i].cost_gr);
+  }
+}
+
+TEST(Experiment1Test, EmptySweepRejected) {
+  Experiment1Config config = small_config();
+  config.pre_existing_counts.clear();
+  EXPECT_THROW(run_experiment1(config), CheckError);
+}
+
+}  // namespace
+}  // namespace treeplace

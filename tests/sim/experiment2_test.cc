@@ -1,0 +1,92 @@
+#include "sim/experiment2.h"
+
+#include <gtest/gtest.h>
+
+namespace treeplace {
+namespace {
+
+Experiment2Config small_config() {
+  Experiment2Config config;
+  config.num_trees = 6;
+  config.tree.num_internal = 25;
+  config.capacity = 10;
+  config.num_steps = 8;
+  config.seed = 2002;
+  config.threads = 4;
+  return config;
+}
+
+TEST(Experiment2Test, SeriesHaveOneEntryPerStep) {
+  const Experiment2Result r = run_experiment2(small_config());
+  EXPECT_EQ(r.step_reused_dp.size(), 8u);
+  EXPECT_EQ(r.cumulative_reused_dp.size(), 8u);
+  EXPECT_EQ(r.step_reused_gr.size(), 8u);
+  EXPECT_EQ(r.num_steps, 8u);
+  EXPECT_EQ(r.num_trees, 6u);
+}
+
+TEST(Experiment2Test, FirstStepHasNoReuse) {
+  // "Initially, there are no pre-existing servers."
+  const Experiment2Result r = run_experiment2(small_config());
+  EXPECT_DOUBLE_EQ(r.step_reused_dp[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.step_reused_gr[0], 0.0);
+}
+
+TEST(Experiment2Test, CumulativeSeriesAreNonDecreasing) {
+  const Experiment2Result r = run_experiment2(small_config());
+  for (std::size_t s = 1; s < r.cumulative_reused_dp.size(); ++s) {
+    EXPECT_GE(r.cumulative_reused_dp[s], r.cumulative_reused_dp[s - 1]);
+    EXPECT_GE(r.cumulative_reused_gr[s], r.cumulative_reused_gr[s - 1]);
+  }
+}
+
+TEST(Experiment2Test, DpAccumulatesMoreReuseThanGreedy) {
+  // The paper's headline for Figure 5 (left): "the DP algorithm makes a
+  // better reuse of pre-existing replicas".
+  const Experiment2Result r = run_experiment2(small_config());
+  EXPECT_GE(r.cumulative_reused_dp.back(), r.cumulative_reused_gr.back());
+  EXPECT_GT(r.cumulative_reused_dp.back(), 0.0);
+}
+
+TEST(Experiment2Test, HistogramMassEqualsTreeSteps) {
+  const Experiment2Result r = run_experiment2(small_config());
+  EXPECT_EQ(r.diff_histogram.total(), 6u * 8u);
+}
+
+TEST(Experiment2Test, HistogramMeanIsNonNegative) {
+  // Occasional negative diffs are expected (the chains diverge; paper:
+  // "It occasionally happens that the greedy algorithm performs a better
+  // reuse") but the average favours the DP.
+  const Experiment2Result r = run_experiment2(small_config());
+  EXPECT_GE(r.diff_histogram.mean(), 0.0);
+}
+
+TEST(Experiment2Test, Deterministic) {
+  const Experiment2Result a = run_experiment2(small_config());
+  const Experiment2Result b = run_experiment2(small_config());
+  EXPECT_EQ(a.cumulative_reused_dp, b.cumulative_reused_dp);
+  EXPECT_EQ(a.cumulative_reused_gr, b.cumulative_reused_gr);
+  EXPECT_EQ(a.diff_histogram.bins(), b.diff_histogram.bins());
+}
+
+TEST(Experiment2Test, ThreadCountInvariant) {
+  Experiment2Config c1 = small_config();
+  c1.threads = 1;
+  Experiment2Config c6 = small_config();
+  c6.threads = 6;
+  const Experiment2Result a = run_experiment2(c1);
+  const Experiment2Result b = run_experiment2(c6);
+  EXPECT_EQ(a.cumulative_reused_dp, b.cumulative_reused_dp);
+  EXPECT_EQ(a.diff_histogram.bins(), b.diff_histogram.bins());
+}
+
+TEST(Experiment2Test, SingleStepWorks) {
+  Experiment2Config config = small_config();
+  config.num_steps = 1;
+  const Experiment2Result r = run_experiment2(config);
+  EXPECT_EQ(r.step_reused_dp.size(), 1u);
+  EXPECT_EQ(r.diff_histogram.total(), 6u);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,73 @@
+// Golden regression values: every simulation is deterministic (fixed seeds,
+// index-ordered parallel reduction), so a handful of exact numbers pins the
+// whole pipeline — generator, solvers, accounting — against silent drift.
+// If an intentional algorithm change shifts these, re-baseline deliberately.
+#include <gtest/gtest.h>
+
+#include "sim/experiment1.h"
+#include "sim/experiment2.h"
+#include "sim/experiment3.h"
+
+namespace treeplace {
+namespace {
+
+TEST(GoldenTest, Experiment1SmallConfig) {
+  Experiment1Config config;
+  config.num_trees = 10;
+  config.tree.num_internal = 40;
+  config.capacity = 10;
+  config.pre_existing_counts = {0, 10, 20, 40};
+  config.seed = 77;
+  config.threads = 4;
+  const auto rows = run_experiment1(config);
+  ASSERT_EQ(rows.size(), 4u);
+  // E = 0: no reuse possible, identical costs.
+  EXPECT_DOUBLE_EQ(rows[0].reused_dp, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].cost_dp, rows[0].cost_gr);
+  // E = 40 = N: every server is a reuse for both algorithms.
+  EXPECT_DOUBLE_EQ(rows[3].reused_dp, rows[3].servers_dp);
+  EXPECT_DOUBLE_EQ(rows[3].reused_gr, rows[3].servers_gr);
+  // Pinned interior values (seed 77).
+  EXPECT_NEAR(rows[1].reused_dp, 2.3, 1e-9);
+  EXPECT_NEAR(rows[1].reused_gr, 1.3, 1e-9);
+  EXPECT_NEAR(rows[2].reused_dp, 6.2, 1e-9);
+  EXPECT_NEAR(rows[1].servers_dp, 9.5, 1e-9);
+}
+
+TEST(GoldenTest, Experiment2SmallConfig) {
+  Experiment2Config config;
+  config.num_trees = 8;
+  config.tree.num_internal = 30;
+  config.capacity = 10;
+  config.num_steps = 5;
+  config.seed = 88;
+  config.threads = 4;
+  const Experiment2Result r = run_experiment2(config);
+  EXPECT_DOUBLE_EQ(r.step_reused_dp[0], 0.0);
+  EXPECT_EQ(r.diff_histogram.total(), 40u);
+  // Pinned: the DP chain's cumulative reuse after 5 steps (seed 88).
+  EXPECT_NEAR(r.cumulative_reused_dp.back(), 26.25, 1e-9);
+  EXPECT_NEAR(r.cumulative_reused_gr.back(), 22.0, 1e-9);
+}
+
+TEST(GoldenTest, Experiment3SmallConfig) {
+  Experiment3Config config;
+  config.num_trees = 8;
+  config.tree.num_internal = 16;
+  config.tree.max_requests = 5;
+  config.num_pre_existing = 3;
+  config.cost_bounds = {4, 5, 6, 24};
+  config.seed = 99;
+  config.threads = 4;
+  const Experiment3Result r = run_experiment3(config);
+  ASSERT_EQ(r.rows.size(), 4u);
+  // The generous bound reaches the optimum on every tree.
+  EXPECT_NEAR(r.rows.back().score_dp, 1.0, 1e-12);
+  // Pinned interior values (seed 99).
+  EXPECT_NEAR(r.rows[0].score_dp, 0.45177705698534715, 1e-9);
+  EXPECT_NEAR(r.rows[1].score_dp, 0.65528657809572466, 1e-9);
+  EXPECT_NEAR(r.rows[0].score_gr, 0.35184622819183436, 1e-9);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,69 @@
+#include "support/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace treeplace {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("TREEPLACE_TEST_VAR");
+    unsetenv("TREEPLACE_SCALE");
+  }
+};
+
+TEST_F(EnvTest, StringFallback) {
+  EXPECT_EQ(env_string("TREEPLACE_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  setenv("TREEPLACE_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("TREEPLACE_TEST_VAR", "fallback"), "hello");
+}
+
+TEST_F(EnvTest, EmptyValueUsesFallback) {
+  setenv("TREEPLACE_TEST_VAR", "", 1);
+  EXPECT_EQ(env_string("TREEPLACE_TEST_VAR", "fb"), "fb");
+}
+
+TEST_F(EnvTest, SizeTParsing) {
+  setenv("TREEPLACE_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_size_t("TREEPLACE_TEST_VAR", 7), 123u);
+}
+
+TEST_F(EnvTest, SizeTGarbageFallsBack) {
+  setenv("TREEPLACE_TEST_VAR", "notanumber", 1);
+  EXPECT_EQ(env_size_t("TREEPLACE_TEST_VAR", 7), 7u);
+}
+
+TEST_F(EnvTest, Int64Negative) {
+  setenv("TREEPLACE_TEST_VAR", "-42", 1);
+  EXPECT_EQ(env_int64("TREEPLACE_TEST_VAR", 0), -42);
+}
+
+TEST_F(EnvTest, DoubleParsing) {
+  setenv("TREEPLACE_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("TREEPLACE_TEST_VAR", 0.0), 2.5);
+}
+
+TEST_F(EnvTest, ScaleDefaultsToQuick) {
+  EXPECT_EQ(bench_scale(), BenchScale::kQuick);
+  EXPECT_EQ(scaled(10, 200), 10);
+}
+
+TEST_F(EnvTest, ScalePaper) {
+  setenv("TREEPLACE_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kPaper);
+  EXPECT_EQ(scaled(10, 200), 200);
+}
+
+TEST_F(EnvTest, UnknownScaleIsQuick) {
+  setenv("TREEPLACE_SCALE", "huge", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kQuick);
+}
+
+}  // namespace
+}  // namespace treeplace

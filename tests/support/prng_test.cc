@@ -1,0 +1,140 @@
+#include "support/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace treeplace {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(DeriveSeedTest, IsDeterministic) {
+  EXPECT_EQ(derive_seed(123, 7), derive_seed(123, 7));
+}
+
+TEST(DeriveSeedTest, StreamsAreIndependent) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_seed(99, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions among 1000 streams
+}
+
+TEST(Xoshiro256Test, SameSeedSameSequence) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDifferentSequences) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256Test, UniformRespectsBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Xoshiro256Test, UniformSingletonRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(3, 3), 3u);
+}
+
+TEST(Xoshiro256Test, UniformCoversWholeRange) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Xoshiro256Test, UniformIsApproximatelyUniform) {
+  Xoshiro256 rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(0, 9)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 / 5);  // within 20%
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntNegativeRange) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Xoshiro256Test, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, BernoulliMatchesProbability) {
+  Xoshiro256 rng(29);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Xoshiro256Test, BernoulliDegenerateProbabilities) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(MakeRngTest, StreamsForDifferentTreesDiffer) {
+  Xoshiro256 a = make_rng(1, 0, RngStream::kTreeShape);
+  Xoshiro256 b = make_rng(1, 1, RngStream::kTreeShape);
+  EXPECT_NE(a(), b());
+}
+
+TEST(MakeRngTest, StreamsForDifferentPurposesDiffer) {
+  Xoshiro256 a = make_rng(1, 0, RngStream::kTreeShape);
+  Xoshiro256 b = make_rng(1, 0, RngStream::kClients);
+  EXPECT_NE(a(), b());
+}
+
+TEST(MakeRngTest, Reproducible) {
+  Xoshiro256 a = make_rng(5, 3, RngStream::kRequests);
+  Xoshiro256 b = make_rng(5, 3, RngStream::kRequests);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,116 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace treeplace {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(IntHistogramTest, CountsAndTotals) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(-2);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(-2), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.min_value(), -2);
+  EXPECT_EQ(h.max_value(), 3);
+}
+
+TEST(IntHistogramTest, WeightedAdd) {
+  IntHistogram h;
+  h.add(1, 5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(1), 5u);
+}
+
+TEST(IntHistogramTest, MergePreservesMass) {
+  IntHistogram a, b;
+  a.add(0, 2);
+  a.add(1, 1);
+  b.add(1, 3);
+  b.add(5, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_EQ(a.count(1), 4u);
+  EXPECT_EQ(a.count(5), 1u);
+}
+
+TEST(IntHistogramTest, Mean) {
+  IntHistogram h;
+  h.add(2, 2);
+  h.add(-1, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.5);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile({5, 1, 9}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({5, 1, 9}, 1.0), 9.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.25), 2.5);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,59 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"E", "reused"});
+  t.add_row({std::int64_t{0}, 0.0});
+  t.add_row({std::int64_t{50}, 12.3456});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("E"), std::string::npos);
+  EXPECT_NE(out.find("reused"), std::string::npos);
+  EXPECT_NE(out.find("12.3456"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, TitleIsPrinted) {
+  Table t({"x"});
+  t.set_title("Figure 4");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Figure 4", 0), 0u);  // starts with title
+}
+
+TEST(TableTest, CsvFormat) {
+  Table t({"a", "b", "c"});
+  t.add_row({std::string("x"), 1.5, std::int64_t{-2}});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,1.5000,-2\n");
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), CheckError);
+}
+
+TEST(TableTest, EmptyColumnsThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckError);
+}
+
+TEST(TableTest, CountsRowsAndColumns) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({1.0, 2.0});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace treeplace

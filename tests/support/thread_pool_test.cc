@@ -1,0 +1,84 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/parallel.h"
+
+namespace treeplace {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  auto a = pool.submit([] { return 1; });
+  auto b = pool.submit([] { return 2; });
+  EXPECT_EQ(a.get() + b.get(), 3);
+}
+
+TEST(ParallelMapTest, ResultsInIndexOrder) {
+  ThreadPool pool(8);
+  const auto results =
+      parallel_map(pool, 64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelMapTest, MatchesSequentialExactly) {
+  ThreadPool pool(8);
+  auto work = [](std::size_t i) {
+    // Something order-sensitive if results were misplaced.
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 100; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+  const auto parallel = parallel_map(pool, 40, work);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i], work(i));
+  }
+}
+
+TEST(ParallelMapTest, ZeroTasks) {
+  ThreadPool pool(2);
+  const auto results = parallel_map(pool, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  parallel_for(pool, 32, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,92 @@
+#include "tree/io.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tree_gen.h"
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+Tree make_tree() {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId a = builder.add_internal(r);
+  builder.add_client(a, 7);
+  builder.add_client(r, 2);
+  builder.set_pre_existing(a, 1);
+  return std::move(builder).build();
+}
+
+TEST(TreeIoTest, SerializeHasHeaderAndAllNodes) {
+  const std::string text = serialize_tree(make_tree());
+  EXPECT_EQ(text.rfind("treeplace-tree v1", 0), 0u);
+  EXPECT_NE(text.find("I 0 -1"), std::string::npos);
+  EXPECT_NE(text.find("I 1 0 1 1"), std::string::npos);  // pre, mode 1
+  EXPECT_NE(text.find("C 2 1 7"), std::string::npos);
+}
+
+TEST(TreeIoTest, RoundTripPreservesEverything) {
+  const Tree original = make_tree();
+  const Tree parsed = parse_tree(serialize_tree(original));
+  ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+  for (std::size_t i = 0; i < original.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    EXPECT_EQ(parsed.kind(id), original.kind(id));
+    EXPECT_EQ(parsed.parent(id), original.parent(id));
+    if (original.is_client(id)) {
+      EXPECT_EQ(parsed.requests(id), original.requests(id));
+    } else {
+      EXPECT_EQ(parsed.pre_existing(id), original.pre_existing(id));
+      EXPECT_EQ(parsed.original_mode(id), original.original_mode(id));
+    }
+  }
+}
+
+TEST(TreeIoTest, RoundTripRandomTrees) {
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    TreeGenConfig config;
+    config.num_internal = 40;
+    const Tree original = generate_tree(config, /*seed=*/7, t);
+    const Tree parsed = parse_tree(serialize_tree(original));
+    EXPECT_EQ(serialize_tree(parsed), serialize_tree(original));
+  }
+}
+
+TEST(TreeIoTest, BadHeaderThrows) {
+  EXPECT_THROW(parse_tree("not a tree\n"), CheckError);
+}
+
+TEST(TreeIoTest, MalformedLineThrows) {
+  EXPECT_THROW(parse_tree("treeplace-tree v1\nI zero\n"), CheckError);
+}
+
+TEST(TreeIoTest, NonConsecutiveIdsThrow) {
+  EXPECT_THROW(parse_tree("treeplace-tree v1\nI 5 -1 0 -1\n"), CheckError);
+}
+
+TEST(TreeIoTest, UnknownTagThrows) {
+  EXPECT_THROW(parse_tree("treeplace-tree v1\nX 0 -1\n"), CheckError);
+}
+
+TEST(TreeIoTest, CommentsAndBlankLinesIgnored) {
+  const Tree t = parse_tree(
+      "treeplace-tree v1\n"
+      "# a comment\n"
+      "\n"
+      "I 0 -1 0 -1\n"
+      "C 1 0 4\n");
+  EXPECT_EQ(t.num_internal(), 1u);
+  EXPECT_EQ(t.total_requests(), 4u);
+}
+
+TEST(TreeIoTest, DotContainsAllNodesAndEdges) {
+  const std::string dot = to_dot(make_tree());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // pre-existing
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // clients
+}
+
+}  // namespace
+}  // namespace treeplace

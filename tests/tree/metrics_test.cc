@@ -1,0 +1,64 @@
+#include "tree/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/tree_gen.h"
+
+namespace treeplace {
+namespace {
+
+TEST(TreeMetricsTest, SingleNode) {
+  TreeBuilder builder;
+  builder.add_root();
+  const TreeMetrics m = compute_metrics(std::move(builder).build());
+  EXPECT_EQ(m.num_internal, 1u);
+  EXPECT_EQ(m.num_clients, 0u);
+  EXPECT_EQ(m.depth, 1u);
+  EXPECT_EQ(m.max_fanout, 0u);
+  EXPECT_EQ(m.total_requests, 0u);
+}
+
+TEST(TreeMetricsTest, SmallTreeValues) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId a = builder.add_internal(r);
+  builder.add_internal(r);
+  builder.add_internal(a);
+  builder.add_client(a, 6);
+  builder.add_client(r, 2);
+  builder.set_pre_existing(a);
+  const TreeMetrics m = compute_metrics(std::move(builder).build());
+  EXPECT_EQ(m.num_internal, 4u);
+  EXPECT_EQ(m.num_clients, 2u);
+  EXPECT_EQ(m.num_pre_existing, 1u);
+  EXPECT_EQ(m.depth, 3u);
+  EXPECT_EQ(m.max_fanout, 2u);
+  EXPECT_EQ(m.min_fanout, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_fanout, 1.5);
+  EXPECT_EQ(m.total_requests, 8u);
+  EXPECT_EQ(m.max_client_requests, 6u);
+}
+
+TEST(TreeMetricsTest, FatTreesAreShallow) {
+  TreeGenConfig config;
+  config.num_internal = 100;
+  config.shape = kFatShape;
+  const Tree t = generate_tree(config, 1, 0);
+  const TreeMetrics m = compute_metrics(t);
+  EXPECT_EQ(m.num_internal, 100u);
+  EXPECT_LE(m.depth, 4u);  // 6-9 children: ~3 levels for 100 nodes
+}
+
+TEST(TreeMetricsTest, HighTreesAreDeeper) {
+  TreeGenConfig fat;
+  fat.num_internal = 100;
+  fat.shape = kFatShape;
+  TreeGenConfig high = fat;
+  high.shape = kHighShape;
+  const TreeMetrics m_fat = compute_metrics(generate_tree(fat, 1, 0));
+  const TreeMetrics m_high = compute_metrics(generate_tree(high, 1, 0));
+  EXPECT_GT(m_high.depth, m_fat.depth);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,203 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace treeplace {
+namespace {
+
+/// r -> {a, c1}, a -> {b, c2}; c1, c2 clients.
+struct SmallTree {
+  Tree tree;
+  NodeId r, a, b, c1, c2;
+};
+
+SmallTree make_small() {
+  TreeBuilder builder;
+  SmallTree s;
+  s.r = builder.add_root();
+  s.a = builder.add_internal(s.r);
+  s.c1 = builder.add_client(s.r, 3);
+  s.b = builder.add_internal(s.a);
+  s.c2 = builder.add_client(s.a, 5);
+  s.tree = std::move(builder).build();
+  return s;
+}
+
+TEST(TreeBuilderTest, BuildsSmallTree) {
+  SmallTree s = make_small();
+  EXPECT_EQ(s.tree.num_nodes(), 5u);
+  EXPECT_EQ(s.tree.num_internal(), 3u);
+  EXPECT_EQ(s.tree.num_clients(), 2u);
+  EXPECT_EQ(s.tree.root(), s.r);
+}
+
+TEST(TreeBuilderTest, ParentChildRelations) {
+  SmallTree s = make_small();
+  EXPECT_EQ(s.tree.parent(s.r), kNoNode);
+  EXPECT_EQ(s.tree.parent(s.a), s.r);
+  EXPECT_EQ(s.tree.parent(s.b), s.a);
+  EXPECT_EQ(s.tree.parent(s.c1), s.r);
+  ASSERT_EQ(s.tree.children(s.r).size(), 2u);
+  ASSERT_EQ(s.tree.internal_children(s.r).size(), 1u);
+  EXPECT_EQ(s.tree.internal_children(s.r)[0], s.a);
+}
+
+TEST(TreeBuilderTest, KindsAreTracked) {
+  SmallTree s = make_small();
+  EXPECT_TRUE(s.tree.is_internal(s.r));
+  EXPECT_TRUE(s.tree.is_internal(s.a));
+  EXPECT_TRUE(s.tree.is_internal(s.b));
+  EXPECT_TRUE(s.tree.is_client(s.c1));
+  EXPECT_TRUE(s.tree.is_client(s.c2));
+}
+
+TEST(TreeBuilderTest, RootMustBeFirst) {
+  TreeBuilder builder;
+  EXPECT_THROW(builder.add_internal(0), CheckError);
+  EXPECT_THROW(builder.add_client(0, 1), CheckError);
+}
+
+TEST(TreeBuilderTest, SingleRootOnly) {
+  TreeBuilder builder;
+  builder.add_root();
+  EXPECT_THROW(builder.add_root(), CheckError);
+}
+
+TEST(TreeBuilderTest, ClientCannotBeParent) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  const NodeId c = builder.add_client(r, 1);
+  EXPECT_THROW(builder.add_internal(c), CheckError);
+  EXPECT_THROW(builder.add_client(c, 1), CheckError);
+}
+
+TEST(TreeBuilderTest, EmptyBuildThrows) {
+  TreeBuilder builder;
+  EXPECT_THROW(std::move(builder).build(), CheckError);
+}
+
+TEST(TreeBuilderTest, SingleNodeTree) {
+  TreeBuilder builder;
+  builder.add_root();
+  const Tree t = std::move(builder).build();
+  EXPECT_EQ(t.num_internal(), 1u);
+  EXPECT_EQ(t.num_clients(), 0u);
+  EXPECT_EQ(t.internal_post_order().size(), 1u);
+}
+
+TEST(TreeTest, RequestsReadWrite) {
+  SmallTree s = make_small();
+  EXPECT_EQ(s.tree.requests(s.c1), 3u);
+  s.tree.set_requests(s.c1, 9);
+  EXPECT_EQ(s.tree.requests(s.c1), 9u);
+}
+
+TEST(TreeTest, RequestsOnInternalThrows) {
+  SmallTree s = make_small();
+  EXPECT_THROW(s.tree.requests(s.a), CheckError);
+  EXPECT_THROW(s.tree.set_requests(s.a, 1), CheckError);
+}
+
+TEST(TreeTest, ClientMass) {
+  SmallTree s = make_small();
+  EXPECT_EQ(s.tree.client_mass(s.r), 3u);
+  EXPECT_EQ(s.tree.client_mass(s.a), 5u);
+  EXPECT_EQ(s.tree.client_mass(s.b), 0u);
+  EXPECT_EQ(s.tree.total_requests(), 8u);
+}
+
+TEST(TreeTest, PreExistingFlags) {
+  SmallTree s = make_small();
+  EXPECT_EQ(s.tree.num_pre_existing(), 0u);
+  s.tree.set_pre_existing(s.a, 1);
+  EXPECT_TRUE(s.tree.pre_existing(s.a));
+  EXPECT_EQ(s.tree.original_mode(s.a), 1);
+  EXPECT_EQ(s.tree.num_pre_existing(), 1u);
+  s.tree.set_pre_existing(s.a, 0);  // idempotent count
+  EXPECT_EQ(s.tree.num_pre_existing(), 1u);
+  s.tree.clear_pre_existing(s.a);
+  EXPECT_FALSE(s.tree.pre_existing(s.a));
+  EXPECT_EQ(s.tree.num_pre_existing(), 0u);
+}
+
+TEST(TreeTest, PreExistingOnClientThrows) {
+  SmallTree s = make_small();
+  EXPECT_THROW(s.tree.set_pre_existing(s.c1), CheckError);
+}
+
+TEST(TreeTest, ClearAllPreExisting) {
+  SmallTree s = make_small();
+  s.tree.set_pre_existing(s.a);
+  s.tree.set_pre_existing(s.b);
+  s.tree.clear_all_pre_existing();
+  EXPECT_EQ(s.tree.num_pre_existing(), 0u);
+  EXPECT_TRUE(s.tree.pre_existing_nodes().empty());
+}
+
+TEST(TreeTest, PreExistingNodesSorted) {
+  SmallTree s = make_small();
+  s.tree.set_pre_existing(s.b);
+  s.tree.set_pre_existing(s.r);
+  const auto nodes = s.tree.pre_existing_nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+TEST(TreeTest, PostOrderChildrenBeforeParents) {
+  SmallTree s = make_small();
+  const auto& order = s.tree.internal_post_order();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(s.b), pos(s.a));
+  EXPECT_LT(pos(s.a), pos(s.r));
+}
+
+TEST(TreeTest, InternalIndexIsDense) {
+  SmallTree s = make_small();
+  std::vector<bool> seen(s.tree.num_internal(), false);
+  for (NodeId id : s.tree.internal_ids()) {
+    const std::size_t idx = s.tree.internal_index(id);
+    ASSERT_LT(idx, s.tree.num_internal());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(TreeTest, InternalIndexOnClientThrows) {
+  SmallTree s = make_small();
+  EXPECT_THROW(s.tree.internal_index(s.c1), CheckError);
+}
+
+TEST(TreeTest, AncestorOrSelf) {
+  SmallTree s = make_small();
+  EXPECT_TRUE(s.tree.is_ancestor_or_self(s.r, s.b));
+  EXPECT_TRUE(s.tree.is_ancestor_or_self(s.a, s.a));
+  EXPECT_TRUE(s.tree.is_ancestor_or_self(s.a, s.c2));
+  EXPECT_FALSE(s.tree.is_ancestor_or_self(s.b, s.a));
+  EXPECT_FALSE(s.tree.is_ancestor_or_self(s.a, s.c1));
+}
+
+TEST(TreeTest, DeepChainPostOrder) {
+  TreeBuilder builder;
+  NodeId cur = builder.add_root();
+  std::vector<NodeId> chain{cur};
+  for (int i = 0; i < 200; ++i) {
+    cur = builder.add_internal(cur);
+    chain.push_back(cur);
+  }
+  const Tree t = std::move(builder).build();
+  const auto& order = t.internal_post_order();
+  ASSERT_EQ(order.size(), chain.size());
+  // Deepest first, root last.
+  EXPECT_EQ(order.front(), chain.back());
+  EXPECT_EQ(order.back(), chain.front());
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,261 @@
+// treeplace command-line tool — drive the library without writing C++.
+//
+//   treeplace gen --nodes 50 --shape fat --seed 7 > tree.txt
+//   treeplace solve-cost --capacity 10 --create 0.1 --delete 0.01 < tree.txt
+//   treeplace solve-power --modes 5,10 --static 12.5 --alpha 3 \
+//             --create 0.1 --delete 0.01 --changed 0.001 [--budget 25] < tree.txt
+//   treeplace greedy --capacity 10 < tree.txt
+//   treeplace validate --capacity 10 --servers 0,3,7 < tree.txt
+//   treeplace stats < tree.txt
+//   treeplace dot < tree.txt | dot -Tpng > tree.png
+//
+// Trees are read/written in the text format of tree/io.h.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "treeplace.h"
+#include "tree/metrics.h"
+
+using namespace treeplace;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: treeplace <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  gen          generate a random distribution tree to stdout\n"
+      "               --nodes N --shape fat|high --client-prob P\n"
+      "               --requests LO,HI --pre E --modes M --seed S --index I\n"
+      "  solve-cost   optimal update (MinCost-WithPre DP) for the tree on stdin\n"
+      "               --capacity W --create C --delete D\n"
+      "  solve-power  cost-power Pareto frontier (MinPower-BoundedCost DP)\n"
+      "               --modes W1,W2,... --static P --alpha A\n"
+      "               --create C --delete D --changed X [--budget B] [--exact]\n"
+      "  greedy       greedy GR baseline --capacity W\n"
+      "  validate     check a placement --capacity W --servers id,id,...\n"
+      "  stats        structural metrics of the tree on stdin\n"
+      "  dot          Graphviz rendering of the tree on stdin\n";
+  std::exit(2);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+      key = key.substr(2);
+      if (key == "exact") {
+        values_[key] = "1";
+      } else {
+        if (i + 1 >= argc) usage("missing value for --" + key);
+        values_[key] = argv[++i];
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::vector<std::uint64_t> get_list(const std::string& key) const {
+    std::vector<std::uint64_t> out;
+    auto it = values_.find(key);
+    if (it == values_.end()) return out;
+    std::istringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stoull(item));
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Tree read_tree() { return parse_tree(std::cin); }
+
+void print_placement(const Tree& tree, const Placement& placement) {
+  const FlowResult flows = compute_flows(tree, placement);
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    const NodeId node = placement.nodes()[i];
+    std::cout << "  node " << node << "  mode " << placement.modes()[i]
+              << "  load " << flows.load(tree, node)
+              << (tree.pre_existing(node) ? "  (reused)" : "  (new)") << "\n";
+  }
+}
+
+int cmd_gen(const Args& args) {
+  TreeGenConfig config;
+  config.num_internal = static_cast<int>(args.get_int("nodes", 50));
+  const std::string shape = args.get("shape", "fat");
+  if (shape == "fat") {
+    config.shape = kFatShape;
+  } else if (shape == "high") {
+    config.shape = kHighShape;
+  } else {
+    usage("unknown shape '" + shape + "'");
+  }
+  config.client_probability = args.get_double("client-prob", 0.5);
+  const auto requests = args.get_list("requests");
+  if (requests.size() == 2) {
+    config.min_requests = requests[0];
+    config.max_requests = requests[1];
+  } else if (!requests.empty()) {
+    usage("--requests expects LO,HI");
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto index = static_cast<std::uint64_t>(args.get_int("index", 0));
+  Tree tree = generate_tree(config, seed, index);
+  const auto num_pre = static_cast<std::size_t>(args.get_int("pre", 0));
+  if (num_pre > 0) {
+    Xoshiro256 rng = make_rng(seed, index, RngStream::kPreExisting);
+    assign_random_pre_existing(tree, num_pre, rng,
+                               static_cast<int>(args.get_int("modes", 1)));
+  }
+  serialize_tree(tree, std::cout);
+  return 0;
+}
+
+int cmd_solve_cost(const Args& args) {
+  const Tree tree = read_tree();
+  const MinCostConfig config{
+      static_cast<RequestCount>(args.get_int("capacity", 10)),
+      args.get_double("create", 0.1), args.get_double("delete", 0.01)};
+  const MinCostResult result = solve_min_cost_with_pre(tree, config);
+  if (!result.feasible) {
+    std::cout << "infeasible: some client group exceeds the capacity\n";
+    return 1;
+  }
+  std::cout << "optimal cost " << result.breakdown.cost << "  ("
+            << result.breakdown.servers << " servers: "
+            << result.breakdown.reused << " reused, "
+            << result.breakdown.created << " new, " << result.breakdown.deleted
+            << " deleted)\n";
+  print_placement(tree, result.placement);
+  return 0;
+}
+
+int cmd_solve_power(const Args& args) {
+  const Tree tree = read_tree();
+  auto caps = args.get_list("modes");
+  if (caps.empty()) caps = {5, 10};
+  const ModeSet modes(std::vector<RequestCount>(caps.begin(), caps.end()),
+                      args.get_double("static", 0.0),
+                      args.get_double("alpha", 3.0));
+  const CostModel costs = CostModel::uniform(
+      modes.count(), args.get_double("create", 0.1),
+      args.get_double("delete", 0.01), args.get_double("changed", 0.0),
+      args.get_double("changed-same", 0.0));
+  const PowerDPResult result =
+      args.has("exact") ? solve_power_exact(tree, modes, costs)
+                        : solve_power_auto(tree, modes, costs);
+  if (!result.feasible) {
+    std::cout << "infeasible: some client group exceeds W_M\n";
+    return 1;
+  }
+  std::cout << "cost-power Pareto frontier (" << result.frontier.size()
+            << " points):\n";
+  for (const PowerParetoPoint& p : result.frontier) {
+    std::cout << "  cost " << p.cost << "  power " << p.power << "  servers "
+              << p.breakdown.servers << "\n";
+  }
+  if (args.has("budget")) {
+    const double budget = args.get_double("budget", 0.0);
+    const PowerParetoPoint* best = result.best_within_cost(budget);
+    if (best == nullptr) {
+      std::cout << "no solution within budget " << budget << "\n";
+      return 1;
+    }
+    std::cout << "best within budget " << budget << ": power " << best->power
+              << " at cost " << best->cost << "\n";
+    print_placement(tree, best->placement);
+  }
+  return 0;
+}
+
+int cmd_greedy(const Args& args) {
+  const Tree tree = read_tree();
+  const auto capacity = static_cast<RequestCount>(args.get_int("capacity", 10));
+  const GreedyResult result = solve_greedy_min_count(tree, capacity);
+  if (!result.feasible) {
+    std::cout << "infeasible: some client group exceeds the capacity\n";
+    return 1;
+  }
+  std::cout << result.placement.size() << " replicas (minimum count):\n";
+  print_placement(tree, result.placement);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const Tree tree = read_tree();
+  const auto capacity = static_cast<RequestCount>(args.get_int("capacity", 10));
+  Placement placement;
+  for (std::uint64_t id : args.get_list("servers")) {
+    placement.add(static_cast<NodeId>(id), 0);
+  }
+  const ValidationResult v =
+      validate(tree, placement, ModeSet::single(capacity));
+  if (v.valid) {
+    std::cout << "valid placement (" << placement.size() << " servers)\n";
+    return 0;
+  }
+  std::cout << "INVALID: " << v.reason << "\n";
+  return 1;
+}
+
+int cmd_stats(const Args&) {
+  const Tree tree = read_tree();
+  const TreeMetrics m = compute_metrics(tree);
+  std::cout << "internal nodes: " << m.num_internal << "\n"
+            << "clients:        " << m.num_clients << "\n"
+            << "pre-existing:   " << m.num_pre_existing << "\n"
+            << "depth:          " << m.depth << "\n"
+            << "fan-out:        " << m.min_fanout << ".." << m.max_fanout
+            << " (mean " << m.mean_fanout << ")\n"
+            << "total requests: " << m.total_requests << "\n"
+            << "max client:     " << m.max_client_requests << "\n";
+  return 0;
+}
+
+int cmd_dot(const Args&) {
+  std::cout << to_dot(read_tree());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "solve-cost") return cmd_solve_cost(args);
+    if (command == "solve-power") return cmd_solve_power(args);
+    if (command == "greedy") return cmd_greedy(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "dot") return cmd_dot(args);
+    usage("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
