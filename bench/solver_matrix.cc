@@ -1,0 +1,116 @@
+// The whole solver matrix in one binary: every registered strategy swept
+// over a shared instance set.
+//
+// Two instance families exercise both problem classes:
+//   * single-mode (M=1, W=10): the classic MinCost-WithPre setting,
+//   * multi-mode (W1=5, W2=10, P_i = W1³/10 + W_i³): the paper's
+//     Experiment 3 power setting.
+// Each registered solver runs on every instance its capability flags accept
+// (exhaustive oracles skip the large trees, single-mode-only solvers skip
+// the power family); the table reports per-solver cost, power, server
+// count and runtime, so a new registered solver is benchmarked against the
+// whole field with zero extra code.
+//
+// Knobs: TREEPLACE_SCALE=paper adds a larger tree size,
+// TREEPLACE_TREES_PER_SIZE overrides the per-size instance count.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "solver/registry.h"
+#include "support/prng.h"
+
+using namespace treeplace;
+
+namespace {
+
+struct NamedInstance {
+  std::string label;
+  Instance instance;
+};
+
+std::vector<NamedInstance> make_instances() {
+  std::vector<std::size_t> sizes{12, 30};
+  if (bench_scale() == BenchScale::kPaper) sizes.push_back(50);
+  const std::size_t per_size = env_size_t("TREEPLACE_TREES_PER_SIZE", 2);
+
+  const ModeSet power_modes({5, 10}, 12.5, 3.0);
+  const CostModel power_costs =
+      CostModel::uniform(power_modes.count(), 0.1, 0.01, 0.001, 0.001);
+
+  std::vector<NamedInstance> out;
+  for (const std::size_t n : sizes) {
+    for (std::size_t t = 0; t < per_size; ++t) {
+      TreeGenConfig gen;
+      gen.num_internal = static_cast<int>(n);
+      gen.shape = TreeShape{2, 4};
+      gen.client_probability = 0.8;
+      gen.min_requests = 1;
+      gen.max_requests = 5;
+      Tree tree = generate_tree(gen, /*seed=*/2011, t);
+      Xoshiro256 rng = make_rng(2011, t, RngStream::kPreExisting);
+      assign_random_pre_existing(tree, n / 5, rng, /*num_modes=*/2);
+
+      Tree single = tree;
+      // The single-mode family prices every pre-existing server at mode 0.
+      for (NodeId id : single.pre_existing_nodes()) {
+        single.set_pre_existing(id, 0);
+      }
+      out.push_back(NamedInstance{
+          "cost/N" + std::to_string(n) + "/" + std::to_string(t),
+          Instance::single_mode(std::move(single), 10, 0.1, 0.01)});
+      out.push_back(NamedInstance{
+          "power/N" + std::to_string(n) + "/" + std::to_string(t),
+          Instance{std::move(tree), power_modes, power_costs, std::nullopt}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("solver matrix — every registered strategy, one instance set",
+                "per-solver cost/power/runtime across the shared instances");
+
+  const std::vector<NamedInstance> instances = make_instances();
+  const SolverRegistry& registry = SolverRegistry::instance();
+  std::cout << registry.size()
+            << " registered solvers: " << registry.catalog() << "\n\n";
+
+  Table table({"solver", "instance", "feasible", "cost", "power", "servers",
+               "frontier", "seconds"});
+  table.set_title("Solver matrix (" + std::to_string(registry.size()) +
+                  " solvers x " + std::to_string(instances.size()) +
+                  " instances)");
+
+  Stopwatch total;
+  std::size_t skipped = 0;
+  for (const std::string& name : registry.names()) {
+    const auto solver = registry.create(name);
+    for (const NamedInstance& named : instances) {
+      const Instance& instance = named.instance;
+      if (!solver->info().accepts(instance.tree.num_internal(),
+                                  instance.modes.count())) {
+        ++skipped;
+        continue;
+      }
+      Stopwatch timer;
+      const Solution solution = solver->solve(instance);
+      const double seconds = timer.seconds();
+      table.add_row({name, named.label,
+                     std::string(solution.feasible ? "yes" : "no"),
+                     solution.breakdown.cost, solution.power,
+                     static_cast<std::int64_t>(solution.breakdown.servers),
+                     static_cast<std::int64_t>(solution.frontier.size()),
+                     seconds});
+    }
+  }
+
+  bench::emit(table, "solver_matrix", total.seconds());
+  std::cout << "(" << skipped
+            << " solver/instance pairs skipped by capability flags)\n";
+  return 0;
+}

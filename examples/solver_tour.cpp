@@ -1,0 +1,71 @@
+// A tour of the solver registry: one instance, every strategy.
+//
+// The solver layer turns each of the paper's algorithms into an
+// interchangeable strategy behind a uniform Instance -> Solution contract,
+// so comparing the whole field is a loop over registry names — the same
+// mechanism treeplace_cli's `solve --algo` and bench/solver_matrix use.
+// This example builds one mid-size power instance and prints what every
+// registered solver makes of it.
+#include <iomanip>
+#include <iostream>
+
+#include "treeplace.h"
+
+using namespace treeplace;
+
+int main() {
+  std::cout << "treeplace solver tour — one instance, every strategy\n\n";
+
+  // A 20-node tree with 4 servers already running, in the paper's
+  // Experiment 3 power setting (W1=5, W2=10, P_i = W1^3/10 + W_i^3).
+  TreeGenConfig gen;
+  gen.num_internal = 20;
+  gen.shape = kHighShape;
+  gen.client_probability = 0.8;
+  gen.min_requests = 1;
+  gen.max_requests = 5;
+  Tree tree = generate_tree(gen, /*seed=*/7, /*tree_index=*/0);
+  Xoshiro256 rng = make_rng(7, 0, RngStream::kPreExisting);
+  assign_random_pre_existing(tree, 4, rng, /*num_modes=*/2);
+
+  Instance instance{std::move(tree), ModeSet({5, 10}, 12.5, 3.0),
+                    CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001),
+                    /*cost_budget=*/std::nullopt};
+
+  const SolverRegistry& registry = SolverRegistry::instance();
+  std::cout << registry.size() << " registered strategies\n\n"
+            << std::left << std::setw(18) << "solver" << std::right
+            << std::setw(6) << "kind" << std::setw(10) << "cost"
+            << std::setw(10) << "power" << std::setw(9) << "servers"
+            << std::setw(10) << "frontier" << "\n";
+
+  for (const SolverInfo& info : registry.infos()) {
+    if (!info.accepts(instance.tree.num_internal(),
+                      instance.modes.count())) {
+      continue;
+    }
+    const Solution solution = registry.create(info.name)->solve(instance);
+    std::cout << std::left << std::setw(18) << info.name << std::right
+              << std::setw(6) << (info.exact ? "exact" : "heur");
+    if (!solution.feasible) {
+      std::cout << "  infeasible\n";
+      continue;
+    }
+    std::cout << std::setw(10) << solution.breakdown.cost << std::setw(10)
+              << solution.power << std::setw(9)
+              << solution.breakdown.servers << std::setw(10)
+              << solution.frontier.size() << "\n";
+  }
+
+  // The bounded-cost query: re-solve with a budget and the bi-criteria
+  // solvers pick the least-power point that fits instead.
+  instance.cost_budget = 8.0;
+  const Solution budgeted = make_solver("power-sym")->solve(instance);
+  std::cout << "\npower-sym with cost budget 8.0: "
+            << (budgeted.budget_met
+                    ? "power " + std::to_string(budgeted.power) + " at cost " +
+                          std::to_string(budgeted.breakdown.cost)
+                    : "no solution within budget")
+            << "\n";
+  return 0;
+}

@@ -1,11 +1,11 @@
 #include "sim/experiment1.h"
 
 #include <algorithm>
+#include <memory>
 
-#include "core/dp_update.h"
-#include "core/greedy.h"
 #include "gen/preexisting.h"
 #include "model/placement.h"
+#include "solver/registry.h"
 #include "support/parallel.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
@@ -31,16 +31,36 @@ std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config) {
       config.threads ? config.threads : ThreadPool::default_thread_count();
   ThreadPool pool(threads);
 
-  const CostModel costs = CostModel::simple(config.create, config.delete_cost);
-  const MinCostConfig dp_config{config.capacity, config.create,
-                                config.delete_cost};
+  // Solvers are stateless strategies; one instance each serves all threads.
+  const std::unique_ptr<Solver> optimizer =
+      SolverRegistry::instance().create(config.optimizer_algo);
+  const std::unique_ptr<Solver> baseline =
+      SolverRegistry::instance().create(config.baseline_algo);
+  for (const Solver* solver : {optimizer.get(), baseline.get()}) {
+    TREEPLACE_CHECK_MSG(
+        solver->info().provides_placement &&
+            solver->info().accepts(
+                static_cast<std::size_t>(config.tree.num_internal),
+                /*num_modes=*/1),
+        "solver '" << solver->name()
+                   << "' cannot run experiment 1's instances");
+  }
+
+  // A reuse-oblivious baseline (like GR) places identically for every E, so
+  // one solve per tree covers the whole sweep and only the pricing changes.
+  const bool baseline_oblivious = !baseline->info().supports_pre_existing;
 
   const auto per_tree = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> std::vector<PerTreeRow> {
         Tree tree = generate_tree(config.tree, config.seed, t);
-        // GR ignores pre-existing servers, so one run covers every E.
-        const GreedyResult gr = solve_greedy_min_count(tree, config.capacity);
-        TREEPLACE_CHECK_MSG(gr.feasible, "experiment tree infeasible");
+
+        Placement hoisted_baseline;
+        if (baseline_oblivious) {
+          const Solution base = baseline->solve(Instance::single_mode(
+              tree, config.capacity, config.create, config.delete_cost));
+          TREEPLACE_CHECK_MSG(base.feasible, "experiment tree infeasible");
+          hoisted_baseline = base.placement;
+        }
 
         std::vector<PerTreeRow> rows;
         rows.reserve(config.pre_existing_counts.size());
@@ -52,17 +72,27 @@ std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config) {
                        RngStream::kPreExisting);
           assign_random_pre_existing(tree, e, pre_rng, /*num_modes=*/1);
 
-          const MinCostResult dp = solve_min_cost_with_pre(tree, dp_config);
-          TREEPLACE_CHECK(dp.feasible);
-          const CostBreakdown gr_cost = evaluate_cost(tree, gr.placement,
-                                                      costs);
+          const Instance instance = Instance::single_mode(
+              tree, config.capacity, config.create, config.delete_cost);
+          const Solution opt = optimizer->solve(instance);
+          TREEPLACE_CHECK_MSG(opt.feasible, "experiment tree infeasible");
+
+          CostBreakdown base_breakdown;
+          if (baseline_oblivious) {
+            base_breakdown =
+                evaluate_cost(instance.tree, hoisted_baseline, instance.costs);
+          } else {
+            const Solution base = baseline->solve(instance);
+            TREEPLACE_CHECK_MSG(base.feasible, "experiment tree infeasible");
+            base_breakdown = base.breakdown;
+          }
           rows.push_back(PerTreeRow{
-              static_cast<double>(dp.breakdown.reused),
-              static_cast<double>(gr_cost.reused),
-              dp.breakdown.cost,
-              gr_cost.cost,
-              static_cast<double>(dp.breakdown.servers),
-              static_cast<double>(gr_cost.servers),
+              static_cast<double>(opt.breakdown.reused),
+              static_cast<double>(base_breakdown.reused),
+              opt.breakdown.cost,
+              base_breakdown.cost,
+              static_cast<double>(opt.breakdown.servers),
+              static_cast<double>(base_breakdown.servers),
           });
         }
         return rows;

@@ -2,12 +2,15 @@
 //
 // Random trees are drawn once; for each swept value E of the pre-existing
 // server count, E random internal nodes become pre-existing and both the
-// update DP (Section 3) and the greedy GR of [19] are run.  Both return
-// minimum-replica-count solutions under the experiment's cost parameters,
-// so the comparison is the number of pre-existing servers each reuses.
+// optimizer (default: the Section 3 update DP) and the baseline (default:
+// the greedy GR of [19]) are run.  Both defaults return minimum-replica-
+// count solutions under the experiment's cost parameters, so the comparison
+// is the number of pre-existing servers each reuses.  Either side can be
+// swapped for any registered solver (solver/registry.h).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gen/tree_gen.h"
@@ -24,6 +27,8 @@ struct Experiment1Config {
   double delete_cost = 0.01;
   std::uint64_t seed = 42;
   std::size_t threads = 0;          ///< 0: ThreadPool::default_thread_count()
+  std::string optimizer_algo = "update-dp";  ///< registry name, "dp" series
+  std::string baseline_algo = "greedy";      ///< registry name, "gr" series
 };
 
 struct Experiment1Row {

@@ -1,12 +1,12 @@
 #include "sim/experiment2.h"
 
 #include <algorithm>
+#include <memory>
 
-#include "core/dp_update.h"
-#include "core/greedy.h"
 #include "gen/preexisting.h"
 #include "gen/workload.h"
 #include "model/placement.h"
+#include "solver/registry.h"
 #include "support/parallel.h"
 #include "support/thread_pool.h"
 
@@ -20,26 +20,6 @@ struct PerTreeTrace {
   std::vector<int> servers;
 };
 
-/// |a ∩ b| for sorted placement node lists.
-int intersection_size(const std::vector<NodeId>& a,
-                      const std::vector<NodeId>& b) {
-  int count = 0;
-  auto it_a = a.begin();
-  auto it_b = b.begin();
-  while (it_a != a.end() && it_b != b.end()) {
-    if (*it_a < *it_b) {
-      ++it_a;
-    } else if (*it_b < *it_a) {
-      ++it_b;
-    } else {
-      ++count;
-      ++it_a;
-      ++it_b;
-    }
-  }
-  return count;
-}
-
 }  // namespace
 
 Experiment2Result run_experiment2(const Experiment2Config& config) {
@@ -48,8 +28,21 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
       config.threads ? config.threads : ThreadPool::default_thread_count();
   ThreadPool pool(threads);
 
-  const MinCostConfig dp_config{config.capacity, config.create,
-                                config.delete_cost};
+  const std::unique_ptr<Solver> optimizer =
+      SolverRegistry::instance().create(config.optimizer_algo);
+  const std::unique_ptr<Solver> baseline =
+      SolverRegistry::instance().create(config.baseline_algo);
+  for (const Solver* solver : {optimizer.get(), baseline.get()}) {
+    // Both chains feed their placements back as the next pre-existing set,
+    // so placement-less oracles cannot participate.
+    TREEPLACE_CHECK_MSG(
+        solver->info().provides_placement &&
+            solver->info().accepts(
+                static_cast<std::size_t>(config.tree.num_internal),
+                /*num_modes=*/1),
+        "solver '" << solver->name()
+                   << "' cannot run experiment 2's instances");
+  }
 
   const auto traces = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> PerTreeTrace {
@@ -57,6 +50,16 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
         PerTreeTrace trace;
         Placement prev_dp;  // empty: no pre-existing servers initially
         Placement prev_gr;
+        const auto chained_solve = [&](const Solver& solver,
+                                       const Placement& prev) -> Solution {
+          // The chain's previous servers become this step's pre-existing
+          // set; the breakdown's reuse count is then the overlap with it.
+          set_pre_existing_from_placement(tree, prev);
+          const Solution solution = solver.solve(Instance::single_mode(
+              tree, config.capacity, config.create, config.delete_cost));
+          TREEPLACE_CHECK(solution.feasible);
+          return solution;
+        };
         for (std::size_t step = 0; step < config.num_steps; ++step) {
           Xoshiro256 workload_rng =
               make_rng(derive_seed(config.seed, step), t,
@@ -64,20 +67,12 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
           redraw_requests(tree, config.tree.min_requests,
                           config.tree.max_requests, workload_rng);
 
-          // DP chain: previous DP servers are this step's pre-existing set.
-          set_pre_existing_from_placement(tree, prev_dp);
-          const MinCostResult dp = solve_min_cost_with_pre(tree, dp_config);
-          TREEPLACE_CHECK(dp.feasible);
+          const Solution dp = chained_solve(*optimizer, prev_dp);
           trace.reused_dp.push_back(dp.breakdown.reused);
           trace.servers.push_back(dp.breakdown.servers);
 
-          // GR chain: oblivious to pre-existing servers; reuse is the
-          // overlap with its own previous placement.
-          const GreedyResult gr =
-              solve_greedy_min_count(tree, config.capacity);
-          TREEPLACE_CHECK(gr.feasible);
-          trace.reused_gr.push_back(
-              intersection_size(gr.placement.nodes(), prev_gr.nodes()));
+          const Solution gr = chained_solve(*baseline, prev_gr);
+          trace.reused_gr.push_back(gr.breakdown.reused);
 
           prev_dp = dp.placement;
           prev_gr = gr.placement;

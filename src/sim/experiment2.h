@@ -3,12 +3,15 @@
 // Starting with no replicas, the client request volumes are re-drawn at
 // every step and each algorithm recomputes a placement *chained on its own
 // previous solution* (the previous servers become its pre-existing set).
-// The DP optimizes reuse explicitly; GR is oblivious and reuses only by
-// accident.  Reported: per-step and cumulative mean reuse for both chains,
-// and the histogram of per-step differences (the paper's right panels).
+// The default optimizer (the update DP) exploits reuse explicitly; the
+// default baseline (GR) is oblivious and reuses only by accident.  Either
+// chain can run any registered solver.  Reported: per-step and cumulative
+// mean reuse for both chains, and the histogram of per-step differences
+// (the paper's right panels).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gen/tree_gen.h"
@@ -26,6 +29,8 @@ struct Experiment2Config {
   double delete_cost = 0.01;
   std::uint64_t seed = 43;
   std::size_t threads = 0;
+  std::string optimizer_algo = "update-dp";  ///< registry name, "dp" chain
+  std::string baseline_algo = "greedy";      ///< registry name, "gr" chain
 };
 
 struct Experiment2Result {

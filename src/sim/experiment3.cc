@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
-#include "core/greedy_power.h"
-#include "core/power_dp.h"
-#include "core/power_dp_symmetric.h"
 #include "gen/preexisting.h"
+#include "solver/registry.h"
 #include "support/parallel.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
@@ -20,7 +19,7 @@ struct PerTree {
   // Per cost bound: the achieved power (infinity when unsolved).
   std::vector<double> power_dp;
   std::vector<double> power_gr;
-  double p_opt = 0.0;  ///< unconstrained DP minimum power
+  double p_opt = 0.0;  ///< unconstrained optimizer minimum power
   double dp_seconds = 0.0;
 };
 
@@ -40,6 +39,23 @@ Experiment3Result run_experiment3(const Experiment3Config& config) {
       modes.count(), config.cost_create, config.cost_delete,
       config.cost_changed, config.cost_changed);
 
+  const std::string optimizer_name =
+      !config.optimizer_algo.empty()
+          ? config.optimizer_algo
+          : (config.use_exact_dp ? "power-exact" : "power-sym");
+  const std::unique_ptr<Solver> optimizer =
+      SolverRegistry::instance().create(optimizer_name);
+  const std::unique_ptr<Solver> baseline =
+      SolverRegistry::instance().create(config.baseline_algo);
+  for (const Solver* solver : {optimizer.get(), baseline.get()}) {
+    TREEPLACE_CHECK_MSG(
+        solver->info().accepts(
+            static_cast<std::size_t>(config.tree.num_internal),
+            modes.count()),
+        "solver '" << solver->name()
+                   << "' does not accept the experiment's instances");
+  }
+
   const auto per_tree = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> PerTree {
         Tree tree = generate_tree(config.tree, config.seed, t);
@@ -47,23 +63,34 @@ Experiment3Result run_experiment3(const Experiment3Config& config) {
         assign_random_pre_existing(tree, config.num_pre_existing, pre_rng,
                                    modes.count());
 
-        const PowerDPResult dp =
-            config.use_exact_dp ? solve_power_exact(tree, modes, costs)
-                                : solve_power_symmetric(tree, modes, costs);
+        const Instance instance{std::move(tree), modes, costs, std::nullopt};
+        const Solution dp = optimizer->solve(instance);
         const PowerParetoPoint* unconstrained = dp.min_power();
-        TREEPLACE_CHECK_MSG(dp.feasible && unconstrained != nullptr,
+        TREEPLACE_CHECK_MSG(dp.feasible,
                             "experiment tree infeasible for the power DP");
-        const GreedyPowerResult gr = solve_greedy_power(tree, modes, costs);
+        TREEPLACE_CHECK_MSG(unconstrained != nullptr,
+                            "optimizer '"
+                                << optimizer->name()
+                                << "' produced no cost-power frontier; "
+                                   "experiment 3 needs bi-criteria solvers");
+        const Solution gr = baseline->solve(instance);
+        // The per-bound scoring below reads both frontiers; a frontier-less
+        // baseline would silently score 0 on every bound.
+        TREEPLACE_CHECK_MSG(!gr.feasible || !gr.frontier.empty(),
+                            "baseline '"
+                                << baseline->name()
+                                << "' produced no cost-power frontier; "
+                                   "experiment 3 needs bi-criteria solvers");
 
         PerTree r;
         r.p_opt = unconstrained->power;
-        r.dp_seconds = dp.stats.solve_seconds;
+        r.dp_seconds = dp.stats.seconds;
         r.power_dp.reserve(config.cost_bounds.size());
         r.power_gr.reserve(config.cost_bounds.size());
         for (double bound : config.cost_bounds) {
           const PowerParetoPoint* dp_point = dp.best_within_cost(bound);
           r.power_dp.push_back(dp_point ? dp_point->power : kUnsolved);
-          const GreedyPowerCandidate* gr_point = gr.best_within_cost(bound);
+          const PowerParetoPoint* gr_point = gr.best_within_cost(bound);
           r.power_gr.push_back(gr_point ? gr_point->power : kUnsolved);
         }
         return r;

@@ -1,15 +1,17 @@
 // Experiment 3 (paper Figures 8-11): bi-criteria power minimization.
 //
-// For each tree, the power DP computes the whole cost-power Pareto frontier
-// once and the greedy baseline sweeps the capacity range once; every cost
-// bound of the sweep is then answered from those.  The paper's "power
-// inverse" y-axis is normalized per tree by the best achievable power (the
-// unbounded-cost DP minimum): score = P_opt / P_algo(bound), 0 when no
-// solution fits the budget (see DESIGN.md).  The raw GR/DP power ratio —
-// the paper's ">30% more power" claim — is reported alongside.
+// For each tree, the optimizer (default: the symmetric power DP) computes
+// the whole cost-power Pareto frontier once and the baseline (default: the
+// greedy capacity sweep) once; every cost bound of the sweep is then
+// answered from those frontiers.  The paper's "power inverse" y-axis is
+// normalized per tree by the best achievable power (the unbounded-cost
+// optimizer minimum): score = P_opt / P_algo(bound), 0 when no solution
+// fits the budget (see DESIGN.md).  The raw GR/DP power ratio — the paper's
+// ">30% more power" claim — is reported alongside.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gen/tree_gen.h"
@@ -32,6 +34,11 @@ struct Experiment3Config {
   std::size_t threads = 0;
   bool use_exact_dp = false;          ///< ablation: general DP instead of the
                                       ///< symmetric-cost fast path
+  /// Registry names; an empty optimizer_algo resolves to "power-exact" when
+  /// use_exact_dp is set and "power-sym" otherwise.  The optimizer must
+  /// produce the full Pareto frontier (a min-power solver).
+  std::string optimizer_algo;
+  std::string baseline_algo = "power-greedy";
 };
 
 struct Experiment3Row {

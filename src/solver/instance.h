@@ -1,0 +1,45 @@
+// The one value type every solver consumes: a complete problem statement.
+//
+// An Instance bundles the distribution tree (whose pre-existing flags and
+// original modes define the set E), the mode set (M = 1 for the classic
+// cost-only problems), the reconfiguration cost model and an optional cost
+// budget (the bounded-cost query of MinPower-BoundedCost).  Solvers never
+// take extra parameters: everything a strategy may need is here, which is
+// what lets the registry treat all of them interchangeably.
+#pragma once
+
+#include <optional>
+
+#include "model/cost.h"
+#include "model/modes.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+struct Instance {
+  Tree tree;
+  ModeSet modes = ModeSet::single(10);
+  CostModel costs = CostModel::simple(0.1, 0.01);
+  /// Bounded-cost query: power solvers return the least-power solution whose
+  /// cost fits; cost solvers report budget_met on their optimum.  Unset
+  /// means unconstrained.
+  std::optional<double> cost_budget;
+
+  /// W = W_M, the capacity single-mode algorithms plan against.
+  RequestCount capacity() const { return modes.max_capacity(); }
+
+  /// Classic single-mode instance (MinCost problems): capacity W, Eq. 2
+  /// costs.  Modes do not exist in this problem class, so any original
+  /// modes recorded on the tree's pre-existing servers are projected to 0
+  /// (a pre-existing server is just a pre-existing server).
+  static Instance single_mode(Tree tree, RequestCount capacity, double create,
+                              double delete_cost) {
+    for (NodeId id : tree.pre_existing_nodes()) {
+      if (tree.original_mode(id) != 0) tree.set_pre_existing(id, 0);
+    }
+    return Instance{std::move(tree), ModeSet::single(capacity),
+                    CostModel::simple(create, delete_cost), std::nullopt};
+  }
+};
+
+}  // namespace treeplace

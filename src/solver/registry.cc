@@ -1,0 +1,117 @@
+#include "solver/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+namespace detail {
+// Defined in builtin_solvers.cc; called exactly once from instance() so the
+// built-in strategies are available before any lookup, independent of static
+// initialization order across translation units.
+void register_builtin_solvers(SolverRegistry& registry);
+}  // namespace detail
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    detail::register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::add(SolverInfo info, Factory factory) {
+  TREEPLACE_CHECK_MSG(!info.name.empty(), "solver name must not be empty");
+  TREEPLACE_CHECK_MSG(factory != nullptr,
+                      "solver '" << info.name << "' needs a factory");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), info.name,
+      [](const Entry& e, const std::string& name) { return e.info->name < name; });
+  TREEPLACE_CHECK_MSG(pos == entries_.end() || (*pos).info->name != info.name,
+                      "solver '" << info.name << "' registered twice");
+  Entry entry;
+  entry.info = std::make_unique<SolverInfo>(std::move(info));
+  entry.factory = std::move(factory);
+  entries_.insert(pos, std::move(entry));
+}
+
+// Requires mutex_ held: the returned pointer is only valid under the lock
+// (a concurrent add() may shift entries_).
+const SolverRegistry::Entry* SolverRegistry::lookup(
+    std::string_view name) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) { return e.info->name < n; });
+  if (pos == entries_.end() || (*pos).info->name != name) return nullptr;
+  return &*pos;
+}
+
+bool SolverRegistry::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookup(name) != nullptr;
+}
+
+const SolverInfo* SolverRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = lookup(name);
+  // The heap-allocated SolverInfo outlives any entries_ reshuffle.
+  return entry == nullptr ? nullptr : entry->info.get();
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(std::string_view name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Entry* entry = lookup(name)) factory = entry->factory;
+  }
+  // catalog() takes the lock again, so the check must run unlocked.
+  TREEPLACE_CHECK_MSG(factory != nullptr, "unknown solver '"
+                                              << std::string(name)
+                                              << "'; available: " << catalog());
+  return factory();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info->name);
+  return out;
+}
+
+std::vector<SolverInfo> SolverRegistry::infos() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SolverInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(*e.info);
+  return out;
+}
+
+std::size_t SolverRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string SolverRegistry::catalog() const {
+  std::string out;
+  for (const std::string& name : names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::unique_ptr<Solver> make_solver(std::string_view name) {
+  return SolverRegistry::instance().create(name);
+}
+
+SolverRegistration::SolverRegistration(SolverInfo info,
+                                       SolverRegistry::Factory factory) {
+  SolverRegistry::instance().add(std::move(info), std::move(factory));
+}
+
+}  // namespace treeplace

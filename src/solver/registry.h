@@ -1,0 +1,107 @@
+// String-keyed solver registry: the one place strategies are looked up.
+//
+// Every algorithm in the library registers itself under a stable name
+// ("greedy", "update-dp", "power-sym", ...); the CLI, the experiment
+// harnesses and bench/solver_matrix select strategies exclusively through
+// this registry, so adding a solver is a one-file change:
+//
+//   // src/solver/my_solver.cc
+//   #include "solver/registry.h"
+//   namespace treeplace {
+//   namespace {
+//   class MySolver : public Solver {
+//    public:
+//     MySolver() : Solver(make_info()) {}
+//     static SolverInfo make_info() {
+//       SolverInfo info;
+//       info.name = "my-solver";
+//       info.summary = "one line for --list-algos";
+//       return info;
+//     }
+//     Solution solve(const Instance& instance) const override { ... }
+//   };
+//   TREEPLACE_REGISTER_SOLVER(MySolver);
+//   }  // namespace
+//   }  // namespace treeplace
+//
+// and one CMake source-list entry.  The treeplace library is an OBJECT
+// library, so the registration static initializer is never dropped by the
+// linker.  Built-in solvers are additionally registered eagerly the first
+// time instance() is called, making lookups independent of static
+// initialization order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "solver/solver.h"
+
+namespace treeplace {
+
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// The process-wide registry, with all built-in solvers registered.
+  static SolverRegistry& instance();
+
+  /// Registers a factory under info.name.  Throws CheckError on an empty
+  /// name or a duplicate registration.  Thread-safe.
+  void add(SolverInfo info, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Capability flags for `name`, or nullptr if unknown.  The pointer stays
+  /// valid for the registry's lifetime (entries are never removed).
+  const SolverInfo* find(std::string_view name) const;
+
+  /// Instantiates the solver registered under `name`.  Throws CheckError
+  /// listing the available names when `name` is unknown.
+  std::unique_ptr<Solver> create(std::string_view name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// All registered infos, sorted by name.
+  std::vector<SolverInfo> infos() const;
+
+  std::size_t size() const;
+
+  /// "a, b, c" — for error messages and usage text.
+  std::string catalog() const;
+
+ private:
+  SolverRegistry() = default;
+
+  struct Entry {
+    std::unique_ptr<SolverInfo> info;  // stable address for find()
+    Factory factory;
+  };
+
+  const Entry* lookup(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // sorted by info->name
+};
+
+/// Convenience: SolverRegistry::instance().create(name).
+std::unique_ptr<Solver> make_solver(std::string_view name);
+
+/// Registers a solver at static-initialization time; prefer the
+/// TREEPLACE_REGISTER_SOLVER macro.
+struct SolverRegistration {
+  SolverRegistration(SolverInfo info, SolverRegistry::Factory factory);
+};
+
+/// Registers `SolverClass` (default-constructible, with a static
+/// SolverInfo make_info()) under its info().name.
+#define TREEPLACE_REGISTER_SOLVER(SolverClass)                        \
+  static const ::treeplace::SolverRegistration kRegister##SolverClass{ \
+      SolverClass::make_info(),                                       \
+      [] { return std::make_unique<SolverClass>(); }}
+
+}  // namespace treeplace

@@ -1,0 +1,62 @@
+// The one result type every solver produces.
+//
+// A Solution carries the selected placement with its full accounting (cost
+// breakdown and total power, both recomputable by the independent evaluator
+// in model/placement.h), solve statistics, and — for bi-criteria solvers —
+// the complete cost-power Pareto frontier.  Single-objective solvers leave
+// the frontier empty; placement-less oracles (see SolverInfo::
+// provides_placement) fill only the numeric fields.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/power_common.h"
+#include "model/cost.h"
+#include "model/placement.h"
+
+namespace treeplace {
+
+struct SolveStats {
+  double seconds = 0.0;     ///< wall-clock solve time
+  std::uint64_t work = 0;   ///< solver-specific work counter (DP cells,
+                            ///< merge pairs, local-search evaluations, ...)
+};
+
+struct Solution {
+  /// True iff the instance admits any valid placement for this solver.
+  bool feasible = false;
+  /// False iff Instance::cost_budget was set and no solution fits it; the
+  /// placement then falls back to the solver's unconstrained pick.
+  bool budget_met = true;
+
+  /// The selected placement: the optimum for single-objective solvers, the
+  /// least-power point within budget (else minimum power) for bi-criteria
+  /// ones.  Empty for solvers with provides_placement == false.
+  Placement placement;
+  CostBreakdown breakdown;
+  double power = 0.0;
+
+  /// Full cost-power trade-off (ascending cost, strictly descending power);
+  /// empty for single-objective solvers.
+  std::vector<PowerParetoPoint> frontier;
+
+  SolveStats stats;
+
+  /// Minimum-power frontier point whose cost is within `bound` (1e-9
+  /// tolerance); nullptr when the frontier is empty or nothing fits.
+  const PowerParetoPoint* best_within_cost(double bound) const {
+    const PowerParetoPoint* best = nullptr;
+    for (const PowerParetoPoint& p : frontier) {
+      if (p.cost <= bound + 1e-9) best = &p;  // power decreases along the list
+    }
+    return best;
+  }
+
+  /// Unconstrained minimum-power frontier point; nullptr when empty.
+  const PowerParetoPoint* min_power() const {
+    return frontier.empty() ? nullptr : &frontier.back();
+  }
+};
+
+}  // namespace treeplace

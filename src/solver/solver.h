@@ -1,0 +1,74 @@
+// The uniform strategy interface all placement algorithms implement.
+//
+// A Solver is a stateless strategy object: solve() maps an Instance to a
+// Solution and may be called concurrently from many threads.  The attached
+// SolverInfo describes what the strategy can do — its objective, whether it
+// is exact or a heuristic, whether it exploits multiple power modes or the
+// pre-existing server set, and any instance-size limit — so generic
+// consumers (CLI, experiments, bench/solver_matrix) can select and gate
+// strategies without knowing them individually.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "solver/instance.h"
+#include "solver/solution.h"
+
+namespace treeplace {
+
+/// What a solver optimizes.  Min-count solvers (GR) are classified as
+/// kMinCost: replica count is the dominant term of the Eq. 2 cost.
+enum class Objective {
+  kMinCost,   ///< Eq. 2 / Eq. 4 reconfiguration cost
+  kMinPower,  ///< Eq. 3 power (bi-criteria with the cost budget)
+};
+
+struct SolverInfo {
+  std::string name;     ///< registry key, e.g. "update-dp"
+  std::string summary;  ///< one-line description for --list-algos
+  Objective objective = Objective::kMinCost;
+  /// True for provably optimal algorithms (w.r.t. `objective`, on the
+  /// instance class stated in `summary`); false for heuristics.
+  bool exact = false;
+  /// True when the solver exploits multiple power modes (M > 1); every
+  /// solver must still accept single-mode instances.
+  bool needs_modes = false;
+  /// True when the solver can take advantage of pre-existing servers; false
+  /// means it merely tolerates them (prices reuse by accident, like GR).
+  bool supports_pre_existing = false;
+  /// False for oracles that certify optimal values without reconstructing a
+  /// placement (Solution::placement stays empty).
+  bool provides_placement = true;
+  /// True when the algorithm requires a single-mode cost model (M = 1).
+  bool single_mode_only = false;
+  /// Hard instance-size cap (internal nodes); 0 means unbounded.
+  std::size_t max_internal = 0;
+
+  /// Whether this solver accepts an instance of the given size/mode count.
+  bool accepts(std::size_t num_internal, int num_modes) const {
+    if (max_internal != 0 && num_internal > max_internal) return false;
+    if (single_mode_only && num_modes > 1) return false;
+    return true;
+  }
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverInfo info) : info_(std::move(info)) {}
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  const SolverInfo& info() const { return info_; }
+  const std::string& name() const { return info_.name; }
+
+  /// Solves `instance`.  Must be thread-safe (const, no mutable state).
+  virtual Solution solve(const Instance& instance) const = 0;
+
+ private:
+  SolverInfo info_;
+};
+
+}  // namespace treeplace

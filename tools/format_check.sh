@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reports clang-format drift across the C++ sources.  Informational by
+# design: CI runs it as a non-blocking step, so it prints offending files
+# and a diff summary but the exit code only reflects tool availability.
+#
+# Usage: tools/format_check.sh [--fix]
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format_check: no C++ sources found" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  clang-format -i "${files[@]}"
+  echo "format_check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+drifted=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    drifted=$((drifted + 1))
+  fi
+done
+
+if [ "$drifted" -eq 0 ]; then
+  echo "format_check: all ${#files[@]} files clean"
+else
+  echo "format_check: $drifted of ${#files[@]} files drift from .clang-format"
+  echo "format_check: run tools/format_check.sh --fix to reformat"
+fi
+exit 0

@@ -1,15 +1,22 @@
 // treeplace command-line tool — drive the library without writing C++.
 //
 //   treeplace gen --nodes 50 --shape fat --seed 7 > tree.txt
-//   treeplace solve-cost --capacity 10 --create 0.1 --delete 0.01 < tree.txt
-//   treeplace solve-power --modes 5,10 --static 12.5 --alpha 3 \
-//             --create 0.1 --delete 0.01 --changed 0.001 [--budget 25] < tree.txt
-//   treeplace greedy --capacity 10 < tree.txt
+//   treeplace solve --algo update-dp --capacity 10 --create 0.1 \
+//             --delete 0.01 < tree.txt
+//   treeplace solve --algo power-sym --modes 5,10 --static 12.5 --alpha 3 \
+//             --create 0.1 --delete 0.01 --changed 0.001 [--budget 25] \
+//             < tree.txt
+//   treeplace solve --list-algos
 //   treeplace validate --capacity 10 --servers 0,3,7 < tree.txt
 //   treeplace stats < tree.txt
 //   treeplace dot < tree.txt | dot -Tpng > tree.png
 //
-// Trees are read/written in the text format of tree/io.h.
+// Every placement algorithm is selected by name through the SolverRegistry
+// (solver/registry.h); `solve --list-algos` enumerates them.  Trees are
+// read/written in the text format of tree/io.h.
+//
+// Exit codes: 0 success; 1 infeasible instance or unmet --budget; 2 usage
+// error (including unknown commands and unknown --algo names).
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -24,6 +31,10 @@ using namespace treeplace;
 
 namespace {
 
+constexpr int kExitSuccess = 0;
+constexpr int kExitInfeasible = 1;
+constexpr int kExitUsage = 2;
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
@@ -33,16 +44,22 @@ namespace {
       "  gen          generate a random distribution tree to stdout\n"
       "               --nodes N --shape fat|high --client-prob P\n"
       "               --requests LO,HI --pre E --modes M --seed S --index I\n"
-      "  solve-cost   optimal update (MinCost-WithPre DP) for the tree on stdin\n"
-      "               --capacity W --create C --delete D\n"
-      "  solve-power  cost-power Pareto frontier (MinPower-BoundedCost DP)\n"
-      "               --modes W1,W2,... --static P --alpha A\n"
-      "               --create C --delete D --changed X [--budget B] [--exact]\n"
-      "  greedy       greedy GR baseline --capacity W\n"
+      "  solve        run a registered solver on the tree from stdin\n"
+      "               --algo NAME        solver to run (see --list-algos)\n"
+      "               --list-algos       list registered solvers and exit\n"
+      "               --capacity W       single-mode capacity (default 10)\n"
+      "               --modes W1,W2,...  mode capacities (multi-mode)\n"
+      "               --static P --alpha A      power model (Eq. 3)\n"
+      "               --create C --delete D     cost model (Eq. 2/4)\n"
+      "               --changed X --changed-same Y\n"
+      "               --budget B         bounded-cost query\n"
+      "  list-algos   same as solve --list-algos\n"
       "  validate     check a placement --capacity W --servers id,id,...\n"
       "  stats        structural metrics of the tree on stdin\n"
-      "  dot          Graphviz rendering of the tree on stdin\n";
-  std::exit(2);
+      "  dot          Graphviz rendering of the tree on stdin\n"
+      "\n"
+      "exit codes: 0 ok, 1 infeasible or over budget, 2 usage error\n";
+  std::exit(kExitUsage);
 }
 
 class Args {
@@ -52,7 +69,9 @@ class Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
       key = key.substr(2);
-      if (key == "exact") {
+      // "exact" stays a value-less flag so the legacy `solve-power --exact`
+      // invocation reaches the migration hint instead of dying in parsing.
+      if (key == "list-algos" || key == "exact") {
         values_[key] = "1";
       } else {
         if (i + 1 >= argc) usage("missing value for --" + key);
@@ -130,77 +149,138 @@ int cmd_gen(const Args& args) {
                                static_cast<int>(args.get_int("modes", 1)));
   }
   serialize_tree(tree, std::cout);
-  return 0;
+  return kExitSuccess;
 }
 
-int cmd_solve_cost(const Args& args) {
-  const Tree tree = read_tree();
-  const MinCostConfig config{
-      static_cast<RequestCount>(args.get_int("capacity", 10)),
-      args.get_double("create", 0.1), args.get_double("delete", 0.01)};
-  const MinCostResult result = solve_min_cost_with_pre(tree, config);
-  if (!result.feasible) {
-    std::cout << "infeasible: some client group exceeds the capacity\n";
-    return 1;
+int cmd_list_algos() {
+  const auto infos = SolverRegistry::instance().infos();
+  std::cout << infos.size() << " registered solvers:\n\n";
+  for (const SolverInfo& info : infos) {
+    std::cout << "  " << info.name << "\n    " << info.summary << "\n    ["
+              << (info.exact ? "exact" : "heuristic")
+              << ", objective: "
+              << (info.objective == Objective::kMinPower ? "min-power"
+                                                         : "min-cost");
+    if (info.needs_modes) std::cout << ", multi-mode";
+    if (info.supports_pre_existing) std::cout << ", reuse-aware";
+    if (!info.provides_placement) std::cout << ", value-only oracle";
+    if (info.single_mode_only) std::cout << ", single-mode instances";
+    if (info.max_internal > 0) {
+      std::cout << ", N <= " << info.max_internal;
+    }
+    std::cout << "]\n";
   }
-  std::cout << "optimal cost " << result.breakdown.cost << "  ("
-            << result.breakdown.servers << " servers: "
-            << result.breakdown.reused << " reused, "
-            << result.breakdown.created << " new, " << result.breakdown.deleted
-            << " deleted)\n";
-  print_placement(tree, result.placement);
-  return 0;
+  return kExitSuccess;
 }
 
-int cmd_solve_power(const Args& args) {
-  const Tree tree = read_tree();
-  auto caps = args.get_list("modes");
-  if (caps.empty()) caps = {5, 10};
-  const ModeSet modes(std::vector<RequestCount>(caps.begin(), caps.end()),
-                      args.get_double("static", 0.0),
-                      args.get_double("alpha", 3.0));
-  const CostModel costs = CostModel::uniform(
-      modes.count(), args.get_double("create", 0.1),
-      args.get_double("delete", 0.01), args.get_double("changed", 0.0),
-      args.get_double("changed-same", 0.0));
-  const PowerDPResult result =
-      args.has("exact") ? solve_power_exact(tree, modes, costs)
-                        : solve_power_auto(tree, modes, costs);
-  if (!result.feasible) {
-    std::cout << "infeasible: some client group exceeds W_M\n";
-    return 1;
+/// Assembles the Instance from the CLI flags.  --modes (or a mode-aware
+/// solver with no explicit --capacity) selects the multi-mode Eq. 4 setting
+/// with the defaults of the paper's experiments; otherwise the classic
+/// single-mode Eq. 2 setting — so `--capacity` is always honored, even for
+/// power solvers (they then run with the single mode W).
+Instance build_instance(const Args& args, const SolverInfo& info, Tree tree) {
+  if (args.has("modes") && args.has("capacity")) {
+    usage("--capacity conflicts with --modes; the capacity is W_M");
   }
-  std::cout << "cost-power Pareto frontier (" << result.frontier.size()
-            << " points):\n";
-  for (const PowerParetoPoint& p : result.frontier) {
-    std::cout << "  cost " << p.cost << "  power " << p.power << "  servers "
-              << p.breakdown.servers << "\n";
+  Instance instance{std::move(tree), ModeSet::single(10),
+                    CostModel::simple(0.1, 0.01), std::nullopt};
+  if (args.has("modes") || (info.needs_modes && !args.has("capacity"))) {
+    auto caps = args.get_list("modes");
+    if (caps.empty()) caps = {5, 10};
+    instance.modes = ModeSet(std::vector<RequestCount>(caps.begin(),
+                                                       caps.end()),
+                             args.get_double("static", 0.0),
+                             args.get_double("alpha", 3.0));
+    instance.costs = CostModel::uniform(
+        instance.modes.count(), args.get_double("create", 0.1),
+        args.get_double("delete", 0.01), args.get_double("changed", 0.0),
+        args.get_double("changed-same", 0.0));
+  } else {
+    const auto capacity =
+        static_cast<RequestCount>(args.get_int("capacity", 10));
+    instance = Instance::single_mode(std::move(instance.tree), capacity,
+                                     args.get_double("create", 0.1),
+                                     args.get_double("delete", 0.01));
+    // Honor the power-model flags in the single-mode setting too (they
+    // matter when a min-power solver runs with one mode).
+    instance.modes = ModeSet({capacity}, args.get_double("static", 0.0),
+                             args.get_double("alpha", 3.0));
   }
   if (args.has("budget")) {
-    const double budget = args.get_double("budget", 0.0);
-    const PowerParetoPoint* best = result.best_within_cost(budget);
-    if (best == nullptr) {
-      std::cout << "no solution within budget " << budget << "\n";
-      return 1;
-    }
-    std::cout << "best within budget " << budget << ": power " << best->power
-              << " at cost " << best->cost << "\n";
-    print_placement(tree, best->placement);
+    instance.cost_budget = args.get_double("budget", 0.0);
   }
-  return 0;
+  return instance;
 }
 
-int cmd_greedy(const Args& args) {
-  const Tree tree = read_tree();
-  const auto capacity = static_cast<RequestCount>(args.get_int("capacity", 10));
-  const GreedyResult result = solve_greedy_min_count(tree, capacity);
-  if (!result.feasible) {
-    std::cout << "infeasible: some client group exceeds the capacity\n";
-    return 1;
+int cmd_solve(const Args& args) {
+  if (args.has("list-algos")) return cmd_list_algos();
+  if (!args.has("algo")) usage("solve requires --algo NAME (or --list-algos)");
+  const std::string algo = args.get("algo", "");
+  const SolverRegistry& registry = SolverRegistry::instance();
+  const SolverInfo* info = registry.find(algo);
+  if (info == nullptr) {
+    std::cerr << "error: unknown algorithm '" << algo << "'\n"
+              << "available algorithms: " << registry.catalog() << "\n"
+              << "(run `treeplace list-algos` for descriptions)\n";
+    return kExitUsage;
   }
-  std::cout << result.placement.size() << " replicas (minimum count):\n";
-  print_placement(tree, result.placement);
-  return 0;
+
+  const Instance instance = build_instance(args, *info, read_tree());
+  if (!info->accepts(instance.tree.num_internal(), instance.modes.count())) {
+    std::cerr << "error: '" << algo << "' does not accept this instance ("
+              << instance.tree.num_internal() << " internal nodes, "
+              << instance.modes.count() << " modes";
+    if (info->max_internal > 0) {
+      std::cerr << "; solver limit N <= " << info->max_internal;
+    }
+    if (info->single_mode_only) std::cerr << "; single-mode only";
+    std::cerr << ")\n";
+    return kExitUsage;
+  }
+
+  const Solution solution = make_solver(algo)->solve(instance);
+  if (!solution.feasible) {
+    std::cout << "infeasible: some client group exceeds the capacity W_M\n";
+    return kExitInfeasible;
+  }
+
+  if (!solution.frontier.empty()) {
+    std::cout << "cost-power Pareto frontier (" << solution.frontier.size()
+              << " points):\n";
+    for (const PowerParetoPoint& p : solution.frontier) {
+      std::cout << "  cost " << p.cost << "  power " << p.power;
+      if (!p.placement.empty()) {
+        std::cout << "  servers " << p.breakdown.servers;
+      }
+      std::cout << "\n";
+    }
+  }
+
+  const bool multi_mode = instance.modes.count() > 1;
+  std::cout << algo << ": cost " << solution.breakdown.cost;
+  if (multi_mode) std::cout << "  power " << solution.power;
+  if (info->provides_placement) {
+    std::cout << "  (" << solution.breakdown.servers << " servers: "
+              << solution.breakdown.reused << " reused, "
+              << solution.breakdown.created << " new, "
+              << solution.breakdown.deleted << " deleted)";
+  } else {
+    std::cout << "  (value-only oracle: optimal values certified, no "
+                 "placement reconstructed)";
+  }
+  std::cout << "  [" << solution.stats.seconds << " s]\n";
+  if (instance.cost_budget && !solution.budget_met) {
+    std::cout << "no solution within budget " << *instance.cost_budget
+              << "\n";
+    return kExitInfeasible;
+  }
+  if (instance.cost_budget) {
+    std::cout << "best within budget " << *instance.cost_budget << ": ";
+    if (multi_mode) std::cout << "power " << solution.power << " at ";
+    std::cout << "cost " << solution.breakdown.cost << "\n";
+  }
+  print_placement(instance.tree, solution.placement);
+  return kExitSuccess;
 }
 
 int cmd_validate(const Args& args) {
@@ -214,10 +294,10 @@ int cmd_validate(const Args& args) {
       validate(tree, placement, ModeSet::single(capacity));
   if (v.valid) {
     std::cout << "valid placement (" << placement.size() << " servers)\n";
-    return 0;
+    return kExitSuccess;
   }
   std::cout << "INVALID: " << v.reason << "\n";
-  return 1;
+  return kExitInfeasible;
 }
 
 int cmd_stats(const Args&) {
@@ -231,12 +311,12 @@ int cmd_stats(const Args&) {
             << " (mean " << m.mean_fanout << ")\n"
             << "total requests: " << m.total_requests << "\n"
             << "max client:     " << m.max_client_requests << "\n";
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_dot(const Args&) {
   std::cout << to_dot(read_tree());
-  return 0;
+  return kExitSuccess;
 }
 
 }  // namespace
@@ -247,15 +327,29 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   try {
     if (command == "gen") return cmd_gen(args);
-    if (command == "solve-cost") return cmd_solve_cost(args);
-    if (command == "solve-power") return cmd_solve_power(args);
-    if (command == "greedy") return cmd_greedy(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "list-algos" || command == "--list-algos") {
+      return cmd_list_algos();
+    }
     if (command == "validate") return cmd_validate(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "dot") return cmd_dot(args);
+    if (command == "solve-cost" || command == "solve-power" ||
+        command == "greedy") {
+      const std::string replacement =
+          command == "solve-cost"
+              ? "update-dp"
+              : command == "greedy"
+                    ? "greedy"
+                    : args.has("exact") ? "power-exact" : "power-sym";
+      usage("'" + command +
+            "' was replaced by the generic solver interface; use `treeplace "
+            "solve --algo " +
+            replacement + "` (see `treeplace list-algos`)");
+    }
     usage("unknown command '" + command + "'");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return kExitUsage;
   }
 }
