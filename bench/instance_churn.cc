@@ -1,0 +1,194 @@
+// Instance churn: what the Topology/Scenario split buys the experiment hot
+// loops.
+//
+// The workload is experiment-style repeated solving: one fixed topology
+// (paper scale, N=100 fat), per solve a fresh scenario (request redraw +
+// random pre-existing set) handed to the update DP.  Three ways to build
+// each per-solve Instance are compared:
+//
+//   rebuild        the seed design's allocation profile: every solve
+//                  reconstructs the whole tree (per-node structures, post
+//                  order, id maps) before solving — what `Instance`
+//                  copying a vector-of-vectors Tree amounted to;
+//   tree-copy      post-refactor naive use: copy the Tree value (shared
+//                  topology + duplicated flat scenario arrays);
+//   scenario-fork  the intended zero-copy path: one shared_ptr topology,
+//                  per-solve Scenario fork.
+//
+// The bench counts heap allocations made while *constructing* instances
+// (solver-internal allocations are identical across modes and excluded) and
+// checks that all modes produce bit-identical solve results.  The headline
+// numbers: scenario-fork performs no per-solve topology work at all, and
+// its instance-construction allocations drop by an order of magnitude
+// against rebuild.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "gen/workload.h"
+#include "solver/registry.h"
+#include "support/prng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  // operator new must return a unique non-null pointer even for size 0.
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace treeplace;
+
+namespace {
+
+enum class Mode { kRebuild, kTreeCopy, kScenarioFork };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kRebuild: return "rebuild";
+    case Mode::kTreeCopy: return "tree-copy";
+    case Mode::kScenarioFork: return "scenario-fork";
+  }
+  return "?";
+}
+
+/// Reconstructs the full tree from scratch — the per-solve structure work
+/// the seed design paid when Instance copied the Tree.
+Tree rebuild_tree(const Topology& topo, const Scenario& scen) {
+  TreeBuilder builder;
+  for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const NodeId parent = topo.parent(id);
+    if (topo.is_internal(id)) {
+      const NodeId got =
+          parent == kNoNode ? builder.add_root() : builder.add_internal(parent);
+      if (scen.pre_existing(id)) {
+        builder.set_pre_existing(got, scen.original_mode(id));
+      }
+    } else {
+      builder.add_client(parent, scen.requests(id));
+    }
+  }
+  return std::move(builder).build();
+}
+
+/// The i-th scenario of the sweep, forked off `base` deterministically so
+/// every mode solves the identical instance sequence.
+Scenario make_scenario(const Scenario& base, std::size_t i) {
+  Scenario scen = base;
+  Xoshiro256 workload_rng = make_rng(7100, i, RngStream::kWorkloadUpdate);
+  redraw_requests(scen, 1, 6, workload_rng);
+  Xoshiro256 pre_rng = make_rng(7100, i, RngStream::kPreExisting);
+  assign_random_pre_existing(scen, 20, pre_rng);
+  return scen;
+}
+
+struct ModeResult {
+  std::uint64_t instance_allocs = 0;  ///< while constructing instances
+  double seconds = 0.0;               ///< full loop (construct + solve)
+  double total_cost = 0.0;            ///< checksum across all solves
+  int total_servers = 0;
+};
+
+ModeResult run_mode(Mode mode, const std::shared_ptr<const Topology>& topo,
+                    const Scenario& base, const Solver& solver,
+                    std::size_t solves) {
+  ModeResult r;
+  Stopwatch timer;
+  for (std::size_t i = 0; i < solves; ++i) {
+    Scenario scen = make_scenario(base, i);
+
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    Instance instance = [&] {
+      switch (mode) {
+        case Mode::kRebuild:
+          return Instance::single_mode(rebuild_tree(*topo, scen), 10, 0.1,
+                                       0.01);
+        case Mode::kTreeCopy: {
+          const Tree tree(topo, scen);  // scenario copied into the tree...
+          Tree copy = tree;             // ...and the tree copied per solve
+          return Instance::single_mode(std::move(copy), 10, 0.1, 0.01);
+        }
+        case Mode::kScenarioFork:
+        default:
+          return Instance::single_mode(topo, std::move(scen), 10, 0.1, 0.01);
+      }
+    }();
+    g_counting.store(false, std::memory_order_relaxed);
+    r.instance_allocs += g_allocations.load(std::memory_order_relaxed);
+
+    const Solution solution = solver.solve(instance);
+    TREEPLACE_CHECK(solution.feasible);
+    r.total_cost += solution.breakdown.cost;
+    r.total_servers += solution.breakdown.servers;
+  }
+  r.seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "instance churn — per-solve Instance construction strategies",
+      "repeated experiment-style solves over one topology: seed-style "
+      "rebuild vs tree copy vs shared-topology scenario fork");
+
+  TreeGenConfig gen;
+  gen.num_internal = 100;  // the paper's experiment scale, fat shape
+  const Tree tree = generate_tree(gen, /*seed=*/7100, /*index=*/0);
+  const std::shared_ptr<const Topology>& topo = tree.topology_ptr();
+  const Scenario& base = tree.scenario();
+
+  const std::size_t solves =
+      env_size_t("TREEPLACE_CHURN_SOLVES",
+                 bench_scale() == BenchScale::kPaper ? 400 : 120);
+  const auto solver = make_solver("update-dp");
+
+  Table table({"mode", "solves", "inst_allocs/solve", "seconds",
+               "solves/sec", "total_cost"});
+  table.set_title("Instance churn (N=100 fat, update-dp, " +
+                  std::to_string(solves) + " scenario solves)");
+
+  Stopwatch total;
+  std::vector<ModeResult> results;
+  for (Mode mode :
+       {Mode::kRebuild, Mode::kTreeCopy, Mode::kScenarioFork}) {
+    const ModeResult r = run_mode(mode, topo, base, *solver, solves);
+    table.add_row(
+        {std::string(mode_name(mode)),
+         static_cast<std::int64_t>(solves),
+         static_cast<double>(r.instance_allocs) / static_cast<double>(solves),
+         r.seconds, static_cast<double>(solves) / r.seconds, r.total_cost});
+    results.push_back(r);
+  }
+
+  // All modes must have solved the identical instance sequence.
+  for (const ModeResult& r : results) {
+    TREEPLACE_CHECK(r.total_cost == results.front().total_cost);
+    TREEPLACE_CHECK(r.total_servers == results.front().total_servers);
+  }
+
+  bench::emit(table, "instance_churn", total.seconds());
+  std::cout << "(identical results across modes: total cost "
+            << results.front().total_cost << ", "
+            << results.front().total_servers << " servers placed)\n";
+  return 0;
+}

@@ -92,7 +92,7 @@ int main() {
     const auto solver = registry.create(name);
     for (const NamedInstance& named : instances) {
       const Instance& instance = named.instance;
-      if (!solver->info().accepts(instance.tree.num_internal(),
+      if (!solver->info().accepts(instance.num_internal(),
                                   instance.modes.count())) {
         ++skipped;
         continue;
@@ -110,7 +110,10 @@ int main() {
   }
 
   bench::emit(table, "solver_matrix", total.seconds());
-  std::cout << "(" << skipped
+  // Machine-readable copy so future PRs can track the perf trajectory
+  // (per-solver cost/power/seconds) without parsing the aligned table.
+  table.save_json("BENCH_solver_matrix.json");
+  std::cout << "(JSON written to BENCH_solver_matrix.json; " << skipped
             << " solver/instance pairs skipped by capability flags)\n";
   return 0;
 }

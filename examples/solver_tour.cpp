@@ -40,7 +40,7 @@ int main() {
             << std::setw(10) << "frontier" << "\n";
 
   for (const SolverInfo& info : registry.infos()) {
-    if (!info.accepts(instance.tree.num_internal(),
+    if (!info.accepts(instance.num_internal(),
                       instance.modes.count())) {
       continue;
     }

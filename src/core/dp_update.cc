@@ -43,20 +43,22 @@ struct RootChoice {
 
 class MinCostSolver {
  public:
-  MinCostSolver(const Tree& tree, const MinCostConfig& config)
-      : tree_(tree), config_(config), states_(tree.num_internal()) {}
+  MinCostSolver(const Topology& topo, const Scenario& scen,
+                const MinCostConfig& config)
+      : topo_(topo), scen_(scen), config_(config),
+        states_(topo.num_internal()) {}
 
   MinCostResult solve() {
     MinCostResult result;
-    for (NodeId j : tree_.internal_post_order()) {
+    for (NodeId j : topo_.internal_post_order()) {
       if (!process_node(j)) return result;  // infeasible client mass
     }
     const RootChoice best = scan_root();
     result.merge_iterations = merge_iterations_;
     if (!std::isfinite(best.cost)) return result;
     result.feasible = true;
-    if (best.place_root) result.placement.add(tree_.root(), 0);
-    reconstruct(tree_.root(), best.e, best.n, result.placement);
+    if (best.place_root) result.placement.add(topo_.root(), 0);
+    reconstruct(topo_.root(), best.e, best.n, result.placement);
     return result;
   }
 
@@ -71,8 +73,8 @@ class MinCostSolver {
   /// alone exceeds W: those requests traverse every ancestor together, so
   /// the whole instance is infeasible (paper Algorithm 2, exit).
   bool process_node(NodeId j) {
-    NodeState& s = states_[tree_.internal_index(j)];
-    const RequestCount base = tree_.client_mass(j);
+    NodeState& s = states_[topo_.internal_index(j)];
+    const RequestCount base = scen_.client_mass(j);
     if (base > config_.capacity) return false;
 
     s.eb = 0;
@@ -81,7 +83,7 @@ class MinCostSolver {
     s.partial_eb.assign(1, 0);
     s.partial_nb.assign(1, 0);
 
-    for (NodeId c : tree_.internal_children(j)) {
+    for (NodeId c : topo_.internal_children(j)) {
       merge_child(s, c);
       s.partial_eb.push_back(s.eb);
       s.partial_nb.push_back(s.nb);
@@ -90,8 +92,8 @@ class MinCostSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    const NodeState& cs = states_[tree_.internal_index(c)];
-    const bool child_pre = tree_.pre_existing(c);
+    const NodeState& cs = states_[topo_.internal_index(c)];
+    const bool child_pre = scen_.pre_existing(c);
     const int ceb = cs.eb + (child_pre ? 1 : 0);  // counts including c itself
     const int cnb = cs.nb + (child_pre ? 0 : 1);
 
@@ -152,10 +154,10 @@ class MinCostSolver {
   /// options and keep the cheapest overall (ties: fewer servers, then more
   /// reuse).
   RootChoice scan_root() const {
-    const NodeId root = tree_.root();
-    const NodeState& s = states_[tree_.internal_index(root)];
-    const bool root_pre = tree_.pre_existing(root);
-    const int e_total = static_cast<int>(tree_.num_pre_existing());
+    const NodeId root = topo_.root();
+    const NodeState& s = states_[topo_.internal_index(root)];
+    const bool root_pre = scen_.pre_existing(root);
+    const int e_total = static_cast<int>(scen_.num_pre_existing());
     RootChoice best;
 
     const auto consider = [&](int e, int n, bool place_root, int reused,
@@ -197,13 +199,13 @@ class MinCostSolver {
   /// Unwinds the per-merge decisions of node j for target counts (e, n),
   /// adding child replicas to `placement`.
   void reconstruct(NodeId j, int e, int n, Placement& placement) const {
-    const NodeState& s = states_[tree_.internal_index(j)];
-    const auto children = tree_.internal_children(j);
+    const NodeState& s = states_[topo_.internal_index(j)];
+    const auto children = topo_.internal_children(j);
     int cur_e = e;
     int cur_n = n;
     for (std::size_t k = children.size(); k-- > 0;) {
       const NodeId c = children[k];
-      const bool child_pre = tree_.pre_existing(c);
+      const bool child_pre = scen_.pre_existing(c);
       const int nb_after = s.partial_nb[k + 1];
       const std::size_t flat =
           static_cast<std::size_t>(cur_e) *
@@ -224,7 +226,8 @@ class MinCostSolver {
     TREEPLACE_DCHECK(cur_e == 0 && cur_n == 0);
   }
 
-  const Tree& tree_;
+  const Topology& topo_;
+  const Scenario& scen_;
   const MinCostConfig& config_;
   std::vector<NodeState> states_;
   std::uint64_t merge_iterations_ = 0;
@@ -232,16 +235,17 @@ class MinCostSolver {
 
 }  // namespace
 
-MinCostResult solve_min_cost_with_pre(const Tree& tree,
+MinCostResult solve_min_cost_with_pre(const Topology& topo,
+                                      const Scenario& scen,
                                       const MinCostConfig& config) {
   TREEPLACE_CHECK(config.capacity > 0);
   TREEPLACE_CHECK(config.create >= 0.0);
   TREEPLACE_CHECK(config.delete_cost >= 0.0);
-  MinCostSolver solver(tree, config);
+  MinCostSolver solver(topo, scen, config);
   MinCostResult result = solver.solve();
   if (result.feasible) {
     result.breakdown = evaluate_cost(
-        tree, result.placement,
+        topo, scen, result.placement,
         CostModel::simple(config.create, config.delete_cost));
   }
   return result;

@@ -43,10 +43,15 @@ struct MinCostResult {
   std::uint64_t merge_iterations = 0;
 };
 
-/// Solves MinCost-WithPre on `tree` (whose pre-existing flags define E).
-/// With E empty this degenerates to MinCost-NoPre and returns a minimum
-/// replica count solution.
-MinCostResult solve_min_cost_with_pre(const Tree& tree,
+/// Solves MinCost-WithPre over one scenario of a shared topology (the
+/// scenario's pre-existing flags define E).  With E empty this degenerates
+/// to MinCost-NoPre and returns a minimum replica count solution.
+MinCostResult solve_min_cost_with_pre(const Topology& topo,
+                                      const Scenario& scen,
                                       const MinCostConfig& config);
+inline MinCostResult solve_min_cost_with_pre(const Tree& tree,
+                                             const MinCostConfig& config) {
+  return solve_min_cost_with_pre(tree.topology(), tree.scenario(), config);
+}
 
 }  // namespace treeplace

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 namespace treeplace {
 
 namespace {
 
 /// Invokes fn(placement) for every subset of internal nodes (modes all 0).
+/// A bool-returning fn stops the enumeration by returning true.
 template <typename Fn>
-void for_each_subset(const Tree& tree, Fn&& fn) {
-  const auto& internals = tree.internal_ids();
+void for_each_subset(const Topology& topo, Fn&& fn) {
+  const auto& internals = topo.internal_ids();
   const std::size_t n = internals.size();
   TREEPLACE_CHECK_MSG(n <= kExhaustiveMaxInternal,
                       "exhaustive solver limited to "
@@ -22,18 +24,60 @@ void for_each_subset(const Tree& tree, Fn&& fn) {
     for (std::size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1u) p.add(internals[i], 0);
     }
-    fn(std::move(p));
+    if constexpr (std::is_same_v<std::invoke_result_t<Fn&, Placement>,
+                                 bool>) {
+      if (fn(std::move(p))) return;
+    } else {
+      fn(std::move(p));
+    }
   }
+}
+
+/// Invokes fn(configured) for every valid placement: every subset, every
+/// per-server mode assignment from the minimal feasible one upward.  This
+/// is the candidate enumeration both frontier oracles share; fn returning
+/// true stops the whole enumeration.
+template <typename Fn>
+void for_each_configured(const Topology& topo, const Scenario& scen,
+                         const ModeSet& modes, Fn&& fn) {
+  for_each_subset(topo, [&](Placement p) -> bool {
+    // Feasibility at top mode first (loads are mode-independent).
+    const FlowResult flows = compute_flows(topo, scen, p);
+    if (flows.unserved > 0) return false;
+    std::vector<int> min_mode(p.size());
+    for (std::size_t i = 0; i < p.nodes().size(); ++i) {
+      const int m = modes.mode_for_load(flows.load(topo, p.nodes()[i]));
+      if (m < 0) return false;  // overloaded even at W_M
+      min_mode[i] = m;
+    }
+    // Enumerate configured modes >= minimal per server (odometer).
+    std::vector<int> mode = min_mode;
+    for (;;) {
+      Placement configured;
+      for (std::size_t i = 0; i < p.nodes().size(); ++i) {
+        configured.add(p.nodes()[i], mode[i]);
+      }
+      if (fn(std::move(configured))) return true;  // caller is done
+      std::size_t d = p.size();
+      while (d-- > 0) {
+        if (++mode[d] < modes.count()) break;
+        mode[d] = min_mode[d];
+        if (d == 0) return false;  // odometer wrapped completely
+      }
+      if (p.size() == 0) return false;  // empty placement: single candidate
+    }
+  });
 }
 
 }  // namespace
 
-std::optional<int> exhaustive_min_count(const Tree& tree,
+std::optional<int> exhaustive_min_count(const Topology& topo,
+                                        const Scenario& scen,
                                         RequestCount capacity) {
   const ModeSet modes = ModeSet::single(capacity);
   std::optional<int> best;
-  for_each_subset(tree, [&](Placement p) {
-    if (!validate(tree, p, modes).valid) return;
+  for_each_subset(topo, [&](Placement p) {
+    if (!validate(topo, scen, p, modes).valid) return;
     const int count = static_cast<int>(p.size());
     if (!best || count < *best) best = count;
   });
@@ -41,13 +85,14 @@ std::optional<int> exhaustive_min_count(const Tree& tree,
 }
 
 std::optional<ExhaustiveCostSolution> exhaustive_min_cost(
-    const Tree& tree, RequestCount capacity, const CostModel& costs) {
+    const Topology& topo, const Scenario& scen, RequestCount capacity,
+    const CostModel& costs) {
   TREEPLACE_CHECK(costs.num_modes() == 1);
   const ModeSet modes = ModeSet::single(capacity);
   std::optional<ExhaustiveCostSolution> best;
-  for_each_subset(tree, [&](Placement p) {
-    if (!validate(tree, p, modes).valid) return;
-    CostBreakdown b = evaluate_cost(tree, p, costs);
+  for_each_subset(topo, [&](Placement p) {
+    if (!validate(topo, scen, p, modes).valid) return;
+    CostBreakdown b = evaluate_cost(topo, scen, p, costs);
     if (!best || b.cost < best->breakdown.cost - 1e-12) {
       best = ExhaustiveCostSolution{std::move(p), b};
     }
@@ -78,51 +123,72 @@ std::vector<CostPowerPoint> pareto_frontier(
 }
 
 std::vector<CostPowerPoint> exhaustive_cost_power_frontier(
-    const Tree& tree, const ModeSet& modes, const CostModel& costs) {
+    const Topology& topo, const Scenario& scen, const ModeSet& modes,
+    const CostModel& costs) {
   TREEPLACE_CHECK(costs.num_modes() == modes.count());
   std::vector<CostPowerPoint> candidates;
-  for_each_subset(tree, [&](Placement p) {
-    // Feasibility at top mode first (loads are mode-independent).
-    const FlowResult flows = compute_flows(tree, p);
-    if (flows.unserved > 0) return;
-    std::vector<int> min_mode(p.size());
-    for (std::size_t i = 0; i < p.nodes().size(); ++i) {
-      const int m = modes.mode_for_load(flows.load(tree, p.nodes()[i]));
-      if (m < 0) return;  // overloaded even at W_M
-      min_mode[i] = m;
-    }
-    // Enumerate configured modes >= minimal per server (odometer).
-    std::vector<int> mode = min_mode;
-    for (;;) {
-      Placement configured;
-      for (std::size_t i = 0; i < p.nodes().size(); ++i) {
-        configured.add(p.nodes()[i], mode[i]);
-      }
-      candidates.push_back(
-          CostPowerPoint{evaluate_cost(tree, configured, costs).cost,
-                         total_power(configured, modes)});
-      std::size_t d = p.size();
-      while (d-- > 0) {
-        if (++mode[d] < modes.count()) break;
-        mode[d] = min_mode[d];
-        if (d == 0) return;  // odometer wrapped completely
-      }
-      if (p.size() == 0) return;  // empty placement: single candidate
-    }
+  for_each_configured(topo, scen, modes, [&](Placement configured) {
+    candidates.push_back(
+        CostPowerPoint{evaluate_cost(topo, scen, configured, costs).cost,
+                       total_power(configured, modes)});
+    return false;  // enumerate everything
   });
   return pareto_frontier(std::move(candidates));
 }
 
-std::optional<double> exhaustive_min_power(const Tree& tree,
+std::vector<ExhaustiveParetoPoint> exhaustive_cost_power_frontier_placements(
+    const Topology& topo, const Scenario& scen, const ModeSet& modes,
+    const CostModel& costs) {
+  // Pass 1: the value-only frontier (identical code path, so the points are
+  // bit-identical to exhaustive_cost_power_frontier()).
+  const std::vector<CostPowerPoint> points =
+      exhaustive_cost_power_frontier(topo, scen, modes, costs);
+  std::vector<ExhaustiveParetoPoint> out;
+  out.reserve(points.size());
+  for (const CostPowerPoint& p : points) {
+    out.push_back(ExhaustiveParetoPoint{p.cost, p.power, {}});
+  }
+  if (out.empty()) return out;
+
+  // Pass 2: re-enumerate until every frontier point has a witness placement
+  // matching its exact (cost, power).  Keeps memory at O(frontier) instead
+  // of attaching a placement to each of the up-to-3^N candidates.
+  std::vector<char> matched(out.size(), 0);
+  std::size_t missing = out.size();
+  constexpr double kEps = 1e-9;
+  for_each_configured(topo, scen, modes, [&](Placement configured) {
+    if (missing == 0) return true;  // every point already has a witness
+    const double cost = evaluate_cost(topo, scen, configured, costs).cost;
+    const double power = total_power(configured, modes);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (matched[i]) continue;
+      if (std::fabs(cost - out[i].cost) <= kEps &&
+          std::fabs(power - out[i].power) <= kEps) {
+        out[i].placement = std::move(configured);
+        matched[i] = 1;
+        --missing;
+        break;
+      }
+    }
+    return missing == 0;
+  });
+  TREEPLACE_CHECK_MSG(missing == 0,
+                      "no witness placement found for " << missing
+                                                        << " frontier points");
+  return out;
+}
+
+std::optional<double> exhaustive_min_power(const Topology& topo,
+                                           const Scenario& scen,
                                            const ModeSet& modes) {
   // With cost ignored, only minimal modes matter (power grows with mode).
   std::optional<double> best;
-  for_each_subset(tree, [&](Placement p) {
-    const FlowResult flows = compute_flows(tree, p);
+  for_each_subset(topo, [&](Placement p) {
+    const FlowResult flows = compute_flows(topo, scen, p);
     if (flows.unserved > 0) return;
     double power = 0.0;
     for (NodeId node : p.nodes()) {
-      const int m = modes.mode_for_load(flows.load(tree, node));
+      const int m = modes.mode_for_load(flows.load(topo, node));
       if (m < 0) return;
       power += modes.power(m);
     }

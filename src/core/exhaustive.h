@@ -22,8 +22,13 @@ inline constexpr std::size_t kExhaustiveMaxInternal = 20;
 
 /// Minimum replica count under capacity W (closest policy), or nullopt when
 /// infeasible.
-std::optional<int> exhaustive_min_count(const Tree& tree,
+std::optional<int> exhaustive_min_count(const Topology& topo,
+                                        const Scenario& scen,
                                         RequestCount capacity);
+inline std::optional<int> exhaustive_min_count(const Tree& tree,
+                                               RequestCount capacity) {
+  return exhaustive_min_count(tree.topology(), tree.scenario(), capacity);
+}
 
 struct ExhaustiveCostSolution {
   Placement placement;
@@ -33,7 +38,13 @@ struct ExhaustiveCostSolution {
 /// Minimum Eq. 2 cost with pre-existing servers, or nullopt when infeasible.
 /// `costs` must be a single-mode model (CostModel::simple).
 std::optional<ExhaustiveCostSolution> exhaustive_min_cost(
-    const Tree& tree, RequestCount capacity, const CostModel& costs);
+    const Topology& topo, const Scenario& scen, RequestCount capacity,
+    const CostModel& costs);
+inline std::optional<ExhaustiveCostSolution> exhaustive_min_cost(
+    const Tree& tree, RequestCount capacity, const CostModel& costs) {
+  return exhaustive_min_cost(tree.topology(), tree.scenario(), capacity,
+                             costs);
+}
 
 /// A (cost, power) point attainable by some valid placement.
 struct CostPowerPoint {
@@ -46,12 +57,46 @@ struct CostPowerPoint {
 /// Enumerates subsets and, per server, every mode from the minimal feasible
 /// one upward (higher modes can pay off through changed_{o,i} = 0).
 std::vector<CostPowerPoint> exhaustive_cost_power_frontier(
-    const Tree& tree, const ModeSet& modes, const CostModel& costs);
+    const Topology& topo, const Scenario& scen, const ModeSet& modes,
+    const CostModel& costs);
+inline std::vector<CostPowerPoint> exhaustive_cost_power_frontier(
+    const Tree& tree, const ModeSet& modes, const CostModel& costs) {
+  return exhaustive_cost_power_frontier(tree.topology(), tree.scenario(),
+                                        modes, costs);
+}
+
+/// A frontier point together with a placement that attains it.
+struct ExhaustiveParetoPoint {
+  double cost = 0.0;
+  double power = 0.0;
+  Placement placement;
+};
+
+/// exhaustive_cost_power_frontier() with a witness placement reconstructed
+/// for every frontier point, via a second enumeration pass that matches
+/// each point's exact (cost, power) — the frontier values are bit-identical
+/// to the value-only oracle's.  Memory stays O(frontier) instead of
+/// O(candidates).
+std::vector<ExhaustiveParetoPoint> exhaustive_cost_power_frontier_placements(
+    const Topology& topo, const Scenario& scen, const ModeSet& modes,
+    const CostModel& costs);
+inline std::vector<ExhaustiveParetoPoint>
+exhaustive_cost_power_frontier_placements(const Tree& tree,
+                                          const ModeSet& modes,
+                                          const CostModel& costs) {
+  return exhaustive_cost_power_frontier_placements(
+      tree.topology(), tree.scenario(), modes, costs);
+}
 
 /// Minimum total power irrespective of cost (the MinPower objective), or
 /// nullopt when infeasible.
-std::optional<double> exhaustive_min_power(const Tree& tree,
+std::optional<double> exhaustive_min_power(const Topology& topo,
+                                           const Scenario& scen,
                                            const ModeSet& modes);
+inline std::optional<double> exhaustive_min_power(const Tree& tree,
+                                                  const ModeSet& modes) {
+  return exhaustive_min_power(tree.topology(), tree.scenario(), modes);
+}
 
 /// Prunes a candidate list to its Pareto frontier (ascending cost, strictly
 /// descending power).  Exposed for reuse by the DP result builders and by

@@ -5,17 +5,18 @@
 
 namespace treeplace {
 
-GreedyResult solve_greedy_min_count(const Tree& tree, RequestCount capacity) {
+GreedyResult solve_greedy_min_count(const Topology& topo, const Scenario& scen,
+                                    RequestCount capacity) {
   GreedyResult result;
-  std::vector<RequestCount> outflow(tree.num_internal(), 0);
-  std::vector<char> is_server(tree.num_internal(), 0);
+  std::vector<RequestCount> outflow(topo.num_internal(), 0);
+  std::vector<char> is_server(topo.num_internal(), 0);
 
-  for (NodeId j : tree.internal_post_order()) {
-    RequestCount inflow = tree.client_mass(j);
+  for (NodeId j : topo.internal_post_order()) {
+    RequestCount inflow = scen.client_mass(j);
     // Children that were not already made servers forward their flow here.
     std::vector<NodeId> forwarding;
-    for (NodeId c : tree.internal_children(j)) {
-      const std::size_t ci = tree.internal_index(c);
+    for (NodeId c : topo.internal_children(j)) {
+      const std::size_t ci = topo.internal_index(c);
       if (!is_server[ci]) {
         inflow += outflow[ci];
         if (outflow[ci] > 0) forwarding.push_back(c);
@@ -26,7 +27,7 @@ GreedyResult solve_greedy_min_count(const Tree& tree, RequestCount capacity) {
       NodeId best = kNoNode;
       RequestCount best_flow = 0;
       for (NodeId c : forwarding) {
-        const std::size_t ci = tree.internal_index(c);
+        const std::size_t ci = topo.internal_index(c);
         if (is_server[ci]) continue;
         if (outflow[ci] > best_flow ||
             (outflow[ci] == best_flow && best != kNoNode && c < best)) {
@@ -39,24 +40,25 @@ GreedyResult solve_greedy_min_count(const Tree& tree, RequestCount capacity) {
         // W: those clients share every ancestor, so no solution exists.
         return result;
       }
-      is_server[tree.internal_index(best)] = 1;
+      is_server[topo.internal_index(best)] = 1;
       inflow -= best_flow;
     }
-    outflow[tree.internal_index(j)] = inflow;
+    outflow[topo.internal_index(j)] = inflow;
   }
 
-  const std::size_t root_index = tree.internal_index(tree.root());
+  const std::size_t root_index = topo.internal_index(topo.root());
   if (outflow[root_index] > 0) is_server[root_index] = 1;
 
   result.feasible = true;
-  for (NodeId j : tree.internal_ids()) {
-    if (is_server[tree.internal_index(j)]) result.placement.add(j, /*mode=*/0);
+  for (NodeId j : topo.internal_ids()) {
+    if (is_server[topo.internal_index(j)]) result.placement.add(j, /*mode=*/0);
   }
   return result;
 }
 
-int greedy_replica_count(const Tree& tree, RequestCount capacity) {
-  const GreedyResult r = solve_greedy_min_count(tree, capacity);
+int greedy_replica_count(const Topology& topo, const Scenario& scen,
+                         RequestCount capacity) {
+  const GreedyResult r = solve_greedy_min_count(topo, scen, capacity);
   return r.feasible ? static_cast<int>(r.placement.size()) : -1;
 }
 

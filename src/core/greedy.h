@@ -26,12 +26,22 @@ struct GreedyResult {
   Placement placement;
 };
 
-/// Runs GR with server capacity `capacity`.
-GreedyResult solve_greedy_min_count(const Tree& tree, RequestCount capacity);
+/// Runs GR with server capacity `capacity` over one scenario of a shared
+/// topology.
+GreedyResult solve_greedy_min_count(const Topology& topo, const Scenario& scen,
+                                    RequestCount capacity);
+inline GreedyResult solve_greedy_min_count(const Tree& tree,
+                                           RequestCount capacity) {
+  return solve_greedy_min_count(tree.topology(), tree.scenario(), capacity);
+}
 
 /// Lower bound certificate used by tests: the number of replicas any valid
 /// solution must place strictly within the subtree of each node, derived
 /// from the same bottom-up flow argument.  Returns -1 when infeasible.
-int greedy_replica_count(const Tree& tree, RequestCount capacity);
+int greedy_replica_count(const Topology& topo, const Scenario& scen,
+                         RequestCount capacity);
+inline int greedy_replica_count(const Tree& tree, RequestCount capacity) {
+  return greedy_replica_count(tree.topology(), tree.scenario(), capacity);
+}
 
 }  // namespace treeplace

@@ -4,7 +4,9 @@
 
 namespace treeplace {
 
-GreedyPowerResult solve_greedy_power(const Tree& tree, const ModeSet& modes,
+GreedyPowerResult solve_greedy_power(const Topology& topo,
+                                     const Scenario& scen,
+                                     const ModeSet& modes,
                                      const CostModel& costs) {
   TREEPLACE_CHECK(costs.num_modes() == modes.count());
   GreedyPowerResult result;
@@ -13,12 +15,13 @@ GreedyPowerResult solve_greedy_power(const Tree& tree, const ModeSet& modes,
   for (RequestCount w = lo; w <= hi; ++w) {
     GreedyPowerCandidate candidate;
     candidate.capacity = w;
-    GreedyResult greedy = solve_greedy_min_count(tree, w);
+    GreedyResult greedy = solve_greedy_min_count(topo, scen, w);
     if (greedy.feasible) {
       candidate.feasible = true;
       candidate.placement = std::move(greedy.placement);
-      minimize_modes(tree, candidate.placement, modes);
-      candidate.breakdown = evaluate_cost(tree, candidate.placement, costs);
+      minimize_modes(topo, scen, candidate.placement, modes);
+      candidate.breakdown =
+          evaluate_cost(topo, scen, candidate.placement, costs);
       candidate.cost = candidate.breakdown.cost;
       candidate.power = total_power(candidate.placement, modes);
     }

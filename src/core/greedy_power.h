@@ -44,7 +44,14 @@ struct GreedyPowerResult {
 };
 
 /// Sweeps all integer capacities in [W_1, W_M].
-GreedyPowerResult solve_greedy_power(const Tree& tree, const ModeSet& modes,
+GreedyPowerResult solve_greedy_power(const Topology& topo,
+                                     const Scenario& scen,
+                                     const ModeSet& modes,
                                      const CostModel& costs);
+inline GreedyPowerResult solve_greedy_power(const Tree& tree,
+                                            const ModeSet& modes,
+                                            const CostModel& costs) {
+  return solve_greedy_power(tree.topology(), tree.scenario(), modes, costs);
+}
 
 }  // namespace treeplace

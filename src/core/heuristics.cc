@@ -10,28 +10,30 @@ namespace treeplace {
 namespace {
 
 /// True when `candidate` is a valid single-mode placement at capacity W.
-bool valid_at_capacity(const Tree& tree, const Placement& candidate,
-                       RequestCount capacity) {
-  const FlowResult flows = compute_flows(tree, candidate);
+bool valid_at_capacity(const Topology& topo, const Scenario& scen,
+                       const Placement& candidate, RequestCount capacity) {
+  const FlowResult flows = compute_flows(topo, scen, candidate);
   if (flows.unserved > 0) return false;
   for (NodeId node : candidate.nodes()) {
-    if (flows.load(tree, node) > capacity) return false;
+    if (flows.load(topo, node) > capacity) return false;
   }
   return true;
 }
 
 }  // namespace
 
-GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity) {
+GreedyResult solve_greedy_prefer_pre(const Topology& topo,
+                                     const Scenario& scen,
+                                     RequestCount capacity) {
   GreedyResult result;
-  std::vector<RequestCount> outflow(tree.num_internal(), 0);
-  std::vector<char> is_server(tree.num_internal(), 0);
+  std::vector<RequestCount> outflow(topo.num_internal(), 0);
+  std::vector<char> is_server(topo.num_internal(), 0);
 
-  for (NodeId j : tree.internal_post_order()) {
-    RequestCount inflow = tree.client_mass(j);
+  for (NodeId j : topo.internal_post_order()) {
+    RequestCount inflow = scen.client_mass(j);
     std::vector<NodeId> forwarding;
-    for (NodeId c : tree.internal_children(j)) {
-      const std::size_t ci = tree.internal_index(c);
+    for (NodeId c : topo.internal_children(j)) {
+      const std::size_t ci = topo.internal_index(c);
       inflow += outflow[ci];
       if (outflow[ci] > 0) forwarding.push_back(c);
     }
@@ -39,7 +41,7 @@ GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity) {
       NodeId best = kNoNode;
       RequestCount best_flow = 0;
       for (NodeId c : forwarding) {
-        const std::size_t ci = tree.internal_index(c);
+        const std::size_t ci = topo.internal_index(c);
         if (is_server[ci]) continue;
         const RequestCount f = outflow[ci];
         if (best == kNoNode || f > best_flow) {
@@ -47,36 +49,36 @@ GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity) {
           best_flow = f;
         } else if (f == best_flow) {
           // Tie: prefer a pre-existing child, then the smaller id.
-          const bool best_pre = tree.pre_existing(best);
-          const bool c_pre = tree.pre_existing(c);
+          const bool best_pre = scen.pre_existing(best);
+          const bool c_pre = scen.pre_existing(c);
           if ((c_pre && !best_pre) || (c_pre == best_pre && c < best)) {
             best = c;
           }
         }
       }
       if (best == kNoNode) return result;  // local client mass exceeds W
-      is_server[tree.internal_index(best)] = 1;
+      is_server[topo.internal_index(best)] = 1;
       inflow -= best_flow;
     }
-    outflow[tree.internal_index(j)] = inflow;
+    outflow[topo.internal_index(j)] = inflow;
   }
 
-  const std::size_t root_index = tree.internal_index(tree.root());
+  const std::size_t root_index = topo.internal_index(topo.root());
   if (outflow[root_index] > 0) is_server[root_index] = 1;
 
   result.feasible = true;
-  for (NodeId j : tree.internal_ids()) {
-    if (is_server[tree.internal_index(j)]) result.placement.add(j, 0);
+  for (NodeId j : topo.internal_ids()) {
+    if (is_server[topo.internal_index(j)]) result.placement.add(j, 0);
   }
   return result;
 }
 
-LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
-                               const CostModel& costs, Placement& placement,
-                               std::size_t max_moves) {
+LocalSearchStats improve_reuse(const Topology& topo, const Scenario& scen,
+                               RequestCount capacity, const CostModel& costs,
+                               Placement& placement, std::size_t max_moves) {
   TREEPLACE_CHECK(costs.num_modes() == 1);
   LocalSearchStats stats;
-  double current_cost = evaluate_cost(tree, placement, costs).cost;
+  double current_cost = evaluate_cost(topo, scen, placement, costs).cost;
 
   bool improved = true;
   while (improved && stats.iterations < max_moves) {
@@ -85,15 +87,15 @@ LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
     // node in its place.
     const std::vector<NodeId> servers = placement.nodes();
     for (NodeId u : servers) {
-      if (tree.pre_existing(u)) continue;  // only created servers move
-      for (NodeId v : tree.pre_existing_nodes()) {
+      if (scen.pre_existing(u)) continue;  // only created servers move
+      for (NodeId v : scen.pre_existing_nodes()) {
         if (placement.contains(v)) continue;
         ++stats.evaluated;
         Placement candidate = placement;
         candidate.remove(u);
         candidate.add(v, 0);
-        if (!valid_at_capacity(tree, candidate, capacity)) continue;
-        const double cost = evaluate_cost(tree, candidate, costs).cost;
+        if (!valid_at_capacity(topo, scen, candidate, capacity)) continue;
+        const double cost = evaluate_cost(topo, scen, candidate, costs).cost;
         if (cost < current_cost - 1e-12) {
           placement = std::move(candidate);
           current_cost = cost;
@@ -108,23 +110,23 @@ LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
   return stats;
 }
 
-LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
-                               const CostModel& costs, double cost_bound,
-                               Placement& placement,
+LocalSearchStats improve_power(const Topology& topo, const Scenario& scen,
+                               const ModeSet& modes, const CostModel& costs,
+                               double cost_bound, Placement& placement,
                                std::size_t max_moves) {
   LocalSearchStats stats;
 
   const auto score = [&](Placement& candidate) -> double {
     // Returns the candidate's power after mode minimization, or infinity
     // when invalid / over budget.
-    const FlowResult flows = compute_flows(tree, candidate);
+    const FlowResult flows = compute_flows(topo, scen, candidate);
     if (flows.unserved > 0) return std::numeric_limits<double>::infinity();
     for (NodeId node : candidate.nodes()) {
-      const int m = modes.mode_for_load(flows.load(tree, node));
+      const int m = modes.mode_for_load(flows.load(topo, node));
       if (m < 0) return std::numeric_limits<double>::infinity();
       candidate.set_mode(node, m);
     }
-    if (evaluate_cost(tree, candidate, costs).cost > cost_bound + 1e-9) {
+    if (evaluate_cost(topo, scen, candidate, costs).cost > cost_bound + 1e-9) {
       return std::numeric_limits<double>::infinity();
     }
     return total_power(candidate, modes);
@@ -147,14 +149,14 @@ LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
     }
     // Move to parent / internal children.
     for (NodeId u : servers) {
-      const NodeId p = tree.parent(u);
+      const NodeId p = topo.parent(u);
       if (p != kNoNode && !placement.contains(p)) {
         Placement c = placement;
         c.remove(u);
         c.add(p, 0);
         moves.push_back(std::move(c));
       }
-      for (NodeId child : tree.internal_children(u)) {
+      for (NodeId child : topo.internal_children(u)) {
         if (placement.contains(child)) continue;
         Placement c = placement;
         c.remove(u);
@@ -163,7 +165,7 @@ LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
       }
     }
     // Add moves (splitting load can reach lower modes).
-    for (NodeId v : tree.internal_ids()) {
+    for (NodeId v : topo.internal_ids()) {
       if (placement.contains(v)) continue;
       Placement c = placement;
       c.add(v, 0);

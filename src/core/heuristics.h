@@ -29,7 +29,13 @@ namespace treeplace {
 /// GR with ties between equal child flows broken towards pre-existing
 /// children (then smaller id).  Still optimal in replica count: absorbing
 /// any maximal-flow child leaves the same residual.
-GreedyResult solve_greedy_prefer_pre(const Tree& tree, RequestCount capacity);
+GreedyResult solve_greedy_prefer_pre(const Topology& topo,
+                                     const Scenario& scen,
+                                     RequestCount capacity);
+inline GreedyResult solve_greedy_prefer_pre(const Tree& tree,
+                                            RequestCount capacity) {
+  return solve_greedy_prefer_pre(tree.topology(), tree.scenario(), capacity);
+}
 
 struct LocalSearchStats {
   std::size_t iterations = 0;  ///< accepted moves
@@ -40,17 +46,32 @@ struct LocalSearchStats {
 /// cost by replacing created servers with currently unused pre-existing
 /// nodes whenever the swap keeps the solution valid.  First-improvement;
 /// terminates after `max_moves` accepted moves at the latest.
-LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
-                               const CostModel& costs, Placement& placement,
+LocalSearchStats improve_reuse(const Topology& topo, const Scenario& scen,
+                               RequestCount capacity, const CostModel& costs,
+                               Placement& placement,
                                std::size_t max_moves = 1000);
+inline LocalSearchStats improve_reuse(const Tree& tree, RequestCount capacity,
+                                      const CostModel& costs,
+                                      Placement& placement,
+                                      std::size_t max_moves = 1000) {
+  return improve_reuse(tree.topology(), tree.scenario(), capacity, costs,
+                       placement, max_moves);
+}
 
 /// Hill-climbs `placement` towards lower total power while keeping
 /// cost <= cost_bound and validity.  Moves: drop a server, add a server on
 /// any free internal node, move a server to its parent or to an internal
 /// child; after every move all modes are re-minimized.  First-improvement.
-LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
-                               const CostModel& costs, double cost_bound,
-                               Placement& placement,
+LocalSearchStats improve_power(const Topology& topo, const Scenario& scen,
+                               const ModeSet& modes, const CostModel& costs,
+                               double cost_bound, Placement& placement,
                                std::size_t max_moves = 1000);
+inline LocalSearchStats improve_power(const Tree& tree, const ModeSet& modes,
+                                      const CostModel& costs,
+                                      double cost_bound, Placement& placement,
+                                      std::size_t max_moves = 1000) {
+  return improve_power(tree.topology(), tree.scenario(), modes, costs,
+                       cost_bound, placement, max_moves);
+}
 
 }  // namespace treeplace

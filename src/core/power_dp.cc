@@ -32,18 +32,19 @@ struct Candidate {
 
 class ExactPowerSolver {
  public:
-  ExactPowerSolver(const Tree& tree, const ModeSet& modes,
-                   const CostModel& costs)
-      : tree_(tree),
+  ExactPowerSolver(const Topology& topo, const Scenario& scen,
+                   const ModeSet& modes, const CostModel& costs)
+      : topo_(topo),
+        scen_(scen),
         modes_(modes),
         costs_(costs),
         m_(modes.count()),
         dims_(static_cast<std::size_t>(m_) +
               static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_)),
-        states_(tree.num_internal()) {
+        states_(topo.num_internal()) {
     pre_total_per_mode_.assign(static_cast<std::size_t>(m_), 0);
-    for (NodeId e : tree_.pre_existing_nodes()) {
-      const int o = tree_.original_mode(e);
+    for (NodeId e : scen_.pre_existing_nodes()) {
+      const int o = scen_.original_mode(e);
       TREEPLACE_CHECK_MSG(o >= 0 && o < m_,
                           "pre-existing node " << e
                                                << " has original mode " << o
@@ -55,7 +56,7 @@ class ExactPowerSolver {
   PowerDPResult solve() {
     Stopwatch watch;
     PowerDPResult result;
-    for (NodeId j : tree_.internal_post_order()) {
+    for (NodeId j : topo_.internal_post_order()) {
       if (!process_node(j)) {
         result.stats.solve_seconds = watch.seconds();
         return result;  // some client mass exceeds W_M: infeasible
@@ -78,21 +79,21 @@ class ExactPowerSolver {
   }
   /// Dimension that a replica on `node` at mode `w` increments.
   std::size_t dim_of(NodeId node, int w) const {
-    return tree_.pre_existing(node)
-               ? dim_reused(tree_.original_mode(node), w)
+    return scen_.pre_existing(node)
+               ? dim_reused(scen_.original_mode(node), w)
                : dim_new(w);
   }
 
   bool process_node(NodeId j) {
-    NodeState& s = states_[tree_.internal_index(j)];
-    const RequestCount base = tree_.client_mass(j);
+    NodeState& s = states_[topo_.internal_index(j)];
+    const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
 
     s.box = Box(std::vector<int>(dims_, 0));
     s.flow.assign(1, base);
     table_cells_ += 1;
 
-    for (NodeId c : tree_.internal_children(j)) merge_child(s, c);
+    for (NodeId c : topo_.internal_children(j)) merge_child(s, c);
 
     // Bounds seen by the parent: ours plus this node's own placement
     // possibilities (one unit in any of its admissible dimensions).
@@ -102,7 +103,7 @@ class ExactPowerSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    NodeState& cs = states_[tree_.internal_index(c)];
+    NodeState& cs = states_[topo_.internal_index(c)];
     std::vector<int> new_bounds(dims_);
     for (std::size_t d = 0; d < dims_; ++d) {
       new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
@@ -150,8 +151,8 @@ class ExactPowerSolver {
   /// Enumerates root-table states x root options into (cost, power)
   /// candidates.
   std::vector<Candidate> scan_root() const {
-    const NodeId root = tree_.root();
-    const NodeState& s = states_[tree_.internal_index(root)];
+    const NodeId root = topo_.root();
+    const NodeState& s = states_[topo_.internal_index(root)];
     std::vector<Candidate> candidates;
     std::vector<int> digits(dims_, 0);
     std::vector<int> counts(dims_);
@@ -235,9 +236,9 @@ class ExactPowerSolver {
     result.frontier.reserve(swept.size());
     for (const Candidate& c : swept) {
       PowerParetoPoint point;
-      if (c.root_mode >= 0) point.placement.add(tree_.root(), c.root_mode);
-      reconstruct(tree_.root(), c.flat, point.placement);
-      point.breakdown = evaluate_cost(tree_, point.placement, costs_);
+      if (c.root_mode >= 0) point.placement.add(topo_.root(), c.root_mode);
+      reconstruct(topo_.root(), c.flat, point.placement);
+      point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
       point.cost = point.breakdown.cost;
       point.power = total_power(point.placement, modes_);
       TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
@@ -247,8 +248,8 @@ class ExactPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
-    const NodeState& s = states_[tree_.internal_index(j)];
-    const auto children = tree_.internal_children(j);
+    const NodeState& s = states_[topo_.internal_index(j)];
+    const auto children = topo_.internal_children(j);
     for (std::size_t k = children.size(); k-- > 0;) {
       const Decision d = s.decisions[k][flat];
       if (d.mode >= 0) placement.add(children[k], d.mode);
@@ -258,7 +259,8 @@ class ExactPowerSolver {
     TREEPLACE_DCHECK(flat == 0);
   }
 
-  const Tree& tree_;
+  const Topology& topo_;
+  const Scenario& scen_;
   const ModeSet& modes_;
   const CostModel& costs_;
   const int m_;
@@ -271,11 +273,11 @@ class ExactPowerSolver {
 
 }  // namespace
 
-PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
-                                const CostModel& costs) {
+PowerDPResult solve_power_exact(const Topology& topo, const Scenario& scen,
+                                const ModeSet& modes, const CostModel& costs) {
   TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
                       "cost model and mode set disagree on M");
-  ExactPowerSolver solver(tree, modes, costs);
+  ExactPowerSolver solver(topo, scen, modes, costs);
   return solver.solve();
 }
 

@@ -28,10 +28,15 @@
 
 namespace treeplace {
 
-/// Solves MinPower-BoundedCost-{No,With}Pre exactly on `tree` (whose
-/// pre-existing flags and original modes define E).  `costs` may be fully
-/// general (Eq. 4).  Returns the complete cost-power Pareto frontier.
-PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
-                                const CostModel& costs);
+/// Solves MinPower-BoundedCost-{No,With}Pre exactly over one scenario of a
+/// shared topology (the scenario's pre-existing flags and original modes
+/// define E).  `costs` may be fully general (Eq. 4).  Returns the complete
+/// cost-power Pareto frontier.
+PowerDPResult solve_power_exact(const Topology& topo, const Scenario& scen,
+                                const ModeSet& modes, const CostModel& costs);
+inline PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
+                                       const CostModel& costs) {
+  return solve_power_exact(tree.topology(), tree.scenario(), modes, costs);
+}
 
 }  // namespace treeplace

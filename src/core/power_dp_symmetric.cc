@@ -33,9 +33,10 @@ struct Candidate {
 
 class SymmetricPowerSolver {
  public:
-  SymmetricPowerSolver(const Tree& tree, const ModeSet& modes,
-                       const CostModel& costs)
-      : tree_(tree),
+  SymmetricPowerSolver(const Topology& topo, const Scenario& scen,
+                       const ModeSet& modes, const CostModel& costs)
+      : topo_(topo),
+        scen_(scen),
         modes_(modes),
         m_(modes.count()),
         dims_(static_cast<std::size_t>(m_) + 2),
@@ -44,12 +45,12 @@ class SymmetricPowerSolver {
         changed_same_(costs.symmetric_changed_same()),
         changed_diff_(costs.symmetric_changed_diff()),
         costs_(costs),
-        states_(tree.num_internal()) {}
+        states_(topo.num_internal()) {}
 
   PowerDPResult solve() {
     Stopwatch watch;
     PowerDPResult result;
-    for (NodeId j : tree_.internal_post_order()) {
+    for (NodeId j : topo_.internal_post_order()) {
       if (!process_node(j)) {
         result.stats.solve_seconds = watch.seconds();
         return result;
@@ -68,19 +69,19 @@ class SymmetricPowerSolver {
   std::size_t dim_changed() const { return static_cast<std::size_t>(m_) + 1; }
 
   bool process_node(NodeId j) {
-    NodeState& s = states_[tree_.internal_index(j)];
-    const RequestCount base = tree_.client_mass(j);
+    NodeState& s = states_[topo_.internal_index(j)];
+    const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
 
     s.box = Box(std::vector<int>(dims_, 0));
     s.flow.assign(1, base);
     table_cells_ += 1;
 
-    for (NodeId c : tree_.internal_children(j)) merge_child(s, c);
+    for (NodeId c : topo_.internal_children(j)) merge_child(s, c);
 
     s.incl_bounds = s.box.bounds();
     for (int w = 0; w < m_; ++w) s.incl_bounds[dim_mode(w)] += 1;
-    if (tree_.pre_existing(j)) {
+    if (scen_.pre_existing(j)) {
       s.incl_bounds[dim_same()] += 1;
       s.incl_bounds[dim_changed()] += 1;
     }
@@ -88,7 +89,7 @@ class SymmetricPowerSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    NodeState& cs = states_[tree_.internal_index(c)];
+    NodeState& cs = states_[topo_.internal_index(c)];
     std::vector<int> new_bounds(dims_);
     for (std::size_t d = 0; d < dims_; ++d) {
       new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
@@ -101,8 +102,8 @@ class SymmetricPowerSolver {
     const auto left = dp::compact_valid_entries(s.box, s.flow, new_box);
     const auto right = dp::compact_valid_entries(cs.box, cs.flow, new_box);
     const RequestCount w_max = modes_.max_capacity();
-    const bool child_pre = tree_.pre_existing(c);
-    const int child_orig = child_pre ? tree_.original_mode(c) : -1;
+    const bool child_pre = scen_.pre_existing(c);
+    const int child_orig = child_pre ? scen_.original_mode(c) : -1;
 
     for (const CompactEntry& le : left) {
       for (const CompactEntry& re : right) {
@@ -137,10 +138,10 @@ class SymmetricPowerSolver {
   }
 
   std::vector<Candidate> scan_root() const {
-    const NodeId root = tree_.root();
-    const NodeState& s = states_[tree_.internal_index(root)];
-    const bool root_pre = tree_.pre_existing(root);
-    const int root_orig = root_pre ? tree_.original_mode(root) : -1;
+    const NodeId root = topo_.root();
+    const NodeState& s = states_[topo_.internal_index(root)];
+    const bool root_pre = scen_.pre_existing(root);
+    const int root_orig = root_pre ? scen_.original_mode(root) : -1;
     std::vector<Candidate> candidates;
     std::vector<int> digits(dims_, 0);
     std::vector<int> counts(dims_);
@@ -182,7 +183,7 @@ class SymmetricPowerSolver {
     const int reused = e_same + e_changed;
     const int created = servers - reused;
     TREEPLACE_DCHECK(created >= 0);
-    const int e_total = static_cast<int>(tree_.num_pre_existing());
+    const int e_total = static_cast<int>(scen_.num_pre_existing());
     const double cost = static_cast<double>(servers) +
                         static_cast<double>(created) * create_ +
                         static_cast<double>(e_same) * changed_same_ +
@@ -218,9 +219,9 @@ class SymmetricPowerSolver {
     result.frontier.reserve(swept.size());
     for (const Candidate& c : swept) {
       PowerParetoPoint point;
-      if (c.root_mode >= 0) point.placement.add(tree_.root(), c.root_mode);
-      reconstruct(tree_.root(), c.flat, point.placement);
-      point.breakdown = evaluate_cost(tree_, point.placement, costs_);
+      if (c.root_mode >= 0) point.placement.add(topo_.root(), c.root_mode);
+      reconstruct(topo_.root(), c.flat, point.placement);
+      point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
       point.cost = point.breakdown.cost;
       point.power = total_power(point.placement, modes_);
       TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
@@ -230,8 +231,8 @@ class SymmetricPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
-    const NodeState& s = states_[tree_.internal_index(j)];
-    const auto children = tree_.internal_children(j);
+    const NodeState& s = states_[topo_.internal_index(j)];
+    const auto children = topo_.internal_children(j);
     for (std::size_t k = children.size(); k-- > 0;) {
       const Decision d = s.decisions[k][flat];
       if (d.mode >= 0) placement.add(children[k], d.mode);
@@ -241,7 +242,8 @@ class SymmetricPowerSolver {
     TREEPLACE_DCHECK(flat == 0);
   }
 
-  const Tree& tree_;
+  const Topology& topo_;
+  const Scenario& scen_;
   const ModeSet& modes_;
   const int m_;
   const std::size_t dims_;
@@ -257,20 +259,24 @@ class SymmetricPowerSolver {
 
 }  // namespace
 
-PowerDPResult solve_power_symmetric(const Tree& tree, const ModeSet& modes,
+PowerDPResult solve_power_symmetric(const Topology& topo,
+                                    const Scenario& scen,
+                                    const ModeSet& modes,
                                     const CostModel& costs) {
   TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
                       "cost model and mode set disagree on M");
   TREEPLACE_CHECK_MSG(costs.is_symmetric(),
                       "solve_power_symmetric requires a symmetric cost model");
-  SymmetricPowerSolver solver(tree, modes, costs);
+  SymmetricPowerSolver solver(topo, scen, modes, costs);
   return solver.solve();
 }
 
-PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
-                               const CostModel& costs) {
-  if (costs.is_symmetric()) return solve_power_symmetric(tree, modes, costs);
-  return solve_power_exact(tree, modes, costs);
+PowerDPResult solve_power_auto(const Topology& topo, const Scenario& scen,
+                               const ModeSet& modes, const CostModel& costs) {
+  if (costs.is_symmetric()) {
+    return solve_power_symmetric(topo, scen, modes, costs);
+  }
+  return solve_power_exact(topo, scen, modes, costs);
 }
 
 }  // namespace treeplace

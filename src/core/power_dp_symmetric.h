@@ -24,12 +24,24 @@
 namespace treeplace {
 
 /// Requires costs.is_symmetric(); use solve_power_exact() otherwise.
-PowerDPResult solve_power_symmetric(const Tree& tree, const ModeSet& modes,
+PowerDPResult solve_power_symmetric(const Topology& topo,
+                                    const Scenario& scen,
+                                    const ModeSet& modes,
                                     const CostModel& costs);
+inline PowerDPResult solve_power_symmetric(const Tree& tree,
+                                           const ModeSet& modes,
+                                           const CostModel& costs) {
+  return solve_power_symmetric(tree.topology(), tree.scenario(), modes,
+                               costs);
+}
 
 /// Dispatches to the symmetric DP when the cost model allows it, else to
 /// the exact DP.
-PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
-                               const CostModel& costs);
+PowerDPResult solve_power_auto(const Topology& topo, const Scenario& scen,
+                               const ModeSet& modes, const CostModel& costs);
+inline PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
+                                      const CostModel& costs) {
+  return solve_power_auto(tree.topology(), tree.scenario(), modes, costs);
+}
 
 }  // namespace treeplace

@@ -4,11 +4,11 @@
 
 namespace treeplace {
 
-void assign_random_pre_existing(Tree& tree, std::size_t count, Xoshiro256& rng,
-                                int num_modes) {
+void assign_random_pre_existing(Scenario& scen, std::size_t count,
+                                Xoshiro256& rng, int num_modes) {
   TREEPLACE_CHECK(num_modes >= 1);
-  tree.clear_all_pre_existing();
-  std::vector<NodeId> candidates = tree.internal_ids();
+  scen.clear_all_pre_existing();
+  std::vector<NodeId> candidates = scen.topology().internal_ids();
   count = std::min(count, candidates.size());
   // Partial Fisher-Yates: the first `count` entries become the sample.
   for (std::size_t i = 0; i < count; ++i) {
@@ -16,14 +16,15 @@ void assign_random_pre_existing(Tree& tree, std::size_t count, Xoshiro256& rng,
         rng.uniform(i, candidates.size() - 1));
     std::swap(candidates[i], candidates[j]);
     const int mode = num_modes == 1 ? 0 : rng.uniform_int(0, num_modes - 1);
-    tree.set_pre_existing(candidates[i], mode);
+    scen.set_pre_existing(candidates[i], mode);
   }
 }
 
-void set_pre_existing_from_placement(Tree& tree, const Placement& placement) {
-  tree.clear_all_pre_existing();
+void set_pre_existing_from_placement(Scenario& scen,
+                                     const Placement& placement) {
+  scen.clear_all_pre_existing();
   for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
-    tree.set_pre_existing(placement.nodes()[i], placement.modes()[i]);
+    scen.set_pre_existing(placement.nodes()[i], placement.modes()[i]);
   }
 }
 

@@ -1,4 +1,7 @@
 // Seeding the pre-existing server set E for experiments.
+//
+// The primary entry points take a Scenario so experiment loops can fork one
+// scenario per solve over a shared topology; the Tree& overloads forward.
 #pragma once
 
 #include "model/placement.h"
@@ -11,12 +14,21 @@ namespace treeplace {
 /// servers.  Original modes are drawn uniformly from [0, num_modes) — the
 /// paper does not specify them (see DESIGN.md).  `count` is clamped to the
 /// number of internal nodes.
-void assign_random_pre_existing(Tree& tree, std::size_t count,
+void assign_random_pre_existing(Scenario& scen, std::size_t count,
                                 Xoshiro256& rng, int num_modes = 1);
+inline void assign_random_pre_existing(Tree& tree, std::size_t count,
+                                       Xoshiro256& rng, int num_modes = 1) {
+  assign_random_pre_existing(tree.scenario(), count, rng, num_modes);
+}
 
 /// Clears E and installs `placement`'s servers as the pre-existing set with
 /// their configured modes — the chaining step of the dynamic experiment
 /// (each update starts from the servers placed at the previous step).
-void set_pre_existing_from_placement(Tree& tree, const Placement& placement);
+void set_pre_existing_from_placement(Scenario& scen,
+                                     const Placement& placement);
+inline void set_pre_existing_from_placement(Tree& tree,
+                                            const Placement& placement) {
+  set_pre_existing_from_placement(tree.scenario(), placement);
+}
 
 }  // namespace treeplace

@@ -4,25 +4,25 @@
 
 namespace treeplace {
 
-void redraw_requests(Tree& tree, RequestCount lo, RequestCount hi,
+void redraw_requests(Scenario& scen, RequestCount lo, RequestCount hi,
                      Xoshiro256& rng) {
   TREEPLACE_CHECK(lo <= hi);
-  for (NodeId client : tree.client_ids()) {
-    tree.set_requests(client, static_cast<RequestCount>(rng.uniform(lo, hi)));
+  for (NodeId client : scen.topology().client_ids()) {
+    scen.set_requests(client, static_cast<RequestCount>(rng.uniform(lo, hi)));
   }
 }
 
-void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
+void perturb_requests(Scenario& scen, RequestCount lo, RequestCount hi,
                       RequestCount max_delta, Xoshiro256& rng) {
   TREEPLACE_CHECK(lo <= hi);
-  for (NodeId client : tree.client_ids()) {
+  for (NodeId client : scen.topology().client_ids()) {
     const auto delta = static_cast<std::int64_t>(rng.uniform(0, 2 * max_delta)) -
                        static_cast<std::int64_t>(max_delta);
-    const auto current = static_cast<std::int64_t>(tree.requests(client));
+    const auto current = static_cast<std::int64_t>(scen.requests(client));
     const std::int64_t next =
         std::clamp(current + delta, static_cast<std::int64_t>(lo),
                    static_cast<std::int64_t>(hi));
-    tree.set_requests(client, static_cast<RequestCount>(next));
+    scen.set_requests(client, static_cast<RequestCount>(next));
   }
 }
 

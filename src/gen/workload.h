@@ -3,6 +3,9 @@
 // The paper states only that "we update the number of requests per client"
 // between steps; we re-draw each client's volume from the same uniform
 // distribution as the initial one (documented substitution, DESIGN.md).
+//
+// The primary entry points take a Scenario so experiment loops can mutate a
+// forked scenario over a shared topology; the Tree& overloads forward.
 #pragma once
 
 #include "support/prng.h"
@@ -11,13 +14,21 @@
 namespace treeplace {
 
 /// Re-draws every client's request count uniformly in [lo, hi].
-void redraw_requests(Tree& tree, RequestCount lo, RequestCount hi,
+void redraw_requests(Scenario& scen, RequestCount lo, RequestCount hi,
                      Xoshiro256& rng);
+inline void redraw_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                            Xoshiro256& rng) {
+  redraw_requests(tree.scenario(), lo, hi, rng);
+}
 
 /// Perturbs each client's request count by +/- `max_delta`, clamped to
 /// [lo, hi] — a smoother dynamic used by the dynamic_day example to model
 /// gradual daily drift rather than full re-draws.
-void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
+void perturb_requests(Scenario& scen, RequestCount lo, RequestCount hi,
                       RequestCount max_delta, Xoshiro256& rng);
+inline void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
+                             RequestCount max_delta, Xoshiro256& rng) {
+  perturb_requests(tree.scenario(), lo, hi, max_delta, rng);
+}
 
 }  // namespace treeplace

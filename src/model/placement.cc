@@ -44,34 +44,35 @@ std::size_t Placement::find(NodeId node) const {
   return static_cast<std::size_t>(it - nodes_.begin());
 }
 
-FlowResult compute_flows(const Tree& tree, const Placement& placement) {
+FlowResult compute_flows(const Topology& topo, const Scenario& scen,
+                         const Placement& placement) {
   FlowResult result;
-  result.through.assign(tree.num_internal(), 0);
-  for (NodeId j : tree.internal_post_order()) {
-    RequestCount inflow = tree.client_mass(j);
-    for (NodeId c : tree.internal_children(j)) {
+  result.through.assign(topo.num_internal(), 0);
+  for (NodeId j : topo.internal_post_order()) {
+    RequestCount inflow = scen.client_mass(j);
+    for (NodeId c : topo.internal_children(j)) {
       if (!placement.contains(c)) {
-        inflow += result.through[tree.internal_index(c)];
+        inflow += result.through[topo.internal_index(c)];
       }
     }
-    result.through[tree.internal_index(j)] = inflow;
+    result.through[topo.internal_index(j)] = inflow;
   }
-  const NodeId root = tree.root();
+  const NodeId root = topo.root();
   result.unserved = placement.contains(root)
                         ? 0
-                        : result.through[tree.internal_index(root)];
+                        : result.through[topo.internal_index(root)];
   return result;
 }
 
-ValidationResult validate(const Tree& tree, const Placement& placement,
-                          const ModeSet& modes) {
+ValidationResult validate(const Topology& topo, const Scenario& scen,
+                          const Placement& placement, const ModeSet& modes) {
   auto fail = [](const std::string& reason) {
     return ValidationResult{false, reason};
   };
   for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
     const NodeId node = placement.nodes()[i];
     const int mode = placement.modes()[i];
-    if (!tree.valid_id(node) || !tree.is_internal(node)) {
+    if (!topo.valid_id(node) || !topo.is_internal(node)) {
       std::ostringstream os;
       os << "server on non-internal node " << node;
       return fail(os.str());
@@ -82,7 +83,7 @@ ValidationResult validate(const Tree& tree, const Placement& placement,
       return fail(os.str());
     }
   }
-  const FlowResult flows = compute_flows(tree, placement);
+  const FlowResult flows = compute_flows(topo, scen, placement);
   if (flows.unserved > 0) {
     std::ostringstream os;
     os << flows.unserved << " requests escape past the root unserved";
@@ -91,7 +92,7 @@ ValidationResult validate(const Tree& tree, const Placement& placement,
   for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
     const NodeId node = placement.nodes()[i];
     const int mode = placement.modes()[i];
-    const RequestCount load = flows.load(tree, node);
+    const RequestCount load = flows.load(topo, node);
     if (load > modes.capacity(mode)) {
       std::ostringstream os;
       os << "server at node " << node << " (mode " << mode << ", capacity "
@@ -112,7 +113,8 @@ double total_power(const Placement& placement, const ModeSet& modes) {
   return p;
 }
 
-CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
+CostBreakdown evaluate_cost(const Topology& /*topo*/, const Scenario& scen,
+                            const Placement& placement,
                             const CostModel& costs) {
   CostBreakdown b;
   b.servers = static_cast<int>(placement.size());
@@ -120,9 +122,9 @@ CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
   for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
     const NodeId node = placement.nodes()[i];
     const int mode = placement.modes()[i];
-    if (tree.pre_existing(node)) {
+    if (scen.pre_existing(node)) {
       ++b.reused;
-      const int orig = tree.original_mode(node);
+      const int orig = scen.original_mode(node);
       TREEPLACE_CHECK_MSG(orig >= 0 && orig < costs.num_modes(),
                           "pre-existing node " << node
                                                << " has invalid original mode "
@@ -134,35 +136,35 @@ CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
       cost += costs.create(mode);
     }
   }
-  for (NodeId e : tree.pre_existing_nodes()) {
+  for (NodeId e : scen.pre_existing_nodes()) {
     if (!placement.contains(e)) {
       ++b.deleted;
-      cost += costs.del(tree.original_mode(e));
+      cost += costs.del(scen.original_mode(e));
     }
   }
   b.cost = cost;
   return b;
 }
 
-void minimize_modes(const Tree& tree, Placement& placement,
-                    const ModeSet& modes) {
-  const FlowResult flows = compute_flows(tree, placement);
+void minimize_modes(const Topology& topo, const Scenario& scen,
+                    Placement& placement, const ModeSet& modes) {
+  const FlowResult flows = compute_flows(topo, scen, placement);
   for (NodeId node : placement.nodes()) {
-    const int m = modes.mode_for_load(flows.load(tree, node));
+    const int m = modes.mode_for_load(flows.load(topo, node));
     TREEPLACE_CHECK_MSG(m >= 0, "server at node "
                                     << node << " overloaded even at W_M");
     placement.set_mode(node, m);
   }
 }
 
-std::vector<NodeId> assign_clients(const Tree& tree,
+std::vector<NodeId> assign_clients(const Topology& topo,
                                    const Placement& placement) {
   std::vector<NodeId> serving;
-  serving.reserve(tree.client_ids().size());
-  for (NodeId client : tree.client_ids()) {
+  serving.reserve(topo.client_ids().size());
+  for (NodeId client : topo.client_ids()) {
     NodeId server = kNoNode;
-    for (NodeId cur = tree.parent(client); cur != kNoNode;
-         cur = tree.parent(cur)) {
+    for (NodeId cur = topo.parent(client); cur != kNoNode;
+         cur = topo.parent(cur)) {
       if (placement.contains(cur)) {
         server = cur;
         break;

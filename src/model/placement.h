@@ -7,6 +7,12 @@
 // realizes that policy; validate() / total_power() / evaluate_cost()
 // re-derive every reported quantity from first principles so tests can check
 // solver outputs against an implementation they do not share code with.
+//
+// Every evaluator takes the topology/scenario split explicitly — structure
+// from the shared immutable Topology, per-scenario state (requests, the
+// pre-existing set E, original modes) from the Scenario overlay — so solves
+// over forked scenarios of one shared topology never touch a Tree.  The
+// Tree& overloads forward for callers still holding the bundled view.
 #pragma once
 
 #include <optional>
@@ -55,20 +61,28 @@ class Placement {
 /// Result of routing all client requests through a placement under the
 /// closest policy.
 struct FlowResult {
-  /// Per internal node (indexed by Tree::internal_index): requests processed
-  /// there if it is a server, else requests passing through it upward.
+  /// Per internal node (indexed by Topology::internal_index): requests
+  /// processed there if it is a server, else requests passing through it
+  /// upward.
   std::vector<RequestCount> through;
   /// Requests that escape past the root unserved (0 in any valid solution).
   RequestCount unserved = 0;
 
   /// Load of server at `node` == through at that node.
+  RequestCount load(const Topology& topo, NodeId node) const {
+    return through[topo.internal_index(node)];
+  }
   RequestCount load(const Tree& tree, NodeId node) const {
-    return through[tree.internal_index(node)];
+    return load(tree.topology(), node);
   }
 };
 
 /// Routes requests bottom-up; servers absorb everything reaching them.
-FlowResult compute_flows(const Tree& tree, const Placement& placement);
+FlowResult compute_flows(const Topology& topo, const Scenario& scen,
+                         const Placement& placement);
+inline FlowResult compute_flows(const Tree& tree, const Placement& placement) {
+  return compute_flows(tree.topology(), tree.scenario(), placement);
+}
 
 struct ValidationResult {
   bool valid = true;
@@ -78,29 +92,47 @@ struct ValidationResult {
 /// Full validity check: every client served (no unserved residue at the
 /// root), every server's load within its configured mode capacity, modes in
 /// range, servers on internal nodes.
-ValidationResult validate(const Tree& tree, const Placement& placement,
-                          const ModeSet& modes);
+ValidationResult validate(const Topology& topo, const Scenario& scen,
+                          const Placement& placement, const ModeSet& modes);
+inline ValidationResult validate(const Tree& tree, const Placement& placement,
+                                 const ModeSet& modes) {
+  return validate(tree.topology(), tree.scenario(), placement, modes);
+}
 
 /// Total power consumption (paper Eq. 3) of the placement.
 double total_power(const Placement& placement, const ModeSet& modes);
 
-/// Cost of `placement` as a reconfiguration of the tree's pre-existing
-/// server set E (paper Eq. 2 / Eq. 4).  The tree's original_mode() of each
-/// pre-existing server prices mode changes.
-CostBreakdown evaluate_cost(const Tree& tree, const Placement& placement,
+/// Cost of `placement` as a reconfiguration of the scenario's pre-existing
+/// server set E (paper Eq. 2 / Eq. 4).  The scenario's original_mode() of
+/// each pre-existing server prices mode changes.
+CostBreakdown evaluate_cost(const Topology& topo, const Scenario& scen,
+                            const Placement& placement,
                             const CostModel& costs);
+inline CostBreakdown evaluate_cost(const Tree& tree,
+                                   const Placement& placement,
+                                   const CostModel& costs) {
+  return evaluate_cost(tree.topology(), tree.scenario(), placement, costs);
+}
 
 /// Lowers every server's configured mode to the smallest one covering its
 /// load (the paper's load-determined mode reading).  Requires a valid
 /// placement.
-void minimize_modes(const Tree& tree, Placement& placement,
-                    const ModeSet& modes);
+void minimize_modes(const Topology& topo, const Scenario& scen,
+                    Placement& placement, const ModeSet& modes);
+inline void minimize_modes(const Tree& tree, Placement& placement,
+                           const ModeSet& modes) {
+  minimize_modes(tree.topology(), tree.scenario(), placement, modes);
+}
 
 /// For each client, the id of the serving node (first ancestor in the
 /// placement), or kNoNode if unserved.  Exercises the closest policy
 /// client-by-client; used by tests as an independent cross-check of
 /// compute_flows().
-std::vector<NodeId> assign_clients(const Tree& tree,
+std::vector<NodeId> assign_clients(const Topology& topo,
                                    const Placement& placement);
+inline std::vector<NodeId> assign_clients(const Tree& tree,
+                                          const Placement& placement) {
+  return assign_clients(tree.topology(), placement);
+}
 
 }  // namespace treeplace

@@ -52,12 +52,16 @@ std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config) {
 
   const auto per_tree = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> std::vector<PerTreeRow> {
-        Tree tree = generate_tree(config.tree, config.seed, t);
+        // One shared topology per tree; every solve below forks the base
+        // scenario instead of copying the tree.
+        const Tree tree = generate_tree(config.tree, config.seed, t);
+        const std::shared_ptr<const Topology>& topo = tree.topology_ptr();
 
         Placement hoisted_baseline;
         if (baseline_oblivious) {
-          const Solution base = baseline->solve(Instance::single_mode(
-              tree, config.capacity, config.create, config.delete_cost));
+          const Solution base = baseline->solve(
+              Instance::single_mode(topo, tree.scenario(), config.capacity,
+                                    config.create, config.delete_cost));
           TREEPLACE_CHECK_MSG(base.feasible, "experiment tree infeasible");
           hoisted_baseline = base.placement;
         }
@@ -70,17 +74,19 @@ std::vector<Experiment1Row> run_experiment1(const Experiment1Config& config) {
           Xoshiro256 pre_rng =
               make_rng(derive_seed(config.seed, e_index), t,
                        RngStream::kPreExisting);
-          assign_random_pre_existing(tree, e, pre_rng, /*num_modes=*/1);
+          Scenario scen = tree.scenario();  // fork
+          assign_random_pre_existing(scen, e, pre_rng, /*num_modes=*/1);
 
-          const Instance instance = Instance::single_mode(
-              tree, config.capacity, config.create, config.delete_cost);
+          const Instance instance =
+              Instance::single_mode(topo, std::move(scen), config.capacity,
+                                    config.create, config.delete_cost);
           const Solution opt = optimizer->solve(instance);
           TREEPLACE_CHECK_MSG(opt.feasible, "experiment tree infeasible");
 
           CostBreakdown base_breakdown;
           if (baseline_oblivious) {
-            base_breakdown =
-                evaluate_cost(instance.tree, hoisted_baseline, instance.costs);
+            base_breakdown = evaluate_cost(instance.topo(), instance.scen(),
+                                           hoisted_baseline, instance.costs);
           } else {
             const Solution base = baseline->solve(instance);
             TREEPLACE_CHECK_MSG(base.feasible, "experiment tree infeasible");

@@ -46,7 +46,10 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
 
   const auto traces = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> PerTreeTrace {
+        // One shared topology per tree; the workload redraws mutate a base
+        // scenario in place and each chained solve forks it.
         Tree tree = generate_tree(config.tree, config.seed, t);
+        const std::shared_ptr<const Topology>& topo = tree.topology_ptr();
         PerTreeTrace trace;
         Placement prev_dp;  // empty: no pre-existing servers initially
         Placement prev_gr;
@@ -54,9 +57,11 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
                                        const Placement& prev) -> Solution {
           // The chain's previous servers become this step's pre-existing
           // set; the breakdown's reuse count is then the overlap with it.
-          set_pre_existing_from_placement(tree, prev);
-          const Solution solution = solver.solve(Instance::single_mode(
-              tree, config.capacity, config.create, config.delete_cost));
+          Scenario scen = tree.scenario();  // fork
+          set_pre_existing_from_placement(scen, prev);
+          const Solution solution = solver.solve(
+              Instance::single_mode(topo, std::move(scen), config.capacity,
+                                    config.create, config.delete_cost));
           TREEPLACE_CHECK(solution.feasible);
           return solution;
         };
@@ -64,7 +69,7 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
           Xoshiro256 workload_rng =
               make_rng(derive_seed(config.seed, step), t,
                        RngStream::kWorkloadUpdate);
-          redraw_requests(tree, config.tree.min_requests,
+          redraw_requests(tree.scenario(), config.tree.min_requests,
                           config.tree.max_requests, workload_rng);
 
           const Solution dp = chained_solve(*optimizer, prev_dp);

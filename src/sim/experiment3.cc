@@ -58,10 +58,11 @@ Experiment3Result run_experiment3(const Experiment3Config& config) {
 
   const auto per_tree = parallel_map(
       pool, config.num_trees, [&](std::size_t t) -> PerTree {
+        // One shared topology; the instance takes the scenario zero-copy.
         Tree tree = generate_tree(config.tree, config.seed, t);
         Xoshiro256 pre_rng = make_rng(config.seed, t, RngStream::kPreExisting);
-        assign_random_pre_existing(tree, config.num_pre_existing, pre_rng,
-                                   modes.count());
+        assign_random_pre_existing(tree.scenario(), config.num_pre_existing,
+                                   pre_rng, modes.count());
 
         const Instance instance{std::move(tree), modes, costs, std::nullopt};
         const Solution dp = optimizer->solve(instance);

@@ -35,9 +35,11 @@ Solution finish_placement(const Instance& in, bool feasible,
   s.feasible = feasible;
   s.stats = stats;
   if (!feasible) return s;
-  if (in.modes.count() > 1) minimize_modes(in.tree, placement, in.modes);
+  if (in.modes.count() > 1) {
+    minimize_modes(in.topo(), in.scen(), placement, in.modes);
+  }
   s.placement = std::move(placement);
-  s.breakdown = evaluate_cost(in.tree, s.placement, in.costs);
+  s.breakdown = evaluate_cost(in.topo(), in.scen(), s.placement, in.costs);
   s.power = total_power(s.placement, in.modes);
   s.budget_met =
       !in.cost_budget || s.breakdown.cost <= *in.cost_budget + 1e-9;
@@ -83,7 +85,7 @@ class GreedySolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Stopwatch timer;
-    GreedyResult r = solve_greedy_min_count(in.tree, in.capacity());
+    GreedyResult r = solve_greedy_min_count(in.topo(), in.scen(), in.capacity());
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), 0});
   }
@@ -104,7 +106,7 @@ class GreedyPreferPreSolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Stopwatch timer;
-    GreedyResult r = solve_greedy_prefer_pre(in.tree, in.capacity());
+    GreedyResult r = solve_greedy_prefer_pre(in.topo(), in.scen(), in.capacity());
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), 0});
   }
@@ -133,11 +135,11 @@ class GreedyReuseSolver : public Solver {
                         "(improve_reuse prices swaps with Eq. 2); use "
                         "greedy-pre for multi-mode instances");
     Stopwatch timer;
-    GreedyResult r = solve_greedy_prefer_pre(in.tree, in.capacity());
+    GreedyResult r = solve_greedy_prefer_pre(in.topo(), in.scen(), in.capacity());
     SolveStats stats;
     if (r.feasible) {
-      const LocalSearchStats ls =
-          improve_reuse(in.tree, in.capacity(), in.costs, r.placement);
+      const LocalSearchStats ls = improve_reuse(
+          in.topo(), in.scen(), in.capacity(), in.costs, r.placement);
       stats.work = ls.evaluated;
     }
     stats.seconds = timer.seconds();
@@ -170,18 +172,19 @@ class UpdateDpSolver : public Solver {
     // modes to 0 for its internal accounting (finish_placement re-prices
     // the returned placement against the real instance).
     bool multi_mode_pre = false;
-    for (NodeId id : in.tree.pre_existing_nodes()) {
-      if (in.tree.original_mode(id) != 0) multi_mode_pre = true;
+    for (NodeId id : in.scen().pre_existing_nodes()) {
+      if (in.scen().original_mode(id) != 0) multi_mode_pre = true;
     }
     MinCostResult r;
     if (multi_mode_pre) {
-      Tree collapsed = in.tree;
+      // Forking the scenario is cheap (flat arrays, shared topology).
+      Scenario collapsed = in.scen();
       for (NodeId id : collapsed.pre_existing_nodes()) {
         collapsed.set_pre_existing(id, 0);
       }
-      r = solve_min_cost_with_pre(collapsed, config);
+      r = solve_min_cost_with_pre(in.topo(), collapsed, config);
     } else {
-      r = solve_min_cost_with_pre(in.tree, config);
+      r = solve_min_cost_with_pre(in.topo(), in.scen(), config);
     }
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), r.merge_iterations});
@@ -206,7 +209,8 @@ class PowerExactSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
-    PowerDPResult r = solve_power_exact(in.tree, in.modes, in.costs);
+    PowerDPResult r =
+        solve_power_exact(in.topo(), in.scen(), in.modes, in.costs);
     return finish_frontier(in, r.feasible, std::move(r.frontier),
                            {r.stats.solve_seconds, r.stats.merge_pairs});
   }
@@ -232,7 +236,8 @@ class PowerSymmetricSolver : public Solver {
     TREEPLACE_CHECK_MSG(in.costs.is_symmetric(),
                         "power-sym requires a symmetric cost model; use "
                         "power-exact for general Eq. 4 costs");
-    PowerDPResult r = solve_power_symmetric(in.tree, in.modes, in.costs);
+    PowerDPResult r =
+        solve_power_symmetric(in.topo(), in.scen(), in.modes, in.costs);
     return finish_frontier(in, r.feasible, std::move(r.frontier),
                            {r.stats.solve_seconds, r.stats.merge_pairs});
   }
@@ -256,8 +261,8 @@ class PowerGreedySolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Stopwatch timer;
-    const GreedyPowerResult gr = solve_greedy_power(in.tree, in.modes,
-                                                    in.costs);
+    const GreedyPowerResult gr =
+        solve_greedy_power(in.topo(), in.scen(), in.modes, in.costs);
     // Prune the sweep's candidates to their Pareto frontier; any bounded-
     // cost query answered from the frontier matches the answer over the
     // full candidate list.
@@ -301,30 +306,32 @@ class PowerLocalSearchSolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Stopwatch timer;
-    GreedyResult seed = solve_greedy_min_count(in.tree, in.capacity());
+    GreedyResult seed =
+        solve_greedy_min_count(in.topo(), in.scen(), in.capacity());
     if (!seed.feasible) {
       Solution s;
       s.stats.seconds = timer.seconds();
       return s;
     }
     Placement placement = std::move(seed.placement);
-    minimize_modes(in.tree, placement, in.modes);
+    minimize_modes(in.topo(), in.scen(), placement, in.modes);
     const double bound =
         in.cost_budget.value_or(std::numeric_limits<double>::infinity());
     SolveStats stats;
     // The seed may already exceed a tight budget; local search requires an
     // in-budget start, so we then report the unrefined seed with
     // budget_met = false rather than failing.
-    if (evaluate_cost(in.tree, placement, in.costs).cost <= bound + 1e-9) {
-      const LocalSearchStats ls =
-          improve_power(in.tree, in.modes, in.costs, bound, placement);
+    if (evaluate_cost(in.topo(), in.scen(), placement, in.costs).cost <=
+        bound + 1e-9) {
+      const LocalSearchStats ls = improve_power(
+          in.topo(), in.scen(), in.modes, in.costs, bound, placement);
       stats.work = ls.evaluated;
     }
     stats.seconds = timer.seconds();
     Solution s;
     s.feasible = true;
     s.placement = std::move(placement);
-    s.breakdown = evaluate_cost(in.tree, s.placement, in.costs);
+    s.breakdown = evaluate_cost(in.topo(), in.scen(), s.placement, in.costs);
     s.power = total_power(s.placement, in.modes);
     s.budget_met = s.breakdown.cost <= bound + 1e-9;
     s.stats = stats;
@@ -354,7 +361,8 @@ class ExhaustiveCostSolver : public Solver {
     TREEPLACE_CHECK_MSG(in.costs.num_modes() == 1,
                         "exhaustive-cost requires a single-mode cost model");
     Stopwatch timer;
-    auto oracle = exhaustive_min_cost(in.tree, in.capacity(), in.costs);
+    auto oracle =
+        exhaustive_min_cost(in.topo(), in.scen(), in.capacity(), in.costs);
     Solution s;
     s.stats.seconds = timer.seconds();
     if (!oracle.has_value()) return s;
@@ -375,13 +383,12 @@ class ExhaustivePowerSolver : public Solver {
     SolverInfo info;
     info.name = "exhaustive-power";
     info.summary =
-        "brute-force cost-power frontier oracle: certifies optimal values "
-        "without reconstructing placements (small instances only)";
+        "brute-force cost-power frontier oracle with witness placements "
+        "reconstructed per frontier point (small instances only)";
     info.objective = Objective::kMinPower;
     info.exact = true;
     info.needs_modes = true;
     info.supports_pre_existing = true;
-    info.provides_placement = false;
     // Tighter than kExhaustiveMaxInternal: the per-server mode enumeration
     // makes this oracle ~3^N, not 2^N.
     info.max_internal = 14;
@@ -389,25 +396,21 @@ class ExhaustivePowerSolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Stopwatch timer;
-    const std::vector<CostPowerPoint> points =
-        exhaustive_cost_power_frontier(in.tree, in.modes, in.costs);
-    Solution s;
-    s.stats.seconds = timer.seconds();
-    s.feasible = !points.empty();
-    if (!s.feasible) return s;
-    s.frontier.reserve(points.size());
-    for (const CostPowerPoint& p : points) {
-      s.frontier.push_back(PowerParetoPoint{p.cost, p.power, {}, {}});
+    std::vector<ExhaustiveParetoPoint> points =
+        exhaustive_cost_power_frontier_placements(in.topo(), in.scen(),
+                                                  in.modes, in.costs);
+    std::vector<PowerParetoPoint> frontier;
+    frontier.reserve(points.size());
+    for (ExhaustiveParetoPoint& p : points) {
+      CostBreakdown breakdown =
+          evaluate_cost(in.topo(), in.scen(), p.placement, in.costs);
+      frontier.push_back(PowerParetoPoint{p.cost, p.power,
+                                          std::move(p.placement),
+                                          std::move(breakdown)});
     }
-    const PowerParetoPoint* pick =
-        in.cost_budget ? s.best_within_cost(*in.cost_budget) : s.min_power();
-    if (pick == nullptr) {
-      s.budget_met = false;
-      pick = s.min_power();
-    }
-    s.breakdown.cost = pick->cost;
-    s.power = pick->power;
-    return s;
+    const bool feasible = !frontier.empty();
+    return finish_frontier(in, feasible, std::move(frontier),
+                           {timer.seconds(), 0});
   }
 };
 

@@ -1,14 +1,23 @@
 // The one value type every solver consumes: a complete problem statement.
 //
-// An Instance bundles the distribution tree (whose pre-existing flags and
-// original modes define the set E), the mode set (M = 1 for the classic
-// cost-only problems), the reconfiguration cost model and an optional cost
-// budget (the bounded-cost query of MinPower-BoundedCost).  Solvers never
-// take extra parameters: everything a strategy may need is here, which is
-// what lets the registry treat all of them interchangeably.
+// An Instance bundles a *shared* immutable topology, the per-scenario
+// overlay (client requests, the pre-existing set E and original modes — see
+// tree/scenario.h), the mode set (M = 1 for the classic cost-only
+// problems), the reconfiguration cost model and an optional cost budget
+// (the bounded-cost query of MinPower-BoundedCost).  Solvers never take
+// extra parameters: everything a strategy may need is here, which is what
+// lets the registry treat all of them interchangeably.
+//
+// Construction is zero-copy on the structure side: building an Instance
+// from a Tree shares the tree's topology via shared_ptr and moves (or
+// forks) only the flat Scenario arrays.  Batch workloads — the experiment
+// sweeps, the CLI's streaming solve, bench/instance_churn — create one
+// topology and stamp out per-solve Instances by forking scenarios.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "model/cost.h"
 #include "model/modes.h"
@@ -17,7 +26,8 @@
 namespace treeplace {
 
 struct Instance {
-  Tree tree;
+  std::shared_ptr<const Topology> topology;
+  Scenario scenario;
   ModeSet modes = ModeSet::single(10);
   CostModel costs = CostModel::simple(0.1, 0.01);
   /// Bounded-cost query: power solvers return the least-power solution whose
@@ -25,20 +35,64 @@ struct Instance {
   /// means unconstrained.
   std::optional<double> cost_budget;
 
+  Instance() = default;
+
+  /// Zero-copy bundle: the scenario must belong to `topology`.
+  Instance(std::shared_ptr<const Topology> topology_in, Scenario scenario_in,
+           ModeSet modes_in, CostModel costs_in,
+           std::optional<double> cost_budget_in = std::nullopt)
+      : topology(std::move(topology_in)),
+        scenario(std::move(scenario_in)),
+        modes(std::move(modes_in)),
+        costs(std::move(costs_in)),
+        cost_budget(cost_budget_in) {
+    TREEPLACE_CHECK_MSG(scenario.topology_ptr() == topology,
+                        "scenario belongs to a different topology");
+  }
+
+  /// From a Tree: shares the tree's topology (no structure copy) and moves
+  /// its scenario in.
+  Instance(Tree tree, ModeSet modes_in, CostModel costs_in,
+           std::optional<double> cost_budget_in = std::nullopt)
+      : topology(tree.topology_ptr()),
+        scenario(std::move(tree.scenario())),
+        modes(std::move(modes_in)),
+        costs(std::move(costs_in)),
+        cost_budget(cost_budget_in) {}
+
+  const Topology& topo() const {
+    TREEPLACE_DCHECK(topology != nullptr);
+    return *topology;
+  }
+  const Scenario& scen() const { return scenario; }
+
+  std::size_t num_internal() const {
+    return topology ? topology->num_internal() : 0;
+  }
+
   /// W = W_M, the capacity single-mode algorithms plan against.
   RequestCount capacity() const { return modes.max_capacity(); }
 
   /// Classic single-mode instance (MinCost problems): capacity W, Eq. 2
   /// costs.  Modes do not exist in this problem class, so any original
-  /// modes recorded on the tree's pre-existing servers are projected to 0
-  /// (a pre-existing server is just a pre-existing server).
+  /// modes recorded on the scenario's pre-existing servers are projected to
+  /// 0 (a pre-existing server is just a pre-existing server).
+  static Instance single_mode(std::shared_ptr<const Topology> topology,
+                              Scenario scenario, RequestCount capacity,
+                              double create, double delete_cost) {
+    for (NodeId id : scenario.pre_existing_nodes()) {
+      if (scenario.original_mode(id) != 0) scenario.set_pre_existing(id, 0);
+    }
+    return Instance{std::move(topology), std::move(scenario),
+                    ModeSet::single(capacity),
+                    CostModel::simple(create, delete_cost), std::nullopt};
+  }
+
   static Instance single_mode(Tree tree, RequestCount capacity, double create,
                               double delete_cost) {
-    for (NodeId id : tree.pre_existing_nodes()) {
-      if (tree.original_mode(id) != 0) tree.set_pre_existing(id, 0);
-    }
-    return Instance{std::move(tree), ModeSet::single(capacity),
-                    CostModel::simple(create, delete_cost), std::nullopt};
+    auto topology = tree.topology_ptr();
+    return single_mode(std::move(topology), std::move(tree.scenario()),
+                       capacity, create, delete_cost);
   }
 };
 

@@ -1,5 +1,6 @@
 #include "support/table.h"
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -84,6 +85,82 @@ void Table::save_csv(const std::string& path) const {
   std::ofstream out(path);
   TREEPLACE_CHECK_MSG(out.good(), "cannot open " << path);
   write_csv(out);
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          // Remaining control characters must be \u-escaped per RFC 8259.
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(ch)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_cell(std::ostream& os, const Table::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    write_json_string(os, *s);
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    os << *i;
+  } else {
+    const double d = std::get<double>(cell);
+    // JSON has no inf/nan literals; fall back to null.  Format through a
+    // local stream so the caller's precision state is left untouched.
+    if (std::isfinite(d)) {
+      std::ostringstream num;
+      num << std::setprecision(17) << d;
+      os << num.str();
+    } else {
+      os << "null";
+    }
+  }
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "{\n  \"title\": ";
+  write_json_string(os, title_);
+  os << ",\n  \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ", ";
+    write_json_string(os, columns_[c]);
+  }
+  os << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n    " : "\n    ") << '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) os << ", ";
+      write_json_cell(os, rows_[r][c]);
+    }
+    os << ']';
+  }
+  os << "\n  ]\n}\n";
+}
+
+void Table::save_json(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  TREEPLACE_CHECK_MSG(out.good(), "cannot open " << path);
+  write_json(out);
 }
 
 }  // namespace treeplace

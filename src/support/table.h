@@ -35,6 +35,14 @@ class Table {
   /// Convenience: write CSV to `path`, creating parent dirs if needed.
   void save_csv(const std::string& path) const;
 
+  /// Machine-readable JSON: {"title", "columns", "rows"} with typed cells
+  /// (strings stay strings, numbers stay numbers), so downstream tooling
+  /// can track perf trajectories without re-parsing aligned text.
+  void write_json(std::ostream& os) const;
+
+  /// Convenience: write JSON to `path`, creating parent dirs if needed.
+  void save_json(const std::string& path) const;
+
  private:
   static std::string render(const Cell& cell);
 

@@ -1,13 +1,50 @@
 #include "tree/io.h"
 
-#include <map>
+#include <istream>
 #include <ostream>
 #include <sstream>
 
 namespace treeplace {
 
 namespace {
+
 constexpr const char* kHeader = "treeplace-tree v1";
+
+/// Parses one `I ...` / `C ...` node line into `builder`, enforcing
+/// consecutive ids.
+void parse_node_line(TreeBuilder& builder, const std::string& line,
+                     NodeId expected_id) {
+  std::istringstream ls(line);
+  char tag = 0;
+  NodeId id = kNoNode;
+  NodeId parent = kNoNode;
+  ls >> tag >> id >> parent;
+  TREEPLACE_CHECK_MSG(!ls.fail(), "malformed tree line: '" << line << "'");
+  TREEPLACE_CHECK_MSG(id == expected_id,
+                      "node ids must be consecutive; expected "
+                          << expected_id << ", got " << id);
+  if (tag == 'I') {
+    int pre = 0;
+    int orig_mode = -1;
+    ls >> pre >> orig_mode;
+    TREEPLACE_CHECK_MSG(!ls.fail(), "malformed internal line: '" << line
+                                                                 << "'");
+    const NodeId got =
+        (parent == kNoNode) ? builder.add_root() : builder.add_internal(parent);
+    TREEPLACE_CHECK(got == id);
+    if (pre != 0) builder.set_pre_existing(id, orig_mode < 0 ? 0 : orig_mode);
+  } else if (tag == 'C') {
+    RequestCount requests = 0;
+    ls >> requests;
+    TREEPLACE_CHECK_MSG(!ls.fail(), "malformed client line: '" << line
+                                                               << "'");
+    const NodeId got = builder.add_client(parent, requests);
+    TREEPLACE_CHECK(got == id);
+  } else {
+    TREEPLACE_CHECK_MSG(false, "unknown node tag '" << tag << "'");
+  }
+}
+
 }  // namespace
 
 void serialize_tree(const Tree& tree, std::ostream& os) {
@@ -41,36 +78,8 @@ Tree parse_tree(std::istream& is) {
   NodeId expected_id = 0;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    char tag = 0;
-    NodeId id = kNoNode;
-    NodeId parent = kNoNode;
-    ls >> tag >> id >> parent;
-    TREEPLACE_CHECK_MSG(!ls.fail(), "malformed tree line: '" << line << "'");
-    TREEPLACE_CHECK_MSG(id == expected_id,
-                        "node ids must be consecutive; expected "
-                            << expected_id << ", got " << id);
+    parse_node_line(builder, line, expected_id);
     ++expected_id;
-    if (tag == 'I') {
-      int pre = 0;
-      int orig_mode = -1;
-      ls >> pre >> orig_mode;
-      TREEPLACE_CHECK_MSG(!ls.fail(), "malformed internal line: '" << line
-                                                                   << "'");
-      const NodeId got =
-          (parent == kNoNode) ? builder.add_root() : builder.add_internal(parent);
-      TREEPLACE_CHECK(got == id);
-      if (pre != 0) builder.set_pre_existing(id, orig_mode < 0 ? 0 : orig_mode);
-    } else if (tag == 'C') {
-      RequestCount requests = 0;
-      ls >> requests;
-      TREEPLACE_CHECK_MSG(!ls.fail(), "malformed client line: '" << line
-                                                                 << "'");
-      const NodeId got = builder.add_client(parent, requests);
-      TREEPLACE_CHECK(got == id);
-    } else {
-      TREEPLACE_CHECK_MSG(false, "unknown node tag '" << tag << "'");
-    }
   }
   return std::move(builder).build();
 }
@@ -78,6 +87,45 @@ Tree parse_tree(std::istream& is) {
 Tree parse_tree(const std::string& text) {
   std::istringstream is(text);
   return parse_tree(is);
+}
+
+bool TreeStreamReader::read_line(std::string& line) {
+  if (has_pending_) {
+    line = std::move(pending_);
+    has_pending_ = false;
+    return true;
+  }
+  return static_cast<bool>(std::getline(is_, line));
+}
+
+std::optional<Tree> TreeStreamReader::next() {
+  // Skip blank and comment lines up to the next header.
+  std::string line;
+  for (;;) {
+    if (!read_line(line)) return std::nullopt;
+    if (line.empty() || line[0] == '#') continue;
+    break;
+  }
+  TREEPLACE_CHECK_MSG(line == kHeader, "bad tree header: '" << line << "'");
+
+  TreeBuilder builder;
+  NodeId expected_id = 0;
+  while (read_line(line)) {
+    if (line == kHeader) {
+      // The next tree starts here; hand the header back for the next call.
+      pending_ = std::move(line);
+      has_pending_ = true;
+      break;
+    }
+    // Interior blank and comment lines are permitted exactly as in
+    // parse_tree(); only a new header terminates a tree.
+    if (line.empty() || line[0] == '#') continue;
+    parse_node_line(builder, line, expected_id);
+    ++expected_id;
+  }
+  Tree tree = std::move(builder).build();  // may throw: count only successes
+  ++trees_read_;
+  return tree;
 }
 
 std::string to_dot(const Tree& tree) {

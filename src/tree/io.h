@@ -6,9 +6,16 @@
 //   C <id> <parent> <requests>
 // Ids in the file must match insertion order (0..n-1), which is what
 // serialize() emits; parse() validates this.
+//
+// Several trees may be concatenated in one stream (`cat a.txt b.txt`): each
+// `treeplace-tree v1` header starts a new tree and terminates the previous
+// one (blank and comment lines are skipped anywhere, exactly as in
+// parse()).  TreeStreamReader yields trees one at a time — the
+// batch-serving path of `treeplace solve`.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "tree/tree.h"
@@ -19,9 +26,33 @@ namespace treeplace {
 void serialize_tree(const Tree& tree, std::ostream& os);
 std::string serialize_tree(const Tree& tree);
 
-/// Parses the v1 text format; throws CheckError on malformed input.
+/// Parses exactly one tree occupying the whole stream; throws CheckError on
+/// malformed input.
 Tree parse_tree(std::istream& is);
 Tree parse_tree(const std::string& text);
+
+/// Streaming reader over a concatenation of v1 trees.  Works on
+/// non-seekable streams (pipes, stdin): a header line that terminates one
+/// tree is buffered and re-consumed as the start of the next.
+class TreeStreamReader {
+ public:
+  explicit TreeStreamReader(std::istream& is) : is_(is) {}
+
+  /// The next tree, or nullopt at end of stream.  Throws CheckError on
+  /// malformed input.
+  std::optional<Tree> next();
+
+  /// Number of trees successfully returned so far.
+  std::size_t trees_read() const { return trees_read_; }
+
+ private:
+  bool read_line(std::string& line);
+
+  std::istream& is_;
+  std::string pending_;      // a header line consumed past a tree boundary
+  bool has_pending_ = false;
+  std::size_t trees_read_ = 0;
+};
 
 /// Graphviz DOT rendering: internal nodes as circles (pre-existing servers
 /// doubled), clients as boxes labelled with their request count.

@@ -1,0 +1,73 @@
+#include "tree/scenario.h"
+
+#include <algorithm>
+
+namespace treeplace {
+
+Scenario::Scenario(std::shared_ptr<const Topology> topology)
+    : topo_(std::move(topology)) {
+  TREEPLACE_CHECK_MSG(topo_ != nullptr, "Scenario over a null topology");
+  const std::size_t n = topo_->num_nodes();
+  requests_.assign(n, 0);
+  pre_existing_.assign(n, 0);
+  original_mode_.assign(n, -1);
+  client_mass_.assign(topo_->num_internal(), 0);
+}
+
+void Scenario::set_requests(NodeId id, RequestCount r) {
+  TREEPLACE_CHECK_MSG(topology().is_client(id),
+                      "set_requests() on non-client " << id);
+  RequestCount& slot = requests_[static_cast<std::size_t>(id)];
+  const RequestCount old = slot;
+  slot = r;
+  // Clients are leaves, so the parent is always an internal node.
+  RequestCount& mass = client_mass_[topo_->internal_index(topo_->parent(id))];
+  mass = mass - old + r;
+  total_requests_ = total_requests_ - old + r;
+}
+
+void Scenario::set_pre_existing(NodeId id, int original_mode) {
+  TREEPLACE_CHECK_MSG(topology().is_internal(id),
+                      "pre-existing flag on non-internal node " << id);
+  TREEPLACE_CHECK(original_mode >= 0);
+  const auto i = static_cast<std::size_t>(id);
+  if (pre_existing_[i] == 0) ++num_pre_existing_;
+  pre_existing_[i] = 1;
+  original_mode_[i] = original_mode;
+}
+
+void Scenario::clear_pre_existing(NodeId id) {
+  TREEPLACE_CHECK_MSG(topology().is_internal(id),
+                      "pre-existing flag on non-internal node " << id);
+  const auto i = static_cast<std::size_t>(id);
+  if (pre_existing_[i] != 0) --num_pre_existing_;
+  pre_existing_[i] = 0;
+  original_mode_[i] = -1;
+}
+
+void Scenario::clear_all_pre_existing() {
+  std::fill(pre_existing_.begin(), pre_existing_.end(), std::uint8_t{0});
+  std::fill(original_mode_.begin(), original_mode_.end(), -1);
+  num_pre_existing_ = 0;
+}
+
+std::vector<NodeId> Scenario::pre_existing_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(num_pre_existing_);
+  for (NodeId id : topology().internal_ids()) {
+    if (pre_existing_[static_cast<std::size_t>(id)] != 0) out.push_back(id);
+  }
+  return out;
+}
+
+void Scenario::rebuild_aggregates() {
+  client_mass_.assign(topo_->num_internal(), 0);
+  total_requests_ = 0;
+  for (NodeId c : topo_->client_ids()) {
+    const RequestCount r = requests_[static_cast<std::size_t>(c)];
+    client_mass_[topo_->internal_index(topo_->parent(c))] += r;
+    total_requests_ += r;
+  }
+}
+
+}  // namespace treeplace

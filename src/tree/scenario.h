@@ -1,0 +1,110 @@
+// Mutable per-scenario state layered over a shared immutable Topology.
+//
+// The paper's experiments solve thousands of scenarios — varying client
+// request volumes, pre-existing sets E and original server modes — over the
+// same fixed topologies.  A Scenario is the cheap value type that carries
+// exactly that state: copying one forks an independent scenario in O(N)
+// flat-array copies (no per-node allocations, no topology duplication), and
+// two threads may solve over distinct Scenarios of one shared Topology
+// without synchronization (`std::vector<std::uint8_t>` rather than
+// `std::vector<bool>` keeps the pre-existing flags free of shared-word
+// aliasing between forked copies).
+//
+// Derived quantities the solver hot loops read per node — the client mass
+// of every internal node and the total request volume — are maintained
+// incrementally by set_requests()/set_pre_existing() instead of being
+// recomputed from scratch on every call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.h"
+#include "tree/topology.h"
+
+namespace treeplace {
+
+class Scenario {
+ public:
+  /// An empty scenario, not attached to any topology.  Usable only as a
+  /// placeholder (e.g. a default-constructed Tree or Instance).
+  Scenario() = default;
+
+  /// A blank scenario over `topology`: all client request volumes zero, no
+  /// pre-existing servers.
+  explicit Scenario(std::shared_ptr<const Topology> topology);
+
+  const std::shared_ptr<const Topology>& topology_ptr() const { return topo_; }
+  const Topology& topology() const {
+    TREEPLACE_DCHECK(topo_ != nullptr);
+    return *topo_;
+  }
+  bool attached() const { return topo_ != nullptr; }
+
+  // --- Client requests -----------------------------------------------------
+
+  /// Requests issued by client `id`.
+  RequestCount requests(NodeId id) const {
+    TREEPLACE_CHECK_MSG(topology().is_client(id),
+                        "requests() on non-client " << id);
+    return requests_[static_cast<std::size_t>(id)];
+  }
+
+  /// Updates one client's volume, maintaining client-mass and total
+  /// aggregates incrementally.
+  void set_requests(NodeId id, RequestCount r);
+
+  /// Sum of the requests of the *client* children of internal node `id`
+  /// (the `client(j)` quantity of paper Algorithm 2).  O(1): precomputed at
+  /// construction, maintained by set_requests().
+  RequestCount client_mass(NodeId id) const {
+    return client_mass_[topology().internal_index(id)];
+  }
+
+  /// Total requests issued by all clients.  O(1), maintained incrementally.
+  RequestCount total_requests() const { return total_requests_; }
+
+  // --- Pre-existing servers (the set E) ------------------------------------
+
+  bool pre_existing(NodeId id) const {
+    TREEPLACE_DCHECK(topology().valid_id(id));
+    return pre_existing_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// Original operating mode (0-based) of a pre-existing server; only
+  /// meaningful when pre_existing(id).  Single-mode problems use mode 0.
+  int original_mode(NodeId id) const {
+    TREEPLACE_DCHECK(topology().valid_id(id));
+    return original_mode_[static_cast<std::size_t>(id)];
+  }
+
+  /// Marks internal node `id` as holding a pre-existing replica operated at
+  /// `original_mode`.
+  void set_pre_existing(NodeId id, int original_mode = 0);
+  void clear_pre_existing(NodeId id);
+  void clear_all_pre_existing();
+
+  /// |E| — maintained incrementally.
+  std::size_t num_pre_existing() const { return num_pre_existing_; }
+
+  /// Ids of pre-existing servers, in id order.
+  std::vector<NodeId> pre_existing_nodes() const;
+
+ private:
+  friend class TreeBuilder;
+
+  /// Recomputes client_mass_/total_requests_ from requests_ (used once at
+  /// construction; afterwards both are maintained incrementally).
+  void rebuild_aggregates();
+
+  std::shared_ptr<const Topology> topo_;
+  std::vector<RequestCount> requests_;        // per node; only clients used
+  std::vector<std::uint8_t> pre_existing_;    // per node; 0/1
+  std::vector<int> original_mode_;            // per node; -1 when not in E
+  std::vector<RequestCount> client_mass_;     // per internal index
+  RequestCount total_requests_ = 0;
+  std::size_t num_pre_existing_ = 0;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,80 @@
+#include "tree/topology.h"
+
+namespace treeplace {
+
+bool Topology::is_ancestor_or_self(NodeId ancestor, NodeId id) const {
+  TREEPLACE_DCHECK(valid_id(ancestor) && valid_id(id));
+  for (NodeId cur = id; cur != kNoNode; cur = parent(cur)) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+void Topology::finalize() {
+  const std::size_t n = kind_.size();
+
+  // CSR children, counting pass then fill pass.  Node ids grow in insertion
+  // order, so filling by ascending id reproduces insertion order per parent.
+  child_off_.assign(n + 1, 0);
+  internal_child_off_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId p = parent_[i];
+    if (p == kNoNode) continue;
+    ++child_off_[static_cast<std::size_t>(p) + 1];
+    if (kind_[i] == NodeKind::kInternal) {
+      ++internal_child_off_[static_cast<std::size_t>(p) + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    child_off_[i + 1] += child_off_[i];
+    internal_child_off_[i + 1] += internal_child_off_[i];
+  }
+  child_flat_.resize(n == 0 ? 0 : child_off_[n]);
+  internal_child_flat_.resize(n == 0 ? 0 : internal_child_off_[n]);
+  std::vector<std::uint32_t> next = child_off_;
+  std::vector<std::uint32_t> next_internal = internal_child_off_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId p = parent_[i];
+    if (p == kNoNode) continue;
+    child_flat_[next[static_cast<std::size_t>(p)]++] =
+        static_cast<NodeId>(i);
+    if (kind_[i] == NodeKind::kInternal) {
+      internal_child_flat_[next_internal[static_cast<std::size_t>(p)]++] =
+          static_cast<NodeId>(i);
+    }
+  }
+
+  internal_index_.assign(n, -1);
+  internal_ids_.clear();
+  client_ids_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (kind_[i] == NodeKind::kInternal) {
+      internal_index_[i] = static_cast<std::int32_t>(internal_ids_.size());
+      internal_ids_.push_back(id);
+    } else {
+      client_ids_.push_back(id);
+    }
+  }
+
+  // Iterative post-order over internal nodes (children before parents).
+  post_order_.clear();
+  post_order_.reserve(internal_ids_.size());
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto kids = internal_children(node);
+    if (next_child < kids.size()) {
+      const NodeId child = kids[next_child++];
+      stack.emplace_back(child, 0);
+    } else {
+      post_order_.push_back(node);
+      stack.pop_back();
+    }
+  }
+  TREEPLACE_CHECK_MSG(post_order_.size() == internal_ids_.size(),
+                      "tree is not connected");
+}
+
+}  // namespace treeplace

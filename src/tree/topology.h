@@ -1,0 +1,129 @@
+// Immutable distribution-tree structure: the fixed network of the paper
+// (Section 2.1), shared across every scenario solved on it.
+//
+// Nodes are partitioned into *internal* nodes (the set N, candidate replica
+// locations) and *clients* (the set C, always leaves).  A Topology holds
+// only what never changes between the paper's experiment scenarios —
+// parent/children relations, post order, the dense internal-node indexing —
+// and is therefore safe to share across threads via
+// `std::shared_ptr<const Topology>`.  All per-scenario state (client request
+// volumes, the pre-existing set E, original modes) lives in the Scenario
+// overlay (tree/scenario.h).
+//
+// Children are stored CSR-flattened: one contiguous array addressed by
+// per-node offset spans, so traversals touch two cache-friendly arrays
+// instead of a vector-of-vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.h"
+
+namespace treeplace {
+
+/// Dense node identifier, stable for the lifetime of a Topology.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Number of requests per time unit (integral, as in the paper).  64 bits:
+/// the NP-completeness gadget (core/np_reduction.h) scales its instances by
+/// 2K = 2nS² and needs request volumes far beyond 32 bits.
+using RequestCount = std::uint64_t;
+
+enum class NodeKind : std::uint8_t { kInternal, kClient };
+
+class TreeBuilder;
+
+class Topology {
+ public:
+  /// Topologies are produced by TreeBuilder::build(); a default-constructed
+  /// Topology is empty.
+  Topology() = default;
+
+  NodeId root() const { return root_; }
+  std::size_t num_nodes() const { return kind_.size(); }
+  std::size_t num_internal() const { return internal_ids_.size(); }
+  std::size_t num_clients() const { return num_nodes() - num_internal(); }
+  bool empty() const { return kind_.empty(); }
+
+  bool valid_id(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < num_nodes();
+  }
+  NodeKind kind(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return kind_[static_cast<std::size_t>(id)];
+  }
+  bool is_internal(NodeId id) const { return kind(id) == NodeKind::kInternal; }
+  bool is_client(NodeId id) const { return kind(id) == NodeKind::kClient; }
+
+  NodeId parent(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    return parent_[static_cast<std::size_t>(id)];
+  }
+
+  /// All children of `id` (internal nodes and clients, in insertion order).
+  std::span<const NodeId> children(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    const auto i = static_cast<std::size_t>(id);
+    return std::span<const NodeId>(child_flat_.data() + child_off_[i],
+                                   child_off_[i + 1] - child_off_[i]);
+  }
+
+  /// Internal-node children only (insertion order).
+  std::span<const NodeId> internal_children(NodeId id) const {
+    TREEPLACE_DCHECK(valid_id(id));
+    const auto i = static_cast<std::size_t>(id);
+    return std::span<const NodeId>(
+        internal_child_flat_.data() + internal_child_off_[i],
+        internal_child_off_[i + 1] - internal_child_off_[i]);
+  }
+
+  /// Ids of all clients, in id order.
+  const std::vector<NodeId>& client_ids() const { return client_ids_; }
+
+  /// Ids of internal nodes, in id order.
+  const std::vector<NodeId>& internal_ids() const { return internal_ids_; }
+
+  /// Internal nodes in post order (every node appears after all of its
+  /// internal descendants).  Computed once at construction.
+  const std::vector<NodeId>& internal_post_order() const { return post_order_; }
+
+  /// Dense index of an internal node in [0, num_internal()).  Algorithms use
+  /// this to address per-internal-node tables.
+  std::size_t internal_index(NodeId id) const {
+    TREEPLACE_CHECK_MSG(is_internal(id), "internal_index() on client " << id);
+    return static_cast<std::size_t>(
+        internal_index_[static_cast<std::size_t>(id)]);
+  }
+
+  /// True iff `ancestor` lies on the path from `id` to the root (inclusive
+  /// of `id` itself).
+  bool is_ancestor_or_self(NodeId ancestor, NodeId id) const;
+
+ private:
+  friend class TreeBuilder;
+
+  /// Finalizes every derived structure (CSR spans, id lists, internal
+  /// indexing, post order) from kind_/parent_, which the builder fills.
+  /// Children end up in insertion order because ids are assigned in
+  /// insertion order.  Throws CheckError when the tree is not connected.
+  void finalize();
+
+  NodeId root_ = kNoNode;
+  std::vector<NodeKind> kind_;
+  std::vector<NodeId> parent_;
+  // CSR children: children of node i are child_flat_[child_off_[i] ..
+  // child_off_[i+1]); same layout for the internal-only view.
+  std::vector<std::uint32_t> child_off_;
+  std::vector<NodeId> child_flat_;
+  std::vector<std::uint32_t> internal_child_off_;
+  std::vector<NodeId> internal_child_flat_;
+  std::vector<NodeId> internal_ids_;
+  std::vector<NodeId> client_ids_;
+  std::vector<std::int32_t> internal_index_;
+  std::vector<NodeId> post_order_;
+};
+
+}  // namespace treeplace

@@ -1,148 +1,78 @@
 #include "tree/tree.h"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace treeplace {
 
-RequestCount Tree::client_mass(NodeId id) const {
-  TREEPLACE_DCHECK(is_internal(id));
-  RequestCount sum = 0;
-  for (NodeId c : children(id)) {
-    if (is_client(c)) sum += requests_[static_cast<std::size_t>(c)];
-  }
-  return sum;
-}
-
-RequestCount Tree::total_requests() const {
-  RequestCount sum = 0;
-  for (NodeId c : client_ids_) sum += requests_[static_cast<std::size_t>(c)];
-  return sum;
-}
-
-void Tree::set_pre_existing(NodeId id, int original_mode) {
-  TREEPLACE_CHECK_MSG(is_internal(id),
-                      "pre-existing flag on non-internal node " << id);
-  TREEPLACE_CHECK(original_mode >= 0);
-  const auto i = static_cast<std::size_t>(id);
-  if (!pre_existing_[i]) ++num_pre_existing_;
-  pre_existing_[i] = true;
-  original_mode_[i] = original_mode;
-}
-
-void Tree::clear_pre_existing(NodeId id) {
-  TREEPLACE_CHECK_MSG(is_internal(id),
-                      "pre-existing flag on non-internal node " << id);
-  const auto i = static_cast<std::size_t>(id);
-  if (pre_existing_[i]) --num_pre_existing_;
-  pre_existing_[i] = false;
-  original_mode_[i] = -1;
-}
-
-void Tree::clear_all_pre_existing() {
-  std::fill(pre_existing_.begin(), pre_existing_.end(), false);
-  std::fill(original_mode_.begin(), original_mode_.end(), -1);
-  num_pre_existing_ = 0;
-}
-
-std::vector<NodeId> Tree::pre_existing_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(num_pre_existing_);
-  for (NodeId id : internal_ids_) {
-    if (pre_existing_[static_cast<std::size_t>(id)]) out.push_back(id);
-  }
-  return out;
-}
-
-bool Tree::is_ancestor_or_self(NodeId ancestor, NodeId id) const {
-  TREEPLACE_DCHECK(valid_id(ancestor) && valid_id(id));
-  for (NodeId cur = id; cur != kNoNode; cur = parent(cur)) {
-    if (cur == ancestor) return true;
-  }
-  return false;
-}
-
 NodeId TreeBuilder::add_root() {
-  TREEPLACE_CHECK_MSG(tree_.kind_.empty(), "add_root() on non-empty builder");
+  TREEPLACE_CHECK_MSG(kind_.empty(), "add_root() on non-empty builder");
   return add_node(kNoNode, NodeKind::kInternal, 0);
 }
 
 NodeId TreeBuilder::add_internal(NodeId parent) {
-  TREEPLACE_CHECK_MSG(!tree_.kind_.empty(), "add_internal() before add_root()");
-  TREEPLACE_CHECK_MSG(tree_.valid_id(parent) && tree_.is_internal(parent),
+  TREEPLACE_CHECK_MSG(!kind_.empty(), "add_internal() before add_root()");
+  TREEPLACE_CHECK_MSG(valid_internal(parent),
                       "parent " << parent << " is not an internal node");
   return add_node(parent, NodeKind::kInternal, 0);
 }
 
 NodeId TreeBuilder::add_client(NodeId parent, RequestCount requests) {
-  TREEPLACE_CHECK_MSG(!tree_.kind_.empty(), "add_client() before add_root()");
-  TREEPLACE_CHECK_MSG(tree_.valid_id(parent) && tree_.is_internal(parent),
+  TREEPLACE_CHECK_MSG(!kind_.empty(), "add_client() before add_root()");
+  TREEPLACE_CHECK_MSG(valid_internal(parent),
                       "parent " << parent << " is not an internal node");
   return add_node(parent, NodeKind::kClient, requests);
 }
 
 void TreeBuilder::set_pre_existing(NodeId id, int original_mode) {
-  tree_.set_pre_existing(id, original_mode);
+  TREEPLACE_CHECK_MSG(valid_internal(id),
+                      "pre-existing flag on non-internal node " << id);
+  TREEPLACE_CHECK(original_mode >= 0);
+  const auto i = static_cast<std::size_t>(id);
+  pre_existing_[i] = 1;
+  original_mode_[i] = original_mode;
 }
 
 NodeId TreeBuilder::add_node(NodeId parent, NodeKind kind,
                              RequestCount requests) {
   TREEPLACE_CHECK_MSG(!built_, "builder already consumed");
-  const auto id = static_cast<NodeId>(tree_.kind_.size());
-  tree_.kind_.push_back(kind);
-  tree_.parent_.push_back(parent);
-  tree_.children_.emplace_back();
-  tree_.internal_children_.emplace_back();
-  tree_.requests_.push_back(requests);
-  tree_.pre_existing_.push_back(false);
-  tree_.original_mode_.push_back(-1);
-  if (parent == kNoNode) {
-    tree_.root_ = id;
-  } else {
-    tree_.children_[static_cast<std::size_t>(parent)].push_back(id);
-    if (kind == NodeKind::kInternal) {
-      tree_.internal_children_[static_cast<std::size_t>(parent)].push_back(id);
-    }
-  }
+  const auto id = static_cast<NodeId>(kind_.size());
+  kind_.push_back(kind);
+  parent_.push_back(parent);
+  requests_.push_back(requests);
+  pre_existing_.push_back(0);
+  original_mode_.push_back(-1);
+  if (parent == kNoNode) root_ = id;
   return id;
 }
 
 Tree TreeBuilder::build() && {
   TREEPLACE_CHECK_MSG(!built_, "builder already consumed");
-  TREEPLACE_CHECK_MSG(!tree_.kind_.empty(), "build() on empty builder");
+  TREEPLACE_CHECK_MSG(!kind_.empty(), "build() on empty builder");
   built_ = true;
 
-  const std::size_t n = tree_.kind_.size();
-  tree_.internal_index_.assign(n, -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto id = static_cast<NodeId>(i);
-    if (tree_.kind_[i] == NodeKind::kInternal) {
-      tree_.internal_index_[i] =
-          static_cast<std::int32_t>(tree_.internal_ids_.size());
-      tree_.internal_ids_.push_back(id);
-    } else {
-      tree_.client_ids_.push_back(id);
-    }
-  }
+  auto topology = std::make_shared<Topology>();
+  topology->root_ = root_;
+  topology->kind_ = std::move(kind_);
+  topology->parent_ = std::move(parent_);
+  topology->finalize();
 
-  // Iterative post-order over internal nodes (children before parents).
-  tree_.post_order_.clear();
-  tree_.post_order_.reserve(tree_.internal_ids_.size());
-  std::vector<std::pair<NodeId, std::size_t>> stack;
-  stack.emplace_back(tree_.root_, 0);
-  while (!stack.empty()) {
-    auto& [node, next_child] = stack.back();
-    const auto& kids = tree_.internal_children_[static_cast<std::size_t>(node)];
-    if (next_child < kids.size()) {
-      const NodeId child = kids[next_child++];
-      stack.emplace_back(child, 0);
-    } else {
-      tree_.post_order_.push_back(node);
-      stack.pop_back();
-    }
+  // Install the staged arrays directly (the public Scenario(topology)
+  // constructor would zero-fill arrays we immediately overwrite).
+  Scenario scenario;
+  scenario.topo_ = std::shared_ptr<const Topology>(std::move(topology));
+  scenario.requests_ = std::move(requests_);
+  scenario.pre_existing_ = std::move(pre_existing_);
+  scenario.original_mode_ = std::move(original_mode_);
+  scenario.num_pre_existing_ = 0;
+  for (const std::uint8_t pre : scenario.pre_existing_) {
+    if (pre != 0) ++scenario.num_pre_existing_;
   }
-  TREEPLACE_CHECK_MSG(tree_.post_order_.size() == tree_.internal_ids_.size(),
-                      "tree is not connected");
-  return std::move(tree_);
+  scenario.rebuild_aggregates();
+
+  Tree tree;
+  tree.scenario_ = std::move(scenario);
+  return tree;
 }
 
 }  // namespace treeplace

@@ -1,157 +1,137 @@
-// Distribution-tree topology: the fixed network of the paper (Section 2.1).
+// Distribution tree = shared immutable Topology + per-scenario Scenario.
 //
-// Nodes are partitioned into *internal* nodes (the set N, candidate replica
-// locations) and *clients* (the set C, always leaves, each issuing `r_i`
-// requests per time unit).  The topology is immutable after construction;
-// per-node attributes that the experiments mutate — client request volumes,
-// the pre-existing-server set E and original server modes — are mutable.
+// A Tree bundles one `shared_ptr<const Topology>` (the fixed network of
+// paper Section 2.1: parent/children/post-order/internal indexing, CSR
+// flattened — see tree/topology.h) with one Scenario overlay (the mutable
+// per-scenario state: client request volumes, the pre-existing set E and
+// original server modes — see tree/scenario.h).  The full pre-split Tree
+// API is preserved as forwarders, so generators, IO, metrics and tests are
+// unaffected, while copying a Tree is now zero-copy on the structure side:
+// the topology is shared, only the flat Scenario arrays are duplicated.
+//
+// Layered callers (the solver registry, experiments, the batch CLI) should
+// prefer the explicit split: take the topology and scenario apart with
+// topology_ptr()/scenario() and fork scenarios instead of copying trees.
 #pragma once
 
-#include <cstdint>
+#include <memory>
 #include <span>
-#include <string>
+#include <utility>
 #include <vector>
 
 #include "support/check.h"
+#include "tree/scenario.h"
+#include "tree/topology.h"
 
 namespace treeplace {
-
-/// Dense node identifier, stable for the lifetime of a Tree.
-using NodeId = std::int32_t;
-inline constexpr NodeId kNoNode = -1;
-
-/// Number of requests per time unit (integral, as in the paper).  64 bits:
-/// the NP-completeness gadget (core/np_reduction.h) scales its instances by
-/// 2K = 2nS² and needs request volumes far beyond 32 bits.
-using RequestCount = std::uint64_t;
-
-enum class NodeKind : std::uint8_t { kInternal, kClient };
 
 class TreeBuilder;
 
 class Tree {
  public:
-  /// Trees are produced by TreeBuilder::build().
+  /// Trees are produced by TreeBuilder::build(); a default-constructed Tree
+  /// is empty.
   Tree() = default;
 
-  NodeId root() const { return root_; }
-  std::size_t num_nodes() const { return kind_.size(); }
-  std::size_t num_internal() const { return internal_ids_.size(); }
+  /// Re-bundles an existing topology with a (typically forked) scenario.
+  Tree(std::shared_ptr<const Topology> topology, Scenario scenario)
+      : scenario_(std::move(scenario)) {
+    TREEPLACE_CHECK_MSG(scenario_.topology_ptr() == topology,
+                        "scenario belongs to a different topology");
+  }
+
+  // --- The split -----------------------------------------------------------
+
+  /// The shared immutable structure; null for an empty Tree.
+  const std::shared_ptr<const Topology>& topology_ptr() const {
+    return scenario_.topology_ptr();
+  }
+  const Topology& topology() const { return scenario_.topology(); }
+
+  /// The per-scenario overlay.  Copy the const view to fork an independent
+  /// scenario over the same topology.
+  const Scenario& scenario() const { return scenario_; }
+  Scenario& scenario() { return scenario_; }
+
+  // --- Structure (forwarded to the Topology) -------------------------------
+
+  NodeId root() const { return empty() ? kNoNode : topology().root(); }
+  std::size_t num_nodes() const {
+    return empty() ? 0 : topology().num_nodes();
+  }
+  std::size_t num_internal() const {
+    return empty() ? 0 : topology().num_internal();
+  }
   std::size_t num_clients() const { return num_nodes() - num_internal(); }
-  bool empty() const { return kind_.empty(); }
+  bool empty() const { return !scenario_.attached() || topology().empty(); }
 
   bool valid_id(NodeId id) const {
-    return id >= 0 && static_cast<std::size_t>(id) < num_nodes();
+    return !empty() && topology().valid_id(id);
   }
-  NodeKind kind(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return kind_[static_cast<std::size_t>(id)];
-  }
-  bool is_internal(NodeId id) const { return kind(id) == NodeKind::kInternal; }
-  bool is_client(NodeId id) const { return kind(id) == NodeKind::kClient; }
-
-  NodeId parent(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return parent_[static_cast<std::size_t>(id)];
-  }
+  NodeKind kind(NodeId id) const { return topology().kind(id); }
+  bool is_internal(NodeId id) const { return topology().is_internal(id); }
+  bool is_client(NodeId id) const { return topology().is_client(id); }
+  NodeId parent(NodeId id) const { return topology().parent(id); }
 
   /// All children of `id` (internal nodes and clients, in insertion order).
   std::span<const NodeId> children(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return children_[static_cast<std::size_t>(id)];
+    return topology().children(id);
   }
-
   /// Internal-node children only.
   std::span<const NodeId> internal_children(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return internal_children_[static_cast<std::size_t>(id)];
+    return topology().internal_children(id);
   }
-
-  // --- Client requests -----------------------------------------------------
-
-  /// Requests issued by client `id`.
-  RequestCount requests(NodeId id) const {
-    TREEPLACE_CHECK_MSG(is_client(id), "requests() on non-client " << id);
-    return requests_[static_cast<std::size_t>(id)];
-  }
-
-  void set_requests(NodeId id, RequestCount r) {
-    TREEPLACE_CHECK_MSG(is_client(id), "set_requests() on non-client " << id);
-    requests_[static_cast<std::size_t>(id)] = r;
-  }
-
-  /// Sum of the requests of the *client* children of internal node `id`
-  /// (the `client(j)` quantity of paper Algorithm 2).
-  RequestCount client_mass(NodeId id) const;
-
-  /// Total requests issued by all clients.
-  RequestCount total_requests() const;
 
   /// Ids of all clients, in id order.
-  const std::vector<NodeId>& client_ids() const { return client_ids_; }
-
-  // --- Pre-existing servers (the set E) ------------------------------------
-
-  bool pre_existing(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return pre_existing_[static_cast<std::size_t>(id)];
+  const std::vector<NodeId>& client_ids() const {
+    return topology().client_ids();
   }
-
-  /// Original operating mode (0-based) of a pre-existing server; only
-  /// meaningful when pre_existing(id).  Single-mode problems use mode 0.
-  int original_mode(NodeId id) const {
-    TREEPLACE_DCHECK(valid_id(id));
-    return original_mode_[static_cast<std::size_t>(id)];
-  }
-
-  /// Mark internal node `id` as holding a pre-existing replica operated at
-  /// `original_mode`.
-  void set_pre_existing(NodeId id, int original_mode = 0);
-  void clear_pre_existing(NodeId id);
-  void clear_all_pre_existing();
-
-  /// |E| — maintained incrementally.
-  std::size_t num_pre_existing() const { return num_pre_existing_; }
-
-  /// Ids of pre-existing servers, in id order.
-  std::vector<NodeId> pre_existing_nodes() const;
-
-  // --- Traversal helpers ----------------------------------------------------
-
-  /// Internal nodes in post order (every node appears after all of its
-  /// internal descendants).  Cached at construction.
-  const std::vector<NodeId>& internal_post_order() const { return post_order_; }
-
   /// Ids of internal nodes, in id order.
-  const std::vector<NodeId>& internal_ids() const { return internal_ids_; }
-
-  /// Dense index of an internal node in [0, num_internal()).  Algorithms use
-  /// this to address per-internal-node tables.
+  const std::vector<NodeId>& internal_ids() const {
+    return topology().internal_ids();
+  }
+  /// Internal nodes in post order (children before parents).
+  const std::vector<NodeId>& internal_post_order() const {
+    return topology().internal_post_order();
+  }
+  /// Dense index of an internal node in [0, num_internal()).
   std::size_t internal_index(NodeId id) const {
-    TREEPLACE_CHECK_MSG(is_internal(id), "internal_index() on client " << id);
-    return static_cast<std::size_t>(internal_index_[static_cast<std::size_t>(id)]);
+    return topology().internal_index(id);
+  }
+  /// True iff `ancestor` lies on the path from `id` to the root.
+  bool is_ancestor_or_self(NodeId ancestor, NodeId id) const {
+    return topology().is_ancestor_or_self(ancestor, id);
   }
 
-  /// True iff `ancestor` lies on the path from `id` to the root (inclusive
-  /// of `id` itself).
-  bool is_ancestor_or_self(NodeId ancestor, NodeId id) const;
+  // --- Scenario state (forwarded to the Scenario) --------------------------
+
+  RequestCount requests(NodeId id) const { return scenario_.requests(id); }
+  void set_requests(NodeId id, RequestCount r) {
+    scenario_.set_requests(id, r);
+  }
+  /// Client mass of internal node `id`; O(1), maintained incrementally.
+  RequestCount client_mass(NodeId id) const {
+    return scenario_.client_mass(id);
+  }
+  /// Total requests of all clients; O(1), maintained incrementally.
+  RequestCount total_requests() const { return scenario_.total_requests(); }
+
+  bool pre_existing(NodeId id) const { return scenario_.pre_existing(id); }
+  int original_mode(NodeId id) const { return scenario_.original_mode(id); }
+  void set_pre_existing(NodeId id, int original_mode = 0) {
+    scenario_.set_pre_existing(id, original_mode);
+  }
+  void clear_pre_existing(NodeId id) { scenario_.clear_pre_existing(id); }
+  void clear_all_pre_existing() { scenario_.clear_all_pre_existing(); }
+  std::size_t num_pre_existing() const { return scenario_.num_pre_existing(); }
+  std::vector<NodeId> pre_existing_nodes() const {
+    return scenario_.pre_existing_nodes();
+  }
 
  private:
   friend class TreeBuilder;
 
-  NodeId root_ = kNoNode;
-  std::vector<NodeKind> kind_;
-  std::vector<NodeId> parent_;
-  std::vector<std::vector<NodeId>> children_;
-  std::vector<std::vector<NodeId>> internal_children_;
-  std::vector<RequestCount> requests_;
-  std::vector<bool> pre_existing_;
-  std::vector<int> original_mode_;
-  std::vector<NodeId> internal_ids_;
-  std::vector<NodeId> client_ids_;
-  std::vector<std::int32_t> internal_index_;
-  std::vector<NodeId> post_order_;
-  std::size_t num_pre_existing_ = 0;
+  Scenario scenario_;
 };
 
 /// Incremental tree construction with validation at build() time.
@@ -175,16 +155,27 @@ class TreeBuilder {
   /// Marks an already-added internal node as pre-existing.
   void set_pre_existing(NodeId id, int original_mode = 0);
 
-  std::size_t num_nodes() const { return tree_.kind_.size(); }
+  std::size_t num_nodes() const { return kind_.size(); }
 
-  /// Validates (single root, clients are leaves, acyclic by construction)
-  /// and finalizes derived structures.  The builder is consumed.
+  /// Validates (single root, clients are leaves, acyclic by construction,
+  /// connected) and finalizes the immutable Topology plus the initial
+  /// Scenario.  The builder is consumed.
   Tree build() &&;
 
  private:
   NodeId add_node(NodeId parent, NodeKind kind, RequestCount requests);
 
-  Tree tree_;
+  bool valid_internal(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < kind_.size() &&
+           kind_[static_cast<std::size_t>(id)] == NodeKind::kInternal;
+  }
+
+  NodeId root_ = kNoNode;
+  std::vector<NodeKind> kind_;
+  std::vector<NodeId> parent_;
+  std::vector<RequestCount> requests_;
+  std::vector<std::uint8_t> pre_existing_;
+  std::vector<int> original_mode_;
   bool built_ = false;
 };
 

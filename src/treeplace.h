@@ -49,4 +49,6 @@
 #include "support/prng.h"
 #include "tree/io.h"
 #include "tree/metrics.h"
+#include "tree/scenario.h"
+#include "tree/topology.h"
 #include "tree/tree.h"

@@ -1,0 +1,140 @@
+// Concurrent solves over one shared Topology with distinct Scenario forks.
+//
+// This is the race-freedom contract the Topology/Scenario split exists for:
+// the immutable topology is shared read-only across threads, every solve
+// owns its forked scenario, and results are bit-identical to the same
+// solves run serially.  Run under the CI ASan+UBSan job (and TSan locally)
+// this is the regression net for cross-thread sharing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "gen/workload.h"
+#include "solver/registry.h"
+#include "support/prng.h"
+
+namespace treeplace {
+namespace {
+
+struct SolveOutcome {
+  double cost = 0.0;
+  double power = 0.0;
+  Placement placement;
+};
+
+/// The per-thread workload: `rounds` solves over forked scenarios of the
+/// shared topology, each with its own pre-existing set and request redraw.
+std::vector<SolveOutcome> run_solves(
+    const std::shared_ptr<const Topology>& topo, const Scenario& base,
+    const Solver& solver, std::uint64_t stream, std::size_t rounds) {
+  std::vector<SolveOutcome> out;
+  out.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    Scenario scen = base;  // fork
+    Xoshiro256 workload_rng =
+        make_rng(/*seed=*/900 + stream, i, RngStream::kWorkloadUpdate);
+    redraw_requests(scen, 1, 6, workload_rng);
+    Xoshiro256 pre_rng = make_rng(900 + stream, i, RngStream::kPreExisting);
+    assign_random_pre_existing(scen, 4, pre_rng);
+    const Instance instance = Instance::single_mode(topo, std::move(scen),
+                                                    /*capacity=*/10,
+                                                    /*create=*/0.1,
+                                                    /*delete_cost=*/0.01);
+    const Solution solution = solver.solve(instance);
+    EXPECT_TRUE(solution.feasible);
+    out.push_back(SolveOutcome{solution.breakdown.cost, solution.power,
+                               solution.placement});
+  }
+  return out;
+}
+
+TEST(ConcurrentSolvesTest, TwoThreadsOneTopologyDistinctScenarios) {
+  TreeGenConfig config;
+  config.num_internal = 40;
+  config.client_probability = 0.8;
+  const Tree tree = generate_tree(config, /*seed=*/31, /*index=*/0);
+  const std::shared_ptr<const Topology> topo = tree.topology_ptr();
+  const Scenario base = tree.scenario();
+
+  const auto solver = make_solver("update-dp");
+  constexpr std::size_t kRounds = 12;
+
+  // Serial reference, one stream per future thread.
+  const auto serial_a = run_solves(topo, base, *solver, /*stream=*/1, kRounds);
+  const auto serial_b = run_solves(topo, base, *solver, /*stream=*/2, kRounds);
+
+  // The same two streams, concurrently over the same shared topology.
+  std::vector<SolveOutcome> parallel_a;
+  std::vector<SolveOutcome> parallel_b;
+  std::thread ta([&] {
+    parallel_a = run_solves(topo, base, *solver, /*stream=*/1, kRounds);
+  });
+  std::thread tb([&] {
+    parallel_b = run_solves(topo, base, *solver, /*stream=*/2, kRounds);
+  });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(parallel_a.size(), serial_a.size());
+  ASSERT_EQ(parallel_b.size(), serial_b.size());
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    EXPECT_DOUBLE_EQ(parallel_a[i].cost, serial_a[i].cost);
+    EXPECT_EQ(parallel_a[i].placement, serial_a[i].placement);
+    EXPECT_DOUBLE_EQ(parallel_b[i].cost, serial_b[i].cost);
+    EXPECT_EQ(parallel_b[i].placement, serial_b[i].placement);
+  }
+  // The base scenario and tree were never touched.
+  EXPECT_EQ(base.num_pre_existing(), 0u);
+  EXPECT_EQ(tree.total_requests(), base.total_requests());
+}
+
+TEST(ConcurrentSolvesTest, ManyThreadsSharedTopologyPowerSolver) {
+  TreeGenConfig config;
+  config.num_internal = 16;
+  config.client_probability = 0.8;
+  config.max_requests = 5;
+  const Tree tree = generate_tree(config, /*seed=*/32, /*index=*/0);
+  const std::shared_ptr<const Topology> topo = tree.topology_ptr();
+  const Scenario base = tree.scenario();
+
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const auto solver = make_solver("power-sym");
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<Solution> results(kThreads);
+  std::vector<Solution> expected(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    Scenario scen = base;
+    Xoshiro256 pre_rng = make_rng(950, t, RngStream::kPreExisting);
+    assign_random_pre_existing(scen, 3, pre_rng, modes.count());
+    expected[t] = solver->solve(
+        Instance{topo, std::move(scen), modes, costs, std::nullopt});
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Scenario scen = base;
+      Xoshiro256 pre_rng = make_rng(950, t, RngStream::kPreExisting);
+      assign_random_pre_existing(scen, 3, pre_rng, modes.count());
+      results[t] = solver->solve(
+          Instance{topo, std::move(scen), modes, costs, std::nullopt});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].feasible);
+    EXPECT_DOUBLE_EQ(results[t].breakdown.cost, expected[t].breakdown.cost);
+    EXPECT_DOUBLE_EQ(results[t].power, expected[t].power);
+    EXPECT_EQ(results[t].placement, expected[t].placement);
+    ASSERT_EQ(results[t].frontier.size(), expected[t].frontier.size());
+  }
+}
+
+}  // namespace
+}  // namespace treeplace

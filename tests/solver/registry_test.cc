@@ -40,19 +40,19 @@ class EveryNodeSolver : public Solver {
   }
   Solution solve(const Instance& in) const override {
     Placement placement;
-    for (NodeId id : in.tree.internal_ids()) placement.add(id, 0);
+    for (NodeId id : in.topo().internal_ids()) placement.add(id, 0);
     Solution s;
     // With a replica everywhere each server's load is its own client mass,
     // so the placement is infeasible exactly when some client group
     // exceeds W_M — which is global infeasibility.
-    const FlowResult flows = compute_flows(in.tree, placement);
+    const FlowResult flows = compute_flows(in.topo(), in.scen(), placement);
     for (NodeId id : placement.nodes()) {
-      if (flows.load(in.tree, id) > in.modes.max_capacity()) return s;
+      if (flows.load(in.topo(), id) > in.modes.max_capacity()) return s;
     }
-    minimize_modes(in.tree, placement, in.modes);
+    minimize_modes(in.topo(), in.scen(), placement, in.modes);
     s.feasible = true;
     s.placement = std::move(placement);
-    s.breakdown = evaluate_cost(in.tree, s.placement, in.costs);
+    s.breakdown = evaluate_cost(in.topo(), in.scen(), s.placement, in.costs);
     s.power = total_power(s.placement, in.modes);
     s.budget_met =
         !in.cost_budget || s.breakdown.cost <= *in.cost_budget + 1e-9;
@@ -184,7 +184,7 @@ TEST_P(RegisteredSolverTest, SolvesSharedInstancesConsistently) {
 
   for (const NamedInstance& named : shared_instances()) {
     const Instance& instance = named.instance;
-    if (!info.accepts(instance.tree.num_internal(),
+    if (!info.accepts(instance.num_internal(),
                       instance.modes.count())) {
       continue;
     }
@@ -194,13 +194,14 @@ TEST_P(RegisteredSolverTest, SolvesSharedInstancesConsistently) {
     if (!solution.feasible) continue;
 
     if (info.provides_placement) {
-      const ValidationResult v =
-          validate(instance.tree, solution.placement, instance.modes);
+      const ValidationResult v = validate(instance.topo(), instance.scen(),
+                                          solution.placement, instance.modes);
       EXPECT_TRUE(v.valid) << v.reason;
 
       // Reported accounting must match the independent evaluator.
       const CostBreakdown expected =
-          evaluate_cost(instance.tree, solution.placement, instance.costs);
+          evaluate_cost(instance.topo(), instance.scen(), solution.placement,
+                        instance.costs);
       EXPECT_NEAR(solution.breakdown.cost, expected.cost, 1e-9);
       EXPECT_EQ(solution.breakdown.servers, expected.servers);
       EXPECT_EQ(solution.breakdown.reused, expected.reused);
@@ -229,7 +230,7 @@ TEST_P(RegisteredSolverTest, AgreesWithExhaustiveOracles) {
 
   for (const NamedInstance& named : shared_instances()) {
     const Instance& instance = named.instance;
-    if (!info.accepts(instance.tree.num_internal(),
+    if (!info.accepts(instance.num_internal(),
                       instance.modes.count())) {
       continue;
     }
@@ -239,8 +240,9 @@ TEST_P(RegisteredSolverTest, AgreesWithExhaustiveOracles) {
 
     if (instance.costs.num_modes() == 1) {
       // Cost side: nobody beats the oracle; exact min-cost solvers tie it.
-      const auto oracle = exhaustive_min_cost(
-          instance.tree, instance.modes.max_capacity(), instance.costs);
+      const auto oracle =
+          exhaustive_min_cost(instance.topo(), instance.scen(),
+                              instance.modes.max_capacity(), instance.costs);
       ASSERT_TRUE(oracle.has_value());
       if (info.provides_placement) {
         EXPECT_GE(solution.breakdown.cost, oracle->breakdown.cost - 1e-9);
@@ -251,8 +253,8 @@ TEST_P(RegisteredSolverTest, AgreesWithExhaustiveOracles) {
     }
 
     if (info.objective == Objective::kMinPower) {
-      const auto oracle_power =
-          exhaustive_min_power(instance.tree, instance.modes);
+      const auto oracle_power = exhaustive_min_power(
+          instance.topo(), instance.scen(), instance.modes);
       ASSERT_TRUE(oracle_power.has_value());
       EXPECT_GE(solution.power, *oracle_power - 1e-9);
       if (info.exact) {
@@ -261,7 +263,7 @@ TEST_P(RegisteredSolverTest, AgreesWithExhaustiveOracles) {
         EXPECT_NEAR(best->power, *oracle_power, 1e-9);
         // Exact bi-criteria solvers reproduce the oracle frontier exactly.
         const auto oracle_frontier = exhaustive_cost_power_frontier(
-            instance.tree, instance.modes, instance.costs);
+            instance.topo(), instance.scen(), instance.modes, instance.costs);
         ASSERT_EQ(solution.frontier.size(), oracle_frontier.size());
         for (std::size_t i = 0; i < oracle_frontier.size(); ++i) {
           EXPECT_NEAR(solution.frontier[i].cost, oracle_frontier[i].cost,
@@ -277,7 +279,7 @@ TEST_P(RegisteredSolverTest, AgreesWithExhaustiveOracles) {
 TEST_P(RegisteredSolverTest, ReportsInfeasibleInstances) {
   const auto solver = make_solver(GetParam());
   const Instance instance = infeasible_instance();
-  if (!solver->info().accepts(instance.tree.num_internal(),
+  if (!solver->info().accepts(instance.num_internal(),
                               instance.modes.count())) {
     GTEST_SKIP() << "solver does not accept the instance";
   }
@@ -321,6 +323,44 @@ TEST_P(RegisteredSolverTest, HonorsCostBudget) {
   instance.cost_budget = 1e-3;
   const Solution impossible = solver->solve(instance);
   if (impossible.feasible) EXPECT_FALSE(impossible.budget_met);
+}
+
+// --- The exhaustive-power oracle's reconstructed placements ---------------
+
+TEST(ExhaustivePowerPlacementTest, FrontierPointsCarryValidWitnesses) {
+  // The oracle used to be value-only (provides_placement == false); it now
+  // reconstructs a witness placement per frontier point and is held to the
+  // full placement contract above like every other solver.
+  const SolverInfo* info = SolverRegistry::instance().find("exhaustive-power");
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->provides_placement);
+
+  const auto solver = make_solver("exhaustive-power");
+  for (const NamedInstance& named : shared_instances()) {
+    const Instance& instance = named.instance;
+    if (!info->accepts(instance.num_internal(), instance.modes.count())) {
+      continue;
+    }
+    SCOPED_TRACE(named.label);
+    const Solution solution = solver->solve(instance);
+    ASSERT_TRUE(solution.feasible);
+    ASSERT_FALSE(solution.frontier.empty());
+    for (const PowerParetoPoint& point : solution.frontier) {
+      // Every frontier point's witness validates and re-derives to exactly
+      // the certified (cost, power) pair.
+      const ValidationResult v = validate(instance.topo(), instance.scen(),
+                                          point.placement, instance.modes);
+      EXPECT_TRUE(v.valid) << v.reason;
+      EXPECT_NEAR(evaluate_cost(instance.topo(), instance.scen(),
+                                point.placement, instance.costs)
+                      .cost,
+                  point.cost, 1e-9);
+      EXPECT_NEAR(total_power(point.placement, instance.modes), point.power,
+                  1e-9);
+    }
+    // The selected placement is the min-power frontier point's witness.
+    EXPECT_EQ(solution.placement, solution.min_power()->placement);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

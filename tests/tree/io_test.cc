@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "gen/tree_gen.h"
 #include "support/check.h"
 
@@ -78,6 +80,68 @@ TEST(TreeIoTest, CommentsAndBlankLinesIgnored) {
       "C 1 0 4\n");
   EXPECT_EQ(t.num_internal(), 1u);
   EXPECT_EQ(t.total_requests(), 4u);
+}
+
+TEST(TreeStreamReaderTest, ReadsConcatenatedTrees) {
+  TreeGenConfig config;
+  config.num_internal = 12;
+  const Tree a = generate_tree(config, /*seed=*/9, 0);
+  const Tree b = generate_tree(config, /*seed=*/9, 1);
+  // Plain concatenation (`cat a.txt b.txt`): the second header terminates
+  // the first tree.
+  std::istringstream is(serialize_tree(a) + serialize_tree(b));
+  TreeStreamReader reader(is);
+  const auto first = reader.next();
+  const auto second = reader.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(serialize_tree(*first), serialize_tree(a));
+  EXPECT_EQ(serialize_tree(*second), serialize_tree(b));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.trees_read(), 2u);
+}
+
+TEST(TreeStreamReaderTest, BlankLinesAndCommentsIgnoredEverywhere) {
+  // Interior blanks/comments are part of the v1 format (parse_tree accepts
+  // them); only a new header may terminate a tree.
+  std::istringstream is(
+      "# leading comment\n"
+      "\n"
+      "treeplace-tree v1\n"
+      "I 0 -1 0 -1\n"
+      "\n"
+      "# interior comment\n"
+      "C 1 0 4\n"
+      "\n"
+      "# between trees\n"
+      "treeplace-tree v1\n"
+      "I 0 -1 1 0\n"
+      "\n");
+  TreeStreamReader reader(is);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->num_nodes(), 2u);  // the interior blank did not split it
+  EXPECT_EQ(first->total_requests(), 4u);
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->pre_existing(second->root()));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TreeStreamReaderTest, SingleTreeMatchesParseTree) {
+  const Tree original = make_tree();
+  std::istringstream is(serialize_tree(original));
+  TreeStreamReader reader(is);
+  const auto tree = reader.next();
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(serialize_tree(*tree), serialize_tree(original));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TreeStreamReaderTest, BadHeaderThrows) {
+  std::istringstream is("not a tree\n");
+  TreeStreamReader reader(is);
+  EXPECT_THROW(reader.next(), CheckError);
 }
 
 TEST(TreeIoTest, DotContainsAllNodesAndEdges) {

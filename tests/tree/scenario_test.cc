@@ -1,0 +1,125 @@
+// Invariants of the Scenario overlay: fork independence, incremental
+// client-mass/total-request maintenance, pre-existing bookkeeping.
+#include "tree/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "gen/workload.h"
+#include "support/prng.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+namespace {
+
+/// Recomputes the aggregates the Scenario maintains incrementally.
+RequestCount naive_client_mass(const Topology& topo, const Scenario& scen,
+                               NodeId j) {
+  RequestCount sum = 0;
+  for (NodeId c : topo.children(j)) {
+    if (topo.is_client(c)) sum += scen.requests(c);
+  }
+  return sum;
+}
+
+RequestCount naive_total(const Topology& topo, const Scenario& scen) {
+  RequestCount sum = 0;
+  for (NodeId c : topo.client_ids()) sum += scen.requests(c);
+  return sum;
+}
+
+Tree make_tree(std::uint64_t seed) {
+  TreeGenConfig config;
+  config.num_internal = 30;
+  config.client_probability = 0.8;
+  return generate_tree(config, seed, /*index=*/0);
+}
+
+TEST(ScenarioTest, AggregatesMatchNaiveRecomputationAfterUpdates) {
+  Tree tree = make_tree(21);
+  const Topology& topo = tree.topology();
+  Scenario& scen = tree.scenario();
+
+  EXPECT_EQ(scen.total_requests(), naive_total(topo, scen));
+  for (NodeId j : topo.internal_ids()) {
+    EXPECT_EQ(scen.client_mass(j), naive_client_mass(topo, scen, j));
+  }
+
+  // Point updates keep every aggregate exact (including lowering volumes,
+  // which exercises the subtract side of the incremental update).
+  Xoshiro256 rng = make_rng(21, 0, RngStream::kWorkloadUpdate);
+  for (NodeId c : topo.client_ids()) {
+    scen.set_requests(c, static_cast<RequestCount>(rng.uniform(0, 9)));
+    EXPECT_EQ(scen.total_requests(), naive_total(topo, scen));
+  }
+  for (NodeId j : topo.internal_ids()) {
+    EXPECT_EQ(scen.client_mass(j), naive_client_mass(topo, scen, j));
+  }
+
+  // Bulk redraw goes through the same incremental path.
+  redraw_requests(scen, 1, 6, rng);
+  EXPECT_EQ(scen.total_requests(), naive_total(topo, scen));
+  for (NodeId j : topo.internal_ids()) {
+    EXPECT_EQ(scen.client_mass(j), naive_client_mass(topo, scen, j));
+  }
+}
+
+TEST(ScenarioTest, ForkedScenariosAreIndependent) {
+  Tree tree = make_tree(22);
+  const Topology& topo = tree.topology();
+  Scenario base = tree.scenario();
+
+  Scenario fork = base;  // the fork: a plain copy over the same topology
+  ASSERT_EQ(fork.topology_ptr().get(), base.topology_ptr().get());
+
+  const NodeId client = topo.client_ids().front();
+  const RequestCount before = base.requests(client);
+  fork.set_requests(client, before + 17);
+  EXPECT_EQ(base.requests(client), before);
+  EXPECT_EQ(fork.requests(client), before + 17);
+  EXPECT_EQ(fork.total_requests(), base.total_requests() + 17);
+
+  Xoshiro256 rng = make_rng(22, 0, RngStream::kPreExisting);
+  assign_random_pre_existing(fork, 5, rng);
+  EXPECT_EQ(fork.num_pre_existing(), 5u);
+  EXPECT_EQ(base.num_pre_existing(), 0u);
+  for (NodeId id : fork.pre_existing_nodes()) {
+    EXPECT_FALSE(base.pre_existing(id));
+  }
+}
+
+TEST(ScenarioTest, PreExistingBookkeeping) {
+  Tree tree = make_tree(23);
+  Scenario& scen = tree.scenario();
+  const NodeId a = tree.internal_ids()[1];
+  const NodeId b = tree.internal_ids()[2];
+
+  scen.set_pre_existing(a, 1);
+  scen.set_pre_existing(b, 0);
+  EXPECT_EQ(scen.num_pre_existing(), 2u);
+  scen.set_pre_existing(a, 0);  // idempotent count, mode update
+  EXPECT_EQ(scen.num_pre_existing(), 2u);
+  EXPECT_EQ(scen.original_mode(a), 0);
+  scen.clear_pre_existing(a);
+  EXPECT_EQ(scen.num_pre_existing(), 1u);
+  EXPECT_EQ(scen.original_mode(a), -1);
+  scen.clear_all_pre_existing();
+  EXPECT_EQ(scen.num_pre_existing(), 0u);
+  EXPECT_TRUE(scen.pre_existing_nodes().empty());
+}
+
+TEST(ScenarioTest, BlankScenarioOverSharedTopology) {
+  const Tree tree = make_tree(24);
+  Scenario blank(tree.topology_ptr());
+  EXPECT_EQ(blank.total_requests(), 0u);
+  EXPECT_EQ(blank.num_pre_existing(), 0u);
+  for (NodeId j : tree.internal_ids()) {
+    EXPECT_EQ(blank.client_mass(j), 0u);
+  }
+  // The original tree's scenario is untouched.
+  EXPECT_GT(tree.total_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace treeplace

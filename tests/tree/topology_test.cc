@@ -1,0 +1,125 @@
+// Invariants of the CSR-flattened immutable Topology: children spans match
+// builder insertion order, post-order stability, sharing semantics.
+#include "tree/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+namespace {
+
+TEST(TopologyTest, CsrChildrenMatchInsertionOrder) {
+  TreeBuilder builder;
+  const NodeId r = builder.add_root();
+  // Interleave clients and internal nodes so the CSR fill has to preserve
+  // the mixed insertion order, not just group by kind.
+  const NodeId c1 = builder.add_client(r, 3);
+  const NodeId a = builder.add_internal(r);
+  const NodeId c2 = builder.add_client(r, 5);
+  const NodeId b = builder.add_internal(r);
+  const NodeId b1 = builder.add_internal(b);
+  const NodeId c3 = builder.add_client(b, 1);
+  const Tree tree = std::move(builder).build();
+  const Topology& topo = tree.topology();
+
+  const std::vector<NodeId> root_kids(topo.children(r).begin(),
+                                      topo.children(r).end());
+  EXPECT_EQ(root_kids, (std::vector<NodeId>{c1, a, c2, b}));
+  const std::vector<NodeId> root_internal(topo.internal_children(r).begin(),
+                                          topo.internal_children(r).end());
+  EXPECT_EQ(root_internal, (std::vector<NodeId>{a, b}));
+  const std::vector<NodeId> b_kids(topo.children(b).begin(),
+                                   topo.children(b).end());
+  EXPECT_EQ(b_kids, (std::vector<NodeId>{b1, c3}));
+  EXPECT_TRUE(topo.children(a).empty());
+  EXPECT_TRUE(topo.children(c1).empty());
+}
+
+TEST(TopologyTest, CsrSpansAreContiguousAndComplete) {
+  TreeGenConfig config;
+  config.num_internal = 60;
+  const Tree tree = generate_tree(config, /*seed=*/11, /*index=*/0);
+  const Topology& topo = tree.topology();
+
+  // Every non-root node appears in exactly one children span, and the
+  // spans' parents agree with parent().
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    for (NodeId c : topo.children(id)) {
+      EXPECT_EQ(topo.parent(c), id);
+      ++seen;
+    }
+    // The internal-only span is the filtered children span, same order.
+    std::vector<NodeId> filtered;
+    for (NodeId c : topo.children(id)) {
+      if (topo.is_internal(c)) filtered.push_back(c);
+    }
+    const std::vector<NodeId> internal(topo.internal_children(id).begin(),
+                                       topo.internal_children(id).end());
+    EXPECT_EQ(internal, filtered);
+  }
+  EXPECT_EQ(seen, topo.num_nodes() - 1);  // everyone but the root
+}
+
+TEST(TopologyTest, PostOrderStableAcrossRebuilds) {
+  TreeGenConfig config;
+  config.num_internal = 40;
+  const Tree a = generate_tree(config, /*seed=*/5, /*index=*/3);
+  const Tree b = generate_tree(config, /*seed=*/5, /*index=*/3);
+  // Same construction sequence => identical post order (the DP tables and
+  // decision reconstruction depend on this determinism).
+  EXPECT_EQ(a.topology().internal_post_order(),
+            b.topology().internal_post_order());
+  // Children before parents.
+  const Topology& topo = a.topology();
+  std::vector<std::size_t> position(topo.num_nodes(), 0);
+  const auto& order = topo.internal_post_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = i;
+  }
+  for (NodeId j : topo.internal_ids()) {
+    for (NodeId c : topo.internal_children(j)) {
+      EXPECT_LT(position[static_cast<std::size_t>(c)],
+                position[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(TopologyTest, TreeCopiesShareOneTopology) {
+  TreeGenConfig config;
+  config.num_internal = 25;
+  const Tree tree = generate_tree(config, /*seed=*/2, /*index=*/0);
+  const Tree copy = tree;
+  EXPECT_EQ(tree.topology_ptr().get(), copy.topology_ptr().get())
+      << "copying a Tree must share the topology, not duplicate it";
+
+  Tree mutated = tree;
+  mutated.set_pre_existing(mutated.root());
+  EXPECT_EQ(mutated.topology_ptr().get(), tree.topology_ptr().get());
+  EXPECT_FALSE(tree.pre_existing(tree.root()))
+      << "scenario state must not leak between copies";
+}
+
+TEST(TopologyTest, TopologyOutlivesTree) {
+  std::shared_ptr<const Topology> topo;
+  Scenario scen;
+  {
+    TreeGenConfig config;
+    config.num_internal = 10;
+    const Tree tree = generate_tree(config, /*seed=*/3, /*index=*/0);
+    topo = tree.topology_ptr();
+    scen = tree.scenario();
+  }  // the Tree is gone; the shared topology must survive
+  EXPECT_EQ(topo->num_internal(), 10u);
+  EXPECT_EQ(scen.topology_ptr().get(), topo.get());
+  EXPECT_GT(scen.total_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace treeplace

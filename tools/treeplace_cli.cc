@@ -17,9 +17,11 @@
 //
 // Exit codes: 0 success; 1 infeasible instance or unmet --budget; 2 usage
 // error (including unknown commands and unknown --algo names).
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,7 +46,9 @@ constexpr int kExitUsage = 2;
       "  gen          generate a random distribution tree to stdout\n"
       "               --nodes N --shape fat|high --client-prob P\n"
       "               --requests LO,HI --pre E --modes M --seed S --index I\n"
-      "  solve        run a registered solver on the tree from stdin\n"
+      "  solve        run a registered solver on the tree(s) from stdin;\n"
+      "               concatenated trees stream as a batch (one placement\n"
+      "               per tree, shared solver instance)\n"
       "               --algo NAME        solver to run (see --list-algos)\n"
       "               --list-algos       list registered solvers and exit\n"
       "               --capacity W       single-mode capacity (default 10)\n"
@@ -110,13 +114,14 @@ class Args {
 
 Tree read_tree() { return parse_tree(std::cin); }
 
-void print_placement(const Tree& tree, const Placement& placement) {
-  const FlowResult flows = compute_flows(tree, placement);
+void print_placement(const Topology& topo, const Scenario& scen,
+                     const Placement& placement) {
+  const FlowResult flows = compute_flows(topo, scen, placement);
   for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
     const NodeId node = placement.nodes()[i];
     std::cout << "  node " << node << "  mode " << placement.modes()[i]
-              << "  load " << flows.load(tree, node)
-              << (tree.pre_existing(node) ? "  (reused)" : "  (new)") << "\n";
+              << "  load " << flows.load(topo, node)
+              << (scen.pre_existing(node) ? "  (reused)" : "  (new)") << "\n";
   }
 }
 
@@ -182,63 +187,50 @@ Instance build_instance(const Args& args, const SolverInfo& info, Tree tree) {
   if (args.has("modes") && args.has("capacity")) {
     usage("--capacity conflicts with --modes; the capacity is W_M");
   }
-  Instance instance{std::move(tree), ModeSet::single(10),
-                    CostModel::simple(0.1, 0.01), std::nullopt};
+  const std::optional<double> budget =
+      args.has("budget") ? std::optional<double>(args.get_double("budget", 0.0))
+                         : std::nullopt;
   if (args.has("modes") || (info.needs_modes && !args.has("capacity"))) {
     auto caps = args.get_list("modes");
     if (caps.empty()) caps = {5, 10};
-    instance.modes = ModeSet(std::vector<RequestCount>(caps.begin(),
-                                                       caps.end()),
-                             args.get_double("static", 0.0),
-                             args.get_double("alpha", 3.0));
-    instance.costs = CostModel::uniform(
-        instance.modes.count(), args.get_double("create", 0.1),
+    ModeSet modes(std::vector<RequestCount>(caps.begin(), caps.end()),
+                  args.get_double("static", 0.0),
+                  args.get_double("alpha", 3.0));
+    CostModel costs = CostModel::uniform(
+        modes.count(), args.get_double("create", 0.1),
         args.get_double("delete", 0.01), args.get_double("changed", 0.0),
         args.get_double("changed-same", 0.0));
-  } else {
-    const auto capacity =
-        static_cast<RequestCount>(args.get_int("capacity", 10));
-    instance = Instance::single_mode(std::move(instance.tree), capacity,
-                                     args.get_double("create", 0.1),
-                                     args.get_double("delete", 0.01));
-    // Honor the power-model flags in the single-mode setting too (they
-    // matter when a min-power solver runs with one mode).
-    instance.modes = ModeSet({capacity}, args.get_double("static", 0.0),
-                             args.get_double("alpha", 3.0));
+    return Instance{std::move(tree), std::move(modes), std::move(costs),
+                    budget};
   }
-  if (args.has("budget")) {
-    instance.cost_budget = args.get_double("budget", 0.0);
-  }
+  const auto capacity = static_cast<RequestCount>(args.get_int("capacity", 10));
+  Instance instance = Instance::single_mode(std::move(tree), capacity,
+                                            args.get_double("create", 0.1),
+                                            args.get_double("delete", 0.01));
+  // Honor the power-model flags in the single-mode setting too (they
+  // matter when a min-power solver runs with one mode).
+  instance.modes = ModeSet({capacity}, args.get_double("static", 0.0),
+                           args.get_double("alpha", 3.0));
+  instance.cost_budget = budget;
   return instance;
 }
 
-int cmd_solve(const Args& args) {
-  if (args.has("list-algos")) return cmd_list_algos();
-  if (!args.has("algo")) usage("solve requires --algo NAME (or --list-algos)");
-  const std::string algo = args.get("algo", "");
-  const SolverRegistry& registry = SolverRegistry::instance();
-  const SolverInfo* info = registry.find(algo);
-  if (info == nullptr) {
-    std::cerr << "error: unknown algorithm '" << algo << "'\n"
-              << "available algorithms: " << registry.catalog() << "\n"
-              << "(run `treeplace list-algos` for descriptions)\n";
-    return kExitUsage;
-  }
-
-  const Instance instance = build_instance(args, *info, read_tree());
-  if (!info->accepts(instance.tree.num_internal(), instance.modes.count())) {
+/// Solves one tree and prints the result.  Returns the per-tree exit code.
+int solve_one(const std::string& algo, const SolverInfo& info,
+              const Solver& solver, const Instance& instance) {
+  if (!info.accepts(instance.num_internal(), instance.modes.count())) {
     std::cerr << "error: '" << algo << "' does not accept this instance ("
-              << instance.tree.num_internal() << " internal nodes, "
+              << instance.num_internal() << " internal nodes, "
               << instance.modes.count() << " modes";
-    if (info->max_internal > 0) {
-      std::cerr << "; solver limit N <= " << info->max_internal;
+    if (info.max_internal > 0) {
+      std::cerr << "; solver limit N <= " << info.max_internal;
     }
-    if (info->single_mode_only) std::cerr << "; single-mode only";
+    if (info.single_mode_only) std::cerr << "; single-mode only";
     std::cerr << ")\n";
     return kExitUsage;
   }
 
-  const Solution solution = make_solver(algo)->solve(instance);
+  const Solution solution = solver.solve(instance);
   if (!solution.feasible) {
     std::cout << "infeasible: some client group exceeds the capacity W_M\n";
     return kExitInfeasible;
@@ -259,7 +251,7 @@ int cmd_solve(const Args& args) {
   const bool multi_mode = instance.modes.count() > 1;
   std::cout << algo << ": cost " << solution.breakdown.cost;
   if (multi_mode) std::cout << "  power " << solution.power;
-  if (info->provides_placement) {
+  if (info.provides_placement) {
     std::cout << "  (" << solution.breakdown.servers << " servers: "
               << solution.breakdown.reused << " reused, "
               << solution.breakdown.created << " new, "
@@ -279,8 +271,44 @@ int cmd_solve(const Args& args) {
     if (multi_mode) std::cout << "power " << solution.power << " at ";
     std::cout << "cost " << solution.breakdown.cost << "\n";
   }
-  print_placement(instance.tree, solution.placement);
+  print_placement(instance.topo(), instance.scen(), solution.placement);
   return kExitSuccess;
+}
+
+/// Streaming batch serve: one placement per input tree.  A single tree on
+/// stdin behaves exactly as before; concatenated trees (`cat a.txt b.txt`)
+/// are solved one at a time by one solver instance, each over its own
+/// zero-copy Instance.
+int cmd_solve(const Args& args) {
+  if (args.has("list-algos")) return cmd_list_algos();
+  if (!args.has("algo")) usage("solve requires --algo NAME (or --list-algos)");
+  const std::string algo = args.get("algo", "");
+  const SolverRegistry& registry = SolverRegistry::instance();
+  const SolverInfo* info = registry.find(algo);
+  if (info == nullptr) {
+    std::cerr << "error: unknown algorithm '" << algo << "'\n"
+              << "available algorithms: " << registry.catalog() << "\n"
+              << "(run `treeplace list-algos` for descriptions)\n";
+    return kExitUsage;
+  }
+
+  const auto solver = make_solver(algo);
+  TreeStreamReader reader(std::cin);
+  int worst = kExitSuccess;
+  for (std::optional<Tree> tree = reader.next(); tree;
+       tree = reader.next()) {
+    if (reader.trees_read() > 1) {
+      std::cout << "\n== tree " << reader.trees_read() << " ==\n";
+    }
+    const Instance instance =
+        build_instance(args, *info, std::move(*tree));
+    // A per-instance failure (capability rejection, infeasibility) never
+    // aborts the stream: remaining trees are still served and the exit
+    // code reports the worst outcome.
+    worst = std::max(worst, solve_one(algo, *info, *solver, instance));
+  }
+  if (reader.trees_read() == 0) usage("no tree on stdin");
+  return worst;
 }
 
 int cmd_validate(const Args& args) {
