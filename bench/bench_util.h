@@ -2,11 +2,16 @@
 //
 // Every bench prints (a) a banner with the effective configuration so
 // bench_output.txt is self-describing, (b) the figure's series as an
-// aligned table, and (c) a CSV copy under bench_results/ for plotting.
-// Defaults are scaled down to finish in minutes; TREEPLACE_SCALE=paper
-// restores the published sizes (see DESIGN.md).
+// aligned table, and (c) a CSV/JSON copy under the bench output directory
+// for plotting and trajectory diffs.  All file output is routed through
+// out_path(): the directory defaults to bench_results/, is overridable via
+// TREEPLACE_BENCH_DIR, and benches that take arguments accept `--out DIR`
+// (parse_bench_args) — so CI artifacts and local runs never litter the
+// repo root.  Defaults are scaled down to finish in minutes;
+// TREEPLACE_SCALE=paper restores the published sizes (see DESIGN.md).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +22,33 @@
 #include "support/timer.h"
 
 namespace treeplace::bench {
+
+/// The directory all bench file output lands in.  Priority: --out DIR
+/// (via parse_bench_args) > TREEPLACE_BENCH_DIR > "bench_results".
+inline std::string& out_dir() {
+  static std::string dir = env_string("TREEPLACE_BENCH_DIR", "bench_results");
+  return dir;
+}
+
+inline std::string out_path(const std::string& filename) {
+  return out_dir() + "/" + filename;
+}
+
+/// Handles the bench-common flags (currently `--out DIR`); exits with
+/// usage on anything unrecognized so typos fail loudly.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir() = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--out DIR]\n"
+                << "(TREEPLACE_BENCH_DIR overrides the default "
+                   "bench_results/ output directory)\n";
+      std::exit(2);
+    }
+  }
+}
 
 inline void banner(const std::string& name, const std::string& description) {
   std::cout << "\n==== " << name << " ====\n"
@@ -43,7 +75,7 @@ inline std::vector<std::size_t> size_range(std::size_t lo, std::size_t hi,
 inline void emit(const Table& table, const std::string& csv_name,
                  double seconds) {
   table.print(std::cout);
-  const std::string path = "bench_results/" + csv_name + ".csv";
+  const std::string path = out_path(csv_name + ".csv");
   table.save_csv(path);
   std::cout << "\n(total " << seconds << " s; CSV written to " << path
             << ")\n";

@@ -145,7 +145,8 @@ ModeResult run_mode(Mode mode, const std::shared_ptr<const Topology>& topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_args(argc, argv);
   bench::banner(
       "instance churn — per-solve Instance construction strategies",
       "repeated experiment-style solves over one topology: seed-style "

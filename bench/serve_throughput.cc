@@ -1,0 +1,198 @@
+// Batch-serving throughput: scenarios/sec serial vs. pooled.
+//
+// The workload is the acceptance shape of the serving subsystem: a handful
+// of N=30 topologies stay resident while a stream of independent scenario
+// requests (request redraws + pre-existing redraws, the paper's
+// Experiment 3 power setting) is solved by power-sym.  The same request
+// set is solved (a) serially on one thread and (b) through the
+// SolveDispatcher at increasing pool sizes; every pooled run must produce
+// bit-identical placements to the serial pass, and the table reports
+// scenarios/sec and the speedup.  A second table scales a single larger
+// instance with Solver::Options::threads (sharded DP merges), using the
+// registry's merge-pair work counter as the invariant check.
+//
+// Knobs: TREEPLACE_SERVE_TOPOLOGIES / TREEPLACE_SERVE_SCENARIOS override
+// the request-set size, TREEPLACE_SERVE_MAX_THREADS the largest pool, and
+// --out DIR / TREEPLACE_BENCH_DIR route the CSV/JSON output.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "gen/workload.h"
+#include "serve/dispatcher.h"
+#include "solver/registry.h"
+#include "support/prng.h"
+
+using namespace treeplace;
+
+namespace {
+
+constexpr const char* kAlgo = "power-sym";
+
+std::vector<Instance> make_requests() {
+  const std::size_t topologies =
+      env_size_t("TREEPLACE_SERVE_TOPOLOGIES", scaled<std::size_t>(4, 8));
+  const std::size_t per_topology =
+      env_size_t("TREEPLACE_SERVE_SCENARIOS", scaled<std::size_t>(24, 100));
+
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(modes.count(), 0.1, 0.01,
+                                             0.001, 0.001);
+  std::vector<Instance> requests;
+  requests.reserve(topologies * per_topology);
+  for (std::size_t k = 0; k < topologies; ++k) {
+    TreeGenConfig gen;
+    gen.num_internal = 30;  // the N30 instance set
+    gen.shape = TreeShape{2, 4};
+    gen.client_probability = 0.8;
+    gen.min_requests = 1;
+    gen.max_requests = 5;
+    const Tree tree = generate_tree(gen, /*seed=*/3011, k);
+    const std::shared_ptr<const Topology>& topo = tree.topology_ptr();
+    for (std::size_t s = 0; s < per_topology; ++s) {
+      Scenario scen = tree.scenario();  // fork over the resident topology
+      Xoshiro256 workload_rng =
+          make_rng(derive_seed(3011, k), s, RngStream::kWorkloadUpdate);
+      redraw_requests(scen, 1, 5, workload_rng);
+      Xoshiro256 pre_rng =
+          make_rng(derive_seed(3011, k), s, RngStream::kPreExisting);
+      assign_random_pre_existing(scen, 6, pre_rng, modes.count());
+      requests.push_back(
+          Instance{topo, std::move(scen), modes, costs, std::nullopt});
+    }
+  }
+  return requests;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<Placement> placements;
+};
+
+RunResult run_serial(const std::vector<Instance>& requests) {
+  const auto solver = make_solver(kAlgo);
+  RunResult r;
+  r.placements.reserve(requests.size());
+  Stopwatch timer;
+  for (const Instance& instance : requests) {
+    Solution solution = solver->solve(instance);
+    r.placements.push_back(std::move(solution.placement));
+  }
+  r.seconds = timer.seconds();
+  return r;
+}
+
+RunResult run_pooled(const std::vector<Instance>& requests,
+                     std::size_t threads) {
+  serve::DispatcherConfig config;
+  config.algos = {kAlgo};
+  config.threads = threads;
+  serve::SolveDispatcher dispatcher(config);
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(requests.size());
+  RunResult r;
+  r.placements.reserve(requests.size());
+  Stopwatch timer;
+  for (const Instance& instance : requests) {
+    futures.push_back(dispatcher.submit(instance));
+  }
+  for (auto& future : futures) {
+    serve::ServeResult result = future.get();
+    TREEPLACE_CHECK_MSG(result.ok, result.error);
+    r.placements.push_back(std::move(result.solution.placement));
+  }
+  r.seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_bench_args(argc, argv);
+  bench::banner(
+      "serve throughput — scenarios/sec serial vs. pooled dispatch",
+      "N30 power-sym request set through the batch-serving dispatcher; "
+      "pooled placements must be bit-identical to the serial pass");
+
+  const std::vector<Instance> requests = make_requests();
+  std::cout << requests.size() << " requests (" << kAlgo << ")\n\n";
+
+  Table table({"mode", "threads", "seconds", "scen_per_s", "speedup",
+               "identical"});
+  table.set_title("Serve throughput (" + std::to_string(requests.size()) +
+                  " scenario requests, solver " + kAlgo + ")");
+  Stopwatch total;
+
+  const RunResult serial = run_serial(requests);
+  const double serial_rate =
+      static_cast<double>(requests.size()) / serial.seconds;
+  table.add_row({"serial", std::int64_t{1}, serial.seconds, serial_rate, 1.0,
+                 "-"});
+
+  bool all_identical = true;
+  const std::size_t max_threads =
+      env_size_t("TREEPLACE_SERVE_MAX_THREADS", 8);
+  for (std::size_t threads = 2; threads <= max_threads; threads *= 2) {
+    const RunResult pooled = run_pooled(requests, threads);
+    const bool identical = pooled.placements == serial.placements;
+    all_identical = all_identical && identical;
+    const double rate = static_cast<double>(requests.size()) / pooled.seconds;
+    table.add_row({"pooled", static_cast<std::int64_t>(threads),
+                   pooled.seconds, rate, serial.seconds / pooled.seconds,
+                   std::string(identical ? "yes" : "NO")});
+  }
+
+  bench::emit(table, "serve_throughput", total.seconds());
+
+  // Solver-internal scaling: one larger instance, sharded DP merges.  The
+  // merge-pair work counter must not change with the thread count (the
+  // shards visit exactly the serial pair set).
+  Table intra({"threads", "seconds", "merge_pairs", "identical"});
+  intra.set_title("Single-instance power-sym, Solver::Options::threads");
+  {
+    TreeGenConfig gen;
+    gen.num_internal = 60;
+    gen.shape = TreeShape{2, 4};
+    gen.client_probability = 0.8;
+    gen.min_requests = 1;
+    gen.max_requests = 5;
+    Tree tree = generate_tree(gen, /*seed=*/3012, /*index=*/0);
+    Xoshiro256 pre_rng = make_rng(3012, 0, RngStream::kPreExisting);
+    assign_random_pre_existing(tree, 12, pre_rng, 2);
+    const ModeSet modes({5, 10}, 12.5, 3.0);
+    const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+    const Instance instance{std::move(tree), modes, costs, std::nullopt};
+
+    Solution reference;
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      const auto solver = make_solver(kAlgo);
+      solver->set_options(Solver::Options{static_cast<int>(threads)});
+      Stopwatch timer;
+      const Solution solution = solver->solve(instance);
+      const double seconds = timer.seconds();
+      if (threads == 1) reference = solution;
+      const bool identical =
+          solution.placement == reference.placement &&
+          solution.stats.work == reference.stats.work &&
+          solution.frontier.size() == reference.frontier.size();
+      all_identical = all_identical && identical;
+      intra.add_row({static_cast<std::int64_t>(threads), seconds,
+                     static_cast<std::int64_t>(solution.stats.work),
+                     std::string(identical ? "yes" : "NO")});
+    }
+  }
+  intra.print(std::cout);
+
+  const std::string json_path = bench::out_path("BENCH_serve_throughput.json");
+  table.save_json(json_path);
+  std::cout << "\n(JSON written to " << json_path << ")\n";
+  if (!all_identical) {
+    std::cout << "FAIL: pooled/sharded results diverged from serial\n";
+    return 1;
+  }
+  std::cout << "all pooled and sharded results bit-identical to serial\n";
+  return 0;
+}

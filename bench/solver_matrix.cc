@@ -12,7 +12,10 @@
 // whole field with zero extra code.
 //
 // Knobs: TREEPLACE_SCALE=paper adds a larger tree size,
-// TREEPLACE_TREES_PER_SIZE overrides the per-size instance count.
+// TREEPLACE_TREES_PER_SIZE overrides the per-size instance count, and
+// --out DIR / TREEPLACE_BENCH_DIR routes the CSV/JSON output (default
+// bench_results/; tools/bench_diff.py diffs the JSON against the committed
+// baseline).
 #include <string>
 #include <vector>
 
@@ -71,7 +74,8 @@ std::vector<NamedInstance> make_instances() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_args(argc, argv);
   bench::banner("solver matrix — every registered strategy, one instance set",
                 "per-solver cost/power/runtime across the shared instances");
 
@@ -111,9 +115,12 @@ int main() {
 
   bench::emit(table, "solver_matrix", total.seconds());
   // Machine-readable copy so future PRs can track the perf trajectory
-  // (per-solver cost/power/seconds) without parsing the aligned table.
-  table.save_json("BENCH_solver_matrix.json");
-  std::cout << "(JSON written to BENCH_solver_matrix.json; " << skipped
+  // (per-solver cost/power/seconds) without parsing the aligned table;
+  // tools/bench_diff.py fails CI on result-value drift against the
+  // committed bench_results/baseline_solver_matrix.json.
+  const std::string json_path = bench::out_path("BENCH_solver_matrix.json");
+  table.save_json(json_path);
+  std::cout << "(JSON written to " << json_path << "; " << skipped
             << " solver/instance pairs skipped by capability flags)\n";
   return 0;
 }

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "support/check.h"
+#include "support/parallel.h"
+#include "support/thread_pool.h"
 #include "tree/tree.h"
 
 namespace treeplace::dp {
@@ -114,5 +117,79 @@ struct Decision {
   std::uint32_t right = 0;
   std::int8_t mode = -1;
 };
+
+/// Lazily-created worker pool for solver-internal parallelism: no thread is
+/// spawned until the first merge large enough to shard, so small instances
+/// pay nothing for a threads > 1 knob.  One LazyPool lives per top-level
+/// solve; its workers are reused across every merge of that solve.
+class LazyPool {
+ public:
+  explicit LazyPool(std::size_t threads) : threads_(threads) {}
+
+  /// The pool, or nullptr when threads < 2 (serial solve).
+  ThreadPool* get() {
+    if (threads_ < 2) return nullptr;
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+    return pool_.get();
+  }
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Smallest (left x right) pair count worth sharding across threads; below
+/// it the per-shard table allocations dominate the merge itself.
+inline constexpr std::size_t kMinShardPairs = 4096;
+
+/// Runs one child merge, sharded over the left entry range when profitable.
+///
+/// `merge_range(lo, hi, flow, dec)` must fill merge candidates for left
+/// entries [lo, hi) into the given table exactly as the serial loop would
+/// (replacing an entry only on strictly smaller flow) and return the number
+/// of (left, right) pairs it visited.  `flow` comes pre-filled with
+/// kInvalidFlow.
+///
+/// Shard tables are reduced back in left-index order, again replacing only
+/// on strictly smaller flow.  Because the serial loop keeps the *first*
+/// occurrence of each cell's minimal flow, and every shard preserves that
+/// rule internally, the ordered reduction reproduces the serial result —
+/// flows *and* decisions — bit for bit for any thread count.
+template <typename MergeRange>
+std::uint64_t sharded_merge(ThreadPool* pool, std::size_t left_size,
+                            std::size_t right_size,
+                            std::vector<RequestCount>& flow,
+                            std::vector<Decision>& dec,
+                            const MergeRange& merge_range) {
+  if (pool == nullptr || left_size < 2 * pool->size() ||
+      left_size * right_size < kMinShardPairs) {
+    return merge_range(0, left_size, flow, dec);
+  }
+  struct Shard {
+    std::vector<RequestCount> flow;
+    std::vector<Decision> dec;
+    std::uint64_t pairs = 0;
+  };
+  const std::size_t shards = pool->size();
+  auto results = parallel_map(*pool, shards, [&](std::size_t s) {
+    const std::size_t lo = left_size * s / shards;
+    const std::size_t hi = left_size * (s + 1) / shards;
+    Shard shard{std::vector<RequestCount>(flow.size(), kInvalidFlow),
+                std::vector<Decision>(dec.size()), 0};
+    shard.pairs = merge_range(lo, hi, shard.flow, shard.dec);
+    return shard;
+  });
+  std::uint64_t pairs = 0;
+  for (const Shard& shard : results) {
+    pairs += shard.pairs;
+    for (std::size_t t = 0; t < flow.size(); ++t) {
+      if (shard.flow[t] < flow[t]) {
+        flow[t] = shard.flow[t];
+        dec[t] = shard.dec[t];
+      }
+    }
+  }
+  return pairs;
+}
 
 }  // namespace treeplace::dp

@@ -33,7 +33,8 @@ struct Candidate {
 class ExactPowerSolver {
  public:
   ExactPowerSolver(const Topology& topo, const Scenario& scen,
-                   const ModeSet& modes, const CostModel& costs)
+                   const ModeSet& modes, const CostModel& costs,
+                   const PowerDPOptions& options)
       : topo_(topo),
         scen_(scen),
         modes_(modes),
@@ -41,6 +42,8 @@ class ExactPowerSolver {
         m_(modes.count()),
         dims_(static_cast<std::size_t>(m_) +
               static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_)),
+        external_pool_(options.pool),
+        lazy_pool_(options.pool ? 1 : options.threads),
         states_(topo.num_internal()) {
     pre_total_per_mode_.assign(static_cast<std::size_t>(m_), 0);
     for (NodeId e : scen_.pre_existing_nodes()) {
@@ -117,29 +120,41 @@ class ExactPowerSolver {
     const auto right = dp::compact_valid_entries(cs.box, cs.flow, new_box);
     const RequestCount w_max = modes_.max_capacity();
 
-    for (const CompactEntry& le : left) {
-      for (const CompactEntry& re : right) {
-        ++merge_pairs_;
-        // Option A: no replica on c; flows join.
-        const RequestCount sum = le.flow + re.flow;
-        if (sum <= w_max) {
-          const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
-          if (sum < merged[t]) {
-            merged[t] = sum;
-            dec[t] = Decision{le.flat, re.flat, -1};
+    // The merge body over a sub-range of left entries; sharded across the
+    // lazy pool when profitable, bit-identical to the serial loop either
+    // way (see dp::sharded_merge).
+    const auto merge_range = [&](std::size_t lo, std::size_t hi,
+                                 std::vector<RequestCount>& flow,
+                                 std::vector<Decision>& out) -> std::uint64_t {
+      std::uint64_t pairs = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const CompactEntry& le = left[i];
+        for (const CompactEntry& re : right) {
+          ++pairs;
+          // Option A: no replica on c; flows join.
+          const RequestCount sum = le.flow + re.flow;
+          if (sum <= w_max) {
+            const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
+            if (sum < flow[t]) {
+              flow[t] = sum;
+              out[t] = Decision{le.flat, re.flat, -1};
+            }
           }
-        }
-        // Option B: replica on c at any mode covering the child's flow.
-        for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
-          const std::size_t t = static_cast<std::size_t>(
-              le.dot + re.dot + new_box.stride(dim_of(c, w)));
-          if (le.flow < merged[t]) {
-            merged[t] = le.flow;
-            dec[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+          // Option B: replica on c at any mode covering the child's flow.
+          for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
+            const std::size_t t = static_cast<std::size_t>(
+                le.dot + re.dot + new_box.stride(dim_of(c, w)));
+            if (le.flow < flow[t]) {
+              flow[t] = le.flow;
+              out[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+            }
           }
         }
       }
-    }
+      return pairs;
+    };
+    merge_pairs_ += dp::sharded_merge(merge_pool(), left.size(),
+                                      right.size(), merged, dec, merge_range);
 
     s.box = std::move(new_box);
     s.flow = std::move(merged);
@@ -263,8 +278,15 @@ class ExactPowerSolver {
   const Scenario& scen_;
   const ModeSet& modes_;
   const CostModel& costs_;
+  /// The configured long-lived pool, else this solve's lazy workers.
+  ThreadPool* merge_pool() {
+    return external_pool_ != nullptr ? external_pool_ : lazy_pool_.get();
+  }
+
   const int m_;
   const std::size_t dims_;
+  ThreadPool* const external_pool_;
+  dp::LazyPool lazy_pool_;
   std::vector<NodeState> states_;
   std::vector<int> pre_total_per_mode_;
   std::uint64_t merge_pairs_ = 0;
@@ -274,10 +296,11 @@ class ExactPowerSolver {
 }  // namespace
 
 PowerDPResult solve_power_exact(const Topology& topo, const Scenario& scen,
-                                const ModeSet& modes, const CostModel& costs) {
+                                const ModeSet& modes, const CostModel& costs,
+                                const PowerDPOptions& options) {
   TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
                       "cost model and mode set disagree on M");
-  ExactPowerSolver solver(topo, scen, modes, costs);
+  ExactPowerSolver solver(topo, scen, modes, costs, options);
   return solver.solve();
 }
 

@@ -28,15 +28,34 @@
 
 namespace treeplace {
 
+class ThreadPool;  // support/thread_pool.h
+
+/// Solver-internal parallelism for the power DPs.  The per-child merge
+/// loops are sharded over `threads` workers (see dp::sharded_merge); the
+/// resulting tables — and therefore frontier values, placements and the
+/// merge-pair work counter — are bit-identical to the serial solve for any
+/// thread count.
+struct PowerDPOptions {
+  std::size_t threads = 1;  ///< 1 = serial; workers are spawned lazily
+  /// Optional long-lived pool to shard on (its size then decides the shard
+  /// count); when null and threads > 1, the solve spawns its own workers
+  /// lazily.  Registered solvers pass Solver::worker_pool() so repeated
+  /// solves never pay per-solve thread churn.
+  ThreadPool* pool = nullptr;
+};
+
 /// Solves MinPower-BoundedCost-{No,With}Pre exactly over one scenario of a
 /// shared topology (the scenario's pre-existing flags and original modes
 /// define E).  `costs` may be fully general (Eq. 4).  Returns the complete
 /// cost-power Pareto frontier.
 PowerDPResult solve_power_exact(const Topology& topo, const Scenario& scen,
-                                const ModeSet& modes, const CostModel& costs);
+                                const ModeSet& modes, const CostModel& costs,
+                                const PowerDPOptions& options = {});
 inline PowerDPResult solve_power_exact(const Tree& tree, const ModeSet& modes,
-                                       const CostModel& costs) {
-  return solve_power_exact(tree.topology(), tree.scenario(), modes, costs);
+                                       const CostModel& costs,
+                                       const PowerDPOptions& options = {}) {
+  return solve_power_exact(tree.topology(), tree.scenario(), modes, costs,
+                           options);
 }
 
 }  // namespace treeplace

@@ -34,7 +34,8 @@ struct Candidate {
 class SymmetricPowerSolver {
  public:
   SymmetricPowerSolver(const Topology& topo, const Scenario& scen,
-                       const ModeSet& modes, const CostModel& costs)
+                       const ModeSet& modes, const CostModel& costs,
+                       const PowerDPOptions& options)
       : topo_(topo),
         scen_(scen),
         modes_(modes),
@@ -45,6 +46,8 @@ class SymmetricPowerSolver {
         changed_same_(costs.symmetric_changed_same()),
         changed_diff_(costs.symmetric_changed_diff()),
         costs_(costs),
+        external_pool_(options.pool),
+        lazy_pool_(options.pool ? 1 : options.threads),
         states_(topo.num_internal()) {}
 
   PowerDPResult solve() {
@@ -105,30 +108,42 @@ class SymmetricPowerSolver {
     const bool child_pre = scen_.pre_existing(c);
     const int child_orig = child_pre ? scen_.original_mode(c) : -1;
 
-    for (const CompactEntry& le : left) {
-      for (const CompactEntry& re : right) {
-        ++merge_pairs_;
-        const RequestCount sum = le.flow + re.flow;
-        if (sum <= w_max) {
-          const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
-          if (sum < merged[t]) {
-            merged[t] = sum;
-            dec[t] = Decision{le.flat, re.flat, -1};
+    // Sharded across the lazy pool when profitable; bit-identical to the
+    // serial loop either way (see dp::sharded_merge).
+    const auto merge_range = [&](std::size_t lo, std::size_t hi,
+                                 std::vector<RequestCount>& flow,
+                                 std::vector<Decision>& out) -> std::uint64_t {
+      std::uint64_t pairs = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const CompactEntry& le = left[i];
+        for (const CompactEntry& re : right) {
+          ++pairs;
+          const RequestCount sum = le.flow + re.flow;
+          if (sum <= w_max) {
+            const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
+            if (sum < flow[t]) {
+              flow[t] = sum;
+              out[t] = Decision{le.flat, re.flat, -1};
+            }
           }
-        }
-        for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
-          std::size_t t = static_cast<std::size_t>(le.dot + re.dot +
-                                                   new_box.stride(dim_mode(w)));
-          if (child_pre) {
-            t += new_box.stride(w == child_orig ? dim_same() : dim_changed());
-          }
-          if (le.flow < merged[t]) {
-            merged[t] = le.flow;
-            dec[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+          for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
+            std::size_t t = static_cast<std::size_t>(
+                le.dot + re.dot + new_box.stride(dim_mode(w)));
+            if (child_pre) {
+              t += new_box.stride(w == child_orig ? dim_same()
+                                                  : dim_changed());
+            }
+            if (le.flow < flow[t]) {
+              flow[t] = le.flow;
+              out[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+            }
           }
         }
       }
-    }
+      return pairs;
+    };
+    merge_pairs_ += dp::sharded_merge(merge_pool(), left.size(),
+                                      right.size(), merged, dec, merge_range);
 
     s.box = std::move(new_box);
     s.flow = std::move(merged);
@@ -249,9 +264,16 @@ class SymmetricPowerSolver {
   const std::size_t dims_;
   const double create_;
   const double delete_;
+  /// The configured long-lived pool, else this solve's lazy workers.
+  ThreadPool* merge_pool() {
+    return external_pool_ != nullptr ? external_pool_ : lazy_pool_.get();
+  }
+
   const double changed_same_;
   const double changed_diff_;
   const CostModel& costs_;
+  ThreadPool* const external_pool_;
+  dp::LazyPool lazy_pool_;
   std::vector<NodeState> states_;
   std::uint64_t merge_pairs_ = 0;
   std::uint64_t table_cells_ = 0;
@@ -262,21 +284,23 @@ class SymmetricPowerSolver {
 PowerDPResult solve_power_symmetric(const Topology& topo,
                                     const Scenario& scen,
                                     const ModeSet& modes,
-                                    const CostModel& costs) {
+                                    const CostModel& costs,
+                                    const PowerDPOptions& options) {
   TREEPLACE_CHECK_MSG(costs.num_modes() == modes.count(),
                       "cost model and mode set disagree on M");
   TREEPLACE_CHECK_MSG(costs.is_symmetric(),
                       "solve_power_symmetric requires a symmetric cost model");
-  SymmetricPowerSolver solver(topo, scen, modes, costs);
+  SymmetricPowerSolver solver(topo, scen, modes, costs, options);
   return solver.solve();
 }
 
 PowerDPResult solve_power_auto(const Topology& topo, const Scenario& scen,
-                               const ModeSet& modes, const CostModel& costs) {
+                               const ModeSet& modes, const CostModel& costs,
+                               const PowerDPOptions& options) {
   if (costs.is_symmetric()) {
-    return solve_power_symmetric(topo, scen, modes, costs);
+    return solve_power_symmetric(topo, scen, modes, costs, options);
   }
-  return solve_power_exact(topo, scen, modes, costs);
+  return solve_power_exact(topo, scen, modes, costs, options);
 }
 
 }  // namespace treeplace

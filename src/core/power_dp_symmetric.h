@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/power_common.h"
+#include "core/power_dp.h"
 #include "model/cost.h"
 #include "model/modes.h"
 #include "tree/tree.h"
@@ -24,24 +25,30 @@
 namespace treeplace {
 
 /// Requires costs.is_symmetric(); use solve_power_exact() otherwise.
+/// `options.threads` shards the per-child merges (bit-identical results).
 PowerDPResult solve_power_symmetric(const Topology& topo,
                                     const Scenario& scen,
                                     const ModeSet& modes,
-                                    const CostModel& costs);
+                                    const CostModel& costs,
+                                    const PowerDPOptions& options = {});
 inline PowerDPResult solve_power_symmetric(const Tree& tree,
                                            const ModeSet& modes,
-                                           const CostModel& costs) {
-  return solve_power_symmetric(tree.topology(), tree.scenario(), modes,
-                               costs);
+                                           const CostModel& costs,
+                                           const PowerDPOptions& options = {}) {
+  return solve_power_symmetric(tree.topology(), tree.scenario(), modes, costs,
+                               options);
 }
 
 /// Dispatches to the symmetric DP when the cost model allows it, else to
 /// the exact DP.
 PowerDPResult solve_power_auto(const Topology& topo, const Scenario& scen,
-                               const ModeSet& modes, const CostModel& costs);
+                               const ModeSet& modes, const CostModel& costs,
+                               const PowerDPOptions& options = {});
 inline PowerDPResult solve_power_auto(const Tree& tree, const ModeSet& modes,
-                                      const CostModel& costs) {
-  return solve_power_auto(tree.topology(), tree.scenario(), modes, costs);
+                                      const CostModel& costs,
+                                      const PowerDPOptions& options = {}) {
+  return solve_power_auto(tree.topology(), tree.scenario(), modes, costs,
+                          options);
 }
 
 }  // namespace treeplace

@@ -1,0 +1,111 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "solver/registry.h"
+#include "support/timer.h"
+
+namespace treeplace::serve {
+
+namespace {
+
+std::size_t resolve_threads(const DispatcherConfig& config) {
+  return config.threads ? config.threads : ThreadPool::default_thread_count();
+}
+
+}  // namespace
+
+SolveDispatcher::SolveDispatcher(DispatcherConfig config)
+    : pool_(resolve_threads(config)) {
+  TREEPLACE_CHECK_MSG(!config.algos.empty(),
+                      "SolveDispatcher needs at least one solver");
+  queue_capacity_ =
+      config.queue_capacity ? config.queue_capacity : 4 * pool_.size();
+  solvers_.reserve(config.algos.size());
+  stats_.per_solver.reserve(config.algos.size());
+  for (const std::string& algo : config.algos) {
+    auto solver = SolverRegistry::instance().create(algo);
+    solver->set_options(Solver::Options{config.solver_threads});
+    stats_.per_solver.push_back(SolverLatencyStats{.algo = algo});
+    solvers_.push_back(std::move(solver));
+  }
+}
+
+std::future<ServeResult> SolveDispatcher::submit(std::size_t solver_index,
+                                                 Instance instance) {
+  TREEPLACE_CHECK_MSG(solver_index < solvers_.size(),
+                      "solver index " << solver_index << " out of range");
+  const Solver& solver = *solvers_[solver_index];
+  if (!solver.info().accepts(instance.num_internal(),
+                             instance.modes.count())) {
+    // Capability rejection: resolve immediately, never occupy a slot.
+    ServeResult result;
+    result.error = "solver '" + solver.name() +
+                   "' does not accept this instance (" +
+                   std::to_string(instance.num_internal()) +
+                   " internal nodes, " +
+                   std::to_string(instance.modes.count()) + " modes)";
+    std::promise<ServeResult> ready;
+    ready.set_value(std::move(result));
+    std::scoped_lock lock(mutex_);
+    ++stats_.submitted;
+    ++stats_.completed;
+    ++stats_.per_solver[solver_index].errors;
+    return ready.get_future();
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    slot_freed_.wait(lock, [this] { return in_flight_ < queue_capacity_; });
+    ++in_flight_;
+    ++stats_.submitted;
+    stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+  }
+  Stopwatch queued;
+  return pool_.submit(
+      [this, solver_index, instance = std::move(instance), queued] {
+        return run_solve(solver_index, instance, queued.seconds());
+      });
+}
+
+ServeResult SolveDispatcher::run_solve(std::size_t solver_index,
+                                       const Instance& instance,
+                                       double queue_seconds) {
+  ServeResult result;
+  result.queue_seconds = queue_seconds;
+  Stopwatch watch;
+  try {
+    result.solution = solvers_[solver_index]->solve(instance);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.solve_seconds = watch.seconds();
+
+  std::scoped_lock lock(mutex_);
+  SolverLatencyStats& stats = stats_.per_solver[solver_index];
+  if (result.ok) {
+    ++stats.solves;
+    if (!result.solution.feasible) ++stats.infeasible;
+    stats.total_work += result.solution.stats.work;
+  } else {
+    ++stats.errors;
+  }
+  stats.total_queue_seconds += result.queue_seconds;
+  stats.total_solve_seconds += result.solve_seconds;
+  stats.max_solve_seconds =
+      std::max(stats.max_solve_seconds, result.solve_seconds);
+  ++stats_.completed;
+  --in_flight_;
+  slot_freed_.notify_one();
+  return result;
+}
+
+DispatcherStats SolveDispatcher::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,116 @@
+// Bounded-queue solve dispatcher: the serving loop's execution engine.
+//
+// A SolveDispatcher owns one thread pool (support/thread_pool.h) and one or
+// more registry-created solver instances, and turns Instances into
+// future<ServeResult>s.  submit() enforces a bounded work queue: when
+// `queue_capacity` solves are already queued or running, the submitting
+// thread blocks until a slot frees up, so an arbitrarily long request
+// stream is served with bounded memory no matter how far the reader runs
+// ahead of the solvers.
+//
+// Solvers are configured once at construction (including the
+// Solver::Options::threads knob for solver-internal parallelism) and then
+// shared read-only across the pool — the race-freedom contract of
+// solver/solver.h.  Per-solver latency statistics (queue wait, solve wall
+// time, work counters) are aggregated under the same lock that implements
+// the bounded queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "solver/instance.h"
+#include "solver/solution.h"
+#include "solver/solver.h"
+#include "support/thread_pool.h"
+
+namespace treeplace::serve {
+
+struct DispatcherConfig {
+  /// Registry names of the solvers to instantiate; submit() selects by
+  /// index.  The serving CLI uses one; experiment 2 runs its optimizer and
+  /// baseline chains through indices 0 and 1.
+  std::vector<std::string> algos{"update-dp"};
+  std::size_t threads = 0;         ///< 0 = ThreadPool::default_thread_count()
+  std::size_t queue_capacity = 0;  ///< bound on in-flight solves; 0 = 4x threads
+  int solver_threads = 1;          ///< Solver::Options::threads for every solver
+};
+
+/// The outcome of one dispatched solve.
+struct ServeResult {
+  bool ok = false;     ///< the solve ran and returned
+  std::string error;   ///< capability rejection or solver throw when !ok
+  Solution solution;
+  double queue_seconds = 0.0;  ///< submit() to solve start
+  double solve_seconds = 0.0;  ///< solve wall time on the worker
+};
+
+struct SolverLatencyStats {
+  std::string algo;
+  std::uint64_t solves = 0;      ///< completed, including infeasible
+  std::uint64_t errors = 0;      ///< rejections + solver throws
+  std::uint64_t infeasible = 0;
+  double total_queue_seconds = 0.0;
+  double total_solve_seconds = 0.0;
+  double max_solve_seconds = 0.0;
+  std::uint64_t total_work = 0;  ///< summed SolveStats::work counters
+};
+
+struct DispatcherStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::size_t max_in_flight = 0;
+  std::vector<SolverLatencyStats> per_solver;
+};
+
+class SolveDispatcher {
+ public:
+  explicit SolveDispatcher(DispatcherConfig config);
+
+  /// Waits for every in-flight solve (the pool drains before teardown).
+  ~SolveDispatcher() = default;
+
+  SolveDispatcher(const SolveDispatcher&) = delete;
+  SolveDispatcher& operator=(const SolveDispatcher&) = delete;
+
+  /// Dispatches `instance` to solver `solver_index`.  Blocks while
+  /// queue_capacity() solves are in flight.  A capability rejection (the
+  /// solver does not accept the instance) or a solver throw resolves the
+  /// future with ok = false instead of propagating.
+  std::future<ServeResult> submit(std::size_t solver_index, Instance instance);
+  std::future<ServeResult> submit(Instance instance) {
+    return submit(0, std::move(instance));
+  }
+
+  const Solver& solver(std::size_t solver_index = 0) const {
+    return *solvers_[solver_index];
+  }
+  std::size_t num_solvers() const { return solvers_.size(); }
+  std::size_t threads() const { return pool_.size(); }
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Snapshot of the aggregated per-solver latency stats.
+  DispatcherStats stats() const;
+
+ private:
+  ServeResult run_solve(std::size_t solver_index, const Instance& instance,
+                        double queue_seconds);
+
+  std::vector<std::unique_ptr<Solver>> solvers_;
+  std::size_t queue_capacity_ = 0;
+  // Everything the pooled tasks touch is declared before pool_, so the
+  // pool's destructor (which joins the workers) runs first.
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::size_t in_flight_ = 0;
+  DispatcherStats stats_;
+  ThreadPool pool_;
+};
+
+}  // namespace treeplace::serve

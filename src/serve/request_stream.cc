@@ -1,0 +1,110 @@
+#include "serve/request_stream.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace treeplace::serve {
+
+namespace {
+
+constexpr const char* kScenarioHeader = "treeplace-scenario v1";
+
+/// Rejects trailing garbage after a fully parsed delta line.
+void expect_line_end(std::istringstream& ls, const std::string& line) {
+  ls.clear();
+  std::string rest;
+  ls >> rest;
+  TREEPLACE_CHECK_MSG(rest.empty(),
+                      "trailing garbage in delta line: '" << line << "'");
+}
+
+/// Parses one delta line ("R 3 5", "E 2 1", "X 2", "Z").
+ScenarioDelta parse_delta_line(const std::string& line) {
+  std::istringstream ls(line);
+  char tag = 0;
+  ls >> tag;
+  TREEPLACE_CHECK_MSG(!ls.fail(), "malformed delta line: '" << line << "'");
+  ScenarioDelta delta;
+  switch (tag) {
+    case 'R': {
+      delta.op = ScenarioDelta::Op::kSetRequests;
+      ls >> delta.node >> delta.requests;
+      TREEPLACE_CHECK_MSG(!ls.fail(),
+                          "malformed R delta: '" << line << "'");
+      break;
+    }
+    case 'E': {
+      delta.op = ScenarioDelta::Op::kSetPreExisting;
+      ls >> delta.node;
+      TREEPLACE_CHECK_MSG(!ls.fail(),
+                          "malformed E delta: '" << line << "'");
+      if (!(ls >> delta.mode)) {
+        // The mode is optional, but only when actually absent — an
+        // unparsable token is an error, not a default.
+        TREEPLACE_CHECK_MSG(ls.eof(), "malformed E delta: '" << line << "'");
+        delta.mode = 0;
+      }
+      break;
+    }
+    case 'X': {
+      delta.op = ScenarioDelta::Op::kClearPreExisting;
+      ls >> delta.node;
+      TREEPLACE_CHECK_MSG(!ls.fail(),
+                          "malformed X delta: '" << line << "'");
+      break;
+    }
+    case 'Z': {
+      delta.op = ScenarioDelta::Op::kClearAllPre;
+      break;
+    }
+    default:
+      TREEPLACE_CHECK_MSG(false, "unknown delta tag '" << tag << "' in '"
+                                                       << line << "'");
+  }
+  expect_line_end(ls, line);
+  return delta;
+}
+
+}  // namespace
+
+const char* RequestStreamReader::scenario_header() { return kScenarioHeader; }
+
+std::optional<ServeRequest> RequestStreamReader::next() {
+  const std::optional<std::string> header = reader_.next_header();
+  if (!header) return std::nullopt;
+
+  ServeRequest request;
+  request.id = requests_ + 1;
+
+  // Token-exact matching: "treeplace-scenario v12 k" is an unknown record,
+  // not v1 with a mangled key.
+  std::istringstream hs(*header);
+  std::string kind;
+  std::string version;
+  hs >> kind >> version;
+
+  if (*header == TreeStreamReader::tree_header()) {
+    // A tree record both registers its topology (under the ordinal key of
+    // this tree within the stream) and requests a solve of its base
+    // scenario.
+    request.tree = reader_.read_tree_body();
+    request.topology_key = std::to_string(reader_.trees_read());
+  } else if (kind == "treeplace-scenario" && version == "v1") {
+    hs >> request.topology_key;
+    TREEPLACE_CHECK_MSG(!hs.fail() && !request.topology_key.empty(),
+                        "scenario record without a topology key: '"
+                            << *header << "'");
+    std::string line;
+    while (reader_.next_body_line(line)) {
+      request.deltas.push_back(parse_delta_line(line));
+    }
+  } else {
+    TREEPLACE_CHECK_MSG(false, "unknown record header: '" << *header << "'");
+  }
+
+  ++requests_;
+  return request;
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,82 @@
+// The serving loop's request stream: tree records + scenario deltas.
+//
+// A serve stream is a concatenation of two record kinds, split by
+// TreeStreamReader (any "treeplace-" header line is a record boundary):
+//
+//   treeplace-tree v1            the format of tree/io.h.  Registers the
+//   I 0 -1 0 -1                  tree's topology in the serving cache under
+//   C 1 0 5                      its ordinal key ("1" for the first tree in
+//   ...                          the stream, "2" for the second, ...) and
+//                                requests a solve of its base scenario.
+//
+//   treeplace-scenario v1 <key>  a scenario-delta request against the
+//   R <client-id> <requests>     cached topology <key>: fork its base
+//   E <node-id> [<orig-mode>]    scenario, apply the delta lines in order,
+//   X <node-id>                  solve the result.  R sets one client's
+//   Z                            request volume, E marks a pre-existing
+//                                server (default original mode 0), X clears
+//                                one, Z clears the whole pre-existing set.
+//
+// Blank lines and `#` comments are skipped anywhere.  The reader only
+// parses; resolving keys against the cache and building instances is the
+// stream server's job (serve/stream_server.h), so malformed references
+// surface as per-request error records rather than parser throws.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/io.h"
+#include "tree/tree.h"
+
+namespace treeplace::serve {
+
+/// One edit applied to a forked base scenario, in record order.
+struct ScenarioDelta {
+  enum class Op {
+    kSetRequests,       ///< R <client-id> <requests>
+    kSetPreExisting,    ///< E <node-id> [<orig-mode>]
+    kClearPreExisting,  ///< X <node-id>
+    kClearAllPre,       ///< Z
+  };
+
+  Op op = Op::kSetRequests;
+  NodeId node = kNoNode;
+  RequestCount requests = 0;
+  int mode = 0;
+};
+
+/// One solve request: either a full tree (which also registers its
+/// topology under `topology_key`) or a list of deltas against a previously
+/// registered topology.
+struct ServeRequest {
+  std::size_t id = 0;        ///< 1-based request ordinal in the stream
+  std::string topology_key;  ///< ordinal key ("1", "2", ...) or reference
+  std::optional<Tree> tree;  ///< set for tree records
+  std::vector<ScenarioDelta> deltas;  ///< set for scenario records
+};
+
+/// Streaming reader over a serve request stream.  Throws CheckError on
+/// malformed records (bad headers, unparsable delta lines).
+class RequestStreamReader {
+ public:
+  explicit RequestStreamReader(std::istream& is) : reader_(is) {}
+
+  /// The next request, or nullopt at end of stream.
+  std::optional<ServeRequest> next();
+
+  std::size_t requests_read() const { return requests_; }
+  std::size_t trees_read() const { return reader_.trees_read(); }
+
+  /// The scenario record header prefix ("treeplace-scenario v1").
+  static const char* scenario_header();
+
+ private:
+  TreeStreamReader reader_;
+  std::size_t requests_ = 0;
+};
+
+}  // namespace treeplace::serve

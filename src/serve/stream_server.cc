@@ -1,0 +1,193 @@
+#include "serve/stream_server.h"
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "serve/request_stream.h"
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace treeplace::serve {
+
+namespace {
+
+struct Pending {
+  std::size_t id = 0;
+  std::string key;
+  std::future<ServeResult> result;
+};
+
+/// An already-resolved future (error records discovered at build time slot
+/// into the same ordered emission path as dispatched solves).
+std::future<ServeResult> ready_result(ServeResult result) {
+  std::promise<ServeResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+void write_placement(const Placement& placement, std::ostream& out) {
+  out << " placement=";
+  if (placement.empty()) {
+    out << '-';
+    return;
+  }
+  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
+    if (i > 0) out << ',';
+    out << placement.nodes()[i] << ':' << placement.modes()[i];
+  }
+}
+
+}  // namespace
+
+StreamServer::StreamServer(StreamServerConfig config)
+    : config_(std::move(config)) {
+  TREEPLACE_CHECK_MSG(config_.dispatcher.algos.size() == 1,
+                      "StreamServer serves every request with one solver");
+}
+
+StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
+  SolveDispatcher dispatcher(config_.dispatcher);
+  TopologyCache cache(config_.cache_capacity);
+  RequestStreamReader reader(in);
+  StreamServerSummary summary;
+  Stopwatch wall;
+
+  // Ordered emission with a bounded reorder window: the oldest pending
+  // request is emitted (blocking on its future) whenever the window is
+  // full, so reader, queue and emitter all stay within the queue bound.
+  std::deque<Pending> pending;
+  const std::size_t window = dispatcher.queue_capacity();
+
+  const auto emit = [&](Pending& p) {
+    const ServeResult result = p.result.get();
+    out << "result id=" << p.id << " topo=" << p.key;
+    if (!result.ok) {
+      ++summary.errors;
+      out << " status=error error=\"" << result.error << "\"\n";
+      return;
+    }
+    const Solution& s = result.solution;
+    if (!s.feasible) {
+      ++summary.infeasible;
+      out << " status=infeasible queue_s=" << result.queue_seconds
+          << " solve_s=" << result.solve_seconds << "\n";
+      return;
+    }
+    ++summary.ok;
+    out << " status=ok cost=" << s.breakdown.cost << " power=" << s.power
+        << " servers=" << s.breakdown.servers
+        << " reused=" << s.breakdown.reused
+        << " created=" << s.breakdown.created
+        << " deleted=" << s.breakdown.deleted
+        << " frontier=" << s.frontier.size();
+    if (config_.cost_budget) {
+      out << " budget=" << (s.budget_met ? "met" : "miss");
+      if (!s.budget_met) ++summary.over_budget;
+    }
+    out << " queue_s=" << result.queue_seconds
+        << " solve_s=" << result.solve_seconds
+        << " work=" << s.stats.work;
+    if (config_.print_placements) write_placement(s.placement, out);
+    out << "\n";
+  };
+
+  for (std::optional<ServeRequest> request = reader.next(); request;
+       request = reader.next()) {
+    Pending p;
+    p.id = request->id;
+    p.key = request->topology_key;
+
+    std::optional<Instance> instance;
+    if (request->tree) {
+      auto topology = request->tree->topology_ptr();
+      Scenario base = std::move(request->tree->scenario());
+      cache.put(p.key, topology, base);
+      instance.emplace(std::move(topology), std::move(base), config_.modes,
+                       config_.costs, config_.cost_budget);
+    } else {
+      std::optional<CachedTopology> entry = cache.get(p.key);
+      if (!entry) {
+        ServeResult miss;
+        miss.error = "unknown topology '" + p.key +
+                     "' (not in the stream, or evicted from the cache)";
+        p.result = ready_result(std::move(miss));
+      } else {
+        try {
+          // The cache handed out a private fork; apply the deltas on top.
+          Scenario scen = std::move(entry->base);
+          for (const ScenarioDelta& delta : request->deltas) {
+            switch (delta.op) {
+              case ScenarioDelta::Op::kSetRequests:
+                scen.set_requests(delta.node, delta.requests);
+                break;
+              case ScenarioDelta::Op::kSetPreExisting:
+                scen.set_pre_existing(delta.node, delta.mode);
+                break;
+              case ScenarioDelta::Op::kClearPreExisting:
+                scen.clear_pre_existing(delta.node);
+                break;
+              case ScenarioDelta::Op::kClearAllPre:
+                scen.clear_all_pre_existing();
+                break;
+            }
+          }
+          instance.emplace(std::move(entry->topology), std::move(scen),
+                           config_.modes, config_.costs, config_.cost_budget);
+        } catch (const CheckError& e) {
+          ServeResult bad;
+          bad.error = e.what();
+          p.result = ready_result(std::move(bad));
+        }
+      }
+    }
+
+    if (instance) {
+      if (config_.project_original_modes) {
+        project_to_single_mode(instance->scenario);
+      }
+      p.result = dispatcher.submit(std::move(*instance));
+    }
+
+    pending.push_back(std::move(p));
+    ++summary.requests;
+    while (pending.size() > window) {
+      emit(pending.front());
+      pending.pop_front();
+    }
+  }
+  for (Pending& p : pending) emit(p);
+
+  summary.wall_seconds = wall.seconds();
+  summary.scenarios_per_second =
+      summary.wall_seconds > 0.0
+          ? static_cast<double>(summary.requests) / summary.wall_seconds
+          : 0.0;
+  summary.dispatcher = dispatcher.stats();
+  summary.cache = cache.stats();
+
+  const SolverLatencyStats& solver = summary.dispatcher.per_solver[0];
+  const double solves = static_cast<double>(
+      solver.solves > 0 ? solver.solves : 1);
+  out << "# serve: " << summary.requests << " requests in "
+      << summary.wall_seconds << " s (" << summary.scenarios_per_second
+      << " scenarios/s, " << dispatcher.threads() << " threads, queue "
+      << window << ")\n"
+      << "# serve: ok=" << summary.ok << " infeasible=" << summary.infeasible
+      << " errors=" << summary.errors
+      << " over_budget=" << summary.over_budget << "\n"
+      << "# cache: capacity=" << summary.cache.capacity
+      << " size=" << summary.cache.size << " hits=" << summary.cache.hits
+      << " misses=" << summary.cache.misses
+      << " evictions=" << summary.cache.evictions << "\n"
+      << "# solver " << solver.algo << ": solves=" << solver.solves
+      << " errors=" << solver.errors
+      << " mean_queue_s=" << solver.total_queue_seconds / solves
+      << " mean_solve_s=" << solver.total_solve_seconds / solves
+      << " max_solve_s=" << solver.max_solve_seconds
+      << " work=" << solver.total_work << "\n";
+  return summary;
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,74 @@
+// The batch-serving loop: request stream in, ordered result records out.
+//
+// StreamServer ties the serving pieces together: a RequestStreamReader
+// parses mixed tree / scenario-delta records, a TopologyCache keeps the hot
+// topologies resident, and a SolveDispatcher fans the solves out across the
+// thread pool behind a bounded work queue.  One `result ...` line is
+// emitted per request, *in request order* (a bounded reorder window of
+// pending futures, sized by the dispatcher's queue capacity, never lets
+// the reader outrun the solvers by more than the queue bound).
+//
+// Determinism guarantee: each request is solved by the same deterministic
+// solver an offline `treeplace solve` run would use, so the emitted
+// placements are bit-identical to a serial pass over the same stream for
+// any thread count — concurrency only reorders *execution*, never output
+// or results (asserted by tests/serve/stream_server_test.cc and
+// bench/serve_throughput).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/cost.h"
+#include "model/modes.h"
+#include "serve/dispatcher.h"
+#include "serve/topology_cache.h"
+
+namespace treeplace::serve {
+
+struct StreamServerConfig {
+  /// algos[0] serves every request.
+  DispatcherConfig dispatcher;
+  std::size_t cache_capacity = 16;
+
+  /// Instance parameters applied to every request of the stream.
+  ModeSet modes = ModeSet::single(10);
+  CostModel costs = CostModel::simple(0.1, 0.01);
+  std::optional<double> cost_budget;
+  /// Single-mode problem class: project pre-existing original modes to 0
+  /// (Instance::single_mode semantics).
+  bool project_original_modes = true;
+
+  /// Append the placement ("node:mode,...") to each result record.
+  bool print_placements = true;
+};
+
+struct StreamServerSummary {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t infeasible = 0;
+  std::size_t errors = 0;       ///< bad topology key, rejection, solver throw
+  std::size_t over_budget = 0;  ///< solved but cost_budget missed
+  double wall_seconds = 0.0;
+  double scenarios_per_second = 0.0;
+  DispatcherStats dispatcher;
+  TopologyCacheStats cache;
+};
+
+class StreamServer {
+ public:
+  explicit StreamServer(StreamServerConfig config);
+
+  /// Serves every record of `in`, writing one result line per request to
+  /// `out` in request order followed by a `#`-prefixed summary block.
+  /// Throws CheckError on malformed streams (unparsable records); bad
+  /// topology references and per-solve failures become error records.
+  StreamServerSummary serve(std::istream& in, std::ostream& out);
+
+ private:
+  StreamServerConfig config_;
+};
+
+}  // namespace treeplace::serve

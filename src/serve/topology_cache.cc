@@ -1,0 +1,74 @@
+#include "serve/topology_cache.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace treeplace::serve {
+
+TopologyCache::TopologyCache(std::size_t capacity) : capacity_(capacity) {
+  TREEPLACE_CHECK_MSG(capacity >= 1, "TopologyCache capacity must be >= 1");
+  stats_.capacity = capacity;
+}
+
+void TopologyCache::put(const std::string& key,
+                        std::shared_ptr<const Topology> topology,
+                        Scenario base) {
+  TREEPLACE_CHECK_MSG(topology != nullptr, "caching a null topology");
+  TREEPLACE_CHECK_MSG(base.topology_ptr() == topology,
+                      "base scenario belongs to a different topology");
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = CachedTopology{std::move(topology), std::move(base)};
+    touch(it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the least recently used entry (the recency list's tail).
+    const std::string& victim = recency_.back();
+    entries_.erase(victim);
+    recency_.pop_back();
+    ++stats_.evictions;
+  }
+  recency_.push_front(key);
+  entries_.emplace(
+      key, Entry{CachedTopology{std::move(topology), std::move(base)},
+                 recency_.begin()});
+}
+
+std::optional<CachedTopology> TopologyCache::get(const std::string& key) {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  return it->second.value;  // copy: the caller's scenario fork
+}
+
+bool TopologyCache::contains(const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  return entries_.count(key) > 0;
+}
+
+std::size_t TopologyCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+TopologyCacheStats TopologyCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  TopologyCacheStats out = stats_;
+  out.size = entries_.size();
+  return out;
+}
+
+void TopologyCache::touch(Entry& entry) {
+  recency_.splice(recency_.begin(), recency_, entry.recency);
+  entry.recency = recency_.begin();
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,80 @@
+// LRU cache of resident topologies for the batch-serving loop.
+//
+// The serving stream interleaves full tree records (which define a topology
+// plus its base scenario) with lightweight scenario-delta records that
+// reference an earlier topology by key.  Keeping the hot topologies
+// resident turns the per-request work into an O(N) scenario fork plus the
+// solve itself — no re-parsing, no structure rebuilding.  Eviction is
+// safe at any time: topologies are handed out as shared_ptr, so in-flight
+// solves keep an evicted structure alive until they finish.
+//
+// Thread-safe: the serving loop's reader thread registers topologies while
+// pool workers may still hold references from earlier requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "tree/scenario.h"
+#include "tree/topology.h"
+
+namespace treeplace::serve {
+
+/// A resident topology with the base scenario its defining tree record
+/// carried.  Scenario-delta requests fork the base (a cheap flat-array
+/// copy) and apply their edits on top.
+struct CachedTopology {
+  std::shared_ptr<const Topology> topology;
+  Scenario base;
+};
+
+struct TopologyCacheStats {
+  std::size_t capacity = 0;
+  std::size_t size = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class TopologyCache {
+ public:
+  /// A cache holding at most `capacity` topologies (>= 1).
+  explicit TopologyCache(std::size_t capacity);
+
+  /// Inserts (or replaces) the entry under `key` and marks it most
+  /// recently used, evicting the least recently used entry when full.
+  void put(const std::string& key, std::shared_ptr<const Topology> topology,
+           Scenario base);
+
+  /// The entry under `key` (marked most recently used), or nullopt.  The
+  /// returned copy IS the request's scenario fork: the caller owns it and
+  /// may mutate it freely.
+  std::optional<CachedTopology> get(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+  TopologyCacheStats stats() const;
+
+ private:
+  // Keys in recency order, most recent first; the map points into the list.
+  struct Entry {
+    CachedTopology value;
+    std::list<std::string>::iterator recency;
+  };
+
+  void touch(Entry& entry);  // requires mutex_ held
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::string> recency_;
+  std::unordered_map<std::string, Entry> entries_;
+  TopologyCacheStats stats_;
+};
+
+}  // namespace treeplace::serve

@@ -1,13 +1,13 @@
 #include "sim/experiment2.h"
 
 #include <algorithm>
-#include <memory>
+#include <future>
+#include <utility>
 
 #include "gen/preexisting.h"
 #include "gen/workload.h"
 #include "model/placement.h"
-#include "solver/registry.h"
-#include "support/parallel.h"
+#include "serve/dispatcher.h"
 #include "support/thread_pool.h"
 
 namespace treeplace {
@@ -24,66 +24,79 @@ struct PerTreeTrace {
 
 Experiment2Result run_experiment2(const Experiment2Config& config) {
   TREEPLACE_CHECK(config.num_steps >= 1);
-  const std::size_t threads =
-      config.threads ? config.threads : ThreadPool::default_thread_count();
-  ThreadPool pool(threads);
 
-  const std::unique_ptr<Solver> optimizer =
-      SolverRegistry::instance().create(config.optimizer_algo);
-  const std::unique_ptr<Solver> baseline =
-      SolverRegistry::instance().create(config.baseline_algo);
-  for (const Solver* solver : {optimizer.get(), baseline.get()}) {
+  // The chained solves run through the batch-serving dispatcher: solver 0
+  // is the optimizer chain, solver 1 the baseline chain, and every step is
+  // one wavefront of 2 x num_trees independent requests through the
+  // bounded work queue.
+  serve::DispatcherConfig dispatch;
+  dispatch.algos = {config.optimizer_algo, config.baseline_algo};
+  dispatch.threads =
+      config.threads ? config.threads : ThreadPool::default_thread_count();
+  serve::SolveDispatcher dispatcher(dispatch);
+  for (std::size_t i = 0; i < dispatcher.num_solvers(); ++i) {
     // Both chains feed their placements back as the next pre-existing set,
     // so placement-less oracles cannot participate.
+    const Solver& solver = dispatcher.solver(i);
     TREEPLACE_CHECK_MSG(
-        solver->info().provides_placement &&
-            solver->info().accepts(
+        solver.info().provides_placement &&
+            solver.info().accepts(
                 static_cast<std::size_t>(config.tree.num_internal),
                 /*num_modes=*/1),
-        "solver '" << solver->name()
+        "solver '" << solver.name()
                    << "' cannot run experiment 2's instances");
   }
 
-  const auto traces = parallel_map(
-      pool, config.num_trees, [&](std::size_t t) -> PerTreeTrace {
-        // One shared topology per tree; the workload redraws mutate a base
-        // scenario in place and each chained solve forks it.
-        Tree tree = generate_tree(config.tree, config.seed, t);
-        const std::shared_ptr<const Topology>& topo = tree.topology_ptr();
-        PerTreeTrace trace;
-        Placement prev_dp;  // empty: no pre-existing servers initially
-        Placement prev_gr;
-        const auto chained_solve = [&](const Solver& solver,
-                                       const Placement& prev) -> Solution {
-          // The chain's previous servers become this step's pre-existing
-          // set; the breakdown's reuse count is then the overlap with it.
-          Scenario scen = tree.scenario();  // fork
-          set_pre_existing_from_placement(scen, prev);
-          const Solution solution = solver.solve(
-              Instance::single_mode(topo, std::move(scen), config.capacity,
-                                    config.create, config.delete_cost));
-          TREEPLACE_CHECK(solution.feasible);
-          return solution;
-        };
-        for (std::size_t step = 0; step < config.num_steps; ++step) {
-          Xoshiro256 workload_rng =
-              make_rng(derive_seed(config.seed, step), t,
-                       RngStream::kWorkloadUpdate);
-          redraw_requests(tree.scenario(), config.tree.min_requests,
-                          config.tree.max_requests, workload_rng);
+  // One resident tree (= shared topology + workload scenario) per chain;
+  // the per-step redraws mutate it in place and every solve forks it.
+  std::vector<Tree> trees;
+  trees.reserve(config.num_trees);
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    trees.push_back(generate_tree(config.tree, config.seed, t));
+  }
+  std::vector<Placement> prev_dp(config.num_trees);  // empty initially
+  std::vector<Placement> prev_gr(config.num_trees);
+  std::vector<PerTreeTrace> traces(config.num_trees);
 
-          const Solution dp = chained_solve(*optimizer, prev_dp);
-          trace.reused_dp.push_back(dp.breakdown.reused);
-          trace.servers.push_back(dp.breakdown.servers);
+  // The chain's previous servers become this step's pre-existing set; the
+  // breakdown's reuse count is then the overlap with it.
+  const auto chained_instance = [&](const Tree& tree,
+                                    const Placement& prev) -> Instance {
+    Scenario scen = tree.scenario();  // fork
+    set_pre_existing_from_placement(scen, prev);
+    return Instance::single_mode(tree.topology_ptr(), std::move(scen),
+                                 config.capacity, config.create,
+                                 config.delete_cost);
+  };
 
-          const Solution gr = chained_solve(*baseline, prev_gr);
-          trace.reused_gr.push_back(gr.breakdown.reused);
+  std::vector<std::future<serve::ServeResult>> dp_futures(config.num_trees);
+  std::vector<std::future<serve::ServeResult>> gr_futures(config.num_trees);
+  for (std::size_t step = 0; step < config.num_steps; ++step) {
+    for (std::size_t t = 0; t < config.num_trees; ++t) {
+      Xoshiro256 workload_rng = make_rng(derive_seed(config.seed, step), t,
+                                         RngStream::kWorkloadUpdate);
+      redraw_requests(trees[t].scenario(), config.tree.min_requests,
+                      config.tree.max_requests, workload_rng);
+      dp_futures[t] =
+          dispatcher.submit(0, chained_instance(trees[t], prev_dp[t]));
+      gr_futures[t] =
+          dispatcher.submit(1, chained_instance(trees[t], prev_gr[t]));
+    }
+    for (std::size_t t = 0; t < config.num_trees; ++t) {
+      serve::ServeResult dp = dp_futures[t].get();
+      TREEPLACE_CHECK_MSG(dp.ok, dp.error);
+      TREEPLACE_CHECK(dp.solution.feasible);
+      traces[t].reused_dp.push_back(dp.solution.breakdown.reused);
+      traces[t].servers.push_back(dp.solution.breakdown.servers);
+      prev_dp[t] = std::move(dp.solution.placement);
 
-          prev_dp = dp.placement;
-          prev_gr = gr.placement;
-        }
-        return trace;
-      });
+      serve::ServeResult gr = gr_futures[t].get();
+      TREEPLACE_CHECK_MSG(gr.ok, gr.error);
+      TREEPLACE_CHECK(gr.solution.feasible);
+      traces[t].reused_gr.push_back(gr.solution.breakdown.reused);
+      prev_gr[t] = std::move(gr.solution.placement);
+    }
+  }
 
   Experiment2Result result;
   result.num_trees = config.num_trees;

@@ -209,10 +209,16 @@ class PowerExactSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
-    PowerDPResult r =
-        solve_power_exact(in.topo(), in.scen(), in.modes, in.costs);
+    PowerDPResult r = solve_power_exact(in.topo(), in.scen(), in.modes,
+                                        in.costs, dp_options());
     return finish_frontier(in, r.feasible, std::move(r.frontier),
                            {r.stats.solve_seconds, r.stats.merge_pairs});
+  }
+
+ private:
+  PowerDPOptions dp_options() const {
+    return PowerDPOptions{static_cast<std::size_t>(options().threads),
+                          worker_pool()};
   }
 };
 
@@ -236,8 +242,10 @@ class PowerSymmetricSolver : public Solver {
     TREEPLACE_CHECK_MSG(in.costs.is_symmetric(),
                         "power-sym requires a symmetric cost model; use "
                         "power-exact for general Eq. 4 costs");
-    PowerDPResult r =
-        solve_power_symmetric(in.topo(), in.scen(), in.modes, in.costs);
+    PowerDPResult r = solve_power_symmetric(
+        in.topo(), in.scen(), in.modes, in.costs,
+        PowerDPOptions{static_cast<std::size_t>(options().threads),
+                       worker_pool()});
     return finish_frontier(in, r.feasible, std::move(r.frontier),
                            {r.stats.solve_seconds, r.stats.merge_pairs});
   }

@@ -25,6 +25,18 @@
 
 namespace treeplace {
 
+/// Projects a scenario into the classic single-mode problem class: modes
+/// do not exist there, so any original modes recorded on pre-existing
+/// servers collapse to 0 (a pre-existing server is just a pre-existing
+/// server).  The one definition of this invariant — used by
+/// Instance::single_mode, the CLI and the serving loop, which must agree
+/// bit for bit.
+inline void project_to_single_mode(Scenario& scenario) {
+  for (NodeId id : scenario.pre_existing_nodes()) {
+    if (scenario.original_mode(id) != 0) scenario.set_pre_existing(id, 0);
+  }
+}
+
 struct Instance {
   std::shared_ptr<const Topology> topology;
   Scenario scenario;
@@ -74,15 +86,11 @@ struct Instance {
   RequestCount capacity() const { return modes.max_capacity(); }
 
   /// Classic single-mode instance (MinCost problems): capacity W, Eq. 2
-  /// costs.  Modes do not exist in this problem class, so any original
-  /// modes recorded on the scenario's pre-existing servers are projected to
-  /// 0 (a pre-existing server is just a pre-existing server).
+  /// costs, original modes projected via project_to_single_mode().
   static Instance single_mode(std::shared_ptr<const Topology> topology,
                               Scenario scenario, RequestCount capacity,
                               double create, double delete_cost) {
-    for (NodeId id : scenario.pre_existing_nodes()) {
-      if (scenario.original_mode(id) != 0) scenario.set_pre_existing(id, 0);
-    }
+    project_to_single_mode(scenario);
     return Instance{std::move(topology), std::move(scenario),
                     ModeSet::single(capacity),
                     CostModel::simple(create, delete_cost), std::nullopt};

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "solver/instance.h"
 #include "solver/solution.h"
+#include "support/thread_pool.h"
 
 namespace treeplace {
 
@@ -55,6 +57,18 @@ struct SolverInfo {
 
 class Solver {
  public:
+  /// Tunables that apply across strategies, set on a solver instance before
+  /// it is used.  set_options() is NOT thread-safe against concurrent
+  /// solve() calls: configure the solver first, then share it freely
+  /// (solve() itself stays const and thread-safe).
+  struct Options {
+    /// Worker threads for solver-internal parallelism — the power DPs shard
+    /// their per-child merge loops across this many workers.  1 = serial.
+    /// Results are bit-identical for any value (see dp::sharded_merge);
+    /// strategies without internal parallelism ignore the knob.
+    int threads = 1;
+  };
+
   explicit Solver(SolverInfo info) : info_(std::move(info)) {}
   virtual ~Solver() = default;
 
@@ -64,11 +78,32 @@ class Solver {
   const SolverInfo& info() const { return info_; }
   const std::string& name() const { return info_.name; }
 
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) {
+    TREEPLACE_CHECK_MSG(options.threads >= 1,
+                        "Solver::Options::threads must be >= 1");
+    options_ = options;
+    // One long-lived worker team per configured solver, shared by every
+    // solve() — serving thousands of requests must not pay per-request
+    // thread spawns.  ThreadPool::submit is thread-safe, so concurrent
+    // solves may share it freely.
+    worker_pool_ =
+        options.threads > 1
+            ? std::make_shared<ThreadPool>(
+                  static_cast<std::size_t>(options.threads))
+            : nullptr;
+  }
+
+  /// The pool backing options().threads; nullptr when threads == 1.
+  ThreadPool* worker_pool() const { return worker_pool_.get(); }
+
   /// Solves `instance`.  Must be thread-safe (const, no mutable state).
   virtual Solution solve(const Instance& instance) const = 0;
 
  private:
   SolverInfo info_;
+  Options options_;
+  std::shared_ptr<ThreadPool> worker_pool_;
 };
 
 }  // namespace treeplace

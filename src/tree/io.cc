@@ -98,7 +98,13 @@ bool TreeStreamReader::read_line(std::string& line) {
   return static_cast<bool>(std::getline(is_, line));
 }
 
-std::optional<Tree> TreeStreamReader::next() {
+bool TreeStreamReader::is_record_header(const std::string& line) {
+  return line.rfind("treeplace-", 0) == 0;
+}
+
+const char* TreeStreamReader::tree_header() { return kHeader; }
+
+std::optional<std::string> TreeStreamReader::next_header() {
   // Skip blank and comment lines up to the next header.
   std::string line;
   for (;;) {
@@ -106,26 +112,47 @@ std::optional<Tree> TreeStreamReader::next() {
     if (line.empty() || line[0] == '#') continue;
     break;
   }
-  TREEPLACE_CHECK_MSG(line == kHeader, "bad tree header: '" << line << "'");
+  TREEPLACE_CHECK_MSG(is_record_header(line),
+                      "bad record header: '" << line << "'");
+  return line;
+}
 
-  TreeBuilder builder;
-  NodeId expected_id = 0;
+bool TreeStreamReader::next_body_line(std::string& line) {
   while (read_line(line)) {
-    if (line == kHeader) {
-      // The next tree starts here; hand the header back for the next call.
+    if (is_record_header(line)) {
+      // The next record starts here; hand the header back for the next
+      // next_header()/next() call.
       pending_ = std::move(line);
       has_pending_ = true;
-      break;
+      return false;
     }
     // Interior blank and comment lines are permitted exactly as in
-    // parse_tree(); only a new header terminates a tree.
+    // parse_tree(); only a new header terminates a record.
     if (line.empty() || line[0] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+Tree TreeStreamReader::read_tree_body() {
+  TreeBuilder builder;
+  NodeId expected_id = 0;
+  std::string line;
+  while (next_body_line(line)) {
     parse_node_line(builder, line, expected_id);
     ++expected_id;
   }
   Tree tree = std::move(builder).build();  // may throw: count only successes
   ++trees_read_;
   return tree;
+}
+
+std::optional<Tree> TreeStreamReader::next() {
+  const std::optional<std::string> header = next_header();
+  if (!header) return std::nullopt;
+  TREEPLACE_CHECK_MSG(*header == kHeader,
+                      "bad tree header: '" << *header << "'");
+  return read_tree_body();
 }
 
 std::string to_dot(const Tree& tree) {

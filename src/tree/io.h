@@ -31,16 +31,43 @@ std::string serialize_tree(const Tree& tree);
 Tree parse_tree(std::istream& is);
 Tree parse_tree(const std::string& text);
 
-/// Streaming reader over a concatenation of v1 trees.  Works on
+/// Streaming reader over a concatenation of v1 records.  Works on
 /// non-seekable streams (pipes, stdin): a header line that terminates one
-/// tree is buffered and re-consumed as the start of the next.
+/// record is buffered and re-consumed as the start of the next.
+///
+/// Besides plain tree concatenations (next()), the reader splits *mixed*
+/// record streams: any "treeplace-" header line is a record boundary, so
+/// layered formats — the serving loop's scenario-delta records
+/// (serve/request_stream.h) — iterate records with next_header() /
+/// next_body_line() and delegate tree bodies to read_tree_body().
 class TreeStreamReader {
  public:
   explicit TreeStreamReader(std::istream& is) : is_(is) {}
 
   /// The next tree, or nullopt at end of stream.  Throws CheckError on
-  /// malformed input.
+  /// malformed input (including non-tree record headers).
   std::optional<Tree> next();
+
+  /// True for any record header line ("treeplace-<kind> v<n>[ args]").
+  static bool is_record_header(const std::string& line);
+
+  /// The tree record header ("treeplace-tree v1").
+  static const char* tree_header();
+
+  /// Consumes and returns the next record header line, skipping blank and
+  /// comment lines; nullopt at end of stream.  Throws CheckError when the
+  /// next significant line is not a record header.
+  std::optional<std::string> next_header();
+
+  /// Reads the next body line of the current record into `line`; false at
+  /// the next record header (which stays pending for the following
+  /// next_header()/next() call) or end of stream.  Blank and comment lines
+  /// are skipped.
+  bool next_body_line(std::string& line);
+
+  /// Parses the body of a tree record whose header was just consumed by
+  /// next_header().  Throws CheckError on malformed node lines.
+  Tree read_tree_body();
 
   /// Number of trees successfully returned so far.
   std::size_t trees_read() const { return trees_read_; }
@@ -49,7 +76,7 @@ class TreeStreamReader {
   bool read_line(std::string& line);
 
   std::istream& is_;
-  std::string pending_;      // a header line consumed past a tree boundary
+  std::string pending_;      // a header line consumed past a record boundary
   bool has_pending_ = false;
   std::size_t trees_read_ = 0;
 };

@@ -1,0 +1,201 @@
+// End-to-end serving-loop tests: mixed record streams in, ordered result
+// records out, results bit-identical to offline solves for any pool size.
+#include "serve/stream_server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "solver/registry.h"
+#include "tree/io.h"
+#include "tree/tree.h"
+
+namespace treeplace::serve {
+namespace {
+
+/// Fixed layout so delta records can target known ids: internal nodes
+/// 0, 1, 2, 6; clients 3, 4, 5, 7.
+Tree make_tree(RequestCount variant) {
+  TreeBuilder b;
+  const NodeId root = b.add_root();       // 0
+  const NodeId a = b.add_internal(root);  // 1
+  const NodeId c = b.add_internal(root);  // 2
+  b.add_client(a, 5 + variant);           // 3
+  b.add_client(a, 3);                     // 4
+  b.add_client(c, 4);                     // 5
+  const NodeId d = b.add_internal(c);     // 6
+  b.add_client(d, 2 + variant);           // 7
+  return std::move(b).build();
+}
+
+StreamServerConfig single_mode_config(std::size_t threads) {
+  StreamServerConfig config;
+  config.dispatcher.algos = {"update-dp"};
+  config.dispatcher.threads = threads;
+  config.modes = ModeSet::single(10);
+  config.costs = CostModel::simple(0.1, 0.01);
+  config.project_original_modes = true;
+  return config;
+}
+
+/// A stream with two trees and delta requests against both.
+std::string make_stream() {
+  std::ostringstream out;
+  out << serialize_tree(make_tree(0));
+  out << serialize_tree(make_tree(1));
+  out << "treeplace-scenario v1 1\nE 2\nE 6 0\n";
+  out << "treeplace-scenario v1 2\nZ\nR 3 7\n";
+  out << "treeplace-scenario v1 1\nE 2\nX 2\n";
+  return out.str();
+}
+
+std::vector<std::string> result_lines(const std::string& output) {
+  std::istringstream is(output);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("result ", 0) == 0) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(StreamServerTest, ServesTreesAndDeltasInOrder) {
+  std::istringstream in(make_stream());
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  const StreamServerSummary summary = server.serve(in, out);
+
+  EXPECT_EQ(summary.requests, 5u);
+  EXPECT_EQ(summary.ok, 5u);
+  EXPECT_EQ(summary.errors, 0u);
+  EXPECT_EQ(summary.cache.hits, 3u);
+
+  const auto lines = result_lines(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("id=" + std::to_string(i + 1) + " "),
+              std::string::npos)
+        << "out-of-order record: " << lines[i];
+    EXPECT_NE(lines[i].find("status=ok"), std::string::npos);
+  }
+  // Requests 1 and 3 share topology "1", 2 and 4 topology "2".
+  EXPECT_NE(lines[2].find("topo=1"), std::string::npos);
+  EXPECT_NE(lines[3].find("topo=2"), std::string::npos);
+}
+
+TEST(StreamServerTest, OutputIdenticalForAnyPoolSize) {
+  std::string serial_output;
+  {
+    std::istringstream in(make_stream());
+    std::ostringstream out;
+    StreamServer server(single_mode_config(1));
+    server.serve(in, out);
+    serial_output = out.str();
+  }
+  for (const std::size_t threads : {2u, 4u}) {
+    std::istringstream in(make_stream());
+    std::ostringstream out;
+    StreamServer server(single_mode_config(threads));
+    server.serve(in, out);
+    // Result records (costs, placements, order) are bit-identical; only
+    // the timing fields differ, so compare with timings stripped.
+    const auto strip = [](const std::string& s) {
+      std::istringstream is(s);
+      std::string line;
+      std::string kept;
+      while (std::getline(is, line)) {
+        if (line.rfind("result ", 0) != 0) continue;
+        kept += line.substr(0, line.find(" queue_s="));
+        kept += '\n';
+      }
+      return kept;
+    };
+    EXPECT_EQ(strip(out.str()), strip(serial_output)) << threads;
+  }
+}
+
+TEST(StreamServerTest, DeltaSolveMatchesOfflineSolve) {
+  // Request 3 marks nodes 2 and 6 of tree 1 pre-existing; the served
+  // result must match solving the equivalent instance directly.
+  std::istringstream in(make_stream());
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  server.serve(in, out);
+  const auto lines = result_lines(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+
+  Tree tree = make_tree(0);
+  tree.set_pre_existing(2);
+  tree.set_pre_existing(6);
+  const auto solver = make_solver("update-dp");
+  const Solution expected = solver->solve(
+      Instance::single_mode(std::move(tree), 10, 0.1, 0.01));
+  std::ostringstream expected_cost;
+  expected_cost << "cost=" << expected.breakdown.cost;
+  EXPECT_NE(lines[2].find(expected_cost.str()), std::string::npos)
+      << lines[2] << " vs " << expected_cost.str();
+}
+
+TEST(StreamServerTest, UnknownTopologyKeyBecomesErrorRecord) {
+  std::istringstream in("treeplace-scenario v1 9\nR 1 2\n" +
+                        serialize_tree(make_tree(0)));
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  const StreamServerSummary summary = server.serve(in, out);
+
+  EXPECT_EQ(summary.requests, 2u);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.ok, 1u);
+  const auto lines = result_lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("status=error"), std::string::npos);
+  EXPECT_NE(lines[0].find("unknown topology"), std::string::npos);
+  EXPECT_NE(lines[1].find("status=ok"), std::string::npos);
+}
+
+TEST(StreamServerTest, BadDeltaTargetBecomesErrorRecord) {
+  // Node 0 is the root (internal): R on it must fail that request only.
+  std::istringstream in(serialize_tree(make_tree(0)) +
+                        "treeplace-scenario v1 1\nR 0 5\n");
+  std::ostringstream out;
+  StreamServer server(single_mode_config(1));
+  const StreamServerSummary summary = server.serve(in, out);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.ok, 1u);
+}
+
+TEST(StreamServerTest, MultiModeServing) {
+  StreamServerConfig config;
+  config.dispatcher.algos = {"power-sym"};
+  config.dispatcher.threads = 2;
+  config.modes = ModeSet({5, 10}, 12.5, 3.0);
+  config.costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  config.project_original_modes = false;
+
+  std::istringstream in(serialize_tree(make_tree(0)) +
+                        "treeplace-scenario v1 1\nE 2 1\n");
+  std::ostringstream out;
+  StreamServer server(std::move(config));
+  const StreamServerSummary summary = server.serve(in, out);
+  EXPECT_EQ(summary.ok, 2u);
+  const auto lines = result_lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("frontier="), std::string::npos);
+}
+
+TEST(StreamServerTest, SummaryReportsLatencyStats) {
+  std::istringstream in(make_stream());
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  const StreamServerSummary summary = server.serve(in, out);
+  ASSERT_EQ(summary.dispatcher.per_solver.size(), 1u);
+  EXPECT_EQ(summary.dispatcher.per_solver[0].solves, 5u);
+  EXPECT_GT(summary.dispatcher.per_solver[0].total_solve_seconds, 0.0);
+  EXPECT_NE(out.str().find("# solver update-dp:"), std::string::npos);
+  EXPECT_NE(out.str().find("# cache:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treeplace::serve

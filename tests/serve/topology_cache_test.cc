@@ -1,0 +1,137 @@
+#include "serve/topology_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "support/check.h"
+
+namespace treeplace::serve {
+namespace {
+
+Tree make_tree(std::uint64_t index) {
+  TreeGenConfig config;
+  config.num_internal = 6;
+  return generate_tree(config, /*seed=*/77, index);
+}
+
+TEST(TopologyCacheTest, PutThenGetReturnsEntry) {
+  TopologyCache cache(4);
+  Tree tree = make_tree(0);
+  const auto topo = tree.topology_ptr();
+  cache.put("a", topo, tree.scenario());
+
+  const auto entry = cache.get("a");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->topology, topo);
+  EXPECT_EQ(entry->base.total_requests(), tree.total_requests());
+}
+
+TEST(TopologyCacheTest, GetReturnsIndependentFork) {
+  TopologyCache cache(4);
+  Tree tree = make_tree(0);
+  cache.put("a", tree.topology_ptr(), tree.scenario());
+
+  auto fork = cache.get("a");
+  ASSERT_TRUE(fork.has_value());
+  fork->base.set_pre_existing(fork->base.topology().root());
+
+  // The cached base is untouched by edits to the handed-out fork.
+  const auto again = cache.get("a");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->base.num_pre_existing(), 0u);
+}
+
+TEST(TopologyCacheTest, MissingKeyCountsMiss) {
+  TopologyCache cache(2);
+  EXPECT_FALSE(cache.get("nope").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(TopologyCacheTest, EvictsLeastRecentlyUsed) {
+  TopologyCache cache(2);
+  Tree a = make_tree(0);
+  Tree b = make_tree(1);
+  Tree c = make_tree(2);
+  cache.put("a", a.topology_ptr(), a.scenario());
+  cache.put("b", b.topology_ptr(), b.scenario());
+
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("c", c.topology_ptr(), c.scenario());
+
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TopologyCacheTest, ReplacingAKeyDoesNotEvict) {
+  TopologyCache cache(2);
+  Tree a = make_tree(0);
+  Tree b = make_tree(1);
+  cache.put("a", a.topology_ptr(), a.scenario());
+  cache.put("b", b.topology_ptr(), b.scenario());
+  cache.put("a", b.topology_ptr(), b.scenario());  // replace in place
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const auto entry = cache.get("a");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->topology, b.topology_ptr());
+}
+
+TEST(TopologyCacheTest, EvictedTopologyStaysAliveThroughSharedPtr) {
+  TopologyCache cache(1);
+  Tree a = make_tree(0);
+  cache.put("a", a.topology_ptr(), a.scenario());
+  const auto held = cache.get("a");
+  ASSERT_TRUE(held.has_value());
+
+  Tree b = make_tree(1);
+  cache.put("b", b.topology_ptr(), b.scenario());  // evicts "a"
+  EXPECT_FALSE(cache.contains("a"));
+  // The held entry still works: in-flight solves outlive eviction.
+  EXPECT_GT(held->topology->num_internal(), 0u);
+}
+
+TEST(TopologyCacheTest, RejectsMismatchedScenario) {
+  TopologyCache cache(2);
+  Tree a = make_tree(0);
+  Tree b = make_tree(1);
+  EXPECT_THROW(cache.put("a", a.topology_ptr(), b.scenario()), CheckError);
+}
+
+TEST(TopologyCacheTest, ConcurrentGetsAndPuts) {
+  TopologyCache cache(4);
+  std::vector<Tree> trees;
+  for (std::uint64_t i = 0; i < 8; ++i) trees.push_back(make_tree(i));
+  for (std::size_t i = 0; i < 4; ++i) {
+    cache.put(std::to_string(i), trees[i].topology_ptr(),
+              trees[i].scenario());
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < 50; ++i) {
+        const std::size_t k = (t + i) % 8;
+        if (k < 4) {
+          (void)cache.get(std::to_string(k));
+        } else {
+          cache.put(std::to_string(k), trees[k].topology_ptr(),
+                    trees[k].scenario());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+}  // namespace
+}  // namespace treeplace::serve

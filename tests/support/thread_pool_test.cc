@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -69,11 +70,73 @@ TEST(ParallelMapTest, ZeroTasks) {
   EXPECT_TRUE(results.empty());
 }
 
+TEST(ParallelMapTest, SingleThreadPool) {
+  ThreadPool pool(1);
+  const auto results =
+      parallel_map(pool, 16, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(results[i], i + 1);
+}
+
+TEST(ParallelMapTest, MoreThreadsThanTasks) {
+  ThreadPool pool(16);
+  const auto results =
+      parallel_map(pool, 3, [](std::size_t i) { return 10 * i; });
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(results[i], 10 * i);
+}
+
+TEST(ParallelMapTest, PropagatesTaskExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_map(pool, 8,
+                            [](std::size_t i) -> int {
+                              if (i == 5) throw std::runtime_error("boom");
+                              return static_cast<int>(i);
+                            }),
+               std::runtime_error);
+  // The pool survives a throwing batch and keeps serving tasks.
+  const auto results =
+      parallel_map(pool, 4, [](std::size_t i) { return i; });
+  ASSERT_EQ(results.size(), 4u);
+}
+
+TEST(ParallelMapTest, MoveOnlyResults) {
+  ThreadPool pool(4);
+  const auto results = parallel_map(pool, 8, [](std::size_t i) {
+    return std::make_unique<std::size_t>(i);
+  });
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(*results[i], i);
+}
+
 TEST(ParallelForTest, CoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(32);
   parallel_for(pool, 32, [&](std::size_t i) { hits[i]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroTasks) {
+  ThreadPool pool(2);
+  int touched = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++touched; });
+  EXPECT_EQ(touched, 0);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i == 2) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, MoreThreadsThanTasks) {
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  parallel_for(pool, 2, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 2);
 }
 
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {

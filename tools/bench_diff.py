@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff a fresh solver-matrix JSON against the committed baseline.
+
+The solver matrix (bench/solver_matrix) is deterministic in everything but
+its timings: for a fixed instance set, every registered solver must report
+the same feasibility, cost, power, server count and frontier size on every
+machine.  CI therefore runs this script after the bench:
+
+  * result-value drift (any non-timing column differs, or a baseline row
+    disappeared) FAILS the build — a solver changed behavior;
+  * timing regressions beyond --timing-ratio (default 2x, ignoring solves
+    under --timing-floor seconds) are WARNED about — machines differ, so
+    timings inform the trajectory but never gate;
+  * rows only present in the fresh run are reported as additions (new
+    solvers and instances are expected as the matrix grows).
+
+Usage:
+  tools/bench_diff.py --baseline bench_results/baseline_solver_matrix.json \
+                      --fresh bench_results/BENCH_solver_matrix.json \
+                      [--report bench_results/solver_matrix_diff.txt] \
+                      [--timing-ratio 2.0] [--timing-floor 0.01]
+
+Exit codes: 0 clean (warnings allowed), 1 result drift, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_COLUMNS = {"seconds"}
+KEY_COLUMNS = ("solver", "instance")
+FLOAT_ABS_TOL = 1e-6
+FLOAT_REL_TOL = 1e-9
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    columns = data["columns"]
+    for key in KEY_COLUMNS:
+        if key not in columns:
+            raise ValueError(f"{path}: missing key column '{key}'")
+    rows = {}
+    for row in data["rows"]:
+        cells = dict(zip(columns, row))
+        key = tuple(cells[k] for k in KEY_COLUMNS)
+        if key in rows:
+            raise ValueError(f"{path}: duplicate row for {key}")
+        rows[key] = cells
+    return columns, rows
+
+
+def values_equal(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        try:
+            fa, fb = float(a), float(b)
+        except (TypeError, ValueError):
+            return a == b
+        return abs(fa - fb) <= max(FLOAT_ABS_TOL, FLOAT_REL_TOL * max(abs(fa), abs(fb)))
+    return a == b
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--report", help="also write the diff to this file")
+    parser.add_argument("--timing-ratio", type=float, default=2.0)
+    parser.add_argument("--timing-floor", type=float, default=0.01,
+                        help="ignore timing changes of solves faster than this")
+    args = parser.parse_args()
+
+    try:
+        base_columns, baseline = load_rows(args.baseline)
+        _, fresh = load_rows(args.fresh)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    result_columns = [c for c in base_columns
+                      if c not in TIMING_COLUMNS and c not in KEY_COLUMNS]
+    drift, warnings, additions = [], [], []
+
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            drift.append(f"MISSING  {key}: row present in baseline only")
+            continue
+        for column in result_columns:
+            if column not in fresh_row:
+                drift.append(f"DRIFT    {key}: column '{column}' missing")
+            elif not values_equal(base_row[column], fresh_row[column]):
+                drift.append(
+                    f"DRIFT    {key}: {column} {base_row[column]!r} -> "
+                    f"{fresh_row[column]!r}")
+        for column in TIMING_COLUMNS:
+            if column not in base_row or column not in fresh_row:
+                continue
+            old, new = float(base_row[column]), float(fresh_row[column])
+            if new < args.timing_floor:
+                continue
+            if old > 0 and new / old > args.timing_ratio:
+                warnings.append(
+                    f"TIMING   {key}: {column} {old:.4f}s -> {new:.4f}s "
+                    f"({new / old:.1f}x)")
+
+    for key in sorted(fresh.keys() - baseline.keys()):
+        additions.append(f"NEW      {key}: not in baseline")
+
+    lines = [
+        f"bench_diff: {args.fresh} vs {args.baseline}",
+        f"rows: baseline={len(baseline)} fresh={len(fresh)} "
+        f"drift={len(drift)} timing-warnings={len(warnings)} "
+        f"new={len(additions)}",
+    ] + drift + warnings + additions
+    if not drift and not warnings:
+        lines.append("clean: all result values match the baseline")
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+
+    return 1 if drift else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

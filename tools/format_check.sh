@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Reports clang-format drift across the C++ sources.  Informational by
-# design: CI runs it as a non-blocking step, so it prints offending files
-# and a diff summary but the exit code only reflects tool availability.
+# Reports clang-format drift across the C++ sources.  Blocking by design:
+# CI runs it as a gating step, so drift exits non-zero (run with --fix to
+# reformat).  Only tool availability is forgiven — a machine without
+# clang-format skips the check rather than failing it.
 #
 # Usage: tools/format_check.sh [--fix]
 set -u
@@ -35,8 +36,8 @@ done
 
 if [ "$drifted" -eq 0 ]; then
   echo "format_check: all ${#files[@]} files clean"
-else
-  echo "format_check: $drifted of ${#files[@]} files drift from .clang-format"
-  echo "format_check: run tools/format_check.sh --fix to reformat"
+  exit 0
 fi
-exit 0
+echo "format_check: $drifted of ${#files[@]} files drift from .clang-format"
+echo "format_check: run tools/format_check.sh --fix to reformat"
+exit 1

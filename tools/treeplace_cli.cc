@@ -7,13 +7,15 @@
 //             --create 0.1 --delete 0.01 --changed 0.001 [--budget 25] \
 //             < tree.txt
 //   treeplace solve --list-algos
+//   treeplace serve --algo power-sym --modes 5,10 --threads 8 < stream.txt
 //   treeplace validate --capacity 10 --servers 0,3,7 < tree.txt
 //   treeplace stats < tree.txt
 //   treeplace dot < tree.txt | dot -Tpng > tree.png
 //
 // Every placement algorithm is selected by name through the SolverRegistry
 // (solver/registry.h); `solve --list-algos` enumerates them.  Trees are
-// read/written in the text format of tree/io.h.
+// read/written in the text format of tree/io.h; `serve` additionally
+// accepts scenario-delta records (serve/request_stream.h).
 //
 // Exit codes: 0 success; 1 infeasible instance or unmet --budget; 2 usage
 // error (including unknown commands and unknown --algo names).
@@ -26,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/stream_server.h"
 #include "treeplace.h"
 #include "tree/metrics.h"
 
@@ -51,12 +54,26 @@ constexpr int kExitUsage = 2;
       "               per tree, shared solver instance)\n"
       "               --algo NAME        solver to run (see --list-algos)\n"
       "               --list-algos       list registered solvers and exit\n"
+      "               --threads K        solver-internal threads (power DPs\n"
+      "                                  shard child merges; results are\n"
+      "                                  bit-identical to --threads 1)\n"
       "               --capacity W       single-mode capacity (default 10)\n"
       "               --modes W1,W2,...  mode capacities (multi-mode)\n"
       "               --static P --alpha A      power model (Eq. 3)\n"
       "               --create C --delete D     cost model (Eq. 2/4)\n"
       "               --changed X --changed-same Y\n"
       "               --budget B         bounded-cost query\n"
+      "  serve        batch-serving loop: read a stream of tree records\n"
+      "               and scenario-delta records from stdin, keep hot\n"
+      "               topologies resident, dispatch solves across a thread\n"
+      "               pool and emit one result record per request (in\n"
+      "               request order, bit-identical to a serial run)\n"
+      "               --algo NAME        solver serving every request\n"
+      "               --threads N        pool size (default: all cores)\n"
+      "               --queue Q          bound on in-flight solves (4xN)\n"
+      "               --cache C          resident topologies (default 16)\n"
+      "               --solver-threads K solver-internal threads\n"
+      "               (instance flags as for solve)\n"
       "  list-algos   same as solve --list-algos\n"
       "  validate     check a placement --capacity W --servers id,id,...\n"
       "  stats        structural metrics of the tree on stdin\n"
@@ -113,6 +130,17 @@ class Args {
 };
 
 Tree read_tree() { return parse_tree(std::cin); }
+
+/// A non-negative count flag; `--threads -1` wrapping to SIZE_MAX would
+/// silently disable the serving loop's bounded-queue guarantee.
+std::size_t get_count(const Args& args, const std::string& key,
+                      std::int64_t fallback, std::int64_t min_value) {
+  const std::int64_t value = args.get_int(key, fallback);
+  if (value < min_value) {
+    usage("--" + key + " must be >= " + std::to_string(min_value));
+  }
+  return static_cast<std::size_t>(value);
+}
 
 void print_placement(const Topology& topo, const Scenario& scen,
                      const Placement& placement) {
@@ -178,41 +206,60 @@ int cmd_list_algos() {
   return kExitSuccess;
 }
 
-/// Assembles the Instance from the CLI flags.  --modes (or a mode-aware
-/// solver with no explicit --capacity) selects the multi-mode Eq. 4 setting
-/// with the defaults of the paper's experiments; otherwise the classic
-/// single-mode Eq. 2 setting — so `--capacity` is always honored, even for
-/// power solvers (they then run with the single mode W).
-Instance build_instance(const Args& args, const SolverInfo& info, Tree tree) {
+/// The per-instance parameters assembled from CLI flags, shared by the
+/// one-shot `solve` path and the `serve` loop (which applies them to every
+/// request of the stream).
+struct InstanceParams {
+  ModeSet modes = ModeSet::single(10);
+  CostModel costs = CostModel::simple(0.1, 0.01);
+  std::optional<double> budget;
+  /// Classic single-mode problem class: original modes of pre-existing
+  /// servers are projected to 0 (Instance::single_mode semantics).
+  bool single_mode = true;
+};
+
+/// Interprets the instance flags.  --modes (or a mode-aware solver with no
+/// explicit --capacity) selects the multi-mode Eq. 4 setting with the
+/// defaults of the paper's experiments; otherwise the classic single-mode
+/// Eq. 2 setting — so `--capacity` is always honored, even for power
+/// solvers (they then run with the single mode W).
+InstanceParams parse_instance_params(const Args& args,
+                                     const SolverInfo& info) {
   if (args.has("modes") && args.has("capacity")) {
     usage("--capacity conflicts with --modes; the capacity is W_M");
   }
-  const std::optional<double> budget =
-      args.has("budget") ? std::optional<double>(args.get_double("budget", 0.0))
-                         : std::nullopt;
+  InstanceParams params;
+  if (args.has("budget")) params.budget = args.get_double("budget", 0.0);
   if (args.has("modes") || (info.needs_modes && !args.has("capacity"))) {
     auto caps = args.get_list("modes");
     if (caps.empty()) caps = {5, 10};
-    ModeSet modes(std::vector<RequestCount>(caps.begin(), caps.end()),
-                  args.get_double("static", 0.0),
-                  args.get_double("alpha", 3.0));
-    CostModel costs = CostModel::uniform(
-        modes.count(), args.get_double("create", 0.1),
+    params.modes = ModeSet(std::vector<RequestCount>(caps.begin(), caps.end()),
+                           args.get_double("static", 0.0),
+                           args.get_double("alpha", 3.0));
+    params.costs = CostModel::uniform(
+        params.modes.count(), args.get_double("create", 0.1),
         args.get_double("delete", 0.01), args.get_double("changed", 0.0),
         args.get_double("changed-same", 0.0));
-    return Instance{std::move(tree), std::move(modes), std::move(costs),
-                    budget};
+    params.single_mode = false;
+    return params;
   }
   const auto capacity = static_cast<RequestCount>(args.get_int("capacity", 10));
-  Instance instance = Instance::single_mode(std::move(tree), capacity,
-                                            args.get_double("create", 0.1),
-                                            args.get_double("delete", 0.01));
   // Honor the power-model flags in the single-mode setting too (they
   // matter when a min-power solver runs with one mode).
-  instance.modes = ModeSet({capacity}, args.get_double("static", 0.0),
-                           args.get_double("alpha", 3.0));
-  instance.cost_budget = budget;
-  return instance;
+  params.modes = ModeSet({capacity}, args.get_double("static", 0.0),
+                         args.get_double("alpha", 3.0));
+  params.costs = CostModel::simple(args.get_double("create", 0.1),
+                                   args.get_double("delete", 0.01));
+  params.single_mode = true;
+  return params;
+}
+
+Instance build_instance(const InstanceParams& params, Tree tree) {
+  auto topology = tree.topology_ptr();
+  Scenario scen = std::move(tree.scenario());
+  if (params.single_mode) project_to_single_mode(scen);
+  return Instance{std::move(topology), std::move(scen), params.modes,
+                  params.costs, params.budget};
 }
 
 /// Solves one tree and prints the result.  Returns the per-tree exit code.
@@ -293,6 +340,9 @@ int cmd_solve(const Args& args) {
   }
 
   const auto solver = make_solver(algo);
+  const auto threads = static_cast<int>(get_count(args, "threads", 1, 1));
+  if (threads != 1) solver->set_options(Solver::Options{threads});
+  const InstanceParams params = parse_instance_params(args, *info);
   TreeStreamReader reader(std::cin);
   int worst = kExitSuccess;
   for (std::optional<Tree> tree = reader.next(); tree;
@@ -300,8 +350,7 @@ int cmd_solve(const Args& args) {
     if (reader.trees_read() > 1) {
       std::cout << "\n== tree " << reader.trees_read() << " ==\n";
     }
-    const Instance instance =
-        build_instance(args, *info, std::move(*tree));
+    const Instance instance = build_instance(params, std::move(*tree));
     // A per-instance failure (capability rejection, infeasibility) never
     // aborts the stream: remaining trees are still served and the exit
     // code reports the worst outcome.
@@ -309,6 +358,42 @@ int cmd_solve(const Args& args) {
   }
   if (reader.trees_read() == 0) usage("no tree on stdin");
   return worst;
+}
+
+/// The batch-serving loop: mixed tree / scenario-delta records on stdin,
+/// one result record per request on stdout (see serve/stream_server.h).
+int cmd_serve(const Args& args) {
+  if (!args.has("algo")) usage("serve requires --algo NAME");
+  const std::string algo = args.get("algo", "");
+  const SolverRegistry& registry = SolverRegistry::instance();
+  const SolverInfo* info = registry.find(algo);
+  if (info == nullptr) {
+    std::cerr << "error: unknown algorithm '" << algo << "'\n"
+              << "available algorithms: " << registry.catalog() << "\n";
+    return kExitUsage;
+  }
+  const InstanceParams params = parse_instance_params(args, *info);
+
+  serve::StreamServerConfig config;
+  config.dispatcher.algos = {algo};
+  config.dispatcher.threads = get_count(args, "threads", 0, 0);
+  config.dispatcher.queue_capacity = get_count(args, "queue", 0, 0);
+  config.dispatcher.solver_threads =
+      static_cast<int>(get_count(args, "solver-threads", 1, 1));
+  config.cache_capacity = get_count(args, "cache", 16, 1);
+  config.modes = params.modes;
+  config.costs = params.costs;
+  config.cost_budget = params.budget;
+  config.project_original_modes = params.single_mode;
+
+  serve::StreamServer server(std::move(config));
+  const serve::StreamServerSummary summary = server.serve(std::cin, std::cout);
+  if (summary.requests == 0) usage("no request on stdin");
+  if (summary.errors > 0) return kExitUsage;
+  if (summary.infeasible > 0 || summary.over_budget > 0) {
+    return kExitInfeasible;
+  }
+  return kExitSuccess;
 }
 
 int cmd_validate(const Args& args) {
@@ -356,6 +441,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(args);
     if (command == "solve") return cmd_solve(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "list-algos" || command == "--list-algos") {
       return cmd_list_algos();
     }
