@@ -52,6 +52,12 @@ PolicyOutcome run_policy(Tree tree, std::size_t period, bool lazy,
                          bool use_heuristic) {
   PolicyOutcome outcome;
   Placement current;
+  // The DP chain runs warm: hourly drift touches a few clients, so a
+  // persistent subtree cache (core/dp_cache.h) re-solves only the dirty
+  // root paths — the same mechanism the serving loop's SolveSessions use.
+  dp::MinCostSubtreeCache dp_cache;
+  MinCostConfig dp_config = kDpConfig;
+  dp_config.cache = &dp_cache;
   for (std::size_t hour = 0; hour < kHours; ++hour) {
     advance_hour(tree, hour);
     const bool scheduled = !lazy && (hour % period == 0);
@@ -68,7 +74,7 @@ PolicyOutcome run_policy(Tree tree, std::size_t period, bool lazy,
       improve_reuse(tree, kPlanCapacity, kCosts, gr.placement);
       next = std::move(gr.placement);
     } else {
-      MinCostResult dp = solve_min_cost_with_pre(tree, kDpConfig);
+      MinCostResult dp = solve_min_cost_with_pre(tree, dp_config);
       TREEPLACE_CHECK(dp.feasible);
       next = std::move(dp.placement);
     }

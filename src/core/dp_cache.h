@@ -1,0 +1,209 @@
+// Externally-owned per-subtree DP state: the warm-start substrate.
+//
+// Every bottom-up DP in this library fills one NodeState per internal node
+// (see core/dp_util.h).  Historically those states were locals of one solve
+// call; a SubtreeCache moves their ownership out, so they can survive in a
+// SolveSession (solver/session.h) and be reused by the next solve over the
+// same topology.
+//
+// Invalidation is *signature-diff based*, not trust-the-caller based: the
+// cache records, per internal node, the exact solver-visible inputs its
+// table was computed from (client mass, pre-existing flag, original mode —
+// a dp::NodeSignature).  A warm solve recomputes a node iff its signature
+// changed or any child was recomputed (dirtiness propagates along the root
+// path, the subtree-locality argument of the paper's update setting).  A
+// caller-supplied ScenarioDelta span is therefore a *hint*, never a
+// correctness obligation: deltas that lied, edits applied outside the
+// span, or a swapped-out scenario all degrade to recomputation, and warm
+// results stay bit-identical to cold ones by construction.
+//
+// Engine parameters that shape the tables (mode capacities, W) are folded
+// into a params signature; any change wipes the cache, so a session never
+// mixes tables across incompatible solves.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/dp_util.h"
+#include "model/modes.h"
+#include "tree/scenario.h"
+#include "tree/topology.h"
+
+namespace treeplace::dp {
+
+/// The solver-visible inputs of one internal node, as the DPs read them:
+/// the node's client mass and its pre-existing state (original_mode >= 0
+/// iff the node is in E).  Engines that ignore original modes (the
+/// single-mode MinCost DP) normalize the mode to 0 before storing.
+struct NodeSignature {
+  RequestCount client_mass = 0;
+  std::int32_t original_mode = -1;  ///< -1 = not pre-existing
+
+  friend bool operator==(const NodeSignature&,
+                         const NodeSignature&) = default;
+};
+
+/// Per-node state of the power DPs (exact and symmetric share the shape):
+/// the final table box, the minimal-flow table, one Decision array per
+/// merged child, and the bounds the parent's merge sees.  Cached solves
+/// additionally snapshot the partial table *before* each child merge
+/// (partial_boxes[k]/partial_flows[k] = the state after merging children
+/// [0, k)), so a warm re-solve resumes at the first dirty child instead of
+/// redoing the whole merge chain.
+struct PowerNodeState {
+  Box box;
+  std::vector<RequestCount> flow;
+  std::vector<std::vector<Decision>> decisions;
+  std::vector<int> incl_bounds;
+  std::vector<Box> partial_boxes;                      ///< cached solves only
+  std::vector<std::vector<RequestCount>> partial_flows;
+};
+
+/// Decision record of the 2-index (e, n) MinCost DP: the (e', n') retained
+/// on the already-merged side plus whether a replica sits on the merged
+/// child.
+struct MinCostCellDecision {
+  std::uint16_t e_prev = 0;
+  std::uint16_t n_prev = 0;
+  std::uint8_t place = 0;
+};
+
+/// Per-node state of the MinCost-WithPre DP.  Tables are flat arrays
+/// indexed by e*(nb+1)+n where (eb, nb) bound the reused/new counts
+/// strictly below the node.
+struct MinCostNodeState {
+  int eb = 0;  ///< pre-existing nodes strictly below
+  int nb = 0;  ///< non-pre-existing internal nodes strictly below
+  std::vector<RequestCount> flow;
+  /// decisions[k] covers the table after merging internal child k; its
+  /// bounds are partial_eb[k+1] x partial_nb[k+1].
+  std::vector<std::vector<MinCostCellDecision>> decisions;
+  std::vector<int> partial_eb;  ///< bounds after merging children [0, k)
+  std::vector<int> partial_nb;
+  /// Cached solves only: the flow table after merging children [0, k),
+  /// i.e. before merge k — the warm-resume point (see PowerNodeState).
+  std::vector<std::vector<RequestCount>> partial_flows;
+};
+
+/// One engine's cached per-subtree tables over one topology.  Owned by a
+/// SolveSession; engines receive a pointer and leave their NodeStates
+/// behind for the next solve.  Not thread-safe: warm solves over one cache
+/// must be serialized (SolveSession::solve_mutex).
+template <typename NodeState>
+class SubtreeCache {
+ public:
+  /// Binds the cache to a (topology, engine-params) pair, wiping all state
+  /// when either differs from the previous solve.  Returns true when the
+  /// surviving entries may be reused (same topology, same params).
+  bool attach(const Topology* topo, std::vector<std::uint64_t> params) {
+    const std::size_t n = topo->num_internal();
+    if (topo == topo_ && params == params_ && states_.size() == n) {
+      return true;
+    }
+    topo_ = topo;
+    params_ = std::move(params);
+    states_.assign(n, NodeState{});
+    sigs_.assign(n, NodeSignature{});
+    valid_.assign(n, 0);
+    return false;
+  }
+
+  /// The cached state slot of dense internal index `i` (engine-owned
+  /// layout; meaningful only while valid(i)).
+  NodeState& state(std::size_t i) { return states_[i]; }
+  const NodeSignature& signature(std::size_t i) const { return sigs_[i]; }
+  bool valid(std::size_t i) const { return valid_[i] != 0; }
+
+  void invalidate(std::size_t i) { valid_[i] = 0; }
+  void commit(std::size_t i, const NodeSignature& sig) {
+    sigs_[i] = sig;
+    valid_[i] = 1;
+  }
+
+  std::size_t size() const { return states_.size(); }
+
+ private:
+  const Topology* topo_ = nullptr;
+  std::vector<std::uint64_t> params_;
+  std::vector<NodeState> states_;
+  std::vector<NodeSignature> sigs_;
+  std::vector<std::uint8_t> valid_;
+};
+
+using PowerSubtreeCache = SubtreeCache<PowerNodeState>;
+using MinCostSubtreeCache = SubtreeCache<MinCostNodeState>;
+
+/// The params signature of the power DPs: the mode capacities (they drive
+/// box dimensionality, merge feasibility and mode_for_load).  Costs and
+/// powers only price the root scan, recomputed every solve.
+inline std::vector<std::uint64_t> capacity_params(const ModeSet& modes) {
+  std::vector<std::uint64_t> params;
+  params.reserve(static_cast<std::size_t>(modes.count()));
+  for (int w = 0; w < modes.count(); ++w) {
+    params.push_back(static_cast<std::uint64_t>(modes.capacity(w)));
+  }
+  return params;
+}
+
+/// The recompute schedule of one warm (or cold) solve.
+struct DirtyPlan {
+  /// Dense internal-index flags: 1 = the node's table must be recomputed
+  /// (own inputs changed, or any internal child dirty).
+  std::vector<std::uint8_t> dirty;
+  /// For dirty nodes: how many leading child merges may resume from the
+  /// cached partial tables (the node's base and its first `reuse[i]`
+  /// children are unchanged).  Equal to the child count when only the
+  /// node's parent-visible inputs (pre-existing flag / original mode)
+  /// changed — the table is then reused outright.  0 on cold solves.
+  std::vector<std::uint32_t> reuse;
+};
+
+/// Plans a warm solve: diffs every node's signature against the cache,
+/// propagates dirtiness along root paths, and computes per-node merge
+/// prefixes that may resume from cached partials.  Every dirty slot is
+/// invalidated in the cache up front so an early infeasible exit can never
+/// leave a stale entry marked valid (prefix resumption still works this
+/// round: the partials themselves survive invalidation, and validity is
+/// re-committed only after a node is fully reprocessed).
+template <typename NodeState, typename MakeSignature>
+DirtyPlan plan_warm_solve(const Topology& topo, SubtreeCache<NodeState>* cache,
+                          std::vector<std::uint64_t> params,
+                          const MakeSignature& make_signature) {
+  const std::size_t n = topo.num_internal();
+  DirtyPlan plan;
+  plan.dirty.assign(n, 1);
+  plan.reuse.assign(n, 0);
+  if (cache == nullptr) return plan;  // one-shot solve: everything dirty
+  const bool warm = cache->attach(&topo, std::move(params));
+  if (warm) {
+    for (NodeId j : topo.internal_post_order()) {
+      const std::size_t i = topo.internal_index(j);
+      const NodeSignature sig = make_signature(j);
+      const bool was_valid = cache->valid(i);
+      bool d = !was_valid || !(cache->signature(i) == sig);
+      const auto children = topo.internal_children(j);
+      std::uint32_t prefix = 0;
+      while (prefix < children.size() &&
+             plan.dirty[topo.internal_index(children[prefix])] == 0) {
+        ++prefix;
+      }
+      if (prefix < children.size()) d = true;
+      plan.dirty[i] = d ? 1 : 0;
+      // A resumable prefix requires a previously completed table whose
+      // base (client mass) is unchanged; the clean children's merges are
+      // then bit-identical and their partials may be spliced in.
+      if (d && was_valid &&
+          cache->signature(i).client_mass == sig.client_mass) {
+        plan.reuse[i] = prefix;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.dirty[i] != 0) cache->invalidate(i);
+  }
+  return plan;
+}
+
+}  // namespace treeplace::dp

@@ -12,26 +12,10 @@ namespace {
 
 using dp::kInvalidFlow;
 
-/// Decision record for the 2-index (e, n) DP: the (e', n') retained on the
-/// already-merged side plus whether a replica sits on the merged child.
-struct CellDecision {
-  std::uint16_t e_prev = 0;
-  std::uint16_t n_prev = 0;
-  std::uint8_t place = 0;
-};
-
-/// Per-node DP state.  Tables are flat arrays indexed by e*(nb+1)+n where
-/// (eb, nb) bound the reused/new counts strictly below the node.
-struct NodeState {
-  int eb = 0;  ///< pre-existing nodes strictly below
-  int nb = 0;  ///< non-pre-existing internal nodes strictly below
-  std::vector<RequestCount> flow;
-  /// decisions[k] covers the table after merging internal child k; its
-  /// bounds are partial_eb[k+1] x partial_nb[k+1].
-  std::vector<std::vector<CellDecision>> decisions;
-  std::vector<int> partial_eb;  ///< bounds after merging children [0, k)
-  std::vector<int> partial_nb;
-};
+/// Externally ownable per-node state and its per-merge decision record
+/// (see core/dp_cache.h).
+using CellDecision = dp::MinCostCellDecision;
+using NodeState = dp::MinCostNodeState;
 
 struct RootChoice {
   int e = 0;
@@ -45,13 +29,24 @@ class MinCostSolver {
  public:
   MinCostSolver(const Topology& topo, const Scenario& scen,
                 const MinCostConfig& config)
-      : topo_(topo), scen_(scen), config_(config),
-        states_(topo.num_internal()) {}
+      : topo_(topo), scen_(scen), config_(config), cache_(config.cache),
+        local_states_(config.cache ? 0 : topo.num_internal()) {}
 
   MinCostResult solve() {
     MinCostResult result;
+    const dp::DirtyPlan plan = plan_dirty();
     for (NodeId j : topo_.internal_post_order()) {
-      if (!process_node(j)) return result;  // infeasible client mass
+      const std::size_t i = topo_.internal_index(j);
+      if (plan.dirty[i] == 0) {
+        ++result.nodes_reused;
+        continue;  // splice the cached subtree table in unchanged
+      }
+      if (!process_node(j, plan.reuse[i])) {
+        result.merge_iterations = merge_iterations_;
+        return result;  // infeasible client mass
+      }
+      if (cache_ != nullptr) cache_->commit(i, signature(j));
+      ++result.nodes_recomputed;
     }
     const RootChoice best = scan_root();
     result.merge_iterations = merge_iterations_;
@@ -63,6 +58,26 @@ class MinCostSolver {
   }
 
  private:
+  NodeState& node_state(std::size_t i) const {
+    return cache_ != nullptr ? cache_->state(i) : local_states_[i];
+  }
+
+  /// The DP ignores original modes (single-mode planning): the signature
+  /// normalizes a pre-existing node's mode to 0 so mode-only edits never
+  /// dirty a subtree.
+  dp::NodeSignature signature(NodeId j) const {
+    return dp::NodeSignature{scen_.client_mass(j),
+                             scen_.pre_existing(j) ? 0 : -1};
+  }
+
+  dp::DirtyPlan plan_dirty() {
+    // Only W shapes the tables; create/delete costs price the root scan,
+    // recomputed every solve.
+    return dp::plan_warm_solve(topo_, cache_,
+                               {static_cast<std::uint64_t>(config_.capacity)},
+                               [this](NodeId j) { return signature(j); });
+  }
+
   std::size_t idx(const NodeState& s, int e, int n) const {
     return static_cast<std::size_t>(e) * static_cast<std::size_t>(s.nb + 1) +
            static_cast<std::size_t>(n);
@@ -72,19 +87,36 @@ class MinCostSolver {
   /// base table {(0,0) -> client mass}.  Returns false when the client mass
   /// alone exceeds W: those requests traverse every ancestor together, so
   /// the whole instance is infeasible (paper Algorithm 2, exit).
-  bool process_node(NodeId j) {
-    NodeState& s = states_[topo_.internal_index(j)];
+  /// (Re)builds node j's table, resuming after the first `reuse` child
+  /// merges from their cached partials (see dp::plan_warm_solve); reuse ==
+  /// child count keeps the table as is (only the node's parent-visible
+  /// pre-existing flag changed).
+  bool process_node(NodeId j, std::uint32_t reuse) {
+    NodeState& s = node_state(topo_.internal_index(j));
     const RequestCount base = scen_.client_mass(j);
     if (base > config_.capacity) return false;
+    const auto children = topo_.internal_children(j);
 
-    s.eb = 0;
-    s.nb = 0;
-    s.flow.assign(1, base);
-    s.partial_eb.assign(1, 0);
-    s.partial_nb.assign(1, 0);
-
-    for (NodeId c : topo_.internal_children(j)) {
-      merge_child(s, c);
+    if (reuse == 0) {
+      s.eb = 0;
+      s.nb = 0;
+      s.flow.assign(1, base);
+      s.decisions.clear();  // re-processing a cached node starts fresh
+      s.partial_eb.assign(1, 0);
+      s.partial_nb.assign(1, 0);
+      s.partial_flows.clear();
+    } else if (reuse < children.size()) {
+      // Resume from the snapshot taken before merge `reuse`.
+      s.eb = s.partial_eb[reuse];
+      s.nb = s.partial_nb[reuse];
+      s.flow = s.partial_flows[reuse];
+      s.decisions.resize(reuse);
+      s.partial_eb.resize(reuse + 1);
+      s.partial_nb.resize(reuse + 1);
+      s.partial_flows.resize(reuse);
+    }
+    for (std::size_t k = reuse; k < children.size(); ++k) {
+      merge_child(s, children[k]);
       s.partial_eb.push_back(s.eb);
       s.partial_nb.push_back(s.nb);
     }
@@ -92,7 +124,12 @@ class MinCostSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    const NodeState& cs = states_[topo_.internal_index(c)];
+    const NodeState& cs = node_state(topo_.internal_index(c));
+    if (cache_ != nullptr) {
+      // Snapshot the pre-merge flow: the warm-resume point (eb/nb come
+      // from the partial_eb/partial_nb bounds the DP already records).
+      s.partial_flows.push_back(s.flow);
+    }
     const bool child_pre = scen_.pre_existing(c);
     const int ceb = cs.eb + (child_pre ? 1 : 0);  // counts including c itself
     const int cnb = cs.nb + (child_pre ? 0 : 1);
@@ -155,7 +192,7 @@ class MinCostSolver {
   /// reuse).
   RootChoice scan_root() const {
     const NodeId root = topo_.root();
-    const NodeState& s = states_[topo_.internal_index(root)];
+    const NodeState& s = node_state(topo_.internal_index(root));
     const bool root_pre = scen_.pre_existing(root);
     const int e_total = static_cast<int>(scen_.num_pre_existing());
     RootChoice best;
@@ -199,7 +236,7 @@ class MinCostSolver {
   /// Unwinds the per-merge decisions of node j for target counts (e, n),
   /// adding child replicas to `placement`.
   void reconstruct(NodeId j, int e, int n, Placement& placement) const {
-    const NodeState& s = states_[topo_.internal_index(j)];
+    const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     int cur_e = e;
     int cur_n = n;
@@ -229,7 +266,9 @@ class MinCostSolver {
   const Topology& topo_;
   const Scenario& scen_;
   const MinCostConfig& config_;
-  std::vector<NodeState> states_;
+  /// Session-owned states when warm-starting, else this solve's locals.
+  dp::MinCostSubtreeCache* const cache_;
+  mutable std::vector<NodeState> local_states_;
   std::uint64_t merge_iterations_ = 0;
 };
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "core/dp_cache.h"
 #include "model/cost.h"
 #include "model/placement.h"
 #include "tree/tree.h"
@@ -32,6 +33,11 @@ struct MinCostConfig {
   RequestCount capacity = 10;  ///< W, per-server request capacity
   double create = 0.1;         ///< extra cost of operating a new server
   double delete_cost = 0.01;   ///< cost of removing a pre-existing server
+  /// Optional externally-owned per-subtree tables (see core/dp_cache.h):
+  /// reuses tables of internal nodes unchanged since the cache was filled;
+  /// results are bit-identical to a cold solve.  Solves sharing one cache
+  /// must be serialized by the caller.
+  dp::MinCostSubtreeCache* cache = nullptr;
 };
 
 struct MinCostResult {
@@ -41,6 +47,10 @@ struct MinCostResult {
   /// Inner-loop iterations actually executed (ablation metric; the paper's
   /// unbounded loops would execute N·(N-E+1)²·(E+1)² of them).
   std::uint64_t merge_iterations = 0;
+  /// Warm-start accounting: subtree tables rebuilt this solve vs. spliced
+  /// in from the cache.  A cold solve recomputes every internal node.
+  std::uint64_t nodes_recomputed = 0;
+  std::uint64_t nodes_reused = 0;
 };
 
 /// Solves MinCost-WithPre over one scenario of a shared topology (the

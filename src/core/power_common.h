@@ -24,6 +24,10 @@ struct PowerParetoPoint {
 struct PowerSolveStats {
   std::uint64_t merge_pairs = 0;   ///< (left entry, child entry) pairs visited
   std::uint64_t table_cells = 0;   ///< total DP cells allocated
+  /// Warm-start accounting: subtree tables rebuilt this solve vs. spliced
+  /// in from the cache.  A cold solve recomputes every internal node.
+  std::uint64_t nodes_recomputed = 0;
+  std::uint64_t nodes_reused = 0;
   double solve_seconds = 0.0;
 };
 

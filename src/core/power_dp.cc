@@ -15,12 +15,11 @@ using dp::CompactEntry;
 using dp::Decision;
 using dp::kInvalidFlow;
 
-struct NodeState {
-  Box box;  ///< state box after the merges performed so far (final once done)
-  std::vector<RequestCount> flow;
-  std::vector<std::vector<Decision>> decisions;  ///< one per merged child
-  std::vector<int> incl_bounds;  ///< box bounds including this node itself
-};
+/// Externally ownable per-node state (see core/dp_cache.h): the box after
+/// the merges performed so far (final once the node is processed), the
+/// minimal-flow table, one Decision array per merged child, and the box
+/// bounds including this node's own placement possibilities.
+using NodeState = dp::PowerNodeState;
 
 struct Candidate {
   double cost = 0.0;
@@ -44,7 +43,8 @@ class ExactPowerSolver {
               static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_)),
         external_pool_(options.pool),
         lazy_pool_(options.pool ? 1 : options.threads),
-        states_(topo.num_internal()) {
+        cache_(options.cache),
+        local_states_(options.cache ? 0 : topo.num_internal()) {
     pre_total_per_mode_.assign(static_cast<std::size_t>(m_), 0);
     for (NodeId e : scen_.pre_existing_nodes()) {
       const int o = scen_.original_mode(e);
@@ -59,21 +59,50 @@ class ExactPowerSolver {
   PowerDPResult solve() {
     Stopwatch watch;
     PowerDPResult result;
+    const dp::DirtyPlan plan = plan_dirty();
     for (NodeId j : topo_.internal_post_order()) {
-      if (!process_node(j)) {
-        result.stats.solve_seconds = watch.seconds();
+      const std::size_t i = topo_.internal_index(j);
+      if (plan.dirty[i] == 0) {
+        ++nodes_reused_;
+        continue;  // splice the cached subtree table in unchanged
+      }
+      if (!process_node(j, plan.reuse[i])) {
+        finish_stats(result, watch);
         return result;  // some client mass exceeds W_M: infeasible
       }
+      if (cache_ != nullptr) cache_->commit(i, signature(j));
+      ++nodes_recomputed_;
     }
     std::vector<Candidate> candidates = scan_root();
     build_frontier(std::move(candidates), result);
-    result.stats.merge_pairs = merge_pairs_;
-    result.stats.table_cells = table_cells_;
-    result.stats.solve_seconds = watch.seconds();
+    finish_stats(result, watch);
     return result;
   }
 
  private:
+  NodeState& node_state(std::size_t i) const {
+    return cache_ != nullptr ? cache_->state(i) : local_states_[i];
+  }
+
+  dp::NodeSignature signature(NodeId j) const {
+    return dp::NodeSignature{
+        scen_.client_mass(j),
+        scen_.pre_existing(j) ? scen_.original_mode(j) : -1};
+  }
+
+  dp::DirtyPlan plan_dirty() {
+    return dp::plan_warm_solve(topo_, cache_, dp::capacity_params(modes_),
+                               [this](NodeId j) { return signature(j); });
+  }
+
+  void finish_stats(PowerDPResult& result, const Stopwatch& watch) const {
+    result.stats.merge_pairs = merge_pairs_;
+    result.stats.table_cells = table_cells_;
+    result.stats.nodes_recomputed = nodes_recomputed_;
+    result.stats.nodes_reused = nodes_reused_;
+    result.stats.solve_seconds = watch.seconds();
+  }
+
   std::size_t dim_new(int w) const { return static_cast<std::size_t>(w); }
   std::size_t dim_reused(int o, int w) const {
     return static_cast<std::size_t>(m_) +
@@ -87,16 +116,34 @@ class ExactPowerSolver {
                : dim_new(w);
   }
 
-  bool process_node(NodeId j) {
-    NodeState& s = states_[topo_.internal_index(j)];
+  /// (Re)builds node j's table, resuming after the first `reuse` child
+  /// merges when their cached partials are still bit-exact (see
+  /// dp::plan_warm_solve).  reuse == child count means the table itself is
+  /// current and only the parent-visible incl_bounds need refreshing.
+  bool process_node(NodeId j, std::uint32_t reuse) {
+    NodeState& s = node_state(topo_.internal_index(j));
     const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
+    const auto children = topo_.internal_children(j);
 
-    s.box = Box(std::vector<int>(dims_, 0));
-    s.flow.assign(1, base);
-    table_cells_ += 1;
-
-    for (NodeId c : topo_.internal_children(j)) merge_child(s, c);
+    if (reuse == 0) {
+      s.box = Box(std::vector<int>(dims_, 0));
+      s.flow.assign(1, base);
+      s.decisions.clear();  // re-processing a cached node starts fresh
+      s.partial_boxes.clear();
+      s.partial_flows.clear();
+      table_cells_ += 1;
+    } else if (reuse < children.size()) {
+      // Resume from the snapshot taken before merge `reuse`.
+      s.box = s.partial_boxes[reuse];
+      s.flow = s.partial_flows[reuse];
+      s.decisions.resize(reuse);
+      s.partial_boxes.resize(reuse);
+      s.partial_flows.resize(reuse);
+    }
+    for (std::size_t k = reuse; k < children.size(); ++k) {
+      merge_child(s, children[k]);
+    }
 
     // Bounds seen by the parent: ours plus this node's own placement
     // possibilities (one unit in any of its admissible dimensions).
@@ -106,7 +153,13 @@ class ExactPowerSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    NodeState& cs = states_[topo_.internal_index(c)];
+    NodeState& cs = node_state(topo_.internal_index(c));
+    if (cache_ != nullptr) {
+      // Snapshot the pre-merge state: the resume point if a later warm
+      // solve finds every child up to here clean.
+      s.partial_boxes.push_back(s.box);
+      s.partial_flows.push_back(s.flow);
+    }
     std::vector<int> new_bounds(dims_);
     for (std::size_t d = 0; d < dims_; ++d) {
       new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
@@ -159,15 +212,20 @@ class ExactPowerSolver {
     s.box = std::move(new_box);
     s.flow = std::move(merged);
     s.decisions.push_back(std::move(dec));
-    cs.flow.clear();
-    cs.flow.shrink_to_fit();  // child's table is no longer needed
+    if (cache_ == nullptr) {
+      // One-shot solve: the child's table is no longer needed.  A cached
+      // solve keeps it — the next warm solve may re-merge this child into
+      // a dirty parent without recomputing the child's subtree.
+      cs.flow.clear();
+      cs.flow.shrink_to_fit();
+    }
   }
 
   /// Enumerates root-table states x root options into (cost, power)
   /// candidates.
   std::vector<Candidate> scan_root() const {
     const NodeId root = topo_.root();
-    const NodeState& s = states_[topo_.internal_index(root)];
+    const NodeState& s = node_state(topo_.internal_index(root));
     std::vector<Candidate> candidates;
     std::vector<int> digits(dims_, 0);
     std::vector<int> counts(dims_);
@@ -263,7 +321,7 @@ class ExactPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
-    const NodeState& s = states_[topo_.internal_index(j)];
+    const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     for (std::size_t k = children.size(); k-- > 0;) {
       const Decision d = s.decisions[k][flat];
@@ -287,10 +345,14 @@ class ExactPowerSolver {
   const std::size_t dims_;
   ThreadPool* const external_pool_;
   dp::LazyPool lazy_pool_;
-  std::vector<NodeState> states_;
+  /// Session-owned states when warm-starting, else this solve's locals.
+  dp::PowerSubtreeCache* const cache_;
+  mutable std::vector<NodeState> local_states_;
   std::vector<int> pre_total_per_mode_;
   std::uint64_t merge_pairs_ = 0;
   std::uint64_t table_cells_ = 0;
+  std::uint64_t nodes_recomputed_ = 0;
+  std::uint64_t nodes_reused_ = 0;
 };
 
 }  // namespace

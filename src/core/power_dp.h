@@ -21,6 +21,7 @@
 // frontier.
 #pragma once
 
+#include "core/dp_cache.h"
 #include "core/power_common.h"
 #include "model/cost.h"
 #include "model/modes.h"
@@ -42,6 +43,13 @@ struct PowerDPOptions {
   /// lazily.  Registered solvers pass Solver::worker_pool() so repeated
   /// solves never pay per-solve thread churn.
   ThreadPool* pool = nullptr;
+  /// Optional externally-owned per-subtree tables (see core/dp_cache.h).
+  /// When set, the solve reuses cached tables of internal nodes whose
+  /// solver-visible inputs are unchanged since the cache was filled, and
+  /// leaves its own tables behind for the next solve — results are
+  /// bit-identical to a cold solve, only the work counters shrink.  The
+  /// caller must serialize solves sharing one cache.
+  dp::PowerSubtreeCache* cache = nullptr;
 };
 
 /// Solves MinPower-BoundedCost-{No,With}Pre exactly over one scenario of a

@@ -16,12 +16,9 @@ using dp::CompactEntry;
 using dp::Decision;
 using dp::kInvalidFlow;
 
-struct NodeState {
-  Box box;
-  std::vector<RequestCount> flow;
-  std::vector<std::vector<Decision>> decisions;
-  std::vector<int> incl_bounds;
-};
+/// Externally ownable per-node state, shared shape with the exact DP (see
+/// core/dp_cache.h).
+using NodeState = dp::PowerNodeState;
 
 struct Candidate {
   double cost = 0.0;
@@ -48,39 +45,86 @@ class SymmetricPowerSolver {
         costs_(costs),
         external_pool_(options.pool),
         lazy_pool_(options.pool ? 1 : options.threads),
-        states_(topo.num_internal()) {}
+        cache_(options.cache),
+        local_states_(options.cache ? 0 : topo.num_internal()) {}
 
   PowerDPResult solve() {
     Stopwatch watch;
     PowerDPResult result;
+    const dp::DirtyPlan plan = plan_dirty();
     for (NodeId j : topo_.internal_post_order()) {
-      if (!process_node(j)) {
-        result.stats.solve_seconds = watch.seconds();
+      const std::size_t i = topo_.internal_index(j);
+      if (plan.dirty[i] == 0) {
+        ++nodes_reused_;
+        continue;  // splice the cached subtree table in unchanged
+      }
+      if (!process_node(j, plan.reuse[i])) {
+        finish_stats(result, watch);
         return result;
       }
+      if (cache_ != nullptr) cache_->commit(i, signature(j));
+      ++nodes_recomputed_;
     }
     build_frontier(scan_root(), result);
-    result.stats.merge_pairs = merge_pairs_;
-    result.stats.table_cells = table_cells_;
-    result.stats.solve_seconds = watch.seconds();
+    finish_stats(result, watch);
     return result;
   }
 
  private:
+  NodeState& node_state(std::size_t i) const {
+    return cache_ != nullptr ? cache_->state(i) : local_states_[i];
+  }
+
+  dp::NodeSignature signature(NodeId j) const {
+    return dp::NodeSignature{
+        scen_.client_mass(j),
+        scen_.pre_existing(j) ? scen_.original_mode(j) : -1};
+  }
+
+  dp::DirtyPlan plan_dirty() {
+    return dp::plan_warm_solve(topo_, cache_, dp::capacity_params(modes_),
+                               [this](NodeId j) { return signature(j); });
+  }
+
+  void finish_stats(PowerDPResult& result, const Stopwatch& watch) const {
+    result.stats.merge_pairs = merge_pairs_;
+    result.stats.table_cells = table_cells_;
+    result.stats.nodes_recomputed = nodes_recomputed_;
+    result.stats.nodes_reused = nodes_reused_;
+    result.stats.solve_seconds = watch.seconds();
+  }
+
   std::size_t dim_mode(int w) const { return static_cast<std::size_t>(w); }
   std::size_t dim_same() const { return static_cast<std::size_t>(m_); }
   std::size_t dim_changed() const { return static_cast<std::size_t>(m_) + 1; }
 
-  bool process_node(NodeId j) {
-    NodeState& s = states_[topo_.internal_index(j)];
+  /// (Re)builds node j's table, resuming after the first `reuse` child
+  /// merges from their cached partials (see dp::plan_warm_solve); reuse ==
+  /// child count refreshes only the parent-visible incl_bounds.
+  bool process_node(NodeId j, std::uint32_t reuse) {
+    NodeState& s = node_state(topo_.internal_index(j));
     const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
+    const auto children = topo_.internal_children(j);
 
-    s.box = Box(std::vector<int>(dims_, 0));
-    s.flow.assign(1, base);
-    table_cells_ += 1;
-
-    for (NodeId c : topo_.internal_children(j)) merge_child(s, c);
+    if (reuse == 0) {
+      s.box = Box(std::vector<int>(dims_, 0));
+      s.flow.assign(1, base);
+      s.decisions.clear();  // re-processing a cached node starts fresh
+      s.partial_boxes.clear();
+      s.partial_flows.clear();
+      table_cells_ += 1;
+    } else if (reuse < children.size()) {
+      // Resume from the snapshot taken before merge `reuse`.
+      s.box = s.partial_boxes[reuse];
+      s.flow = s.partial_flows[reuse];
+      s.decisions.resize(reuse);
+      s.partial_boxes.resize(reuse);
+      s.partial_flows.resize(reuse);
+    }
+    for (std::size_t k = reuse; k < children.size(); ++k) {
+      merge_child(s, children[k]);
+    }
 
     s.incl_bounds = s.box.bounds();
     for (int w = 0; w < m_; ++w) s.incl_bounds[dim_mode(w)] += 1;
@@ -92,7 +136,12 @@ class SymmetricPowerSolver {
   }
 
   void merge_child(NodeState& s, NodeId c) {
-    NodeState& cs = states_[topo_.internal_index(c)];
+    NodeState& cs = node_state(topo_.internal_index(c));
+    if (cache_ != nullptr) {
+      // Snapshot the pre-merge state: the warm-resume point.
+      s.partial_boxes.push_back(s.box);
+      s.partial_flows.push_back(s.flow);
+    }
     std::vector<int> new_bounds(dims_);
     for (std::size_t d = 0; d < dims_; ++d) {
       new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
@@ -148,13 +197,17 @@ class SymmetricPowerSolver {
     s.box = std::move(new_box);
     s.flow = std::move(merged);
     s.decisions.push_back(std::move(dec));
-    cs.flow.clear();
-    cs.flow.shrink_to_fit();
+    if (cache_ == nullptr) {
+      // One-shot solve: drop the child's table.  A cached solve keeps it
+      // for future warm re-merges into a dirty parent.
+      cs.flow.clear();
+      cs.flow.shrink_to_fit();
+    }
   }
 
   std::vector<Candidate> scan_root() const {
     const NodeId root = topo_.root();
-    const NodeState& s = states_[topo_.internal_index(root)];
+    const NodeState& s = node_state(topo_.internal_index(root));
     const bool root_pre = scen_.pre_existing(root);
     const int root_orig = root_pre ? scen_.original_mode(root) : -1;
     std::vector<Candidate> candidates;
@@ -246,7 +299,7 @@ class SymmetricPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
-    const NodeState& s = states_[topo_.internal_index(j)];
+    const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     for (std::size_t k = children.size(); k-- > 0;) {
       const Decision d = s.decisions[k][flat];
@@ -274,9 +327,13 @@ class SymmetricPowerSolver {
   const CostModel& costs_;
   ThreadPool* const external_pool_;
   dp::LazyPool lazy_pool_;
-  std::vector<NodeState> states_;
+  /// Session-owned states when warm-starting, else this solve's locals.
+  dp::PowerSubtreeCache* const cache_;
+  mutable std::vector<NodeState> local_states_;
   std::uint64_t merge_pairs_ = 0;
   std::uint64_t table_cells_ = 0;
+  std::uint64_t nodes_recomputed_ = 0;
+  std::uint64_t nodes_reused_ = 0;
 };
 
 }  // namespace

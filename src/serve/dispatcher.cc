@@ -33,8 +33,9 @@ SolveDispatcher::SolveDispatcher(DispatcherConfig config)
   }
 }
 
-std::future<ServeResult> SolveDispatcher::submit(std::size_t solver_index,
-                                                 Instance instance) {
+std::future<ServeResult> SolveDispatcher::submit(
+    std::size_t solver_index, Instance instance,
+    std::shared_ptr<SolveSession> session, std::vector<ScenarioDelta> deltas) {
   TREEPLACE_CHECK_MSG(solver_index < solvers_.size(),
                       "solver index " << solver_index << " out of range");
   const Solver& solver = *solvers_[solver_index];
@@ -64,20 +65,31 @@ std::future<ServeResult> SolveDispatcher::submit(std::size_t solver_index,
     stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
   }
   Stopwatch queued;
-  return pool_.submit(
-      [this, solver_index, instance = std::move(instance), queued] {
-        return run_solve(solver_index, instance, queued.seconds());
-      });
+  return pool_.submit([this, solver_index, instance = std::move(instance),
+                       session = std::move(session),
+                       deltas = std::move(deltas), queued] {
+    return run_solve(solver_index, instance, session.get(), deltas,
+                     queued.seconds());
+  });
 }
 
-ServeResult SolveDispatcher::run_solve(std::size_t solver_index,
-                                       const Instance& instance,
-                                       double queue_seconds) {
+ServeResult SolveDispatcher::run_solve(
+    std::size_t solver_index, const Instance& instance, SolveSession* session,
+    const std::vector<ScenarioDelta>& deltas, double queue_seconds) {
   ServeResult result;
   result.queue_seconds = queue_seconds;
+  const Solver& solver = *solvers_[solver_index];
   Stopwatch watch;
   try {
-    result.solution = solvers_[solver_index]->solve(instance);
+    if (session != nullptr && solver.supports_incremental()) {
+      // Warm solves over one session serialize; sessions are per topology,
+      // so only same-topology requests contend.
+      std::scoped_lock session_lock(session->solve_mutex());
+      result.solution = solver.solve_incremental(instance, deltas, *session);
+      result.warm = true;
+    } else {
+      result.solution = solver.solve(instance);
+    }
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -88,6 +100,7 @@ ServeResult SolveDispatcher::run_solve(std::size_t solver_index,
   SolverLatencyStats& stats = stats_.per_solver[solver_index];
   if (result.ok) {
     ++stats.solves;
+    if (result.warm) ++stats.warm;
     if (!result.solution.feasible) ++stats.infeasible;
     stats.total_work += result.solution.stats.work;
   } else {

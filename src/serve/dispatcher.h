@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "solver/instance.h"
+#include "solver/session.h"
 #include "solver/solution.h"
 #include "solver/solver.h"
 #include "support/thread_pool.h"
+#include "tree/scenario_delta.h"
 
 namespace treeplace::serve {
 
@@ -47,6 +49,9 @@ struct ServeResult {
   bool ok = false;     ///< the solve ran and returned
   std::string error;   ///< capability rejection or solver throw when !ok
   Solution solution;
+  /// The solve went through a SolveSession with an incremental-capable
+  /// solver (it may still have recomputed everything on a cache miss).
+  bool warm = false;
   double queue_seconds = 0.0;  ///< submit() to solve start
   double solve_seconds = 0.0;  ///< solve wall time on the worker
 };
@@ -54,6 +59,7 @@ struct ServeResult {
 struct SolverLatencyStats {
   std::string algo;
   std::uint64_t solves = 0;      ///< completed, including infeasible
+  std::uint64_t warm = 0;        ///< of which: session-backed warm solves
   std::uint64_t errors = 0;      ///< rejections + solver throws
   std::uint64_t infeasible = 0;
   double total_queue_seconds = 0.0;
@@ -83,7 +89,16 @@ class SolveDispatcher {
   /// queue_capacity() solves are in flight.  A capability rejection (the
   /// solver does not accept the instance) or a solver throw resolves the
   /// future with ok = false instead of propagating.
-  std::future<ServeResult> submit(std::size_t solver_index, Instance instance);
+  ///
+  /// When `session` is set and the solver supports incremental solves, the
+  /// worker runs Solver::solve_incremental under the session's solve mutex
+  /// (solves sharing one session serialize; results stay bit-identical to
+  /// cold solves either way).  `deltas` is the warm-start hint forwarded
+  /// to the solver.
+  std::future<ServeResult> submit(std::size_t solver_index, Instance instance,
+                                  std::shared_ptr<SolveSession> session =
+                                      nullptr,
+                                  std::vector<ScenarioDelta> deltas = {});
   std::future<ServeResult> submit(Instance instance) {
     return submit(0, std::move(instance));
   }
@@ -100,6 +115,8 @@ class SolveDispatcher {
 
  private:
   ServeResult run_solve(std::size_t solver_index, const Instance& instance,
+                        SolveSession* session,
+                        const std::vector<ScenarioDelta>& deltas,
                         double queue_seconds);
 
   std::vector<std::unique_ptr<Solver>> solvers_;

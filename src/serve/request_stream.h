@@ -30,24 +30,16 @@
 #include <vector>
 
 #include "tree/io.h"
+#include "tree/scenario_delta.h"
 #include "tree/tree.h"
 
 namespace treeplace::serve {
 
-/// One edit applied to a forked base scenario, in record order.
-struct ScenarioDelta {
-  enum class Op {
-    kSetRequests,       ///< R <client-id> <requests>
-    kSetPreExisting,    ///< E <node-id> [<orig-mode>]
-    kClearPreExisting,  ///< X <node-id>
-    kClearAllPre,       ///< Z
-  };
-
-  Op op = Op::kSetRequests;
-  NodeId node = kNoNode;
-  RequestCount requests = 0;
-  int mode = 0;
-};
+/// One edit applied to a forked base scenario, in record order.  The type
+/// now lives with the Scenario it edits (tree/scenario_delta.h) because
+/// the core solvers consume delta spans too (Solver::solve_incremental);
+/// re-exported here under its historical name for stream code.
+using treeplace::ScenarioDelta;
 
 /// One solve request: either a full tree (which also registers its
 /// topology under `topology_key`) or a list of deltas against a previously

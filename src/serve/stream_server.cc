@@ -99,11 +99,16 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
     p.id = request->id;
     p.key = request->topology_key;
 
+    // Sessions ride with their cache entry: a tree record's base solve
+    // fills the session's DP tables cold, subsequent delta requests on the
+    // same topology re-solve warm, and eviction drops the session with the
+    // topology (in-flight solves keep it alive via the shared_ptr).
     std::optional<Instance> instance;
+    std::shared_ptr<SolveSession> session;
     if (request->tree) {
       auto topology = request->tree->topology_ptr();
       Scenario base = std::move(request->tree->scenario());
-      cache.put(p.key, topology, base);
+      session = cache.put(p.key, topology, base);
       instance.emplace(std::move(topology), std::move(base), config_.modes,
                        config_.costs, config_.cost_budget);
     } else {
@@ -118,21 +123,9 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
           // The cache handed out a private fork; apply the deltas on top.
           Scenario scen = std::move(entry->base);
           for (const ScenarioDelta& delta : request->deltas) {
-            switch (delta.op) {
-              case ScenarioDelta::Op::kSetRequests:
-                scen.set_requests(delta.node, delta.requests);
-                break;
-              case ScenarioDelta::Op::kSetPreExisting:
-                scen.set_pre_existing(delta.node, delta.mode);
-                break;
-              case ScenarioDelta::Op::kClearPreExisting:
-                scen.clear_pre_existing(delta.node);
-                break;
-              case ScenarioDelta::Op::kClearAllPre:
-                scen.clear_all_pre_existing();
-                break;
-            }
+            apply_delta(scen, delta);
           }
+          session = std::move(entry->session);
           instance.emplace(std::move(entry->topology), std::move(scen),
                            config_.modes, config_.costs, config_.cost_budget);
         } catch (const CheckError& e) {
@@ -147,7 +140,9 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
       if (config_.project_original_modes) {
         project_to_single_mode(instance->scenario);
       }
-      p.result = dispatcher.submit(std::move(*instance));
+      p.result = dispatcher.submit(0, std::move(*instance),
+                                   std::move(session),
+                                   std::move(request->deltas));
     }
 
     pending.push_back(std::move(p));
@@ -182,7 +177,7 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
       << " misses=" << summary.cache.misses
       << " evictions=" << summary.cache.evictions << "\n"
       << "# solver " << solver.algo << ": solves=" << solver.solves
-      << " errors=" << solver.errors
+      << " warm=" << solver.warm << " errors=" << solver.errors
       << " mean_queue_s=" << solver.total_queue_seconds / solves
       << " mean_solve_s=" << solver.total_solve_seconds / solves
       << " max_solve_s=" << solver.max_solve_seconds

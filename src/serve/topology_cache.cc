@@ -11,18 +11,20 @@ TopologyCache::TopologyCache(std::size_t capacity) : capacity_(capacity) {
   stats_.capacity = capacity;
 }
 
-void TopologyCache::put(const std::string& key,
-                        std::shared_ptr<const Topology> topology,
-                        Scenario base) {
+std::shared_ptr<SolveSession> TopologyCache::put(
+    const std::string& key, std::shared_ptr<const Topology> topology,
+    Scenario base) {
   TREEPLACE_CHECK_MSG(topology != nullptr, "caching a null topology");
   TREEPLACE_CHECK_MSG(base.topology_ptr() == topology,
                       "base scenario belongs to a different topology");
+  auto session = std::make_shared<SolveSession>(topology);
   std::scoped_lock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    it->second.value = CachedTopology{std::move(topology), std::move(base)};
+    it->second.value =
+        CachedTopology{std::move(topology), std::move(base), session};
     touch(it->second);
-    return;
+    return session;
   }
   if (entries_.size() >= capacity_) {
     // Evict the least recently used entry (the recency list's tail).
@@ -33,8 +35,9 @@ void TopologyCache::put(const std::string& key,
   }
   recency_.push_front(key);
   entries_.emplace(
-      key, Entry{CachedTopology{std::move(topology), std::move(base)},
+      key, Entry{CachedTopology{std::move(topology), std::move(base), session},
                  recency_.begin()});
+  return session;
 }
 
 std::optional<CachedTopology> TopologyCache::get(const std::string& key) {

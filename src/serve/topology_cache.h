@@ -21,17 +21,23 @@
 #include <string>
 #include <unordered_map>
 
+#include "solver/session.h"
 #include "tree/scenario.h"
 #include "tree/topology.h"
 
 namespace treeplace::serve {
 
 /// A resident topology with the base scenario its defining tree record
-/// carried.  Scenario-delta requests fork the base (a cheap flat-array
-/// copy) and apply their edits on top.
+/// carried, plus the warm-start SolveSession bound to this topology's
+/// lifetime in the cache.  Scenario-delta requests fork the base (a cheap
+/// flat-array copy), apply their edits on top, and solve through the
+/// session so unchanged subtree tables are reused.  Eviction drops the
+/// cache's reference; in-flight solves keep the session alive via their
+/// own shared_ptr until they finish.
 struct CachedTopology {
   std::shared_ptr<const Topology> topology;
   Scenario base;
+  std::shared_ptr<SolveSession> session;
 };
 
 struct TopologyCacheStats {
@@ -49,8 +55,13 @@ class TopologyCache {
 
   /// Inserts (or replaces) the entry under `key` and marks it most
   /// recently used, evicting the least recently used entry when full.
-  void put(const std::string& key, std::shared_ptr<const Topology> topology,
-           Scenario base);
+  /// A fresh SolveSession is created for the entry (replacing any prior
+  /// one — a re-registered topology starts cold); the returned pointer is
+  /// the entry's session, for callers that solve the defining tree record
+  /// itself through it.
+  std::shared_ptr<SolveSession> put(const std::string& key,
+                                    std::shared_ptr<const Topology> topology,
+                                    Scenario base);
 
   /// The entry under `key` (marked most recently used), or nullopt.  The
   /// returned copy IS the request's scenario fork: the caller owns it and

@@ -8,6 +8,7 @@
 #include "gen/workload.h"
 #include "model/placement.h"
 #include "serve/dispatcher.h"
+#include "solver/session.h"
 #include "support/thread_pool.h"
 
 namespace treeplace {
@@ -49,10 +50,20 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
 
   // One resident tree (= shared topology + workload scenario) per chain;
   // the per-step redraws mutate it in place and every solve forks it.
+  // Each (tree, chain) pair keeps a persistent SolveSession, so chained
+  // re-solves run warm when the solver is incremental-capable (update-dp);
+  // non-incremental baselines fall back to cold solves through the same
+  // path, and results are bit-identical either way.
   std::vector<Tree> trees;
   trees.reserve(config.num_trees);
+  std::vector<std::shared_ptr<SolveSession>> dp_sessions;
+  std::vector<std::shared_ptr<SolveSession>> gr_sessions;
   for (std::size_t t = 0; t < config.num_trees; ++t) {
     trees.push_back(generate_tree(config.tree, config.seed, t));
+    dp_sessions.push_back(
+        std::make_shared<SolveSession>(trees.back().topology_ptr()));
+    gr_sessions.push_back(
+        std::make_shared<SolveSession>(trees.back().topology_ptr()));
   }
   std::vector<Placement> prev_dp(config.num_trees);  // empty initially
   std::vector<Placement> prev_gr(config.num_trees);
@@ -77,10 +88,10 @@ Experiment2Result run_experiment2(const Experiment2Config& config) {
                                          RngStream::kWorkloadUpdate);
       redraw_requests(trees[t].scenario(), config.tree.min_requests,
                       config.tree.max_requests, workload_rng);
-      dp_futures[t] =
-          dispatcher.submit(0, chained_instance(trees[t], prev_dp[t]));
-      gr_futures[t] =
-          dispatcher.submit(1, chained_instance(trees[t], prev_gr[t]));
+      dp_futures[t] = dispatcher.submit(
+          0, chained_instance(trees[t], prev_dp[t]), dp_sessions[t]);
+      gr_futures[t] = dispatcher.submit(
+          1, chained_instance(trees[t], prev_gr[t]), gr_sessions[t]);
     }
     for (std::size_t t = 0; t < config.num_trees; ++t) {
       serve::ServeResult dp = dp_futures[t].get();

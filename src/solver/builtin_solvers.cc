@@ -20,6 +20,7 @@
 #include "core/power_dp_symmetric.h"
 #include "model/placement.h"
 #include "solver/registry.h"
+#include "solver/session.h"
 #include "support/check.h"
 #include "support/timer.h"
 
@@ -164,9 +165,23 @@ class UpdateDpSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
+    return solve_with_cache(in, nullptr);
+  }
+
+  bool supports_incremental() const override { return true; }
+
+  Solution solve_incremental(const Instance& in,
+                             std::span<const ScenarioDelta> /*deltas*/,
+                             SolveSession& session) const override {
+    session.check_topology(in.topology);
+    return solve_with_cache(in, &session);
+  }
+
+ private:
+  Solution solve_with_cache(const Instance& in, SolveSession* session) const {
     Stopwatch timer;
-    const MinCostConfig config{in.capacity(), in.costs.create(0),
-                               in.costs.del(0)};
+    MinCostConfig config{in.capacity(), in.costs.create(0), in.costs.del(0)};
+    if (session != nullptr) config.cache = &session->min_cost_cache(name());
     // The DP plans against the single-mode Eq. 2 model and only reads the
     // pre-existing flags; on multi-mode instances, collapse the original
     // modes to 0 for its internal accounting (finish_placement re-prices
@@ -185,6 +200,9 @@ class UpdateDpSolver : public Solver {
       r = solve_min_cost_with_pre(in.topo(), collapsed, config);
     } else {
       r = solve_min_cost_with_pre(in.topo(), in.scen(), config);
+    }
+    if (session != nullptr) {
+      session->record_warm(r.nodes_recomputed, r.nodes_reused);
     }
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), r.merge_iterations});
@@ -209,16 +227,36 @@ class PowerExactSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
-    PowerDPResult r = solve_power_exact(in.topo(), in.scen(), in.modes,
-                                        in.costs, dp_options());
-    return finish_frontier(in, r.feasible, std::move(r.frontier),
-                           {r.stats.solve_seconds, r.stats.merge_pairs});
+    PowerDPResult r = run_dp(in, dp_options());
+    return finish(in, std::move(r));
+  }
+
+  bool supports_incremental() const override { return true; }
+
+  Solution solve_incremental(const Instance& in,
+                             std::span<const ScenarioDelta> /*deltas*/,
+                             SolveSession& session) const override {
+    session.check_topology(in.topology);
+    PowerDPOptions opts = dp_options();
+    opts.cache = &session.power_cache(name());
+    PowerDPResult r = run_dp(in, opts);
+    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused);
+    return finish(in, std::move(r));
   }
 
  private:
   PowerDPOptions dp_options() const {
     return PowerDPOptions{static_cast<std::size_t>(options().threads),
                           worker_pool()};
+  }
+
+  static PowerDPResult run_dp(const Instance& in, const PowerDPOptions& opts) {
+    return solve_power_exact(in.topo(), in.scen(), in.modes, in.costs, opts);
+  }
+
+  static Solution finish(const Instance& in, PowerDPResult r) {
+    return finish_frontier(in, r.feasible, std::move(r.frontier),
+                           {r.stats.solve_seconds, r.stats.merge_pairs});
   }
 };
 
@@ -239,13 +277,36 @@ class PowerSymmetricSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
+    PowerDPResult r = run_dp(
+        in, PowerDPOptions{static_cast<std::size_t>(options().threads),
+                           worker_pool()});
+    return finish(in, std::move(r));
+  }
+
+  bool supports_incremental() const override { return true; }
+
+  Solution solve_incremental(const Instance& in,
+                             std::span<const ScenarioDelta> /*deltas*/,
+                             SolveSession& session) const override {
+    session.check_topology(in.topology);
+    PowerDPOptions opts{static_cast<std::size_t>(options().threads),
+                        worker_pool()};
+    opts.cache = &session.power_cache(name());
+    PowerDPResult r = run_dp(in, opts);
+    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused);
+    return finish(in, std::move(r));
+  }
+
+ private:
+  PowerDPResult run_dp(const Instance& in, const PowerDPOptions& opts) const {
     TREEPLACE_CHECK_MSG(in.costs.is_symmetric(),
                         "power-sym requires a symmetric cost model; use "
                         "power-exact for general Eq. 4 costs");
-    PowerDPResult r = solve_power_symmetric(
-        in.topo(), in.scen(), in.modes, in.costs,
-        PowerDPOptions{static_cast<std::size_t>(options().threads),
-                       worker_pool()});
+    return solve_power_symmetric(in.topo(), in.scen(), in.modes, in.costs,
+                                 opts);
+  }
+
+  static Solution finish(const Instance& in, PowerDPResult r) {
     return finish_frontier(in, r.feasible, std::move(r.frontier),
                            {r.stats.solve_seconds, r.stats.merge_pairs});
   }

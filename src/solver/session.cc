@@ -1,0 +1,52 @@
+#include "solver/session.h"
+
+#include "solver/solver.h"
+#include "support/check.h"
+
+namespace treeplace {
+
+SolveSession::SolveSession(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  TREEPLACE_CHECK_MSG(topology_ != nullptr,
+                      "SolveSession over a null topology");
+}
+
+dp::PowerSubtreeCache& SolveSession::power_cache(const std::string& key) {
+  std::scoped_lock lock(caches_mutex_);
+  auto& slot = power_caches_[key];
+  if (!slot) slot = std::make_unique<dp::PowerSubtreeCache>();
+  return *slot;
+}
+
+dp::MinCostSubtreeCache& SolveSession::min_cost_cache(const std::string& key) {
+  std::scoped_lock lock(caches_mutex_);
+  auto& slot = min_cost_caches_[key];
+  if (!slot) slot = std::make_unique<dp::MinCostSubtreeCache>();
+  return *slot;
+}
+
+SolveSession::Stats SolveSession::stats() const {
+  return Stats{warm_solves_.load(), cold_solves_.load(),
+               nodes_recomputed_.load(), nodes_reused_.load()};
+}
+
+void SolveSession::record_warm(std::uint64_t nodes_recomputed,
+                               std::uint64_t nodes_reused) {
+  warm_solves_.fetch_add(1);
+  nodes_recomputed_.fetch_add(nodes_recomputed);
+  nodes_reused_.fetch_add(nodes_reused);
+}
+
+void SolveSession::record_cold() { cold_solves_.fetch_add(1); }
+
+// The correct-by-construction fallback for strategies without warm-start
+// support: a plain cold solve, recorded as such on the session.  Defined
+// here so solver.h stays free of the session's definition.
+Solution Solver::solve_incremental(const Instance& instance,
+                                   std::span<const ScenarioDelta> /*deltas*/,
+                                   SolveSession& session) const {
+  session.record_cold();
+  return solve(instance);
+}
+
+}  // namespace treeplace

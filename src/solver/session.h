@@ -1,0 +1,97 @@
+// Persistent warm-start state for repeated solves over one topology.
+//
+// A SolveSession owns the per-subtree DP caches (core/dp_cache.h) that let
+// delta-aware solvers reuse the tables of unchanged subtrees between
+// solves — the serving loop's scenario deltas touch a few clients per
+// request, so a warm re-solve recomputes only the root paths of the
+// touched nodes and splices cached tables in for everything else.
+// Sessions are keyed by topology: the serving layer keeps one per
+// TopologyCache entry (evicted together), experiment loops keep one per
+// chained tree.
+//
+// Contract:
+//   * One session belongs to one topology.  Engines verify this themselves
+//     (SubtreeCache::attach wipes on a topology change), so a misused
+//     session degrades to cold solves, never to wrong results.
+//   * Warm solves sharing a session must be serialized: hold solve_mutex()
+//     across each Solver::solve_incremental call (SolveDispatcher does).
+//     The stats counters are atomics and may be read concurrently.
+//   * Results are bit-identical to cold solves by construction; only the
+//     work counters (merge pairs, table cells) shrink.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/dp_cache.h"
+#include "tree/topology.h"
+
+namespace treeplace {
+
+class SolveSession {
+ public:
+  explicit SolveSession(std::shared_ptr<const Topology> topology);
+
+  SolveSession(const SolveSession&) = delete;
+  SolveSession& operator=(const SolveSession&) = delete;
+
+  const std::shared_ptr<const Topology>& topology_ptr() const {
+    return topology_;
+  }
+
+  /// Guards against cross-topology misuse: incremental solvers call this
+  /// before touching the caches.  The check matters for memory safety, not
+  /// just hygiene — the session pins its own topology alive, so a cache
+  /// keyed to a *different* topology's address could outlive it and
+  /// collide with a reallocation.
+  void check_topology(const std::shared_ptr<const Topology>& topology) const {
+    TREEPLACE_CHECK_MSG(topology == topology_,
+                        "SolveSession used with an instance of a different "
+                        "topology (sessions are per-topology)");
+  }
+
+  /// Serializes warm solves: hold across a solve_incremental() call that
+  /// was handed this session.
+  std::mutex& solve_mutex() { return solve_mutex_; }
+
+  /// The per-engine caches, created on first use.  The key is the solver's
+  /// registry name, so "power-exact" and "power-sym" never share tables
+  /// (their boxes have different dimensionality).
+  dp::PowerSubtreeCache& power_cache(const std::string& key);
+  dp::MinCostSubtreeCache& min_cost_cache(const std::string& key);
+
+  struct Stats {
+    std::uint64_t warm_solves = 0;  ///< solves that went through a cache
+    std::uint64_t cold_solves = 0;  ///< fallback solves (no capability)
+    std::uint64_t nodes_recomputed = 0;
+    std::uint64_t nodes_reused = 0;
+  };
+  Stats stats() const;
+
+  /// Called by solvers after a cache-backed solve with the engine's
+  /// warm-start accounting.
+  void record_warm(std::uint64_t nodes_recomputed, std::uint64_t nodes_reused);
+  /// Called by the base-class cold fallback.
+  void record_cold();
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  std::mutex solve_mutex_;
+  // Guards the cache maps only; cache contents are protected by
+  // solve_mutex_ (held across the whole solve).
+  std::mutex caches_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<dp::PowerSubtreeCache>>
+      power_caches_;
+  std::unordered_map<std::string, std::unique_ptr<dp::MinCostSubtreeCache>>
+      min_cost_caches_;
+  std::atomic<std::uint64_t> warm_solves_{0};
+  std::atomic<std::uint64_t> cold_solves_{0};
+  std::atomic<std::uint64_t> nodes_recomputed_{0};
+  std::atomic<std::uint64_t> nodes_reused_{0};
+};
+
+}  // namespace treeplace

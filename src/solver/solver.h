@@ -11,13 +11,17 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "solver/instance.h"
 #include "solver/solution.h"
 #include "support/thread_pool.h"
+#include "tree/scenario_delta.h"
 
 namespace treeplace {
+
+class SolveSession;  // solver/session.h
 
 /// What a solver optimizes.  Min-count solvers (GR) are classified as
 /// kMinCost: replica count is the dominant term of the Eq. 2 cost.
@@ -99,6 +103,23 @@ class Solver {
 
   /// Solves `instance`.  Must be thread-safe (const, no mutable state).
   virtual Solution solve(const Instance& instance) const = 0;
+
+  /// True when solve_incremental() actually reuses SolveSession DP state;
+  /// false means the base-class cold-solve fallback runs.  Callers use
+  /// this to skip session bookkeeping for oblivious strategies.
+  virtual bool supports_incremental() const { return false; }
+
+  /// Delta-aware re-solve against a persistent session (solver/session.h).
+  /// `deltas` lists the scenario edits since the session's previous solve
+  /// as a *hint*; correctness never depends on it — incremental engines
+  /// diff per-node input signatures against the session's caches, so a
+  /// stale or incomplete span only costs recomputation.  Results are
+  /// bit-identical to solve() on the same instance.  The caller must
+  /// serialize calls sharing one session (hold session.solve_mutex()).
+  /// The base implementation is a correct cold-solve fallback.
+  virtual Solution solve_incremental(const Instance& instance,
+                                     std::span<const ScenarioDelta> deltas,
+                                     SolveSession& session) const;
 
  private:
   SolverInfo info_;

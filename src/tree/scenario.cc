@@ -60,6 +60,38 @@ std::vector<NodeId> Scenario::pre_existing_nodes() const {
   return out;
 }
 
+std::vector<NodeId> Scenario::touched_internal_nodes(
+    const Scenario& other) const {
+  TREEPLACE_CHECK_MSG(topology_ptr() == other.topology_ptr(),
+                      "touched_internal_nodes() across different topologies");
+  std::vector<NodeId> out;
+  for (NodeId id : topology().internal_ids()) {
+    const auto i = static_cast<std::size_t>(id);
+    const std::size_t dense = topo_->internal_index(id);
+    if (client_mass_[dense] != other.client_mass_[dense] ||
+        pre_existing_[i] != other.pre_existing_[i] ||
+        original_mode_[i] != other.original_mode_[i]) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool Scenario::aggregates_consistent() const {
+  if (!attached()) return true;
+  std::vector<RequestCount> mass(topo_->num_internal(), 0);
+  RequestCount total = 0;
+  for (NodeId c : topo_->client_ids()) {
+    const RequestCount r = requests_[static_cast<std::size_t>(c)];
+    mass[topo_->internal_index(topo_->parent(c))] += r;
+    total += r;
+  }
+  std::size_t pre = 0;
+  for (const std::uint8_t flag : pre_existing_) pre += flag != 0 ? 1 : 0;
+  return mass == client_mass_ && total == total_requests_ &&
+         pre == num_pre_existing_;
+}
+
 void Scenario::rebuild_aggregates() {
   client_mass_.assign(topo_->num_internal(), 0);
   total_requests_ = 0;

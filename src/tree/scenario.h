@@ -91,6 +91,20 @@ class Scenario {
   /// Ids of pre-existing servers, in id order.
   std::vector<NodeId> pre_existing_nodes() const;
 
+  // --- Audit helpers (warm-start support) ----------------------------------
+
+  /// Internal nodes whose solver-visible inputs differ between this
+  /// scenario and `other`: client mass, pre-existing flag or original mode.
+  /// Both scenarios must share one topology.  This is exactly the set a
+  /// delta-aware warm start must treat as touched (dirtying each node's
+  /// root path); returned in id order.
+  std::vector<NodeId> touched_internal_nodes(const Scenario& other) const;
+
+  /// True iff the incrementally maintained aggregates (per-node client
+  /// mass, total requests, |E|) match a from-scratch recompute.  O(N);
+  /// meant for tests and debug assertions, not hot paths.
+  bool aggregates_consistent() const;
+
  private:
   friend class TreeBuilder;
 

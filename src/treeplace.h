@@ -44,11 +44,13 @@
 #include "sim/experiment3.h"
 #include "solver/instance.h"
 #include "solver/registry.h"
+#include "solver/session.h"      // warm-start SolveSession
 #include "solver/solution.h"
 #include "solver/solver.h"
 #include "support/prng.h"
 #include "tree/io.h"
 #include "tree/metrics.h"
 #include "tree/scenario.h"
+#include "tree/scenario_delta.h"
 #include "tree/topology.h"
 #include "tree/tree.h"

@@ -185,6 +185,20 @@ TEST(StreamServerTest, MultiModeServing) {
   EXPECT_NE(lines[0].find("frontier="), std::string::npos);
 }
 
+TEST(StreamServerTest, DeltaRequestsRunWarmSessions) {
+  // All five requests (two tree records, three delta records) route
+  // through their topology's SolveSession: update-dp is incremental-
+  // capable, so every solve counts as warm and the summary reports it.
+  // No flags involved — sessions are automatic.
+  std::istringstream in(make_stream());
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  const StreamServerSummary summary = server.serve(in, out);
+  ASSERT_EQ(summary.dispatcher.per_solver.size(), 1u);
+  EXPECT_EQ(summary.dispatcher.per_solver[0].warm, 5u);
+  EXPECT_NE(out.str().find(" warm=5"), std::string::npos);
+}
+
 TEST(StreamServerTest, SummaryReportsLatencyStats) {
   std::istringstream in(make_stream());
   std::ostringstream out;

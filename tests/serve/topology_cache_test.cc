@@ -133,5 +133,38 @@ TEST(TopologyCacheTest, ConcurrentGetsAndPuts) {
   EXPECT_EQ(cache.size(), 4u);
 }
 
+TEST(TopologyCacheTest, SessionRidesWithEntry) {
+  TopologyCache cache(2);
+  Tree tree = make_tree(0);
+  const auto session = cache.put("a", tree.topology_ptr(), tree.scenario());
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->topology_ptr(), tree.topology_ptr());
+
+  // Every get hands out the same session (shared warm-start state).
+  const auto entry = cache.get("a");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->session, session);
+
+  // Re-registering a key starts a fresh session (the base changed).
+  Tree again = make_tree(0);
+  const auto replaced =
+      cache.put("a", again.topology_ptr(), again.scenario());
+  EXPECT_NE(replaced, session);
+  EXPECT_EQ(cache.get("a")->session, replaced);
+}
+
+TEST(TopologyCacheTest, EvictionDropsSessionButHandedOutCopiesSurvive) {
+  TopologyCache cache(1);
+  Tree a = make_tree(0);
+  Tree b = make_tree(1);
+  cache.put("a", a.topology_ptr(), a.scenario());
+  const auto held = cache.get("a")->session;  // an in-flight solve's copy
+  cache.put("b", b.topology_ptr(), b.scenario());  // evicts "a"
+  EXPECT_FALSE(cache.get("a").has_value());
+  // The handed-out shared_ptr keeps the evicted session usable.
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->topology_ptr(), a.topology_ptr());
+}
+
 }  // namespace
 }  // namespace treeplace::serve

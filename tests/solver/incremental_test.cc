@@ -1,0 +1,251 @@
+// Warm-start solves must be bit-identical to cold solves.
+//
+// The SolveSession layer promises that solve_incremental() over a
+// persistent session returns exactly what solve() returns on the same
+// instance — same feasibility, placements, cost/power accounting and
+// frontier — while recomputing only the dirty subtrees.  These tests fuzz
+// random delta sequences (request perturbations, pre-existing toggles,
+// full clears, deliberate infeasible excursions) over random trees and
+// compare every warm solve against a cold reference, for the three
+// incremental engines (power-exact, power-sym, update-dp) at 1 and 4
+// solver threads.  They are also the staleness net for the signature-diff
+// invalidation in core/dp_cache.h.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/preexisting.h"
+#include "gen/tree_gen.h"
+#include "solver/registry.h"
+#include "solver/session.h"
+#include "support/check.h"
+#include "support/prng.h"
+#include "tree/scenario_delta.h"
+
+namespace treeplace {
+namespace {
+
+Tree make_fuzz_tree(std::uint64_t seed, std::uint64_t index,
+                    int num_internal) {
+  TreeGenConfig config;
+  config.num_internal = num_internal;
+  config.shape = TreeShape{2, 4};
+  config.client_probability = 0.8;
+  config.min_requests = 1;
+  config.max_requests = 5;
+  Tree tree = generate_tree(config, seed, index);
+  Xoshiro256 pre_rng = make_rng(seed, index, RngStream::kPreExisting);
+  assign_random_pre_existing(tree, num_internal / 4, pre_rng,
+                             /*num_modes=*/2);
+  return tree;
+}
+
+/// One random step: 1-4 deltas, occasionally an infeasible request volume
+/// (far above every capacity) so the feasible -> infeasible -> feasible
+/// transitions exercise the cache's invalidation bookkeeping.
+std::vector<ScenarioDelta> random_step(const Topology& topo, Xoshiro256& rng) {
+  std::vector<ScenarioDelta> deltas;
+  const int edits = 1 + static_cast<int>(rng.uniform(0, 3));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.uniform(0, 11)) {
+      case 0:
+        deltas.push_back(ScenarioDelta::clear_all_pre());
+        break;
+      case 1:
+      case 2: {
+        const auto& ids = topo.internal_ids();
+        deltas.push_back(ScenarioDelta::set_pre_existing(
+            ids[rng.uniform(0, ids.size() - 1)],
+            static_cast<int>(rng.uniform(0, 1))));
+        break;
+      }
+      case 3: {
+        const auto& ids = topo.internal_ids();
+        deltas.push_back(ScenarioDelta::clear_pre_existing(
+            ids[rng.uniform(0, ids.size() - 1)]));
+        break;
+      }
+      case 4: {
+        // Infeasible excursion: one client asks for more than W_M.
+        const auto& ids = topo.client_ids();
+        deltas.push_back(ScenarioDelta::set_requests(
+            ids[rng.uniform(0, ids.size() - 1)], 50));
+        break;
+      }
+      default: {
+        const auto& ids = topo.client_ids();
+        deltas.push_back(ScenarioDelta::set_requests(
+            ids[rng.uniform(0, ids.size() - 1)], rng.uniform(0, 5)));
+        break;
+      }
+    }
+  }
+  return deltas;
+}
+
+void expect_identical(const Solution& warm, const Solution& cold,
+                      const std::string& context) {
+  ASSERT_EQ(warm.feasible, cold.feasible) << context;
+  EXPECT_EQ(warm.budget_met, cold.budget_met) << context;
+  EXPECT_EQ(warm.placement, cold.placement) << context;
+  if (!cold.feasible) return;
+  EXPECT_DOUBLE_EQ(warm.breakdown.cost, cold.breakdown.cost) << context;
+  EXPECT_DOUBLE_EQ(warm.power, cold.power) << context;
+  EXPECT_EQ(warm.breakdown.servers, cold.breakdown.servers) << context;
+  EXPECT_EQ(warm.breakdown.reused, cold.breakdown.reused) << context;
+  ASSERT_EQ(warm.frontier.size(), cold.frontier.size()) << context;
+  for (std::size_t i = 0; i < cold.frontier.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm.frontier[i].cost, cold.frontier[i].cost) << context;
+    EXPECT_DOUBLE_EQ(warm.frontier[i].power, cold.frontier[i].power)
+        << context;
+    EXPECT_EQ(warm.frontier[i].placement, cold.frontier[i].placement)
+        << context;
+  }
+}
+
+struct FuzzSetup {
+  std::string algo;
+  int num_internal = 24;
+  bool single_mode = false;
+};
+
+void run_fuzz(const FuzzSetup& setup, int solver_threads) {
+  const ModeSet modes = setup.single_mode
+                            ? ModeSet::single(10)
+                            : ModeSet({5, 10}, 12.5, 3.0);
+  const CostModel costs =
+      setup.single_mode
+          ? CostModel::simple(0.1, 0.01)
+          : CostModel::uniform(modes.count(), 0.1, 0.01, 0.001, 0.001);
+
+  const auto warm_solver = make_solver(setup.algo);
+  const auto cold_solver = make_solver(setup.algo);
+  warm_solver->set_options(Solver::Options{solver_threads});
+  cold_solver->set_options(Solver::Options{solver_threads});
+  ASSERT_TRUE(warm_solver->supports_incremental());
+
+  for (std::uint64_t index = 0; index < 2; ++index) {
+    Tree tree = make_fuzz_tree(77, index, setup.num_internal);
+    SolveSession session(tree.topology_ptr());
+    Xoshiro256 rng = make_rng(77, index, RngStream::kWorkloadUpdate);
+    for (int step = 0; step < 12; ++step) {
+      const std::vector<ScenarioDelta> deltas =
+          random_step(tree.topology(), rng);
+      for (const ScenarioDelta& delta : deltas) {
+        apply_delta(tree.scenario(), delta);
+      }
+      // Single-mode instances project original modes to 0, exactly as the
+      // serving loop does (Instance::single_mode semantics).
+      const Instance instance =
+          setup.single_mode
+              ? Instance::single_mode(tree.topology_ptr(), tree.scenario(),
+                                      10, 0.1, 0.01)
+              : Instance{tree.topology_ptr(), tree.scenario(), modes, costs,
+                         std::nullopt};
+      const Solution cold = cold_solver->solve(instance);
+      const Solution warm =
+          warm_solver->solve_incremental(instance, deltas, session);
+      expect_identical(warm, cold,
+                       setup.algo + " threads=" +
+                           std::to_string(solver_threads) + " tree=" +
+                           std::to_string(index) + " step=" +
+                           std::to_string(step));
+      // Warm never does more DP work than cold on the same instance.
+      EXPECT_LE(warm.stats.work, cold.stats.work);
+    }
+    const SolveSession::Stats stats = session.stats();
+    EXPECT_EQ(stats.warm_solves, 12u);
+    EXPECT_EQ(stats.cold_solves, 0u);
+    // Small delta steps must actually reuse subtrees, not just match.
+    EXPECT_GT(stats.nodes_reused, 0u);
+  }
+}
+
+TEST(IncrementalSolveTest, PowerSymWarmIdenticalToColdSerial) {
+  run_fuzz({"power-sym", 24, false}, /*solver_threads=*/1);
+}
+
+TEST(IncrementalSolveTest, PowerSymWarmIdenticalToColdThreaded) {
+  run_fuzz({"power-sym", 24, false}, /*solver_threads=*/4);
+}
+
+TEST(IncrementalSolveTest, PowerExactWarmIdenticalToColdSerial) {
+  run_fuzz({"power-exact", 12, false}, /*solver_threads=*/1);
+}
+
+TEST(IncrementalSolveTest, PowerExactWarmIdenticalToColdThreaded) {
+  run_fuzz({"power-exact", 12, false}, /*solver_threads=*/4);
+}
+
+TEST(IncrementalSolveTest, UpdateDpWarmIdenticalToColdSerial) {
+  run_fuzz({"update-dp", 24, true}, /*solver_threads=*/1);
+}
+
+TEST(IncrementalSolveTest, UpdateDpWarmIdenticalToColdThreaded) {
+  run_fuzz({"update-dp", 24, true}, /*solver_threads=*/4);
+}
+
+TEST(IncrementalSolveTest, SingleClientDeltaRecomputesOnlyTheRootPath) {
+  Tree tree = make_fuzz_tree(78, 0, 24);
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const auto solver = make_solver("power-sym");
+  SolveSession session(tree.topology_ptr());
+
+  const Instance base{tree.topology_ptr(), tree.scenario(), modes, costs,
+                      std::nullopt};
+  solver->solve_incremental(base, {}, session);
+  const SolveSession::Stats after_cold = session.stats();
+  EXPECT_EQ(after_cold.nodes_recomputed, tree.num_internal());
+  EXPECT_EQ(after_cold.nodes_reused, 0u);
+
+  // Touch one client: only its parent's root path may be recomputed.
+  const NodeId client = tree.client_ids().front();
+  const std::vector<ScenarioDelta> deltas{
+      ScenarioDelta::set_requests(client, tree.requests(client) + 1)};
+  apply_delta(tree.scenario(), deltas.front());
+  const Instance edited{tree.topology_ptr(), tree.scenario(), modes, costs,
+                        std::nullopt};
+  solver->solve_incremental(edited, deltas, session);
+  const SolveSession::Stats after_warm = session.stats();
+
+  std::size_t path_len = 0;
+  for (NodeId j = tree.parent(client); j != kNoNode; j = tree.parent(j)) {
+    ++path_len;
+  }
+  EXPECT_EQ(after_warm.nodes_recomputed - after_cold.nodes_recomputed,
+            path_len);
+  EXPECT_EQ(after_warm.nodes_reused, tree.num_internal() - path_len);
+}
+
+TEST(IncrementalSolveTest, RejectsInstanceOfDifferentTopology) {
+  Tree a = make_fuzz_tree(80, 0, 12);
+  Tree b = make_fuzz_tree(80, 1, 12);
+  const auto solver = make_solver("power-sym");
+  SolveSession session(a.topology_ptr());
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const Instance other{b.topology_ptr(), b.scenario(), modes, costs,
+                       std::nullopt};
+  EXPECT_THROW(solver->solve_incremental(other, {}, session), CheckError);
+}
+
+TEST(IncrementalSolveTest, NonIncrementalSolverFallsBackCold) {
+  Tree tree = make_fuzz_tree(79, 0, 16);
+  const auto solver = make_solver("greedy");
+  EXPECT_FALSE(solver->supports_incremental());
+  SolveSession session(tree.topology_ptr());
+  const Instance instance =
+      Instance::single_mode(tree.topology_ptr(), tree.scenario(), 10, 0.1,
+                            0.01);
+  const Solution warm = solver->solve_incremental(instance, {}, session);
+  const Solution cold = solver->solve(instance);
+  expect_identical(warm, cold, "greedy fallback");
+  EXPECT_EQ(session.stats().cold_solves, 1u);
+  EXPECT_EQ(session.stats().warm_solves, 0u);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,13 +1,18 @@
 // Invariants of the Scenario overlay: fork independence, incremental
-// client-mass/total-request maintenance, pre-existing bookkeeping.
+// client-mass/total-request maintenance, pre-existing bookkeeping, and the
+// warm-start audit helpers (aggregates_consistent, touched_internal_nodes).
 #include "tree/scenario.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "gen/preexisting.h"
 #include "gen/tree_gen.h"
 #include "gen/workload.h"
 #include "support/prng.h"
+#include "tree/scenario_delta.h"
 #include "tree/tree.h"
 
 namespace treeplace {
@@ -119,6 +124,86 @@ TEST(ScenarioTest, BlankScenarioOverSharedTopology) {
   }
   // The original tree's scenario is untouched.
   EXPECT_GT(tree.total_requests(), 0u);
+}
+
+/// Draws one random delta against `topo` (clients for R, internals for
+/// E/X, the occasional Z).
+ScenarioDelta random_delta(const Topology& topo, Xoshiro256& rng) {
+  switch (rng.uniform(0, 9)) {
+    case 0:
+      return ScenarioDelta::clear_all_pre();
+    case 1:
+    case 2: {
+      const auto& ids = topo.internal_ids();
+      return ScenarioDelta::set_pre_existing(
+          ids[rng.uniform(0, ids.size() - 1)],
+          static_cast<int>(rng.uniform(0, 1)));
+    }
+    case 3: {
+      const auto& ids = topo.internal_ids();
+      return ScenarioDelta::clear_pre_existing(
+          ids[rng.uniform(0, ids.size() - 1)]);
+    }
+    default: {
+      const auto& ids = topo.client_ids();
+      return ScenarioDelta::set_requests(ids[rng.uniform(0, ids.size() - 1)],
+                                         rng.uniform(0, 9));
+    }
+  }
+}
+
+TEST(ScenarioTest, AggregatesConsistentAfterRandomDeltaSequences) {
+  const Tree tree = make_tree(31);
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    Scenario scen = tree.scenario();  // fork
+    Xoshiro256 rng = make_rng(31, round, RngStream::kWorkloadUpdate);
+    for (int step = 0; step < 40; ++step) {
+      apply_delta(scen, random_delta(tree.topology(), rng));
+      ASSERT_TRUE(scen.aggregates_consistent())
+          << "round " << round << " step " << step;
+      // The incremental aggregates also match the naive recompute exactly.
+      for (NodeId j : tree.internal_ids()) {
+        ASSERT_EQ(scen.client_mass(j),
+                  naive_client_mass(tree.topology(), scen, j));
+      }
+      ASSERT_EQ(scen.total_requests(), naive_total(tree.topology(), scen));
+    }
+  }
+}
+
+TEST(ScenarioTest, TouchedInternalNodesMatchesBruteForceDiff) {
+  const Tree tree = make_tree(32);
+  const Topology& topo = tree.topology();
+  Scenario base = tree.scenario();
+  Xoshiro256 pre_rng = make_rng(32, 0, RngStream::kPreExisting);
+  assign_random_pre_existing(base, 6, pre_rng, /*num_modes=*/2);
+
+  Xoshiro256 rng = make_rng(32, 1, RngStream::kWorkloadUpdate);
+  for (int step = 0; step < 30; ++step) {
+    Scenario edited = base;  // fork
+    const int edits = 1 + static_cast<int>(rng.uniform(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      apply_delta(edited, random_delta(topo, rng));
+    }
+    const std::vector<NodeId> touched = edited.touched_internal_nodes(base);
+    // Brute force: an internal node is touched iff any solver-visible
+    // input differs.
+    std::vector<NodeId> expected;
+    for (NodeId j : topo.internal_ids()) {
+      const bool differs =
+          edited.client_mass(j) != base.client_mass(j) ||
+          edited.pre_existing(j) != base.pre_existing(j) ||
+          (edited.pre_existing(j) &&
+           edited.original_mode(j) != base.original_mode(j));
+      if (differs) expected.push_back(j);
+    }
+    ASSERT_EQ(touched, expected) << "step " << step;
+    ASSERT_TRUE(std::is_sorted(touched.begin(), touched.end()));
+    // Symmetry: the diff reads the same from either side.
+    ASSERT_EQ(base.touched_internal_nodes(edited).size(), touched.size());
+  }
+  // No edits -> no touched nodes.
+  EXPECT_TRUE(base.touched_internal_nodes(base).empty());
 }
 
 }  // namespace

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Diff a fresh solver-matrix JSON against the committed baseline.
+"""Diff a fresh bench JSON against its committed baseline.
 
-The solver matrix (bench/solver_matrix) is deterministic in everything but
-its timings: for a fixed instance set, every registered solver must report
-the same feasibility, cost, power, server count and frontier size on every
-machine.  CI therefore runs this script after the bench:
+Bench tables (bench/solver_matrix, bench/warm_start, bench/serve_throughput)
+are deterministic in everything but their timings: for a fixed instance set,
+every solver must report the same feasibility, cost, power, server count,
+frontier size and work counters on every machine.  CI therefore runs this
+script after each gated bench:
 
   * result-value drift (any non-timing column differs, or a baseline row
     disappeared) FAILS the build — a solver changed behavior;
@@ -18,32 +19,41 @@ Usage:
   tools/bench_diff.py --baseline bench_results/baseline_solver_matrix.json \
                       --fresh bench_results/BENCH_solver_matrix.json \
                       [--report bench_results/solver_matrix_diff.txt] \
-                      [--timing-ratio 2.0] [--timing-floor 0.01]
+                      [--key-columns solver,instance] \
+                      [--timing-columns seconds] \
+                      [--timing-ratio 2.0] [--timing-floor 0.01] \
+                      [--update-baseline]
 
-Exit codes: 0 clean (warnings allowed), 1 result drift, 2 usage/IO error.
+--key-columns names the columns that identify a row (default
+"solver,instance"); --timing-columns the columns treated as timings
+(warn-only; default "seconds").  --update-baseline rewrites the baseline
+file with the fresh run after reporting — use it deliberately, commit the
+result, and let review see the diff.
+
+Exit codes: 0 clean (warnings allowed, and always after --update-baseline),
+1 result drift, 2 usage/IO error.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
-TIMING_COLUMNS = {"seconds"}
-KEY_COLUMNS = ("solver", "instance")
 FLOAT_ABS_TOL = 1e-6
 FLOAT_REL_TOL = 1e-9
 
 
-def load_rows(path):
+def load_rows(path, key_columns):
     with open(path) as f:
         data = json.load(f)
     columns = data["columns"]
-    for key in KEY_COLUMNS:
+    for key in key_columns:
         if key not in columns:
             raise ValueError(f"{path}: missing key column '{key}'")
     rows = {}
     for row in data["rows"]:
         cells = dict(zip(columns, row))
-        key = tuple(cells[k] for k in KEY_COLUMNS)
+        key = tuple(cells[k] for k in key_columns)
         if key in rows:
             raise ValueError(f"{path}: duplicate row for {key}")
         rows[key] = cells
@@ -65,20 +75,46 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--fresh", required=True)
     parser.add_argument("--report", help="also write the diff to this file")
+    parser.add_argument("--key-columns", default="solver,instance",
+                        help="comma-separated columns identifying a row")
+    parser.add_argument("--timing-columns", default="seconds",
+                        help="comma-separated columns treated as timings "
+                             "(warn-only)")
     parser.add_argument("--timing-ratio", type=float, default=2.0)
     parser.add_argument("--timing-floor", type=float, default=0.01,
                         help="ignore timing changes of solves faster than this")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="after reporting, overwrite the baseline with "
+                             "the fresh run and exit 0")
     args = parser.parse_args()
 
+    key_columns = tuple(c for c in args.key_columns.split(",") if c)
+    timing_columns = {c for c in args.timing_columns.split(",") if c}
+    if not key_columns:
+        print("bench_diff: --key-columns must name at least one column",
+              file=sys.stderr)
+        return 2
+
     try:
-        base_columns, baseline = load_rows(args.baseline)
-        _, fresh = load_rows(args.fresh)
+        _, fresh = load_rows(args.fresh, key_columns)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    try:
+        base_columns, baseline = load_rows(args.baseline, key_columns)
+    except FileNotFoundError:
+        if not args.update_baseline:
+            print(f"bench_diff: no baseline at {args.baseline} "
+                  "(run with --update-baseline to create it)",
+                  file=sys.stderr)
+            return 2
+        base_columns, baseline = [], {}  # bootstrapping a new baseline
     except (OSError, ValueError, KeyError) as e:
         print(f"bench_diff: {e}", file=sys.stderr)
         return 2
 
     result_columns = [c for c in base_columns
-                      if c not in TIMING_COLUMNS and c not in KEY_COLUMNS]
+                      if c not in timing_columns and c not in key_columns]
     drift, warnings, additions = [], [], []
 
     for key, base_row in sorted(baseline.items()):
@@ -93,10 +129,13 @@ def main():
                 drift.append(
                     f"DRIFT    {key}: {column} {base_row[column]!r} -> "
                     f"{fresh_row[column]!r}")
-        for column in TIMING_COLUMNS:
+        for column in timing_columns:
             if column not in base_row or column not in fresh_row:
                 continue
-            old, new = float(base_row[column]), float(fresh_row[column])
+            try:
+                old, new = float(base_row[column]), float(fresh_row[column])
+            except (TypeError, ValueError):
+                continue
             if new < args.timing_floor:
                 continue
             if old > 0 and new / old > args.timing_ratio:
@@ -115,12 +154,17 @@ def main():
     ] + drift + warnings + additions
     if not drift and not warnings:
         lines.append("clean: all result values match the baseline")
+    if args.update_baseline:
+        lines.append(f"baseline updated: {args.fresh} -> {args.baseline}")
     report = "\n".join(lines) + "\n"
     print(report, end="")
     if args.report:
         with open(args.report, "w") as f:
             f.write(report)
 
+    if args.update_baseline:
+        shutil.copyfile(args.fresh, args.baseline)
+        return 0
     return 1 if drift else 0
 
 
