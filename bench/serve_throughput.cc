@@ -72,6 +72,23 @@ struct RunResult {
   std::vector<Placement> placements;
 };
 
+/// Empty when identical; otherwise names the first diverging request, so
+/// an identity failure pinpoints the offending row instead of a bare
+/// yes/NO flag.
+std::string placements_divergence(const std::vector<Placement>& run,
+                                  const std::vector<Placement>& reference) {
+  if (run.size() != reference.size()) {
+    return "placement count " + std::to_string(run.size()) + " vs " +
+           std::to_string(reference.size());
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (!(run[i] == reference[i])) {
+      return "request " + std::to_string(i) + " placement";
+    }
+  }
+  return "";
+}
+
 RunResult run_serial(const std::vector<Instance>& requests) {
   const auto solver = make_solver(kAlgo);
   RunResult r;
@@ -132,17 +149,21 @@ int main(int argc, char** argv) {
   table.add_row({"serial", std::int64_t{1}, serial.seconds, serial_rate, 1.0,
                  "-"});
 
-  bool all_identical = true;
+  std::vector<std::string> failures;
   const std::size_t max_threads =
       env_size_t("TREEPLACE_SERVE_MAX_THREADS", 8);
   for (std::size_t threads = 2; threads <= max_threads; threads *= 2) {
     const RunResult pooled = run_pooled(requests, threads);
-    const bool identical = pooled.placements == serial.placements;
-    all_identical = all_identical && identical;
+    const std::string divergence =
+        placements_divergence(pooled.placements, serial.placements);
+    if (!divergence.empty()) {
+      failures.push_back("row (pooled, threads=" + std::to_string(threads) +
+                         ") diverged at " + divergence);
+    }
     const double rate = static_cast<double>(requests.size()) / pooled.seconds;
     table.add_row({"pooled", static_cast<std::int64_t>(threads),
                    pooled.seconds, rate, serial.seconds / pooled.seconds,
-                   std::string(identical ? "yes" : "NO")});
+                   std::string(divergence.empty() ? "yes" : "NO")});
   }
 
   bench::emit(table, "serve_throughput", total.seconds());
@@ -174,14 +195,23 @@ int main(int argc, char** argv) {
       const Solution solution = solver->solve(instance);
       const double seconds = timer.seconds();
       if (threads == 1) reference = solution;
-      const bool identical =
-          solution.placement == reference.placement &&
-          solution.stats.work == reference.stats.work &&
-          solution.frontier.size() == reference.frontier.size();
-      all_identical = all_identical && identical;
+      std::string divergence;
+      if (!(solution.placement == reference.placement)) {
+        divergence = "selected placement";
+      } else if (solution.stats.work != reference.stats.work) {
+        divergence = "merge-pair work counter " +
+                     std::to_string(solution.stats.work) + " vs " +
+                     std::to_string(reference.stats.work);
+      } else if (solution.frontier.size() != reference.frontier.size()) {
+        divergence = "frontier size";
+      }
+      if (!divergence.empty()) {
+        failures.push_back("row (intra, threads=" + std::to_string(threads) +
+                           ") diverged at " + divergence);
+      }
       intra.add_row({static_cast<std::int64_t>(threads), seconds,
                      static_cast<std::int64_t>(solution.stats.work),
-                     std::string(identical ? "yes" : "NO")});
+                     std::string(divergence.empty() ? "yes" : "NO")});
     }
   }
   intra.print(std::cout);
@@ -189,8 +219,11 @@ int main(int argc, char** argv) {
   const std::string json_path = bench::out_path("BENCH_serve_throughput.json");
   table.save_json(json_path);
   std::cout << "\n(JSON written to " << json_path << ")\n";
-  if (!all_identical) {
+  if (!failures.empty()) {
     std::cout << "FAIL: pooled/sharded results diverged from serial\n";
+    for (const std::string& failure : failures) {
+      std::cout << "  " << failure << "\n";
+    }
     return 1;
   }
   std::cout << "all pooled and sharded results bit-identical to serial\n";

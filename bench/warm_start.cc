@@ -36,6 +36,11 @@ struct Config {
   std::string algo;
   int num_internal = 0;
   bool single_mode = false;
+  /// > 0: a wide star (one root, `star_fanout` internal arms, one client
+  /// per arm) instead of a generated tree — the high-fanout shape where
+  /// the balanced merge tree cuts a single-client redo from O(k) chain
+  /// merges to O(log k) slots.
+  int star_fanout = 0;
 };
 
 struct DeltaSize {
@@ -44,6 +49,15 @@ struct DeltaSize {
 };
 
 Tree make_bench_tree(const Config& config) {
+  if (config.star_fanout > 0) {
+    TreeBuilder builder;
+    const NodeId root = builder.add_root();
+    for (int i = 0; i < config.star_fanout; ++i) {
+      const NodeId arm = builder.add_internal(root);
+      builder.add_client(arm, /*requests=*/1 + (i % 4));
+    }
+    return std::move(builder).build();
+  }
   TreeGenConfig gen;
   gen.num_internal = config.num_internal;
   gen.shape = TreeShape{2, 4};
@@ -68,21 +82,30 @@ Instance make_instance(const Config& config, const Tree& tree) {
                   std::nullopt};
 }
 
-bool solutions_identical(const Solution& warm, const Solution& cold) {
-  if (warm.feasible != cold.feasible || !(warm.placement == cold.placement)) {
-    return false;
+/// Empty when identical; otherwise names the first diverging field so a
+/// baseline refresh (or a real warm-start bug) is debuggable from the
+/// failure output alone.
+std::string solution_divergence(const Solution& warm, const Solution& cold) {
+  if (warm.feasible != cold.feasible) return "feasible flag";
+  if (!(warm.placement == cold.placement)) return "selected placement";
+  if (warm.frontier.size() != cold.frontier.size()) {
+    return "frontier size " + std::to_string(warm.frontier.size()) + " vs " +
+           std::to_string(cold.frontier.size());
   }
-  if (warm.frontier.size() != cold.frontier.size()) return false;
   for (std::size_t i = 0; i < cold.frontier.size(); ++i) {
     if (warm.frontier[i].cost != cold.frontier[i].cost ||
-        warm.frontier[i].power != cold.frontier[i].power ||
-        !(warm.frontier[i].placement == cold.frontier[i].placement)) {
-      return false;
+        warm.frontier[i].power != cold.frontier[i].power) {
+      return "frontier[" + std::to_string(i) + "] values";
+    }
+    if (!(warm.frontier[i].placement == cold.frontier[i].placement)) {
+      return "frontier[" + std::to_string(i) + "] placement";
     }
   }
-  return !cold.feasible ||
-         (warm.breakdown.cost == cold.breakdown.cost &&
-          warm.power == cold.power);
+  if (cold.feasible && (warm.breakdown.cost != cold.breakdown.cost ||
+                        warm.power != cold.power)) {
+    return "cost/power accounting";
+  }
+  return "";
 }
 
 struct ChainResult {
@@ -93,6 +116,7 @@ struct ChainResult {
   double cold_seconds = 0.0;
   double warm_seconds = 0.0;
   bool identical = true;
+  std::string divergence;  ///< first diverging step/field when !identical
 };
 
 /// Runs one delta chain: per step, touch `clients_touched` random clients,
@@ -110,7 +134,7 @@ ChainResult run_chain(const Config& config, const DeltaSize& delta,
   const SolveSession::Stats primed = session.stats();
 
   ChainResult r;
-  Xoshiro256 rng = make_rng(4012, config.num_internal,
+  Xoshiro256 rng = make_rng(4012, config.num_internal + config.star_fanout,
                             RngStream::kWorkloadUpdate);
   const auto& clients = tree.client_ids();
   for (std::size_t step = 0; step < steps; ++step) {
@@ -134,7 +158,13 @@ ChainResult run_chain(const Config& config, const DeltaSize& delta,
 
     r.cold_work += cold.stats.work;
     r.warm_work += warm.stats.work;
-    r.identical = r.identical && solutions_identical(warm, cold);
+    if (r.identical) {
+      const std::string divergence = solution_divergence(warm, cold);
+      if (!divergence.empty()) {
+        r.identical = false;
+        r.divergence = "step " + std::to_string(step) + ": " + divergence;
+      }
+    }
   }
   const SolveSession::Stats stats = session.stats();
   r.nodes_recomputed = stats.nodes_recomputed - primed.nodes_recomputed;
@@ -193,7 +223,16 @@ int main(int argc, char** argv) {
   gate.set_title("warm_start (deterministic columns)");
 
   Stopwatch total;
-  bool all_identical = true;
+  std::vector<std::string> failures;
+  const auto run_row = [&](const Config& config, const DeltaSize& delta) {
+    const ChainResult r = run_chain(config, delta, steps);
+    if (!r.identical) {
+      failures.push_back("row (" + config.algo + ", " + delta.label +
+                         ") diverged at " + r.divergence);
+    }
+    add_result(table, gate, config.algo, delta.label, steps, r);
+  };
+
   for (const Config& config : configs) {
     const std::size_t num_clients =
         make_bench_tree(config).client_ids().size();
@@ -202,11 +241,7 @@ int main(int argc, char** argv) {
         {"delta_1pct", std::max<std::size_t>(1, num_clients / 100)},
         {"delta_10pct", std::max<std::size_t>(1, num_clients / 10)},
     };
-    for (const DeltaSize& delta : sizes) {
-      const ChainResult r = run_chain(config, delta, steps);
-      all_identical = all_identical && r.identical;
-      add_result(table, gate, config.algo, delta.label, steps, r);
-    }
+    for (const DeltaSize& delta : sizes) run_row(config, delta);
   }
 
   // Asymptotics: the single-client-delta work ratio falls as trees grow —
@@ -215,18 +250,29 @@ int main(int argc, char** argv) {
   // uniform per-node tables show the effect most cleanly.
   for (const int n : {30, 60, 120, 240}) {
     const Config config{"update-dp", n, true};
-    const DeltaSize delta{"delta_1_N" + std::to_string(n), 1};
-    const ChainResult r = run_chain(config, delta, steps);
-    all_identical = all_identical && r.identical;
-    add_result(table, gate, config.algo, delta.label, steps, r);
+    run_row(config, DeltaSize{"delta_1_N" + std::to_string(n), 1});
   }
+
+  // High fanout: wide stars, where the balanced merge tree collapses a
+  // single-arm redo from the old chain's O(k) suffix merges to O(log k)
+  // slots — the gated evidence for the merge-tree refactor.
+  for (const int fanout : {32, 96}) {
+    const Config config{"power-sym", 0, false, fanout};
+    run_row(config, DeltaSize{"star" + std::to_string(fanout) + "_delta_1",
+                              1});
+  }
+  run_row(Config{"update-dp", 0, true, 96},
+          DeltaSize{"star96_delta_1", 1});
 
   bench::emit(table, "warm_start", total.seconds());
   const std::string json_path = bench::out_path("BENCH_warm_start.json");
   gate.save_json(json_path);
   std::cout << "\n(JSON written to " << json_path << ")\n";
-  if (!all_identical) {
+  if (!failures.empty()) {
     std::cout << "FAIL: warm solves diverged from cold solves\n";
+    for (const std::string& failure : failures) {
+      std::cout << "  " << failure << "\n";
+    }
     return 1;
   }
   std::cout << "all warm re-solves bit-identical to cold solves\n";

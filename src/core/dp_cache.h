@@ -6,29 +6,48 @@
 // SolveSession (solver/session.h) and be reused by the next solve over the
 // same topology.
 //
-// Invalidation is *signature-diff based*, not trust-the-caller based: the
-// cache records, per internal node, the exact solver-visible inputs its
-// table was computed from (client mass, pre-existing flag, original mode —
-// a dp::NodeSignature).  A warm solve recomputes a node iff its signature
-// changed or any child was recomputed (dirtiness propagates along the root
-// path, the subtree-locality argument of the paper's update setting).  A
-// caller-supplied ScenarioDelta span is therefore a *hint*, never a
-// correctness obligation: deltas that lied, edits applied outside the
-// span, or a swapped-out scenario all degrade to recomputation, and warm
-// results stay bit-identical to cold ones by construction.
+// Invalidation is *signature-diff based*: the cache records, per internal
+// node, the exact solver-visible inputs its table was computed from (client
+// mass, pre-existing flag, original mode — a dp::NodeSignature).  A warm
+// solve recomputes a node iff its signature changed or any child was
+// recomputed (dirtiness propagates along the root path, the
+// subtree-locality argument of the paper's update setting).  Within a
+// recomputed node, the balanced merge tree (dp::MergePlan) is resumed
+// *per slot*: clean children's leaf slots and every internal slot whose
+// child range stayed clean are spliced in from the cached snapshots, so a
+// single dirty child costs O(log k) slot rebuilds instead of the whole
+// merge chain.
+//
+// Two planning paths produce the same DirtyPlan:
+//   * the full signature sweep compares every internal node's signature
+//     against the cache — always correct, O(N) signature builds;
+//   * the delta fast path trusts a caller-supplied ScenarioDelta span to
+//     name every edit and checks only the touched nodes (union'd with the
+//     previous solve's touched set, so serve-style base-fork callers are
+//     covered).  It is taken only when the span is attributable, the cache
+//     is fully valid, and the touched set is small.
+// The fast path makes the span a soft *contract*: it must list every edit
+// since the session's previous solve (relative to that scenario or to a
+// common base scenario both spans fork from).  Callers that cannot promise
+// that pass an empty span, which always selects the full sweep — so
+// legacy no-hint callers keep their correctness unconditionally.
 //
 // Engine parameters that shape the tables (mode capacities, W) are folded
 // into a params signature; any change wipes the cache, so a session never
 // mixes tables across incompatible solves.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/dp_util.h"
 #include "model/modes.h"
 #include "tree/scenario.h"
+#include "tree/scenario_delta.h"
 #include "tree/topology.h"
 
 namespace treeplace::dp {
@@ -45,46 +64,102 @@ struct NodeSignature {
                          const NodeSignature&) = default;
 };
 
+namespace detail {
+
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+template <typename T>
+std::size_t nested_bytes(const std::vector<std::vector<T>>& v) {
+  std::size_t total = vector_bytes(v);
+  for (const auto& inner : v) total += vector_bytes(inner);
+  return total;
+}
+
+}  // namespace detail
+
 /// Per-node state of the power DPs (exact and symmetric share the shape):
-/// the final table box, the minimal-flow table, one Decision array per
-/// merged child, and the bounds the parent's merge sees.  Cached solves
-/// additionally snapshot the partial table *before* each child merge
-/// (partial_boxes[k]/partial_flows[k] = the state after merging children
-/// [0, k)), so a warm re-solve resumes at the first dirty child instead of
-/// redoing the whole merge chain.
+/// the final table (children combined along the merge tree, client mass
+/// folded in), the bounds the parent's merge sees, and the per-slot
+/// decision records the reconstruction walks.  Cached solves additionally
+/// keep every slot's box and flow table — the subtree-resume substrate: a
+/// warm re-solve rebuilds only the dirty leaves and the internal slots on
+/// their root paths, splicing the snapshots in everywhere else.
 struct PowerNodeState {
   Box box;
   std::vector<RequestCount> flow;
-  std::vector<std::vector<Decision>> decisions;
   std::vector<int> incl_bounds;
-  std::vector<Box> partial_boxes;                      ///< cached solves only
-  std::vector<std::vector<RequestCount>> partial_flows;
+  /// One entry per merge-plan slot (leaves first, then steps in execution
+  /// order).  Decisions are kept by every solve (reconstruction needs
+  /// them); boxes/flows only by cached solves (see drop_snapshots()).
+  std::vector<std::vector<Decision>> slot_decisions;
+  std::vector<Box> slot_boxes;
+  std::vector<std::vector<RequestCount>> slot_flows;
+
+  /// Frees the merge-tree snapshots (slot boxes/flows), keeping the final
+  /// table and decisions: the node can still be spliced in whole while
+  /// clean, but a dirty re-solve falls back to a full rebuild.
+  void drop_snapshots() {
+    slot_boxes.clear();
+    slot_boxes.shrink_to_fit();
+    slot_flows.clear();
+    slot_flows.shrink_to_fit();
+  }
+
+  std::size_t snapshot_bytes() const {
+    std::size_t total = detail::vector_bytes(slot_boxes);
+    for (const Box& b : slot_boxes) {
+      total += detail::vector_bytes(b.bounds()) + b.dims() * sizeof(size_t);
+    }
+    return total + detail::nested_bytes(slot_flows);
+  }
+  std::size_t total_bytes() const {
+    return snapshot_bytes() + detail::vector_bytes(flow) +
+           detail::vector_bytes(incl_bounds) +
+           detail::nested_bytes(slot_decisions);
+  }
 };
 
-/// Decision record of the 2-index (e, n) MinCost DP: the (e', n') retained
-/// on the already-merged side plus whether a replica sits on the merged
-/// child.
+/// Decision record of the 2-index (e, n) MinCost DP.  For an internal
+/// merge-plan slot, (e_prev, n_prev) is the left operand's index pair (the
+/// right operand's follows by subtraction; `place` unused).  For a leaf
+/// slot, `place` says whether a replica sits on the child itself
+/// (e_prev/n_prev unused — the child's pair follows by subtraction).
 struct MinCostCellDecision {
   std::uint16_t e_prev = 0;
   std::uint16_t n_prev = 0;
   std::uint8_t place = 0;
 };
 
-/// Per-node state of the MinCost-WithPre DP.  Tables are flat arrays
-/// indexed by e*(nb+1)+n where (eb, nb) bound the reused/new counts
-/// strictly below the node.
+/// Per-node state of the MinCost-WithPre DP; same slot layout as
+/// PowerNodeState with (eb, nb) bound pairs in place of boxes.  Tables are
+/// flat arrays indexed by e*(nb+1)+n.
 struct MinCostNodeState {
   int eb = 0;  ///< pre-existing nodes strictly below
   int nb = 0;  ///< non-pre-existing internal nodes strictly below
   std::vector<RequestCount> flow;
-  /// decisions[k] covers the table after merging internal child k; its
-  /// bounds are partial_eb[k+1] x partial_nb[k+1].
-  std::vector<std::vector<MinCostCellDecision>> decisions;
-  std::vector<int> partial_eb;  ///< bounds after merging children [0, k)
-  std::vector<int> partial_nb;
-  /// Cached solves only: the flow table after merging children [0, k),
-  /// i.e. before merge k — the warm-resume point (see PowerNodeState).
-  std::vector<std::vector<RequestCount>> partial_flows;
+  std::vector<std::vector<MinCostCellDecision>> slot_decisions;
+  /// Per-slot (eb, nb) bounds; kept by every solve (reconstruction
+  /// re-derives flat indices from them).
+  std::vector<int> slot_eb;
+  std::vector<int> slot_nb;
+  std::vector<std::vector<RequestCount>> slot_flows;  ///< cached solves only
+
+  void drop_snapshots() {
+    slot_flows.clear();
+    slot_flows.shrink_to_fit();
+  }
+
+  std::size_t snapshot_bytes() const {
+    return detail::nested_bytes(slot_flows);
+  }
+  std::size_t total_bytes() const {
+    return snapshot_bytes() + detail::vector_bytes(flow) +
+           detail::vector_bytes(slot_eb) + detail::vector_bytes(slot_nb) +
+           detail::nested_bytes(slot_decisions);
+  }
 };
 
 /// One engine's cached per-subtree tables over one topology.  Owned by a
@@ -107,6 +182,10 @@ class SubtreeCache {
     states_.assign(n, NodeState{});
     sigs_.assign(n, NodeSignature{});
     valid_.assign(n, 0);
+    resumable_.assign(n, 0);
+    num_valid_ = 0;
+    last_touched_.clear();
+    last_touched_known_ = false;
     return false;
   }
 
@@ -115,11 +194,51 @@ class SubtreeCache {
   NodeState& state(std::size_t i) { return states_[i]; }
   const NodeSignature& signature(std::size_t i) const { return sigs_[i]; }
   bool valid(std::size_t i) const { return valid_[i] != 0; }
+  /// True while the node's merge-tree snapshots survive: a dirty re-solve
+  /// may then resume per slot instead of rebuilding from scratch.
+  bool resumable(std::size_t i) const { return resumable_[i] != 0; }
+  /// True when every node is valid — the precondition of the delta fast
+  /// path (an invalid node must be recomputed even if untouched).
+  bool all_valid() const { return num_valid_ == states_.size(); }
 
-  void invalidate(std::size_t i) { valid_[i] = 0; }
+  void invalidate(std::size_t i) {
+    if (valid_[i] != 0) --num_valid_;
+    valid_[i] = 0;
+  }
   void commit(std::size_t i, const NodeSignature& sig) {
+    if (valid_[i] == 0) ++num_valid_;
     sigs_[i] = sig;
     valid_[i] = 1;
+    resumable_[i] = 1;
+  }
+
+  /// Byte-budget hooks (SolveSession::enforce_budget).  Dropping snapshots
+  /// keeps the node spliceable while clean; dropping the whole state
+  /// forces a recompute on the next solve (still bit-identical, just paid
+  /// again).
+  void drop_snapshots(std::size_t i) {
+    states_[i].drop_snapshots();
+    resumable_[i] = 0;
+  }
+  void drop_state(std::size_t i) {
+    states_[i] = NodeState{};
+    invalidate(i);
+    resumable_[i] = 0;
+  }
+  std::size_t snapshot_bytes(std::size_t i) const {
+    return states_[i].snapshot_bytes();
+  }
+  std::size_t state_bytes(std::size_t i) const {
+    return states_[i].total_bytes();
+  }
+
+  /// The touched-node hint of the previous planned solve (see the delta
+  /// fast path in plan_warm_solve).
+  bool last_touched_known() const { return last_touched_known_; }
+  const std::vector<NodeId>& last_touched() const { return last_touched_; }
+  void set_last_touched(std::vector<NodeId> touched, bool known) {
+    last_touched_ = std::move(touched);
+    last_touched_known_ = known;
   }
 
   std::size_t size() const { return states_.size(); }
@@ -130,6 +249,10 @@ class SubtreeCache {
   std::vector<NodeState> states_;
   std::vector<NodeSignature> sigs_;
   std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> resumable_;
+  std::size_t num_valid_ = 0;
+  std::vector<NodeId> last_touched_;
+  bool last_touched_known_ = false;
 };
 
 using PowerSubtreeCache = SubtreeCache<PowerNodeState>;
@@ -152,54 +275,177 @@ struct DirtyPlan {
   /// Dense internal-index flags: 1 = the node's table must be recomputed
   /// (own inputs changed, or any internal child dirty).
   std::vector<std::uint8_t> dirty;
-  /// For dirty nodes: how many leading child merges may resume from the
-  /// cached partial tables (the node's base and its first `reuse[i]`
-  /// children are unchanged).  Equal to the child count when only the
-  /// node's parent-visible inputs (pre-existing flag / original mode)
-  /// changed — the table is then reused outright.  0 on cold solves.
-  std::vector<std::uint32_t> reuse;
+  /// For dirty nodes: 1 = the node's merge-tree snapshots from the
+  /// previous completed solve are present, so clean children's slots may
+  /// be spliced in and only dirty leaves + their root paths (and the base
+  /// fold) re-run.  0 = rebuild the whole merge tree.
+  std::vector<std::uint8_t> resume;
+  /// For dirty nodes with resume: 1 = the node's own client mass changed,
+  /// so the base fold must re-run even when every child slot is clean.
+  std::vector<std::uint8_t> base_changed;
+  /// NodeSignatures actually built and compared: num_internal on the full
+  /// sweep, the touched-set size on the delta fast path.
+  std::uint64_t signatures_checked = 0;
 };
 
-/// Plans a warm solve: diffs every node's signature against the cache,
-/// propagates dirtiness along root paths, and computes per-node merge
-/// prefixes that may resume from cached partials.  Every dirty slot is
-/// invalidated in the cache up front so an early infeasible exit can never
-/// leave a stale entry marked valid (prefix resumption still works this
-/// round: the partials themselves survive invalidation, and validity is
+/// Per-slot dirtiness of one node's merge plan: which leaf expansions and
+/// internal joins a (re)build must run.  Shared by all three DP engines so
+/// the propagation rule cannot diverge between them.
+struct SlotDirtiness {
+  std::vector<std::uint8_t> dirty;  ///< one flag per merge-plan slot
+  bool any = false;                 ///< any slot dirty (k == 0 => false)
+};
+
+/// Seeds leaf dirtiness from the children's DirtyPlan flags (a recomputed
+/// child may have a different table, so its leaf must be re-expanded) and
+/// propagates through the internal steps.  Without `resume`, every slot
+/// is dirty — the full rebuild of a cold or non-resumable node.
+inline SlotDirtiness plan_slot_dirtiness(const DirtyPlan& plan,
+                                         const Topology& topo,
+                                         std::span<const NodeId> children,
+                                         const MergePlan& mplan,
+                                         bool resume) {
+  SlotDirtiness slots;
+  slots.dirty.assign(mplan.num_slots(), resume ? 0 : 1);
+  slots.any = !resume && !children.empty();
+  if (!resume) return slots;
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    if (plan.dirty[topo.internal_index(children[c])] != 0) {
+      slots.dirty[c] = 1;
+      slots.any = true;
+    }
+  }
+  if (slots.any) {
+    for (std::size_t t = 0; t < mplan.steps().size(); ++t) {
+      const MergePlan::Step& step = mplan.steps()[t];
+      if (slots.dirty[step.left] != 0 || slots.dirty[step.right] != 0) {
+        slots.dirty[mplan.step_slot(t)] = 1;
+      }
+    }
+  }
+  return slots;
+}
+
+/// Internal nodes a delta span can touch: the parent of an edited client,
+/// the node of a pre-existing edit.  nullopt when the span contains an
+/// edit that cannot be attributed to specific nodes (kClearAllPre, an
+/// out-of-range id, or an empty span — empty means "no information", not
+/// "no edits", because legacy callers mutate scenarios without deltas).
+inline std::optional<std::vector<NodeId>> delta_touched_internal(
+    const Topology& topo, std::span<const ScenarioDelta> deltas) {
+  if (deltas.empty()) return std::nullopt;
+  std::vector<NodeId> touched;
+  touched.reserve(deltas.size());
+  for (const ScenarioDelta& d : deltas) {
+    switch (d.op) {
+      case ScenarioDelta::Op::kSetRequests: {
+        if (!topo.valid_id(d.node) || !topo.is_client(d.node)) {
+          return std::nullopt;
+        }
+        touched.push_back(topo.parent(d.node));
+        break;
+      }
+      case ScenarioDelta::Op::kSetPreExisting:
+      case ScenarioDelta::Op::kClearPreExisting: {
+        if (!topo.valid_id(d.node) || !topo.is_internal(d.node)) {
+          return std::nullopt;
+        }
+        touched.push_back(d.node);
+        break;
+      }
+      case ScenarioDelta::Op::kClearAllPre:
+        return std::nullopt;
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+/// Plans a warm solve: determines the recompute set (delta fast path when
+/// possible, else the full signature sweep — see the header comment) and
+/// invalidates every dirty slot up front, so an early infeasible exit can
+/// never leave a stale entry marked valid (slot resumption still works
+/// this round: the snapshots survive invalidation, and validity is
 /// re-committed only after a node is fully reprocessed).
 template <typename NodeState, typename MakeSignature>
 DirtyPlan plan_warm_solve(const Topology& topo, SubtreeCache<NodeState>* cache,
                           std::vector<std::uint64_t> params,
-                          const MakeSignature& make_signature) {
+                          const MakeSignature& make_signature,
+                          std::span<const ScenarioDelta> deltas = {}) {
   const std::size_t n = topo.num_internal();
   DirtyPlan plan;
   plan.dirty.assign(n, 1);
-  plan.reuse.assign(n, 0);
+  plan.resume.assign(n, 0);
+  plan.base_changed.assign(n, 1);
   if (cache == nullptr) return plan;  // one-shot solve: everything dirty
   const bool warm = cache->attach(&topo, std::move(params));
-  if (warm) {
+  std::optional<std::vector<NodeId>> touched =
+      delta_touched_internal(topo, deltas);
+
+  // Delta fast path: the span names every possible edit since the previous
+  // solve (union'd with the previous span for base-forking callers), the
+  // cache has no invalid stragglers, and the touched set is small enough
+  // that skipping the O(N) sweep is worth it.
+  bool planned = false;
+  if (warm && touched && cache->last_touched_known() && cache->all_valid()) {
+    std::vector<NodeId> effective = *touched;
+    effective.insert(effective.end(), cache->last_touched().begin(),
+                     cache->last_touched().end());
+    std::sort(effective.begin(), effective.end());
+    effective.erase(std::unique(effective.begin(), effective.end()),
+                    effective.end());
+    if (effective.size() * 8 <= n) {
+      plan.dirty.assign(n, 0);
+      plan.resume.assign(n, 0);
+      plan.base_changed.assign(n, 0);
+      for (NodeId j : effective) {
+        const std::size_t i = topo.internal_index(j);
+        const NodeSignature sig = make_signature(j);
+        ++plan.signatures_checked;
+        if (cache->signature(i) == sig) continue;
+        if (cache->signature(i).client_mass != sig.client_mass) {
+          plan.base_changed[i] = 1;
+        }
+        for (NodeId a = j; a != kNoNode; a = topo.parent(a)) {
+          const std::size_t ai = topo.internal_index(a);
+          if (plan.dirty[ai] != 0) break;  // path above already marked
+          plan.dirty[ai] = 1;
+          plan.resume[ai] = cache->resumable(ai) ? 1 : 0;
+        }
+      }
+      planned = true;
+    }
+  }
+
+  if (!planned && warm) {
     for (NodeId j : topo.internal_post_order()) {
       const std::size_t i = topo.internal_index(j);
       const NodeSignature sig = make_signature(j);
+      ++plan.signatures_checked;
       const bool was_valid = cache->valid(i);
       bool d = !was_valid || !(cache->signature(i) == sig);
-      const auto children = topo.internal_children(j);
-      std::uint32_t prefix = 0;
-      while (prefix < children.size() &&
-             plan.dirty[topo.internal_index(children[prefix])] == 0) {
-        ++prefix;
+      plan.base_changed[i] =
+          (!was_valid || cache->signature(i).client_mass != sig.client_mass)
+              ? 1
+              : 0;
+      for (NodeId c : topo.internal_children(j)) {
+        if (plan.dirty[topo.internal_index(c)] != 0) {
+          d = true;
+          break;
+        }
       }
-      if (prefix < children.size()) d = true;
       plan.dirty[i] = d ? 1 : 0;
-      // A resumable prefix requires a previously completed table whose
-      // base (client mass) is unchanged; the clean children's merges are
-      // then bit-identical and their partials may be spliced in.
-      if (d && was_valid &&
-          cache->signature(i).client_mass == sig.client_mass) {
-        plan.reuse[i] = prefix;
-      }
+      plan.resume[i] = (d && was_valid && cache->resumable(i)) ? 1 : 0;
     }
   }
+
+  // Record this span for the next solve's fast path; an unattributable
+  // span poisons the hint (the next solve must full-sweep once).
+  cache->set_last_touched(touched ? std::move(*touched)
+                                  : std::vector<NodeId>{},
+                          touched.has_value());
+
   for (std::size_t i = 0; i < n; ++i) {
     if (plan.dirty[i] != 0) cache->invalidate(i);
   }

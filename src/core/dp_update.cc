@@ -12,7 +12,7 @@ namespace {
 
 using dp::kInvalidFlow;
 
-/// Externally ownable per-node state and its per-merge decision record
+/// Externally ownable per-node state and its per-slot decision record
 /// (see core/dp_cache.h).
 using CellDecision = dp::MinCostCellDecision;
 using NodeState = dp::MinCostNodeState;
@@ -35,14 +35,16 @@ class MinCostSolver {
   MinCostResult solve() {
     MinCostResult result;
     const dp::DirtyPlan plan = plan_dirty();
+    result.signatures_checked = plan.signatures_checked;
     for (NodeId j : topo_.internal_post_order()) {
       const std::size_t i = topo_.internal_index(j);
       if (plan.dirty[i] == 0) {
         ++result.nodes_reused;
         continue;  // splice the cached subtree table in unchanged
       }
-      if (!process_node(j, plan.reuse[i])) {
+      if (!process_node(j, plan)) {
         result.merge_iterations = merge_iterations_;
+        result.merge_steps = merge_steps_;
         return result;  // infeasible client mass
       }
       if (cache_ != nullptr) cache_->commit(i, signature(j));
@@ -50,6 +52,7 @@ class MinCostSolver {
     }
     const RootChoice best = scan_root();
     result.merge_iterations = merge_iterations_;
+    result.merge_steps = merge_steps_;
     if (!std::isfinite(best.cost)) return result;
     result.feasible = true;
     if (best.place_root) result.placement.add(topo_.root(), 0);
@@ -75,116 +78,166 @@ class MinCostSolver {
     // recomputed every solve.
     return dp::plan_warm_solve(topo_, cache_,
                                {static_cast<std::uint64_t>(config_.capacity)},
-                               [this](NodeId j) { return signature(j); });
+                               [this](NodeId j) { return signature(j); },
+                               config_.deltas);
   }
 
-  std::size_t idx(const NodeState& s, int e, int n) const {
-    return static_cast<std::size_t>(e) * static_cast<std::size_t>(s.nb + 1) +
+  static std::size_t flat_idx(int e, int n, int nb) {
+    return static_cast<std::size_t>(e) * static_cast<std::size_t>(nb + 1) +
            static_cast<std::size_t>(n);
   }
 
-  /// Builds the table of node j by merging its internal children into the
-  /// base table {(0,0) -> client mass}.  Returns false when the client mass
-  /// alone exceeds W: those requests traverse every ancestor together, so
-  /// the whole instance is infeasible (paper Algorithm 2, exit).
-  /// (Re)builds node j's table, resuming after the first `reuse` child
-  /// merges from their cached partials (see dp::plan_warm_solve); reuse ==
-  /// child count keeps the table as is (only the node's parent-visible
-  /// pre-existing flag changed).
-  bool process_node(NodeId j, std::uint32_t reuse) {
-    NodeState& s = node_state(topo_.internal_index(j));
+  /// (Re)builds node j's table along the merge plan (dp::MergePlan over
+  /// its internal children; the node's own client mass folds into the
+  /// root slot last).  Returns false when the client mass alone exceeds
+  /// W: those requests traverse every ancestor together, so the whole
+  /// instance is infeasible (paper Algorithm 2, exit).  With a resumable
+  /// cache entry, clean children's slots are spliced in and only dirty
+  /// leaves + their root paths + the base fold re-run.
+  bool process_node(NodeId j, const dp::DirtyPlan& plan) {
+    const std::size_t i = topo_.internal_index(j);
+    NodeState& s = node_state(i);
     const RequestCount base = scen_.client_mass(j);
     if (base > config_.capacity) return false;
     const auto children = topo_.internal_children(j);
+    const std::size_t k = children.size();
+    const dp::MergePlan& mplan = plans_.get(k);
+    const std::size_t slots = mplan.num_slots();
 
-    if (reuse == 0) {
-      s.eb = 0;
-      s.nb = 0;
-      s.flow.assign(1, base);
-      s.decisions.clear();  // re-processing a cached node starts fresh
-      s.partial_eb.assign(1, 0);
-      s.partial_nb.assign(1, 0);
-      s.partial_flows.clear();
-    } else if (reuse < children.size()) {
-      // Resume from the snapshot taken before merge `reuse`.
-      s.eb = s.partial_eb[reuse];
-      s.nb = s.partial_nb[reuse];
-      s.flow = s.partial_flows[reuse];
-      s.decisions.resize(reuse);
-      s.partial_eb.resize(reuse + 1);
-      s.partial_nb.resize(reuse + 1);
-      s.partial_flows.resize(reuse);
+    const bool resume = plan.resume[i] != 0;
+    const dp::SlotDirtiness slot_dirty =
+        dp::plan_slot_dirtiness(plan, topo_, children, mplan, resume);
+    if (!resume) {
+      s.slot_eb.assign(slots, 0);
+      s.slot_nb.assign(slots, 0);
+      s.slot_flows.assign(slots, {});
+      s.slot_decisions.assign(slots, {});
     }
-    for (std::size_t k = reuse; k < children.size(); ++k) {
-      merge_child(s, children[k]);
-      s.partial_eb.push_back(s.eb);
-      s.partial_nb.push_back(s.nb);
+
+    for (std::size_t c = 0; c < k; ++c) {
+      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c]);
+    }
+    for (std::size_t t = 0; t < mplan.steps().size(); ++t) {
+      const std::uint32_t out = mplan.step_slot(t);
+      if (slot_dirty.dirty[out] != 0) merge_step(s, mplan.steps()[t], out);
+    }
+    if (!resume || slot_dirty.any || plan.base_changed[i] != 0) {
+      fold_base(s, base, mplan);
+    }
+
+    if (cache_ == nullptr) {
+      // One-shot solve: the slot snapshots are never resumed.  The slot
+      // bounds and decisions stay (reconstruction re-derives flat indices
+      // from them).
+      s.slot_flows.clear();
+      s.slot_flows.shrink_to_fit();
     }
     return true;
   }
 
-  void merge_child(NodeState& s, NodeId c) {
+  /// Fills leaf slot `slot` with child c's table extended by the child's
+  /// own placement option: every child state stays open, and a replica on
+  /// c (absorbing its flow) bumps the reused or new count.
+  void expand_leaf(NodeState& s, std::size_t slot, NodeId c) {
     const NodeState& cs = node_state(topo_.internal_index(c));
-    if (cache_ != nullptr) {
-      // Snapshot the pre-merge flow: the warm-resume point (eb/nb come
-      // from the partial_eb/partial_nb bounds the DP already records).
-      s.partial_flows.push_back(s.flow);
-    }
     const bool child_pre = scen_.pre_existing(c);
-    const int ceb = cs.eb + (child_pre ? 1 : 0);  // counts including c itself
-    const int cnb = cs.nb + (child_pre ? 0 : 1);
+    const int leb = cs.eb + (child_pre ? 1 : 0);
+    const int lnb = cs.nb + (child_pre ? 0 : 1);
+    const std::size_t size = static_cast<std::size_t>(leb + 1) *
+                             static_cast<std::size_t>(lnb + 1);
+    std::vector<RequestCount> flow(size, kInvalidFlow);
+    std::vector<CellDecision> dec(size);
+    ++merge_steps_;
+    for (int ec = 0; ec <= cs.eb; ++ec) {
+      for (int nc = 0; nc <= cs.nb; ++nc) {
+        const RequestCount cf = cs.flow[flat_idx(ec, nc, cs.nb)];
+        if (cf == kInvalidFlow) continue;
+        ++merge_iterations_;
+        // Option A: no replica on c — its flow stays open.
+        const std::size_t t = flat_idx(ec, nc, lnb);
+        if (cf < flow[t]) {
+          flow[t] = cf;
+          dec[t] = CellDecision{0, 0, 0};
+        }
+        // Option B: replica on c absorbs cf (cf <= W by table validity).
+        const std::size_t tp = child_pre ? flat_idx(ec + 1, nc, lnb)
+                                         : flat_idx(ec, nc + 1, lnb);
+        if (RequestCount{0} < flow[tp]) {
+          flow[tp] = 0;
+          dec[tp] = CellDecision{0, 0, 1};
+        }
+      }
+    }
+    s.slot_eb[slot] = leb;
+    s.slot_nb[slot] = lnb;
+    s.slot_flows[slot] = std::move(flow);
+    s.slot_decisions[slot] = std::move(dec);
+  }
 
-    const int new_eb = s.eb + ceb;
-    const int new_nb = s.nb + cnb;
-    const std::size_t new_size = static_cast<std::size_t>(new_eb + 1) *
-                                 static_cast<std::size_t>(new_nb + 1);
-    std::vector<RequestCount> merged(new_size, kInvalidFlow);
-    std::vector<CellDecision> dec(new_size);
-    const auto merged_idx = [new_nb](int e, int n) {
-      return static_cast<std::size_t>(e) * static_cast<std::size_t>(new_nb + 1) +
-             static_cast<std::size_t>(n);
-    };
+  /// Joins two merge-plan slots: counts add, flows add under the W cut.
+  void merge_step(NodeState& s, const dp::MergePlan::Step& step,
+                  std::uint32_t out) {
+    const int leb = s.slot_eb[step.left];
+    const int lnb = s.slot_nb[step.left];
+    const int reb = s.slot_eb[step.right];
+    const int rnb = s.slot_nb[step.right];
+    const std::vector<RequestCount>& lf = s.slot_flows[step.left];
+    const std::vector<RequestCount>& rf = s.slot_flows[step.right];
+    const int new_eb = leb + reb;
+    const int new_nb = lnb + rnb;
+    const std::size_t size = static_cast<std::size_t>(new_eb + 1) *
+                             static_cast<std::size_t>(new_nb + 1);
+    std::vector<RequestCount> merged(size, kInvalidFlow);
+    std::vector<CellDecision> dec(size);
+    ++merge_steps_;
 
-    for (int ep = 0; ep <= s.eb; ++ep) {
-      for (int np = 0; np <= s.nb; ++np) {
-        const RequestCount tf = s.flow[idx(s, ep, np)];
-        if (tf == kInvalidFlow) continue;
-        for (int ec = 0; ec <= cs.eb; ++ec) {
-          for (int nc = 0; nc <= cs.nb; ++nc) {
-            const RequestCount cf =
-                cs.flow[static_cast<std::size_t>(ec) *
-                            static_cast<std::size_t>(cs.nb + 1) +
-                        static_cast<std::size_t>(nc)];
-            if (cf == kInvalidFlow) continue;
+    for (int el = 0; el <= leb; ++el) {
+      for (int nl = 0; nl <= lnb; ++nl) {
+        const RequestCount fl = lf[flat_idx(el, nl, lnb)];
+        if (fl == kInvalidFlow) continue;
+        for (int er = 0; er <= reb; ++er) {
+          for (int nr = 0; nr <= rnb; ++nr) {
+            const RequestCount fr = rf[flat_idx(er, nr, rnb)];
+            if (fr == kInvalidFlow) continue;
             ++merge_iterations_;
-            // Option A: no replica on c — its flow joins ours.
-            const RequestCount sum = tf + cf;
-            if (sum <= config_.capacity) {
-              const std::size_t t = merged_idx(ep + ec, np + nc);
-              if (sum < merged[t]) {
-                merged[t] = sum;
-                dec[t] = CellDecision{static_cast<std::uint16_t>(ep),
-                                      static_cast<std::uint16_t>(np), 0};
-              }
-            }
-            // Option B: replica on c absorbs cf (cf <= W since the entry is
-            // valid); our flow is unchanged.
-            const std::size_t t = child_pre ? merged_idx(ep + ec + 1, np + nc)
-                                            : merged_idx(ep + ec, np + nc + 1);
-            if (tf < merged[t]) {
-              merged[t] = tf;
-              dec[t] = CellDecision{static_cast<std::uint16_t>(ep),
-                                    static_cast<std::uint16_t>(np), 1};
+            const RequestCount sum = fl + fr;
+            if (sum > config_.capacity) continue;
+            const std::size_t t = flat_idx(el + er, nl + nr, new_nb);
+            if (sum < merged[t]) {
+              merged[t] = sum;
+              dec[t] = CellDecision{static_cast<std::uint16_t>(el),
+                                    static_cast<std::uint16_t>(nl), 0};
             }
           }
         }
       }
     }
 
-    s.eb = new_eb;
-    s.nb = new_nb;
-    s.flow = std::move(merged);
-    s.decisions.push_back(std::move(dec));
+    s.slot_eb[out] = new_eb;
+    s.slot_nb[out] = new_nb;
+    s.slot_flows[out] = std::move(merged);
+    s.slot_decisions[out] = std::move(dec);
+  }
+
+  /// Folds the node's own client mass into the root slot; flat indices
+  /// are unchanged.
+  void fold_base(NodeState& s, RequestCount base,
+                 const dp::MergePlan& mplan) {
+    if (mplan.num_leaves() == 0) {
+      s.eb = 0;
+      s.nb = 0;
+      s.flow.assign(1, base);
+      return;
+    }
+    const std::uint32_t root = mplan.root_slot();
+    s.eb = s.slot_eb[root];
+    s.nb = s.slot_nb[root];
+    s.flow = s.slot_flows[root];
+    for (RequestCount& f : s.flow) {
+      if (f == kInvalidFlow) continue;
+      f += base;
+      if (f > config_.capacity) f = kInvalidFlow;
+    }
   }
 
   /// Paper Algorithm 4, extended: for every (e, n) evaluate both root
@@ -217,7 +270,7 @@ class MinCostSolver {
 
     for (int e = 0; e <= s.eb; ++e) {
       for (int n = 0; n <= s.nb; ++n) {
-        const RequestCount f = s.flow[idx(s, e, n)];
+        const RequestCount f = s.flow[flat_idx(e, n, s.nb)];
         if (f == kInvalidFlow) continue;
         if (f == 0) {
           consider(e, n, /*place_root=*/false, e, n);
@@ -233,34 +286,42 @@ class MinCostSolver {
     return best;
   }
 
-  /// Unwinds the per-merge decisions of node j for target counts (e, n),
-  /// adding child replicas to `placement`.
+  /// Unwinds node j's merge tree for target counts (e, n), adding child
+  /// replicas to `placement`.
   void reconstruct(NodeId j, int e, int n, Placement& placement) const {
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
-    int cur_e = e;
-    int cur_n = n;
-    for (std::size_t k = children.size(); k-- > 0;) {
-      const NodeId c = children[k];
-      const bool child_pre = scen_.pre_existing(c);
-      const int nb_after = s.partial_nb[k + 1];
-      const std::size_t flat =
-          static_cast<std::size_t>(cur_e) *
-              static_cast<std::size_t>(nb_after + 1) +
-          static_cast<std::size_t>(cur_n);
-      const CellDecision d = s.decisions[k][flat];
-      int child_e = cur_e - d.e_prev;
-      int child_n = cur_n - d.n_prev;
+    if (children.empty()) {
+      TREEPLACE_DCHECK(e == 0 && n == 0);
+      return;
+    }
+    const dp::MergePlan& mplan = plans_.get(children.size());
+    reconstruct_slot(s, children, mplan, mplan.root_slot(), e, n, placement);
+  }
+
+  void reconstruct_slot(const NodeState& s, std::span<const NodeId> children,
+                        const dp::MergePlan& mplan, std::uint32_t slot,
+                        int e, int n, Placement& placement) const {
+    const std::size_t flat = flat_idx(e, n, s.slot_nb[slot]);
+    const CellDecision d = s.slot_decisions[slot][flat];
+    if (slot < mplan.num_leaves()) {
+      const NodeId c = children[slot];
+      int child_e = e;
+      int child_n = n;
       if (d.place != 0) {
         placement.add(c, /*mode=*/0);
-        (child_pre ? child_e : child_n) -= 1;
+        (scen_.pre_existing(c) ? child_e : child_n) -= 1;
       }
       TREEPLACE_DCHECK(child_e >= 0 && child_n >= 0);
       reconstruct(c, child_e, child_n, placement);
-      cur_e = d.e_prev;
-      cur_n = d.n_prev;
+      return;
     }
-    TREEPLACE_DCHECK(cur_e == 0 && cur_n == 0);
+    const dp::MergePlan::Step& step =
+        mplan.steps()[slot - mplan.num_leaves()];
+    reconstruct_slot(s, children, mplan, step.left, d.e_prev, d.n_prev,
+                     placement);
+    reconstruct_slot(s, children, mplan, step.right, e - d.e_prev,
+                     n - d.n_prev, placement);
   }
 
   const Topology& topo_;
@@ -269,7 +330,9 @@ class MinCostSolver {
   /// Session-owned states when warm-starting, else this solve's locals.
   dp::MinCostSubtreeCache* const cache_;
   mutable std::vector<NodeState> local_states_;
+  mutable dp::MergePlanCache plans_;
   std::uint64_t merge_iterations_ = 0;
+  std::uint64_t merge_steps_ = 0;
 };
 
 }  // namespace

@@ -38,6 +38,10 @@ struct MinCostConfig {
   /// results are bit-identical to a cold solve.  Solves sharing one cache
   /// must be serialized by the caller.
   dp::MinCostSubtreeCache* cache = nullptr;
+  /// Optional edit span for cached solves (fast-path contract in
+  /// core/dp_cache.h): a complete span lets planning skip the O(N)
+  /// signature sweep.  Empty = unknown = full sweep.
+  std::span<const ScenarioDelta> deltas;
 };
 
 struct MinCostResult {
@@ -47,10 +51,16 @@ struct MinCostResult {
   /// Inner-loop iterations actually executed (ablation metric; the paper's
   /// unbounded loops would execute N·(N-E+1)²·(E+1)² of them).
   std::uint64_t merge_iterations = 0;
+  /// Merge-plan slots built (leaf expansions + internal joins): 2k-1 per
+  /// recomputed node with k internal children on a cold solve, O(log k)
+  /// per dirty node on a subtree-resumed warm solve.
+  std::uint64_t merge_steps = 0;
   /// Warm-start accounting: subtree tables rebuilt this solve vs. spliced
   /// in from the cache.  A cold solve recomputes every internal node.
   std::uint64_t nodes_recomputed = 0;
   std::uint64_t nodes_reused = 0;
+  /// NodeSignatures compared while planning (see PowerSolveStats).
+  std::uint64_t signatures_checked = 0;
 };
 
 /// Solves MinCost-WithPre over one scenario of a shared topology (the

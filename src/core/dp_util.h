@@ -3,15 +3,23 @@
 // Every DP in this library fills, per internal node, a table indexed by a
 // small vector of counts ("digits" in a box with per-dimension bounds) whose
 // value is the minimal flow leaving the node's subtree (paper Lemma 1 and
-// its multi-mode generalization).  Children are merged one at a time; a
-// per-merge Decision record allows O(N) solution reconstruction without the
-// req-vector copies of the paper's pseudo-code (the optimization sketched in
-// its Section 3.3).
+// its multi-mode generalization).  Children are combined along a *balanced
+// binary merge tree* (a dp::MergePlan): each child becomes a leaf slot
+// holding the child's table extended by the child's own placement options,
+// internal slots join two earlier slots, and the node's own client mass is
+// folded into the root slot last.  The min-flow-per-count-vector semiring
+// is associative, so the final table is identical to the paper's
+// one-child-at-a-time chain — only the tie-broken witnesses differ — while
+// a warm re-solve with one dirty child redoes O(log k) slots instead of
+// the chain's whole left-deep suffix.  A per-slot Decision record allows
+// O(N) solution reconstruction without the req-vector copies of the
+// paper's pseudo-code (the optimization sketched in its Section 3.3).
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "support/check.h"
@@ -108,14 +116,85 @@ inline std::vector<CompactEntry> compact_valid_entries(
   return out;
 }
 
-/// Per-entry provenance recorded while merging child k into a node:
-/// `left` is the flat index in the partial table before the merge, `right`
-/// the flat index in the child's final table, `mode` the mode of a replica
-/// placed on the child itself (-1 when none).
+/// Per-entry provenance recorded while filling a merge-plan slot.  For an
+/// internal slot, `left`/`right` are the flat indices in the two operand
+/// slots (`mode` unused).  For a leaf slot, `right` is the flat index in
+/// the child's final table and `mode` the mode of a replica placed on the
+/// child itself (-1 when none; `left` unused).
 struct Decision {
   std::uint32_t left = 0;
   std::uint32_t right = 0;
   std::int8_t mode = -1;
+};
+
+/// The balanced binary merge tree over one node's k internal children.
+///
+/// Slots [0, k) are the leaves, one per child in child order; slot k + s is
+/// filled by steps()[s], which joins two earlier slots.  Steps are listed
+/// in execution order (operands always precede their step), the split is
+/// balanced, and every slot covers a contiguous child range — so a single
+/// dirty child invalidates exactly its leaf plus the ceil(log2 k) internal
+/// slots on its root path, the redo set of a warm re-solve.
+class MergePlan {
+ public:
+  struct Step {
+    std::uint32_t left = 0;        ///< slot id of the left operand
+    std::uint32_t right = 0;       ///< slot id of the right operand
+    std::uint32_t first_leaf = 0;  ///< leaves covered: [first_leaf,
+    std::uint32_t last_leaf = 0;   ///<                  last_leaf]
+  };
+
+  explicit MergePlan(std::uint32_t num_leaves) : num_leaves_(num_leaves) {
+    if (num_leaves_ > 1) {
+      steps_.reserve(num_leaves_ - 1);
+      build(0, num_leaves_);
+    }
+  }
+
+  std::uint32_t num_leaves() const { return num_leaves_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  std::uint32_t num_slots() const {
+    return num_leaves_ + static_cast<std::uint32_t>(steps_.size());
+  }
+  std::uint32_t step_slot(std::size_t s) const {
+    return num_leaves_ + static_cast<std::uint32_t>(s);
+  }
+  /// The slot holding the all-children combination; meaningless when
+  /// num_leaves() == 0 (the node's table is just its folded client mass).
+  std::uint32_t root_slot() const { return num_slots() - 1; }
+
+ private:
+  /// Builds the subtree over leaves [lo, hi), returning its slot id.
+  std::uint32_t build(std::uint32_t lo, std::uint32_t hi) {
+    if (hi - lo == 1) return lo;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t left = build(lo, mid);
+    const std::uint32_t right = build(mid, hi);
+    steps_.push_back(Step{left, right, lo, hi - 1});
+    return num_leaves_ + static_cast<std::uint32_t>(steps_.size()) - 1;
+  }
+
+  std::uint32_t num_leaves_;
+  std::vector<Step> steps_;
+};
+
+/// Memoizes MergePlans by child count: one solve asks for the same handful
+/// of fan-outs over and over (table building and every reconstruction).
+class MergePlanCache {
+ public:
+  const MergePlan& get(std::size_t num_leaves) {
+    auto it = plans_.find(num_leaves);
+    if (it == plans_.end()) {
+      it = plans_
+               .emplace(num_leaves,
+                        MergePlan(static_cast<std::uint32_t>(num_leaves)))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::size_t, MergePlan> plans_;
 };
 
 /// Lazily-created worker pool for solver-internal parallelism: no thread is
@@ -139,10 +218,13 @@ class LazyPool {
 };
 
 /// Smallest (left x right) pair count worth sharding across threads; below
-/// it the per-shard table allocations dominate the merge itself.
+/// it the per-shard table allocations dominate the merge itself.  Applied
+/// per merge-tree slot: the small joins near the leaves run serially, the
+/// large ones near the root shard.
 inline constexpr std::size_t kMinShardPairs = 4096;
 
-/// Runs one child merge, sharded over the left entry range when profitable.
+/// Runs one merge-plan step, sharded over the left entry range when
+/// profitable.
 ///
 /// `merge_range(lo, hi, flow, dec)` must fill merge candidates for left
 /// entries [lo, hi) into the given table exactly as the serial loop would

@@ -22,12 +22,19 @@ struct PowerParetoPoint {
 };
 
 struct PowerSolveStats {
-  std::uint64_t merge_pairs = 0;   ///< (left entry, child entry) pairs visited
+  std::uint64_t merge_pairs = 0;   ///< (left entry, right entry) pairs visited
   std::uint64_t table_cells = 0;   ///< total DP cells allocated
+  /// Merge-plan slots actually built (leaf expansions + internal joins).
+  /// A cold solve builds 2k-1 per node with k internal children; a warm
+  /// solve with one dirty child builds O(log k) (see dp::MergePlan).
+  std::uint64_t merge_steps = 0;
   /// Warm-start accounting: subtree tables rebuilt this solve vs. spliced
   /// in from the cache.  A cold solve recomputes every internal node.
   std::uint64_t nodes_recomputed = 0;
   std::uint64_t nodes_reused = 0;
+  /// NodeSignatures compared while planning: num_internal on the full
+  /// sweep, the touched-set size on the delta fast path.
+  std::uint64_t signatures_checked = 0;
   double solve_seconds = 0.0;
 };
 

@@ -50,6 +50,12 @@ struct PowerDPOptions {
   /// bit-identical to a cold solve, only the work counters shrink.  The
   /// caller must serialize solves sharing one cache.
   dp::PowerSubtreeCache* cache = nullptr;
+  /// Optional edit span for cached solves: when it names every edit since
+  /// the cache's previous solve (see the fast-path contract in
+  /// core/dp_cache.h), planning checks only the touched nodes instead of
+  /// sweeping all N signatures.  Empty always means "unknown" and selects
+  /// the sweep.  The span must outlive the solve call.
+  std::span<const ScenarioDelta> deltas;
 };
 
 /// Solves MinPower-BoundedCost-{No,With}Pre exactly over one scenario of a

@@ -46,19 +46,21 @@ class SymmetricPowerSolver {
         external_pool_(options.pool),
         lazy_pool_(options.pool ? 1 : options.threads),
         cache_(options.cache),
+        deltas_(options.deltas),
         local_states_(options.cache ? 0 : topo.num_internal()) {}
 
   PowerDPResult solve() {
     Stopwatch watch;
     PowerDPResult result;
     const dp::DirtyPlan plan = plan_dirty();
+    signatures_checked_ = plan.signatures_checked;
     for (NodeId j : topo_.internal_post_order()) {
       const std::size_t i = topo_.internal_index(j);
       if (plan.dirty[i] == 0) {
         ++nodes_reused_;
         continue;  // splice the cached subtree table in unchanged
       }
-      if (!process_node(j, plan.reuse[i])) {
+      if (!process_node(j, plan)) {
         finish_stats(result, watch);
         return result;
       }
@@ -83,14 +85,17 @@ class SymmetricPowerSolver {
 
   dp::DirtyPlan plan_dirty() {
     return dp::plan_warm_solve(topo_, cache_, dp::capacity_params(modes_),
-                               [this](NodeId j) { return signature(j); });
+                               [this](NodeId j) { return signature(j); },
+                               deltas_);
   }
 
   void finish_stats(PowerDPResult& result, const Stopwatch& watch) const {
     result.stats.merge_pairs = merge_pairs_;
     result.stats.table_cells = table_cells_;
+    result.stats.merge_steps = merge_steps_;
     result.stats.nodes_recomputed = nodes_recomputed_;
     result.stats.nodes_reused = nodes_reused_;
+    result.stats.signatures_checked = signatures_checked_;
     result.stats.solve_seconds = watch.seconds();
   }
 
@@ -98,32 +103,36 @@ class SymmetricPowerSolver {
   std::size_t dim_same() const { return static_cast<std::size_t>(m_); }
   std::size_t dim_changed() const { return static_cast<std::size_t>(m_) + 1; }
 
-  /// (Re)builds node j's table, resuming after the first `reuse` child
-  /// merges from their cached partials (see dp::plan_warm_solve); reuse ==
-  /// child count refreshes only the parent-visible incl_bounds.
-  bool process_node(NodeId j, std::uint32_t reuse) {
-    NodeState& s = node_state(topo_.internal_index(j));
+  /// (Re)builds node j's table along the merge plan; see the exact DP's
+  /// process_node for the resume semantics (dp::plan_warm_solve).
+  bool process_node(NodeId j, const dp::DirtyPlan& plan) {
+    const std::size_t i = topo_.internal_index(j);
+    NodeState& s = node_state(i);
     const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
     const auto children = topo_.internal_children(j);
+    const std::size_t k = children.size();
+    const dp::MergePlan& mplan = plans_.get(k);
+    const std::size_t slots = mplan.num_slots();
 
-    if (reuse == 0) {
-      s.box = Box(std::vector<int>(dims_, 0));
-      s.flow.assign(1, base);
-      s.decisions.clear();  // re-processing a cached node starts fresh
-      s.partial_boxes.clear();
-      s.partial_flows.clear();
-      table_cells_ += 1;
-    } else if (reuse < children.size()) {
-      // Resume from the snapshot taken before merge `reuse`.
-      s.box = s.partial_boxes[reuse];
-      s.flow = s.partial_flows[reuse];
-      s.decisions.resize(reuse);
-      s.partial_boxes.resize(reuse);
-      s.partial_flows.resize(reuse);
+    const bool resume = plan.resume[i] != 0;
+    const dp::SlotDirtiness slot_dirty =
+        dp::plan_slot_dirtiness(plan, topo_, children, mplan, resume);
+    if (!resume) {
+      s.slot_boxes.assign(slots, Box());
+      s.slot_flows.assign(slots, {});
+      s.slot_decisions.assign(slots, {});
     }
-    for (std::size_t k = reuse; k < children.size(); ++k) {
-      merge_child(s, children[k]);
+
+    for (std::size_t c = 0; c < k; ++c) {
+      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c]);
+    }
+    for (std::size_t t = 0; t < mplan.steps().size(); ++t) {
+      const std::uint32_t out = mplan.step_slot(t);
+      if (slot_dirty.dirty[out] != 0) merge_step(s, mplan.steps()[t], out);
+    }
+    if (!resume || slot_dirty.any || plan.base_changed[i] != 0) {
+      fold_base(s, base, mplan);
     }
 
     s.incl_bounds = s.box.bounds();
@@ -132,36 +141,82 @@ class SymmetricPowerSolver {
       s.incl_bounds[dim_same()] += 1;
       s.incl_bounds[dim_changed()] += 1;
     }
+
+    if (cache_ == nullptr) {
+      // One-shot solve: the slot snapshots are never resumed — drop them.
+      s.slot_boxes.clear();
+      s.slot_boxes.shrink_to_fit();
+      s.slot_flows.clear();
+      s.slot_flows.shrink_to_fit();
+    }
     return true;
   }
 
-  void merge_child(NodeState& s, NodeId c) {
+  /// Fills leaf slot `slot` with child c's table extended by the child's
+  /// own placement options (reduced symmetric state: mode counts plus the
+  /// same/changed reuse split).
+  void expand_leaf(NodeState& s, std::size_t slot, NodeId c) {
     NodeState& cs = node_state(topo_.internal_index(c));
-    if (cache_ != nullptr) {
-      // Snapshot the pre-merge state: the warm-resume point.
-      s.partial_boxes.push_back(s.box);
-      s.partial_flows.push_back(s.flow);
+    const bool child_pre = scen_.pre_existing(c);
+    const int child_orig = child_pre ? scen_.original_mode(c) : -1;
+    Box box{cs.incl_bounds};
+    std::vector<RequestCount> flow(box.size(), kInvalidFlow);
+    std::vector<Decision> dec(box.size());
+    table_cells_ += box.size();
+    ++merge_steps_;
+    const auto entries = dp::compact_valid_entries(cs.box, cs.flow, box);
+    for (const CompactEntry& e : entries) {
+      const std::size_t t = static_cast<std::size_t>(e.dot);
+      if (e.flow < flow[t]) {
+        flow[t] = e.flow;
+        dec[t] = Decision{0, e.flat, -1};
+      }
+      for (int w = modes_.mode_for_load(e.flow); w < m_; ++w) {
+        std::size_t tw = t + box.stride(dim_mode(w));
+        if (child_pre) {
+          tw += box.stride(w == child_orig ? dim_same() : dim_changed());
+        }
+        if (RequestCount{0} < flow[tw]) {
+          flow[tw] = 0;
+          dec[tw] = Decision{0, e.flat, static_cast<std::int8_t>(w)};
+        }
+      }
     }
+    s.slot_boxes[slot] = std::move(box);
+    s.slot_flows[slot] = std::move(flow);
+    s.slot_decisions[slot] = std::move(dec);
+    if (cache_ == nullptr) {
+      cs.flow.clear();
+      cs.flow.shrink_to_fit();
+    }
+  }
+
+  /// Joins two merge-plan slots under the W_M feasibility cut; sharded
+  /// across the lazy pool when profitable (dp::sharded_merge).
+  void merge_step(NodeState& s, const dp::MergePlan::Step& step,
+                  std::uint32_t out) {
+    const Box& lbox = s.slot_boxes[step.left];
+    const Box& rbox = s.slot_boxes[step.right];
     std::vector<int> new_bounds(dims_);
     for (std::size_t d = 0; d < dims_; ++d) {
-      new_bounds[d] = s.box.bounds()[d] + cs.incl_bounds[d];
+      new_bounds[d] = lbox.bounds()[d] + rbox.bounds()[d];
     }
     Box new_box(std::move(new_bounds));
     std::vector<RequestCount> merged(new_box.size(), kInvalidFlow);
     std::vector<Decision> dec(new_box.size());
     table_cells_ += new_box.size();
+    ++merge_steps_;
 
-    const auto left = dp::compact_valid_entries(s.box, s.flow, new_box);
-    const auto right = dp::compact_valid_entries(cs.box, cs.flow, new_box);
+    const auto left =
+        dp::compact_valid_entries(lbox, s.slot_flows[step.left], new_box);
+    const auto right =
+        dp::compact_valid_entries(rbox, s.slot_flows[step.right], new_box);
     const RequestCount w_max = modes_.max_capacity();
-    const bool child_pre = scen_.pre_existing(c);
-    const int child_orig = child_pre ? scen_.original_mode(c) : -1;
 
-    // Sharded across the lazy pool when profitable; bit-identical to the
-    // serial loop either way (see dp::sharded_merge).
     const auto merge_range = [&](std::size_t lo, std::size_t hi,
                                  std::vector<RequestCount>& flow,
-                                 std::vector<Decision>& out) -> std::uint64_t {
+                                 std::vector<Decision>& out_dec)
+        -> std::uint64_t {
       std::uint64_t pairs = 0;
       for (std::size_t i = lo; i < hi; ++i) {
         const CompactEntry& le = left[i];
@@ -172,19 +227,7 @@ class SymmetricPowerSolver {
             const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
             if (sum < flow[t]) {
               flow[t] = sum;
-              out[t] = Decision{le.flat, re.flat, -1};
-            }
-          }
-          for (int w = modes_.mode_for_load(re.flow); w < m_; ++w) {
-            std::size_t t = static_cast<std::size_t>(
-                le.dot + re.dot + new_box.stride(dim_mode(w)));
-            if (child_pre) {
-              t += new_box.stride(w == child_orig ? dim_same()
-                                                  : dim_changed());
-            }
-            if (le.flow < flow[t]) {
-              flow[t] = le.flow;
-              out[t] = Decision{le.flat, re.flat, static_cast<std::int8_t>(w)};
+              out_dec[t] = Decision{le.flat, re.flat, -1};
             }
           }
         }
@@ -194,14 +237,29 @@ class SymmetricPowerSolver {
     merge_pairs_ += dp::sharded_merge(merge_pool(), left.size(),
                                       right.size(), merged, dec, merge_range);
 
-    s.box = std::move(new_box);
-    s.flow = std::move(merged);
-    s.decisions.push_back(std::move(dec));
-    if (cache_ == nullptr) {
-      // One-shot solve: drop the child's table.  A cached solve keeps it
-      // for future warm re-merges into a dirty parent.
-      cs.flow.clear();
-      cs.flow.shrink_to_fit();
+    s.slot_boxes[out] = std::move(new_box);
+    s.slot_flows[out] = std::move(merged);
+    s.slot_decisions[out] = std::move(dec);
+  }
+
+  /// Folds the node's own client mass into the root slot (see the exact
+  /// DP's fold_base).
+  void fold_base(NodeState& s, RequestCount base,
+                 const dp::MergePlan& mplan) {
+    if (mplan.num_leaves() == 0) {
+      s.box = Box(std::vector<int>(dims_, 0));
+      s.flow.assign(1, base);
+      table_cells_ += 1;
+      return;
+    }
+    const RequestCount w_max = modes_.max_capacity();
+    const std::uint32_t root = mplan.root_slot();
+    s.box = s.slot_boxes[root];
+    s.flow = s.slot_flows[root];
+    for (RequestCount& f : s.flow) {
+      if (f == kInvalidFlow) continue;
+      f += base;
+      if (f > w_max) f = kInvalidFlow;
     }
   }
 
@@ -301,13 +359,28 @@ class SymmetricPowerSolver {
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
-    for (std::size_t k = children.size(); k-- > 0;) {
-      const Decision d = s.decisions[k][flat];
-      if (d.mode >= 0) placement.add(children[k], d.mode);
-      reconstruct(children[k], d.right, placement);
-      flat = d.left;
+    if (children.empty()) {
+      TREEPLACE_DCHECK(flat == 0);
+      return;
     }
-    TREEPLACE_DCHECK(flat == 0);
+    const dp::MergePlan& mplan = plans_.get(children.size());
+    reconstruct_slot(s, children, mplan, mplan.root_slot(), flat, placement);
+  }
+
+  void reconstruct_slot(const NodeState& s, std::span<const NodeId> children,
+                        const dp::MergePlan& mplan, std::uint32_t slot,
+                        std::size_t flat, Placement& placement) const {
+    const Decision d = s.slot_decisions[slot][flat];
+    if (slot < mplan.num_leaves()) {
+      const NodeId c = children[slot];
+      if (d.mode >= 0) placement.add(c, d.mode);
+      reconstruct(c, d.right, placement);
+      return;
+    }
+    const dp::MergePlan::Step& step =
+        mplan.steps()[slot - mplan.num_leaves()];
+    reconstruct_slot(s, children, mplan, step.left, d.left, placement);
+    reconstruct_slot(s, children, mplan, step.right, d.right, placement);
   }
 
   const Topology& topo_;
@@ -329,11 +402,15 @@ class SymmetricPowerSolver {
   dp::LazyPool lazy_pool_;
   /// Session-owned states when warm-starting, else this solve's locals.
   dp::PowerSubtreeCache* const cache_;
+  const std::span<const ScenarioDelta> deltas_;
   mutable std::vector<NodeState> local_states_;
+  mutable dp::MergePlanCache plans_;
   std::uint64_t merge_pairs_ = 0;
   std::uint64_t table_cells_ = 0;
+  std::uint64_t merge_steps_ = 0;
   std::uint64_t nodes_recomputed_ = 0;
   std::uint64_t nodes_reused_ = 0;
+  std::uint64_t signatures_checked_ = 0;
 };
 
 }  // namespace

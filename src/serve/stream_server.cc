@@ -3,6 +3,7 @@
 #include <deque>
 #include <istream>
 #include <ostream>
+#include <string>
 #include <utility>
 
 #include "serve/request_stream.h"
@@ -49,7 +50,8 @@ StreamServer::StreamServer(StreamServerConfig config)
 
 StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
   SolveDispatcher dispatcher(config_.dispatcher);
-  TopologyCache cache(config_.cache_capacity);
+  TopologyCache cache(config_.cache_capacity,
+                      SolveSession::Options{config_.session_max_bytes});
   RequestStreamReader reader(in);
   StreamServerSummary summary;
   Stopwatch wall;
@@ -177,7 +179,15 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
       << " misses=" << summary.cache.misses
       << " evictions=" << summary.cache.evictions << "\n"
       << "# solver " << solver.algo << ": solves=" << solver.solves
-      << " warm=" << solver.warm << " errors=" << solver.errors
+      << " warm=" << solver.warm
+      << " session_bytes=" << summary.cache.session_bytes
+      << " session_budget="
+      << (config_.session_max_bytes != 0
+              ? std::to_string(config_.session_max_bytes)
+              : std::string("unbounded"))
+      << " dropped_snapshots=" << summary.cache.session_snapshots_dropped
+      << " dropped_tables=" << summary.cache.session_tables_dropped
+      << " errors=" << solver.errors
       << " mean_queue_s=" << solver.total_queue_seconds / solves
       << " mean_solve_s=" << solver.total_solve_seconds / solves
       << " max_solve_s=" << solver.max_solve_seconds

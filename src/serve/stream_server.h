@@ -32,6 +32,10 @@ struct StreamServerConfig {
   /// algos[0] serves every request.
   DispatcherConfig dispatcher;
   std::size_t cache_capacity = 16;
+  /// Per-session warm-start byte budget (SolveSession::Options::max_bytes,
+  /// 0 = unbounded): bounding each resident topology's cached DP state
+  /// lets the cache keep many more topologies warm.
+  std::size_t session_max_bytes = 0;
 
   /// Instance parameters applied to every request of the stream.
   ModeSet modes = ModeSet::single(10);

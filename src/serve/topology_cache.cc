@@ -6,7 +6,9 @@
 
 namespace treeplace::serve {
 
-TopologyCache::TopologyCache(std::size_t capacity) : capacity_(capacity) {
+TopologyCache::TopologyCache(std::size_t capacity,
+                             SolveSession::Options session_options)
+    : capacity_(capacity), session_options_(session_options) {
   TREEPLACE_CHECK_MSG(capacity >= 1, "TopologyCache capacity must be >= 1");
   stats_.capacity = capacity;
 }
@@ -17,7 +19,7 @@ std::shared_ptr<SolveSession> TopologyCache::put(
   TREEPLACE_CHECK_MSG(topology != nullptr, "caching a null topology");
   TREEPLACE_CHECK_MSG(base.topology_ptr() == topology,
                       "base scenario belongs to a different topology");
-  auto session = std::make_shared<SolveSession>(topology);
+  auto session = std::make_shared<SolveSession>(topology, session_options_);
   std::scoped_lock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -66,6 +68,12 @@ TopologyCacheStats TopologyCache::stats() const {
   std::scoped_lock lock(mutex_);
   TopologyCacheStats out = stats_;
   out.size = entries_.size();
+  for (const auto& [key, entry] : entries_) {
+    const SolveSession::Stats s = entry.value.session->stats();
+    out.session_bytes += s.bytes_resident;
+    out.session_snapshots_dropped += s.snapshots_dropped;
+    out.session_tables_dropped += s.tables_dropped;
+  }
   return out;
 }
 

@@ -46,12 +46,22 @@ struct TopologyCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Aggregated over the *resident* sessions (warm-start byte budget,
+  /// SolveSession::Options::max_bytes): bytes held after the last warm
+  /// solve, and how much state the budget has shed so far.
+  std::uint64_t session_bytes = 0;
+  std::uint64_t session_snapshots_dropped = 0;
+  std::uint64_t session_tables_dropped = 0;
 };
 
 class TopologyCache {
  public:
-  /// A cache holding at most `capacity` topologies (>= 1).
-  explicit TopologyCache(std::size_t capacity);
+  /// A cache holding at most `capacity` topologies (>= 1).  Every session
+  /// created by put() inherits `session_options` — in particular the
+  /// per-session byte budget that lets one cache hold many more warm
+  /// topologies than unbounded sessions would.
+  explicit TopologyCache(std::size_t capacity,
+                         SolveSession::Options session_options = {});
 
   /// Inserts (or replaces) the entry under `key` and marks it most
   /// recently used, evicting the least recently used entry when full.
@@ -82,6 +92,7 @@ class TopologyCache {
   void touch(Entry& entry);  // requires mutex_ held
 
   const std::size_t capacity_;
+  const SolveSession::Options session_options_;
   mutable std::mutex mutex_;
   std::list<std::string> recency_;
   std::unordered_map<std::string, Entry> entries_;

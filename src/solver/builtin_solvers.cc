@@ -165,23 +165,28 @@ class UpdateDpSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
-    return solve_with_cache(in, nullptr);
+    return solve_with_cache(in, {}, nullptr);
   }
 
   bool supports_incremental() const override { return true; }
 
   Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> /*deltas*/,
+                             std::span<const ScenarioDelta> deltas,
                              SolveSession& session) const override {
     session.check_topology(in.topology);
-    return solve_with_cache(in, &session);
+    return solve_with_cache(in, deltas, &session);
   }
 
  private:
-  Solution solve_with_cache(const Instance& in, SolveSession* session) const {
+  Solution solve_with_cache(const Instance& in,
+                            std::span<const ScenarioDelta> deltas,
+                            SolveSession* session) const {
     Stopwatch timer;
     MinCostConfig config{in.capacity(), in.costs.create(0), in.costs.del(0)};
-    if (session != nullptr) config.cache = &session->min_cost_cache(name());
+    if (session != nullptr) {
+      config.cache = &session->min_cost_cache(name());
+      config.deltas = deltas;
+    }
     // The DP plans against the single-mode Eq. 2 model and only reads the
     // pre-existing flags; on multi-mode instances, collapse the original
     // modes to 0 for its internal accounting (finish_placement re-prices
@@ -202,7 +207,8 @@ class UpdateDpSolver : public Solver {
       r = solve_min_cost_with_pre(in.topo(), in.scen(), config);
     }
     if (session != nullptr) {
-      session->record_warm(r.nodes_recomputed, r.nodes_reused);
+      session->record_warm(r.nodes_recomputed, r.nodes_reused, r.merge_steps,
+                           r.signatures_checked);
     }
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), r.merge_iterations});
@@ -234,20 +240,24 @@ class PowerExactSolver : public Solver {
   bool supports_incremental() const override { return true; }
 
   Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> /*deltas*/,
+                             std::span<const ScenarioDelta> deltas,
                              SolveSession& session) const override {
     session.check_topology(in.topology);
     PowerDPOptions opts = dp_options();
     opts.cache = &session.power_cache(name());
+    opts.deltas = deltas;
     PowerDPResult r = run_dp(in, opts);
-    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused);
+    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
+                        r.stats.merge_steps, r.stats.signatures_checked);
     return finish(in, std::move(r));
   }
 
  private:
   PowerDPOptions dp_options() const {
-    return PowerDPOptions{static_cast<std::size_t>(options().threads),
-                          worker_pool()};
+    PowerDPOptions opts;
+    opts.threads = static_cast<std::size_t>(options().threads);
+    opts.pool = worker_pool();
+    return opts;
   }
 
   static PowerDPResult run_dp(const Instance& in, const PowerDPOptions& opts) {
@@ -277,27 +287,33 @@ class PowerSymmetricSolver : public Solver {
     return info;
   }
   Solution solve(const Instance& in) const override {
-    PowerDPResult r = run_dp(
-        in, PowerDPOptions{static_cast<std::size_t>(options().threads),
-                           worker_pool()});
+    PowerDPResult r = run_dp(in, dp_options());
     return finish(in, std::move(r));
   }
 
   bool supports_incremental() const override { return true; }
 
   Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> /*deltas*/,
+                             std::span<const ScenarioDelta> deltas,
                              SolveSession& session) const override {
     session.check_topology(in.topology);
-    PowerDPOptions opts{static_cast<std::size_t>(options().threads),
-                        worker_pool()};
+    PowerDPOptions opts = dp_options();
     opts.cache = &session.power_cache(name());
+    opts.deltas = deltas;
     PowerDPResult r = run_dp(in, opts);
-    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused);
+    session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
+                        r.stats.merge_steps, r.stats.signatures_checked);
     return finish(in, std::move(r));
   }
 
  private:
+  PowerDPOptions dp_options() const {
+    PowerDPOptions opts;
+    opts.threads = static_cast<std::size_t>(options().threads);
+    opts.pool = worker_pool();
+    return opts;
+  }
+
   PowerDPResult run_dp(const Instance& in, const PowerDPOptions& opts) const {
     TREEPLACE_CHECK_MSG(in.costs.is_symmetric(),
                         "power-sym requires a symmetric cost model; use "

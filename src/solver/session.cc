@@ -1,12 +1,45 @@
 #include "solver/session.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "solver/solver.h"
 #include "support/check.h"
 
 namespace treeplace {
 
+namespace {
+
+/// One sheddable unit of cached DP state, ranked largest-first so budget
+/// enforcement frees the most bytes with the fewest future recomputes.
+struct Shedding {
+  std::size_t bytes = 0;
+  std::size_t node = 0;
+  int cache = 0;  ///< index into the per-session cache list
+
+  friend bool operator<(const Shedding& a, const Shedding& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;  // largest first
+    if (a.cache != b.cache) return a.cache < b.cache;
+    return a.node < b.node;
+  }
+};
+
+template <typename Cache>
+std::size_t cache_bytes(Cache& cache) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cache.size(); ++i) total += cache.state_bytes(i);
+  return total;
+}
+
+}  // namespace
+
 SolveSession::SolveSession(std::shared_ptr<const Topology> topology)
-    : topology_(std::move(topology)) {
+    : SolveSession(std::move(topology), Options()) {}
+
+SolveSession::SolveSession(std::shared_ptr<const Topology> topology,
+                           Options options)
+    : topology_(std::move(topology)), options_(options) {
   TREEPLACE_CHECK_MSG(topology_ != nullptr,
                       "SolveSession over a null topology");
 }
@@ -26,18 +59,122 @@ dp::MinCostSubtreeCache& SolveSession::min_cost_cache(const std::string& key) {
 }
 
 SolveSession::Stats SolveSession::stats() const {
-  return Stats{warm_solves_.load(), cold_solves_.load(),
-               nodes_recomputed_.load(), nodes_reused_.load()};
+  Stats stats;
+  stats.warm_solves = warm_solves_.load();
+  stats.cold_solves = cold_solves_.load();
+  stats.nodes_recomputed = nodes_recomputed_.load();
+  stats.nodes_reused = nodes_reused_.load();
+  stats.merge_steps = merge_steps_.load();
+  stats.signatures_checked = signatures_checked_.load();
+  stats.bytes_resident = bytes_resident_.load();
+  stats.snapshots_dropped = snapshots_dropped_.load();
+  stats.tables_dropped = tables_dropped_.load();
+  return stats;
 }
 
 void SolveSession::record_warm(std::uint64_t nodes_recomputed,
-                               std::uint64_t nodes_reused) {
+                               std::uint64_t nodes_reused,
+                               std::uint64_t merge_steps,
+                               std::uint64_t signatures_checked) {
   warm_solves_.fetch_add(1);
   nodes_recomputed_.fetch_add(nodes_recomputed);
   nodes_reused_.fetch_add(nodes_reused);
+  merge_steps_.fetch_add(merge_steps);
+  signatures_checked_.fetch_add(signatures_checked);
+  enforce_budget();
 }
 
 void SolveSession::record_cold() { cold_solves_.fetch_add(1); }
+
+void SolveSession::enforce_budget() {
+  // Unbudgeted sessions (the default) skip the accounting walk entirely:
+  // a warm solve's cost must stay proportional to its dirty set, not to
+  // the cache size.  bytes_resident then reads 0 (untracked).
+  if (options_.max_bytes == 0) return;
+
+  // Snapshot the cache pointers under the map lock; their contents are
+  // protected by solve_mutex_, which record_warm's caller holds.
+  std::vector<dp::PowerSubtreeCache*> power;
+  std::vector<dp::MinCostSubtreeCache*> min_cost;
+  {
+    std::scoped_lock lock(caches_mutex_);
+    for (auto& [key, cache] : power_caches_) power.push_back(cache.get());
+    for (auto& [key, cache] : min_cost_caches_) {
+      min_cost.push_back(cache.get());
+    }
+  }
+  std::size_t total = 0;
+  for (auto* cache : power) total += cache_bytes(*cache);
+  for (auto* cache : min_cost) total += cache_bytes(*cache);
+
+  const std::size_t budget = options_.max_bytes;
+  if (total > budget) {
+    // Pass 1: shed merge-tree snapshots, largest first — the node stays
+    // spliceable while clean, only the O(log k) slot resume is lost.
+    std::vector<Shedding> snapshots;
+    for (std::size_t c = 0; c < power.size(); ++c) {
+      for (std::size_t i = 0; i < power[c]->size(); ++i) {
+        const std::size_t bytes = power[c]->snapshot_bytes(i);
+        if (bytes > 0) snapshots.push_back({bytes, i, static_cast<int>(c)});
+      }
+    }
+    const int min_cost_base = static_cast<int>(power.size());
+    for (std::size_t c = 0; c < min_cost.size(); ++c) {
+      for (std::size_t i = 0; i < min_cost[c]->size(); ++i) {
+        const std::size_t bytes = min_cost[c]->snapshot_bytes(i);
+        if (bytes > 0) {
+          snapshots.push_back({bytes, i, min_cost_base + static_cast<int>(c)});
+        }
+      }
+    }
+    std::sort(snapshots.begin(), snapshots.end());
+    for (const Shedding& shed : snapshots) {
+      if (total <= budget) break;
+      if (shed.cache < min_cost_base) {
+        power[static_cast<std::size_t>(shed.cache)]->drop_snapshots(shed.node);
+      } else {
+        min_cost[static_cast<std::size_t>(shed.cache - min_cost_base)]
+            ->drop_snapshots(shed.node);
+      }
+      total -= std::min(total, shed.bytes);
+      snapshots_dropped_.fetch_add(1);
+    }
+
+    // Pass 2: still over budget — shed whole subtree tables, largest
+    // first.  The next solve recomputes them (bit-identical, just paid
+    // again).
+    if (total > budget) {
+      std::vector<Shedding> tables;
+      for (std::size_t c = 0; c < power.size(); ++c) {
+        for (std::size_t i = 0; i < power[c]->size(); ++i) {
+          const std::size_t bytes = power[c]->state_bytes(i);
+          if (bytes > 0) tables.push_back({bytes, i, static_cast<int>(c)});
+        }
+      }
+      for (std::size_t c = 0; c < min_cost.size(); ++c) {
+        for (std::size_t i = 0; i < min_cost[c]->size(); ++i) {
+          const std::size_t bytes = min_cost[c]->state_bytes(i);
+          if (bytes > 0) {
+            tables.push_back({bytes, i, min_cost_base + static_cast<int>(c)});
+          }
+        }
+      }
+      std::sort(tables.begin(), tables.end());
+      for (const Shedding& shed : tables) {
+        if (total <= budget) break;
+        if (shed.cache < min_cost_base) {
+          power[static_cast<std::size_t>(shed.cache)]->drop_state(shed.node);
+        } else {
+          min_cost[static_cast<std::size_t>(shed.cache - min_cost_base)]
+              ->drop_state(shed.node);
+        }
+        total -= std::min(total, shed.bytes);
+        tables_dropped_.fetch_add(1);
+      }
+    }
+  }
+  bytes_resident_.store(total);
+}
 
 // The correct-by-construction fallback for strategies without warm-start
 // support: a plain cold solve, recorded as such on the session.  Defined

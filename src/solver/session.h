@@ -4,10 +4,11 @@
 // delta-aware solvers reuse the tables of unchanged subtrees between
 // solves — the serving loop's scenario deltas touch a few clients per
 // request, so a warm re-solve recomputes only the root paths of the
-// touched nodes and splices cached tables in for everything else.
-// Sessions are keyed by topology: the serving layer keeps one per
-// TopologyCache entry (evicted together), experiment loops keep one per
-// chained tree.
+// touched nodes (and, within each touched node, only the O(log k) dirty
+// slots of its balanced merge tree) and splices cached tables in for
+// everything else.  Sessions are keyed by topology: the serving layer
+// keeps one per TopologyCache entry (evicted together), experiment loops
+// keep one per chained tree.
 //
 // Contract:
 //   * One session belongs to one topology.  Engines verify this themselves
@@ -18,6 +19,11 @@
 //     The stats counters are atomics and may be read concurrently.
 //   * Results are bit-identical to cold solves by construction; only the
 //     work counters (merge pairs, table cells) shrink.
+//   * Options::max_bytes bounds the resident cache footprint: after each
+//     warm solve the session drops merge-tree snapshots first (losing
+//     O(log k) slot resume but keeping whole-subtree splicing) and whole
+//     subtree tables last (losing the splice, paying a recompute) until
+//     the budget holds.  0 = unbounded.
 #pragma once
 
 #include <atomic>
@@ -34,7 +40,14 @@ namespace treeplace {
 
 class SolveSession {
  public:
+  struct Options {
+    /// Byte budget for all of this session's cached DP state; 0 = no
+    /// limit.  Enforced after every warm solve (see enforce_budget()).
+    std::size_t max_bytes = 0;
+  };
+
   explicit SolveSession(std::shared_ptr<const Topology> topology);
+  SolveSession(std::shared_ptr<const Topology> topology, Options options);
 
   SolveSession(const SolveSession&) = delete;
   SolveSession& operator=(const SolveSession&) = delete;
@@ -42,6 +55,7 @@ class SolveSession {
   const std::shared_ptr<const Topology>& topology_ptr() const {
     return topology_;
   }
+  const Options& options() const { return options_; }
 
   /// Guards against cross-topology misuse: incremental solvers call this
   /// before touching the caches.  The check matters for memory safety, not
@@ -69,17 +83,38 @@ class SolveSession {
     std::uint64_t cold_solves = 0;  ///< fallback solves (no capability)
     std::uint64_t nodes_recomputed = 0;
     std::uint64_t nodes_reused = 0;
+    /// Merge-plan slots built across all warm solves (leaf expansions +
+    /// internal joins); the O(log k) redo claim is visible here.
+    std::uint64_t merge_steps = 0;
+    /// NodeSignatures compared while planning; the delta fast path keeps
+    /// this near the touched-set size instead of N per solve.
+    std::uint64_t signatures_checked = 0;
+    /// Byte-budget accounting (Options::max_bytes).  bytes_resident is
+    /// tracked only when a budget is set — unbudgeted sessions skip the
+    /// per-solve accounting walk and report 0.
+    std::uint64_t bytes_resident = 0;  ///< after the last warm solve
+    std::uint64_t snapshots_dropped = 0;
+    std::uint64_t tables_dropped = 0;
   };
   Stats stats() const;
 
   /// Called by solvers after a cache-backed solve with the engine's
-  /// warm-start accounting.
-  void record_warm(std::uint64_t nodes_recomputed, std::uint64_t nodes_reused);
+  /// warm-start accounting; also enforces Options::max_bytes (the caller
+  /// already holds solve_mutex(), so cache surgery is safe here).
+  void record_warm(std::uint64_t nodes_recomputed, std::uint64_t nodes_reused,
+                   std::uint64_t merge_steps,
+                   std::uint64_t signatures_checked);
   /// Called by the base-class cold fallback.
   void record_cold();
 
  private:
+  /// Sheds cached state until the byte budget holds: merge-tree snapshots
+  /// first (largest first), whole node states last.  Requires
+  /// solve_mutex() held (it mutates the caches).
+  void enforce_budget();
+
   std::shared_ptr<const Topology> topology_;
+  Options options_;
   std::mutex solve_mutex_;
   // Guards the cache maps only; cache contents are protected by
   // solve_mutex_ (held across the whole solve).
@@ -92,6 +127,11 @@ class SolveSession {
   std::atomic<std::uint64_t> cold_solves_{0};
   std::atomic<std::uint64_t> nodes_recomputed_{0};
   std::atomic<std::uint64_t> nodes_reused_{0};
+  std::atomic<std::uint64_t> merge_steps_{0};
+  std::atomic<std::uint64_t> signatures_checked_{0};
+  std::atomic<std::uint64_t> bytes_resident_{0};
+  std::atomic<std::uint64_t> snapshots_dropped_{0};
+  std::atomic<std::uint64_t> tables_dropped_{0};
 };
 
 }  // namespace treeplace

@@ -110,13 +110,19 @@ class Solver {
   virtual bool supports_incremental() const { return false; }
 
   /// Delta-aware re-solve against a persistent session (solver/session.h).
-  /// `deltas` lists the scenario edits since the session's previous solve
-  /// as a *hint*; correctness never depends on it — incremental engines
-  /// diff per-node input signatures against the session's caches, so a
-  /// stale or incomplete span only costs recomputation.  Results are
-  /// bit-identical to solve() on the same instance.  The caller must
-  /// serialize calls sharing one session (hold session.solve_mutex()).
-  /// The base implementation is a correct cold-solve fallback.
+  /// `deltas` lists the scenario edits since the session's previous solve.
+  /// A non-empty span is a soft contract: it must name *every* edit since
+  /// that solve — relative to the previously solved scenario, or to a
+  /// common base scenario both solves' spans fork from (the serving
+  /// loop's pattern).  Small complete spans let the engines skip the O(N)
+  /// per-node signature sweep and check only the touched root paths (see
+  /// core/dp_cache.h); callers that cannot promise completeness pass an
+  /// empty span, which always selects the full signature diff — so the
+  /// no-hint path keeps the old unconditional safety.  Results are
+  /// bit-identical to solve() on the same instance either way.  The
+  /// caller must serialize calls sharing one session (hold
+  /// session.solve_mutex()).  The base implementation is a correct
+  /// cold-solve fallback.
   virtual Solution solve_incremental(const Instance& instance,
                                      std::span<const ScenarioDelta> deltas,
                                      SolveSession& session) const;

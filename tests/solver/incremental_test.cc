@@ -22,6 +22,7 @@
 #include "solver/session.h"
 #include "support/check.h"
 #include "support/prng.h"
+#include "tests/support/test_math.h"
 #include "tree/scenario_delta.h"
 
 namespace treeplace {
@@ -218,6 +219,154 @@ TEST(IncrementalSolveTest, SingleClientDeltaRecomputesOnlyTheRootPath) {
   EXPECT_EQ(after_warm.nodes_recomputed - after_cold.nodes_recomputed,
             path_len);
   EXPECT_EQ(after_warm.nodes_reused, tree.num_internal() - path_len);
+}
+
+/// A wide star: one root whose internal children each carry one client.
+/// The shape where the balanced merge tree pays off most — the old
+/// left-deep chain redid up to k merges per delta, the tree O(log k).
+Tree make_star_tree(int fanout) {
+  TreeBuilder builder;
+  const NodeId root = builder.add_root();
+  for (int i = 0; i < fanout; ++i) {
+    const NodeId child = builder.add_internal(root);
+    builder.add_client(child, /*requests=*/1 + (i % 4));
+  }
+  return std::move(builder).build();
+}
+
+TEST(IncrementalSolveTest, StarDeltaRedoesLogKMergeSteps) {
+  constexpr int kFanout = 48;
+  for (const char* algo : {"power-sym", "power-exact", "update-dp"}) {
+    Tree tree = make_star_tree(kFanout);
+    const bool single_mode = std::string(algo) == "update-dp";
+    const ModeSet modes = single_mode ? ModeSet::single(10)
+                                      : ModeSet({5, 10}, 12.5, 3.0);
+    const CostModel costs =
+        single_mode ? CostModel::simple(0.1, 0.01)
+                    : CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+    const auto solver = make_solver(algo);
+    SolveSession session(tree.topology_ptr());
+
+    const auto instance = [&] {
+      return single_mode
+                 ? Instance::single_mode(tree.topology_ptr(), tree.scenario(),
+                                         10, 0.1, 0.01)
+                 : Instance{tree.topology_ptr(), tree.scenario(), modes,
+                            costs, std::nullopt};
+    };
+    solver->solve_incremental(instance(), {}, session);
+    const SolveSession::Stats cold = session.stats();
+    // Cold: every slot of the root's merge tree plus nothing per leaf
+    // child (they have no internal children of their own).
+    EXPECT_EQ(cold.merge_steps, 2u * kFanout - 1) << algo;
+
+    // One client under one arm: the arm refolds its base (0 slots), the
+    // root redoes that arm's leaf + its ceil(log2 k) root path.
+    const NodeId client = tree.client_ids()[kFanout / 2];
+    const std::vector<ScenarioDelta> deltas{
+        ScenarioDelta::set_requests(client, tree.requests(client) + 1)};
+    apply_delta(tree.scenario(), deltas.front());
+    solver->solve_incremental(instance(), deltas, session);
+    const SolveSession::Stats warm = session.stats();
+
+    const std::uint64_t redo = warm.merge_steps - cold.merge_steps;
+    EXPECT_LE(redo, static_cast<std::uint64_t>(test::ceil_log2(kFanout) + 1))
+        << algo << ": a single-arm delta must redo O(log k) merge slots";
+    EXPECT_GE(redo, 1u) << algo;
+    EXPECT_EQ(warm.nodes_recomputed - cold.nodes_recomputed, 2u) << algo;
+    EXPECT_EQ(warm.nodes_reused, static_cast<std::uint64_t>(kFanout - 1))
+        << algo;
+  }
+}
+
+TEST(IncrementalSolveTest, SmallDeltaSkipsTheSignatureSweep) {
+  Tree tree = make_star_tree(48);
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const auto warm_solver = make_solver("power-sym");
+  const auto cold_solver = make_solver("power-sym");
+  SolveSession session(tree.topology_ptr());
+
+  const Instance base{tree.topology_ptr(), tree.scenario(), modes, costs,
+                      std::nullopt};
+  warm_solver->solve_incremental(base, {}, session);
+  const std::uint64_t n = tree.num_internal();
+  // A cold attach has nothing to diff against: zero checks.
+  EXPECT_EQ(session.stats().signatures_checked, 0u);
+
+  const auto step = [&](NodeId client) {
+    const std::vector<ScenarioDelta> deltas{
+        ScenarioDelta::set_requests(client, tree.requests(client) + 3)};
+    apply_delta(tree.scenario(), deltas.front());
+    const Instance edited{tree.topology_ptr(), tree.scenario(), modes, costs,
+                          std::nullopt};
+    const Solution warm = warm_solver->solve_incremental(edited, deltas,
+                                                         session);
+    expect_identical(warm, cold_solver->solve(edited), "delta step");
+  };
+
+  // The first span after an unknown predecessor still sweeps (it primes
+  // the touched-set tracking)...
+  step(tree.client_ids()[0]);
+  EXPECT_EQ(session.stats().signatures_checked, n);
+
+  // ...then consecutive complete spans take the fast path: only the
+  // current span's touched nodes union the previous span's are checked.
+  step(tree.client_ids()[1]);
+  const std::uint64_t after_fast = session.stats().signatures_checked;
+  EXPECT_LE(after_fast, n + 2);
+
+  // An unattributable span (clear-all) falls back to the full sweep.
+  const std::vector<ScenarioDelta> clear{ScenarioDelta::clear_all_pre()};
+  apply_delta(tree.scenario(), clear.front());
+  const Instance cleared{tree.topology_ptr(), tree.scenario(), modes, costs,
+                         std::nullopt};
+  const Solution warm2 = warm_solver->solve_incremental(cleared, clear,
+                                                        session);
+  EXPECT_EQ(session.stats().signatures_checked, after_fast + n);
+  expect_identical(warm2, cold_solver->solve(cleared), "sweep fallback");
+}
+
+TEST(IncrementalSolveTest, ByteBudgetShedsStateButKeepsResults) {
+  Tree tree = make_fuzz_tree(81, 0, 24);
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const auto warm_solver = make_solver("power-sym");
+  const auto cold_solver = make_solver("power-sym");
+
+  // A budget small enough to force shedding but nonzero, so the session
+  // keeps the cheapest tables: results must stay bit-identical, only the
+  // reuse counters may degrade.
+  SolveSession session(tree.topology_ptr(),
+                       SolveSession::Options{/*max_bytes=*/8 * 1024});
+  Xoshiro256 rng = make_rng(81, 0, RngStream::kWorkloadUpdate);
+  for (int step = 0; step < 6; ++step) {
+    const std::vector<ScenarioDelta> deltas = random_step(tree.topology(),
+                                                          rng);
+    for (const ScenarioDelta& delta : deltas) {
+      apply_delta(tree.scenario(), delta);
+    }
+    const Instance instance{tree.topology_ptr(), tree.scenario(), modes,
+                            costs, std::nullopt};
+    const Solution warm =
+        warm_solver->solve_incremental(instance, deltas, session);
+    expect_identical(warm, cold_solver->solve(instance),
+                     "budget step " + std::to_string(step));
+  }
+  const SolveSession::Stats stats = session.stats();
+  EXPECT_LE(stats.bytes_resident, 8u * 1024u);
+  EXPECT_GT(stats.snapshots_dropped + stats.tables_dropped, 0u);
+
+  // An unbounded session never sheds (and skips the accounting walk:
+  // bytes_resident stays untracked at 0).
+  SolveSession unbounded(tree.topology_ptr());
+  warm_solver->solve_incremental(
+      Instance{tree.topology_ptr(), tree.scenario(), modes, costs,
+               std::nullopt},
+      {}, unbounded);
+  EXPECT_EQ(unbounded.stats().snapshots_dropped, 0u);
+  EXPECT_EQ(unbounded.stats().tables_dropped, 0u);
+  EXPECT_EQ(unbounded.stats().bytes_resident, 0u);
 }
 
 TEST(IncrementalSolveTest, RejectsInstanceOfDifferentTopology) {

@@ -1,0 +1,20 @@
+// Shared arithmetic helpers for test assertions.
+#pragma once
+
+#include <cstddef>
+
+namespace treeplace::test {
+
+/// ceil(log2(k)) (0 for k <= 1): the dp::MergePlan root-path depth bound
+/// that the warm-redo assertions check against.
+inline int ceil_log2(std::size_t k) {
+  int depth = 0;
+  std::size_t reach = 1;
+  while (reach < k) {
+    reach *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace treeplace::test

@@ -28,7 +28,10 @@ Usage:
 "solver,instance"); --timing-columns the columns treated as timings
 (warn-only; default "seconds").  --update-baseline rewrites the baseline
 file with the fresh run after reporting — use it deliberately, commit the
-result, and let review see the diff.
+result, and let review see the diff.  Under --update-baseline, changed
+result columns are reported as REBASE lines with the old->new ratio, so
+the report artifact documents exactly how far each deliberately
+re-baselined value moved.
 
 Exit codes: 0 clean (warnings allowed, and always after --update-baseline),
 1 result drift, 2 usage/IO error.
@@ -68,6 +71,19 @@ def values_equal(a, b):
             return a == b
         return abs(fa - fb) <= max(FLOAT_ABS_TOL, FLOAT_REL_TOL * max(abs(fa), abs(fb)))
     return a == b
+
+
+def change_ratio(old, new):
+    """The old->new ratio as a suffix string, when both are numeric."""
+    if isinstance(old, bool) or isinstance(new, bool):
+        return ""
+    try:
+        fo, fn = float(old), float(new)
+    except (TypeError, ValueError):
+        return ""
+    if fo == 0:
+        return " (was 0)"
+    return f" ({fn / fo:.3f}x)"
 
 
 def main():
@@ -122,13 +138,17 @@ def main():
         if fresh_row is None:
             drift.append(f"MISSING  {key}: row present in baseline only")
             continue
+        # A drift found while refreshing the baseline is a deliberate
+        # re-baseline: label it as such and quantify the move.
+        drift_tag = "REBASE  " if args.update_baseline else "DRIFT   "
         for column in result_columns:
             if column not in fresh_row:
-                drift.append(f"DRIFT    {key}: column '{column}' missing")
+                drift.append(f"{drift_tag} {key}: column '{column}' missing")
             elif not values_equal(base_row[column], fresh_row[column]):
                 drift.append(
-                    f"DRIFT    {key}: {column} {base_row[column]!r} -> "
-                    f"{fresh_row[column]!r}")
+                    f"{drift_tag} {key}: {column} {base_row[column]!r} -> "
+                    f"{fresh_row[column]!r}"
+                    f"{change_ratio(base_row[column], fresh_row[column])}")
         for column in timing_columns:
             if column not in base_row or column not in fresh_row:
                 continue

@@ -72,6 +72,8 @@ constexpr int kExitUsage = 2;
       "               --threads N        pool size (default: all cores)\n"
       "               --queue Q          bound on in-flight solves (4xN)\n"
       "               --cache C          resident topologies (default 16)\n"
+      "               --session-bytes B  warm-state byte budget per resident\n"
+      "                                  topology (0 = unbounded)\n"
       "               --solver-threads K solver-internal threads\n"
       "               (instance flags as for solve)\n"
       "  list-algos   same as solve --list-algos\n"
@@ -381,6 +383,7 @@ int cmd_serve(const Args& args) {
   config.dispatcher.solver_threads =
       static_cast<int>(get_count(args, "solver-threads", 1, 1));
   config.cache_capacity = get_count(args, "cache", 16, 1);
+  config.session_max_bytes = get_count(args, "session-bytes", 0, 0);
   config.modes = params.modes;
   config.costs = params.costs;
   config.cost_budget = params.budget;
