@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/dp_util.h"
+#include "core/merge_kernel.h"
 #include "model/modes.h"
 #include "tree/scenario.h"
 #include "tree/scenario_delta.h"
@@ -72,10 +73,18 @@ std::size_t vector_bytes(const std::vector<T>& v) {
 }
 
 template <typename T>
-std::size_t nested_bytes(const std::vector<std::vector<T>>& v) {
+std::size_t arena_tables_bytes(const std::vector<ArenaTable<T>>& v) {
   std::size_t total = vector_bytes(v);
-  for (const auto& inner : v) total += vector_bytes(inner);
+  for (const auto& table : v) total += table.capacity_bytes();
   return total;
+}
+
+template <typename T>
+void release_arena_tables(std::vector<ArenaTable<T>>& v,
+                          TableArena& arena) noexcept {
+  for (auto& table : v) table.clear(arena);
+  v.clear();
+  v.shrink_to_fit();
 }
 
 }  // namespace detail
@@ -89,23 +98,34 @@ std::size_t nested_bytes(const std::vector<std::vector<T>>& v) {
 /// their root paths, splicing the snapshots in everywhere else.
 struct PowerNodeState {
   Box box;
-  std::vector<RequestCount> flow;
+  ArenaTable<RequestCount> flow;
   std::vector<int> incl_bounds;
   /// One entry per merge-plan slot (leaves first, then steps in execution
   /// order).  Decisions are kept by every solve (reconstruction needs
   /// them); boxes/flows only by cached solves (see drop_snapshots()).
-  std::vector<std::vector<Decision>> slot_decisions;
+  /// Tables are arena-backed: the owning SubtreeCache's arena (or a
+  /// solver-local arena for one-shot solves) holds the storage.
+  std::vector<ArenaTable<Decision>> slot_decisions;
   std::vector<Box> slot_boxes;
-  std::vector<std::vector<RequestCount>> slot_flows;
+  std::vector<ArenaTable<RequestCount>> slot_flows;
 
   /// Frees the merge-tree snapshots (slot boxes/flows), keeping the final
   /// table and decisions: the node can still be spliced in whole while
   /// clean, but a dirty re-solve falls back to a full rebuild.
-  void drop_snapshots() {
+  void drop_snapshots(TableArena& arena) noexcept {
     slot_boxes.clear();
     slot_boxes.shrink_to_fit();
-    slot_flows.clear();
-    slot_flows.shrink_to_fit();
+    detail::release_arena_tables(slot_flows, arena);
+  }
+
+  /// Returns every arena block and resets the state to empty.
+  void release(TableArena& arena) noexcept {
+    drop_snapshots(arena);
+    flow.clear(arena);
+    detail::release_arena_tables(slot_decisions, arena);
+    box = Box();
+    incl_bounds.clear();
+    incl_bounds.shrink_to_fit();
   }
 
   std::size_t snapshot_bytes() const {
@@ -113,52 +133,56 @@ struct PowerNodeState {
     for (const Box& b : slot_boxes) {
       total += detail::vector_bytes(b.bounds()) + b.dims() * sizeof(size_t);
     }
-    return total + detail::nested_bytes(slot_flows);
+    return total + detail::arena_tables_bytes(slot_flows);
   }
   std::size_t total_bytes() const {
-    return snapshot_bytes() + detail::vector_bytes(flow) +
+    return snapshot_bytes() + flow.capacity_bytes() +
            detail::vector_bytes(incl_bounds) +
-           detail::nested_bytes(slot_decisions);
+           detail::arena_tables_bytes(slot_decisions);
   }
-};
-
-/// Decision record of the 2-index (e, n) MinCost DP.  For an internal
-/// merge-plan slot, (e_prev, n_prev) is the left operand's index pair (the
-/// right operand's follows by subtraction; `place` unused).  For a leaf
-/// slot, `place` says whether a replica sits on the child itself
-/// (e_prev/n_prev unused — the child's pair follows by subtraction).
-struct MinCostCellDecision {
-  std::uint16_t e_prev = 0;
-  std::uint16_t n_prev = 0;
-  std::uint8_t place = 0;
 };
 
 /// Per-node state of the MinCost-WithPre DP; same slot layout as
-/// PowerNodeState with (eb, nb) bound pairs in place of boxes.  Tables are
-/// flat arrays indexed by e*(nb+1)+n.
+/// PowerNodeState with (eb, nb) bound pairs in place of boxes (a slot's
+/// table is a flat array over Box({eb, nb}), i.e. indexed e*(nb+1)+n).
+/// Decisions use the shared dp::Decision record — for internal slots the
+/// two operand flats, for leaf slots `right` = the child's flat and `mode`
+/// = 1 when a replica sits on the child itself — so MinCost merges run
+/// through the same join kernel as the power DPs.
 struct MinCostNodeState {
   int eb = 0;  ///< pre-existing nodes strictly below
   int nb = 0;  ///< non-pre-existing internal nodes strictly below
-  std::vector<RequestCount> flow;
-  std::vector<std::vector<MinCostCellDecision>> slot_decisions;
+  ArenaTable<RequestCount> flow;
+  std::vector<ArenaTable<Decision>> slot_decisions;
   /// Per-slot (eb, nb) bounds; kept by every solve (reconstruction
   /// re-derives flat indices from them).
   std::vector<int> slot_eb;
   std::vector<int> slot_nb;
-  std::vector<std::vector<RequestCount>> slot_flows;  ///< cached solves only
+  std::vector<ArenaTable<RequestCount>> slot_flows;  ///< cached solves only
 
-  void drop_snapshots() {
-    slot_flows.clear();
-    slot_flows.shrink_to_fit();
+  void drop_snapshots(TableArena& arena) noexcept {
+    detail::release_arena_tables(slot_flows, arena);
+  }
+
+  void release(TableArena& arena) noexcept {
+    drop_snapshots(arena);
+    flow.clear(arena);
+    detail::release_arena_tables(slot_decisions, arena);
+    eb = 0;
+    nb = 0;
+    slot_eb.clear();
+    slot_eb.shrink_to_fit();
+    slot_nb.clear();
+    slot_nb.shrink_to_fit();
   }
 
   std::size_t snapshot_bytes() const {
-    return detail::nested_bytes(slot_flows);
+    return detail::arena_tables_bytes(slot_flows);
   }
   std::size_t total_bytes() const {
-    return snapshot_bytes() + detail::vector_bytes(flow) +
+    return snapshot_bytes() + flow.capacity_bytes() +
            detail::vector_bytes(slot_eb) + detail::vector_bytes(slot_nb) +
-           detail::nested_bytes(slot_decisions);
+           detail::arena_tables_bytes(slot_decisions);
   }
 };
 
@@ -179,10 +203,12 @@ class SubtreeCache {
     }
     topo_ = topo;
     params_ = std::move(params);
+    arena_.reset();  // invalidates every table the old states pointed into
     states_.assign(n, NodeState{});
     sigs_.assign(n, NodeSignature{});
     valid_.assign(n, 0);
     resumable_.assign(n, 0);
+    dirty_counts_.assign(n, 0);
     num_valid_ = 0;
     last_touched_.clear();
     last_touched_known_ = false;
@@ -204,6 +230,11 @@ class SubtreeCache {
   void invalidate(std::size_t i) {
     if (valid_[i] != 0) --num_valid_;
     valid_[i] = 0;
+    // Hotness signal for budget shedding: every plan-time invalidation
+    // counts, so a node on the delta path of every solve (the root, hot
+    // subtrees) outscores one that is only re-dirtied when shedding forces
+    // a recompute — even while both sit invalid between solves.
+    ++dirty_counts_[i];
   }
   void commit(std::size_t i, const NodeSignature& sig) {
     if (valid_[i] == 0) ++num_valid_;
@@ -217,12 +248,15 @@ class SubtreeCache {
   /// forces a recompute on the next solve (still bit-identical, just paid
   /// again).
   void drop_snapshots(std::size_t i) {
-    states_[i].drop_snapshots();
+    states_[i].drop_snapshots(arena_);
     resumable_[i] = 0;
   }
   void drop_state(std::size_t i) {
-    states_[i] = NodeState{};
-    invalidate(i);
+    states_[i].release(arena_);
+    // Shedding is not a dirtiness event: invalidate without bumping the
+    // hotness counter, or the evicted-coldest would look hotter next round.
+    if (valid_[i] != 0) --num_valid_;
+    valid_[i] = 0;
     resumable_[i] = 0;
   }
   std::size_t snapshot_bytes(std::size_t i) const {
@@ -243,13 +277,24 @@ class SubtreeCache {
 
   std::size_t size() const { return states_.size(); }
 
+  /// The arena every cached table lives in.  Engines allocate replacement
+  /// slot tables from here during warm solves; solve_mutex serializes them.
+  TableArena& arena() { return arena_; }
+
+  /// How often node `i` has been invalidated since attach — the hotness
+  /// signal of budget shedding (root-path nodes are dirtied every warm
+  /// solve, leaf-fringe nodes rarely; shed the cold ones first).
+  std::uint64_t dirty_count(std::size_t i) const { return dirty_counts_[i]; }
+
  private:
   const Topology* topo_ = nullptr;
   std::vector<std::uint64_t> params_;
+  TableArena arena_;
   std::vector<NodeState> states_;
   std::vector<NodeSignature> sigs_;
   std::vector<std::uint8_t> valid_;
   std::vector<std::uint8_t> resumable_;
+  std::vector<std::uint64_t> dirty_counts_;
   std::size_t num_valid_ = 0;
   std::vector<NodeId> last_touched_;
   bool last_touched_known_ = false;

@@ -5,17 +5,27 @@
 #include <vector>
 
 #include "core/dp_util.h"
+#include "core/merge_kernel.h"
 
 namespace treeplace {
 
 namespace {
 
+using dp::ArenaTable;
+using dp::Box;
+using dp::Decision;
 using dp::kInvalidFlow;
+using dp::TableArena;
 
-/// Externally ownable per-node state and its per-slot decision record
-/// (see core/dp_cache.h).
-using CellDecision = dp::MinCostCellDecision;
+/// Externally ownable per-node state (see core/dp_cache.h).  Slot tables
+/// are flat arrays over Box({eb, nb}) — stride(0) = nb+1, stride(1) = 1 —
+/// so the shared merge kernel applies unchanged; decisions use the common
+/// dp::Decision record (internal slots: operand flats; leaf slots: the
+/// child's flat with mode 0 when a replica sits on the child, -1 when not).
 using NodeState = dp::MinCostNodeState;
+
+/// Per-slot warm-diff state; see the exact power DP (power_dp.cc).
+enum class SlotDiff : std::uint8_t { kClean, kChanged, kUnknown };
 
 struct RootChoice {
   int e = 0;
@@ -30,6 +40,7 @@ class MinCostSolver {
   MinCostSolver(const Topology& topo, const Scenario& scen,
                 const MinCostConfig& config)
       : topo_(topo), scen_(scen), config_(config), cache_(config.cache),
+        arena_(config.cache ? &config.cache->arena() : &own_arena_),
         local_states_(config.cache ? 0 : topo.num_internal()) {}
 
   MinCostResult solve() {
@@ -43,20 +54,20 @@ class MinCostSolver {
         continue;  // splice the cached subtree table in unchanged
       }
       if (!process_node(j, plan)) {
-        result.merge_iterations = merge_iterations_;
-        result.merge_steps = merge_steps_;
+        finish_stats(result);
         return result;  // infeasible client mass
       }
       if (cache_ != nullptr) cache_->commit(i, signature(j));
       ++result.nodes_recomputed;
     }
     const RootChoice best = scan_root();
-    result.merge_iterations = merge_iterations_;
-    result.merge_steps = merge_steps_;
+    finish_stats(result);
     if (!std::isfinite(best.cost)) return result;
     result.feasible = true;
     if (best.place_root) result.placement.add(topo_.root(), 0);
-    reconstruct(topo_.root(), best.e, best.n, result.placement);
+    const NodeState& s = node_state(topo_.internal_index(topo_.root()));
+    reconstruct(topo_.root(), flat_idx(best.e, best.n, s.nb),
+                result.placement);
     return result;
   }
 
@@ -82,6 +93,13 @@ class MinCostSolver {
                                config_.deltas);
   }
 
+  void finish_stats(MinCostResult& result) const {
+    result.merge_iterations = merge_iterations_;
+    result.merge_steps = merge_steps_;
+    result.cells_skipped = cells_skipped_;
+    result.table_bytes = arena_->used_bytes();
+  }
+
   static std::size_t flat_idx(int e, int n, int nb) {
     return static_cast<std::size_t>(e) * static_cast<std::size_t>(nb + 1) +
            static_cast<std::size_t>(n);
@@ -93,7 +111,8 @@ class MinCostSolver {
   /// W: those requests traverse every ancestor together, so the whole
   /// instance is infeasible (paper Algorithm 2, exit).  With a resumable
   /// cache entry, clean children's slots are spliced in and only dirty
-  /// leaves + their root paths + the base fold re-run.
+  /// leaves + their root paths + the base fold re-run, lazily where the
+  /// dirty operand's value diff is small (core/merge_kernel.h).
   bool process_node(NodeId j, const dp::DirtyPlan& plan) {
     const std::size_t i = topo_.internal_index(j);
     NodeState& s = node_state(i);
@@ -108,18 +127,24 @@ class MinCostSolver {
     const dp::SlotDirtiness slot_dirty =
         dp::plan_slot_dirtiness(plan, topo_, children, mplan, resume);
     if (!resume) {
+      for (auto& t : s.slot_flows) t.clear(*arena_);
+      for (auto& t : s.slot_decisions) t.clear(*arena_);
       s.slot_eb.assign(slots, 0);
       s.slot_nb.assign(slots, 0);
       s.slot_flows.assign(slots, {});
       s.slot_decisions.assign(slots, {});
     }
+    slot_diff_.assign(slots, SlotDiff::kClean);
+    slot_changed_.resize(slots);
 
     for (std::size_t c = 0; c < k; ++c) {
-      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c]);
+      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c], resume);
     }
     for (std::size_t t = 0; t < mplan.steps().size(); ++t) {
       const std::uint32_t out = mplan.step_slot(t);
-      if (slot_dirty.dirty[out] != 0) merge_step(s, mplan.steps()[t], out);
+      if (slot_dirty.dirty[out] != 0) {
+        merge_step(s, mplan.steps()[t], out, resume);
+      }
     }
     if (!resume || slot_dirty.any || plan.base_changed[i] != 0) {
       fold_base(s, base, mplan);
@@ -129,94 +154,137 @@ class MinCostSolver {
       // One-shot solve: the slot snapshots are never resumed.  The slot
       // bounds and decisions stay (reconstruction re-derives flat indices
       // from them).
+      for (auto& t : s.slot_flows) t.clear(*arena_);
       s.slot_flows.clear();
       s.slot_flows.shrink_to_fit();
     }
     return true;
   }
 
+  /// Installs a rebuilt slot table, diffing it against the previous
+  /// snapshot when resuming; see the exact power DP's finish_slot.
+  void finish_slot(NodeState& s, std::size_t slot, int eb, int nb,
+                   ArenaTable<RequestCount>& flow, ArenaTable<Decision>& dec,
+                   bool try_diff) {
+    if (try_diff) {
+      ArenaTable<RequestCount>& old_flow = s.slot_flows[slot];
+      if (old_flow.size() == flow.size() && s.slot_eb[slot] == eb &&
+          s.slot_nb[slot] == nb &&
+          dp::diff_tables(old_flow.span(), flow.span(), flow.size() / 4 + 8,
+                          slot_changed_[slot])) {
+        slot_diff_[slot] = slot_changed_[slot].empty() ? SlotDiff::kClean
+                                                       : SlotDiff::kChanged;
+      } else {
+        slot_diff_[slot] = SlotDiff::kUnknown;
+      }
+    }
+    s.slot_flows[slot].clear(*arena_);
+    s.slot_flows[slot] = flow.take();
+    s.slot_decisions[slot].clear(*arena_);
+    s.slot_decisions[slot] = dec.take();
+    s.slot_eb[slot] = eb;
+    s.slot_nb[slot] = nb;
+  }
+
   /// Fills leaf slot `slot` with child c's table extended by the child's
   /// own placement option: every child state stays open, and a replica on
   /// c (absorbing its flow) bumps the reused or new count.
-  void expand_leaf(NodeState& s, std::size_t slot, NodeId c) {
+  void expand_leaf(NodeState& s, std::size_t slot, NodeId c, bool try_diff) {
     const NodeState& cs = node_state(topo_.internal_index(c));
     const bool child_pre = scen_.pre_existing(c);
     const int leb = cs.eb + (child_pre ? 1 : 0);
     const int lnb = cs.nb + (child_pre ? 0 : 1);
-    const std::size_t size = static_cast<std::size_t>(leb + 1) *
-                             static_cast<std::size_t>(lnb + 1);
-    std::vector<RequestCount> flow(size, kInvalidFlow);
-    std::vector<CellDecision> dec(size);
+    const Box cbox({cs.eb, cs.nb});
+    const Box box({leb, lnb});
+    ArenaTable<RequestCount> flow;
+    flow.assign(*arena_, box.size(), kInvalidFlow);
+    ArenaTable<Decision> dec;
+    dec.resize_uninit(*arena_, box.size());
     ++merge_steps_;
-    for (int ec = 0; ec <= cs.eb; ++ec) {
-      for (int nc = 0; nc <= cs.nb; ++nc) {
-        const RequestCount cf = cs.flow[flat_idx(ec, nc, cs.nb)];
-        if (cf == kInvalidFlow) continue;
-        ++merge_iterations_;
-        // Option A: no replica on c — its flow stays open.
-        const std::size_t t = flat_idx(ec, nc, lnb);
-        if (cf < flow[t]) {
-          flow[t] = cf;
-          dec[t] = CellDecision{0, 0, 0};
-        }
-        // Option B: replica on c absorbs cf (cf <= W by table validity).
-        const std::size_t tp = child_pre ? flat_idx(ec + 1, nc, lnb)
-                                         : flat_idx(ec, nc + 1, lnb);
-        if (RequestCount{0} < flow[tp]) {
-          flow[tp] = 0;
-          dec[tp] = CellDecision{0, 0, 1};
-        }
+    dp::compact_entries(cbox, cs.flow.span(), box, scratch_.left);
+    const dp::EntryList& entries = scratch_.left;
+    merge_iterations_ += entries.size();
+    // A replica on c zeroes its flow and bumps e (pre-existing child) or n.
+    const std::size_t place_stride =
+        child_pre ? box.stride(0) : box.stride(1);
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const RequestCount cf = entries.flow[e];
+      const std::uint32_t cflat = entries.flat[e];
+      // Option A: no replica on c — its flow stays open.
+      const std::size_t t = static_cast<std::size_t>(entries.dot[e]);
+      if (cf < flow[t]) {
+        flow[t] = cf;
+        dec[t] = Decision{0, cflat, -1};
+      }
+      // Option B: replica on c absorbs cf (cf <= W by table validity).
+      const std::size_t tp = t + place_stride;
+      if (RequestCount{0} < flow[tp]) {
+        flow[tp] = 0;
+        dec[tp] = Decision{0, cflat, 0};
       }
     }
-    s.slot_eb[slot] = leb;
-    s.slot_nb[slot] = lnb;
-    s.slot_flows[slot] = std::move(flow);
-    s.slot_decisions[slot] = std::move(dec);
+    finish_slot(s, slot, leb, lnb, flow, dec, try_diff);
   }
 
   /// Joins two merge-plan slots: counts add, flows add under the W cut.
+  /// Runs through the shared kernel (serial — this DP has no pool — and
+  /// lazy when resuming with one cleanly-diffed dirty operand).
   void merge_step(NodeState& s, const dp::MergePlan::Step& step,
-                  std::uint32_t out) {
+                  std::uint32_t out, bool resume) {
     const int leb = s.slot_eb[step.left];
     const int lnb = s.slot_nb[step.left];
     const int reb = s.slot_eb[step.right];
     const int rnb = s.slot_nb[step.right];
-    const std::vector<RequestCount>& lf = s.slot_flows[step.left];
-    const std::vector<RequestCount>& rf = s.slot_flows[step.right];
     const int new_eb = leb + reb;
     const int new_nb = lnb + rnb;
-    const std::size_t size = static_cast<std::size_t>(new_eb + 1) *
-                             static_cast<std::size_t>(new_nb + 1);
-    std::vector<RequestCount> merged(size, kInvalidFlow);
-    std::vector<CellDecision> dec(size);
+    const Box lbox({leb, lnb});
+    const Box rbox({reb, rnb});
+    const Box new_box({new_eb, new_nb});
+    ArenaTable<RequestCount> merged;
+    merged.resize_uninit(*arena_, new_box.size());
+    ArenaTable<Decision> dec;
+    dec.resize_uninit(*arena_, new_box.size());
     ++merge_steps_;
 
-    for (int el = 0; el <= leb; ++el) {
-      for (int nl = 0; nl <= lnb; ++nl) {
-        const RequestCount fl = lf[flat_idx(el, nl, lnb)];
-        if (fl == kInvalidFlow) continue;
-        for (int er = 0; er <= reb; ++er) {
-          for (int nr = 0; nr <= rnb; ++nr) {
-            const RequestCount fr = rf[flat_idx(er, nr, rnb)];
-            if (fr == kInvalidFlow) continue;
-            ++merge_iterations_;
-            const RequestCount sum = fl + fr;
-            if (sum > config_.capacity) continue;
-            const std::size_t t = flat_idx(el + er, nl + nr, new_nb);
-            if (sum < merged[t]) {
-              merged[t] = sum;
-              dec[t] = CellDecision{static_cast<std::uint16_t>(el),
-                                    static_cast<std::uint16_t>(nl), 0};
-            }
-          }
+    const dp::JoinInputs in{&lbox,
+                            s.slot_flows[step.left].span(),
+                            &rbox,
+                            s.slot_flows[step.right].span(),
+                            &new_box,
+                            config_.capacity};
+
+    dp::LazyJoin lazy;
+    const dp::LazyJoin* lazy_ptr = nullptr;
+    if (resume) {
+      const SlotDiff ld = slot_diff_[step.left];
+      const SlotDiff rd = slot_diff_[step.right];
+      const ArenaTable<RequestCount>& old_flow = s.slot_flows[out];
+      if (old_flow.size() == new_box.size() &&
+          s.slot_decisions[out].size() == new_box.size() &&
+          s.slot_eb[out] == new_eb && s.slot_nb[out] == new_nb &&
+          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown &&
+          (ld == SlotDiff::kClean || rd == SlotDiff::kClean)) {
+        if (rd == SlotDiff::kChanged) {
+          lazy.dirty_is_left = false;
+          lazy.changed = slot_changed_[step.right];
+        } else {
+          lazy.dirty_is_left = true;
+          if (ld == SlotDiff::kChanged) lazy.changed = slot_changed_[step.left];
         }
+        lazy.old_flow = old_flow.span();
+        lazy.old_dec = s.slot_decisions[out].span();
+        lazy_ptr = &lazy;
       }
     }
 
-    s.slot_eb[out] = new_eb;
-    s.slot_nb[out] = new_nb;
-    s.slot_flows[out] = std::move(merged);
-    s.slot_decisions[out] = std::move(dec);
+    const dp::JoinStats js =
+        dp::join_slots(in, {merged.data(), merged.size()},
+                       {dec.data(), dec.size()}, /*pool=*/nullptr, scratch_,
+                       lazy_ptr);
+    merge_iterations_ += js.pairs;
+    cells_skipped_ += js.cells_skipped;
+
+    finish_slot(s, out, new_eb, new_nb, merged, dec, resume);
   }
 
   /// Folds the node's own client mass into the root slot; flat indices
@@ -226,13 +294,13 @@ class MinCostSolver {
     if (mplan.num_leaves() == 0) {
       s.eb = 0;
       s.nb = 0;
-      s.flow.assign(1, base);
+      s.flow.assign(*arena_, 1, base);
       return;
     }
     const std::uint32_t root = mplan.root_slot();
     s.eb = s.slot_eb[root];
     s.nb = s.slot_nb[root];
-    s.flow = s.slot_flows[root];
+    s.flow.assign_copy(*arena_, s.slot_flows[root].span());
     for (RequestCount& f : s.flow) {
       if (f == kInvalidFlow) continue;
       f += base;
@@ -286,42 +354,33 @@ class MinCostSolver {
     return best;
   }
 
-  /// Unwinds node j's merge tree for target counts (e, n), adding child
-  /// replicas to `placement`.
-  void reconstruct(NodeId j, int e, int n, Placement& placement) const {
+  /// Unwinds node j's merge tree from the root-slot flat index, adding
+  /// child replicas to `placement`.
+  void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     if (children.empty()) {
-      TREEPLACE_DCHECK(e == 0 && n == 0);
+      TREEPLACE_DCHECK(flat == 0);
       return;
     }
     const dp::MergePlan& mplan = plans_.get(children.size());
-    reconstruct_slot(s, children, mplan, mplan.root_slot(), e, n, placement);
+    reconstruct_slot(s, children, mplan, mplan.root_slot(), flat, placement);
   }
 
   void reconstruct_slot(const NodeState& s, std::span<const NodeId> children,
                         const dp::MergePlan& mplan, std::uint32_t slot,
-                        int e, int n, Placement& placement) const {
-    const std::size_t flat = flat_idx(e, n, s.slot_nb[slot]);
-    const CellDecision d = s.slot_decisions[slot][flat];
+                        std::size_t flat, Placement& placement) const {
+    const Decision d = s.slot_decisions[slot][flat];
     if (slot < mplan.num_leaves()) {
       const NodeId c = children[slot];
-      int child_e = e;
-      int child_n = n;
-      if (d.place != 0) {
-        placement.add(c, /*mode=*/0);
-        (scen_.pre_existing(c) ? child_e : child_n) -= 1;
-      }
-      TREEPLACE_DCHECK(child_e >= 0 && child_n >= 0);
-      reconstruct(c, child_e, child_n, placement);
+      if (d.mode >= 0) placement.add(c, /*mode=*/0);
+      reconstruct(c, d.right, placement);
       return;
     }
     const dp::MergePlan::Step& step =
         mplan.steps()[slot - mplan.num_leaves()];
-    reconstruct_slot(s, children, mplan, step.left, d.e_prev, d.n_prev,
-                     placement);
-    reconstruct_slot(s, children, mplan, step.right, e - d.e_prev,
-                     n - d.n_prev, placement);
+    reconstruct_slot(s, children, mplan, step.left, d.left, placement);
+    reconstruct_slot(s, children, mplan, step.right, d.right, placement);
   }
 
   const Topology& topo_;
@@ -329,10 +388,18 @@ class MinCostSolver {
   const MinCostConfig& config_;
   /// Session-owned states when warm-starting, else this solve's locals.
   dp::MinCostSubtreeCache* const cache_;
+  /// Table storage: the cache's arena for warm solves, else a local one.
+  TableArena own_arena_;
+  TableArena* const arena_;
   mutable std::vector<NodeState> local_states_;
   mutable dp::MergePlanCache plans_;
+  dp::JoinScratch scratch_;
+  /// Per-slot diff state of the node currently being processed.
+  std::vector<SlotDiff> slot_diff_;
+  std::vector<std::vector<std::uint32_t>> slot_changed_;
   std::uint64_t merge_iterations_ = 0;
   std::uint64_t merge_steps_ = 0;
+  std::uint64_t cells_skipped_ = 0;
 };
 
 }  // namespace

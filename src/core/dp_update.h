@@ -61,6 +61,10 @@ struct MinCostResult {
   std::uint64_t nodes_reused = 0;
   /// NodeSignatures compared while planning (see PowerSolveStats).
   std::uint64_t signatures_checked = 0;
+  /// Output cells spliced from snapshots by lazy root-path joins.
+  std::uint64_t cells_skipped = 0;
+  /// Arena bytes holding flow/decision tables at the end of the solve.
+  std::uint64_t table_bytes = 0;
 };
 
 /// Solves MinCost-WithPre over one scenario of a shared topology (the

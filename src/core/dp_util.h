@@ -46,7 +46,14 @@ class Box {
     for (std::size_t d = bounds_.size(); d-- > 0;) {
       TREEPLACE_DCHECK(bounds_[d] >= 0);
       strides_[d] = size_;
-      size_ *= static_cast<std::size_t>(bounds_[d]) + 1;
+      const bool overflow = __builtin_mul_overflow(
+          size_, static_cast<std::size_t>(bounds_[d]) + 1, &size_);
+      // CompactEntry/Decision index cells with uint32; larger tables would
+      // silently wrap, so reject them with a clear error instead.
+      TREEPLACE_CHECK_MSG(!overflow && size_ <= (std::size_t{1} << 32),
+                          "DP table exceeds 2^32 cells ("
+                              << bounds_.size() << " dims); instance too "
+                              << "large for 32-bit cell indices");
     }
   }
 
@@ -219,59 +226,8 @@ class LazyPool {
 
 /// Smallest (left x right) pair count worth sharding across threads; below
 /// it the per-shard table allocations dominate the merge itself.  Applied
-/// per merge-tree slot: the small joins near the leaves run serially, the
-/// large ones near the root shard.
+/// per merge-tree slot by the join kernel (core/merge_kernel.h): the small
+/// joins near the leaves run serially, the large ones near the root shard.
 inline constexpr std::size_t kMinShardPairs = 4096;
-
-/// Runs one merge-plan step, sharded over the left entry range when
-/// profitable.
-///
-/// `merge_range(lo, hi, flow, dec)` must fill merge candidates for left
-/// entries [lo, hi) into the given table exactly as the serial loop would
-/// (replacing an entry only on strictly smaller flow) and return the number
-/// of (left, right) pairs it visited.  `flow` comes pre-filled with
-/// kInvalidFlow.
-///
-/// Shard tables are reduced back in left-index order, again replacing only
-/// on strictly smaller flow.  Because the serial loop keeps the *first*
-/// occurrence of each cell's minimal flow, and every shard preserves that
-/// rule internally, the ordered reduction reproduces the serial result —
-/// flows *and* decisions — bit for bit for any thread count.
-template <typename MergeRange>
-std::uint64_t sharded_merge(ThreadPool* pool, std::size_t left_size,
-                            std::size_t right_size,
-                            std::vector<RequestCount>& flow,
-                            std::vector<Decision>& dec,
-                            const MergeRange& merge_range) {
-  if (pool == nullptr || left_size < 2 * pool->size() ||
-      left_size * right_size < kMinShardPairs) {
-    return merge_range(0, left_size, flow, dec);
-  }
-  struct Shard {
-    std::vector<RequestCount> flow;
-    std::vector<Decision> dec;
-    std::uint64_t pairs = 0;
-  };
-  const std::size_t shards = pool->size();
-  auto results = parallel_map(*pool, shards, [&](std::size_t s) {
-    const std::size_t lo = left_size * s / shards;
-    const std::size_t hi = left_size * (s + 1) / shards;
-    Shard shard{std::vector<RequestCount>(flow.size(), kInvalidFlow),
-                std::vector<Decision>(dec.size()), 0};
-    shard.pairs = merge_range(lo, hi, shard.flow, shard.dec);
-    return shard;
-  });
-  std::uint64_t pairs = 0;
-  for (const Shard& shard : results) {
-    pairs += shard.pairs;
-    for (std::size_t t = 0; t < flow.size(); ++t) {
-      if (shard.flow[t] < flow[t]) {
-        flow[t] = shard.flow[t];
-        dec[t] = shard.dec[t];
-      }
-    }
-  }
-  return pairs;
-}
 
 }  // namespace treeplace::dp

@@ -1,0 +1,789 @@
+#include "core/merge_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "support/check.h"
+#include "support/env.h"
+#include "support/parallel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TREEPLACE_KERNEL_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define TREEPLACE_KERNEL_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace treeplace::dp {
+
+// ---------------------------------------------------------------------------
+// TableArena
+
+namespace {
+
+/// Chunks grow geometrically from 256 KiB so small solves stay small while
+/// serving-scale sessions settle into a handful of large chunks.
+constexpr std::size_t kMinChunkBytes = std::size_t{256} * 1024;
+constexpr std::size_t kMaxChunkBytes = std::size_t{64} * 1024 * 1024;
+
+}  // namespace
+
+TableArena::~TableArena() {
+  for (Chunk& chunk : chunks_) {
+    ::operator delete(chunk.data, std::align_val_t{kAlignment});
+  }
+}
+
+std::size_t TableArena::size_class(std::size_t bytes) {
+  // Round up to a multiple of the alignment, then to a power of two: every
+  // block starts 64-byte aligned and frees recycle exactly.
+  std::size_t rounded = (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  if (rounded < kAlignment) rounded = kAlignment;
+  std::size_t cls = kAlignment;
+  while (cls < rounded) cls <<= 1;
+  return cls;
+}
+
+void* TableArena::allocate(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const std::size_t cls = size_class(bytes);
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::countr_zero(cls));
+  if (free_.size() <= bucket) free_.resize(bucket + 1);
+  if (!free_[bucket].empty()) {
+    void* p = free_[bucket].back();
+    free_[bucket].pop_back();
+    used_bytes_ += cls;
+    return p;
+  }
+  if (chunks_.empty() || chunks_.back().size - chunks_.back().used < cls) {
+    std::size_t chunk_bytes = chunks_.empty()
+                                  ? kMinChunkBytes
+                                  : std::min(chunks_.back().size * 2,
+                                             kMaxChunkBytes);
+    chunk_bytes = std::max(chunk_bytes, cls);
+    Chunk chunk;
+    chunk.data = static_cast<std::byte*>(
+        ::operator new(chunk_bytes, std::align_val_t{kAlignment}));
+    chunk.size = chunk_bytes;
+    reserved_bytes_ += chunk_bytes;
+    chunks_.push_back(chunk);
+  }
+  Chunk& chunk = chunks_.back();
+  void* p = chunk.data + chunk.used;
+  chunk.used += cls;
+  used_bytes_ += cls;
+  return p;
+}
+
+void TableArena::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr || bytes == 0) return;
+  const std::size_t cls = size_class(bytes);
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::countr_zero(cls));
+  if (free_.size() <= bucket) free_.resize(bucket + 1);
+  free_[bucket].push_back(p);
+  used_bytes_ -= cls;
+}
+
+void TableArena::reset() noexcept {
+  for (auto& bucket : free_) bucket.clear();
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  used_bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel configuration
+
+const KernelConfig& kernel_config() {
+  static const KernelConfig cfg = [] {
+    KernelConfig c;
+    const std::string simd = env_string("TREEPLACE_SIMD", "on");
+    c.simd = !(simd == "off" || simd == "0" || simd == "no");
+    return c;
+  }();
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Compact entries
+
+void compact_entries(const Box& box, std::span<const RequestCount> flow,
+                     const Box& target, EntryList& out) {
+  TREEPLACE_DCHECK(box.dims() == target.dims());
+  out.clear();
+  const std::size_t dims = box.dims();
+  int stack_digits[64];
+  std::vector<int> heap_digits;
+  int* digits = stack_digits;
+  if (dims > 64) {
+    heap_digits.assign(dims, 0);
+    digits = heap_digits.data();
+  } else {
+    std::fill_n(digits, dims, 0);
+  }
+  std::uint64_t dot = 0;
+  const std::size_t size = box.size();
+  for (std::size_t flat = 0; flat < size; ++flat) {
+    if (flow[flat] != kInvalidFlow) {
+      out.flat.push_back(static_cast<std::uint32_t>(flat));
+      out.flow.push_back(flow[flat]);
+      out.dot.push_back(dot);
+    }
+    // Odometer increment, maintaining the target-stride dot incrementally.
+    for (std::size_t d = dims; d-- > 0;) {
+      dot += target.stride(d);
+      if (++digits[d] <= box.bounds()[d]) break;
+      dot -= static_cast<std::uint64_t>(box.bounds()[d] + 1) * target.stride(d);
+      digits[d] = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Min-plus run kernels
+//
+// One contiguous run of the dense path: dst[i] <- src[i] + add when src[i]
+// is valid, the sum clears the cap, and it strictly improves dst[i] (the
+// first-occurrence tie-break: equal flows never replace).  upd[i] records
+// updated lanes so the caller can write decisions; returns whether any
+// lane updated.
+
+namespace {
+
+using RunFn = bool (*)(const RequestCount*, RequestCount*, std::uint8_t*,
+                       std::size_t, RequestCount, RequestCount);
+
+/// The TREEPLACE_SIMD=off fallback: the original branchy loop, which no
+/// compiler vectorizes (early continues carry loop-carried control flow).
+bool minplus_run_branchy(const RequestCount* src, RequestCount* dst,
+                         std::uint8_t* upd, std::size_t n, RequestCount add,
+                         RequestCount cap) {
+  bool any = false;
+  std::memset(upd, 0, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestCount f = src[i];
+    if (f == kInvalidFlow) continue;
+    const RequestCount sum = f + add;
+    if (sum > cap) continue;
+    if (sum < dst[i]) {
+      dst[i] = sum;
+      upd[i] = 1;
+      any = true;
+    }
+  }
+  return any;
+}
+
+/// Branchless form for auto-vectorization on targets without a manual
+/// kernel.  Bit-identical to the branchy loop: same predicate, same
+/// strictly-smaller update.
+bool minplus_run_portable(const RequestCount* src, RequestCount* dst,
+                          std::uint8_t* upd, std::size_t n, RequestCount add,
+                          RequestCount cap) {
+  unsigned any = 0;
+#pragma omp simd reduction(| : any)
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestCount f = src[i];
+    const RequestCount sum = f + add;
+    const unsigned ok = static_cast<unsigned>(f != kInvalidFlow) &
+                        static_cast<unsigned>(sum <= cap) &
+                        static_cast<unsigned>(sum < dst[i]);
+    dst[i] = ok ? sum : dst[i];
+    upd[i] = static_cast<std::uint8_t>(ok);
+    any |= ok;
+  }
+  return any != 0;
+}
+
+#if defined(TREEPLACE_KERNEL_X86)
+
+/// AVX2: 4 lanes of u64 per step.  kInvalidFlow is all-ones, so validity
+/// is one cmpeq; unsigned compares use the sign-bit-flip trick.
+__attribute__((target("avx2"))) bool minplus_run_avx2(
+    const RequestCount* src, RequestCount* dst, std::uint8_t* upd,
+    std::size_t n, RequestCount add, RequestCount cap) {
+  const __m256i vadd = _mm256_set1_epi64x(static_cast<long long>(add));
+  const __m256i vinv = _mm256_set1_epi64x(-1);
+  const __m256i vsign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i vcap_s =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(cap)), vsign);
+  __m256i vany = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i sum = _mm256_add_epi64(s, vadd);
+    const __m256i invalid = _mm256_cmpeq_epi64(s, vinv);
+    const __m256i sum_s = _mm256_xor_si256(sum, vsign);
+    const __m256i gt_cap = _mm256_cmpgt_epi64(sum_s, vcap_s);
+    const __m256i lt_dst =
+        _mm256_cmpgt_epi64(_mm256_xor_si256(d, vsign), sum_s);
+    const __m256i ok =
+        _mm256_andnot_si256(_mm256_or_si256(invalid, gt_cap), lt_dst);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_blendv_epi8(d, sum, ok));
+    vany = _mm256_or_si256(vany, ok);
+    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(ok));
+    upd[i] = static_cast<std::uint8_t>(m & 1);
+    upd[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+    upd[i + 2] = static_cast<std::uint8_t>((m >> 2) & 1);
+    upd[i + 3] = static_cast<std::uint8_t>((m >> 3) & 1);
+  }
+  bool any = _mm256_testz_si256(vany, vany) == 0;
+  for (; i < n; ++i) {
+    const RequestCount f = src[i];
+    const RequestCount sum = f + add;
+    const unsigned ok = static_cast<unsigned>(f != kInvalidFlow) &
+                        static_cast<unsigned>(sum <= cap) &
+                        static_cast<unsigned>(sum < dst[i]);
+    dst[i] = ok ? sum : dst[i];
+    upd[i] = static_cast<std::uint8_t>(ok);
+    any |= ok != 0;
+  }
+  return any;
+}
+
+#elif defined(TREEPLACE_KERNEL_NEON)
+
+/// NEON: 2 lanes of u64 per step (aarch64 has native unsigned compares).
+bool minplus_run_neon(const RequestCount* src, RequestCount* dst,
+                      std::uint8_t* upd, std::size_t n, RequestCount add,
+                      RequestCount cap) {
+  const uint64x2_t vadd = vdupq_n_u64(add);
+  const uint64x2_t vinv = vdupq_n_u64(~std::uint64_t{0});
+  const uint64x2_t vcap = vdupq_n_u64(cap);
+  uint64x2_t vany = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t s = vld1q_u64(src + i);
+    const uint64x2_t d = vld1q_u64(dst + i);
+    const uint64x2_t sum = vaddq_u64(s, vadd);
+    const uint64x2_t invalid = vceqq_u64(s, vinv);
+    const uint64x2_t le_cap = vcleq_u64(sum, vcap);
+    const uint64x2_t lt_dst = vcltq_u64(sum, d);
+    const uint64x2_t ok = vbicq_u64(vandq_u64(le_cap, lt_dst), invalid);
+    vst1q_u64(dst + i, vbslq_u64(ok, sum, d));
+    vany = vorrq_u64(vany, ok);
+    upd[i] = static_cast<std::uint8_t>(vgetq_lane_u64(ok, 0) & 1);
+    upd[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(ok, 1) & 1);
+  }
+  bool any =
+      (vgetq_lane_u64(vany, 0) | vgetq_lane_u64(vany, 1)) != 0;
+  for (; i < n; ++i) {
+    const RequestCount f = src[i];
+    const RequestCount sum = f + add;
+    const unsigned ok = static_cast<unsigned>(f != kInvalidFlow) &
+                        static_cast<unsigned>(sum <= cap) &
+                        static_cast<unsigned>(sum < dst[i]);
+    dst[i] = ok ? sum : dst[i];
+    upd[i] = static_cast<std::uint8_t>(ok);
+    any |= ok != 0;
+  }
+  return any;
+}
+
+#endif  // TREEPLACE_KERNEL_*
+
+RunFn pick_run_fn(bool simd) {
+  if (!simd) return &minplus_run_branchy;
+#if defined(TREEPLACE_KERNEL_X86)
+  if (__builtin_cpu_supports("avx2")) return &minplus_run_avx2;
+#elif defined(TREEPLACE_KERNEL_NEON)
+  return &minplus_run_neon;
+#endif
+  return &minplus_run_portable;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse path
+
+/// The scalar sparse loop over compacted operands — the reference the
+/// whole layer is defined against.
+std::uint64_t sparse_range_scalar(const EntryList& left, std::size_t lo,
+                                  std::size_t hi, const EntryList& right,
+                                  RequestCount cap, RequestCount* flow,
+                                  Decision* dec) {
+  const std::size_t nr = right.size();
+  const RequestCount* rflow = right.flow.data();
+  const std::uint64_t* rdot = right.dot.data();
+  const std::uint32_t* rflat = right.flat.data();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const RequestCount lf = left.flow[i];
+    const std::uint64_t ldot = left.dot[i];
+    const std::uint32_t lflat = left.flat[i];
+    for (std::size_t j = 0; j < nr; ++j) {
+      const RequestCount sum = lf + rflow[j];
+      if (sum > cap) continue;
+      const std::size_t t = static_cast<std::size_t>(ldot + rdot[j]);
+      if (sum < flow[t]) {
+        flow[t] = sum;
+        dec[t] = Decision{lflat, rflat[j], -1};
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(hi - lo) * nr;
+}
+
+#if defined(TREEPLACE_KERNEL_X86)
+
+/// AVX2 sparse: vectorizes the feasibility cut (the only lane-parallel
+/// part — the scatter is inherently serial), skipping 4 right entries at a
+/// time when the cap filters them.  Update order per surviving lane is the
+/// scalar loop's, so results are bit-identical.
+__attribute__((target("avx2"))) std::uint64_t sparse_range_avx2(
+    const EntryList& left, std::size_t lo, std::size_t hi,
+    const EntryList& right, RequestCount cap, RequestCount* flow,
+    Decision* dec) {
+  const std::size_t nr = right.size();
+  const RequestCount* rflow = right.flow.data();
+  const std::uint64_t* rdot = right.dot.data();
+  const std::uint32_t* rflat = right.flat.data();
+  const __m256i vsign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i vcap_s =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(cap)), vsign);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const RequestCount lf = left.flow[i];
+    const std::uint64_t ldot = left.dot[i];
+    const std::uint32_t lflat = left.flat[i];
+    const __m256i vlf = _mm256_set1_epi64x(static_cast<long long>(lf));
+    std::size_t j = 0;
+    for (; j + 4 <= nr; j += 4) {
+      const __m256i rf =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rflow + j));
+      const __m256i sum = _mm256_add_epi64(rf, vlf);
+      const __m256i gt_cap =
+          _mm256_cmpgt_epi64(_mm256_xor_si256(sum, vsign), vcap_s);
+      int m = (~_mm256_movemask_pd(_mm256_castsi256_pd(gt_cap))) & 0xf;
+      while (m != 0) {
+        const int b = __builtin_ctz(static_cast<unsigned>(m));
+        m &= m - 1;
+        const std::size_t jj = j + static_cast<std::size_t>(b);
+        const RequestCount s = lf + rflow[jj];
+        const std::size_t t = static_cast<std::size_t>(ldot + rdot[jj]);
+        if (s < flow[t]) {
+          flow[t] = s;
+          dec[t] = Decision{lflat, rflat[jj], -1};
+        }
+      }
+    }
+    for (; j < nr; ++j) {
+      const RequestCount sum = lf + rflow[j];
+      if (sum > cap) continue;
+      const std::size_t t = static_cast<std::size_t>(ldot + rdot[j]);
+      if (sum < flow[t]) {
+        flow[t] = sum;
+        dec[t] = Decision{lflat, rflat[j], -1};
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(hi - lo) * nr;
+}
+
+#endif  // TREEPLACE_KERNEL_X86
+
+using SparseFn = std::uint64_t (*)(const EntryList&, std::size_t, std::size_t,
+                                   const EntryList&, RequestCount,
+                                   RequestCount*, Decision*);
+
+SparseFn pick_sparse_fn(bool simd) {
+#if defined(TREEPLACE_KERNEL_X86)
+  if (simd && __builtin_cpu_supports("avx2")) return &sparse_range_avx2;
+#else
+  (void)simd;
+#endif
+  return &sparse_range_scalar;
+}
+
+// ---------------------------------------------------------------------------
+// Dense path helpers
+
+/// Precomputes, per contiguous row of the right operand (a full run of its
+/// last dimension), the dot of the row's leading digits against the output
+/// strides.  Output rows are contiguous too (the output's last-dimension
+/// stride is 1 and covers the operand's), which is what makes the dense
+/// kernel a straight-line sweep.
+void compute_row_dots(const Box& rbox, const Box& obox, std::size_t rows,
+                      JoinScratch& scratch) {
+  scratch.row_dot.resize(rows);
+  const std::size_t dims = rbox.dims();
+  if (dims <= 1) {  // a single row at offset 0
+    std::fill(scratch.row_dot.begin(), scratch.row_dot.end(), 0);
+    return;
+  }
+  scratch.digits.assign(dims, 0);
+  std::uint64_t dot = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    scratch.row_dot[r] = dot;
+    // Odometer over the leading dims [0, dims - 1), last first.
+    for (std::size_t d = dims - 1; d-- > 0;) {
+      dot += obox.stride(d);
+      if (++scratch.digits[d] <= rbox.bounds()[d]) break;
+      dot -= static_cast<std::uint64_t>(rbox.bounds()[d] + 1) * obox.stride(d);
+      scratch.digits[d] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// diff_tables
+
+bool diff_tables(std::span<const RequestCount> old_flow,
+                 std::span<const RequestCount> new_flow,
+                 std::size_t max_changed, std::vector<std::uint32_t>& out) {
+  TREEPLACE_DCHECK(old_flow.size() == new_flow.size());
+  out.clear();
+  const std::size_t n = old_flow.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (old_flow[i] != new_flow[i]) {
+      if (out.size() >= max_changed) return false;
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The lazy join
+
+namespace {
+
+/// Attempts the lazy splice.  Returns true on completion (stats filled);
+/// false when too many previous winners were invalidated, in which case
+/// the wasted sweep work is reported via `stats.pairs` and the caller must
+/// run the full join (out tables are reinitialized there).
+bool lazy_join(const JoinInputs& in, const LazyJoin& lazy,
+               std::span<RequestCount> out_flow, std::span<Decision> out_dec,
+               JoinScratch& scratch, JoinStats& stats) {
+  const Box& obox = *in.obox;
+  const Box& dbox = lazy.dirty_is_left ? *in.lbox : *in.rbox;
+  const std::span<const RequestCount> dflow =
+      lazy.dirty_is_left ? in.lflow : in.rflow;
+  const EntryList& clean = lazy.dirty_is_left ? scratch.right : scratch.left;
+  const std::size_t osize = obox.size();
+  const std::size_t dims = obox.dims();
+
+  // Dirty-operand membership mask + changed-cell output offsets.
+  scratch.changed_set.assign(dbox.size(), 0);
+  scratch.changed_dot.resize(lazy.changed.size());
+  for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
+    const std::uint32_t f = lazy.changed[ci];
+    scratch.changed_set[f] = 1;
+    dbox.decode(f, scratch.digits);
+    std::uint64_t dot = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      dot += static_cast<std::uint64_t>(scratch.digits[d]) * obox.stride(d);
+    }
+    scratch.changed_dot[ci] = dot;
+  }
+
+  // Changed sweep: accumulates the best changed-pair contribution per
+  // reachable cell, in the serial loop's (left, right) visit order, and
+  // marks reachability (cap-independent: a pair that stopped clearing the
+  // cap still invalidates its old contribution).
+  std::fill(out_flow.begin(), out_flow.end(), kInvalidFlow);
+  scratch.reach.assign(osize, 0);
+  stats.pairs +=
+      static_cast<std::uint64_t>(lazy.changed.size()) * clean.size();
+  if (lazy.dirty_is_left) {
+    for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
+      const std::uint32_t sflat = lazy.changed[ci];
+      const RequestCount sval = dflow[sflat];
+      const std::uint64_t sdot = scratch.changed_dot[ci];
+      for (std::size_t j = 0; j < clean.size(); ++j) {
+        const std::size_t t = static_cast<std::size_t>(sdot + clean.dot[j]);
+        scratch.reach[t] = 1;
+        if (sval == kInvalidFlow) continue;
+        const RequestCount sum = sval + clean.flow[j];
+        if (sum <= in.cap && sum < out_flow[t]) {
+          out_flow[t] = sum;
+          out_dec[t] = Decision{sflat, clean.flat[j], -1};
+        }
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < clean.size(); ++j) {
+      const RequestCount lf = clean.flow[j];
+      const std::uint64_t ldot = clean.dot[j];
+      const std::uint32_t lflat = clean.flat[j];
+      for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
+        const std::size_t t =
+            static_cast<std::size_t>(ldot + scratch.changed_dot[ci]);
+        scratch.reach[t] = 1;
+        const RequestCount sval = dflow[lazy.changed[ci]];
+        if (sval == kInvalidFlow) continue;
+        const RequestCount sum = lf + sval;
+        if (sum <= in.cap && sum < out_flow[t]) {
+          out_flow[t] = sum;
+          out_dec[t] = Decision{lflat, lazy.changed[ci], -1};
+        }
+      }
+    }
+  }
+
+  // Combine pass: splice unreachable cells from the snapshot; where the
+  // previous winner survives, the unchanged contribution *is* the old
+  // value, so the new cell is the lexicographically-first of {old winner,
+  // best changed} — exactly the serial first-occurrence tie-break.  Cells
+  // whose previous winner was itself a changed cell must be re-minimized
+  // from scratch (rescue); too many of those and lazy loses, so bail.
+  scratch.rescue.clear();
+  // Each rescue re-scans every left entry, so the cap must be relative to
+  // the *right* entry count: |rescue| * |left| stays under 1/8 of the full
+  // join's |left| * |right| pairs, or lazy cannot win and we bail.
+  const std::size_t rescue_cap = scratch.right.size() / 8 + 16;
+  for (std::size_t t = 0; t < osize; ++t) {
+    if (scratch.reach[t] == 0) {
+      out_flow[t] = lazy.old_flow[t];
+      out_dec[t] = lazy.old_dec[t];
+      ++stats.cells_skipped;
+      continue;
+    }
+    const RequestCount old = lazy.old_flow[t];
+    if (old == kInvalidFlow) continue;  // no unchanged contribution existed
+    const Decision od = lazy.old_dec[t];
+    const std::uint32_t owin = lazy.dirty_is_left ? od.left : od.right;
+    if (scratch.changed_set[owin] != 0) {
+      scratch.rescue.push_back(t);
+      if (scratch.rescue.size() > rescue_cap) return false;
+      continue;
+    }
+    const RequestCount cb = out_flow[t];
+    if (old < cb) {
+      out_flow[t] = old;
+      out_dec[t] = od;
+    } else if (old == cb) {
+      const Decision cd = out_dec[t];
+      if (od.left < cd.left || (od.left == cd.left && od.right < cd.right)) {
+        out_dec[t] = od;
+      }
+    }
+  }
+
+  // Rescue pass: exact re-minimization of the invalidated cells, visiting
+  // left entries in ascending flat order (the serial order; the right
+  // index of each decomposition is unique per left entry).
+  if (!scratch.rescue.empty()) {
+    const Box& lbox = *in.lbox;
+    const Box& rbox = *in.rbox;
+    const EntryList& left = scratch.left;
+    scratch.ldigits.resize(left.size() * dims);
+    std::vector<int>& tdig = scratch.digits;
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      lbox.decode(left.flat[i], tdig);
+      std::copy(tdig.begin(), tdig.end(), scratch.ldigits.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  i * dims));
+    }
+    for (const std::size_t t : scratch.rescue) {
+      obox.decode(t, tdig);
+      RequestCount best = kInvalidFlow;
+      Decision bd{};
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        const int* ld = scratch.ldigits.data() + i * dims;
+        std::size_t rflat = 0;
+        bool feasible = true;
+        for (std::size_t d = 0; d < dims; ++d) {
+          const int rd = tdig[d] - ld[d];
+          if (rd < 0 || rd > rbox.bounds()[d]) {
+            feasible = false;
+            break;
+          }
+          rflat += static_cast<std::size_t>(rd) * rbox.stride(d);
+        }
+        if (!feasible) continue;
+        const RequestCount rf = in.rflow[rflat];
+        if (rf == kInvalidFlow) continue;
+        const RequestCount sum = left.flow[i] + rf;
+        if (sum > in.cap) continue;
+        if (sum < best) {
+          best = sum;
+          bd = Decision{left.flat[i], static_cast<std::uint32_t>(rflat), -1};
+        }
+      }
+      out_flow[t] = best;
+      out_dec[t] = bd;
+    }
+    stats.pairs += static_cast<std::uint64_t>(scratch.rescue.size()) *
+                   left.size();
+  }
+  stats.lazy = true;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// join_slots
+
+JoinStats join_slots(const JoinInputs& in, std::span<RequestCount> out_flow,
+                     std::span<Decision> out_dec, ThreadPool* pool,
+                     JoinScratch& scratch, const LazyJoin* lazy,
+                     const KernelConfig& cfg) {
+  const Box& lbox = *in.lbox;
+  const Box& rbox = *in.rbox;
+  const Box& obox = *in.obox;
+  const std::size_t osize = obox.size();
+  TREEPLACE_DCHECK(out_flow.size() == osize && out_dec.size() == osize);
+  JoinStats stats;
+
+  compact_entries(lbox, in.lflow, obox, scratch.left);
+
+  // Path choice: count the right operand's valid cells (cheap linear scan)
+  // and sweep it raw when occupancy is high — compaction then buys nothing
+  // and the row sweep is branchless and contiguous.  The choice depends
+  // only on table contents, never on the pool, so work counters stay
+  // deterministic at any thread count.
+  std::size_t right_valid = 0;
+  for (const RequestCount f : in.rflow) {
+    right_valid += static_cast<std::size_t>(f != kInvalidFlow);
+  }
+  bool dense;
+  switch (cfg.path) {
+    case KernelConfig::Path::kSparse:
+      dense = false;
+      break;
+    case KernelConfig::Path::kDense:
+      dense = true;
+      break;
+    default:
+      dense = rbox.size() > 0 &&
+              static_cast<double>(right_valid) >=
+                  cfg.dense_occupancy * static_cast<double>(rbox.size());
+  }
+  if (!dense || lazy != nullptr) {
+    compact_entries(rbox, in.rflow, obox, scratch.right);
+  }
+
+  // Lazy splice: worth it only when the dirty diff is well below the dirty
+  // operand's entry count (otherwise the changed sweep approaches a full
+  // rebuild that also pays splice overhead).
+  if (lazy != nullptr && cfg.lazy_max_changed > 0) {
+    const std::size_t dirty_entries =
+        lazy->dirty_is_left ? scratch.left.size() : scratch.right.size();
+    if (lazy->old_flow.size() == osize && lazy->old_dec.size() == osize &&
+        static_cast<double>(lazy->changed.size()) <=
+            cfg.lazy_max_changed * static_cast<double>(dirty_entries)) {
+      if (lazy_join(in, *lazy, out_flow, out_dec, scratch, stats)) {
+        return stats;
+      }
+      // Fall through to a full rebuild; the sweep work already spent stays
+      // counted in stats.pairs, but no cell ends up spliced.
+      stats.cells_skipped = 0;
+    }
+  }
+
+  std::fill(out_flow.begin(), out_flow.end(), kInvalidFlow);
+  const std::size_t nl = scratch.left.size();
+
+  // Dense geometry: rows are full runs of the right operand's last
+  // dimension; each maps to a contiguous run of the output.
+  std::size_t row_len = 1;
+  std::size_t rows = 0;
+  if (dense) {
+    row_len = rbox.dims() == 0
+                  ? rbox.size()
+                  : static_cast<std::size_t>(rbox.bounds().back()) + 1;
+    rows = rbox.size() / row_len;
+    compute_row_dots(rbox, obox, rows, scratch);
+  }
+  const std::uint64_t per_left_work =
+      dense ? static_cast<std::uint64_t>(rbox.size())
+            : static_cast<std::uint64_t>(scratch.right.size());
+
+  const RunFn run = pick_run_fn(cfg.simd);
+  const SparseFn sparse = pick_sparse_fn(cfg.simd);
+  const RequestCount* rraw = in.rflow.data();
+
+  const auto range = [&](std::size_t lo, std::size_t hi, RequestCount* flow,
+                         Decision* dec, std::size_t shard) -> std::uint64_t {
+    if (!dense) {
+      return sparse(scratch.left, lo, hi, scratch.right, in.cap, flow, dec);
+    }
+    std::uint8_t* upd = scratch.shard_upd[shard].data();
+    const EntryList& left = scratch.left;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const RequestCount lf = left.flow[i];
+      const std::uint64_t ldot = left.dot[i];
+      const std::uint32_t lflat = left.flat[i];
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t base = static_cast<std::size_t>(ldot) +
+                                 static_cast<std::size_t>(scratch.row_dot[r]);
+        if (run(rraw + r * row_len, flow + base, upd, row_len, lf, in.cap)) {
+          Decision* dd = dec + base;
+          const std::uint32_t rbase = static_cast<std::uint32_t>(r * row_len);
+          for (std::size_t j = 0; j < row_len; ++j) {
+            if (upd[j] != 0) {
+              dd[j] = Decision{lflat, rbase + static_cast<std::uint32_t>(j),
+                               -1};
+            }
+          }
+        }
+      }
+    }
+    return static_cast<std::uint64_t>(hi - lo) * rbox.size();
+  };
+
+  const bool shard = pool != nullptr && nl >= 2 * pool->size() &&
+                     static_cast<std::uint64_t>(nl) * per_left_work >=
+                         kMinShardPairs;
+  const std::size_t num_shards = shard ? pool->size() : 1;
+  if (scratch.shard_upd.size() < num_shards) {
+    scratch.shard_upd.resize(num_shards);
+  }
+  if (dense) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (scratch.shard_upd[s].size() < row_len) {
+        scratch.shard_upd[s].resize(row_len);
+      }
+    }
+  }
+
+  if (!shard) {
+    stats.pairs += range(0, nl, out_flow.data(), out_dec.data(), 0);
+    return stats;
+  }
+
+  // Shard over the left entries; per-shard tables are reduced back in
+  // left-index order replacing only on strictly smaller flow, which
+  // reproduces the serial first-occurrence tie-break bit for bit.
+  if (scratch.shard_flow.size() < num_shards) {
+    scratch.shard_flow.resize(num_shards);
+    scratch.shard_dec.resize(num_shards);
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    scratch.shard_flow[s].assign(osize, kInvalidFlow);
+    scratch.shard_dec[s].resize(osize);
+  }
+  const auto pairs_per_shard =
+      parallel_map(*pool, num_shards, [&](std::size_t s) {
+        const std::size_t lo = nl * s / num_shards;
+        const std::size_t hi = nl * (s + 1) / num_shards;
+        return range(lo, hi, scratch.shard_flow[s].data(),
+                     scratch.shard_dec[s].data(), s);
+      });
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    stats.pairs += pairs_per_shard[s];
+    const std::vector<RequestCount>& sf = scratch.shard_flow[s];
+    const std::vector<Decision>& sd = scratch.shard_dec[s];
+    for (std::size_t t = 0; t < osize; ++t) {
+      if (sf[t] < out_flow[t]) {
+        out_flow[t] = sf[t];
+        out_dec[t] = sd[t];
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace treeplace::dp

@@ -35,6 +35,11 @@ struct PowerSolveStats {
   /// NodeSignatures compared while planning: num_internal on the full
   /// sweep, the touched-set size on the delta fast path.
   std::uint64_t signatures_checked = 0;
+  /// Output cells spliced from snapshots by lazy root-path joins instead
+  /// of being recomputed (see core/merge_kernel.h).
+  std::uint64_t cells_skipped = 0;
+  /// Arena bytes holding flow/decision tables at the end of the solve.
+  std::uint64_t table_bytes = 0;
   double solve_seconds = 0.0;
 };
 

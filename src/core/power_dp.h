@@ -32,7 +32,7 @@ namespace treeplace {
 class ThreadPool;  // support/thread_pool.h
 
 /// Solver-internal parallelism for the power DPs.  The per-child merge
-/// loops are sharded over `threads` workers (see dp::sharded_merge); the
+/// loops are sharded over `threads` workers (see core/merge_kernel.h); the
 /// resulting tables — and therefore frontier values, placements and the
 /// merge-pair work counter — are bit-identical to the serial solve for any
 /// thread count.

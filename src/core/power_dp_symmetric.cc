@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/dp_util.h"
+#include "core/merge_kernel.h"
 #include "core/power_dp.h"
 #include "support/timer.h"
 
@@ -11,14 +12,18 @@ namespace treeplace {
 
 namespace {
 
+using dp::ArenaTable;
 using dp::Box;
-using dp::CompactEntry;
 using dp::Decision;
 using dp::kInvalidFlow;
+using dp::TableArena;
 
 /// Externally ownable per-node state, shared shape with the exact DP (see
 /// core/dp_cache.h).
 using NodeState = dp::PowerNodeState;
+
+/// Per-slot warm-diff state; see the exact DP (power_dp.cc).
+enum class SlotDiff : std::uint8_t { kClean, kChanged, kUnknown };
 
 struct Candidate {
   double cost = 0.0;
@@ -46,6 +51,7 @@ class SymmetricPowerSolver {
         external_pool_(options.pool),
         lazy_pool_(options.pool ? 1 : options.threads),
         cache_(options.cache),
+        arena_(options.cache ? &options.cache->arena() : &own_arena_),
         deltas_(options.deltas),
         local_states_(options.cache ? 0 : topo.num_internal()) {}
 
@@ -96,6 +102,8 @@ class SymmetricPowerSolver {
     result.stats.nodes_recomputed = nodes_recomputed_;
     result.stats.nodes_reused = nodes_reused_;
     result.stats.signatures_checked = signatures_checked_;
+    result.stats.cells_skipped = cells_skipped_;
+    result.stats.table_bytes = arena_->used_bytes();
     result.stats.solve_seconds = watch.seconds();
   }
 
@@ -119,17 +127,23 @@ class SymmetricPowerSolver {
     const dp::SlotDirtiness slot_dirty =
         dp::plan_slot_dirtiness(plan, topo_, children, mplan, resume);
     if (!resume) {
+      for (auto& t : s.slot_flows) t.clear(*arena_);
+      for (auto& t : s.slot_decisions) t.clear(*arena_);
       s.slot_boxes.assign(slots, Box());
       s.slot_flows.assign(slots, {});
       s.slot_decisions.assign(slots, {});
     }
+    slot_diff_.assign(slots, SlotDiff::kClean);
+    slot_changed_.resize(slots);
 
     for (std::size_t c = 0; c < k; ++c) {
-      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c]);
+      if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c], resume);
     }
     for (std::size_t t = 0; t < mplan.steps().size(); ++t) {
       const std::uint32_t out = mplan.step_slot(t);
-      if (slot_dirty.dirty[out] != 0) merge_step(s, mplan.steps()[t], out);
+      if (slot_dirty.dirty[out] != 0) {
+        merge_step(s, mplan.steps()[t], out, resume);
+      }
     }
     if (!resume || slot_dirty.any || plan.base_changed[i] != 0) {
       fold_base(s, base, mplan);
@@ -146,55 +160,83 @@ class SymmetricPowerSolver {
       // One-shot solve: the slot snapshots are never resumed — drop them.
       s.slot_boxes.clear();
       s.slot_boxes.shrink_to_fit();
+      for (auto& t : s.slot_flows) t.clear(*arena_);
       s.slot_flows.clear();
       s.slot_flows.shrink_to_fit();
     }
     return true;
   }
 
+  /// Installs a rebuilt slot table, diffing it against the previous
+  /// snapshot when resuming; see the exact DP's finish_slot.
+  void finish_slot(NodeState& s, std::size_t slot, Box&& box,
+                   ArenaTable<RequestCount>& flow, ArenaTable<Decision>& dec,
+                   bool try_diff) {
+    if (try_diff) {
+      ArenaTable<RequestCount>& old_flow = s.slot_flows[slot];
+      if (old_flow.size() == flow.size() &&
+          s.slot_boxes[slot].bounds() == box.bounds() &&
+          dp::diff_tables(old_flow.span(), flow.span(), flow.size() / 4 + 8,
+                          slot_changed_[slot])) {
+        slot_diff_[slot] = slot_changed_[slot].empty() ? SlotDiff::kClean
+                                                       : SlotDiff::kChanged;
+      } else {
+        slot_diff_[slot] = SlotDiff::kUnknown;
+      }
+    }
+    s.slot_flows[slot].clear(*arena_);
+    s.slot_flows[slot] = flow.take();
+    s.slot_decisions[slot].clear(*arena_);
+    s.slot_decisions[slot] = dec.take();
+    s.slot_boxes[slot] = std::move(box);
+  }
+
   /// Fills leaf slot `slot` with child c's table extended by the child's
   /// own placement options (reduced symmetric state: mode counts plus the
   /// same/changed reuse split).
-  void expand_leaf(NodeState& s, std::size_t slot, NodeId c) {
+  void expand_leaf(NodeState& s, std::size_t slot, NodeId c, bool try_diff) {
     NodeState& cs = node_state(topo_.internal_index(c));
     const bool child_pre = scen_.pre_existing(c);
     const int child_orig = child_pre ? scen_.original_mode(c) : -1;
     Box box{cs.incl_bounds};
-    std::vector<RequestCount> flow(box.size(), kInvalidFlow);
-    std::vector<Decision> dec(box.size());
+    ArenaTable<RequestCount> flow;
+    flow.assign(*arena_, box.size(), kInvalidFlow);
+    ArenaTable<Decision> dec;
+    dec.resize_uninit(*arena_, box.size());
     table_cells_ += box.size();
     ++merge_steps_;
-    const auto entries = dp::compact_valid_entries(cs.box, cs.flow, box);
-    for (const CompactEntry& e : entries) {
-      const std::size_t t = static_cast<std::size_t>(e.dot);
-      if (e.flow < flow[t]) {
-        flow[t] = e.flow;
-        dec[t] = Decision{0, e.flat, -1};
+    dp::compact_entries(cs.box, cs.flow.span(), box, scratch_.left);
+    const dp::EntryList& entries = scratch_.left;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const RequestCount ef = entries.flow[e];
+      const std::uint32_t eflat = entries.flat[e];
+      const std::size_t t = static_cast<std::size_t>(entries.dot[e]);
+      if (ef < flow[t]) {
+        flow[t] = ef;
+        dec[t] = Decision{0, eflat, -1};
       }
-      for (int w = modes_.mode_for_load(e.flow); w < m_; ++w) {
+      for (int w = modes_.mode_for_load(ef); w < m_; ++w) {
         std::size_t tw = t + box.stride(dim_mode(w));
         if (child_pre) {
           tw += box.stride(w == child_orig ? dim_same() : dim_changed());
         }
         if (RequestCount{0} < flow[tw]) {
           flow[tw] = 0;
-          dec[tw] = Decision{0, e.flat, static_cast<std::int8_t>(w)};
+          dec[tw] = Decision{0, eflat, static_cast<std::int8_t>(w)};
         }
       }
     }
-    s.slot_boxes[slot] = std::move(box);
-    s.slot_flows[slot] = std::move(flow);
-    s.slot_decisions[slot] = std::move(dec);
+    finish_slot(s, slot, std::move(box), flow, dec, try_diff);
     if (cache_ == nullptr) {
-      cs.flow.clear();
-      cs.flow.shrink_to_fit();
+      cs.flow.clear(*arena_);
     }
   }
 
-  /// Joins two merge-plan slots under the W_M feasibility cut; sharded
-  /// across the lazy pool when profitable (dp::sharded_merge).
+  /// Joins two merge-plan slots under the W_M feasibility cut, through the
+  /// shared kernel (sharded when profitable, lazy when resuming with one
+  /// cleanly-diffed dirty operand); see the exact DP's merge_step.
   void merge_step(NodeState& s, const dp::MergePlan::Step& step,
-                  std::uint32_t out) {
+                  std::uint32_t out, bool resume) {
     const Box& lbox = s.slot_boxes[step.left];
     const Box& rbox = s.slot_boxes[step.right];
     std::vector<int> new_bounds(dims_);
@@ -202,44 +244,52 @@ class SymmetricPowerSolver {
       new_bounds[d] = lbox.bounds()[d] + rbox.bounds()[d];
     }
     Box new_box(std::move(new_bounds));
-    std::vector<RequestCount> merged(new_box.size(), kInvalidFlow);
-    std::vector<Decision> dec(new_box.size());
+    ArenaTable<RequestCount> merged;
+    merged.resize_uninit(*arena_, new_box.size());
+    ArenaTable<Decision> dec;
+    dec.resize_uninit(*arena_, new_box.size());
     table_cells_ += new_box.size();
     ++merge_steps_;
 
-    const auto left =
-        dp::compact_valid_entries(lbox, s.slot_flows[step.left], new_box);
-    const auto right =
-        dp::compact_valid_entries(rbox, s.slot_flows[step.right], new_box);
-    const RequestCount w_max = modes_.max_capacity();
+    const dp::JoinInputs in{&lbox,
+                            s.slot_flows[step.left].span(),
+                            &rbox,
+                            s.slot_flows[step.right].span(),
+                            &new_box,
+                            modes_.max_capacity()};
 
-    const auto merge_range = [&](std::size_t lo, std::size_t hi,
-                                 std::vector<RequestCount>& flow,
-                                 std::vector<Decision>& out_dec)
-        -> std::uint64_t {
-      std::uint64_t pairs = 0;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const CompactEntry& le = left[i];
-        for (const CompactEntry& re : right) {
-          ++pairs;
-          const RequestCount sum = le.flow + re.flow;
-          if (sum <= w_max) {
-            const std::size_t t = static_cast<std::size_t>(le.dot + re.dot);
-            if (sum < flow[t]) {
-              flow[t] = sum;
-              out_dec[t] = Decision{le.flat, re.flat, -1};
-            }
-          }
+    dp::LazyJoin lazy;
+    const dp::LazyJoin* lazy_ptr = nullptr;
+    if (resume) {
+      const SlotDiff ld = slot_diff_[step.left];
+      const SlotDiff rd = slot_diff_[step.right];
+      const ArenaTable<RequestCount>& old_flow = s.slot_flows[out];
+      if (old_flow.size() == new_box.size() &&
+          s.slot_decisions[out].size() == new_box.size() &&
+          s.slot_boxes[out].bounds() == new_box.bounds() &&
+          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown &&
+          (ld == SlotDiff::kClean || rd == SlotDiff::kClean)) {
+        if (rd == SlotDiff::kChanged) {
+          lazy.dirty_is_left = false;
+          lazy.changed = slot_changed_[step.right];
+        } else {
+          lazy.dirty_is_left = true;
+          if (ld == SlotDiff::kChanged) lazy.changed = slot_changed_[step.left];
         }
+        lazy.old_flow = old_flow.span();
+        lazy.old_dec = s.slot_decisions[out].span();
+        lazy_ptr = &lazy;
       }
-      return pairs;
-    };
-    merge_pairs_ += dp::sharded_merge(merge_pool(), left.size(),
-                                      right.size(), merged, dec, merge_range);
+    }
 
-    s.slot_boxes[out] = std::move(new_box);
-    s.slot_flows[out] = std::move(merged);
-    s.slot_decisions[out] = std::move(dec);
+    const dp::JoinStats js =
+        dp::join_slots(in, {merged.data(), merged.size()},
+                       {dec.data(), dec.size()}, merge_pool(), scratch_,
+                       lazy_ptr);
+    merge_pairs_ += js.pairs;
+    cells_skipped_ += js.cells_skipped;
+
+    finish_slot(s, out, std::move(new_box), merged, dec, resume);
   }
 
   /// Folds the node's own client mass into the root slot (see the exact
@@ -248,14 +298,14 @@ class SymmetricPowerSolver {
                  const dp::MergePlan& mplan) {
     if (mplan.num_leaves() == 0) {
       s.box = Box(std::vector<int>(dims_, 0));
-      s.flow.assign(1, base);
+      s.flow.assign(*arena_, 1, base);
       table_cells_ += 1;
       return;
     }
     const RequestCount w_max = modes_.max_capacity();
     const std::uint32_t root = mplan.root_slot();
     s.box = s.slot_boxes[root];
-    s.flow = s.slot_flows[root];
+    s.flow.assign_copy(*arena_, s.slot_flows[root].span());
     for (RequestCount& f : s.flow) {
       if (f == kInvalidFlow) continue;
       f += base;
@@ -402,15 +452,23 @@ class SymmetricPowerSolver {
   dp::LazyPool lazy_pool_;
   /// Session-owned states when warm-starting, else this solve's locals.
   dp::PowerSubtreeCache* const cache_;
+  /// Table storage: the cache's arena for warm solves, else a local one.
+  TableArena own_arena_;
+  TableArena* const arena_;
   const std::span<const ScenarioDelta> deltas_;
   mutable std::vector<NodeState> local_states_;
   mutable dp::MergePlanCache plans_;
+  dp::JoinScratch scratch_;
+  /// Per-slot diff state of the node currently being processed.
+  std::vector<SlotDiff> slot_diff_;
+  std::vector<std::vector<std::uint32_t>> slot_changed_;
   std::uint64_t merge_pairs_ = 0;
   std::uint64_t table_cells_ = 0;
   std::uint64_t merge_steps_ = 0;
   std::uint64_t nodes_recomputed_ = 0;
   std::uint64_t nodes_reused_ = 0;
   std::uint64_t signatures_checked_ = 0;
+  std::uint64_t cells_skipped_ = 0;
 };
 
 }  // namespace

@@ -187,6 +187,7 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
               : std::string("unbounded"))
       << " dropped_snapshots=" << summary.cache.session_snapshots_dropped
       << " dropped_tables=" << summary.cache.session_tables_dropped
+      << " cells_skipped=" << summary.cache.session_cells_skipped
       << " errors=" << solver.errors
       << " mean_queue_s=" << solver.total_queue_seconds / solves
       << " mean_solve_s=" << solver.total_solve_seconds / solves

@@ -73,6 +73,7 @@ TopologyCacheStats TopologyCache::stats() const {
     out.session_bytes += s.bytes_resident;
     out.session_snapshots_dropped += s.snapshots_dropped;
     out.session_tables_dropped += s.tables_dropped;
+    out.session_cells_skipped += s.cells_skipped;
   }
   return out;
 }

@@ -52,6 +52,9 @@ struct TopologyCacheStats {
   std::uint64_t session_bytes = 0;
   std::uint64_t session_snapshots_dropped = 0;
   std::uint64_t session_tables_dropped = 0;
+  /// Output cells spliced by lazy root-path joins across resident
+  /// sessions (see core/merge_kernel.h) — warm-solve work avoided.
+  std::uint64_t session_cells_skipped = 0;
 };
 
 class TopologyCache {

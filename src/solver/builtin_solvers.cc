@@ -208,7 +208,7 @@ class UpdateDpSolver : public Solver {
     }
     if (session != nullptr) {
       session->record_warm(r.nodes_recomputed, r.nodes_reused, r.merge_steps,
-                           r.signatures_checked);
+                           r.signatures_checked, r.cells_skipped);
     }
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), r.merge_iterations});
@@ -248,7 +248,8 @@ class PowerExactSolver : public Solver {
     opts.deltas = deltas;
     PowerDPResult r = run_dp(in, opts);
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
-                        r.stats.merge_steps, r.stats.signatures_checked);
+                        r.stats.merge_steps, r.stats.signatures_checked,
+                        r.stats.cells_skipped);
     return finish(in, std::move(r));
   }
 
@@ -302,7 +303,8 @@ class PowerSymmetricSolver : public Solver {
     opts.deltas = deltas;
     PowerDPResult r = run_dp(in, opts);
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
-                        r.stats.merge_steps, r.stats.signatures_checked);
+                        r.stats.merge_steps, r.stats.signatures_checked,
+                        r.stats.cells_skipped);
     return finish(in, std::move(r));
   }
 

@@ -11,15 +11,21 @@ namespace treeplace {
 
 namespace {
 
-/// One sheddable unit of cached DP state, ranked largest-first so budget
-/// enforcement frees the most bytes with the fewest future recomputes.
+/// One sheddable unit of cached DP state, ranked coldest-first (fewest
+/// invalidations since the session started) so rarely-updated subtrees pay
+/// the recompute and the hot set — whose tables are rebuilt and reused on
+/// every solve — survives.  Size breaks ties largest-first to free the
+/// most bytes per eviction.  Root-path nodes are dirtied by every delta
+/// below them, so they rank hottest and are shed last.
 struct Shedding {
+  std::uint64_t hotness = 0;  ///< times the node was dirtied (SubtreeCache)
   std::size_t bytes = 0;
   std::size_t node = 0;
   int cache = 0;  ///< index into the per-session cache list
 
   friend bool operator<(const Shedding& a, const Shedding& b) {
-    if (a.bytes != b.bytes) return a.bytes > b.bytes;  // largest first
+    if (a.hotness != b.hotness) return a.hotness < b.hotness;  // coldest first
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;          // largest first
     if (a.cache != b.cache) return a.cache < b.cache;
     return a.node < b.node;
   }
@@ -66,6 +72,7 @@ SolveSession::Stats SolveSession::stats() const {
   stats.nodes_reused = nodes_reused_.load();
   stats.merge_steps = merge_steps_.load();
   stats.signatures_checked = signatures_checked_.load();
+  stats.cells_skipped = cells_skipped_.load();
   stats.bytes_resident = bytes_resident_.load();
   stats.snapshots_dropped = snapshots_dropped_.load();
   stats.tables_dropped = tables_dropped_.load();
@@ -75,12 +82,14 @@ SolveSession::Stats SolveSession::stats() const {
 void SolveSession::record_warm(std::uint64_t nodes_recomputed,
                                std::uint64_t nodes_reused,
                                std::uint64_t merge_steps,
-                               std::uint64_t signatures_checked) {
+                               std::uint64_t signatures_checked,
+                               std::uint64_t cells_skipped) {
   warm_solves_.fetch_add(1);
   nodes_recomputed_.fetch_add(nodes_recomputed);
   nodes_reused_.fetch_add(nodes_reused);
   merge_steps_.fetch_add(merge_steps);
   signatures_checked_.fetch_add(signatures_checked);
+  cells_skipped_.fetch_add(cells_skipped);
   enforce_budget();
 }
 
@@ -109,13 +118,16 @@ void SolveSession::enforce_budget() {
 
   const std::size_t budget = options_.max_bytes;
   if (total > budget) {
-    // Pass 1: shed merge-tree snapshots, largest first — the node stays
+    // Pass 1: shed merge-tree snapshots, coldest first — the node stays
     // spliceable while clean, only the O(log k) slot resume is lost.
     std::vector<Shedding> snapshots;
     for (std::size_t c = 0; c < power.size(); ++c) {
       for (std::size_t i = 0; i < power[c]->size(); ++i) {
         const std::size_t bytes = power[c]->snapshot_bytes(i);
-        if (bytes > 0) snapshots.push_back({bytes, i, static_cast<int>(c)});
+        if (bytes > 0) {
+          snapshots.push_back(
+              {power[c]->dirty_count(i), bytes, i, static_cast<int>(c)});
+        }
       }
     }
     const int min_cost_base = static_cast<int>(power.size());
@@ -123,7 +135,8 @@ void SolveSession::enforce_budget() {
       for (std::size_t i = 0; i < min_cost[c]->size(); ++i) {
         const std::size_t bytes = min_cost[c]->snapshot_bytes(i);
         if (bytes > 0) {
-          snapshots.push_back({bytes, i, min_cost_base + static_cast<int>(c)});
+          snapshots.push_back({min_cost[c]->dirty_count(i), bytes, i,
+                               min_cost_base + static_cast<int>(c)});
         }
       }
     }
@@ -140,7 +153,7 @@ void SolveSession::enforce_budget() {
       snapshots_dropped_.fetch_add(1);
     }
 
-    // Pass 2: still over budget — shed whole subtree tables, largest
+    // Pass 2: still over budget — shed whole subtree tables, coldest
     // first.  The next solve recomputes them (bit-identical, just paid
     // again).
     if (total > budget) {
@@ -148,14 +161,18 @@ void SolveSession::enforce_budget() {
       for (std::size_t c = 0; c < power.size(); ++c) {
         for (std::size_t i = 0; i < power[c]->size(); ++i) {
           const std::size_t bytes = power[c]->state_bytes(i);
-          if (bytes > 0) tables.push_back({bytes, i, static_cast<int>(c)});
+          if (bytes > 0) {
+            tables.push_back(
+                {power[c]->dirty_count(i), bytes, i, static_cast<int>(c)});
+          }
         }
       }
       for (std::size_t c = 0; c < min_cost.size(); ++c) {
         for (std::size_t i = 0; i < min_cost[c]->size(); ++i) {
           const std::size_t bytes = min_cost[c]->state_bytes(i);
           if (bytes > 0) {
-            tables.push_back({bytes, i, min_cost_base + static_cast<int>(c)});
+            tables.push_back({min_cost[c]->dirty_count(i), bytes, i,
+                              min_cost_base + static_cast<int>(c)});
           }
         }
       }

@@ -89,6 +89,9 @@ class SolveSession {
     /// NodeSignatures compared while planning; the delta fast path keeps
     /// this near the touched-set size instead of N per solve.
     std::uint64_t signatures_checked = 0;
+    /// Output cells spliced from snapshots by lazy root-path joins instead
+    /// of recomputed (see core/merge_kernel.h) across all warm solves.
+    std::uint64_t cells_skipped = 0;
     /// Byte-budget accounting (Options::max_bytes).  bytes_resident is
     /// tracked only when a budget is set — unbudgeted sessions skip the
     /// per-solve accounting walk and report 0.
@@ -102,15 +105,18 @@ class SolveSession {
   /// warm-start accounting; also enforces Options::max_bytes (the caller
   /// already holds solve_mutex(), so cache surgery is safe here).
   void record_warm(std::uint64_t nodes_recomputed, std::uint64_t nodes_reused,
-                   std::uint64_t merge_steps,
-                   std::uint64_t signatures_checked);
+                   std::uint64_t merge_steps, std::uint64_t signatures_checked,
+                   std::uint64_t cells_skipped);
   /// Called by the base-class cold fallback.
   void record_cold();
 
  private:
   /// Sheds cached state until the byte budget holds: merge-tree snapshots
-  /// first (largest first), whole node states last.  Requires
-  /// solve_mutex() held (it mutates the caches).
+  /// first, whole node states last.  Within each pass victims are ranked
+  /// by hotness (times dirtied, ascending) then size (descending), so
+  /// frequently-updated subtrees — whose tables earn their keep on every
+  /// solve — are shed last.  Requires solve_mutex() held (it mutates the
+  /// caches).
   void enforce_budget();
 
   std::shared_ptr<const Topology> topology_;
@@ -129,6 +135,7 @@ class SolveSession {
   std::atomic<std::uint64_t> nodes_reused_{0};
   std::atomic<std::uint64_t> merge_steps_{0};
   std::atomic<std::uint64_t> signatures_checked_{0};
+  std::atomic<std::uint64_t> cells_skipped_{0};
   std::atomic<std::uint64_t> bytes_resident_{0};
   std::atomic<std::uint64_t> snapshots_dropped_{0};
   std::atomic<std::uint64_t> tables_dropped_{0};

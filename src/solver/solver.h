@@ -68,7 +68,7 @@ class Solver {
   struct Options {
     /// Worker threads for solver-internal parallelism — the power DPs shard
     /// their per-child merge loops across this many workers.  1 = serial.
-    /// Results are bit-identical for any value (see dp::sharded_merge);
+    /// Results are bit-identical for any value (see core/merge_kernel.h);
     /// strategies without internal parallelism ignore the knob.
     int threads = 1;
   };

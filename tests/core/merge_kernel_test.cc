@@ -1,0 +1,298 @@
+// Oracle-equivalence fuzz for the merge-kernel layer (core/merge_kernel.h).
+//
+// The contract under test: every kernel path — sparse/dense, SIMD on/off,
+// serial or sharded over a pool, lazy or full — produces flows AND
+// decisions bit-identical to the textbook serial double loop with the
+// "first occurrence of the minimal flow" tie-break.  Decision tables are
+// uninitialized at invalid cells by design, so comparisons only cover
+// cells the oracle marks valid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merge_kernel.h"
+#include "support/check.h"
+#include "support/prng.h"
+#include "support/thread_pool.h"
+
+namespace treeplace::dp {
+namespace {
+
+struct JoinResult {
+  std::vector<RequestCount> flow;
+  std::vector<Decision> dec;
+};
+
+/// The reference loop the paper writes down: left-flat-major, right-flat
+/// ascending, first strict minimum wins.
+JoinResult naive_join(const JoinInputs& in) {
+  JoinResult out;
+  out.flow.assign(in.obox->size(), kInvalidFlow);
+  out.dec.resize(in.obox->size());
+  std::vector<int> digits;
+  const auto dot_in_out = [&](const Box& box, std::size_t flat) {
+    box.decode(flat, digits);
+    std::size_t dot = 0;
+    for (std::size_t d = 0; d < digits.size(); ++d) {
+      dot += static_cast<std::size_t>(digits[d]) * in.obox->stride(d);
+    }
+    return dot;
+  };
+  for (std::size_t lf = 0; lf < in.lflow.size(); ++lf) {
+    if (in.lflow[lf] == kInvalidFlow) continue;
+    const std::size_t ldot = dot_in_out(*in.lbox, lf);
+    for (std::size_t rf = 0; rf < in.rflow.size(); ++rf) {
+      if (in.rflow[rf] == kInvalidFlow) continue;
+      const RequestCount sum = in.lflow[lf] + in.rflow[rf];
+      if (sum > in.cap) continue;
+      const std::size_t t = ldot + dot_in_out(*in.rbox, rf);
+      if (sum < out.flow[t]) {
+        out.flow[t] = sum;
+        out.dec[t] = Decision{static_cast<std::uint32_t>(lf),
+                              static_cast<std::uint32_t>(rf), -1};
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> random_bounds(Xoshiro256& rng, int max_dims, int max_bound) {
+  const int dims = 1 + static_cast<int>(rng.uniform(0, max_dims - 1));
+  std::vector<int> bounds(dims);
+  for (int& b : bounds) b = static_cast<int>(rng.uniform(0, max_bound));
+  return bounds;
+}
+
+std::vector<RequestCount> random_table(const Box& box, double occupancy,
+                                       RequestCount max_flow,
+                                       Xoshiro256& rng) {
+  std::vector<RequestCount> flow(box.size(), kInvalidFlow);
+  for (RequestCount& f : flow) {
+    if (rng.uniform(0, 999) < static_cast<std::uint64_t>(occupancy * 1000)) {
+      f = rng.uniform(0, max_flow);
+    }
+  }
+  return flow;
+}
+
+void expect_joins_match(const JoinResult& expected,
+                        std::span<const RequestCount> flow,
+                        std::span<const Decision> dec,
+                        const std::string& context) {
+  ASSERT_EQ(expected.flow.size(), flow.size()) << context;
+  for (std::size_t t = 0; t < flow.size(); ++t) {
+    ASSERT_EQ(expected.flow[t], flow[t]) << context << " cell " << t;
+    if (expected.flow[t] == kInvalidFlow) continue;  // dec uninitialized
+    ASSERT_EQ(expected.dec[t].left, dec[t].left) << context << " cell " << t;
+    ASSERT_EQ(expected.dec[t].right, dec[t].right) << context << " cell " << t;
+    ASSERT_EQ(expected.dec[t].mode, dec[t].mode) << context << " cell " << t;
+  }
+}
+
+Box output_box(const Box& lbox, const Box& rbox) {
+  std::vector<int> bounds(lbox.bounds().size());
+  for (std::size_t d = 0; d < bounds.size(); ++d) {
+    bounds[d] = lbox.bounds()[d] + rbox.bounds()[d];
+  }
+  return Box(bounds);
+}
+
+TEST(MergeKernelTest, AllPathsMatchTheSerialOracle) {
+  ThreadPool pool(4);
+  JoinScratch scratch;
+  Xoshiro256 rng(0x5eedu);
+  const KernelConfig::Path paths[] = {KernelConfig::Path::kAuto,
+                                      KernelConfig::Path::kSparse,
+                                      KernelConfig::Path::kDense};
+  for (int round = 0; round < 60; ++round) {
+    const std::vector<int> lbounds = random_bounds(rng, 3, 6);
+    std::vector<int> rbounds = lbounds;  // same dimensionality
+    for (int& b : rbounds) b = static_cast<int>(rng.uniform(0, 6));
+    const Box lbox(lbounds);
+    const Box rbox(rbounds);
+    const Box obox = output_box(lbox, rbox);
+    const double locc = 0.1 + 0.3 * static_cast<double>(rng.uniform(0, 3));
+    const double rocc = 0.1 + 0.3 * static_cast<double>(rng.uniform(0, 3));
+    const RequestCount cap = 12;
+    const std::vector<RequestCount> lflow = random_table(lbox, locc, 9, rng);
+    const std::vector<RequestCount> rflow = random_table(rbox, rocc, 9, rng);
+    const JoinInputs in{&lbox, lflow, &rbox, rflow, &obox, cap};
+    const JoinResult expected = naive_join(in);
+
+    std::vector<RequestCount> flow(obox.size());
+    std::vector<Decision> dec(obox.size());
+    for (const KernelConfig::Path path : paths) {
+      for (const bool simd : {false, true}) {
+        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+          KernelConfig cfg;
+          cfg.simd = simd;
+          cfg.path = path;
+          const JoinStats stats =
+              join_slots(in, flow, dec, p, scratch, nullptr, cfg);
+          EXPECT_FALSE(stats.lazy);
+          expect_joins_match(
+              expected, flow, dec,
+              "round " + std::to_string(round) + " path " +
+                  std::to_string(static_cast<int>(path)) + " simd " +
+                  std::to_string(simd) + " pool " + std::to_string(p != nullptr));
+        }
+      }
+    }
+  }
+}
+
+TEST(MergeKernelTest, LazyJoinMatchesFullRebuild) {
+  JoinScratch scratch;
+  Xoshiro256 rng(0xfeedu);
+  int lazy_runs = 0;
+  for (int round = 0; round < 80; ++round) {
+    const std::vector<int> lbounds = random_bounds(rng, 2, 7);
+    std::vector<int> rbounds = lbounds;
+    for (int& b : rbounds) b = static_cast<int>(rng.uniform(1, 7));
+    const Box lbox(lbounds);
+    const Box rbox(rbounds);
+    const Box obox = output_box(lbox, rbox);
+    const RequestCount cap = 14;
+    std::vector<RequestCount> lflow = random_table(lbox, 0.7, 9, rng);
+    std::vector<RequestCount> rflow = random_table(rbox, 0.7, 9, rng);
+    const bool dirty_is_left = (round % 2) == 0;
+
+    // The previous solve's output, built by a full join.
+    const JoinInputs old_in{&lbox, lflow, &rbox, rflow, &obox, cap};
+    const JoinResult old = naive_join(old_in);
+
+    // Dirty one operand in a few cells: value changes, invalidations, and
+    // newly valid cells all occur.
+    std::vector<RequestCount> dirty = dirty_is_left ? lflow : rflow;
+    const std::size_t edits = 1 + rng.uniform(0, 2);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t i = rng.uniform(0, dirty.size() - 1);
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          dirty[i] = kInvalidFlow;
+          break;
+        case 1:
+          dirty[i] = rng.uniform(0, 9);
+          break;
+        default:
+          dirty[i] = (dirty[i] == kInvalidFlow) ? 3 : dirty[i] + 1;
+          break;
+      }
+    }
+    std::vector<std::uint32_t> changed;
+    ASSERT_TRUE(diff_tables(dirty_is_left ? lflow : rflow, dirty,
+                            dirty.size(), changed));
+    if (changed.empty()) continue;  // edits cancelled out
+    if (dirty_is_left) {
+      lflow = dirty;
+    } else {
+      rflow = dirty;
+    }
+
+    const JoinInputs in{&lbox, lflow, &rbox, rflow, &obox, cap};
+    const JoinResult expected = naive_join(in);
+
+    LazyJoin lazy;
+    lazy.old_flow = old.flow;
+    lazy.old_dec = old.dec;
+    lazy.changed = changed;
+    lazy.dirty_is_left = dirty_is_left;
+    KernelConfig cfg;
+    cfg.lazy_max_changed = 1.0;  // always worth attempting
+
+    std::vector<RequestCount> flow(obox.size());
+    std::vector<Decision> dec(obox.size());
+    const JoinStats stats = join_slots(in, flow, dec, nullptr, scratch,
+                                       &lazy, cfg);
+    if (stats.lazy) {
+      ++lazy_runs;
+      EXPECT_LE(stats.cells_skipped, obox.size());
+    } else {
+      EXPECT_EQ(stats.cells_skipped, 0u);
+    }
+    expect_joins_match(expected, flow, dec,
+                       "lazy round " + std::to_string(round) +
+                           (dirty_is_left ? " dirty-left" : " dirty-right"));
+  }
+  // The point of the fuzz is the lazy path; make sure it actually ran.
+  EXPECT_GT(lazy_runs, 20);
+}
+
+TEST(MergeKernelTest, DiffTablesListsChangesAndBails) {
+  const std::vector<RequestCount> a{1, kInvalidFlow, 3, 4, 5};
+  std::vector<std::uint32_t> out{99};
+  EXPECT_TRUE(diff_tables(a, a, 0, out));
+  EXPECT_TRUE(out.empty());
+
+  std::vector<RequestCount> b = a;
+  b[1] = 2;
+  b[4] = kInvalidFlow;
+  EXPECT_TRUE(diff_tables(a, b, 2, out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 4}));
+
+  EXPECT_FALSE(diff_tables(a, b, 1, out));
+}
+
+TEST(MergeKernelTest, CompactEntriesAreAscendingWithOutputDots) {
+  const Box box({2, 1});
+  const Box target({4, 3});
+  std::vector<RequestCount> flow(box.size(), kInvalidFlow);
+  flow[1] = 7;   // (0, 1)
+  flow[4] = 2;   // (2, 0)
+  EntryList out;
+  compact_entries(box, flow, target, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.flat[0], 1u);
+  EXPECT_EQ(out.flow[0], 7u);
+  EXPECT_EQ(out.dot[0], 0u * target.stride(0) + 1u * target.stride(1));
+  EXPECT_EQ(out.flat[1], 4u);
+  EXPECT_EQ(out.flow[1], 2u);
+  EXPECT_EQ(out.dot[1], 2u * target.stride(0));
+}
+
+TEST(MergeKernelTest, ArenaRecyclesBlocksThroughSizeClasses) {
+  TableArena arena;
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  void* a = arena.allocate(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % TableArena::kAlignment, 0u);
+  EXPECT_EQ(arena.used_bytes(), 128u);  // size-class-rounded
+  arena.deallocate(a, 100);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  // Same size class -> the freed block comes straight back.
+  void* b = arena.allocate(120);
+  EXPECT_EQ(b, a);
+  const std::size_t reserved = arena.reserved_bytes();
+  EXPECT_GT(reserved, 0u);
+  // reset() recycles chunk memory without returning it to the system.
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(MergeKernelTest, ArenaTablesReuseTheirBlockAcrossResizes) {
+  TableArena arena;
+  ArenaTable<RequestCount> t;
+  t.assign(arena, 64, 5);
+  ASSERT_EQ(t.size(), 64u);
+  EXPECT_EQ(t[63], 5u);
+  const void* block = t.data();
+  t.resize_uninit(arena, 32);  // shrinking keeps the block
+  EXPECT_EQ(t.data(), block);
+  ArenaTable<RequestCount> moved = t.take();
+  EXPECT_EQ(t.data(), nullptr);
+  EXPECT_EQ(moved.data(), block);
+  moved.clear(arena);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(MergeKernelTest, BoxRejectsTablesBeyond32BitCells) {
+  // 70001^2 cells > 2^32: Decision/CompactEntry store 32-bit flats, so the
+  // constructor must refuse instead of silently narrowing.
+  EXPECT_THROW(Box({70000, 70000}), CheckError);
+  EXPECT_NO_THROW(Box({70000, 1}));
+}
+
+}  // namespace
+}  // namespace treeplace::dp

@@ -279,6 +279,118 @@ TEST(IncrementalSolveTest, StarDeltaRedoesLogKMergeSteps) {
   }
 }
 
+TEST(IncrementalSolveTest, WarmSolveSplicesCellsThroughLazyJoins) {
+  // One dirty arm of a wide star: the root's re-joined slots see one
+  // changed operand with a small value diff, so the lazy kernel path must
+  // splice (not recompute) the cells outside the delta's footprint —
+  // while staying bit-identical to a cold solve.
+  constexpr int kFanout = 48;
+  for (const char* algo : {"power-sym", "power-exact", "update-dp"}) {
+    Tree tree = make_star_tree(kFanout);
+    const bool single_mode = std::string(algo) == "update-dp";
+    const ModeSet modes =
+        single_mode ? ModeSet::single(10) : ModeSet({5, 10}, 12.5, 3.0);
+    const CostModel costs =
+        single_mode ? CostModel::simple(0.1, 0.01)
+                    : CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+    const auto warm_solver = make_solver(algo);
+    const auto cold_solver = make_solver(algo);
+    SolveSession session(tree.topology_ptr());
+
+    const auto instance = [&] {
+      return single_mode
+                 ? Instance::single_mode(tree.topology_ptr(), tree.scenario(),
+                                         10, 0.1, 0.01)
+                 : Instance{tree.topology_ptr(), tree.scenario(), modes,
+                            costs, std::nullopt};
+    };
+    warm_solver->solve_incremental(instance(), {}, session);
+    // A cold solve has no snapshots to splice from.
+    EXPECT_EQ(session.stats().cells_skipped, 0u) << algo;
+
+    const NodeId client = tree.client_ids()[kFanout / 3];
+    const std::vector<ScenarioDelta> deltas{
+        ScenarioDelta::set_requests(client, tree.requests(client) + 1)};
+    apply_delta(tree.scenario(), deltas.front());
+    const Solution warm =
+        warm_solver->solve_incremental(instance(), deltas, session);
+    expect_identical(warm, cold_solver->solve(instance()),
+                     std::string(algo) + " lazy warm");
+    EXPECT_GT(session.stats().cells_skipped, 0u)
+        << algo << ": a one-arm delta must splice root-join cells";
+  }
+}
+
+TEST(IncrementalSolveTest, ByteBudgetShedsColdestSubtreesFirst) {
+  // Repeatedly dirty one arm of a star: its root path becomes hot, every
+  // other arm stays at zero invalidations.  Budget shedding must evict the
+  // cold arms and keep the hot path resident.
+  constexpr int kFanout = 16;
+  const ModeSet modes({5, 10}, 12.5, 3.0);
+  const CostModel costs = CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+  const auto solver = make_solver("power-sym");
+
+  const auto run_steps = [&](Tree& tree, SolveSession& session) {
+    const NodeId hot_client = tree.client_ids()[kFanout / 2];
+    const Instance base{tree.topology_ptr(), tree.scenario(), modes, costs,
+                        std::nullopt};
+    solver->solve_incremental(base, {}, session);
+    for (int step = 0; step < 4; ++step) {
+      const std::vector<ScenarioDelta> deltas{ScenarioDelta::set_requests(
+          hot_client, tree.requests(hot_client) + 1)};
+      apply_delta(tree.scenario(), deltas.front());
+      const Instance edited{tree.topology_ptr(), tree.scenario(), modes,
+                            costs, std::nullopt};
+      solver->solve_incremental(edited, deltas, session);
+    }
+    return hot_client;
+  };
+
+  // Dry run on an unbounded session to size a budget that forces state
+  // shedding (the root's merge snapshots alone must not satisfy it).
+  Tree sizing = make_star_tree(kFanout);
+  SolveSession unbounded(sizing.topology_ptr());
+  run_steps(sizing, unbounded);
+  auto& sized = unbounded.power_cache("power-sym");
+  const Topology& topo = sizing.topology();
+  const std::size_t root_idx = topo.internal_index(sizing.root());
+  std::size_t total = 0;
+  std::size_t cold_arms = 0;
+  for (std::size_t i = 0; i < sized.size(); ++i) {
+    total += sized.state_bytes(i);
+    // Untouched arms carry only the cold-attach invalidation.
+    if (i != root_idx && sized.dirty_count(i) <= 1) {
+      cold_arms += sized.state_bytes(i);
+    }
+  }
+  ASSERT_GT(cold_arms, 0u);
+  const std::size_t budget = (total - sized.snapshot_bytes(root_idx)) -
+                             cold_arms / 2;
+
+  Tree tree = make_star_tree(kFanout);
+  SolveSession session(tree.topology_ptr(),
+                       SolveSession::Options{/*max_bytes=*/budget});
+  const NodeId hot_client = run_steps(tree, session);
+  const std::size_t hot_arm =
+      tree.topology().internal_index(tree.parent(hot_client));
+
+  const SolveSession::Stats stats = session.stats();
+  EXPECT_GT(stats.tables_dropped, 0u);
+  auto& cache = session.power_cache("power-sym");
+  // The hot path (dirtied every step) survives; only cold arms are shed.
+  EXPECT_TRUE(cache.valid(hot_arm));
+  EXPECT_TRUE(cache.valid(tree.topology().internal_index(tree.root())));
+  std::size_t shed_cold = 0;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (!cache.valid(i)) {
+      EXPECT_LT(cache.dirty_count(i), cache.dirty_count(hot_arm))
+          << "shed node " << i << " was not colder than the hot path";
+      ++shed_cold;
+    }
+  }
+  EXPECT_GT(shed_cold, 0u);
+}
+
 TEST(IncrementalSolveTest, SmallDeltaSkipsTheSignatureSweep) {
   Tree tree = make_star_tree(48);
   const ModeSet modes({5, 10}, 12.5, 3.0);
