@@ -75,6 +75,11 @@ int main(int argc, char** argv) {
       {"medium_64x64_full", 63, 1.0},
       {"large_128x128_full", 127, 1.0},
       {"large_128x128_sparse30", 127, 0.3},
+      // Mid occupancy is the sparse AVX2 gather kernel's target regime:
+      // compacted entries dominate, yet packs are full enough that the
+      // 4-wide predicate (cap cut + gathered strict-improvement test)
+      // pays off over the scalar compacted loop.
+      {"large_128x128_sparse45", 127, 0.45},
   };
   const std::vector<Variant> variants = {
       {"scalar_sparse", {false, dp::KernelConfig::Path::kSparse}},

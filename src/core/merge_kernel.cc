@@ -334,10 +334,19 @@ std::uint64_t sparse_range_scalar(const EntryList& left, std::size_t lo,
 
 #if defined(TREEPLACE_KERNEL_X86)
 
-/// AVX2 sparse: vectorizes the feasibility cut (the only lane-parallel
-/// part — the scatter is inherently serial), skipping 4 right entries at a
-/// time when the cap filters them.  Update order per surviving lane is the
-/// scalar loop's, so results are bit-identical.
+/// AVX2 sparse: the full per-pair predicate — feasibility cut AND the
+/// strict-improvement test against the destination — runs 4 right entries
+/// at a time.  Destination flows are fetched with a 64-bit gather, so a
+/// pack where nothing improves (the common case on warm re-solves, where
+/// most cells are already optimal) costs no scalar work at all.
+///
+/// Gathering before writing is sound because target indices within one
+/// pack are distinct: compacted `dot` values are strictly increasing (the
+/// output box covers each operand box per dimension, so the odometer in
+/// compact_entries is strictly monotonic), hence the 4 lanes hit 4
+/// different cells and no lane can observe a stale gathered value.
+/// Surviving lanes are committed in ascending j, preserving the scalar
+/// loop's first-occurrence tie-break — results stay bit-identical.
 __attribute__((target("avx2"))) std::uint64_t sparse_range_avx2(
     const EntryList& left, std::size_t lo, std::size_t hi,
     const EntryList& right, RequestCount cap, RequestCount* flow,
@@ -355,24 +364,32 @@ __attribute__((target("avx2"))) std::uint64_t sparse_range_avx2(
     const std::uint64_t ldot = left.dot[i];
     const std::uint32_t lflat = left.flat[i];
     const __m256i vlf = _mm256_set1_epi64x(static_cast<long long>(lf));
+    const __m256i vldot = _mm256_set1_epi64x(static_cast<long long>(ldot));
     std::size_t j = 0;
     for (; j + 4 <= nr; j += 4) {
       const __m256i rf =
           _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rflow + j));
       const __m256i sum = _mm256_add_epi64(rf, vlf);
-      const __m256i gt_cap =
-          _mm256_cmpgt_epi64(_mm256_xor_si256(sum, vsign), vcap_s);
-      int m = (~_mm256_movemask_pd(_mm256_castsi256_pd(gt_cap))) & 0xf;
+      const __m256i sum_s = _mm256_xor_si256(sum, vsign);
+      const __m256i gt_cap = _mm256_cmpgt_epi64(sum_s, vcap_s);
+      // Target cells are in-bounds even for cap-failing lanes (dots map
+      // into the output box unconditionally), so a plain gather is safe.
+      const __m256i rd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rdot + j));
+      const __m256i t = _mm256_add_epi64(rd, vldot);
+      const __m256i dst = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(flow), t, 8);
+      const __m256i improves =
+          _mm256_cmpgt_epi64(_mm256_xor_si256(dst, vsign), sum_s);
+      const __m256i take = _mm256_andnot_si256(gt_cap, improves);
+      int m = _mm256_movemask_pd(_mm256_castsi256_pd(take)) & 0xf;
       while (m != 0) {
         const int b = __builtin_ctz(static_cast<unsigned>(m));
         m &= m - 1;
         const std::size_t jj = j + static_cast<std::size_t>(b);
-        const RequestCount s = lf + rflow[jj];
-        const std::size_t t = static_cast<std::size_t>(ldot + rdot[jj]);
-        if (s < flow[t]) {
-          flow[t] = s;
-          dec[t] = Decision{lflat, rflat[jj], -1};
-        }
+        const std::size_t tt = static_cast<std::size_t>(ldot + rdot[jj]);
+        flow[tt] = lf + rflow[jj];
+        dec[tt] = Decision{lflat, rflat[jj], -1};
       }
     }
     for (; j < nr; ++j) {

@@ -73,6 +73,62 @@ std::future<ServeResult> SolveDispatcher::submit(
   });
 }
 
+bool SolveDispatcher::try_reserve_slot() {
+  std::scoped_lock lock(mutex_);
+  if (in_flight_ >= queue_capacity_) return false;
+  ++in_flight_;
+  ++stats_.submitted;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+  return true;
+}
+
+void SolveDispatcher::release_reserved_slot() {
+  std::scoped_lock lock(mutex_);
+  --stats_.submitted;
+  --in_flight_;
+  slot_freed_.notify_one();
+}
+
+void SolveDispatcher::submit_reserved(std::size_t solver_index,
+                                      Instance instance,
+                                      std::shared_ptr<SolveSession> session,
+                                      std::vector<ScenarioDelta> deltas,
+                                      CompletionFn done) {
+  TREEPLACE_CHECK_MSG(solver_index < solvers_.size(),
+                      "solver index " << solver_index << " out of range");
+  const Solver& solver = *solvers_[solver_index];
+  if (!solver.info().accepts(instance.num_internal(),
+                             instance.modes.count())) {
+    ServeResult result;
+    result.error = "solver '" + solver.name() +
+                   "' does not accept this instance (" +
+                   std::to_string(instance.num_internal()) +
+                   " internal nodes, " +
+                   std::to_string(instance.modes.count()) + " modes)";
+    {
+      // Release the reserved slot first, so a retry from inside `done`
+      // can reserve again.
+      std::scoped_lock lock(mutex_);
+      ++stats_.completed;
+      ++stats_.per_solver[solver_index].errors;
+      --in_flight_;
+      slot_freed_.notify_one();
+    }
+    done(std::move(result));
+    return;
+  }
+
+  Stopwatch queued;
+  // run_solve releases the queue slot before returning, so by the time
+  // `done` fires the caller may immediately reserve again.
+  pool_.submit([this, solver_index, instance = std::move(instance),
+                session = std::move(session), deltas = std::move(deltas),
+                queued, done = std::move(done)]() mutable {
+    done(run_solve(solver_index, instance, session.get(), deltas,
+                   queued.seconds()));
+  });
+}
+
 ServeResult SolveDispatcher::run_solve(
     std::size_t solver_index, const Instance& instance, SolveSession* session,
     const std::vector<ScenarioDelta>& deltas, double queue_seconds) {

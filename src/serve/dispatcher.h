@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -102,6 +103,29 @@ class SolveDispatcher {
   std::future<ServeResult> submit(Instance instance) {
     return submit(0, std::move(instance));
   }
+
+  /// Completion callback for submit_reserved; runs on a pool worker thread
+  /// (or inline on the submitting thread for capability rejections).
+  using CompletionFn = std::function<void(ServeResult)>;
+
+  /// Non-blocking admission for event-loop callers, split in two so that a
+  /// full queue consumes nothing: try_reserve_slot() returns false when
+  /// queue_capacity() solves are already in flight (the caller applies
+  /// backpressure, still owning its request, and retries after a
+  /// completion frees a slot); on true the caller holds a slot and must
+  /// follow up with submit_reserved().  `done` is invoked exactly once
+  /// with the result — after the slot has been released, so a retry from
+  /// inside `done` cannot starve.  Capability rejections release the slot
+  /// and invoke `done` inline.
+  bool try_reserve_slot();
+  void submit_reserved(std::size_t solver_index, Instance instance,
+                       std::shared_ptr<SolveSession> session,
+                       std::vector<ScenarioDelta> deltas, CompletionFn done);
+
+  /// Undoes a try_reserve_slot() whose request turned out not to need the
+  /// dispatcher (e.g. it resolved to an inline error record); the
+  /// reservation leaves no trace in the stats.
+  void release_reserved_slot();
 
   const Solver& solver(std::size_t solver_index = 0) const {
     return *solvers_[solver_index];

@@ -1,0 +1,728 @@
+#include "serve/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "support/check.h"
+#include "support/env.h"
+#include "support/timer.h"
+
+namespace treeplace::serve {
+
+// ---------------------------------------------------------------------------
+// Poller backends
+
+namespace {
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool read, bool write) override {
+    TREEPLACE_CHECK(!index_.count(fd));
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, mask(read, write), 0});
+  }
+
+  void update(int fd, bool read, bool write) override {
+    fds_[index_.at(fd)].events = mask(read, write);
+  }
+
+  void remove(int fd) override {
+    const std::size_t i = index_.at(fd);
+    index_.erase(fd);
+    if (i + 1 != fds_.size()) {
+      fds_[i] = fds_.back();
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+  }
+
+  void wait(std::vector<Event>& events, int timeout_ms) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      events.push_back(Event{p.fd, (p.revents & POLLIN) != 0,
+                             (p.revents & POLLOUT) != 0,
+                             (p.revents & (POLLERR | POLLHUP | POLLNVAL)) !=
+                                 0});
+    }
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short mask(bool read, bool write) {
+    return static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    TREEPLACE_CHECK_MSG(epfd_ >= 0,
+                        "epoll_create1: " << std::strerror(errno));
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, bool read, bool write) override { ctl(EPOLL_CTL_ADD, fd, read, write); }
+  void update(int fd, bool read, bool write) override { ctl(EPOLL_CTL_MOD, fd, read, write); }
+
+  void remove(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void wait(std::vector<Event>& events, int timeout_ms) override {
+    epoll_event buf[256];
+    const int n = ::epoll_wait(epfd_, buf, 256, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      events.push_back(Event{buf[i].data.fd, (buf[i].events & EPOLLIN) != 0,
+                             (buf[i].events & EPOLLOUT) != 0,
+                             (buf[i].events & (EPOLLERR | EPOLLHUP)) != 0});
+    }
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  void ctl(int op, int fd, bool read, bool write) {
+    epoll_event ev{};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    TREEPLACE_CHECK_MSG(::epoll_ctl(epfd_, op, fd, &ev) == 0,
+                        "epoll_ctl(" << op << ", " << fd
+                                     << "): " << std::strerror(errno));
+  }
+
+  int epfd_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::create(const std::string& backend) {
+#ifdef __linux__
+  if (backend != "poll") return std::make_unique<EpollPoller>();
+#else
+  (void)backend;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+std::unique_ptr<Poller> Poller::create() {
+  return create(env_string("TREEPLACE_POLLER", "epoll"));
+}
+
+// ---------------------------------------------------------------------------
+// NetServer setup
+
+namespace {
+
+in_addr_t parse_host(const std::string& host) {
+  if (host.empty() || host == "*" || host == "0.0.0.0") return INADDR_ANY;
+  if (host == "localhost") return htonl(INADDR_LOOPBACK);
+  in_addr addr{};
+  TREEPLACE_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr) == 1,
+                      "cannot parse listen host '" << host
+                                                   << "' (IPv4 dotted quad)");
+  return addr.s_addr;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  TREEPLACE_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
+  TREEPLACE_CHECK_MSG(config_.stream.dispatcher.algos.size() == 1,
+                      "NetServer serves every request with one solver");
+  int fds[2];
+  TREEPLACE_CHECK_MSG(::pipe(fds) == 0,
+                      "pipe: " << std::strerror(errno));
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+NetServer::~NetServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+std::uint16_t NetServer::listen_and_bind() {
+  TREEPLACE_CHECK_MSG(listen_fd_ < 0, "listen_and_bind() called twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TREEPLACE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+  set_nonblocking(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = parse_host(config_.host);
+  addr.sin_port = htons(config_.port);
+  TREEPLACE_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind " << config_.host << ":" << config_.port << ": "
+              << std::strerror(errno));
+  TREEPLACE_CHECK_MSG(::listen(fd, 1024) == 0,
+                      "listen: " << std::strerror(errno));
+
+  socklen_t len = sizeof(addr);
+  TREEPLACE_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return port_;
+}
+
+void NetServer::shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+
+class NetServer::Loop {
+ public:
+  explicit Loop(NetServer& server)
+      : server_(server),
+        config_(server.config_),
+        dispatcher_(config_.stream.dispatcher),
+        cache_(config_.stream.cache_capacity,
+               SolveSession::Options{config_.stream.session_max_bytes}),
+        poller_(Poller::create()) {
+    format_.print_placements = config_.stream.print_placements;
+    format_.has_budget = config_.stream.cost_budget.has_value();
+  }
+
+  NetServerSummary run(std::ostream& summary_out);
+
+ private:
+  double now() const { return wall_.seconds(); }
+
+  void push_completion(Completion completion);
+  void drain_wake_pipe();
+  void drain_completions();
+  void retry_stalled();
+  void accept_ready();
+  void handle_readable(Connection* conn);
+  void handle_writable(Connection* conn);
+  void process_requests(Connection* conn);
+  void flush_completed(Connection* conn);
+  bool try_write(Connection* conn);  ///< false: connection was closed
+  void update_interest(Connection* conn);
+  void maybe_close(Connection* conn);
+  void close_connection(Connection* conn);
+  void fail_connection(Connection* conn, std::string reason);
+  void touch_activity(Connection* conn);
+  void reap_idle();
+  void begin_drain();
+  int poll_timeout_ms() const;
+  void print_summary(std::ostream& out) const;
+
+  NetServer& server_;
+  const NetServerConfig& config_;
+  SolveDispatcher dispatcher_;
+  TopologyCache cache_;
+  std::unique_ptr<Poller> poller_;
+  ResultFormat format_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<int, Connection*> by_fd_;
+  std::list<std::uint64_t> idle_order_;  ///< activity order, oldest first
+  std::vector<std::uint64_t> stalled_;   ///< await a freed dispatcher slot
+  std::uint64_t next_uid_ = 1;
+
+  bool draining_ = false;
+  double drain_start_ = 0.0;
+
+  Stopwatch wall_;
+  LatencyHistogram latency_;
+  NetServerSummary summary_;
+};
+
+void NetServer::Loop::push_completion(Completion completion) {
+  {
+    std::scoped_lock lock(server_.completions_mutex_);
+    server_.completions_.push_back(std::move(completion));
+  }
+  const char byte = 'c';
+  [[maybe_unused]] const ssize_t n =
+      ::write(server_.wake_write_fd_, &byte, 1);
+}
+
+void NetServer::Loop::drain_wake_pipe() {
+  char buf[256];
+  while (::read(server_.wake_read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void NetServer::Loop::drain_completions() {
+  std::deque<Completion> batch;
+  {
+    std::scoped_lock lock(server_.completions_mutex_);
+    batch.swap(server_.completions_);
+  }
+  for (Completion& c : batch) {
+    const auto it = conns_.find(c.conn_uid);
+    if (it == conns_.end()) continue;  // connection died mid-solve
+    Connection* conn = it->second.get();
+    conn->complete(c.seq, std::move(c.result));
+    flush_completed(conn);
+  }
+}
+
+void NetServer::Loop::retry_stalled() {
+  if (stalled_.empty()) return;
+  std::vector<std::uint64_t> retry;
+  retry.swap(stalled_);
+  for (const std::uint64_t uid : retry) {
+    const auto it = conns_.find(uid);
+    if (it == conns_.end()) continue;
+    Connection* conn = it->second.get();
+    conn->stalled = false;
+    process_requests(conn);
+    flush_completed(conn);
+  }
+}
+
+void NetServer::Loop::accept_ready() {
+  while (true) {
+    const int fd = ::accept(server_.listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient (ECONNABORTED, EMFILE): retry later
+    }
+    if (draining_ || conns_.size() >= config_.max_conns) {
+      ::close(fd);
+      ++summary_.dropped;
+      continue;
+    }
+    set_nonblocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const std::uint64_t uid = next_uid_++;
+    auto conn = std::make_unique<Connection>(fd, uid, config_.max_line_bytes);
+    conn->last_activity_seconds = now();
+    idle_order_.push_back(uid);
+    conn->idle_pos = std::prev(idle_order_.end());
+    conn->poll_read = true;
+    conn->poll_write = false;
+    poller_->add(fd, true, false);
+    by_fd_[fd] = conn.get();
+    conns_[uid] = std::move(conn);
+    ++summary_.accepted;
+    summary_.peak_connections =
+        std::max<std::uint64_t>(summary_.peak_connections, conns_.size());
+  }
+}
+
+void NetServer::Loop::handle_readable(Connection* conn) {
+  bool eof = false;
+  while (true) {
+    const std::span<char> buf = conn->writable(config_.read_chunk);
+    const ssize_t n =
+        ::read(conn->fd(), buf.data(), std::min(buf.size(), config_.read_chunk));
+    if (n > 0) {
+      conn->commit(static_cast<std::size_t>(n));
+      summary_.bytes_in += static_cast<std::uint64_t>(n);
+      touch_activity(conn);
+      // One chunk per event: level-triggered readiness refires if more is
+      // buffered, keeping service fair across thousands of sockets.
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    eof = true;  // ECONNRESET and friends: treat as end of input
+    break;
+  }
+
+  if (!conn->failed) {
+    try {
+      conn->pump();
+      if (eof) conn->input_done();
+    } catch (const CheckError& e) {
+      fail_connection(conn, e.what());
+    }
+  } else if (eof) {
+    conn->input_done();
+  }
+  process_requests(conn);
+  flush_completed(conn);  // writes, re-arms interest, may close
+}
+
+void NetServer::Loop::handle_writable(Connection* conn) {
+  if (!try_write(conn)) return;
+  touch_activity(conn);
+  // Output drained below the cap: resume submitting parsed records.
+  process_requests(conn);
+  flush_completed(conn);
+}
+
+void NetServer::Loop::process_requests(Connection* conn) {
+  if (conn->failed) {
+    conn->ready_requests().clear();
+    return;
+  }
+  while (!conn->ready_requests().empty()) {
+    if (conn->out().size() > config_.max_output_bytes) {
+      if (conn->poll_read) ++summary_.output_stalls;
+      break;  // slow consumer: resume when the socket drains
+    }
+    ServeRequest& request = conn->ready_requests().front();
+    const std::string client_key = request.topology_key;
+    const std::string cache_key =
+        std::to_string(conn->uid()) + "#" + client_key;
+
+    // Reserve the dispatcher slot before touching the request, so a full
+    // queue leaves it intact for the retry (unknown-key and bad-delta
+    // requests briefly hold a slot too; they release it inline below).
+    if (!dispatcher_.try_reserve_slot()) {
+      if (!conn->stalled) {
+        conn->stalled = true;
+        stalled_.push_back(conn->uid());
+        ++summary_.backpressure_stalls;
+        ++conn->stats().backpressure_stalls;
+      }
+      break;  // socket read interest drops until a slot frees up
+    }
+
+    // Mirrors StreamServer: tree records (re)register the topology and
+    // solve through the fresh session; delta records fork the cached base.
+    std::optional<Instance> instance;
+    std::shared_ptr<SolveSession> session;
+    std::optional<ServeResult> inline_error;
+    if (request.tree) {
+      auto topology = request.tree->topology_ptr();
+      Scenario base = std::move(request.tree->scenario());
+      session = cache_.put(cache_key, topology, base);
+      instance.emplace(std::move(topology), std::move(base),
+                       config_.stream.modes, config_.stream.costs,
+                       config_.stream.cost_budget);
+    } else {
+      std::optional<CachedTopology> entry = cache_.get(cache_key);
+      if (!entry) {
+        ServeResult miss;
+        miss.error = "unknown topology '" + client_key +
+                     "' (not in the stream, or evicted from the cache)";
+        inline_error = std::move(miss);
+      } else {
+        try {
+          Scenario scen = std::move(entry->base);
+          for (const ScenarioDelta& delta : request.deltas) {
+            apply_delta(scen, delta);
+          }
+          session = std::move(entry->session);
+          instance.emplace(std::move(entry->topology), std::move(scen),
+                           config_.stream.modes, config_.stream.costs,
+                           config_.stream.cost_budget);
+        } catch (const CheckError& e) {
+          ServeResult bad;
+          bad.error = e.what();
+          inline_error = std::move(bad);
+        }
+      }
+    }
+
+    const std::size_t seq = conn->allocate_seq(now());
+    if (inline_error) {
+      dispatcher_.release_reserved_slot();
+      conn->complete(seq,
+                     render_result(request.id, client_key, *inline_error,
+                                   format_));
+    } else {
+      if (config_.stream.project_original_modes) {
+        project_to_single_mode(instance->scenario);
+      }
+      const std::uint64_t uid = conn->uid();
+      const std::size_t id = request.id;
+      dispatcher_.submit_reserved(
+          0, std::move(*instance), std::move(session),
+          std::move(request.deltas),
+          [this, uid, seq, id, client_key](ServeResult result) {
+            push_completion(Completion{
+                uid, seq,
+                render_result(id, client_key, result, format_)});
+          });
+    }
+    ++summary_.requests;
+    ++conn->stats().requests;
+    conn->ready_requests().pop_front();
+  }
+}
+
+void NetServer::Loop::flush_completed(Connection* conn) {
+  while (std::optional<Connection::Done> done = conn->next_completed()) {
+    latency_.record(now() - done->submit_seconds);
+    switch (done->result.status) {
+      case ResultStatus::kOk:
+        ++summary_.ok;
+        if (done->result.budget_missed) ++summary_.over_budget;
+        break;
+      case ResultStatus::kInfeasible:
+        ++summary_.infeasible;
+        break;
+      case ResultStatus::kError:
+        ++summary_.errors;
+        break;
+    }
+    conn->out().append(done->result.line);
+    ++conn->stats().results;
+  }
+  if (conn->failed && !conn->fail_noted && conn->in_flight() == 0) {
+    conn->fail_noted = true;
+    ++summary_.protocol_errors;
+    conn->out().append("# protocol error: " + conn->fail_reason + "\n");
+  }
+  if (!try_write(conn)) return;
+  update_interest(conn);
+  maybe_close(conn);
+}
+
+bool NetServer::Loop::try_write(Connection* conn) {
+  while (!conn->out().empty()) {
+    const std::span<const char> pending = conn->out().pending();
+    const ssize_t n =
+        ::send(conn->fd(), pending.data(), pending.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out().consume(static_cast<std::size_t>(n));
+      conn->stats().bytes_out += static_cast<std::uint64_t>(n);
+      summary_.bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    close_connection(conn);  // EPIPE/ECONNRESET: peer is gone
+    return false;
+  }
+  return true;
+}
+
+void NetServer::Loop::update_interest(Connection* conn) {
+  const bool want_read = !conn->peer_eof() && !conn->failed && !draining_ &&
+                         conn->ready_requests().empty() &&
+                         conn->out().size() <= config_.max_output_bytes;
+  const bool want_write = !conn->out().empty();
+  if (want_read != conn->poll_read || want_write != conn->poll_write) {
+    conn->poll_read = want_read;
+    conn->poll_write = want_write;
+    poller_->update(conn->fd(), want_read, want_write);
+  }
+}
+
+void NetServer::Loop::maybe_close(Connection* conn) {
+  const bool no_more_input = conn->peer_eof() || conn->failed || draining_;
+  if (no_more_input && conn->ready_requests().empty() &&
+      conn->in_flight() == 0 && conn->out().empty()) {
+    close_connection(conn);
+  }
+}
+
+void NetServer::Loop::close_connection(Connection* conn) {
+  poller_->remove(conn->fd());
+  by_fd_.erase(conn->fd());
+  idle_order_.erase(conn->idle_pos);
+  conns_.erase(conn->uid());  // destroys conn, closes the fd
+}
+
+void NetServer::Loop::fail_connection(Connection* conn, std::string reason) {
+  conn->failed = true;
+  conn->fail_reason = std::move(reason);
+  conn->ready_requests().clear();
+}
+
+void NetServer::Loop::touch_activity(Connection* conn) {
+  conn->last_activity_seconds = now();
+  idle_order_.splice(idle_order_.end(), idle_order_, conn->idle_pos);
+}
+
+void NetServer::Loop::reap_idle() {
+  if (config_.idle_timeout_seconds <= 0 || draining_) return;
+  const double deadline = now() - config_.idle_timeout_seconds;
+  while (!idle_order_.empty()) {
+    Connection* conn = conns_.at(idle_order_.front()).get();
+    if (conn->last_activity_seconds > deadline) break;
+    if (conn->in_flight() > 0 || !conn->ready_requests().empty()) {
+      touch_activity(conn);  // solver-busy, not client-idle
+      continue;
+    }
+    ++summary_.reaped_idle;
+    close_connection(conn);
+  }
+}
+
+void NetServer::Loop::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_start_ = now();
+  if (server_.listen_fd_ >= 0) {
+    poller_->remove(server_.listen_fd_);
+    ::close(server_.listen_fd_);
+    server_.listen_fd_ = -1;
+  }
+  // Sweep every connection: drop read interest, close the already-idle.
+  std::vector<std::uint64_t> uids;
+  uids.reserve(conns_.size());
+  for (const auto& [uid, conn] : conns_) uids.push_back(uid);
+  for (const std::uint64_t uid : uids) {
+    const auto it = conns_.find(uid);
+    if (it == conns_.end()) continue;
+    flush_completed(it->second.get());
+  }
+}
+
+int NetServer::Loop::poll_timeout_ms() const {
+  if (draining_) return 100;  // heartbeat for the drain deadline
+  if (config_.idle_timeout_seconds > 0 && !idle_order_.empty()) {
+    const Connection* conn = conns_.at(idle_order_.front()).get();
+    const double until = conn->last_activity_seconds +
+                         config_.idle_timeout_seconds - now();
+    return std::clamp(static_cast<int>(until * 1e3) + 1, 10, 60'000);
+  }
+  return -1;
+}
+
+NetServerSummary NetServer::Loop::run(std::ostream& summary_out) {
+  TREEPLACE_CHECK_MSG(server_.listen_fd_ >= 0,
+                      "call listen_and_bind() before run()");
+  poller_->add(server_.listen_fd_, true, false);
+  poller_->add(server_.wake_read_fd_, true, false);
+
+  std::vector<Poller::Event> events;
+  while (true) {
+    drain_completions();
+    retry_stalled();
+    reap_idle();
+
+    if (server_.shutdown_requested_.load(std::memory_order_acquire)) {
+      begin_drain();
+    }
+    if (draining_) {
+      if (conns_.empty()) break;
+      if (now() - drain_start_ > config_.drain_timeout_seconds) {
+        summary_.drain_timed_out = true;
+        break;
+      }
+    }
+
+    events.clear();
+    poller_->wait(events, poll_timeout_ms());
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == server_.wake_read_fd_) {
+        drain_wake_pipe();
+        continue;
+      }
+      if (ev.fd == server_.listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = by_fd_.find(ev.fd);
+      if (it == by_fd_.end()) continue;  // closed earlier in this batch
+      Connection* conn = it->second;
+      if (ev.readable || ev.hangup) {
+        handle_readable(conn);
+        // handle_readable may have closed it; re-check before writing.
+        const auto again = by_fd_.find(ev.fd);
+        if (again == by_fd_.end() || again->second != conn) continue;
+      }
+      if (ev.writable) handle_writable(conn);
+    }
+  }
+
+  // Force-close whatever the drain deadline left behind.
+  while (!conns_.empty()) close_connection(conns_.begin()->second.get());
+
+  summary_.wall_seconds = wall_.seconds();
+  summary_.scenarios_per_second =
+      summary_.wall_seconds > 0.0
+          ? static_cast<double>(summary_.requests) / summary_.wall_seconds
+          : 0.0;
+  summary_.p50_latency_seconds = latency_.percentile(0.50);
+  summary_.p99_latency_seconds = latency_.percentile(0.99);
+  summary_.dispatcher = dispatcher_.stats();
+  summary_.cache = cache_.stats();
+  print_summary(summary_out);
+  return summary_;
+}
+
+void NetServer::Loop::print_summary(std::ostream& out) const {
+  const SolverLatencyStats& solver = summary_.dispatcher.per_solver[0];
+  const double solves =
+      static_cast<double>(solver.solves > 0 ? solver.solves : 1);
+  out << "# serve: " << summary_.requests << " requests in "
+      << summary_.wall_seconds << " s (" << summary_.scenarios_per_second
+      << " scenarios/s, " << dispatcher_.threads() << " threads, queue "
+      << dispatcher_.queue_capacity() << ")\n"
+      << "# serve: ok=" << summary_.ok << " infeasible=" << summary_.infeasible
+      << " errors=" << summary_.errors
+      << " over_budget=" << summary_.over_budget << "\n"
+      << "# net: poller=" << poller_->name()
+      << " accepted=" << summary_.accepted << " dropped=" << summary_.dropped
+      << " reaped_idle=" << summary_.reaped_idle
+      << " protocol_errors=" << summary_.protocol_errors
+      << " peak_conns=" << summary_.peak_connections
+      << " drain_timed_out=" << (summary_.drain_timed_out ? 1 : 0) << "\n"
+      << "# net: backpressure_stalls=" << summary_.backpressure_stalls
+      << " output_stalls=" << summary_.output_stalls
+      << " bytes_in=" << summary_.bytes_in
+      << " bytes_out=" << summary_.bytes_out
+      << " p50_s=" << summary_.p50_latency_seconds
+      << " p99_s=" << summary_.p99_latency_seconds << "\n"
+      << "# cache: capacity=" << summary_.cache.capacity
+      << " size=" << summary_.cache.size << " hits=" << summary_.cache.hits
+      << " misses=" << summary_.cache.misses
+      << " evictions=" << summary_.cache.evictions << "\n"
+      << "# solver " << solver.algo << ": solves=" << solver.solves
+      << " warm=" << solver.warm
+      << " session_bytes=" << summary_.cache.session_bytes
+      << " session_budget="
+      << (config_.stream.session_max_bytes != 0
+              ? std::to_string(config_.stream.session_max_bytes)
+              : std::string("unbounded"))
+      << " dropped_snapshots=" << summary_.cache.session_snapshots_dropped
+      << " dropped_tables=" << summary_.cache.session_tables_dropped
+      << " cells_skipped=" << summary_.cache.session_cells_skipped
+      << " errors=" << solver.errors
+      << " mean_queue_s=" << solver.total_queue_seconds / solves
+      << " mean_solve_s=" << solver.total_solve_seconds / solves
+      << " max_solve_s=" << solver.max_solve_seconds
+      << " work=" << solver.total_work << "\n";
+}
+
+NetServerSummary NetServer::run(std::ostream& summary_out) {
+  Loop loop(*this);
+  return loop.run(summary_out);
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,180 @@
+// Async TCP serving front-end: thousands of warm per-connection sessions.
+//
+// NetServer promotes the single-stream StreamServer to a real network
+// server: a single-threaded event loop (epoll, with a portable poll()
+// backend behind the Poller abstraction — select TREEPLACE_POLLER=poll)
+// accepts non-blocking TCP connections, each speaking the existing
+// line-record protocol.  Per connection, bytes are framed incrementally
+// (serve/wire.h), records bind a TopologyCache entry + warm SolveSession
+// (cache keys namespaced by connection uid, so every connection sees the
+// same ordinal keys a fresh stream would), solves run on the shared
+// SolveDispatcher pool, and results come back per-connection-ordered and
+// byte-identical to what StreamServer would emit for that connection's
+// record sequence (modulo queue_s=/solve_s= timings).
+//
+// Backpressure: the dispatcher queue stays bounded.  When
+// try_reserve_slot() reports the queue full, the connection's remaining
+// parsed records wait
+// and its socket is dropped from the read set — TCP flow control pushes
+// back on the client instead of the server buffering unboundedly.  The
+// same read-masking applies when a connection's outbound buffer exceeds
+// the per-connection cap (a client must drain results to keep publishing).
+//
+// Completions cross back from worker threads through a mutex-protected
+// queue plus a wake pipe (the loop's only cross-thread contact); the
+// wake pipe doubles as the async-signal-safe shutdown channel, so a
+// SIGTERM handler may call shutdown() directly.  Graceful drain: stop
+// accepting, stop reading, submit already-parsed records, flush every
+// in-flight result to its socket, then close.
+//
+// Idle connections are reaped from an activity-ordered list (uniform
+// timeout, so the list front is always the closest deadline).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/connection.h"
+#include "serve/stream_server.h"
+#include "serve/wire.h"
+
+namespace treeplace::serve {
+
+// ---------------------------------------------------------------------------
+// Poller
+
+/// Minimal readiness-notification abstraction: epoll on Linux, poll()
+/// everywhere (and for tests of the fallback).  Level-triggered semantics
+/// on both backends.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< error or peer hangup (still drain reads first)
+  };
+
+  virtual ~Poller() = default;
+
+  virtual void add(int fd, bool read, bool write) = 0;
+  virtual void update(int fd, bool read, bool write) = 0;
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events.
+  virtual void wait(std::vector<Event>& events, int timeout_ms) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// epoll by default; TREEPLACE_POLLER=poll selects the fallback.
+  static std::unique_ptr<Poller> create();
+  static std::unique_ptr<Poller> create(const std::string& backend);
+};
+
+// ---------------------------------------------------------------------------
+// NetServer
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (tests/bench read port())
+
+  std::size_t max_conns = 4096;       ///< beyond this, accept-and-close
+  double idle_timeout_seconds = 300;  ///< 0 = never reap idle connections
+  double drain_timeout_seconds = 30;  ///< force-close laggards on shutdown
+  std::size_t max_output_bytes = 1 << 20;  ///< per-conn pending-out cap
+  std::size_t read_chunk = 64 * 1024;      ///< bytes per read() call
+  std::size_t max_line_bytes = LineBuffer::kDefaultMaxLineBytes;
+
+  /// Solver, cache and result-format knobs, shared with stream mode.
+  /// Note cache_capacity bounds *resident topologies across connections*:
+  /// serving K concurrent tree-publishing clients without eviction errors
+  /// needs cache_capacity >= K.
+  StreamServerConfig stream;
+};
+
+struct NetServerSummary {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;      ///< connections refused at max_conns
+  std::uint64_t reaped_idle = 0;  ///< closed by the idle timeout
+  std::uint64_t protocol_errors = 0;  ///< connections failed on bad input
+  std::uint64_t peak_connections = 0;
+
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t over_budget = 0;
+
+  std::uint64_t backpressure_stalls = 0;  ///< reads paused: dispatcher full
+  std::uint64_t output_stalls = 0;        ///< reads paused: slow consumer
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  double wall_seconds = 0.0;
+  double scenarios_per_second = 0.0;
+  double p50_latency_seconds = 0.0;  ///< submit-to-emit, per result
+  double p99_latency_seconds = 0.0;
+
+  bool drain_timed_out = false;  ///< shutdown force-closed laggards
+
+  DispatcherStats dispatcher;
+  TopologyCacheStats cache;
+};
+
+class NetServer {
+ public:
+  explicit NetServer(NetServerConfig config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens; returns the bound port (resolves port 0).  Must
+  /// be called before run(); separate so callers can publish the port
+  /// before entering the loop.
+  std::uint16_t listen_and_bind();
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop until shutdown(), then drains gracefully and
+  /// writes the `#`-prefixed summary block to `summary_out`.
+  NetServerSummary run(std::ostream& summary_out);
+
+  /// Requests graceful shutdown.  Async-signal-safe (atomic store plus a
+  /// write() on the wake pipe); callable from any thread or from a signal
+  /// handler.
+  void shutdown();
+
+ private:
+  struct Completion {
+    std::uint64_t conn_uid = 0;
+    std::size_t seq = 0;
+    RenderedResult result;
+  };
+
+  class Loop;  // run() implementation detail (net_server.cc)
+
+  NetServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> shutdown_requested_{false};
+
+  // Worker-to-loop completion channel.  Declared before any object whose
+  // destructor joins workers (the dispatcher lives inside run()).
+  std::mutex completions_mutex_;
+  std::deque<Completion> completions_;
+
+  friend class Loop;
+};
+
+}  // namespace treeplace::serve

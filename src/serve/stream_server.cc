@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "serve/request_stream.h"
+#include "serve/wire.h"
 #include "support/check.h"
 #include "support/timer.h"
 
@@ -26,18 +27,6 @@ std::future<ServeResult> ready_result(ServeResult result) {
   std::promise<ServeResult> promise;
   promise.set_value(std::move(result));
   return promise.get_future();
-}
-
-void write_placement(const Placement& placement, std::ostream& out) {
-  out << " placement=";
-  if (placement.empty()) {
-    out << '-';
-    return;
-  }
-  for (std::size_t i = 0; i < placement.nodes().size(); ++i) {
-    if (i > 0) out << ',';
-    out << placement.nodes()[i] << ':' << placement.modes()[i];
-  }
 }
 
 }  // namespace
@@ -62,97 +51,94 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
   std::deque<Pending> pending;
   const std::size_t window = dispatcher.queue_capacity();
 
+  const ResultFormat format{config_.print_placements,
+                            config_.cost_budget.has_value()};
   const auto emit = [&](Pending& p) {
     const ServeResult result = p.result.get();
-    out << "result id=" << p.id << " topo=" << p.key;
-    if (!result.ok) {
-      ++summary.errors;
-      out << " status=error error=\"" << result.error << "\"\n";
-      return;
+    const RenderedResult rendered = render_result(p.id, p.key, result, format);
+    switch (rendered.status) {
+      case ResultStatus::kError:
+        ++summary.errors;
+        break;
+      case ResultStatus::kInfeasible:
+        ++summary.infeasible;
+        break;
+      case ResultStatus::kOk:
+        ++summary.ok;
+        if (rendered.budget_missed) ++summary.over_budget;
+        break;
     }
-    const Solution& s = result.solution;
-    if (!s.feasible) {
-      ++summary.infeasible;
-      out << " status=infeasible queue_s=" << result.queue_seconds
-          << " solve_s=" << result.solve_seconds << "\n";
-      return;
-    }
-    ++summary.ok;
-    out << " status=ok cost=" << s.breakdown.cost << " power=" << s.power
-        << " servers=" << s.breakdown.servers
-        << " reused=" << s.breakdown.reused
-        << " created=" << s.breakdown.created
-        << " deleted=" << s.breakdown.deleted
-        << " frontier=" << s.frontier.size();
-    if (config_.cost_budget) {
-      out << " budget=" << (s.budget_met ? "met" : "miss");
-      if (!s.budget_met) ++summary.over_budget;
-    }
-    out << " queue_s=" << result.queue_seconds
-        << " solve_s=" << result.solve_seconds
-        << " work=" << s.stats.work;
-    if (config_.print_placements) write_placement(s.placement, out);
-    out << "\n";
+    out << rendered.line;
   };
 
-  for (std::optional<ServeRequest> request = reader.next(); request;
-       request = reader.next()) {
-    Pending p;
-    p.id = request->id;
-    p.key = request->topology_key;
+  // A malformed stream stops the reader but never the emitter: everything
+  // already dispatched is flushed below, then the summary block reports
+  // the failure (the CLI turns it into a nonzero exit).
+  try {
+    for (std::optional<ServeRequest> request = reader.next(); request;
+         request = reader.next()) {
+      Pending p;
+      p.id = request->id;
+      p.key = request->topology_key;
 
-    // Sessions ride with their cache entry: a tree record's base solve
-    // fills the session's DP tables cold, subsequent delta requests on the
-    // same topology re-solve warm, and eviction drops the session with the
-    // topology (in-flight solves keep it alive via the shared_ptr).
-    std::optional<Instance> instance;
-    std::shared_ptr<SolveSession> session;
-    if (request->tree) {
-      auto topology = request->tree->topology_ptr();
-      Scenario base = std::move(request->tree->scenario());
-      session = cache.put(p.key, topology, base);
-      instance.emplace(std::move(topology), std::move(base), config_.modes,
-                       config_.costs, config_.cost_budget);
-    } else {
-      std::optional<CachedTopology> entry = cache.get(p.key);
-      if (!entry) {
-        ServeResult miss;
-        miss.error = "unknown topology '" + p.key +
-                     "' (not in the stream, or evicted from the cache)";
-        p.result = ready_result(std::move(miss));
+      // Sessions ride with their cache entry: a tree record's base solve
+      // fills the session's DP tables cold, subsequent delta requests on
+      // the same topology re-solve warm, and eviction drops the session
+      // with the topology (in-flight solves keep it alive via the
+      // shared_ptr).
+      std::optional<Instance> instance;
+      std::shared_ptr<SolveSession> session;
+      if (request->tree) {
+        auto topology = request->tree->topology_ptr();
+        Scenario base = std::move(request->tree->scenario());
+        session = cache.put(p.key, topology, base);
+        instance.emplace(std::move(topology), std::move(base), config_.modes,
+                         config_.costs, config_.cost_budget);
       } else {
-        try {
-          // The cache handed out a private fork; apply the deltas on top.
-          Scenario scen = std::move(entry->base);
-          for (const ScenarioDelta& delta : request->deltas) {
-            apply_delta(scen, delta);
+        std::optional<CachedTopology> entry = cache.get(p.key);
+        if (!entry) {
+          ServeResult miss;
+          miss.error = "unknown topology '" + p.key +
+                       "' (not in the stream, or evicted from the cache)";
+          p.result = ready_result(std::move(miss));
+        } else {
+          try {
+            // The cache handed out a private fork; apply the deltas on top.
+            Scenario scen = std::move(entry->base);
+            for (const ScenarioDelta& delta : request->deltas) {
+              apply_delta(scen, delta);
+            }
+            session = std::move(entry->session);
+            instance.emplace(std::move(entry->topology), std::move(scen),
+                             config_.modes, config_.costs,
+                             config_.cost_budget);
+          } catch (const CheckError& e) {
+            ServeResult bad;
+            bad.error = e.what();
+            p.result = ready_result(std::move(bad));
           }
-          session = std::move(entry->session);
-          instance.emplace(std::move(entry->topology), std::move(scen),
-                           config_.modes, config_.costs, config_.cost_budget);
-        } catch (const CheckError& e) {
-          ServeResult bad;
-          bad.error = e.what();
-          p.result = ready_result(std::move(bad));
         }
       }
-    }
 
-    if (instance) {
-      if (config_.project_original_modes) {
-        project_to_single_mode(instance->scenario);
+      if (instance) {
+        if (config_.project_original_modes) {
+          project_to_single_mode(instance->scenario);
+        }
+        p.result = dispatcher.submit(0, std::move(*instance),
+                                     std::move(session),
+                                     std::move(request->deltas));
       }
-      p.result = dispatcher.submit(0, std::move(*instance),
-                                   std::move(session),
-                                   std::move(request->deltas));
-    }
 
-    pending.push_back(std::move(p));
-    ++summary.requests;
-    while (pending.size() > window) {
-      emit(pending.front());
-      pending.pop_front();
+      pending.push_back(std::move(p));
+      ++summary.requests;
+      while (pending.size() > window) {
+        emit(pending.front());
+        pending.pop_front();
+      }
     }
+  } catch (const CheckError& e) {
+    summary.stream_error = true;
+    summary.stream_error_message = e.what();
   }
   for (Pending& p : pending) emit(p);
 
@@ -193,6 +179,9 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
       << " mean_solve_s=" << solver.total_solve_seconds / solves
       << " max_solve_s=" << solver.max_solve_seconds
       << " work=" << solver.total_work << "\n";
+  if (summary.stream_error) {
+    out << "# serve: stream error: " << summary.stream_error_message << "\n";
+  }
   return summary;
 }
 

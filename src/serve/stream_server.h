@@ -55,6 +55,11 @@ struct StreamServerSummary {
   std::size_t infeasible = 0;
   std::size_t errors = 0;       ///< bad topology key, rejection, solver throw
   std::size_t over_budget = 0;  ///< solved but cost_budget missed
+  /// The input stream ended mid-record or was malformed.  In-flight
+  /// results are still emitted and the summary block still printed; the
+  /// CLI turns this into a nonzero exit.
+  bool stream_error = false;
+  std::string stream_error_message;
   double wall_seconds = 0.0;
   double scenarios_per_second = 0.0;
   DispatcherStats dispatcher;
@@ -67,7 +72,9 @@ class StreamServer {
 
   /// Serves every record of `in`, writing one result line per request to
   /// `out` in request order followed by a `#`-prefixed summary block.
-  /// Throws CheckError on malformed streams (unparsable records); bad
+  /// A malformed stream (unparsable record, input ending mid-record) stops
+  /// reading but still flushes every in-flight result and the summary —
+  /// the failure is reported via StreamServerSummary::stream_error.  Bad
   /// topology references and per-solve failures become error records.
   StreamServerSummary serve(std::istream& in, std::ostream& out);
 

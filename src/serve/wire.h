@@ -1,0 +1,195 @@
+// Zero-copy wire framing for the network serving front-end.
+//
+// The TCP server (serve/net_server.h) speaks the exact line-record protocol
+// of the stream server — `treeplace-*` records in, `result ...` lines out —
+// but over thousands of non-blocking sockets, so parsing must be
+// *incremental*: bytes arrive in arbitrary fragments and no reader thread
+// can block on an istream.  This header owns the three framing pieces:
+//
+//   * LineBuffer — an append-only byte window sockets read() straight into
+//     (writable()/commit()); next_line() yields complete lines as
+//     string_views over the buffer, no copy, trailing CR stripped (CRLF
+//     clients are accepted everywhere), with an oversized-line guard so a
+//     hostile peer cannot balloon memory with an unterminated line.
+//   * RecordParser — the incremental twin of serve/request_stream.h's
+//     RequestStreamReader: fed one line at a time it assembles the same
+//     ServeRequests with the same ordinal topology keys and the same
+//     CheckErrors on malformed input.  A record is completed by the next
+//     record header or by end-of-input (finish()), exactly as in stream
+//     mode; number parsing runs on std::from_chars so the per-line hot
+//     path performs no stream or string allocation.
+//   * OutputBuffer — pending result bytes per connection, consumed as the
+//     socket accepts writes.
+//
+// Rendering also lives here: render_result() produces the byte-identical
+// `result ...` line the StreamServer emits (both servers call it), which is
+// what makes `bench/connection_churn`'s bit-identity gate possible.  The
+// only per-run bytes are the queue_s=/solve_s= timing fields;
+// strip_timings() removes them for comparisons.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "serve/dispatcher.h"
+#include "serve/request_stream.h"
+
+namespace treeplace::serve {
+
+// ---------------------------------------------------------------------------
+// LineBuffer
+
+/// Incremental line framing over bytes read from a socket.  The buffer
+/// compacts itself: consumed bytes are dropped the next time write space is
+/// requested, so steady-state serving reuses one allocation per connection.
+class LineBuffer {
+ public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+
+  explicit LineBuffer(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// A span of at least `min_bytes` to read() into; invalidates views
+  /// returned by next_line().  Call commit(n) with the bytes actually read.
+  std::span<char> writable(std::size_t min_bytes);
+  void commit(std::size_t n) { end_ += n; }
+
+  /// The next complete line ('\n'-terminated; terminator and any trailing
+  /// '\r' stripped), or nullopt when no full line is buffered.  The view
+  /// points into the buffer and stays valid until the next writable() call.
+  /// Throws CheckError when a line exceeds the max line length.
+  std::optional<std::string_view> next_line();
+
+  /// Consumes and returns the trailing unterminated bytes, if any — the
+  /// final "line" of a peer that half-closed without a trailing newline
+  /// (parity with stream mode, where getline returns it at EOF).
+  std::optional<std::string_view> take_rest();
+
+  /// Unconsumed bytes currently buffered (complete and partial lines).
+  std::size_t buffered_bytes() const { return end_ - begin_; }
+  /// True when a partial (unterminated) line is pending — end-of-stream in
+  /// this state means the peer was cut off mid-record.
+  bool mid_line() const { return end_ > begin_; }
+
+ private:
+  std::string data_;
+  std::size_t begin_ = 0;  ///< first unconsumed byte
+  std::size_t end_ = 0;    ///< one past the last committed byte
+  std::size_t scan_ = 0;   ///< newline search resumes here
+  std::size_t max_line_bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// OutputBuffer
+
+/// Pending outbound bytes of one connection, drained by non-blocking
+/// write()s.  size() is the backpressure signal: past the per-connection
+/// cap the server stops reading the socket until the client catches up.
+class OutputBuffer {
+ public:
+  void append(std::string_view bytes);
+  std::span<const char> pending() const {
+    return {data_.data() + begin_, data_.size() - begin_};
+  }
+  void consume(std::size_t n);
+  std::size_t size() const { return data_.size() - begin_; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::string data_;
+  std::size_t begin_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RecordParser
+
+/// Incremental record assembly: feed complete lines, collect ServeRequests.
+/// Semantics mirror RequestStreamReader line for line — ordinal tree keys,
+/// optional E-delta modes, token-exact header matching, CheckError on
+/// malformed input (a per-connection protocol error on the wire).
+class RecordParser {
+ public:
+  /// Feeds one framed line (no terminator).  Returns the record this line
+  /// *completed* — i.e. when `line` is the header starting the next record.
+  /// Blank and comment lines are skipped anywhere, as in stream mode.
+  std::optional<ServeRequest> feed(std::string_view line);
+
+  /// End of input: completes the in-progress record, if any.  The wire
+  /// contract matches the stream reader's: a client that half-closes its
+  /// write side terminates its final record.
+  std::optional<ServeRequest> finish();
+
+  /// True while a record is being assembled (EOF here is mid-record only
+  /// if the line itself was also truncated; line-aligned EOF ends the
+  /// record, exactly as in stream mode).
+  bool in_record() const { return state_ != State::kIdle; }
+
+  std::size_t requests_read() const { return requests_; }
+  std::size_t trees_read() const { return trees_; }
+
+ private:
+  enum class State { kIdle, kTree, kScenario };
+
+  ServeRequest complete();
+
+  State state_ = State::kIdle;
+  TreeBuilder builder_;
+  NodeId next_node_id_ = 0;
+  ServeRequest current_;
+  std::size_t requests_ = 0;
+  std::size_t trees_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Result rendering (shared by StreamServer and NetServer)
+
+struct ResultFormat {
+  bool print_placements = true;
+  bool has_budget = false;
+};
+
+enum class ResultStatus { kOk, kInfeasible, kError };
+
+struct RenderedResult {
+  std::string line;  ///< one full "result ...\n" record
+  ResultStatus status = ResultStatus::kOk;
+  bool budget_missed = false;
+  bool warm = false;
+  double solve_seconds = 0.0;
+};
+
+/// Renders one result record byte-identically to the stream server's
+/// historical format (it now calls this too).
+RenderedResult render_result(std::size_t id, const std::string& topo_key,
+                             const ServeResult& result,
+                             const ResultFormat& format);
+
+/// Strips the per-run timing fields (queue_s=, solve_s=) from a block of
+/// result lines, for bit-identity comparisons across serve modes.
+std::string strip_timings(const std::string& results);
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+
+/// Fixed-footprint log-bucketed latency histogram (1us .. ~5000s, ~25%
+/// resolution) for the serving loop's p50/p99 summary lines.
+class LatencyHistogram {
+ public:
+  void record(double seconds);
+  /// The upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 1]); 0 when empty.
+  double percentile(double p) const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  static constexpr std::size_t kBuckets = 100;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace treeplace::serve

@@ -10,6 +10,21 @@ namespace {
 
 constexpr const char* kHeader = "treeplace-tree v1";
 
+/// Guard against unterminated-garbage input (a binary file, a hostile
+/// network peer relayed to a file): one line this long is never a valid
+/// record line.  Matches serve/wire.h's LineBuffer default.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// getline() keeps the '\r' of CRLF line endings; strip it so streams
+/// written on Windows (or piped through tools that add CRLF) parse
+/// identically — in particular, header matching is token-exact.
+void sanitize_line(std::string& line) {
+  TREEPLACE_CHECK_MSG(line.size() <= kMaxLineBytes,
+                      "oversized line: " << line.size() << " bytes (limit "
+                                         << kMaxLineBytes << ")");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 /// Parses one `I ...` / `C ...` node line into `builder`, enforcing
 /// consecutive ids.
 void parse_node_line(TreeBuilder& builder, const std::string& line,
@@ -71,12 +86,14 @@ std::string serialize_tree(const Tree& tree) {
 Tree parse_tree(std::istream& is) {
   std::string header;
   std::getline(is, header);
+  sanitize_line(header);
   TREEPLACE_CHECK_MSG(header == kHeader,
                       "bad tree header: '" << header << "'");
   TreeBuilder builder;
   std::string line;
   NodeId expected_id = 0;
   while (std::getline(is, line)) {
+    sanitize_line(line);
     if (line.empty() || line[0] == '#') continue;
     parse_node_line(builder, line, expected_id);
     ++expected_id;
@@ -95,7 +112,9 @@ bool TreeStreamReader::read_line(std::string& line) {
     has_pending_ = false;
     return true;
   }
-  return static_cast<bool>(std::getline(is_, line));
+  if (!std::getline(is_, line)) return false;
+  sanitize_line(line);
+  return true;
 }
 
 bool TreeStreamReader::is_record_header(const std::string& line) {

@@ -148,6 +148,77 @@ TEST(RequestStreamTest, MalformedRecordsThrow) {
   }
 }
 
+TEST(RequestStreamTest, TruncatedRecordsThrowOrEndCleanly) {
+  {
+    // A tree line cut off mid-fields (connection dropped mid-write) is
+    // malformed, not silently a smaller tree.
+    std::istringstream is("treeplace-tree v1\nI 0 -1 0 -1\nC 1 0\n");
+    RequestStreamReader reader(is);
+    EXPECT_THROW(reader.next(), CheckError);
+  }
+  {
+    // A header with nothing after it: a tree record truncated before its
+    // body fails validation (a tree needs at least a root).
+    std::istringstream is("treeplace-tree v1\n");
+    RequestStreamReader reader(is);
+    EXPECT_THROW(reader.next(), CheckError);
+  }
+  {
+    // EOF at a line boundary ends the record cleanly — half-close framing.
+    std::istringstream is(tree_record() + "treeplace-scenario v1 1\nR 6 7");
+    RequestStreamReader reader(is);
+    ASSERT_TRUE(reader.next().has_value());
+    auto last = reader.next();
+    ASSERT_TRUE(last.has_value());
+    ASSERT_EQ(last->deltas.size(), 1u);
+    EXPECT_EQ(last->deltas[0].requests, 7u);
+  }
+}
+
+TEST(RequestStreamTest, InterleavedGarbageBetweenRecordsThrows) {
+  // The garbage is claimed by the tree record's body (only a header ends a
+  // record), so it surfaces as a malformed node line, not silence.
+  std::istringstream is(tree_record() +
+                        "some binary junk between records\n" +
+                        "treeplace-scenario v1 1\nR 6 7\n");
+  RequestStreamReader reader(is);
+  EXPECT_THROW(reader.next(), CheckError);
+}
+
+TEST(RequestStreamTest, OversizedLineThrows) {
+  std::istringstream is(tree_record() + "treeplace-scenario v1 1\nR 6 7 " +
+                        std::string(2u << 20, 'x') + "\n");
+  RequestStreamReader reader(is);
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_THROW(reader.next(), CheckError);
+}
+
+TEST(RequestStreamTest, CrlfStreamsParseIdentically) {
+  // The whole stream written with CRLF line endings (a Windows client or a
+  // transcoding relay) must parse exactly like the LF original.
+  const std::string lf = tree_record() +
+                         "treeplace-scenario v1 1\nR 6 7\nE 2 1\n";
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::istringstream lf_is(lf);
+  std::istringstream crlf_is(crlf);
+  RequestStreamReader lf_reader(lf_is);
+  RequestStreamReader crlf_reader(crlf_is);
+  for (;;) {
+    auto a = lf_reader.next();
+    auto b = crlf_reader.next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->topology_key, b->topology_key);
+    ASSERT_EQ(a->tree.has_value(), b->tree.has_value());
+    if (a->tree) EXPECT_EQ(serialize_tree(*a->tree), serialize_tree(*b->tree));
+    EXPECT_EQ(a->deltas.size(), b->deltas.size());
+  }
+}
+
 TEST(RequestStreamTest, EmptyStreamYieldsNothing) {
   std::istringstream is("\n# only comments\n\n");
   RequestStreamReader reader(is);

@@ -199,6 +199,30 @@ TEST(StreamServerTest, DeltaRequestsRunWarmSessions) {
   EXPECT_NE(out.str().find(" warm=5"), std::string::npos);
 }
 
+TEST(StreamServerTest, MalformedStreamStillFlushesResultsAndSummary) {
+  // The stream dies mid-record after two good requests: everything already
+  // dispatched is emitted in order, the summary block still prints, and
+  // the failure is reported in summary.stream_error (the CLI maps it to a
+  // nonzero exit).
+  std::istringstream in(serialize_tree(make_tree(0)) +
+                        "treeplace-scenario v1 1\nR 3 2\n"
+                        "treeplace-scenario v1 1\nR 3 garbage\n");
+  std::ostringstream out;
+  StreamServer server(single_mode_config(2));
+  const StreamServerSummary summary = server.serve(in, out);
+
+  EXPECT_TRUE(summary.stream_error);
+  EXPECT_FALSE(summary.stream_error_message.empty());
+  EXPECT_EQ(summary.requests, 2u);
+  EXPECT_EQ(summary.ok, 2u);
+  const auto lines = result_lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("id=1 "), std::string::npos);
+  EXPECT_NE(lines[1].find("id=2 "), std::string::npos);
+  EXPECT_NE(out.str().find("# serve: stream error:"), std::string::npos);
+  EXPECT_NE(out.str().find("# solver update-dp:"), std::string::npos);
+}
+
 TEST(StreamServerTest, SummaryReportsLatencyStats) {
   std::istringstream in(make_stream());
   std::ostringstream out;

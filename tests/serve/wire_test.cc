@@ -1,0 +1,248 @@
+// Wire-framing tests: incremental line framing, the incremental record
+// parser's parity with RequestStreamReader, shared result rendering, and
+// the latency histogram behind the serve summary's p50/p99 lines.
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/tree_gen.h"
+#include "support/check.h"
+#include "tree/io.h"
+
+namespace treeplace::serve {
+namespace {
+
+/// Pushes `bytes` into the buffer through the socket-facing interface.
+void push(LineBuffer& buf, std::string_view bytes) {
+  const std::span<char> dst = buf.writable(bytes.size());
+  std::memcpy(dst.data(), bytes.data(), bytes.size());
+  buf.commit(bytes.size());
+}
+
+TEST(LineBufferTest, FramesLinesAcrossArbitraryFragments) {
+  LineBuffer buf;
+  push(buf, "hel");
+  EXPECT_FALSE(buf.next_line().has_value());
+  push(buf, "lo\nwor");
+  auto line = buf.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "hello");
+  EXPECT_FALSE(buf.next_line().has_value());  // "wor" is partial
+  EXPECT_TRUE(buf.mid_line());
+  push(buf, "ld\n");
+  line = buf.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "world");
+  EXPECT_FALSE(buf.mid_line());
+}
+
+TEST(LineBufferTest, StripsCarriageReturns) {
+  LineBuffer buf;
+  push(buf, "a b c\r\n\r\nplain\n");
+  EXPECT_EQ(buf.next_line().value(), "a b c");
+  EXPECT_EQ(buf.next_line().value(), "");  // CRLF blank line
+  EXPECT_EQ(buf.next_line().value(), "plain");
+}
+
+TEST(LineBufferTest, TakeRestReturnsFinalUnterminatedLine) {
+  LineBuffer buf;
+  push(buf, "done\nhalf a line\r");
+  EXPECT_EQ(buf.next_line().value(), "done");
+  EXPECT_FALSE(buf.next_line().has_value());
+  auto rest = buf.take_rest();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(*rest, "half a line");  // trailing CR stripped, as getline would
+  EXPECT_FALSE(buf.take_rest().has_value());
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+}
+
+TEST(LineBufferTest, OversizedLineThrows) {
+  LineBuffer buf(/*max_line_bytes=*/16);
+  push(buf, std::string(17, 'x'));  // unterminated and already too long
+  EXPECT_THROW(buf.next_line(), CheckError);
+
+  LineBuffer ok(/*max_line_bytes=*/16);
+  push(ok, std::string(16, 'y') + "\n");
+  EXPECT_EQ(ok.next_line().value(), std::string(16, 'y'));
+}
+
+TEST(LineBufferTest, ReusesStorageAcrossManyLines) {
+  // Steady-state framing must not grow the buffer: consumed bytes are
+  // compacted away on the next writable() call.
+  LineBuffer buf;
+  for (int i = 0; i < 10000; ++i) {
+    push(buf, "treeplace-scenario v1 1\nR 3 5\n");
+    ASSERT_TRUE(buf.next_line().has_value());
+    ASSERT_TRUE(buf.next_line().has_value());
+  }
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RecordParser parity with RequestStreamReader
+
+std::string tree_record(std::uint64_t index = 0) {
+  TreeGenConfig config;
+  config.num_internal = 5;
+  return serialize_tree(generate_tree(config, /*seed=*/91, index));
+}
+
+/// Runs a whole stream through the incremental parser, line by line.
+std::vector<ServeRequest> parse_all(const std::string& text) {
+  RecordParser parser;
+  std::vector<ServeRequest> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto done = parser.feed(line)) out.push_back(std::move(*done));
+  }
+  if (auto done = parser.finish()) out.push_back(std::move(*done));
+  return out;
+}
+
+/// Runs the same stream through the blocking reader.
+std::vector<ServeRequest> read_all(const std::string& text) {
+  std::istringstream is(text);
+  RequestStreamReader reader(is);
+  std::vector<ServeRequest> out;
+  while (auto request = reader.next()) out.push_back(std::move(*request));
+  return out;
+}
+
+void expect_requests_match(const std::vector<ServeRequest>& a,
+                           const std::vector<ServeRequest>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].topology_key, b[i].topology_key);
+    ASSERT_EQ(a[i].tree.has_value(), b[i].tree.has_value());
+    if (a[i].tree) {
+      EXPECT_EQ(serialize_tree(*a[i].tree), serialize_tree(*b[i].tree));
+    }
+    ASSERT_EQ(a[i].deltas.size(), b[i].deltas.size());
+    for (std::size_t d = 0; d < a[i].deltas.size(); ++d) {
+      EXPECT_EQ(a[i].deltas[d].op, b[i].deltas[d].op);
+      EXPECT_EQ(a[i].deltas[d].node, b[i].deltas[d].node);
+      EXPECT_EQ(a[i].deltas[d].requests, b[i].deltas[d].requests);
+      EXPECT_EQ(a[i].deltas[d].mode, b[i].deltas[d].mode);
+    }
+  }
+}
+
+TEST(RecordParserTest, MatchesStreamReaderOnMixedStreams) {
+  const std::string stream = tree_record(0) + tree_record(1) +
+                             "\n# comment\n"
+                             "treeplace-scenario v1 1\nR 6 7\nE 2 1\nE 4\n"
+                             "treeplace-scenario v1 2\nX 2\nZ\n";
+  expect_requests_match(parse_all(stream), read_all(stream));
+}
+
+TEST(RecordParserTest, FinalRecordWithoutTrailingNewlineCompletes) {
+  RecordParser parser;
+  EXPECT_FALSE(parser.feed("treeplace-scenario v1 1").has_value());
+  EXPECT_FALSE(parser.feed("R 6 7").has_value());
+  EXPECT_TRUE(parser.in_record());
+  auto last = parser.finish();
+  ASSERT_TRUE(last.has_value());
+  ASSERT_EQ(last->deltas.size(), 1u);
+  EXPECT_EQ(last->deltas[0].requests, 7u);
+  EXPECT_FALSE(parser.in_record());
+}
+
+TEST(RecordParserTest, MalformedLinesThrowLikeTheStreamReader) {
+  const char* bad[] = {
+      "treeplace-scenario v1\nR 3 5\n",    // missing key
+      "treeplace-scenario v1 1\nQ 1\n",    // unknown delta tag
+      "treeplace-scenario v1 1\nR 3\n",    // missing value
+      "treeplace-scenario v1 1\nE 4 x\n",  // unparsable mode
+      "treeplace-scenario v1 1\nR 3 5 junk\n",
+      "treeplace-scenario v12 1\nR 3 5\n",  // token-exact version match
+      "treeplace-frobnicate v1\n",
+      "not a record\n",
+      "treeplace-tree v1\nI zero\n",
+      "treeplace-tree v1\nI 5 -1 0 -1\n",  // non-consecutive ids
+  };
+  for (const char* stream : bad) {
+    EXPECT_THROW(parse_all(stream), CheckError) << stream;
+    EXPECT_THROW(read_all(stream), CheckError) << stream;
+  }
+}
+
+TEST(RecordParserTest, IstreamNumberQuirksMatch) {
+  // istringstream extraction accepts "R3 5" (tag is one char, then the
+  // number) and "+7"; the from_chars-based parser must agree.
+  const std::string stream =
+      tree_record() + "treeplace-scenario v1 1\nR3 +7\n";
+  const auto via_parser = parse_all(stream);
+  const auto via_reader = read_all(stream);
+  expect_requests_match(via_parser, via_reader);
+  ASSERT_EQ(via_parser.back().deltas.size(), 1u);
+  EXPECT_EQ(via_parser.back().deltas[0].node, 3);
+  EXPECT_EQ(via_parser.back().deltas[0].requests, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// OutputBuffer
+
+TEST(OutputBufferTest, AppendsAndConsumesInOrder) {
+  OutputBuffer out;
+  out.append("result a\n");
+  out.append("result b\n");
+  EXPECT_EQ(out.size(), 18u);
+  const auto pending = out.pending();
+  EXPECT_EQ(std::string_view(pending.data(), 8), "result a");
+  out.consume(9);
+  EXPECT_EQ(std::string_view(out.pending().data(), out.size()), "result b\n");
+  out.consume(9);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Result rendering
+
+TEST(RenderResultTest, ErrorAndTimingShapes) {
+  ServeResult failed;
+  failed.error = "boom";
+  const RenderedResult rendered =
+      render_result(3, "7", failed, ResultFormat{true, false});
+  EXPECT_EQ(rendered.status, ResultStatus::kError);
+  EXPECT_EQ(rendered.line.rfind("result id=3 topo=7 status=error", 0), 0u);
+  EXPECT_NE(rendered.line.find("error=\"boom\""), std::string::npos);
+  EXPECT_EQ(rendered.line.back(), '\n');
+}
+
+TEST(RenderResultTest, StripTimingsRemovesOnlyTimingFields) {
+  const std::string block =
+      "result id=1 topo=1 status=ok cost=3 queue_s=0.125 solve_s=0.5 "
+      "work=9 placement=0:0\n"
+      "# serve: done\n";
+  const std::string stripped = strip_timings(block);
+  EXPECT_EQ(stripped,
+            "result id=1 topo=1 status=ok cost=3 work=9 placement=0:0\n"
+            "# serve: done\n");
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogramTest, PercentilesBracketTheSamples) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.percentile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) hist.record(1e-3);
+  for (int i = 0; i < 10; ++i) hist.record(2.0);
+  EXPECT_EQ(hist.count(), 100u);
+  const double p50 = hist.percentile(0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LT(p50, 2e-3);  // ~25% bucket resolution
+  const double p99 = hist.percentile(0.99);
+  EXPECT_GE(p99, 2.0);
+  EXPECT_LT(p99, 3.0);
+}
+
+}  // namespace
+}  // namespace treeplace::serve

@@ -144,6 +144,29 @@ TEST(TreeStreamReaderTest, BadHeaderThrows) {
   EXPECT_THROW(reader.next(), CheckError);
 }
 
+TEST(TreeIoTest, CrlfLinesParseLikeLf) {
+  const Tree t = parse_tree(
+      "treeplace-tree v1\r\n"
+      "I 0 -1 0 -1\r\n"
+      "C 1 0 4\r\n");
+  EXPECT_EQ(t.num_internal(), 1u);
+  EXPECT_EQ(t.total_requests(), 4u);
+}
+
+TEST(TreeIoTest, OversizedLineThrows) {
+  // An unterminated megabyte-scale line (binary junk fed as a tree) is
+  // rejected up front instead of being buffered and mis-parsed.
+  EXPECT_THROW(parse_tree("treeplace-tree v1\nI 0 -1 0 -1 # " +
+                          std::string(2u << 20, 'x') + "\n"),
+               CheckError);
+}
+
+TEST(TreeStreamReaderTest, TruncatedNodeLineThrows) {
+  std::istringstream is("treeplace-tree v1\nI 0 -1 0 -1\nC 1 0\n");
+  TreeStreamReader reader(is);
+  EXPECT_THROW(reader.next(), CheckError);
+}
+
 TEST(TreeIoTest, DotContainsAllNodesAndEdges) {
   const std::string dot = to_dot(make_tree());
   EXPECT_NE(dot.find("digraph"), std::string::npos);

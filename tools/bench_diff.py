@@ -120,8 +120,14 @@ def main():
         base_columns, baseline = load_rows(args.baseline, key_columns)
     except FileNotFoundError:
         if not args.update_baseline:
-            print(f"bench_diff: no baseline at {args.baseline} "
-                  "(run with --update-baseline to create it)",
+            print(f"bench_diff: missing baseline file: {args.baseline}\n"
+                  "  A gated bench needs its baseline committed to the "
+                  "repository. If this is a new\n"
+                  "  bench (or the file was removed), create the baseline "
+                  "from the fresh run and\n"
+                  "  commit it:\n"
+                  f"    python3 tools/bench_diff.py --baseline "
+                  f"{args.baseline} --fresh {args.fresh} --update-baseline",
                   file=sys.stderr)
             return 2
         base_columns, baseline = [], {}  # bootstrapping a new baseline

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Loopback smoke test for `treeplace serve --listen` (the CI gate for the
+async TCP front-end at the CLI level; the in-process coverage lives in
+tests/serve/net_server_test.cc and bench/connection_churn.cc).
+
+Starts the server on an ephemeral port, computes the reference output by
+running the same binary in single-stream serve mode, then drives a few
+hundred short-lived concurrent connections, each publishing a tree plus
+three scenario deltas and asserting its bytes are ordered and
+bit-identical (timings stripped) to the stream-mode reference.  Finally
+SIGTERMs the server and asserts a graceful exit with a flushed summary.
+
+Usage: tools/net_smoke.py [--binary build/treeplace]
+                          [--connections 200] [--concurrency 8]
+"""
+
+import argparse
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+
+# The serve-test topology: internal nodes 0/1/2/6, clients 3/4/5/7.
+TREE = """treeplace-tree v1
+I 0 -1 0 -1
+I 1 0 0 -1
+I 2 0 0 -1
+C 3 1 5
+C 4 1 3
+C 5 2 4
+I 6 2 0 -1
+C 7 6 2
+"""
+
+# One connection's conversation: the tree plus three delta records.
+STREAM = (
+    TREE
+    + "treeplace-scenario v1 1\nE 2\nE 6 0\n"
+    + "treeplace-scenario v1 1\nZ\nR 3 7\n"
+    + "treeplace-scenario v1 1\nE 2\nX 2\n"
+)
+
+SERVE_ARGS = ["serve", "--algo", "update-dp", "--modes", "10", "--cache", "64"]
+
+TIMING_TOKEN = re.compile(r"\s+(?:queue_s|solve_s)=\S+")
+
+
+def strip_timings(text: str) -> str:
+    """Mirror of serve::strip_timings: drop queue_s=/solve_s= tokens."""
+    return "".join(
+        TIMING_TOKEN.sub("", line) + "\n" for line in text.splitlines()
+    )
+
+
+def stream_reference(binary: str) -> str:
+    """Result lines StreamServer emits for STREAM, timings stripped."""
+    proc = subprocess.run(
+        [binary] + SERVE_ARGS,
+        input=STREAM.encode(),
+        stdout=subprocess.PIPE,
+        check=True,
+    )
+    results = "".join(
+        line + "\n"
+        for line in proc.stdout.decode().splitlines()
+        if line.startswith("result ")
+    )
+    return strip_timings(results)
+
+
+def one_connection(port: int, reference: str, failures: list, lock) -> None:
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.sendall(STREAM.encode())
+            s.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        received = strip_timings(b"".join(chunks).decode())
+        if received != reference:
+            with lock:
+                failures.append(
+                    "mismatch:\n--- got ---\n%s--- want ---\n%s"
+                    % (received, reference)
+                )
+    except OSError as err:
+        with lock:
+            failures.append("connection failed: %s" % err)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", default="build/treeplace")
+    ap.add_argument("--connections", type=int, default=200)
+    ap.add_argument("--concurrency", type=int, default=8)
+    args = ap.parse_args()
+
+    reference = stream_reference(args.binary)
+    if "status=ok" not in reference:
+        print("smoke: stream-mode reference has no ok results:\n" + reference)
+        return 1
+
+    server = subprocess.Popen(
+        [args.binary] + SERVE_ARGS + ["--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+    )
+    try:
+        # The first stdout line publishes the resolved ephemeral port.
+        line = server.stdout.readline().decode()
+        match = re.match(r"# listen: 127\.0\.0\.1:(\d+)", line)
+        if not match:
+            print("smoke: expected '# listen:' line, got: %r" % line)
+            return 1
+        port = int(match.group(1))
+
+        failures: list = []
+        lock = threading.Lock()
+        remaining = args.connections
+        while remaining > 0 and not failures:
+            batch = min(args.concurrency, remaining)
+            threads = [
+                threading.Thread(
+                    target=one_connection, args=(port, reference, failures, lock)
+                )
+                for _ in range(batch)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            remaining -= batch
+    finally:
+        server.send_signal(signal.SIGTERM)
+        tail = server.stdout.read().decode()
+        code = server.wait(timeout=60)
+
+    if failures:
+        print("smoke: %d of %d connections diverged from stream mode"
+              % (len(failures), args.connections))
+        print(failures[0])
+        return 1
+    if code != 0:
+        print("smoke: server exited %d after graceful drain\n%s" % (code, tail))
+        return 1
+    if "# serve:" not in tail:
+        print("smoke: no summary block after SIGTERM drain:\n" + tail)
+        return 1
+    served = args.connections * 4  # 4 records per connection
+    if ("%d requests" % served) not in tail:
+        print("smoke: summary does not report %d requests:\n%s" % (served, tail))
+        return 1
+    print("smoke: %d connections (%d concurrent), all bit-identical to "
+          "stream mode; graceful drain ok" % (args.connections, args.concurrency))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,10 @@
 //
 // Exit codes: 0 success; 1 infeasible instance or unmet --budget; 2 usage
 // error (including unknown commands and unknown --algo names).
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/net_server.h"
 #include "serve/stream_server.h"
 #include "treeplace.h"
 #include "tree/metrics.h"
@@ -76,6 +80,15 @@ constexpr int kExitUsage = 2;
       "                                  topology (0 = unbounded)\n"
       "               --solver-threads K solver-internal threads\n"
       "               (instance flags as for solve)\n"
+      "               network mode (instead of stdin/stdout):\n"
+      "               --listen HOST:PORT accept concurrent TCP connections,\n"
+      "                                  each speaking the record protocol\n"
+      "                                  (port 0 = ephemeral, printed as a\n"
+      "                                  `# listen:` line); SIGTERM drains\n"
+      "                                  gracefully\n"
+      "               --max-conns N      connection cap (default 4096)\n"
+      "               --idle-timeout S   reap idle connections after S\n"
+      "                                  seconds (0 = never, default 300)\n"
       "  list-algos   same as solve --list-algos\n"
       "  validate     check a placement --capacity W --servers id,id,...\n"
       "  stats        structural metrics of the tree on stdin\n"
@@ -362,6 +375,59 @@ int cmd_solve(const Args& args) {
   return worst;
 }
 
+serve::NetServer* g_net_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  // NetServer::shutdown() is async-signal-safe (atomic store + write()).
+  if (g_net_server != nullptr) g_net_server->shutdown();
+}
+
+/// Thousands of connections need thousands of fds; lift the soft limit to
+/// the hard limit (best-effort).
+void raise_nofile_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+/// `serve --listen`: the async TCP front-end (serve/net_server.h).
+int cmd_serve_net(const Args& args, serve::StreamServerConfig stream_config) {
+  const std::string listen = args.get("listen", "");
+  const auto colon = listen.rfind(':');
+  if (colon == std::string::npos) usage("--listen expects HOST:PORT");
+  serve::NetServerConfig config;
+  config.host = listen.substr(0, colon);
+  const std::int64_t port = std::stoll(listen.substr(colon + 1));
+  if (port < 0 || port > 65535) usage("--listen port out of range");
+  config.port = static_cast<std::uint16_t>(port);
+  config.max_conns = get_count(args, "max-conns", 4096, 1);
+  config.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+  config.stream = std::move(stream_config);
+
+  raise_nofile_limit();
+  serve::NetServer server(std::move(config));
+  const std::uint16_t bound = server.listen_and_bind();
+  // Port 0 callers (tests, benches, scripts) learn the real port here.
+  std::cout << "# listen: " << listen.substr(0, colon) << ":" << bound << "\n"
+            << std::flush;
+
+  g_net_server = &server;
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+  const serve::NetServerSummary summary = server.run(std::cout);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_net_server = nullptr;
+
+  if (summary.errors > 0 || summary.protocol_errors > 0) return kExitUsage;
+  if (summary.infeasible > 0 || summary.over_budget > 0) {
+    return kExitInfeasible;
+  }
+  return kExitSuccess;
+}
+
 /// The batch-serving loop: mixed tree / scenario-delta records on stdin,
 /// one result record per request on stdout (see serve/stream_server.h).
 int cmd_serve(const Args& args) {
@@ -389,8 +455,15 @@ int cmd_serve(const Args& args) {
   config.cost_budget = params.budget;
   config.project_original_modes = params.single_mode;
 
+  if (args.has("listen")) return cmd_serve_net(args, std::move(config));
+
   serve::StreamServer server(std::move(config));
   const serve::StreamServerSummary summary = server.serve(std::cin, std::cout);
+  if (summary.stream_error) {
+    std::cerr << "error: malformed request stream: "
+              << summary.stream_error_message << "\n";
+    return kExitUsage;
+  }
   if (summary.requests == 0) usage("no request on stdin");
   if (summary.errors > 0) return kExitUsage;
   if (summary.infeasible > 0 || summary.over_budget > 0) {
