@@ -35,6 +35,26 @@
 // Engine parameters that shape the tables (mode capacities, W) are folded
 // into a params signature; any change wipes the cache, so a session never
 // mixes tables across incompatible solves.
+//
+// Snapshot format (core/dp_snapshot.h + support/binio.h): a SubtreeCache
+// serializes to an endian-stable binary record so a SolveSession can be
+// saved to disk and restored warm after a process restart or a shard
+// migration.  Layout (all scalars little-endian):
+//
+//   per cache:  params count + values, node count n, then per node:
+//     NodeSignature (client_mass u64, original_mode i32),
+//     valid u8, resumable u8, dirty_count u64,
+//     the engine NodeState — every field including the merge-tree slot
+//     snapshots (Boxes as their bounds vectors, ArenaTables as length +
+//     elements, Decisions as left/right/mode);
+//   then the last_touched hint (known u8, count, NodeIds).
+//
+// The enclosing session file adds a magic ("TPSNAP01"), a format version,
+// the topology's structural_hash, and a CRC32 trailer; restore rejects any
+// mismatch or truncation as a whole (no partial restore).  Because the
+// signatures, validity flags, dirty counts and the last_touched hint all
+// round-trip, a restored cache plans exactly the warm solve the in-memory
+// cache would have — work counters and results are bit-identical.
 #pragma once
 
 #include <algorithm>
@@ -218,7 +238,12 @@ class SubtreeCache {
   /// The cached state slot of dense internal index `i` (engine-owned
   /// layout; meaningful only while valid(i)).
   NodeState& state(std::size_t i) { return states_[i]; }
+  const NodeState& state(std::size_t i) const { return states_[i]; }
   const NodeSignature& signature(std::size_t i) const { return sigs_[i]; }
+  /// The engine-params signature bound by the last attach() — serialized
+  /// by snapshots so a restore re-binds the identical (topology, params)
+  /// pair and the next attach() returns warm.
+  const std::vector<std::uint64_t>& params() const { return params_; }
   bool valid(std::size_t i) const { return valid_[i] != 0; }
   /// True while the node's merge-tree snapshots survive: a dirty re-solve
   /// may then resume per slot instead of rebuilding from scratch.
@@ -285,6 +310,21 @@ class SubtreeCache {
   /// signal of budget shedding (root-path nodes are dirtied every warm
   /// solve, leaf-fringe nodes rarely; shed the cold ones first).
   std::uint64_t dirty_count(std::size_t i) const { return dirty_counts_[i]; }
+
+  /// Snapshot-restore hook: re-establishes node `i`'s planning metadata
+  /// exactly as serialized (core/dp_snapshot.h fills state(i) first, then
+  /// calls this).  Unlike commit(), it restores the validity/resumability
+  /// flags and the hotness counter verbatim — including invalid entries —
+  /// so a restored cache plans the same warm solve the saved one would.
+  void restore_entry(std::size_t i, const NodeSignature& sig, bool valid,
+                     bool resumable, std::uint64_t dirty_count) {
+    sigs_[i] = sig;
+    if (valid && valid_[i] == 0) ++num_valid_;
+    if (!valid && valid_[i] != 0) --num_valid_;
+    valid_[i] = valid ? 1 : 0;
+    resumable_[i] = resumable ? 1 : 0;
+    dirty_counts_[i] = dirty_count;
+  }
 
  private:
   const Topology* topo_ = nullptr;

@@ -1,0 +1,202 @@
+#include "core/dp_snapshot.h"
+
+#include <utility>
+#include <vector>
+
+namespace treeplace::dp {
+
+namespace {
+
+// Sanity caps for read-side length prefixes: DP tables are capped at 2^32
+// cells (core/dp_util.h), per-node slot counts at 2k-1 merge slots.  A
+// prefix beyond these is corruption, not a big instance.
+constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 32;
+constexpr std::uint32_t kMaxSlots = 1u << 24;
+
+void write_flow_table(binio::Writer& w, const ArenaTable<RequestCount>& t) {
+  w.u64(t.size());
+  for (const RequestCount v : t.span()) w.u64(v);
+}
+
+void read_flow_table(binio::Reader& r, TableArena& arena,
+                     ArenaTable<RequestCount>& t) {
+  const std::uint64_t n = r.u64();
+  // Bound by both the DP cell cap and the bytes left in the file, so a
+  // corrupted length prefix fails as truncation before it can allocate.
+  TREEPLACE_CHECK_MSG(n <= kMaxCells && n <= r.remaining_bytes() / 8,
+                      "snapshot flow table too large");
+  t.resize_uninit(arena, static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = r.u64();
+}
+
+void write_decision_table(binio::Writer& w, const ArenaTable<Decision>& t) {
+  w.u64(t.size());
+  for (const Decision& d : t.span()) {
+    w.u32(d.left);
+    w.u32(d.right);
+    w.i8(d.mode);
+  }
+}
+
+void read_decision_table(binio::Reader& r, TableArena& arena,
+                         ArenaTable<Decision>& t) {
+  const std::uint64_t n = r.u64();
+  TREEPLACE_CHECK_MSG(n <= kMaxCells && n <= r.remaining_bytes() / 9,
+                      "snapshot decision table too large");
+  t.resize_uninit(arena, static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    Decision d;
+    d.left = r.u32();
+    d.right = r.u32();
+    d.mode = r.i8();
+    t[i] = d;
+  }
+}
+
+void write_int_vec(binio::Writer& w, const std::vector<int>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const int x : v) w.i32(x);
+}
+
+std::vector<int> read_int_vec(binio::Reader& r) {
+  const std::uint32_t n = r.u32();
+  TREEPLACE_CHECK_MSG(n <= kMaxSlots && n <= r.remaining_bytes() / 4,
+                      "snapshot int vector too large");
+  std::vector<int> v(n);
+  for (std::uint32_t i = 0; i < n; ++i) v[i] = r.i32();
+  return v;
+}
+
+void write_box(binio::Writer& w, const Box& box) {
+  write_int_vec(w, box.bounds());
+}
+
+Box read_box(binio::Reader& r) { return Box(read_int_vec(r)); }
+
+template <typename T, typename ReadOne>
+void read_table_vec(binio::Reader& r, TableArena& arena,
+                    std::vector<ArenaTable<T>>& out, const ReadOne& read_one) {
+  const std::uint32_t n = r.u32();
+  TREEPLACE_CHECK_MSG(n <= kMaxSlots, "snapshot slot count too large");
+  out.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) read_one(r, arena, out[i]);
+}
+
+void write_state(binio::Writer& w, const PowerNodeState& s) {
+  write_box(w, s.box);
+  write_flow_table(w, s.flow);
+  write_int_vec(w, s.incl_bounds);
+  w.u32(static_cast<std::uint32_t>(s.slot_decisions.size()));
+  for (const auto& t : s.slot_decisions) write_decision_table(w, t);
+  w.u32(static_cast<std::uint32_t>(s.slot_boxes.size()));
+  for (const Box& b : s.slot_boxes) write_box(w, b);
+  w.u32(static_cast<std::uint32_t>(s.slot_flows.size()));
+  for (const auto& t : s.slot_flows) write_flow_table(w, t);
+}
+
+void read_state(binio::Reader& r, TableArena& arena, PowerNodeState& s) {
+  s.box = read_box(r);
+  read_flow_table(r, arena, s.flow);
+  s.incl_bounds = read_int_vec(r);
+  read_table_vec(r, arena, s.slot_decisions, read_decision_table);
+  const std::uint32_t boxes = r.u32();
+  TREEPLACE_CHECK_MSG(boxes <= kMaxSlots, "snapshot slot count too large");
+  s.slot_boxes.resize(boxes);
+  for (std::uint32_t i = 0; i < boxes; ++i) s.slot_boxes[i] = read_box(r);
+  read_table_vec(r, arena, s.slot_flows, read_flow_table);
+}
+
+void write_state(binio::Writer& w, const MinCostNodeState& s) {
+  w.i32(s.eb);
+  w.i32(s.nb);
+  write_flow_table(w, s.flow);
+  w.u32(static_cast<std::uint32_t>(s.slot_decisions.size()));
+  for (const auto& t : s.slot_decisions) write_decision_table(w, t);
+  write_int_vec(w, s.slot_eb);
+  write_int_vec(w, s.slot_nb);
+  w.u32(static_cast<std::uint32_t>(s.slot_flows.size()));
+  for (const auto& t : s.slot_flows) write_flow_table(w, t);
+}
+
+void read_state(binio::Reader& r, TableArena& arena, MinCostNodeState& s) {
+  s.eb = r.i32();
+  s.nb = r.i32();
+  read_flow_table(r, arena, s.flow);
+  read_table_vec(r, arena, s.slot_decisions, read_decision_table);
+  s.slot_eb = read_int_vec(r);
+  s.slot_nb = read_int_vec(r);
+  read_table_vec(r, arena, s.slot_flows, read_flow_table);
+}
+
+template <typename NodeState>
+void save_cache_impl(binio::Writer& w, const SubtreeCache<NodeState>& cache) {
+  w.u32(static_cast<std::uint32_t>(cache.params().size()));
+  for (const std::uint64_t p : cache.params()) w.u64(p);
+  w.u64(cache.size());
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    const NodeSignature& sig = cache.signature(i);
+    w.u64(sig.client_mass);
+    w.i32(sig.original_mode);
+    w.u8(cache.valid(i) ? 1 : 0);
+    w.u8(cache.resumable(i) ? 1 : 0);
+    w.u64(cache.dirty_count(i));
+    write_state(w, cache.state(i));
+  }
+  w.u8(cache.last_touched_known() ? 1 : 0);
+  w.u64(cache.last_touched().size());
+  for (const NodeId id : cache.last_touched()) w.i32(id);
+}
+
+template <typename NodeState>
+void load_cache_impl(binio::Reader& r, const Topology* topo,
+                     SubtreeCache<NodeState>& cache) {
+  const std::uint32_t num_params = r.u32();
+  TREEPLACE_CHECK_MSG(num_params <= kMaxSlots, "snapshot params too large");
+  std::vector<std::uint64_t> params(num_params);
+  for (std::uint32_t i = 0; i < num_params; ++i) params[i] = r.u64();
+  cache.attach(topo, std::move(params));
+  const std::uint64_t n = r.u64();
+  TREEPLACE_CHECK_MSG(n == cache.size(),
+                      "snapshot node count " << n << " != topology's "
+                                             << cache.size());
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    NodeSignature sig;
+    sig.client_mass = r.u64();
+    sig.original_mode = r.i32();
+    const bool valid = r.u8() != 0;
+    const bool resumable = r.u8() != 0;
+    const std::uint64_t dirty_count = r.u64();
+    read_state(r, cache.arena(), cache.state(i));
+    cache.restore_entry(i, sig, valid, resumable, dirty_count);
+  }
+  const bool known = r.u8() != 0;
+  const std::uint64_t touched = r.u64();
+  TREEPLACE_CHECK_MSG(touched <= cache.size(),
+                      "snapshot touched set larger than the tree");
+  std::vector<NodeId> last_touched(static_cast<std::size_t>(touched));
+  for (NodeId& id : last_touched) {
+    id = r.i32();
+    TREEPLACE_CHECK_MSG(topo->valid_id(id) && topo->is_internal(id),
+                        "snapshot touched id out of range");
+  }
+  cache.set_last_touched(std::move(last_touched), known);
+}
+
+}  // namespace
+
+void save_cache(binio::Writer& w, const PowerSubtreeCache& cache) {
+  save_cache_impl(w, cache);
+}
+void save_cache(binio::Writer& w, const MinCostSubtreeCache& cache) {
+  save_cache_impl(w, cache);
+}
+void load_cache(binio::Reader& r, const Topology* topo,
+                PowerSubtreeCache& cache) {
+  load_cache_impl(r, topo, cache);
+}
+void load_cache(binio::Reader& r, const Topology* topo,
+                MinCostSubtreeCache& cache) {
+  load_cache_impl(r, topo, cache);
+}
+
+}  // namespace treeplace::dp

@@ -9,7 +9,7 @@
 namespace treeplace::serve {
 
 Connection::Connection(int fd, std::uint64_t uid, std::size_t max_line_bytes)
-    : fd_(fd), uid_(uid), in_(max_line_bytes) {}
+    : namespace_id(uid), fd_(fd), uid_(uid), in_(max_line_bytes) {}
 
 Connection::~Connection() {
   if (fd_ >= 0) ::close(fd_);

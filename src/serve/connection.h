@@ -55,6 +55,14 @@ class Connection {
   int fd() const { return fd_; }
   std::uint64_t uid() const { return uid_; }
 
+  /// The topology-cache namespace this connection's ordinal keys live in:
+  /// the uid by default (every connection sees a fresh key space), or the
+  /// stable hash of the client's hello name — the identity that makes a
+  /// session's warm state survive reconnects, shard kills and restarts.
+  std::uint64_t namespace_id = 0;
+  /// The namespace came from a hello name (persistable at drain).
+  bool named = false;
+
   // --- inbound: socket read target + incremental parsing ------------------
 
   std::span<char> writable(std::size_t min_bytes) {

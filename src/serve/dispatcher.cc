@@ -141,7 +141,7 @@ ServeResult SolveDispatcher::run_solve(
       // Warm solves over one session serialize; sessions are per topology,
       // so only same-topology requests contend.
       std::scoped_lock session_lock(session->solve_mutex());
-      result.solution = solver.solve_incremental(instance, deltas, *session);
+      result.solution = solver.solve(SolveRequest{instance, deltas, session});
       result.warm = true;
     } else {
       result.solution = solver.solve(instance);

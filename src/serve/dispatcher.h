@@ -92,10 +92,10 @@ class SolveDispatcher {
   /// future with ok = false instead of propagating.
   ///
   /// When `session` is set and the solver supports incremental solves, the
-  /// worker runs Solver::solve_incremental under the session's solve mutex
-  /// (solves sharing one session serialize; results stay bit-identical to
-  /// cold solves either way).  `deltas` is the warm-start hint forwarded
-  /// to the solver.
+  /// worker runs Solver::solve(SolveRequest) under the session's solve
+  /// mutex (solves sharing one session serialize; results stay
+  /// bit-identical to cold solves either way).  `deltas` is the warm-start
+  /// hint forwarded to the solver.
   std::future<ServeResult> submit(std::size_t solver_index, Instance instance,
                                   std::shared_ptr<SolveSession> session =
                                       nullptr,

@@ -1,34 +1,47 @@
-// Async TCP serving front-end: thousands of warm per-connection sessions.
+// Sharded async TCP serving tier: warm per-connection sessions that
+// survive shard kills and restarts.
 //
-// NetServer promotes the single-stream StreamServer to a real network
-// server: a single-threaded event loop (epoll, with a portable poll()
-// backend behind the Poller abstraction — select TREEPLACE_POLLER=poll)
-// accepts non-blocking TCP connections, each speaking the existing
-// line-record protocol.  Per connection, bytes are framed incrementally
-// (serve/wire.h), records bind a TopologyCache entry + warm SolveSession
-// (cache keys namespaced by connection uid, so every connection sees the
-// same ordinal keys a fresh stream would), solves run on the shared
-// SolveDispatcher pool, and results come back per-connection-ordered and
-// byte-identical to what StreamServer would emit for that connection's
-// record sequence (modulo queue_s=/solve_s= timings).
+// NetServer runs a router thread in front of K in-process shards.  Each
+// shard is a self-contained serving loop — its own event loop (epoll,
+// with a portable poll() backend behind the Poller abstraction — select
+// TREEPLACE_POLLER=poll), its own TopologyCache of warm SolveSessions and
+// its own SolveDispatcher pool — so shards share no solver state and no
+// locks on the solve path.  The router accepts non-blocking TCP
+// connections, pre-reads just enough bytes to see the first record line,
+// and routes the connection by consistent hashing (serve/router.h): a
+// `treeplace-hello v1 name=<id>` handshake pins the client to the shard
+// owning stable_hash64(name) — same name, same shard, same warm session
+// across reconnects — while anonymous connections spread by uid.  The
+// socket plus its pre-read bytes are then handed off to the shard, which
+// serves it exactly as the single-loop server of PR 7 did: records are
+// framed incrementally (serve/wire.h), bind a TopologyCache entry + warm
+// SolveSession under a CacheKey namespaced by the connection, solve on
+// the shard's dispatcher, and return per-connection-ordered result lines
+// byte-identical to a StreamServer run of the same records (modulo
+// queue_s=/solve_s= timings) — for any shard count.
 //
-// Backpressure: the dispatcher queue stays bounded.  When
-// try_reserve_slot() reports the queue full, the connection's remaining
-// parsed records wait
-// and its socket is dropped from the read set — TCP flow control pushes
-// back on the client instead of the server buffering unboundedly.  The
-// same read-masking applies when a connection's outbound buffer exceeds
-// the per-connection cap (a client must drain results to keep publishing).
+// Persistence (`persist_dir`): a named client's sessions are written as
+// versioned snapshots (core/dp_snapshot.h via SolveSession::save) when
+// the owning shard drains — at shutdown or on kill_shard() — and restored
+// when the name reconnects and re-publishes its trees, so a shard kill or
+// a full server restart resumes *warm*: the first post-restore delta
+// solve performs bit-identical work to the never-restarted session
+// (bench/shard_restart gates this).  A corrupt, truncated or mismatched
+// snapshot is rejected whole (CheckError) and the session starts cold —
+// never wrong.
 //
-// Completions cross back from worker threads through a mutex-protected
-// queue plus a wake pipe (the loop's only cross-thread contact); the
-// wake pipe doubles as the async-signal-safe shutdown channel, so a
-// SIGTERM handler may call shutdown() directly.  Graceful drain: stop
-// accepting, stop reading, submit already-parsed records, flush every
-// in-flight result to its socket, then close.
+// kill_shard()/kill_next_shard() are async-signal-safe (atomic store plus
+// a wake-pipe write; the CLI wires SIGUSR1 to kill_next_shard): the shard
+// stops reading, finishes in-flight solves, flushes results, saves named
+// sessions, and exits; the router's hash ring walks past dead shards so
+// later connections (including the killed clients' reconnects) land on
+// the survivors.
 //
-// Idle connections are reaped from an activity-ordered list (uniform
-// timeout, so the list front is always the closest deadline).
+// Backpressure and drain semantics within a shard are unchanged from the
+// single-loop server: bounded dispatcher queue and per-connection output
+// caps mask socket reads (TCP flow control pushes back on the client),
+// completions cross worker→loop through a mutex-protected queue plus the
+// shard's wake pipe, and graceful drain flushes every in-flight result.
 #pragma once
 
 #include <atomic>
@@ -87,6 +100,15 @@ struct NetServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral (tests/bench read port())
 
+  /// In-process shards behind the router; each owns a full serving loop
+  /// (event loop + TopologyCache + dispatcher pool).  1 = the router still
+  /// runs, fronting a single shard, with output byte-identical to any
+  /// other shard count for the same per-connection record streams.
+  std::size_t shards = 1;
+  /// When set, named sessions (hello name=) are snapshotted here at shard
+  /// drain and restored on re-publish; empty disables persistence.
+  std::string persist_dir;
+
   std::size_t max_conns = 4096;       ///< beyond this, accept-and-close
   double idle_timeout_seconds = 300;  ///< 0 = never reap idle connections
   double drain_timeout_seconds = 30;  ///< force-close laggards on shutdown
@@ -95,15 +117,15 @@ struct NetServerConfig {
   std::size_t max_line_bytes = LineBuffer::kDefaultMaxLineBytes;
 
   /// Solver, cache and result-format knobs, shared with stream mode.
-  /// Note cache_capacity bounds *resident topologies across connections*:
-  /// serving K concurrent tree-publishing clients without eviction errors
-  /// needs cache_capacity >= K.
+  /// Note cache_capacity bounds *resident topologies per shard*: serving
+  /// K concurrent tree-publishing clients without eviction errors needs
+  /// cache_capacity >= K on every shard their keys hash to.
   StreamServerConfig stream;
 };
 
 struct NetServerSummary {
   std::uint64_t accepted = 0;
-  std::uint64_t dropped = 0;      ///< connections refused at max_conns
+  std::uint64_t dropped = 0;      ///< refused at max_conns or while draining
   std::uint64_t reaped_idle = 0;  ///< closed by the idle timeout
   std::uint64_t protocol_errors = 0;  ///< connections failed on bad input
   std::uint64_t peak_connections = 0;
@@ -118,6 +140,11 @@ struct NetServerSummary {
   std::uint64_t output_stalls = 0;        ///< reads paused: slow consumer
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+
+  std::uint64_t hellos = 0;            ///< handshakes served
+  std::uint64_t sessions_saved = 0;    ///< snapshots written at drain
+  std::uint64_t sessions_restored = 0; ///< snapshots resumed warm
+  std::uint64_t shards_killed = 0;     ///< shards drained by kill_shard()
 
   double wall_seconds = 0.0;
   double scenarios_per_second = 0.0;
@@ -143,15 +170,27 @@ class NetServer {
   /// before entering the loop.
   std::uint16_t listen_and_bind();
   std::uint16_t port() const { return port_; }
+  std::size_t shards() const { return shards_.size(); }
 
-  /// Runs the event loop until shutdown(), then drains gracefully and
-  /// writes the `#`-prefixed summary block to `summary_out`.
+  /// Runs the router plus one serving thread per shard until shutdown(),
+  /// then drains gracefully and writes the `#`-prefixed summary block to
+  /// `summary_out` (aggregated across shards; per-shard `# shard i:`
+  /// lines follow when shards > 1).
   NetServerSummary run(std::ostream& summary_out);
 
-  /// Requests graceful shutdown.  Async-signal-safe (atomic store plus a
-  /// write() on the wake pipe); callable from any thread or from a signal
-  /// handler.
+  /// Requests graceful shutdown of the whole server.  Async-signal-safe
+  /// (atomic store plus a write() on the wake pipe); callable from any
+  /// thread or from a signal handler.
   void shutdown();
+
+  /// Drains one shard — finish in-flight solves, flush, save named
+  /// sessions, exit its thread — while the router and the other shards
+  /// keep serving (the ring routes around it).  Async-signal-safe; out of
+  /// range or already-killed shards are a no-op.
+  void kill_shard(std::size_t shard);
+  /// kill_shard() on the next living shard, round-robin — the SIGUSR1
+  /// hook.  A no-op once every shard is dead.
+  void kill_next_shard();
 
  private:
   struct Completion {
@@ -160,21 +199,54 @@ class NetServer {
     RenderedResult result;
   };
 
-  class Loop;  // run() implementation detail (net_server.cc)
+  /// An accepted socket leaving the router for its shard: the fd, the
+  /// server-unique uid, and every byte the router pre-read while sniffing
+  /// the first record line (replayed into the shard's LineBuffer so no
+  /// byte is lost).
+  struct Handoff {
+    int fd = -1;
+    std::uint64_t uid = 0;
+    std::string initial;
+    bool eof = false;  ///< peer already half-closed during pre-read
+  };
+
+  /// Router→shard and worker→shard-loop channels, one per shard.  The
+  /// wake pipe is the shard loop's only cross-thread contact; `kill` and
+  /// `drain` are the async-signal-safe stop requests (kill saves named
+  /// sessions and counts as a kill; drain is the shutdown path).
+  struct ShardState {
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    std::atomic<bool> kill{false};
+    std::atomic<bool> drain{false};
+    /// Cleared the moment the shard starts draining, so the router stops
+    /// routing new connections to it.
+    std::atomic<bool> alive{true};
+    std::mutex mutex;  ///< guards completions + handoffs
+    std::deque<Completion> completions;
+    std::deque<Handoff> handoffs;
+  };
+
+  class Loop;    // per-shard serving loop (net_server.cc)
+  class Router;  // accept + pre-read + handoff loop (net_server.cc)
+  struct ShardReport;
+
+  void wake_shard(std::size_t shard);
 
   NetServerConfig config_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
+  int wake_read_fd_ = -1;   ///< router wake pipe (shutdown channel)
   int wake_write_fd_ = -1;
   std::atomic<bool> shutdown_requested_{false};
 
-  // Worker-to-loop completion channel.  Declared before any object whose
-  // destructor joins workers (the dispatcher lives inside run()).
-  std::mutex completions_mutex_;
-  std::deque<Completion> completions_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::atomic<std::size_t> kill_cursor_{0};
+  /// Connections owned by shards (router enforces max_conns against it).
+  std::atomic<std::size_t> shard_conns_{0};
 
   friend class Loop;
+  friend class Router;
 };
 
 }  // namespace treeplace::serve

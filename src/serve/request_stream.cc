@@ -70,9 +70,51 @@ ScenarioDelta parse_delta_line(const std::string& line) {
 
 const char* RequestStreamReader::scenario_header() { return kScenarioHeader; }
 
+bool is_hello_line(std::string_view line) {
+  constexpr std::string_view kHello = "treeplace-hello";
+  if (line.rfind(kHello, 0) != 0) return false;
+  // Token-exact: "treeplace-helloX" is an unknown record, not a hello.
+  return line.size() == kHello.size() || line[kHello.size()] == ' ' ||
+         line[kHello.size()] == '\t';
+}
+
+HelloInfo parse_hello_line(std::string_view line) {
+  std::istringstream hs{std::string(line)};
+  std::string kind;
+  HelloInfo hello;
+  hs >> kind >> hello.version;
+  TREEPLACE_CHECK_MSG(kind == "treeplace-hello" && hello.version == "v1",
+                      "unsupported hello record: '" << line << "'");
+  std::string token;
+  while (hs >> token) {
+    if (token.rfind("name=", 0) == 0) {
+      TREEPLACE_CHECK_MSG(hello.name.empty(),
+                          "duplicate name= in hello: '" << line << "'");
+      hello.name = token.substr(5);
+      TREEPLACE_CHECK_MSG(!hello.name.empty(),
+                          "empty name= in hello: '" << line << "'");
+    } else {
+      hello.features.push_back(token);  // unknown features are fine
+    }
+  }
+  return hello;
+}
+
+std::string_view hello_reply() { return "# hello: treeplace v1\n"; }
+
 std::optional<ServeRequest> RequestStreamReader::next() {
   const std::optional<std::string> header = reader_.next_header();
   if (!header) return std::nullopt;
+
+  if (is_hello_line(*header)) {
+    TREEPLACE_CHECK_MSG(requests_ == 0 && reader_.trees_read() == 0 &&
+                            !hello_seen_,
+                        "hello must be the first record of the stream");
+    hello_seen_ = true;
+    ServeRequest request;  // id stays 0: hello consumes no ordinal
+    request.hello = parse_hello_line(*header);
+    return request;
+  }
 
   ServeRequest request;
   request.id = requests_ + 1;

@@ -1,0 +1,53 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace treeplace::serve {
+
+std::uint64_t stable_hash64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix_hash64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes) : shards_(shards) {
+  TREEPLACE_CHECK_MSG(shards >= 1, "HashRing needs at least one shard");
+  TREEPLACE_CHECK_MSG(vnodes >= 1, "HashRing needs at least one vnode");
+  points_.reserve(shards * vnodes);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      const std::uint64_t point =
+          mix_hash64((static_cast<std::uint64_t>(s) << 32) | v);
+      points_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::first_point(std::uint64_t key_hash) const {
+  TREEPLACE_CHECK_MSG(!points_.empty(), "lookup on an empty HashRing");
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key_hash, std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return it == points_.end() ? 0
+                             : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t HashRing::owner(std::uint64_t key_hash) const {
+  return points_[first_point(key_hash)].second;
+}
+
+}  // namespace treeplace::serve

@@ -1,0 +1,70 @@
+// Consistent-hash routing of topology namespaces onto serving shards.
+//
+// The sharded net server (serve/net_server.h) runs K independent shard
+// event loops, each owning its own TopologyCache + dispatcher; the router
+// thread accepts connections and hands each one to the shard that owns its
+// cache namespace, so a topology's warm SolveSession always lands on the
+// same shard.  Affinity comes from a classic consistent-hash ring: every
+// shard contributes `vnodes` points (hashes of (shard, vnode)), a key is
+// owned by the first point clockwise from its hash, and lookups walk past
+// dead shards — so killing a shard moves only its arc, not the whole
+// keyspace, and a restarted shard reclaims exactly the arc it lost (which
+// is what lets persisted sessions restore onto the right shard).
+//
+// All hashes are process- and machine-stable (FNV-1a / splitmix64, never
+// std::hash) because they name persistence files and must agree across
+// restarts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace treeplace::serve {
+
+/// 64-bit FNV-1a over bytes: stable across runs, processes and machines
+/// (std::hash offers no such guarantee).  Used for ring keys, typed cache
+/// keys and persistence file names.
+std::uint64_t stable_hash64(std::string_view bytes);
+
+/// splitmix64 finalizer: decorrelates structured integers (shard indices,
+/// connection uids) before they meet the ring.
+std::uint64_t mix_hash64(std::uint64_t x);
+
+class HashRing {
+ public:
+  HashRing() = default;
+  /// `shards` >= 1 ring members, each contributing `vnodes` points.
+  explicit HashRing(std::size_t shards, std::size_t vnodes = 64);
+
+  std::size_t shards() const { return shards_; }
+
+  /// The shard owning `key_hash`, ignoring liveness.
+  std::size_t owner(std::uint64_t key_hash) const;
+
+  /// The first alive shard at or after `key_hash` on the ring; falls back
+  /// to owner() when `alive` reports every shard down (the caller is about
+  /// to fail the connection anyway).
+  template <typename AliveFn>
+  std::size_t lookup(std::uint64_t key_hash, AliveFn&& alive) const {
+    const std::size_t start = first_point(key_hash);
+    for (std::size_t step = 0; step < points_.size(); ++step) {
+      const std::size_t shard =
+          points_[(start + step) % points_.size()].second;
+      if (alive(shard)) return shard;
+    }
+    return owner(key_hash);
+  }
+
+ private:
+  /// Index of the first ring point at or after `key_hash` (wrapping).
+  std::size_t first_point(std::uint64_t key_hash) const;
+
+  std::size_t shards_ = 0;
+  /// (point, shard), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace treeplace::serve

@@ -77,9 +77,18 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
   try {
     for (std::optional<ServeRequest> request = reader.next(); request;
          request = reader.next()) {
+      if (request->hello) {
+        // The handshake is always the stream's first record (the reader
+        // enforces it), so the reply precedes every result line.
+        out << hello_reply();
+        continue;  // consumes no request ordinal, no dispatcher slot
+      }
       Pending p;
       p.id = request->id;
       p.key = request->topology_key;
+      // Single-stream serving lives in cache namespace 0; the TCP
+      // front-end namespaces by connection (serve/connection.h).
+      const CacheKey cache_key{0, p.key};
 
       // Sessions ride with their cache entry: a tree record's base solve
       // fills the session's DP tables cold, subsequent delta requests on
@@ -91,11 +100,11 @@ StreamServerSummary StreamServer::serve(std::istream& in, std::ostream& out) {
       if (request->tree) {
         auto topology = request->tree->topology_ptr();
         Scenario base = std::move(request->tree->scenario());
-        session = cache.put(p.key, topology, base);
+        session = cache.put(cache_key, topology, base);
         instance.emplace(std::move(topology), std::move(base), config_.modes,
                          config_.costs, config_.cost_budget);
       } else {
-        std::optional<CachedTopology> entry = cache.get(p.key);
+        std::optional<CachedTopology> entry = cache.get(cache_key);
         if (!entry) {
           ServeResult miss;
           miss.error = "unknown topology '" + p.key +

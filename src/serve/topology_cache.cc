@@ -2,9 +2,16 @@
 
 #include <utility>
 
+#include "serve/router.h"
 #include "support/check.h"
 
 namespace treeplace::serve {
+
+std::uint64_t CacheKey::hash() const {
+  // Mix the namespace through splitmix64 so consecutive connection uids
+  // spread over the ring, then fold in the key bytes' FNV-1a hash.
+  return mix_hash64(namespace_id ^ stable_hash64(topology_key));
+}
 
 TopologyCache::TopologyCache(std::size_t capacity,
                              SolveSession::Options session_options)
@@ -14,7 +21,7 @@ TopologyCache::TopologyCache(std::size_t capacity,
 }
 
 std::shared_ptr<SolveSession> TopologyCache::put(
-    const std::string& key, std::shared_ptr<const Topology> topology,
+    const CacheKey& key, std::shared_ptr<const Topology> topology,
     Scenario base) {
   TREEPLACE_CHECK_MSG(topology != nullptr, "caching a null topology");
   TREEPLACE_CHECK_MSG(base.topology_ptr() == topology,
@@ -30,7 +37,7 @@ std::shared_ptr<SolveSession> TopologyCache::put(
   }
   if (entries_.size() >= capacity_) {
     // Evict the least recently used entry (the recency list's tail).
-    const std::string& victim = recency_.back();
+    const CacheKey& victim = recency_.back();
     entries_.erase(victim);
     recency_.pop_back();
     ++stats_.evictions;
@@ -42,7 +49,7 @@ std::shared_ptr<SolveSession> TopologyCache::put(
   return session;
 }
 
-std::optional<CachedTopology> TopologyCache::get(const std::string& key) {
+std::optional<CachedTopology> TopologyCache::get(const CacheKey& key) {
   std::scoped_lock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -54,7 +61,7 @@ std::optional<CachedTopology> TopologyCache::get(const std::string& key) {
   return it->second.value;  // copy: the caller's scenario fork
 }
 
-bool TopologyCache::contains(const std::string& key) const {
+bool TopologyCache::contains(const CacheKey& key) const {
   std::scoped_lock lock(mutex_);
   return entries_.count(key) > 0;
 }

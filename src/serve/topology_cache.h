@@ -27,6 +27,30 @@
 
 namespace treeplace::serve {
 
+/// Typed cache key: a topology key (the stream's ordinal "1", "2", ...)
+/// scoped by a namespace.  The single-stream server uses namespace 0; the
+/// TCP front-end namespaces by connection (uid, or the stable hash of the
+/// client's hello name), which is what lets every connection see the same
+/// ordinal keys a fresh stream would.  The same key identifies the entry
+/// in the shard router's hash ring and in on-disk snapshot file names, so
+/// a named session migrates shards or restarts under one identity.
+struct CacheKey {
+  std::uint64_t namespace_id = 0;
+  std::string topology_key;
+
+  bool operator==(const CacheKey&) const = default;
+
+  /// Stable (process-independent) hash: FNV-1a over the key bytes mixed
+  /// with the namespace, shared by the cache map and the shard ring.
+  std::uint64_t hash() const;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    return static_cast<std::size_t>(key.hash());
+  }
+};
+
 /// A resident topology with the base scenario its defining tree record
 /// carried, plus the warm-start SolveSession bound to this topology's
 /// lifetime in the cache.  Scenario-delta requests fork the base (a cheap
@@ -72,24 +96,33 @@ class TopologyCache {
   /// one — a re-registered topology starts cold); the returned pointer is
   /// the entry's session, for callers that solve the defining tree record
   /// itself through it.
-  std::shared_ptr<SolveSession> put(const std::string& key,
+  std::shared_ptr<SolveSession> put(const CacheKey& key,
                                     std::shared_ptr<const Topology> topology,
                                     Scenario base);
 
   /// The entry under `key` (marked most recently used), or nullopt.  The
   /// returned copy IS the request's scenario fork: the caller owns it and
   /// may mutate it freely.
-  std::optional<CachedTopology> get(const std::string& key);
+  std::optional<CachedTopology> get(const CacheKey& key);
 
-  bool contains(const std::string& key) const;
+  bool contains(const CacheKey& key) const;
   std::size_t size() const;
   TopologyCacheStats stats() const;
+
+  /// Visits every resident entry under the cache mutex (recency order is
+  /// untouched).  The shard drain path uses this to snapshot named
+  /// sessions to disk; keep `fn` cheap or call at quiescent points only.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::scoped_lock lock(mutex_);
+    for (const auto& [key, entry] : entries_) fn(key, entry.value);
+  }
 
  private:
   // Keys in recency order, most recent first; the map points into the list.
   struct Entry {
     CachedTopology value;
-    std::list<std::string>::iterator recency;
+    std::list<CacheKey>::iterator recency;
   };
 
   void touch(Entry& entry);  // requires mutex_ held
@@ -97,8 +130,8 @@ class TopologyCache {
   const std::size_t capacity_;
   const SolveSession::Options session_options_;
   mutable std::mutex mutex_;
-  std::list<std::string> recency_;
-  std::unordered_map<std::string, Entry> entries_;
+  std::list<CacheKey> recency_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
   TopologyCacheStats stats_;
 };
 

@@ -224,6 +224,22 @@ ServeRequest RecordParser::complete() {
 std::optional<ServeRequest> RecordParser::feed(std::string_view line) {
   if (line.empty() || line[0] == '#') return std::nullopt;
 
+  if (is_hello_line(line)) {
+    // The handshake is a single header line with no body, valid only as
+    // the very first record — which also means there is never an
+    // in-progress record to complete, so it can be returned immediately
+    // (a client waiting on the hello reply must not deadlock until its
+    // next record arrives).
+    TREEPLACE_CHECK_MSG(
+        state_ == State::kIdle && requests_ == 0 && trees_ == 0 &&
+            !hello_seen_,
+        "hello must be the first record of the stream");
+    hello_seen_ = true;
+    ServeRequest request;  // id stays 0: hello consumes no ordinal
+    request.hello = parse_hello_line(line);
+    return request;
+  }
+
   if (is_record_header(line)) {
     std::optional<ServeRequest> completed;
     if (state_ != State::kIdle) completed = complete();
@@ -361,6 +377,11 @@ void LatencyHistogram::record(double seconds) {
   }
   ++buckets_[idx];
   ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
 }
 
 double LatencyHistogram::percentile(double p) const {

@@ -143,6 +143,7 @@ class RecordParser {
   ServeRequest current_;
   std::size_t requests_ = 0;
   std::size_t trees_ = 0;
+  bool hello_seen_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -181,6 +182,9 @@ std::string strip_timings(const std::string& results);
 class LatencyHistogram {
  public:
   void record(double seconds);
+  /// Adds every sample of `other` (shard summaries aggregate into one
+  /// server-wide histogram; buckets are identical by construction).
+  void merge(const LatencyHistogram& other);
   /// The upper bound of the bucket holding the p-th percentile sample
   /// (p in [0, 1]); 0 when empty.
   double percentile(double p) const;

@@ -168,13 +168,13 @@ class UpdateDpSolver : public Solver {
     return solve_with_cache(in, {}, nullptr);
   }
 
-  bool supports_incremental() const override { return true; }
+  SolverCaps caps() const override { return SolverCaps::kIncremental; }
 
-  Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> deltas,
-                             SolveSession& session) const override {
-    session.check_topology(in.topology);
-    return solve_with_cache(in, deltas, &session);
+  Solution solve(const SolveRequest& request) const override {
+    if (request.session == nullptr) return solve(request.instance);
+    request.session->check_topology(request.instance.topology);
+    return solve_with_cache(request.instance, request.deltas,
+                            request.session);
   }
 
  private:
@@ -237,15 +237,16 @@ class PowerExactSolver : public Solver {
     return finish(in, std::move(r));
   }
 
-  bool supports_incremental() const override { return true; }
+  SolverCaps caps() const override { return SolverCaps::kIncremental; }
 
-  Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> deltas,
-                             SolveSession& session) const override {
+  Solution solve(const SolveRequest& request) const override {
+    const Instance& in = request.instance;
+    if (request.session == nullptr) return solve(in);
+    SolveSession& session = *request.session;
     session.check_topology(in.topology);
     PowerDPOptions opts = dp_options();
     opts.cache = &session.power_cache(name());
-    opts.deltas = deltas;
+    opts.deltas = request.deltas;
     PowerDPResult r = run_dp(in, opts);
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
                         r.stats.merge_steps, r.stats.signatures_checked,
@@ -292,15 +293,16 @@ class PowerSymmetricSolver : public Solver {
     return finish(in, std::move(r));
   }
 
-  bool supports_incremental() const override { return true; }
+  SolverCaps caps() const override { return SolverCaps::kIncremental; }
 
-  Solution solve_incremental(const Instance& in,
-                             std::span<const ScenarioDelta> deltas,
-                             SolveSession& session) const override {
+  Solution solve(const SolveRequest& request) const override {
+    const Instance& in = request.instance;
+    if (request.session == nullptr) return solve(in);
+    SolveSession& session = *request.session;
     session.check_topology(in.topology);
     PowerDPOptions opts = dp_options();
     opts.cache = &session.power_cache(name());
-    opts.deltas = deltas;
+    opts.deltas = request.deltas;
     PowerDPResult r = run_dp(in, opts);
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
                         r.stats.merge_steps, r.stats.signatures_checked,

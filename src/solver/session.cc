@@ -1,10 +1,14 @@
 #include "solver/session.h"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/dp_snapshot.h"
 #include "solver/solver.h"
+#include "support/binio.h"
 #include "support/check.h"
 
 namespace treeplace {
@@ -193,14 +197,114 @@ void SolveSession::enforce_budget() {
   bytes_resident_.store(total);
 }
 
-// The correct-by-construction fallback for strategies without warm-start
-// support: a plain cold solve, recorded as such on the session.  Defined
-// here so solver.h stays free of the session's definition.
+void SolveSession::save(binio::Writer& w) {
+  std::scoped_lock solve_lock(solve_mutex_);
+  // Snapshot the cache pointers under the map lock, then write in sorted
+  // name order so identical sessions serialize to identical bytes
+  // (unordered_map iteration order is not stable).
+  std::vector<std::pair<std::string, dp::PowerSubtreeCache*>> power;
+  std::vector<std::pair<std::string, dp::MinCostSubtreeCache*>> min_cost;
+  {
+    std::scoped_lock lock(caches_mutex_);
+    for (auto& [key, cache] : power_caches_) {
+      if (cache->size() > 0) power.emplace_back(key, cache.get());
+    }
+    for (auto& [key, cache] : min_cost_caches_) {
+      if (cache->size() > 0) min_cost.emplace_back(key, cache.get());
+    }
+  }
+  std::sort(power.begin(), power.end());
+  std::sort(min_cost.begin(), min_cost.end());
+
+  w.raw(dp::kSnapshotMagic, 8);
+  w.u32(dp::kSnapshotVersion);
+  w.u64(topology_->structural_hash());
+  w.u64(topology_->num_internal());
+  w.u32(static_cast<std::uint32_t>(power.size()));
+  for (auto& [name, cache] : power) {
+    w.str(name);
+    dp::save_cache(w, *cache);
+  }
+  w.u32(static_cast<std::uint32_t>(min_cost.size()));
+  for (auto& [name, cache] : min_cost) {
+    w.str(name);
+    dp::save_cache(w, *cache);
+  }
+  w.write_crc();
+}
+
+void SolveSession::restore(binio::Reader& r) {
+  std::scoped_lock solve_lock(solve_mutex_);
+  char magic[8];
+  r.raw(magic, 8);
+  TREEPLACE_CHECK_MSG(std::memcmp(magic, dp::kSnapshotMagic, 8) == 0,
+                      "not a session snapshot (bad magic)");
+  const std::uint32_t version = r.u32();
+  TREEPLACE_CHECK_MSG(version == dp::kSnapshotVersion,
+                      "unsupported snapshot version " << version);
+  const std::uint64_t hash = r.u64();
+  TREEPLACE_CHECK_MSG(hash == topology_->structural_hash(),
+                      "snapshot was saved for a different topology");
+  const std::uint64_t n = r.u64();
+  TREEPLACE_CHECK_MSG(n == topology_->num_internal(),
+                      "snapshot internal-node count mismatch");
+
+  // Parse into fresh caches; they replace the session's only after the
+  // CRC trailer verifies, so a bad file can never half-restore.
+  constexpr std::uint32_t kMaxCaches = 1024;
+  std::vector<std::pair<std::string, std::unique_ptr<dp::PowerSubtreeCache>>>
+      power;
+  std::vector<std::pair<std::string, std::unique_ptr<dp::MinCostSubtreeCache>>>
+      min_cost;
+  const std::uint32_t num_power = r.u32();
+  TREEPLACE_CHECK_MSG(num_power <= kMaxCaches, "snapshot cache count bogus");
+  for (std::uint32_t c = 0; c < num_power; ++c) {
+    std::string name = r.str(256);
+    auto cache = std::make_unique<dp::PowerSubtreeCache>();
+    dp::load_cache(r, topology_.get(), *cache);
+    power.emplace_back(std::move(name), std::move(cache));
+  }
+  const std::uint32_t num_min_cost = r.u32();
+  TREEPLACE_CHECK_MSG(num_min_cost <= kMaxCaches,
+                      "snapshot cache count bogus");
+  for (std::uint32_t c = 0; c < num_min_cost; ++c) {
+    std::string name = r.str(256);
+    auto cache = std::make_unique<dp::MinCostSubtreeCache>();
+    dp::load_cache(r, topology_.get(), *cache);
+    min_cost.emplace_back(std::move(name), std::move(cache));
+  }
+  r.verify_crc();
+
+  std::scoped_lock lock(caches_mutex_);
+  for (auto& [name, cache] : power) {
+    power_caches_[name] = std::move(cache);
+  }
+  for (auto& [name, cache] : min_cost) {
+    min_cost_caches_[name] = std::move(cache);
+  }
+}
+
+// Base implementations of the unified entry point and its deprecated
+// alias; defined here so solver.h stays free of the session's definition.
+// They forward to each other through the virtual dispatch so both call
+// styles reach whichever one a strategy actually overrides: pre-redesign
+// solvers override solve_incremental() (reached via the unified base),
+// in-tree solvers override solve(const SolveRequest&) (reached via the
+// legacy base).  A strategy advertising kIncremental must override one of
+// the two.
+Solution Solver::solve(const SolveRequest& request) const {
+  if (request.session != nullptr && supports_incremental()) {
+    return solve_incremental(request.instance, request.deltas,
+                             *request.session);
+  }
+  if (request.session != nullptr) request.session->record_cold();
+  return solve(request.instance);
+}
+
 Solution Solver::solve_incremental(const Instance& instance,
-                                   std::span<const ScenarioDelta> /*deltas*/,
+                                   std::span<const ScenarioDelta> deltas,
                                    SolveSession& session) const {
-  session.record_cold();
-  return solve(instance);
+  return solve(SolveRequest{instance, deltas, &session});
 }
 
 }  // namespace treeplace

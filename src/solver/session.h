@@ -38,6 +38,11 @@
 
 namespace treeplace {
 
+namespace binio {
+class Writer;
+class Reader;
+}  // namespace binio
+
 class SolveSession {
  public:
   struct Options {
@@ -109,6 +114,21 @@ class SolveSession {
                    std::uint64_t cells_skipped);
   /// Called by the base-class cold fallback.
   void record_cold();
+
+  /// Serializes every per-engine cache to `w`: magic + format version +
+  /// topology structural hash, each cache's full warm-start state (see
+  /// the snapshot format notes in core/dp_cache.h), and a CRC32 trailer.
+  /// Takes solve_mutex() internally — call between solves, not from one.
+  /// Cache names are written in sorted order, so identical sessions
+  /// serialize to identical bytes.
+  void save(binio::Writer& w);
+
+  /// Restores the caches saved by save().  All-or-nothing: the record is
+  /// parsed into fresh caches and swapped in only after the CRC trailer
+  /// verifies; any truncation, corruption, wrong version, or topology
+  /// mismatch throws CheckError and leaves the session untouched (the
+  /// next solve simply runs cold).  Takes solve_mutex() internally.
+  void restore(binio::Reader& r);
 
  private:
   /// Sheds cached state until the byte budget holds: merge-tree snapshots

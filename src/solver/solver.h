@@ -23,6 +23,40 @@ namespace treeplace {
 
 class SolveSession;  // solver/session.h
 
+/// Capability bits a strategy advertises through Solver::caps().  Replaces
+/// the per-capability virtual-probe scatter (supports_incremental() & co):
+/// generic consumers test bits, new capabilities add bits instead of
+/// virtuals.
+enum class SolverCaps : std::uint32_t {
+  kNone = 0,
+  /// solve() with a session actually reuses SolveSession DP state (a
+  /// solver without this bit degrades to a recorded cold solve).
+  kIncremental = 1u << 0,
+};
+
+inline constexpr SolverCaps operator|(SolverCaps a, SolverCaps b) {
+  return static_cast<SolverCaps>(static_cast<std::uint32_t>(a) |
+                                 static_cast<std::uint32_t>(b));
+}
+inline constexpr SolverCaps operator&(SolverCaps a, SolverCaps b) {
+  return static_cast<SolverCaps>(static_cast<std::uint32_t>(a) &
+                                 static_cast<std::uint32_t>(b));
+}
+inline constexpr bool any(SolverCaps c) { return c != SolverCaps::kNone; }
+
+/// The unified solve entry point's argument: an instance, optionally
+/// paired with a persistent session and the scenario edits since that
+/// session's previous solve.  `deltas` without `session` is meaningless
+/// and ignored; `session` without `deltas` selects the full signature
+/// sweep (always correct).  The delta-span contract is the one documented
+/// on the legacy solve_incremental(): a non-empty span must name *every*
+/// edit since the session's previous solve.
+struct SolveRequest {
+  const Instance& instance;
+  std::span<const ScenarioDelta> deltas = {};
+  SolveSession* session = nullptr;
+};
+
 /// What a solver optimizes.  Min-count solvers (GR) are classified as
 /// kMinCost: replica count is the dominant term of the Eq. 2 cost.
 enum class Objective {
@@ -104,25 +138,42 @@ class Solver {
   /// Solves `instance`.  Must be thread-safe (const, no mutable state).
   virtual Solution solve(const Instance& instance) const = 0;
 
-  /// True when solve_incremental() actually reuses SolveSession DP state;
-  /// false means the base-class cold-solve fallback runs.  Callers use
-  /// this to skip session bookkeeping for oblivious strategies.
-  virtual bool supports_incremental() const { return false; }
+  /// The unified entry point: solves request.instance, reusing (and
+  /// updating) request.session's DP caches when the strategy advertises
+  /// SolverCaps::kIncremental.  Results are bit-identical to
+  /// solve(request.instance) either way; only the work shrinks.  With a
+  /// session the caller must hold request.session->solve_mutex() across
+  /// the call (SolveDispatcher does); without one this is a plain
+  /// thread-safe cold solve.  The base implementation routes to the
+  /// legacy solve_incremental() so pre-redesign out-of-tree solvers keep
+  /// working; in-tree strategies override this directly.
+  virtual Solution solve(const SolveRequest& request) const;
 
-  /// Delta-aware re-solve against a persistent session (solver/session.h).
-  /// `deltas` lists the scenario edits since the session's previous solve.
-  /// A non-empty span is a soft contract: it must name *every* edit since
-  /// that solve — relative to the previously solved scenario, or to a
-  /// common base scenario both solves' spans fork from (the serving
-  /// loop's pattern).  Small complete spans let the engines skip the O(N)
-  /// per-node signature sweep and check only the touched root paths (see
-  /// core/dp_cache.h); callers that cannot promise completeness pass an
-  /// empty span, which always selects the full signature diff — so the
-  /// no-hint path keeps the old unconditional safety.  Results are
-  /// bit-identical to solve() on the same instance either way.  The
-  /// caller must serialize calls sharing one session (hold
-  /// session.solve_mutex()).  The base implementation is a correct
-  /// cold-solve fallback.
+  /// Capability bits (see SolverCaps).  The default advertises nothing;
+  /// strategies with warm-start support return kIncremental.  A solver
+  /// advertising kIncremental must override solve(const SolveRequest&) or
+  /// the legacy solve_incremental() — the two base implementations
+  /// forward to each other.
+  virtual SolverCaps caps() const { return SolverCaps::kNone; }
+
+  /// Deprecated probe, kept as a thin forwarder over caps() so existing
+  /// callers and out-of-tree overriders compile unchanged.  New code
+  /// tests `any(caps() & SolverCaps::kIncremental)`.
+  virtual bool supports_incremental() const {
+    return any(caps() & SolverCaps::kIncremental);
+  }
+
+  /// Deprecated entry point, kept so out-of-tree incremental solvers (and
+  /// their callers) compile unchanged; new code passes a SolveRequest to
+  /// solve().  The delta-span contract: a non-empty span must name
+  /// *every* edit since the session's previous solve — relative to the
+  /// previously solved scenario, or to a common base scenario both
+  /// solves' spans fork from (the serving loop's pattern).  Small
+  /// complete spans let the engines skip the O(N) per-node signature
+  /// sweep (see core/dp_cache.h); an empty span always selects the full
+  /// signature diff.  The caller must serialize calls sharing one session
+  /// (hold session.solve_mutex()).  The base implementation forwards to
+  /// the unified solve().
   virtual Solution solve_incremental(const Instance& instance,
                                      std::span<const ScenarioDelta> deltas,
                                      SolveSession& session) const;

@@ -1,0 +1,121 @@
+#include "support/binio.h"
+
+#include <array>
+
+namespace treeplace::binio {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Writer::put(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  TREEPLACE_CHECK_MSG(out_.good(), "snapshot write failed after "
+                                       << bytes_ << " bytes");
+  crc_ = crc32_update(crc_, data, size);
+  bytes_ += size;
+}
+
+void Writer::scalar(std::uint64_t v, int bytes) {
+  unsigned char buf[8];
+  for (int i = 0; i < bytes; ++i) {
+    buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  put(buf, static_cast<std::size_t>(bytes));
+}
+
+void Writer::str(std::string_view s) {
+  TREEPLACE_CHECK_MSG(s.size() <= UINT32_MAX, "string too long to snapshot");
+  u32(static_cast<std::uint32_t>(s.size()));
+  if (!s.empty()) put(s.data(), s.size());
+}
+
+void Writer::write_crc() {
+  const std::uint32_t trailer = crc_;
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<unsigned char>(trailer >> (8 * i));
+  }
+  out_.write(reinterpret_cast<const char*>(buf), 4);
+  TREEPLACE_CHECK_MSG(out_.good(), "snapshot write failed (crc trailer)");
+  bytes_ += 4;
+  crc_ = 0;
+}
+
+void Reader::get(void* out, std::size_t size) {
+  TREEPLACE_CHECK_MSG(size <= remaining_bytes(),
+                      "snapshot truncated at byte " << bytes_);
+  in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
+  TREEPLACE_CHECK_MSG(static_cast<std::size_t>(in_.gcount()) == size,
+                      "snapshot truncated at byte " << bytes_);
+  crc_ = crc32_update(crc_, out, size);
+  bytes_ += size;
+}
+
+std::uint8_t Reader::u8() {
+  std::uint8_t v = 0;
+  get(&v, 1);
+  return v;
+}
+
+std::uint64_t Reader::scalar(int bytes) {
+  unsigned char buf[8];
+  get(buf, static_cast<std::size_t>(bytes));
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string Reader::str(std::size_t max_size) {
+  const std::uint32_t size = u32();
+  TREEPLACE_CHECK_MSG(size <= max_size,
+                      "snapshot string length " << size << " exceeds limit");
+  std::string s(size, '\0');
+  if (size > 0) get(s.data(), size);
+  return s;
+}
+
+void Reader::verify_crc() {
+  const std::uint32_t expected = crc_;
+  TREEPLACE_CHECK_MSG(remaining_bytes() >= 4,
+                      "snapshot truncated (crc trailer)");
+  unsigned char buf[4];
+  in_.read(reinterpret_cast<char*>(buf), 4);
+  TREEPLACE_CHECK_MSG(in_.gcount() == 4, "snapshot truncated (crc trailer)");
+  bytes_ += 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  }
+  TREEPLACE_CHECK_MSG(stored == expected,
+                      "snapshot CRC mismatch (file corrupted)");
+  crc_ = 0;
+}
+
+}  // namespace treeplace::binio

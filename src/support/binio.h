@@ -1,0 +1,111 @@
+// Endian-stable binary record I/O for on-disk snapshots.
+//
+// The snapshot format (core/dp_snapshot.h) must round-trip bit-identically
+// across machines, so every scalar is written little-endian byte-by-byte —
+// never memcpy'd in host order — and both ends keep a running CRC32 over
+// the payload so truncated or corrupted files are rejected as a whole
+// (Reader::verify_crc) instead of half-restored.  All read-side failures
+// (short reads, length-prefix overflow, CRC mismatch) throw CheckError,
+// which restore paths catch to fall back to a cold start.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "support/check.h"
+
+namespace treeplace::binio {
+
+/// CRC32 (the zlib/IEEE polynomial) of `data`, continuing from `crc`.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+/// Little-endian scalar writer with a running CRC over everything written
+/// since construction (or the last write_crc()).
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u32(std::uint32_t v) { scalar(v, 4); }
+  void u64(std::uint64_t v) { scalar(v, 8); }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i32(std::int32_t v) { scalar(static_cast<std::uint32_t>(v), 4); }
+  void i64(std::int64_t v) { scalar(static_cast<std::uint64_t>(v), 8); }
+
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view s);
+
+  /// Raw bytes, CRC'd but not length-prefixed (for magic headers).
+  void raw(const void* data, std::size_t size) { put(data, size); }
+
+  std::uint32_t crc() const { return crc_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+  /// Appends the running CRC as a u32 trailer and resets it.  The trailer
+  /// itself is excluded from the CRC, mirroring Reader::verify_crc().
+  void write_crc();
+
+ private:
+  void put(const void* data, std::size_t size);
+  void scalar(std::uint64_t v, int bytes);
+
+  std::ostream& out_;
+  std::uint32_t crc_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Little-endian scalar reader; throws CheckError on truncation.  Keeps
+/// the same running CRC as the Writer so verify_crc() can check the
+/// trailer.  `limit_bytes` caps the total bytes the reader will consume —
+/// pass the file size so a corrupted length prefix is rejected as
+/// truncation *before* anything tries to allocate for it
+/// (remaining_bytes() is the allocation bound container reads check).
+class Reader {
+ public:
+  explicit Reader(std::istream& in,
+                  std::uint64_t limit_bytes = UINT64_MAX)
+      : in_(in), limit_(limit_bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32() { return static_cast<std::uint32_t>(scalar(4)); }
+  std::uint64_t u64() { return scalar(8); }
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Length-prefixed byte string; `max_size` guards against hostile
+  /// length prefixes allocating unbounded memory.
+  std::string str(std::size_t max_size = 1 << 20);
+
+  /// Raw bytes into `out`, CRC'd; throws on short read.
+  void raw(void* out, std::size_t size) { get(out, size); }
+
+  std::uint32_t crc() const { return crc_; }
+  std::uint64_t bytes_read() const { return bytes_; }
+  /// Bytes left under the construction-time limit; UINT64_MAX-ish when no
+  /// limit was given.  Deserializers bound container sizes by this before
+  /// allocating.
+  std::uint64_t remaining_bytes() const { return limit_ - bytes_; }
+
+  /// Reads the u32 CRC trailer and checks it against the running CRC of
+  /// everything read so far; throws CheckError on mismatch, then resets
+  /// the running CRC.
+  void verify_crc();
+
+ private:
+  void get(void* out, std::size_t size);
+  std::uint64_t scalar(int bytes);
+
+  std::istream& in_;
+  std::uint64_t limit_;
+  std::uint32_t crc_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace treeplace::binio

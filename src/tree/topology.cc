@@ -75,6 +75,24 @@ void Topology::finalize() {
   }
   TREEPLACE_CHECK_MSG(post_order_.size() == internal_ids_.size(),
                       "tree is not connected");
+
+  // Structural fingerprint: FNV-1a over (kind, parent) in id order.  Node
+  // ids are assigned in insertion order, so two trees hash equal iff they
+  // were built from the same node sequence — the identity snapshots key on.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    mix(static_cast<std::uint64_t>(kind_[i]));
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(parent_[i])));
+  }
+  structural_hash_ = h;
 }
 
 }  // namespace treeplace

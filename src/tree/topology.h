@@ -102,6 +102,12 @@ class Topology {
   /// of `id` itself).
   bool is_ancestor_or_self(NodeId ancestor, NodeId id) const;
 
+  /// Stable 64-bit hash of the tree structure (node kinds + parent links),
+  /// identical across processes and machines for identical trees.  Session
+  /// snapshots (core/dp_snapshot.h) store it so a restore against a
+  /// different topology is rejected instead of splicing mismatched tables.
+  std::uint64_t structural_hash() const { return structural_hash_; }
+
  private:
   friend class TreeBuilder;
 
@@ -124,6 +130,7 @@ class Topology {
   std::vector<NodeId> client_ids_;
   std::vector<std::int32_t> internal_index_;
   std::vector<NodeId> post_order_;
+  std::uint64_t structural_hash_ = 0;
 };
 
 }  // namespace treeplace

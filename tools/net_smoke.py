@@ -10,7 +10,13 @@ three scenario deltas and asserting its bytes are ordered and
 bit-identical (timings stripped) to the stream-mode reference.  Finally
 SIGTERMs the server and asserts a graceful exit with a flushed summary.
 
-Usage: tools/net_smoke.py [--binary build/treeplace]
+With --shards > 1 the server runs the sharded router and, after the main
+connection sweep, the test SIGUSR1s the server to kill one shard and
+asserts the survivors keep serving bit-identical results (one retry per
+connection tolerates the drain window) and that the summary reports
+exactly one killed shard.
+
+Usage: tools/net_smoke.py [--binary build/treeplace] [--shards 1]
                           [--connections 200] [--concurrency 8]
 """
 
@@ -21,6 +27,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 
 # The serve-test topology: internal nodes 0/1/2/6, clients 3/4/5/7.
 TREE = """treeplace-tree v1
@@ -70,32 +77,44 @@ def stream_reference(binary: str) -> str:
     return strip_timings(results)
 
 
-def one_connection(port: int, reference: str, failures: list, lock) -> None:
-    try:
-        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
-            s.sendall(STREAM.encode())
-            s.shutdown(socket.SHUT_WR)
-            chunks = []
-            while True:
-                chunk = s.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-        received = strip_timings(b"".join(chunks).decode())
-        if received != reference:
-            with lock:
-                failures.append(
-                    "mismatch:\n--- got ---\n%s--- want ---\n%s"
-                    % (received, reference)
-                )
-    except OSError as err:
-        with lock:
-            failures.append("connection failed: %s" % err)
+def one_connection(
+    port: int, reference: str, failures: list, lock, retries: int = 0
+) -> None:
+    # retries > 0 tolerates the shard-kill drain window: a connection the
+    # router handed to the dying shard is closed unserved, and its retry
+    # must land on a survivor.
+    for attempt in range(retries + 1):
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=30
+            ) as s:
+                s.sendall(STREAM.encode())
+                s.shutdown(socket.SHUT_WR)
+                chunks = []
+                while True:
+                    chunk = s.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            received = strip_timings(b"".join(chunks).decode())
+            if received == reference:
+                return
+            error = "mismatch:\n--- got ---\n%s--- want ---\n%s" % (
+                received,
+                reference,
+            )
+        except OSError as err:
+            error = "connection failed: %s" % err
+        if attempt < retries:
+            time.sleep(0.2)
+    with lock:
+        failures.append(error)
 
 
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--binary", default="build/treeplace")
+    ap.add_argument("--shards", type=int, default=1)
     ap.add_argument("--connections", type=int, default=200)
     ap.add_argument("--concurrency", type=int, default=8)
     args = ap.parse_args()
@@ -105,8 +124,11 @@ def main() -> int:
         print("smoke: stream-mode reference has no ok results:\n" + reference)
         return 1
 
+    serve_args = SERVE_ARGS + ["--listen", "127.0.0.1:0"]
+    if args.shards > 1:
+        serve_args += ["--shards", str(args.shards)]
     server = subprocess.Popen(
-        [args.binary] + SERVE_ARGS + ["--listen", "127.0.0.1:0"],
+        [args.binary] + serve_args,
         stdout=subprocess.PIPE,
     )
     try:
@@ -134,6 +156,28 @@ def main() -> int:
             for t in threads:
                 t.join()
             remaining -= batch
+
+        # Kill one shard between batches (no connections in flight) and
+        # assert the survivors keep serving bit-identical results.
+        kill_conns = 0
+        if args.shards > 1 and not failures:
+            server.send_signal(signal.SIGUSR1)
+            time.sleep(0.5)  # let the shard drain and leave the ring
+            remaining = kill_conns = 2 * args.concurrency
+            while remaining > 0 and not failures:
+                batch = min(args.concurrency, remaining)
+                threads = [
+                    threading.Thread(
+                        target=one_connection,
+                        args=(port, reference, failures, lock, 1),
+                    )
+                    for _ in range(batch)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                remaining -= batch
     finally:
         server.send_signal(signal.SIGTERM)
         tail = server.stdout.read().decode()
@@ -150,12 +194,27 @@ def main() -> int:
     if "# serve:" not in tail:
         print("smoke: no summary block after SIGTERM drain:\n" + tail)
         return 1
-    served = args.connections * 4  # 4 records per connection
-    if ("%d requests" % served) not in tail:
-        print("smoke: summary does not report %d requests:\n%s" % (served, tail))
+    served = (args.connections + kill_conns) * 4  # 4 records per connection
+    match = re.search(r"# serve: (\d+) requests", tail)
+    if not match:
+        print("smoke: no '# serve: N requests' line in summary:\n" + tail)
         return 1
-    print("smoke: %d connections (%d concurrent), all bit-identical to "
-          "stream mode; graceful drain ok" % (args.connections, args.concurrency))
+    # Retried connections may leave extra requests behind on the drained
+    # shard, so the aggregate is a floor, not an exact count.
+    if int(match.group(1)) < served:
+        print("smoke: summary reports %s requests, want >= %d:\n%s"
+              % (match.group(1), served, tail))
+        return 1
+    if args.shards > 1:
+        killed = sum(int(k) for k in re.findall(r" killed=(\d+)", tail))
+        if killed != 1:
+            print("smoke: summary reports %d killed shards, want 1:\n%s"
+                  % (killed, tail))
+            return 1
+    print("smoke: %d connections (%d concurrent, %d shard%s), all "
+          "bit-identical to stream mode; graceful drain ok"
+          % (args.connections + kill_conns, args.concurrency, args.shards,
+             "" if args.shards == 1 else "s"))
     return 0
 
 

@@ -89,6 +89,14 @@ constexpr int kExitUsage = 2;
       "               --max-conns N      connection cap (default 4096)\n"
       "               --idle-timeout S   reap idle connections after S\n"
       "                                  seconds (0 = never, default 300)\n"
+      "               --shards K         independent serving shards behind\n"
+      "                                  the router (default 1); a hello\n"
+      "                                  name= pins a client to its shard\n"
+      "                                  by consistent hashing; SIGUSR1\n"
+      "                                  drains one shard (round-robin)\n"
+      "               --persist DIR      snapshot named sessions to DIR at\n"
+      "                                  shard drain and restore them when\n"
+      "                                  the name republishes its trees\n"
       "  list-algos   same as solve --list-algos\n"
       "  validate     check a placement --capacity W --servers id,id,...\n"
       "  stats        structural metrics of the tree on stdin\n"
@@ -382,6 +390,11 @@ extern "C" void handle_drain_signal(int) {
   if (g_net_server != nullptr) g_net_server->shutdown();
 }
 
+extern "C" void handle_kill_shard_signal(int) {
+  // kill_next_shard() is async-signal-safe too (atomics + write()).
+  if (g_net_server != nullptr) g_net_server->kill_next_shard();
+}
+
 /// Thousands of connections need thousands of fds; lift the soft limit to
 /// the hard limit (best-effort).
 void raise_nofile_limit() {
@@ -404,6 +417,8 @@ int cmd_serve_net(const Args& args, serve::StreamServerConfig stream_config) {
   config.port = static_cast<std::uint16_t>(port);
   config.max_conns = get_count(args, "max-conns", 4096, 1);
   config.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+  config.shards = get_count(args, "shards", 1, 1);
+  config.persist_dir = args.get("persist", "");
   config.stream = std::move(stream_config);
 
   raise_nofile_limit();
@@ -416,9 +431,11 @@ int cmd_serve_net(const Args& args, serve::StreamServerConfig stream_config) {
   g_net_server = &server;
   std::signal(SIGTERM, handle_drain_signal);
   std::signal(SIGINT, handle_drain_signal);
+  std::signal(SIGUSR1, handle_kill_shard_signal);
   const serve::NetServerSummary summary = server.run(std::cout);
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGUSR1, SIG_DFL);
   g_net_server = nullptr;
 
   if (summary.errors > 0 || summary.protocol_errors > 0) return kExitUsage;
