@@ -247,8 +247,10 @@ int main(int argc, char** argv) {
   // Asymptotics: the single-client-delta work ratio falls as trees grow —
   // a delta dirties one root path, and the clean sibling subtrees it
   // skips are a growing share of the total DP work.  update-dp's near-
-  // uniform per-node tables show the effect most cleanly.
-  for (const int n : {30, 60, 120, 240}) {
+  // uniform per-node tables show the effect most cleanly.  The 480-node
+  // row is the large-N regime the aggregation path serves (a 10^5-user
+  // skew tree collapses to a few hundred aggregate clients).
+  for (const int n : {30, 60, 120, 240, 480}) {
     const Config config{"update-dp", n, true};
     run_row(config, DeltaSize{"delta_1_N" + std::to_string(n), 1});
   }

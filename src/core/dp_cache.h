@@ -107,6 +107,19 @@ void release_arena_tables(std::vector<ArenaTable<T>>& v,
   v.shrink_to_fit();
 }
 
+inline std::size_t packed_tables_bytes(const std::vector<PackedTable>& v) {
+  std::size_t total = vector_bytes(v);
+  for (const PackedTable& t : v) total += t.heap_bytes();
+  return total;
+}
+
+inline std::size_t packed_decisions_bytes(
+    const std::vector<PackedDecisions>& v) {
+  std::size_t total = vector_bytes(v);
+  for (const PackedDecisions& t : v) total += t.heap_bytes();
+  return total;
+}
+
 }  // namespace detail
 
 /// Per-node state of the power DPs (exact and symmetric share the shape):
@@ -129,6 +142,81 @@ struct PowerNodeState {
   std::vector<Box> slot_boxes;
   std::vector<ArenaTable<RequestCount>> slot_flows;
 
+  /// Lossless compaction: flow tables move into PackedTable encodings,
+  /// decision tables into PackedDecisions, and their arena blocks are
+  /// returned.  Boxes and bounds stay unpacked (cheap, and the dirtiness
+  /// planner reads them).  Engines call SubtreeCache::ensure_unpacked
+  /// before reading or rebuilding a node — including reconstruction,
+  /// which walks decisions.  Packing commits per node only when the
+  /// encoding is actually smaller than the arena blocks it frees — tiny
+  /// tables (one-cell leaf slots) stay arena-backed rather than paying
+  /// the per-encoding bookkeeping, so compact() never grows a node.
+  bool packed = false;
+  PackedTable packed_flow;
+  std::vector<PackedTable> packed_slot_flows;
+  std::vector<PackedDecisions> packed_slot_decisions;
+
+  void pack(TableArena& arena) {
+    if (packed) return;
+    PackedTable pf = PackedTable::pack(flow.span());
+    std::vector<PackedTable> psf(slot_flows.size());
+    for (std::size_t k = 0; k < slot_flows.size(); ++k) {
+      psf[k] = PackedTable::pack(slot_flows[k].span());
+    }
+    std::vector<PackedDecisions> psd(slot_decisions.size());
+    for (std::size_t k = 0; k < slot_decisions.size(); ++k) {
+      // Elide dead cells behind the slot flow's validity runs when the
+      // companion table is still resident (it is not after snapshots were
+      // shed); dense otherwise.
+      if (k < slot_flows.size() &&
+          slot_flows[k].size() == slot_decisions[k].size()) {
+        psd[k] = PackedDecisions::pack(slot_decisions[k].span(),
+                                       slot_flows[k].span());
+      } else {
+        psd[k] = PackedDecisions::pack(slot_decisions[k].span());
+      }
+    }
+    std::size_t unpacked_bytes = flow.capacity_bytes();
+    for (const auto& t : slot_flows) unpacked_bytes += t.capacity_bytes();
+    for (const auto& t : slot_decisions) unpacked_bytes += t.capacity_bytes();
+    std::size_t packed_bytes = pf.heap_bytes() +
+                               detail::vector_bytes(psf) +
+                               detail::vector_bytes(psd);
+    for (const auto& p : psf) packed_bytes += p.heap_bytes();
+    for (const auto& p : psd) packed_bytes += p.heap_bytes();
+    if (packed_bytes >= unpacked_bytes) return;
+    packed_flow = std::move(pf);
+    flow.clear(arena);
+    packed_slot_flows = std::move(psf);
+    for (auto& t : slot_flows) t.clear(arena);
+    packed_slot_decisions = std::move(psd);
+    for (auto& t : slot_decisions) t.clear(arena);
+    packed = true;
+  }
+
+  void unpack(TableArena& arena) {
+    if (!packed) return;
+    flow.resize_uninit(arena, packed_flow.cells());
+    packed_flow.unpack(flow.span());
+    packed_flow.clear();
+    TREEPLACE_DCHECK(slot_flows.size() == packed_slot_flows.size());
+    for (std::size_t k = 0; k < packed_slot_flows.size(); ++k) {
+      slot_flows[k].resize_uninit(arena, packed_slot_flows[k].cells());
+      packed_slot_flows[k].unpack(slot_flows[k].span());
+    }
+    packed_slot_flows.clear();
+    packed_slot_flows.shrink_to_fit();
+    TREEPLACE_DCHECK(slot_decisions.size() == packed_slot_decisions.size());
+    for (std::size_t k = 0; k < packed_slot_decisions.size(); ++k) {
+      slot_decisions[k].resize_uninit(arena,
+                                      packed_slot_decisions[k].cells());
+      packed_slot_decisions[k].unpack(slot_decisions[k].span());
+    }
+    packed_slot_decisions.clear();
+    packed_slot_decisions.shrink_to_fit();
+    packed = false;
+  }
+
   /// Frees the merge-tree snapshots (slot boxes/flows), keeping the final
   /// table and decisions: the node can still be spliced in whole while
   /// clean, but a dirty re-solve falls back to a full rebuild.
@@ -136,12 +224,18 @@ struct PowerNodeState {
     slot_boxes.clear();
     slot_boxes.shrink_to_fit();
     detail::release_arena_tables(slot_flows, arena);
+    packed_slot_flows.clear();
+    packed_slot_flows.shrink_to_fit();
   }
 
   /// Returns every arena block and resets the state to empty.
   void release(TableArena& arena) noexcept {
     drop_snapshots(arena);
     flow.clear(arena);
+    packed_flow.clear();
+    packed_slot_decisions.clear();
+    packed_slot_decisions.shrink_to_fit();
+    packed = false;
     detail::release_arena_tables(slot_decisions, arena);
     box = Box();
     incl_bounds.clear();
@@ -153,12 +247,14 @@ struct PowerNodeState {
     for (const Box& b : slot_boxes) {
       total += detail::vector_bytes(b.bounds()) + b.dims() * sizeof(size_t);
     }
-    return total + detail::arena_tables_bytes(slot_flows);
+    return total + detail::arena_tables_bytes(slot_flows) +
+           detail::packed_tables_bytes(packed_slot_flows);
   }
   std::size_t total_bytes() const {
     return snapshot_bytes() + flow.capacity_bytes() +
-           detail::vector_bytes(incl_bounds) +
-           detail::arena_tables_bytes(slot_decisions);
+           packed_flow.heap_bytes() + detail::vector_bytes(incl_bounds) +
+           detail::arena_tables_bytes(slot_decisions) +
+           detail::packed_decisions_bytes(packed_slot_decisions);
   }
 };
 
@@ -180,13 +276,87 @@ struct MinCostNodeState {
   std::vector<int> slot_nb;
   std::vector<ArenaTable<RequestCount>> slot_flows;  ///< cached solves only
 
+  /// Lossless compaction; see PowerNodeState::pack (same smaller-only
+  /// commit rule).
+  bool packed = false;
+  PackedTable packed_flow;
+  std::vector<PackedTable> packed_slot_flows;
+  std::vector<PackedDecisions> packed_slot_decisions;
+
+  void pack(TableArena& arena) {
+    if (packed) return;
+    PackedTable pf = PackedTable::pack(flow.span());
+    std::vector<PackedTable> psf(slot_flows.size());
+    for (std::size_t k = 0; k < slot_flows.size(); ++k) {
+      psf[k] = PackedTable::pack(slot_flows[k].span());
+    }
+    std::vector<PackedDecisions> psd(slot_decisions.size());
+    for (std::size_t k = 0; k < slot_decisions.size(); ++k) {
+      // Elide dead cells behind the slot flow's validity runs when the
+      // companion table is still resident (it is not after snapshots were
+      // shed); dense otherwise.
+      if (k < slot_flows.size() &&
+          slot_flows[k].size() == slot_decisions[k].size()) {
+        psd[k] = PackedDecisions::pack(slot_decisions[k].span(),
+                                       slot_flows[k].span());
+      } else {
+        psd[k] = PackedDecisions::pack(slot_decisions[k].span());
+      }
+    }
+    std::size_t unpacked_bytes = flow.capacity_bytes();
+    for (const auto& t : slot_flows) unpacked_bytes += t.capacity_bytes();
+    for (const auto& t : slot_decisions) unpacked_bytes += t.capacity_bytes();
+    std::size_t packed_bytes = pf.heap_bytes() +
+                               detail::vector_bytes(psf) +
+                               detail::vector_bytes(psd);
+    for (const auto& p : psf) packed_bytes += p.heap_bytes();
+    for (const auto& p : psd) packed_bytes += p.heap_bytes();
+    if (packed_bytes >= unpacked_bytes) return;
+    packed_flow = std::move(pf);
+    flow.clear(arena);
+    packed_slot_flows = std::move(psf);
+    for (auto& t : slot_flows) t.clear(arena);
+    packed_slot_decisions = std::move(psd);
+    for (auto& t : slot_decisions) t.clear(arena);
+    packed = true;
+  }
+
+  void unpack(TableArena& arena) {
+    if (!packed) return;
+    flow.resize_uninit(arena, packed_flow.cells());
+    packed_flow.unpack(flow.span());
+    packed_flow.clear();
+    TREEPLACE_DCHECK(slot_flows.size() == packed_slot_flows.size());
+    for (std::size_t k = 0; k < packed_slot_flows.size(); ++k) {
+      slot_flows[k].resize_uninit(arena, packed_slot_flows[k].cells());
+      packed_slot_flows[k].unpack(slot_flows[k].span());
+    }
+    packed_slot_flows.clear();
+    packed_slot_flows.shrink_to_fit();
+    TREEPLACE_DCHECK(slot_decisions.size() == packed_slot_decisions.size());
+    for (std::size_t k = 0; k < packed_slot_decisions.size(); ++k) {
+      slot_decisions[k].resize_uninit(arena,
+                                      packed_slot_decisions[k].cells());
+      packed_slot_decisions[k].unpack(slot_decisions[k].span());
+    }
+    packed_slot_decisions.clear();
+    packed_slot_decisions.shrink_to_fit();
+    packed = false;
+  }
+
   void drop_snapshots(TableArena& arena) noexcept {
     detail::release_arena_tables(slot_flows, arena);
+    packed_slot_flows.clear();
+    packed_slot_flows.shrink_to_fit();
   }
 
   void release(TableArena& arena) noexcept {
     drop_snapshots(arena);
     flow.clear(arena);
+    packed_flow.clear();
+    packed_slot_decisions.clear();
+    packed_slot_decisions.shrink_to_fit();
+    packed = false;
     detail::release_arena_tables(slot_decisions, arena);
     eb = 0;
     nb = 0;
@@ -197,12 +367,15 @@ struct MinCostNodeState {
   }
 
   std::size_t snapshot_bytes() const {
-    return detail::arena_tables_bytes(slot_flows);
+    return detail::arena_tables_bytes(slot_flows) +
+           detail::packed_tables_bytes(packed_slot_flows);
   }
   std::size_t total_bytes() const {
     return snapshot_bytes() + flow.capacity_bytes() +
-           detail::vector_bytes(slot_eb) + detail::vector_bytes(slot_nb) +
-           detail::arena_tables_bytes(slot_decisions);
+           packed_flow.heap_bytes() + detail::vector_bytes(slot_eb) +
+           detail::vector_bytes(slot_nb) +
+           detail::arena_tables_bytes(slot_decisions) +
+           detail::packed_decisions_bytes(packed_slot_decisions);
   }
 };
 
@@ -289,6 +462,25 @@ class SubtreeCache {
   }
   std::size_t state_bytes(std::size_t i) const {
     return states_[i].total_bytes();
+  }
+
+  /// Lossless compaction hooks (see NodeState::pack): engines call
+  /// ensure_unpacked before reading or rebuilding a node's tables;
+  /// SolveSession::compact packs every cached entry between solves.
+  void ensure_unpacked(std::size_t i) { states_[i].unpack(arena_); }
+  bool packed(std::size_t i) const { return states_[i].packed; }
+  void pack_entry(std::size_t i) {
+    if (valid_[i] != 0 || resumable_[i] != 0) states_[i].pack(arena_);
+  }
+  /// Packs every cached entry; returns how many moved to packed form.
+  std::size_t pack_all() {
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].packed) continue;
+      pack_entry(i);
+      if (states_[i].packed) ++moved;
+    }
+    return moved;
   }
 
   /// The touched-node hint of the previous planned solve (see the delta

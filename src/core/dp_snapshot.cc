@@ -13,43 +13,138 @@ namespace {
 constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 32;
 constexpr std::uint32_t kMaxSlots = 1u << 24;
 
+// Flow tables are serialized as PackedTable encodings (dead-cell runs
+// elided, cells at the narrowest width that holds the table's maximum) —
+// the on-disk twin of in-memory session compaction.  pack() is
+// deterministic, so a packed in-memory state (written verbatim) and an
+// unpacked one (packed on the fly) serialize to identical bytes.
+void write_packed_table(binio::Writer& w, const PackedTable& p) {
+  w.u64(p.cells());
+  w.u8(p.width());
+  w.u32(static_cast<std::uint32_t>(p.runs().size()));
+  for (const PackedTable::Run& run : p.runs()) {
+    w.u32(run.start);
+    w.u32(run.length);
+  }
+  w.raw(p.payload().data(), p.payload().size());
+}
+
+PackedTable read_packed_table(binio::Reader& r) {
+  // Bound every length prefix by both the DP cell cap and the bytes left
+  // in the file, so a corrupted prefix fails as truncation before it can
+  // allocate; from_parts() then validates the run structure itself.
+  const std::uint64_t cells = r.u64();
+  TREEPLACE_CHECK_MSG(cells <= kMaxCells, "snapshot flow table too large");
+  const std::uint8_t width = r.u8();
+  const std::uint32_t num_runs = r.u32();
+  TREEPLACE_CHECK_MSG(num_runs <= cells &&
+                          num_runs <= r.remaining_bytes() / 8,
+                      "snapshot flow table runs bogus");
+  std::vector<PackedTable::Run> runs(num_runs);
+  std::uint64_t covered = 0;
+  for (PackedTable::Run& run : runs) {
+    run.start = r.u32();
+    run.length = r.u32();
+    covered += run.length;
+  }
+  TREEPLACE_CHECK_MSG(width != 0 && covered <= cells &&
+                          covered * width <= r.remaining_bytes(),
+                      "snapshot flow table payload bogus");
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(covered * width));
+  r.raw(payload.data(), payload.size());
+  return PackedTable::from_parts(cells, width, std::move(runs),
+                                 std::move(payload));
+}
+
 void write_flow_table(binio::Writer& w, const ArenaTable<RequestCount>& t) {
-  w.u64(t.size());
-  for (const RequestCount v : t.span()) w.u64(v);
+  write_packed_table(w, PackedTable::pack(t.span()));
 }
 
 void read_flow_table(binio::Reader& r, TableArena& arena,
                      ArenaTable<RequestCount>& t) {
-  const std::uint64_t n = r.u64();
-  // Bound by both the DP cell cap and the bytes left in the file, so a
-  // corrupted length prefix fails as truncation before it can allocate.
-  TREEPLACE_CHECK_MSG(n <= kMaxCells && n <= r.remaining_bytes() / 8,
-                      "snapshot flow table too large");
-  t.resize_uninit(arena, static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < t.size(); ++i) t[i] = r.u64();
+  const PackedTable p = read_packed_table(r);
+  t.resize_uninit(arena, static_cast<std::size_t>(p.cells()));
+  p.unpack(t.span());
 }
 
-void write_decision_table(binio::Writer& w, const ArenaTable<Decision>& t) {
-  w.u64(t.size());
-  for (const Decision& d : t.span()) {
-    w.u32(d.left);
-    w.u32(d.right);
-    w.i8(d.mode);
+// Decision tables travel in the PackedDecisions narrow encoding (operand
+// flats at 1/2/4 bytes instead of padded u32 pairs); like flow tables,
+// deterministic pack keeps the bytes identical whether the in-memory
+// state was packed or not.
+void write_packed_decisions(binio::Writer& w, const PackedDecisions& p) {
+  w.u64(p.cells());
+  w.u8(p.elided() ? 1 : 0);
+  w.u8(p.left_width());
+  w.u8(p.right_width());
+  w.u32(static_cast<std::uint32_t>(p.runs().size()));
+  for (const PackedTable::Run& run : p.runs()) {
+    w.u32(run.start);
+    w.u32(run.length);
+  }
+  w.raw(p.payload().data(), p.payload().size());
+}
+
+PackedDecisions read_packed_decisions(binio::Reader& r) {
+  const std::uint64_t cells = r.u64();
+  TREEPLACE_CHECK_MSG(cells <= kMaxCells,
+                      "snapshot decision table too large");
+  const std::uint8_t elided = r.u8();
+  const std::uint8_t left_width = r.u8();
+  const std::uint8_t right_width = r.u8();
+  const std::uint32_t num_runs = r.u32();
+  TREEPLACE_CHECK_MSG(num_runs <= cells &&
+                          num_runs <= r.remaining_bytes() / 8,
+                      "snapshot decision table runs bogus");
+  std::vector<PackedTable::Run> runs(num_runs);
+  std::uint64_t covered = 0;
+  for (PackedTable::Run& run : runs) {
+    run.start = r.u32();
+    run.length = r.u32();
+    covered += run.length;
+  }
+  if (elided == 0) covered = cells;
+  const std::uint64_t bytes =
+      covered * (left_width + right_width + std::uint64_t{1});
+  TREEPLACE_CHECK_MSG(covered <= cells && bytes <= r.remaining_bytes(),
+                      "snapshot decision table payload bogus");
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(bytes));
+  r.raw(payload.data(), payload.size());
+  return PackedDecisions::from_parts(cells, elided, left_width, right_width,
+                                     std::move(runs), std::move(payload));
+}
+
+/// `flow` is the slot's companion flow table when still resident (dead
+/// cells elide behind its validity runs), nullptr otherwise — mirroring
+/// the condition NodeState::pack() uses, so packed and unpacked states
+/// keep serializing identically.
+void write_decision_table(binio::Writer& w, const ArenaTable<Decision>& t,
+                          const ArenaTable<RequestCount>* flow) {
+  if (flow != nullptr && flow->size() == t.size()) {
+    write_packed_decisions(w, PackedDecisions::pack(t.span(), flow->span()));
+  } else {
+    write_packed_decisions(w, PackedDecisions::pack(t.span()));
   }
 }
 
 void read_decision_table(binio::Reader& r, TableArena& arena,
                          ArenaTable<Decision>& t) {
-  const std::uint64_t n = r.u64();
-  TREEPLACE_CHECK_MSG(n <= kMaxCells && n <= r.remaining_bytes() / 9,
-                      "snapshot decision table too large");
-  t.resize_uninit(arena, static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    Decision d;
-    d.left = r.u32();
-    d.right = r.u32();
-    d.mode = r.i8();
-    t[i] = d;
+  const PackedDecisions p = read_packed_decisions(r);
+  t.resize_uninit(arena, static_cast<std::size_t>(p.cells()));
+  p.unpack(t.span());
+}
+
+/// Writes one state's decision tables, pairing each with its companion
+/// slot flow table for dead-cell elision.
+template <typename NodeState>
+void write_decision_tables(binio::Writer& w, const NodeState& s) {
+  w.u32(static_cast<std::uint32_t>(s.slot_decisions.size()));
+  if (s.packed) {
+    for (const auto& p : s.packed_slot_decisions) write_packed_decisions(w, p);
+    return;
+  }
+  for (std::size_t k = 0; k < s.slot_decisions.size(); ++k) {
+    write_decision_table(w, s.slot_decisions[k],
+                         k < s.slot_flows.size() ? &s.slot_flows[k] : nullptr);
   }
 }
 
@@ -84,14 +179,23 @@ void read_table_vec(binio::Reader& r, TableArena& arena,
 
 void write_state(binio::Writer& w, const PowerNodeState& s) {
   write_box(w, s.box);
-  write_flow_table(w, s.flow);
+  // A packed state's encodings are written verbatim (its arena tables are
+  // empty handles); pack() keeps slot_flows sized, so the counts agree.
+  if (s.packed) {
+    write_packed_table(w, s.packed_flow);
+  } else {
+    write_flow_table(w, s.flow);
+  }
   write_int_vec(w, s.incl_bounds);
-  w.u32(static_cast<std::uint32_t>(s.slot_decisions.size()));
-  for (const auto& t : s.slot_decisions) write_decision_table(w, t);
+  write_decision_tables(w, s);
   w.u32(static_cast<std::uint32_t>(s.slot_boxes.size()));
   for (const Box& b : s.slot_boxes) write_box(w, b);
   w.u32(static_cast<std::uint32_t>(s.slot_flows.size()));
-  for (const auto& t : s.slot_flows) write_flow_table(w, t);
+  if (s.packed) {
+    for (const auto& p : s.packed_slot_flows) write_packed_table(w, p);
+  } else {
+    for (const auto& t : s.slot_flows) write_flow_table(w, t);
+  }
 }
 
 void read_state(binio::Reader& r, TableArena& arena, PowerNodeState& s) {
@@ -109,13 +213,20 @@ void read_state(binio::Reader& r, TableArena& arena, PowerNodeState& s) {
 void write_state(binio::Writer& w, const MinCostNodeState& s) {
   w.i32(s.eb);
   w.i32(s.nb);
-  write_flow_table(w, s.flow);
-  w.u32(static_cast<std::uint32_t>(s.slot_decisions.size()));
-  for (const auto& t : s.slot_decisions) write_decision_table(w, t);
+  if (s.packed) {
+    write_packed_table(w, s.packed_flow);
+  } else {
+    write_flow_table(w, s.flow);
+  }
+  write_decision_tables(w, s);
   write_int_vec(w, s.slot_eb);
   write_int_vec(w, s.slot_nb);
   w.u32(static_cast<std::uint32_t>(s.slot_flows.size()));
-  for (const auto& t : s.slot_flows) write_flow_table(w, t);
+  if (s.packed) {
+    for (const auto& p : s.packed_slot_flows) write_packed_table(w, p);
+  } else {
+    for (const auto& t : s.slot_flows) write_flow_table(w, t);
+  }
 }
 
 void read_state(binio::Reader& r, TableArena& arena, MinCostNodeState& s) {

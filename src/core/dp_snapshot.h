@@ -24,8 +24,11 @@ namespace treeplace::dp {
 
 /// Magic + version of the enclosing session snapshot file
 /// (SolveSession::save): 8 magic bytes, then a u32 format version.
+/// Version 2: flow tables are serialized as PackedTable encodings
+/// (run-length dead-cell elision + narrow cells) instead of flat u64
+/// arrays; version-1 files are rejected (sessions then start cold).
 inline constexpr char kSnapshotMagic[9] = "TPSNAP01";
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 void save_cache(binio::Writer& w, const PowerSubtreeCache& cache);
 void save_cache(binio::Writer& w, const MinCostSubtreeCache& cache);

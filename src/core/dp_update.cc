@@ -115,6 +115,7 @@ class MinCostSolver {
   /// dirty operand's value diff is small (core/merge_kernel.h).
   bool process_node(NodeId j, const dp::DirtyPlan& plan) {
     const std::size_t i = topo_.internal_index(j);
+    if (cache_ != nullptr) cache_->ensure_unpacked(i);
     NodeState& s = node_state(i);
     const RequestCount base = scen_.client_mass(j);
     if (base > config_.capacity) return false;
@@ -190,6 +191,7 @@ class MinCostSolver {
   /// own placement option: every child state stays open, and a replica on
   /// c (absorbing its flow) bumps the reused or new count.
   void expand_leaf(NodeState& s, std::size_t slot, NodeId c, bool try_diff) {
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(c));
     const NodeState& cs = node_state(topo_.internal_index(c));
     const bool child_pre = scen_.pre_existing(c);
     const int leb = cs.eb + (child_pre ? 1 : 0);
@@ -259,17 +261,17 @@ class MinCostSolver {
       const SlotDiff ld = slot_diff_[step.left];
       const SlotDiff rd = slot_diff_[step.right];
       const ArenaTable<RequestCount>& old_flow = s.slot_flows[out];
+      // Both operands may carry small diffs (rolling multi-delta batches);
+      // the join sweeps the changed sets from both sides.
       if (old_flow.size() == new_box.size() &&
           s.slot_decisions[out].size() == new_box.size() &&
           s.slot_eb[out] == new_eb && s.slot_nb[out] == new_nb &&
-          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown &&
-          (ld == SlotDiff::kClean || rd == SlotDiff::kClean)) {
+          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown) {
+        if (ld == SlotDiff::kChanged) {
+          lazy.changed_left = slot_changed_[step.left];
+        }
         if (rd == SlotDiff::kChanged) {
-          lazy.dirty_is_left = false;
-          lazy.changed = slot_changed_[step.right];
-        } else {
-          lazy.dirty_is_left = true;
-          if (ld == SlotDiff::kChanged) lazy.changed = slot_changed_[step.left];
+          lazy.changed_right = slot_changed_[step.right];
         }
         lazy.old_flow = old_flow.span();
         lazy.old_dec = s.slot_decisions[out].span();
@@ -313,6 +315,9 @@ class MinCostSolver {
   /// reuse).
   RootChoice scan_root() const {
     const NodeId root = topo_.root();
+    if (cache_ != nullptr) {
+      cache_->ensure_unpacked(topo_.internal_index(root));
+    }
     const NodeState& s = node_state(topo_.internal_index(root));
     const bool root_pre = scen_.pre_existing(root);
     const int e_total = static_cast<int>(scen_.num_pre_existing());
@@ -357,6 +362,9 @@ class MinCostSolver {
   /// Unwinds node j's merge tree from the root-slot flat index, adding
   /// child replicas to `placement`.
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // Clean nodes skipped by the warm solve may still be packed; the walk
+    // reads their decisions.
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     if (children.empty()) {

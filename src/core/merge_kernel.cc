@@ -145,6 +145,243 @@ void compact_entries(const Box& box, std::span<const RequestCount> flow,
 }
 
 // ---------------------------------------------------------------------------
+// Packed tables
+
+namespace {
+
+/// Little-endian fixed-width cell IO; width is 2, 4 or 8.
+void append_cell(std::vector<std::uint8_t>& payload, RequestCount v,
+                 std::uint8_t width) {
+  for (std::uint8_t b = 0; b < width; ++b) {
+    payload.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+RequestCount read_cell(const std::uint8_t* p, std::uint8_t width) {
+  RequestCount v = 0;
+  for (std::uint8_t b = 0; b < width; ++b) {
+    v |= static_cast<RequestCount>(p[b]) << (8 * b);
+  }
+  return v;
+}
+
+}  // namespace
+
+PackedTable PackedTable::pack(std::span<const RequestCount> flow) {
+  PackedTable out;
+  out.cells_ = flow.size();
+  RequestCount max_valid = 0;
+  std::size_t valid = 0;
+  for (const RequestCount f : flow) {
+    if (f == kInvalidFlow) continue;
+    ++valid;
+    max_valid = std::max(max_valid, f);
+  }
+  out.width_ = max_valid <= 0xFFFFu ? 2 : max_valid <= 0xFFFFFFFFu ? 4 : 8;
+  out.payload_.reserve(valid * out.width_);
+  std::size_t i = 0;
+  while (i < flow.size()) {
+    if (flow[i] == kInvalidFlow) {
+      ++i;
+      continue;
+    }
+    Run run{static_cast<std::uint32_t>(i), 0};
+    while (i < flow.size() && flow[i] != kInvalidFlow) {
+      append_cell(out.payload_, flow[i], out.width_);
+      ++run.length;
+      ++i;
+    }
+    out.runs_.push_back(run);
+  }
+  // Fragmented tables accumulate many runs; push_back growth would leave
+  // up to 2x slack in exactly the vector heap_bytes() accounts for.
+  out.runs_.shrink_to_fit();
+  return out;
+}
+
+PackedTable PackedTable::from_parts(std::uint64_t cells, std::uint8_t width,
+                                    std::vector<Run> runs,
+                                    std::vector<std::uint8_t> payload) {
+  TREEPLACE_CHECK_MSG(width == 2 || width == 4 || width == 8,
+                      "packed table: bad cell width " << int{width});
+  std::uint64_t covered = 0;
+  std::uint64_t next = 0;
+  for (const Run& run : runs) {
+    TREEPLACE_CHECK_MSG(run.length > 0 && run.start >= next &&
+                            run.start + std::uint64_t{run.length} <= cells,
+                        "packed table: malformed run");
+    next = run.start + std::uint64_t{run.length};
+    covered += run.length;
+  }
+  TREEPLACE_CHECK_MSG(payload.size() == covered * width,
+                      "packed table: payload size mismatch");
+  PackedTable out;
+  out.cells_ = cells;
+  out.width_ = width;
+  out.runs_ = std::move(runs);
+  out.payload_ = std::move(payload);
+  return out;
+}
+
+void PackedTable::unpack(std::span<RequestCount> out) const {
+  TREEPLACE_DCHECK(out.size() == cells_);
+  std::fill(out.begin(), out.end(), kInvalidFlow);
+  const std::uint8_t* p = payload_.data();
+  for (const Run& run : runs_) {
+    for (std::uint32_t k = 0; k < run.length; ++k) {
+      out[run.start + k] = read_cell(p, width_);
+      p += width_;
+    }
+  }
+}
+
+namespace {
+
+/// Bytes needed for the largest operand flat: decisions index table cells
+/// (< 2^32), so 1, 2 or 4 suffice.
+std::uint8_t flat_width(std::uint32_t max_value) {
+  return max_value <= 0xFFu ? 1 : max_value <= 0xFFFFu ? 2 : 4;
+}
+
+void append_flat(std::vector<std::uint8_t>& payload, std::uint32_t v,
+                 std::uint8_t width) {
+  for (std::uint8_t b = 0; b < width; ++b) {
+    payload.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+std::uint32_t read_flat(const std::uint8_t* p, std::uint8_t width) {
+  std::uint32_t v = 0;
+  for (std::uint8_t b = 0; b < width; ++b) {
+    v |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+  }
+  return v;
+}
+
+}  // namespace
+
+PackedDecisions PackedDecisions::pack(std::span<const Decision> dec) {
+  PackedDecisions out;
+  out.cells_ = dec.size();
+  std::uint32_t max_left = 0;
+  std::uint32_t max_right = 0;
+  for (const Decision& d : dec) {
+    max_left = std::max(max_left, d.left);
+    max_right = std::max(max_right, d.right);
+  }
+  out.left_width_ = flat_width(max_left);
+  out.right_width_ = flat_width(max_right);
+  out.payload_.reserve(dec.size() * out.cell_bytes());
+  for (const Decision& d : dec) {
+    append_flat(out.payload_, d.left, out.left_width_);
+    append_flat(out.payload_, d.right, out.right_width_);
+    out.payload_.push_back(static_cast<std::uint8_t>(d.mode));
+  }
+  return out;
+}
+
+PackedDecisions PackedDecisions::pack(std::span<const Decision> dec,
+                                      std::span<const RequestCount> flow) {
+  TREEPLACE_DCHECK(flow.size() == dec.size());
+  PackedDecisions out;
+  out.cells_ = dec.size();
+  out.elided_ = true;
+  // Widths from the *valid* maxima only: dead cells hold uninitialized
+  // operands (resize_uninit) that must neither widen the encoding nor
+  // reach the payload.
+  std::uint32_t max_left = 0;
+  std::uint32_t max_right = 0;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < dec.size(); ++i) {
+    if (flow[i] == kInvalidFlow) continue;
+    ++valid;
+    max_left = std::max(max_left, dec[i].left);
+    max_right = std::max(max_right, dec[i].right);
+  }
+  out.left_width_ = flat_width(max_left);
+  out.right_width_ = flat_width(max_right);
+  out.payload_.reserve(valid * out.cell_bytes());
+  std::size_t i = 0;
+  while (i < dec.size()) {
+    if (flow[i] == kInvalidFlow) {
+      ++i;
+      continue;
+    }
+    PackedTable::Run run{static_cast<std::uint32_t>(i), 0};
+    while (i < dec.size() && flow[i] != kInvalidFlow) {
+      append_flat(out.payload_, dec[i].left, out.left_width_);
+      append_flat(out.payload_, dec[i].right, out.right_width_);
+      out.payload_.push_back(static_cast<std::uint8_t>(dec[i].mode));
+      ++run.length;
+      ++i;
+    }
+    out.runs_.push_back(run);
+  }
+  out.runs_.shrink_to_fit();
+  return out;
+}
+
+PackedDecisions PackedDecisions::from_parts(
+    std::uint64_t cells, std::uint8_t elided, std::uint8_t left_width,
+    std::uint8_t right_width, std::vector<PackedTable::Run> runs,
+    std::vector<std::uint8_t> payload) {
+  const auto ok_width = [](std::uint8_t w) {
+    return w == 1 || w == 2 || w == 4;
+  };
+  TREEPLACE_CHECK_MSG(ok_width(left_width) && ok_width(right_width),
+                      "packed decisions: bad flat width");
+  TREEPLACE_CHECK_MSG(elided <= 1, "packed decisions: bad elision flag");
+  const std::uint64_t cell_bytes =
+      left_width + right_width + std::uint64_t{1};
+  std::uint64_t covered = cells;
+  if (elided != 0) {
+    covered = 0;
+    std::uint64_t next = 0;
+    for (const PackedTable::Run& run : runs) {
+      TREEPLACE_CHECK_MSG(run.length > 0 && run.start >= next &&
+                              run.start + std::uint64_t{run.length} <= cells,
+                          "packed decisions: malformed run");
+      next = run.start + std::uint64_t{run.length};
+      covered += run.length;
+    }
+  } else {
+    TREEPLACE_CHECK_MSG(runs.empty(), "packed decisions: dense with runs");
+  }
+  TREEPLACE_CHECK_MSG(payload.size() == covered * cell_bytes,
+                      "packed decisions: payload size mismatch");
+  PackedDecisions out;
+  out.cells_ = cells;
+  out.elided_ = elided != 0;
+  out.left_width_ = left_width;
+  out.right_width_ = right_width;
+  out.runs_ = std::move(runs);
+  out.payload_ = std::move(payload);
+  return out;
+}
+
+void PackedDecisions::unpack(std::span<Decision> out) const {
+  TREEPLACE_DCHECK(out.size() == cells_);
+  const std::uint8_t* p = payload_.data();
+  const auto read_one = [&](Decision& d) {
+    d.left = read_flat(p, left_width_);
+    p += left_width_;
+    d.right = read_flat(p, right_width_);
+    p += right_width_;
+    d.mode = static_cast<std::int8_t>(*p++);
+  };
+  if (!elided_) {
+    for (Decision& d : out) read_one(d);
+    return;
+  }
+  // Elided cells decode to a zeroed Decision; their flow twin is
+  // kInvalidFlow, so reconstruction never reads them.
+  std::fill(out.begin(), out.end(), Decision{});
+  for (const PackedTable::Run& run : runs_) {
+    for (std::uint32_t k = 0; k < run.length; ++k) read_one(out[run.start + k]);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Min-plus run kernels
 //
 // One contiguous run of the dense path: dst[i] <- src[i] + add when src[i]
@@ -475,6 +712,28 @@ bool diff_tables(std::span<const RequestCount> old_flow,
 
 namespace {
 
+/// Decodes the changed cells of one operand into a membership mask and
+/// their output-box dot offsets.
+void index_changed(const Box& box, const Box& obox,
+                   std::span<const std::uint32_t> changed,
+                   std::vector<std::uint8_t>& set,
+                   std::vector<std::uint64_t>& dot_out,
+                   std::vector<int>& digits) {
+  set.assign(box.size(), 0);
+  dot_out.resize(changed.size());
+  const std::size_t dims = obox.dims();
+  for (std::size_t ci = 0; ci < changed.size(); ++ci) {
+    const std::uint32_t f = changed[ci];
+    set[f] = 1;
+    box.decode(f, digits);
+    std::uint64_t dot = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      dot += static_cast<std::uint64_t>(digits[d]) * obox.stride(d);
+    }
+    dot_out[ci] = dot;
+  }
+}
+
 /// Attempts the lazy splice.  Returns true on completion (stats filled);
 /// false when too many previous winners were invalidated, in which case
 /// the wasted sweep work is reported via `stats.pairs` and the caller must
@@ -483,68 +742,81 @@ bool lazy_join(const JoinInputs& in, const LazyJoin& lazy,
                std::span<RequestCount> out_flow, std::span<Decision> out_dec,
                JoinScratch& scratch, JoinStats& stats) {
   const Box& obox = *in.obox;
-  const Box& dbox = lazy.dirty_is_left ? *in.lbox : *in.rbox;
-  const std::span<const RequestCount> dflow =
-      lazy.dirty_is_left ? in.lflow : in.rflow;
-  const EntryList& clean = lazy.dirty_is_left ? scratch.right : scratch.left;
   const std::size_t osize = obox.size();
   const std::size_t dims = obox.dims();
 
-  // Dirty-operand membership mask + changed-cell output offsets.
-  scratch.changed_set.assign(dbox.size(), 0);
-  scratch.changed_dot.resize(lazy.changed.size());
-  for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
-    const std::uint32_t f = lazy.changed[ci];
-    scratch.changed_set[f] = 1;
-    dbox.decode(f, scratch.digits);
-    std::uint64_t dot = 0;
-    for (std::size_t d = 0; d < dims; ++d) {
-      dot += static_cast<std::uint64_t>(scratch.digits[d]) * obox.stride(d);
-    }
-    scratch.changed_dot[ci] = dot;
-  }
+  index_changed(*in.lbox, obox, lazy.changed_left, scratch.changed_set_left,
+                scratch.changed_dot_left, scratch.digits);
+  index_changed(*in.rbox, obox, lazy.changed_right, scratch.changed_set_right,
+                scratch.changed_dot_right, scratch.digits);
 
-  // Changed sweep: accumulates the best changed-pair contribution per
-  // reachable cell, in the serial loop's (left, right) visit order, and
-  // marks reachability (cap-independent: a pair that stopped clearing the
-  // cap still invalidates its old contribution).
+  // Changed sweeps: accumulate the best changed-pair contribution per
+  // reachable cell and mark reachability (cap-independent: a pair that
+  // stopped clearing the cap still invalidates its old contribution).
+  // Sweep A covers changed-left x every current right entry, sweep B every
+  // current left entry x changed-right; together every now-valid pair with
+  // a changed side.  Valid both-changed pairs are visited twice — min is
+  // idempotent and ties break lexicographically, so the double visit is
+  // harmless and the result stays the serial first-occurrence winner.
   std::fill(out_flow.begin(), out_flow.end(), kInvalidFlow);
   scratch.reach.assign(osize, 0);
-  stats.pairs +=
-      static_cast<std::uint64_t>(lazy.changed.size()) * clean.size();
-  if (lazy.dirty_is_left) {
-    for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
-      const std::uint32_t sflat = lazy.changed[ci];
-      const RequestCount sval = dflow[sflat];
-      const std::uint64_t sdot = scratch.changed_dot[ci];
-      for (std::size_t j = 0; j < clean.size(); ++j) {
-        const std::size_t t = static_cast<std::size_t>(sdot + clean.dot[j]);
-        scratch.reach[t] = 1;
-        if (sval == kInvalidFlow) continue;
-        const RequestCount sum = sval + clean.flow[j];
-        if (sum <= in.cap && sum < out_flow[t]) {
-          out_flow[t] = sum;
-          out_dec[t] = Decision{sflat, clean.flat[j], -1};
-        }
+  const auto consider = [&](std::uint32_t lflat, RequestCount lf,
+                            std::uint32_t rflat, RequestCount rf,
+                            std::size_t t) {
+    const RequestCount sum = lf + rf;
+    if (sum > in.cap) return;
+    if (sum < out_flow[t]) {
+      out_flow[t] = sum;
+      out_dec[t] = Decision{lflat, rflat, -1};
+    } else if (sum == out_flow[t]) {
+      const Decision cd = out_dec[t];
+      if (lflat < cd.left || (lflat == cd.left && rflat < cd.right)) {
+        out_dec[t] = Decision{lflat, rflat, -1};
       }
     }
-  } else {
-    for (std::size_t j = 0; j < clean.size(); ++j) {
-      const RequestCount lf = clean.flow[j];
-      const std::uint64_t ldot = clean.dot[j];
-      const std::uint32_t lflat = clean.flat[j];
-      for (std::size_t ci = 0; ci < lazy.changed.size(); ++ci) {
-        const std::size_t t =
-            static_cast<std::size_t>(ldot + scratch.changed_dot[ci]);
-        scratch.reach[t] = 1;
-        const RequestCount sval = dflow[lazy.changed[ci]];
-        if (sval == kInvalidFlow) continue;
-        const RequestCount sum = lf + sval;
-        if (sum <= in.cap && sum < out_flow[t]) {
-          out_flow[t] = sum;
-          out_dec[t] = Decision{lflat, lazy.changed[ci], -1};
-        }
-      }
+  };
+  stats.pairs +=
+      static_cast<std::uint64_t>(lazy.changed_left.size()) *
+          scratch.right.size() +
+      static_cast<std::uint64_t>(scratch.left.size()) *
+          lazy.changed_right.size() +
+      static_cast<std::uint64_t>(lazy.changed_left.size()) *
+          lazy.changed_right.size();
+  for (std::size_t ci = 0; ci < lazy.changed_left.size(); ++ci) {
+    const std::uint32_t sflat = lazy.changed_left[ci];
+    const RequestCount sval = in.lflow[sflat];
+    const std::uint64_t sdot = scratch.changed_dot_left[ci];
+    for (std::size_t j = 0; j < scratch.right.size(); ++j) {
+      const std::size_t t =
+          static_cast<std::size_t>(sdot + scratch.right.dot[j]);
+      scratch.reach[t] = 1;
+      if (sval == kInvalidFlow) continue;
+      consider(sflat, sval, scratch.right.flat[j], scratch.right.flow[j], t);
+    }
+  }
+  for (std::size_t j = 0; j < scratch.left.size(); ++j) {
+    const RequestCount lf = scratch.left.flow[j];
+    const std::uint64_t ldot = scratch.left.dot[j];
+    const std::uint32_t lflat = scratch.left.flat[j];
+    for (std::size_t ci = 0; ci < lazy.changed_right.size(); ++ci) {
+      const std::size_t t =
+          static_cast<std::size_t>(ldot + scratch.changed_dot_right[ci]);
+      scratch.reach[t] = 1;
+      const RequestCount sval = in.rflow[lazy.changed_right[ci]];
+      if (sval == kInvalidFlow) continue;
+      consider(lflat, lf, lazy.changed_right[ci], sval, t);
+    }
+  }
+  // Sweep C: both-changed pairs where *both* cells became invalid appear
+  // in neither entry list, so sweeps A/B never reach their output cells —
+  // but the old winner there may be exactly such a pair, and an unreached
+  // cell would splice it stale.  Reach-mark the full changed grid (values
+  // for its valid pairs were already accumulated above).
+  for (std::size_t ci = 0; ci < lazy.changed_left.size(); ++ci) {
+    const std::uint64_t sdot = scratch.changed_dot_left[ci];
+    for (std::size_t cj = 0; cj < lazy.changed_right.size(); ++cj) {
+      scratch.reach[static_cast<std::size_t>(
+          sdot + scratch.changed_dot_right[cj])] = 1;
     }
   }
 
@@ -552,8 +824,9 @@ bool lazy_join(const JoinInputs& in, const LazyJoin& lazy,
   // previous winner survives, the unchanged contribution *is* the old
   // value, so the new cell is the lexicographically-first of {old winner,
   // best changed} — exactly the serial first-occurrence tie-break.  Cells
-  // whose previous winner was itself a changed cell must be re-minimized
-  // from scratch (rescue); too many of those and lazy loses, so bail.
+  // whose previous winner involved a changed cell on either side must be
+  // re-minimized from scratch (rescue); too many of those and lazy loses,
+  // so bail.
   scratch.rescue.clear();
   // Each rescue re-scans every left entry, so the cap must be relative to
   // the *right* entry count: |rescue| * |left| stays under 1/8 of the full
@@ -569,8 +842,8 @@ bool lazy_join(const JoinInputs& in, const LazyJoin& lazy,
     const RequestCount old = lazy.old_flow[t];
     if (old == kInvalidFlow) continue;  // no unchanged contribution existed
     const Decision od = lazy.old_dec[t];
-    const std::uint32_t owin = lazy.dirty_is_left ? od.left : od.right;
-    if (scratch.changed_set[owin] != 0) {
+    if (scratch.changed_set_left[od.left] != 0 ||
+        scratch.changed_set_right[od.right] != 0) {
       scratch.rescue.push_back(t);
       if (scratch.rescue.size() > rescue_cap) return false;
       continue;
@@ -682,15 +955,15 @@ JoinStats join_slots(const JoinInputs& in, std::span<RequestCount> out_flow,
     compact_entries(rbox, in.rflow, obox, scratch.right);
   }
 
-  // Lazy splice: worth it only when the dirty diff is well below the dirty
-  // operand's entry count (otherwise the changed sweep approaches a full
+  // Lazy splice: worth it only when each dirty diff is well below its
+  // operand's entry count (otherwise the changed sweeps approach a full
   // rebuild that also pays splice overhead).
   if (lazy != nullptr && cfg.lazy_max_changed > 0) {
-    const std::size_t dirty_entries =
-        lazy->dirty_is_left ? scratch.left.size() : scratch.right.size();
     if (lazy->old_flow.size() == osize && lazy->old_dec.size() == osize &&
-        static_cast<double>(lazy->changed.size()) <=
-            cfg.lazy_max_changed * static_cast<double>(dirty_entries)) {
+        static_cast<double>(lazy->changed_left.size()) <=
+            cfg.lazy_max_changed * static_cast<double>(scratch.left.size()) &&
+        static_cast<double>(lazy->changed_right.size()) <=
+            cfg.lazy_max_changed * static_cast<double>(scratch.right.size())) {
       if (lazy_join(in, *lazy, out_flow, out_dec, scratch, stats)) {
         return stats;
       }

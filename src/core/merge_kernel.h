@@ -160,6 +160,127 @@ class ArenaTable {
 };
 
 // ---------------------------------------------------------------------------
+// Packed tables (narrow cells + dead-run elision)
+
+/// A memory-compact, read-only encoding of one flow table.  Two effects
+/// stack: invalid cells (kInvalidFlow — the vast majority of cells in
+/// high-dimensional boxes, where most count vectors are unreachable) are
+/// elided into run-length gaps, and the surviving finite flows are stored
+/// at the narrowest width that holds the table's maximum (u16/u32/u64,
+/// chosen per table — the W_M feasibility cut keeps every finite flow at
+/// or below the largest mode capacity, so most tables pack to u16/u32).
+/// pack()/unpack() round-trip bit-exactly; packing cached DP state is
+/// therefore invisible to solve results and only shrinks resident session
+/// bytes (the 2-4x reduction gated by bench/day_serve) and on-disk
+/// session snapshots (core/dp_snapshot.h serializes flow tables packed).
+class PackedTable {
+ public:
+  struct Run {
+    std::uint32_t start = 0;   ///< first valid cell of the run
+    std::uint32_t length = 0;  ///< consecutive valid cells
+  };
+
+  PackedTable() = default;
+
+  /// Encodes `flow`; chooses the cell width from the actual maximum, so
+  /// widening can never be needed on unpack (checked in debug builds).
+  static PackedTable pack(std::span<const RequestCount> flow);
+
+  /// Rebuilds a snapshot reader's table; validates shape (width, run
+  /// ordering and bounds, payload size) and throws CheckError on any
+  /// mismatch, so corrupt snapshots fail before allocation.
+  static PackedTable from_parts(std::uint64_t cells, std::uint8_t width,
+                                std::vector<Run> runs,
+                                std::vector<std::uint8_t> payload);
+
+  /// Decodes into `out` (must be exactly cells() long): elided cells
+  /// become kInvalidFlow, valid cells their original values.
+  void unpack(std::span<RequestCount> out) const;
+
+  bool empty() const { return cells_ == 0; }
+  std::uint64_t cells() const { return cells_; }
+  std::uint8_t width() const { return width_; }
+  const std::vector<Run>& runs() const { return runs_; }
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  /// Heap bytes held by the encoding — the resident-bytes accounting twin
+  /// of ArenaTable::capacity_bytes().
+  std::size_t heap_bytes() const {
+    return runs_.capacity() * sizeof(Run) + payload_.capacity();
+  }
+
+  void clear() { *this = PackedTable(); }
+
+ private:
+  std::uint64_t cells_ = 0;
+  std::uint8_t width_ = 8;  ///< bytes per valid cell: 2, 4 or 8
+  std::vector<Run> runs_;
+  std::vector<std::uint8_t> payload_;
+};
+
+/// Narrow encoding of a Decision table: each cell stores `left` and
+/// `right` at the fewest bytes that hold the table's maxima (1, 2 or 4 —
+/// operand flats index DP cells, so u32 is already enough) plus the mode
+/// byte, vs sizeof(Decision) = 12 with padding.  When the companion flow
+/// table is available, dead cells (kInvalidFlow in the flow — their
+/// decisions are never read: reconstruction only follows valid cells) are
+/// additionally elided behind the flow table's validity runs, which the
+/// encoding stores itself so unpacking needs no external mask; elided
+/// cells decode to a zeroed Decision.  pack() is deterministic, so
+/// serialized bytes agree whether a state is packed in memory or packed
+/// on the fly.
+class PackedDecisions {
+ public:
+  PackedDecisions() = default;
+
+  /// Dense encoding: every cell survives (used when no flow table pairs
+  /// with the decisions, e.g. after merge-tree snapshots were shed).
+  static PackedDecisions pack(std::span<const Decision> dec);
+
+  /// Elided encoding: cells where `flow` holds kInvalidFlow are dropped.
+  /// `flow.size()` must equal `dec.size()`.
+  static PackedDecisions pack(std::span<const Decision> dec,
+                              std::span<const RequestCount> flow);
+
+  /// Rebuilds a snapshot reader's table; validates widths, run shape and
+  /// payload size, throwing CheckError before any decode on mismatch.
+  /// Empty `runs` with a full-size payload is the dense encoding.
+  static PackedDecisions from_parts(std::uint64_t cells, std::uint8_t elided,
+                                    std::uint8_t left_width,
+                                    std::uint8_t right_width,
+                                    std::vector<PackedTable::Run> runs,
+                                    std::vector<std::uint8_t> payload);
+
+  /// Decodes into `out` (must be exactly cells() long).
+  void unpack(std::span<Decision> out) const;
+
+  bool empty() const { return cells_ == 0; }
+  std::uint64_t cells() const { return cells_; }
+  bool elided() const { return elided_; }
+  std::uint8_t left_width() const { return left_width_; }
+  std::uint8_t right_width() const { return right_width_; }
+  std::uint8_t cell_bytes() const {
+    return static_cast<std::uint8_t>(left_width_ + right_width_ + 1);
+  }
+  const std::vector<PackedTable::Run>& runs() const { return runs_; }
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  std::size_t heap_bytes() const {
+    return runs_.capacity() * sizeof(PackedTable::Run) + payload_.capacity();
+  }
+
+  void clear() { *this = PackedDecisions(); }
+
+ private:
+  std::uint64_t cells_ = 0;
+  bool elided_ = false;
+  std::uint8_t left_width_ = 4;
+  std::uint8_t right_width_ = 4;
+  std::vector<PackedTable::Run> runs_;  ///< empty in the dense encoding
+  std::vector<std::uint8_t> payload_;
+};
+
+// ---------------------------------------------------------------------------
 // Kernel configuration
 
 /// Which inner-loop implementation the join uses.  The process-wide
@@ -223,8 +344,10 @@ struct JoinScratch {
   std::vector<std::uint64_t> row_dot;     ///< dense: per-row output offset
   std::vector<std::vector<std::uint8_t>> shard_upd;  ///< per-shard lane masks
   std::vector<std::uint8_t> reach;        ///< lazy: output reachability
-  std::vector<std::uint8_t> changed_set;  ///< lazy: dirty-operand membership
-  std::vector<std::uint64_t> changed_dot; ///< lazy: changed-cell offsets
+  std::vector<std::uint8_t> changed_set_left;   ///< lazy: membership masks
+  std::vector<std::uint8_t> changed_set_right;
+  std::vector<std::uint64_t> changed_dot_left;  ///< lazy: cell offsets
+  std::vector<std::uint64_t> changed_dot_right;
   std::vector<std::size_t> rescue;        ///< lazy: cells needing re-min
   std::vector<int> digits;                ///< lazy: decode scratch
   std::vector<int> ldigits;               ///< lazy: left-entry digit matrix
@@ -243,14 +366,17 @@ struct JoinInputs {
 };
 
 /// Warm-resume context for a lazy join: the previous output snapshot (same
-/// box) and the ascending flat indices where the dirty operand's table
-/// differs from *its* snapshot.  The clean operand must be bit-identical
-/// to the previous solve's.
+/// box) and, per operand, the ascending flat indices where its table
+/// differs from *its own* snapshot.  An empty span means that operand is
+/// bit-identical to the previous solve's; both spans may be non-empty (a
+/// rolling multi-delta batch dirties both children of a join), in which
+/// case the changed sweeps run from both sides and the both-changed pair
+/// grid is reach-marked so stale splices cannot survive.
 struct LazyJoin {
   std::span<const RequestCount> old_flow;
   std::span<const Decision> old_dec;
-  std::span<const std::uint32_t> changed;
-  bool dirty_is_left = false;
+  std::span<const std::uint32_t> changed_left;
+  std::span<const std::uint32_t> changed_right;
 };
 
 struct JoinStats {

@@ -139,6 +139,7 @@ class ExactPowerSolver {
   /// operand's value diff is small run lazily (core/merge_kernel.h).
   bool process_node(NodeId j, const dp::DirtyPlan& plan) {
     const std::size_t i = topo_.internal_index(j);
+    if (cache_ != nullptr) cache_->ensure_unpacked(i);
     NodeState& s = node_state(i);
     const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
@@ -223,6 +224,9 @@ class ExactPowerSolver {
   /// replica on c, its flow still open) and once per admissible mode w
   /// (replica on c at w absorbs the child's flow).
   void expand_leaf(NodeState& s, std::size_t slot, NodeId c, bool try_diff) {
+    // A clean child spliced from a packed cache entry must expose its
+    // final table again before this leaf re-expands it.
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(c));
     NodeState& cs = node_state(topo_.internal_index(c));
     Box box{cs.incl_bounds};
     ArenaTable<RequestCount> flow;
@@ -291,17 +295,18 @@ class ExactPowerSolver {
       const SlotDiff ld = slot_diff_[step.left];
       const SlotDiff rd = slot_diff_[step.right];
       const ArenaTable<RequestCount>& old_flow = s.slot_flows[out];
+      // Both operands may carry small diffs (a rolling multi-delta batch
+      // dirties several children of one node); the join then sweeps the
+      // changed sets from both sides instead of bailing to a full rebuild.
       if (old_flow.size() == new_box.size() &&
           s.slot_decisions[out].size() == new_box.size() &&
           s.slot_boxes[out].bounds() == new_box.bounds() &&
-          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown &&
-          (ld == SlotDiff::kClean || rd == SlotDiff::kClean)) {
+          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown) {
+        if (ld == SlotDiff::kChanged) {
+          lazy.changed_left = slot_changed_[step.left];
+        }
         if (rd == SlotDiff::kChanged) {
-          lazy.dirty_is_left = false;
-          lazy.changed = slot_changed_[step.right];
-        } else {
-          lazy.dirty_is_left = true;
-          if (ld == SlotDiff::kChanged) lazy.changed = slot_changed_[step.left];
+          lazy.changed_right = slot_changed_[step.right];
         }
         lazy.old_flow = old_flow.span();
         lazy.old_dec = s.slot_decisions[out].span();
@@ -346,6 +351,11 @@ class ExactPowerSolver {
   /// candidates.
   std::vector<Candidate> scan_root() const {
     const NodeId root = topo_.root();
+    // The root may be clean (and packed) on a fully-warm solve; its table
+    // is re-read every solve for the frontier scan.
+    if (cache_ != nullptr) {
+      cache_->ensure_unpacked(topo_.internal_index(root));
+    }
     const NodeState& s = node_state(topo_.internal_index(root));
     std::vector<Candidate> candidates;
     std::vector<int> digits(dims_, 0);
@@ -442,6 +452,9 @@ class ExactPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // Clean nodes skipped by the warm solve may still be packed; the walk
+    // reads their decisions.
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     if (children.empty()) {

@@ -115,6 +115,7 @@ class SymmetricPowerSolver {
   /// process_node for the resume semantics (dp::plan_warm_solve).
   bool process_node(NodeId j, const dp::DirtyPlan& plan) {
     const std::size_t i = topo_.internal_index(j);
+    if (cache_ != nullptr) cache_->ensure_unpacked(i);
     NodeState& s = node_state(i);
     const RequestCount base = scen_.client_mass(j);
     if (base > modes_.max_capacity()) return false;
@@ -195,6 +196,7 @@ class SymmetricPowerSolver {
   /// own placement options (reduced symmetric state: mode counts plus the
   /// same/changed reuse split).
   void expand_leaf(NodeState& s, std::size_t slot, NodeId c, bool try_diff) {
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(c));
     NodeState& cs = node_state(topo_.internal_index(c));
     const bool child_pre = scen_.pre_existing(c);
     const int child_orig = child_pre ? scen_.original_mode(c) : -1;
@@ -264,17 +266,17 @@ class SymmetricPowerSolver {
       const SlotDiff ld = slot_diff_[step.left];
       const SlotDiff rd = slot_diff_[step.right];
       const ArenaTable<RequestCount>& old_flow = s.slot_flows[out];
+      // Both operands may carry small diffs (rolling multi-delta batches);
+      // the join sweeps the changed sets from both sides.
       if (old_flow.size() == new_box.size() &&
           s.slot_decisions[out].size() == new_box.size() &&
           s.slot_boxes[out].bounds() == new_box.bounds() &&
-          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown &&
-          (ld == SlotDiff::kClean || rd == SlotDiff::kClean)) {
+          ld != SlotDiff::kUnknown && rd != SlotDiff::kUnknown) {
+        if (ld == SlotDiff::kChanged) {
+          lazy.changed_left = slot_changed_[step.left];
+        }
         if (rd == SlotDiff::kChanged) {
-          lazy.dirty_is_left = false;
-          lazy.changed = slot_changed_[step.right];
-        } else {
-          lazy.dirty_is_left = true;
-          if (ld == SlotDiff::kChanged) lazy.changed = slot_changed_[step.left];
+          lazy.changed_right = slot_changed_[step.right];
         }
         lazy.old_flow = old_flow.span();
         lazy.old_dec = s.slot_decisions[out].span();
@@ -315,6 +317,9 @@ class SymmetricPowerSolver {
 
   std::vector<Candidate> scan_root() const {
     const NodeId root = topo_.root();
+    if (cache_ != nullptr) {
+      cache_->ensure_unpacked(topo_.internal_index(root));
+    }
     const NodeState& s = node_state(topo_.internal_index(root));
     const bool root_pre = scen_.pre_existing(root);
     const int root_orig = root_pre ? scen_.original_mode(root) : -1;
@@ -407,6 +412,9 @@ class SymmetricPowerSolver {
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // Clean nodes skipped by the warm solve may still be packed; the walk
+    // reads their decisions.
+    if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
     const NodeState& s = node_state(topo_.internal_index(j));
     const auto children = topo_.internal_children(j);
     if (children.empty()) {

@@ -1,5 +1,7 @@
 #include "gen/tree_gen.h"
 
+#include <algorithm>
+#include <cmath>
 #include <deque>
 
 namespace treeplace {
@@ -55,6 +57,73 @@ Tree generate_tree(const TreeGenConfig& config, std::uint64_t seed,
   Xoshiro256 client_rng = make_rng(seed, tree_index, RngStream::kClients);
   Xoshiro256 request_rng = make_rng(seed, tree_index, RngStream::kRequests);
   return generate_tree(config, shape_rng, client_rng, request_rng);
+}
+
+Tree generate_skew_tree(const SkewTreeConfig& config, std::uint64_t seed,
+                        std::uint64_t tree_index) {
+  TREEPLACE_CHECK(config.num_internal >= 1);
+  TREEPLACE_CHECK(config.shape.min_children >= 1);
+  TREEPLACE_CHECK(config.shape.min_children <= config.shape.max_children);
+  TREEPLACE_CHECK(config.hub_fanout >= config.shape.max_children);
+  TREEPLACE_CHECK(config.hub_probability >= 0.0 &&
+                  config.hub_probability <= 1.0);
+  TREEPLACE_CHECK(config.attach_skew >= 0.0);
+  TREEPLACE_CHECK(config.min_requests <= config.max_requests);
+  Xoshiro256 shape_rng = make_rng(seed, tree_index, RngStream::kTreeShape);
+  Xoshiro256 client_rng = make_rng(seed, tree_index, RngStream::kClients);
+  Xoshiro256 request_rng = make_rng(seed, tree_index, RngStream::kRequests);
+
+  // Skeleton: BFS expansion as generate_tree, but a hub draw widens the
+  // fan-out — the heavy-tailed degree mix of content-distribution trees.
+  TreeBuilder builder;
+  const NodeId root = builder.add_root();
+  int remaining = config.num_internal - 1;
+  std::deque<NodeId> frontier{root};
+  std::vector<NodeId> internal_nodes{root};
+  while (remaining > 0) {
+    TREEPLACE_DCHECK(!frontier.empty());
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const bool hub = shape_rng.bernoulli(config.hub_probability);
+    const int want =
+        hub ? shape_rng.uniform_int(config.shape.max_children,
+                                    config.hub_fanout)
+            : shape_rng.uniform_int(config.shape.min_children,
+                                    config.shape.max_children);
+    const int k = std::min(want, remaining);
+    for (int i = 0; i < k; ++i) {
+      const NodeId child = builder.add_internal(node);
+      frontier.push_back(child);
+      internal_nodes.push_back(child);
+    }
+    remaining -= k;
+  }
+
+  // Zipf attachment: shuffle the internal nodes (so the hot attachment
+  // points are not biased toward the root), weight rank r by 1/(r+1)^s,
+  // then place each user by binary search over the cumulative weights.
+  std::vector<NodeId> ranked = internal_nodes;
+  for (std::size_t i = ranked.size(); i > 1; --i) {
+    const std::size_t j = client_rng.uniform(0, i - 1);
+    std::swap(ranked[i - 1], ranked[j]);
+  }
+  std::vector<double> cumulative(ranked.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), config.attach_skew);
+    cumulative[r] = total;
+  }
+  for (std::uint64_t u = 0; u < config.num_users; ++u) {
+    const double draw = client_rng.uniform_double() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), draw);
+    const std::size_t rank = std::min(
+        static_cast<std::size_t>(it - cumulative.begin()), ranked.size() - 1);
+    const auto r = static_cast<RequestCount>(
+        request_rng.uniform(config.min_requests, config.max_requests));
+    builder.add_client(ranked[rank], r);
+  }
+  return std::move(builder).build();
 }
 
 }  // namespace treeplace

@@ -42,4 +42,31 @@ Tree generate_tree(const TreeGenConfig& config, Xoshiro256& shape_rng,
 Tree generate_tree(const TreeGenConfig& config, std::uint64_t seed,
                    std::uint64_t tree_index);
 
+/// The million-user serving shape: a skew-fanout internal skeleton (a few
+/// hub nodes with large fan-out over a mostly narrow tree — the CDN-style
+/// topology the aggregation pass targets) carrying a large population of
+/// single-user client leaves whose attachment points follow a Zipf law.
+/// Aggregation (tree/aggregate.h) collapses those populations to one
+/// client per attachment point, so the DP cost depends on `num_internal`
+/// while `num_users` scales freely.
+struct SkewTreeConfig {
+  int num_internal = 1000;
+  TreeShape shape = kHighShape;  ///< fan-out of the non-hub majority
+  double hub_probability = 0.05; ///< chance an internal node is a hub
+  int hub_fanout = 32;           ///< hubs draw U[shape.max_children, this]
+  /// Client population: `num_users` leaves, each issuing
+  /// U[min_requests, max_requests], attached to internal nodes ranked by
+  /// a Zipf(attach_skew) draw over a shuffled node order — a few hot
+  /// attachment points own most of the users.
+  std::uint64_t num_users = 100000;
+  double attach_skew = 0.8;
+  RequestCount min_requests = 1;
+  RequestCount max_requests = 5;
+};
+
+/// Generates one skew tree; deterministic in (seed, tree_index) with the
+/// same independent-stream discipline as generate_tree.
+Tree generate_skew_tree(const SkewTreeConfig& config, std::uint64_t seed,
+                        std::uint64_t tree_index);
+
 }  // namespace treeplace

@@ -1,6 +1,8 @@
 #include "gen/workload.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 namespace treeplace {
 
@@ -24,6 +26,64 @@ void perturb_requests(Scenario& scen, RequestCount lo, RequestCount hi,
                    static_cast<std::int64_t>(hi));
     scen.set_requests(client, static_cast<RequestCount>(next));
   }
+}
+
+DiurnalWorkload::DiurnalWorkload(std::shared_ptr<const Topology> topology,
+                                 DiurnalConfig config, Xoshiro256 rng)
+    : topology_(std::move(topology)), config_(config), rng_(rng) {
+  TREEPLACE_CHECK(topology_ != nullptr && !topology_->empty());
+  TREEPLACE_CHECK(config_.day_seconds > 0.0 && config_.tick_seconds > 0.0);
+  TREEPLACE_CHECK(config_.touch_fraction > 0.0 &&
+                  config_.touch_fraction <= 1.0);
+  TREEPLACE_CHECK(config_.min_requests <= config_.max_requests);
+  TREEPLACE_CHECK(config_.amplitude >= 0.0 && config_.amplitude < 1.0);
+  TREEPLACE_CHECK(config_.flash_magnitude >= 1.0 && config_.flash_ticks >= 1);
+  ticks_per_day_ = static_cast<std::size_t>(
+      std::ceil(config_.day_seconds / config_.tick_seconds));
+}
+
+double DiurnalWorkload::multiplier_at(double sim_seconds) const {
+  const double phase =
+      sim_seconds / config_.day_seconds - config_.peak_fraction;
+  constexpr double kTau = 6.283185307179586;
+  return 1.0 + config_.amplitude * std::cos(kTau * phase);
+}
+
+DiurnalWorkload::Tick DiurnalWorkload::next() {
+  Tick tick;
+  tick.sim_seconds = std::fmod(
+      static_cast<double>(tick_index_) * config_.tick_seconds,
+      config_.day_seconds);
+  ++tick_index_;
+
+  double flash_boost = 1.0;
+  if (flash_remaining_ > 0) {
+    // Triangular ramp: climbs to flash_magnitude mid-spike, decays back.
+    const double progress =
+        1.0 - static_cast<double>(flash_remaining_) / config_.flash_ticks;
+    const double shape = 1.0 - std::abs(2.0 * progress - 1.0);
+    flash_boost = 1.0 + (config_.flash_magnitude - 1.0) * shape;
+    tick.flash = true;
+    --flash_remaining_;
+  } else if (rng_.bernoulli(config_.flash_probability)) {
+    flash_remaining_ = config_.flash_ticks;
+  }
+  tick.multiplier = multiplier_at(tick.sim_seconds) * flash_boost;
+
+  const auto& clients = topology_->client_ids();
+  const auto touched = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(clients.size()) *
+                                  config_.touch_fraction));
+  tick.deltas.reserve(touched);
+  for (std::size_t k = 0; k < touched; ++k) {
+    const NodeId client = clients[rng_.uniform(0, clients.size() - 1)];
+    const auto base =
+        rng_.uniform(config_.min_requests, config_.max_requests);
+    const auto scaled = static_cast<RequestCount>(std::llround(
+        std::max(1.0, static_cast<double>(base) * tick.multiplier)));
+    tick.deltas.push_back(ScenarioDelta::set_requests(client, scaled));
+  }
+  return tick;
 }
 
 }  // namespace treeplace

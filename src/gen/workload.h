@@ -9,6 +9,7 @@
 #pragma once
 
 #include "support/prng.h"
+#include "tree/scenario_delta.h"
 #include "tree/tree.h"
 
 namespace treeplace {
@@ -30,5 +31,74 @@ inline void perturb_requests(Tree& tree, RequestCount lo, RequestCount hi,
                              RequestCount max_delta, Xoshiro256& rng) {
   perturb_requests(tree.scenario(), lo, hi, max_delta, rng);
 }
+
+// ---------------------------------------------------------------------------
+// Diurnal workload engine
+//
+// A streaming generator of time-varying scenario-delta records: per
+// simulated tick it re-draws a random subset of clients with volumes
+// scaled by a diurnal sine (requests peak mid-day, trough at night) plus
+// occasional flash-crowd spikes (a multiplier ramp over a few ticks, in
+// the spirit of the mobile content-replication workloads of
+// arXiv:0909.2024).  Deltas are the serving tier's native vocabulary, so
+// a DiurnalWorkload drives `treeplace serve` (via the `treeplace
+// workload` record emitter) and the in-process day_serve bench directly.
+
+struct DiurnalConfig {
+  double day_seconds = 86400.0;   ///< one simulated day
+  double tick_seconds = 300.0;    ///< delta batch cadence (288 ticks/day)
+  /// Fraction of clients re-drawn per tick (bursts of R records — the
+  /// rolling lazy-join footprint is sized by this).
+  double touch_fraction = 0.02;
+  /// Base per-client volume draw, scaled by the diurnal multiplier.
+  RequestCount min_requests = 1;
+  RequestCount max_requests = 5;
+  /// Diurnal sine: multiplier in [1-amplitude, 1+amplitude], peaking at
+  /// `peak_fraction` of the day.
+  double amplitude = 0.6;
+  double peak_fraction = 0.58;  ///< ~14:00 — afternoon peak
+  /// Flash crowds: per tick, with `flash_probability`, a spike starts and
+  /// multiplies the next `flash_ticks` ticks' volumes by up to
+  /// `flash_magnitude` (triangular ramp up and down).
+  double flash_probability = 0.01;
+  double flash_magnitude = 4.0;
+  int flash_ticks = 6;
+};
+
+class DiurnalWorkload {
+ public:
+  /// One tick's output: the simulated time, the effective volume
+  /// multiplier (diurnal x flash) and the delta batch to apply/serve.
+  struct Tick {
+    double sim_seconds = 0.0;
+    double multiplier = 1.0;
+    bool flash = false;  ///< a flash crowd is active this tick
+    std::vector<ScenarioDelta> deltas;
+  };
+
+  /// Streams over the clients of `topology`; deterministic in `rng`'s
+  /// seed.  The generator is topology-only — it never touches a Scenario,
+  /// so one workload can feed both the original and (via
+  /// Aggregation::map_deltas) the aggregated serving path.
+  DiurnalWorkload(std::shared_ptr<const Topology> topology,
+                  DiurnalConfig config, Xoshiro256 rng);
+
+  /// Number of ticks in one simulated day.
+  std::size_t ticks_per_day() const { return ticks_per_day_; }
+
+  /// Advances one tick and returns its delta batch.  Runs forever (day
+  /// wraps around); callers stop after ticks_per_day() for one day.
+  Tick next();
+
+ private:
+  double multiplier_at(double sim_seconds) const;
+
+  std::shared_ptr<const Topology> topology_;
+  DiurnalConfig config_;
+  Xoshiro256 rng_;
+  std::size_t ticks_per_day_ = 0;
+  std::uint64_t tick_index_ = 0;
+  int flash_remaining_ = 0;  ///< ticks left in the active flash crowd
+};
 
 }  // namespace treeplace

@@ -161,6 +161,26 @@ void set_nonblocking(int fd) {
   TREEPLACE_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
 }
 
+}  // namespace
+
+bool arm_tcp_keepalive(int fd, int idle_seconds) {
+  if (idle_seconds <= 0) return false;
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one)) != 0) {
+    return false;
+  }
+  const int interval = std::max(1, idle_seconds / 3);
+  constexpr int kProbes = 3;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle_seconds,
+                      sizeof(idle_seconds)) == 0 &&
+         ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval,
+                      sizeof(interval)) == 0 &&
+         ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &kProbes,
+                      sizeof(kProbes)) == 0;
+}
+
+namespace {
+
 void make_wake_pipe(int* read_fd, int* write_fd) {
   int fds[2];
   TREEPLACE_CHECK_MSG(::pipe(fds) == 0, "pipe: " << std::strerror(errno));
@@ -922,6 +942,9 @@ void NetServer::Router::accept_ready() {
     set_nonblocking(fd);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.keepalive_seconds > 0) {
+      arm_tcp_keepalive(fd, config_.keepalive_seconds);
+    }
 
     const std::uint64_t uid = next_uid_++;
     pre_reads_[fd] = PreRead{uid, {}, 0, wall_.seconds()};

@@ -111,6 +111,13 @@ struct NetServerConfig {
 
   std::size_t max_conns = 4096;       ///< beyond this, accept-and-close
   double idle_timeout_seconds = 300;  ///< 0 = never reap idle connections
+  /// > 0: enable TCP keepalive probes on accepted sockets (SO_KEEPALIVE
+  /// with TCP_KEEPIDLE = this many seconds), so half-dead peers — NAT
+  /// timeouts, silently vanished clients holding warm sessions — are
+  /// detected and reaped by the kernel instead of pinning a connection
+  /// slot until the idle timeout.  0 = off (kernel defaults apply only if
+  /// something else enabled SO_KEEPALIVE).
+  int keepalive_seconds = 0;
   double drain_timeout_seconds = 30;  ///< force-close laggards on shutdown
   std::size_t max_output_bytes = 1 << 20;  ///< per-conn pending-out cap
   std::size_t read_chunk = 64 * 1024;      ///< bytes per read() call
@@ -156,6 +163,15 @@ struct NetServerSummary {
   DispatcherStats dispatcher;
   TopologyCacheStats cache;
 };
+
+/// Arms TCP keepalive probes on `fd`: SO_KEEPALIVE on, first probe after
+/// `idle_seconds` of silence (TCP_KEEPIDLE), then probes every
+/// max(1, idle_seconds / 3) seconds (TCP_KEEPINTVL) with 3 strikes
+/// (TCP_KEEPCNT) before the kernel declares the peer dead.  Returns false
+/// (without throwing) if any setsockopt fails — keepalive is best-effort
+/// hardening, not correctness.  Exposed for tests; NetServer applies it
+/// to every accepted socket when NetServerConfig::keepalive_seconds > 0.
+bool arm_tcp_keepalive(int fd, int idle_seconds);
 
 class NetServer {
  public:

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -50,11 +51,14 @@ struct StreamServerConfig {
 };
 
 struct StreamServerSummary {
-  std::size_t requests = 0;
-  std::size_t ok = 0;
-  std::size_t infeasible = 0;
-  std::size_t errors = 0;       ///< bad topology key, rejection, solver throw
-  std::size_t over_budget = 0;  ///< solved but cost_budget missed
+  // Fixed 64-bit counters (not size_t): a simulated day at 10^5-10^6
+  // users streams billions of delta records through one summary, which
+  // would wrap 32-bit size_t on small targets.
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t errors = 0;      ///< bad topology key, rejection, solver throw
+  std::uint64_t over_budget = 0;  ///< solved but cost_budget missed
   /// The input stream ended mid-record or was malformed.  In-flight
   /// results are still emitted and the summary block still printed; the
   /// CLI turns this into a nonzero exit.

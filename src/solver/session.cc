@@ -197,6 +197,46 @@ void SolveSession::enforce_budget() {
   bytes_resident_.store(total);
 }
 
+std::size_t SolveSession::compact() {
+  std::scoped_lock solve_lock(solve_mutex_);
+  std::vector<dp::PowerSubtreeCache*> power;
+  std::vector<dp::MinCostSubtreeCache*> min_cost;
+  {
+    std::scoped_lock lock(caches_mutex_);
+    for (auto& [key, cache] : power_caches_) power.push_back(cache.get());
+    for (auto& [key, cache] : min_cost_caches_) {
+      min_cost.push_back(cache.get());
+    }
+  }
+  std::size_t total = 0;
+  for (auto* cache : power) {
+    cache->pack_all();
+    total += cache_bytes(*cache);
+  }
+  for (auto* cache : min_cost) {
+    cache->pack_all();
+    total += cache_bytes(*cache);
+  }
+  return total;
+}
+
+std::size_t SolveSession::resident_bytes() {
+  std::scoped_lock solve_lock(solve_mutex_);
+  std::vector<dp::PowerSubtreeCache*> power;
+  std::vector<dp::MinCostSubtreeCache*> min_cost;
+  {
+    std::scoped_lock lock(caches_mutex_);
+    for (auto& [key, cache] : power_caches_) power.push_back(cache.get());
+    for (auto& [key, cache] : min_cost_caches_) {
+      min_cost.push_back(cache.get());
+    }
+  }
+  std::size_t total = 0;
+  for (auto* cache : power) total += cache_bytes(*cache);
+  for (auto* cache : min_cost) total += cache_bytes(*cache);
+  return total;
+}
+
 void SolveSession::save(binio::Writer& w) {
   std::scoped_lock solve_lock(solve_mutex_);
   // Snapshot the cache pointers under the map lock, then write in sorted

@@ -130,6 +130,18 @@ class SolveSession {
   /// next solve simply runs cold).  Takes solve_mutex() internally.
   void restore(binio::Reader& r);
 
+  /// Losslessly packs every cached flow table (core/merge_kernel.h
+  /// PackedTable: dead-cell runs elided, cells narrowed to the width the
+  /// table needs), returning the resident cache bytes after packing.
+  /// Unlike enforce_budget()'s shedding this costs no recompute — the
+  /// next solve unpacks exactly the nodes it touches.  Takes
+  /// solve_mutex() internally — call between solves, not from one.
+  std::size_t compact();
+
+  /// Resident bytes of all cached DP state right now (accounting walk;
+  /// O(cached nodes)).  Takes solve_mutex() internally.
+  std::size_t resident_bytes();
+
  private:
   /// Sheds cached state until the byte budget holds: merge-tree snapshots
   /// first, whole node states last.  Within each pass victims are ranked

@@ -1,0 +1,137 @@
+#include "tree/aggregate.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace treeplace {
+
+Aggregation::Aggregation(std::shared_ptr<const Topology> original)
+    : original_(std::move(original)) {
+  TREEPLACE_CHECK_MSG(original_ != nullptr && !original_->empty(),
+                      "Aggregation over an empty topology");
+  const Topology& topo = *original_;
+  to_agg_.assign(topo.num_nodes(), kNoNode);
+  agg_client_.assign(topo.num_nodes(), kNoNode);
+
+  // Top-down rebuild: every internal node is added before its children, so
+  // one BFS pass suffices.  Internal children keep their original order;
+  // the aggregate client (when the node owns client children) is appended
+  // after them — the DPs never read child order for clients, they read
+  // client_mass.
+  TreeBuilder builder;
+  std::deque<NodeId> frontier{topo.root()};
+  to_agg_[static_cast<std::size_t>(topo.root())] = builder.add_root();
+  std::vector<std::pair<NodeId, NodeId>> agg_internal_of;  // (agg, orig)
+  agg_internal_of.emplace_back(to_agg_[static_cast<std::size_t>(topo.root())],
+                               topo.root());
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const NodeId agg_node = to_agg_[static_cast<std::size_t>(node)];
+    bool has_clients = false;
+    for (NodeId child : topo.children(node)) {
+      if (topo.is_internal(child)) {
+        const NodeId agg_child = builder.add_internal(agg_node);
+        to_agg_[static_cast<std::size_t>(child)] = agg_child;
+        agg_internal_of.emplace_back(agg_child, child);
+        frontier.push_back(child);
+      } else {
+        has_clients = true;
+      }
+    }
+    if (has_clients) {
+      // Mass is scenario state, not structure: the aggregate client is
+      // created empty and filled by aggregate(scenario).
+      const NodeId agg_client = builder.add_client(agg_node, /*requests=*/0);
+      agg_client_[static_cast<std::size_t>(node)] = agg_client;
+      for (NodeId child : topo.children(node)) {
+        if (!topo.is_internal(child)) {
+          to_agg_[static_cast<std::size_t>(child)] = agg_client;
+        }
+      }
+    }
+  }
+
+  Tree tree = std::move(builder).build();
+  aggregated_ = tree.topology_ptr();
+  to_orig_.assign(aggregated_->num_nodes(), kNoNode);
+  for (const auto& [agg, orig] : agg_internal_of) {
+    to_orig_[static_cast<std::size_t>(agg)] = orig;
+  }
+  for (std::size_t orig = 0; orig < topo.num_nodes(); ++orig) {
+    const NodeId agg = agg_client_[orig];
+    if (agg != kNoNode) {
+      to_orig_[static_cast<std::size_t>(agg)] = static_cast<NodeId>(orig);
+    }
+  }
+}
+
+Scenario Aggregation::aggregate(const Scenario& orig) const {
+  TREEPLACE_CHECK_MSG(orig.topology_ptr() == original_,
+                      "aggregate() on a scenario of a different topology");
+  Scenario agg(aggregated_);
+  for (NodeId node : original_->internal_ids()) {
+    const NodeId client = agg_client_[static_cast<std::size_t>(node)];
+    if (client != kNoNode) agg.set_requests(client, orig.client_mass(node));
+    if (orig.pre_existing(node)) {
+      agg.set_pre_existing(to_aggregated(node), orig.original_mode(node));
+    }
+  }
+  return agg;
+}
+
+std::vector<ScenarioDelta> Aggregation::map_deltas(
+    const Scenario& after, std::span<const ScenarioDelta> deltas) const {
+  TREEPLACE_CHECK_MSG(after.topology_ptr() == original_,
+                      "map_deltas() against a different topology");
+  std::vector<ScenarioDelta> out;
+  out.reserve(deltas.size());
+  // Burst folding: many users under one attachment point collapse into a
+  // single R carrying the final mass.  `emitted` keeps the pass O(|span|).
+  std::vector<NodeId> emitted;
+  for (const ScenarioDelta& d : deltas) {
+    switch (d.op) {
+      case ScenarioDelta::Op::kSetRequests: {
+        TREEPLACE_CHECK_MSG(
+            original_->valid_id(d.node) && original_->is_client(d.node),
+            "map_deltas: R names non-client " << d.node);
+        const NodeId parent = original_->parent(d.node);
+        if (std::find(emitted.begin(), emitted.end(), parent) !=
+            emitted.end()) {
+          break;
+        }
+        emitted.push_back(parent);
+        out.push_back(ScenarioDelta::set_requests(
+            agg_client_[static_cast<std::size_t>(parent)],
+            after.client_mass(parent)));
+        break;
+      }
+      case ScenarioDelta::Op::kSetPreExisting:
+        out.push_back(
+            ScenarioDelta::set_pre_existing(to_aggregated(d.node), d.mode));
+        break;
+      case ScenarioDelta::Op::kClearPreExisting:
+        out.push_back(
+            ScenarioDelta::clear_pre_existing(to_aggregated(d.node)));
+        break;
+      case ScenarioDelta::Op::kClearAllPre:
+        out.push_back(ScenarioDelta::clear_all_pre());
+        break;
+    }
+  }
+  return out;
+}
+
+Placement Aggregation::expand(const Placement& aggregated) const {
+  Placement out;
+  for (std::size_t i = 0; i < aggregated.nodes().size(); ++i) {
+    const NodeId node = aggregated.nodes()[i];
+    TREEPLACE_CHECK_MSG(aggregated_->is_internal(node),
+                        "expand: placement names client " << node);
+    out.add(to_orig_[static_cast<std::size_t>(node)], aggregated.modes()[i]);
+  }
+  return out;
+}
+
+}  // namespace treeplace

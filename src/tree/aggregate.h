@@ -1,0 +1,103 @@
+// Hierarchical client aggregation: collapse leaf client populations into
+// one weighted aggregate client per attachment point.
+//
+// Every DP engine in this library reads client state through exactly one
+// quantity — `Scenario::client_mass(j)`, the summed request volume of the
+// *client* children of internal node `j` (the `client(j)` of paper
+// Algorithm 2).  Replacing an internal node's client children by a single
+// aggregate client carrying their total therefore changes nothing the
+// solvers can observe: objective values, placements (over internal nodes,
+// which survive 1:1) and work counters are bit-identical.  What it does
+// change is the node count the scenario layer pays for — a million users
+// on 10^4 distinct attachment points cost 10^4 leaves, so per-request
+// scenario forks, delta planning and serve-side session state scale with
+// the *network*, not the user population.
+//
+// An Aggregation is built once per topology (it is purely structural:
+// which internal nodes own client children is scenario-independent) and
+// then provides the full round-trip:
+//
+//   * aggregate(scenario)      — the aggregated Scenario (masses + E set);
+//   * map_deltas(after, span)  — rewrite a user-level delta span into the
+//     equivalent aggregate-level span (one R per touched attachment
+//     point, carrying the parent's new total mass);
+//   * expand(placement)        — map an aggregated solve's placement back
+//     to original node ids (internal ids survive aggregation, so this is
+//     a pure renumbering);
+//   * to_original()/to_aggregated() — the id maps themselves, for mapping
+//     per-node work counters or diagnostics either way.
+//
+// Exactness is fuzz-gated by tests/tree/aggregate_test.cc (three engines,
+// 1 and 4 solver threads) and by the aggregated rows of bench/warm_start
+// and bench/day_serve.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/placement.h"
+#include "tree/scenario_delta.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+class Aggregation {
+ public:
+  /// Builds the aggregated topology for `original`: internal structure
+  /// copied 1:1 (same parent relation, children in original order), and
+  /// each internal node that owns at least one client child gets exactly
+  /// one aggregate client in its place.
+  explicit Aggregation(std::shared_ptr<const Topology> original);
+
+  const std::shared_ptr<const Topology>& original() const {
+    return original_;
+  }
+  const std::shared_ptr<const Topology>& aggregated() const {
+    return aggregated_;
+  }
+
+  /// Aggregated id of an original node: internal nodes map to their
+  /// aggregated twin, clients to the aggregate client of their parent.
+  NodeId to_aggregated(NodeId original_id) const {
+    return to_agg_[static_cast<std::size_t>(original_id)];
+  }
+  /// Original id of an aggregated node: internal nodes map back 1:1;
+  /// an aggregate client maps to its parent's *original* internal id
+  /// (the attachment point — individual users are no longer separable).
+  NodeId to_original(NodeId aggregated_id) const {
+    return to_orig_[static_cast<std::size_t>(aggregated_id)];
+  }
+  /// The aggregate client under original internal node `j`, or kNoNode
+  /// when `j` owns no client children.
+  NodeId aggregate_client(NodeId original_internal) const {
+    return agg_client_[static_cast<std::size_t>(original_internal)];
+  }
+
+  /// The aggregated scenario equivalent to `orig`: every aggregate client
+  /// carries its attachment point's client mass, the pre-existing set and
+  /// original modes copy over.  `orig` must belong to original().
+  Scenario aggregate(const Scenario& orig) const;
+
+  /// Rewrites a user-level delta span into the equivalent aggregate-level
+  /// span, reading the *post-delta* client masses from `after` (the
+  /// original scenario with `deltas` already applied).  Multiple edits
+  /// under one attachment point fold into a single R record; E/X/Z pass
+  /// through with renumbered ids.  The result upholds the warm-start
+  /// contract: it names every aggregate-level edit the span implies.
+  std::vector<ScenarioDelta> map_deltas(
+      const Scenario& after, std::span<const ScenarioDelta> deltas) const;
+
+  /// Maps a placement over the aggregated topology back to original node
+  /// ids.  Placements only ever name internal nodes, which survive 1:1.
+  Placement expand(const Placement& aggregated) const;
+
+ private:
+  std::shared_ptr<const Topology> original_;
+  std::shared_ptr<const Topology> aggregated_;
+  std::vector<NodeId> to_agg_;     ///< per original node id
+  std::vector<NodeId> to_orig_;    ///< per aggregated node id
+  std::vector<NodeId> agg_client_; ///< per original node id; internal only
+};
+
+}  // namespace treeplace

@@ -142,11 +142,36 @@ TEST(MergeKernelTest, AllPathsMatchTheSerialOracle) {
   }
 }
 
+namespace {
+
+/// Edits a few cells in place: value changes, invalidations, and newly
+/// valid cells all occur.
+void dirty_cells(std::vector<RequestCount>& flow, std::size_t edits,
+                 Xoshiro256& rng) {
+  for (std::size_t e = 0; e < edits; ++e) {
+    const std::size_t i = rng.uniform(0, flow.size() - 1);
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        flow[i] = kInvalidFlow;
+        break;
+      case 1:
+        flow[i] = rng.uniform(0, 9);
+        break;
+      default:
+        flow[i] = (flow[i] == kInvalidFlow) ? 3 : flow[i] + 1;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 TEST(MergeKernelTest, LazyJoinMatchesFullRebuild) {
   JoinScratch scratch;
   Xoshiro256 rng(0xfeedu);
   int lazy_runs = 0;
-  for (int round = 0; round < 80; ++round) {
+  int both_dirty_runs = 0;
+  for (int round = 0; round < 120; ++round) {
     const std::vector<int> lbounds = random_bounds(rng, 2, 7);
     std::vector<int> rbounds = lbounds;
     for (int& b : rbounds) b = static_cast<int>(rng.uniform(1, 7));
@@ -156,39 +181,30 @@ TEST(MergeKernelTest, LazyJoinMatchesFullRebuild) {
     const RequestCount cap = 14;
     std::vector<RequestCount> lflow = random_table(lbox, 0.7, 9, rng);
     std::vector<RequestCount> rflow = random_table(rbox, 0.7, 9, rng);
-    const bool dirty_is_left = (round % 2) == 0;
+    // Alternate which side(s) get dirtied: left only, right only, or both
+    // (the rolling multi-delta case).
+    const bool dirty_left = (round % 3) != 1;
+    const bool dirty_right = (round % 3) != 0;
 
     // The previous solve's output, built by a full join.
     const JoinInputs old_in{&lbox, lflow, &rbox, rflow, &obox, cap};
     const JoinResult old = naive_join(old_in);
 
-    // Dirty one operand in a few cells: value changes, invalidations, and
-    // newly valid cells all occur.
-    std::vector<RequestCount> dirty = dirty_is_left ? lflow : rflow;
-    const std::size_t edits = 1 + rng.uniform(0, 2);
-    for (std::size_t e = 0; e < edits; ++e) {
-      const std::size_t i = rng.uniform(0, dirty.size() - 1);
-      switch (rng.uniform(0, 2)) {
-        case 0:
-          dirty[i] = kInvalidFlow;
-          break;
-        case 1:
-          dirty[i] = rng.uniform(0, 9);
-          break;
-        default:
-          dirty[i] = (dirty[i] == kInvalidFlow) ? 3 : dirty[i] + 1;
-          break;
-      }
-    }
-    std::vector<std::uint32_t> changed;
-    ASSERT_TRUE(diff_tables(dirty_is_left ? lflow : rflow, dirty,
-                            dirty.size(), changed));
-    if (changed.empty()) continue;  // edits cancelled out
-    if (dirty_is_left) {
+    std::vector<std::uint32_t> changed_left;
+    std::vector<std::uint32_t> changed_right;
+    if (dirty_left) {
+      std::vector<RequestCount> dirty = lflow;
+      dirty_cells(dirty, 1 + rng.uniform(0, 2), rng);
+      ASSERT_TRUE(diff_tables(lflow, dirty, dirty.size(), changed_left));
       lflow = dirty;
-    } else {
+    }
+    if (dirty_right) {
+      std::vector<RequestCount> dirty = rflow;
+      dirty_cells(dirty, 1 + rng.uniform(0, 2), rng);
+      ASSERT_TRUE(diff_tables(rflow, dirty, dirty.size(), changed_right));
       rflow = dirty;
     }
+    if (changed_left.empty() && changed_right.empty()) continue;
 
     const JoinInputs in{&lbox, lflow, &rbox, rflow, &obox, cap};
     const JoinResult expected = naive_join(in);
@@ -196,8 +212,8 @@ TEST(MergeKernelTest, LazyJoinMatchesFullRebuild) {
     LazyJoin lazy;
     lazy.old_flow = old.flow;
     lazy.old_dec = old.dec;
-    lazy.changed = changed;
-    lazy.dirty_is_left = dirty_is_left;
+    lazy.changed_left = changed_left;
+    lazy.changed_right = changed_right;
     KernelConfig cfg;
     cfg.lazy_max_changed = 1.0;  // always worth attempting
 
@@ -207,16 +223,20 @@ TEST(MergeKernelTest, LazyJoinMatchesFullRebuild) {
                                        &lazy, cfg);
     if (stats.lazy) {
       ++lazy_runs;
+      if (!changed_left.empty() && !changed_right.empty()) ++both_dirty_runs;
       EXPECT_LE(stats.cells_skipped, obox.size());
     } else {
       EXPECT_EQ(stats.cells_skipped, 0u);
     }
     expect_joins_match(expected, flow, dec,
-                       "lazy round " + std::to_string(round) +
-                           (dirty_is_left ? " dirty-left" : " dirty-right"));
+                       "lazy round " + std::to_string(round) + " dirty " +
+                           (dirty_left ? "L" : "") +
+                           (dirty_right ? "R" : ""));
   }
-  // The point of the fuzz is the lazy path; make sure it actually ran.
-  EXPECT_GT(lazy_runs, 20);
+  // The point of the fuzz is the lazy path; make sure it actually ran,
+  // including the two-dirty-operand generalization.
+  EXPECT_GT(lazy_runs, 30);
+  EXPECT_GT(both_dirty_runs, 10);
 }
 
 TEST(MergeKernelTest, DiffTablesListsChangesAndBails) {
@@ -292,6 +312,177 @@ TEST(MergeKernelTest, BoxRejectsTablesBeyond32BitCells) {
   // constructor must refuse instead of silently narrowing.
   EXPECT_THROW(Box({70000, 70000}), CheckError);
   EXPECT_NO_THROW(Box({70000, 1}));
+}
+
+TEST(MergeKernelTest, PackedTableRoundTripsRandomTables) {
+  Xoshiro256 rng(0xbeefu);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t cells = rng.uniform(0, 300);
+    std::vector<RequestCount> flow(cells, kInvalidFlow);
+    // Mixed density: some tables nearly empty, some nearly full, values
+    // spanning all three widths.
+    const std::uint64_t density = rng.uniform(0, 10);
+    for (auto& cell : flow) {
+      if (rng.uniform(0, 9) >= density) continue;
+      switch (rng.uniform(0, 2)) {
+        case 0: cell = rng.uniform(0, 0xFFFF); break;
+        case 1: cell = rng.uniform(0, 0xFFFFFFFFull); break;
+        default: cell = rng.uniform(0, kInvalidFlow - 1); break;
+      }
+    }
+    const PackedTable packed = PackedTable::pack(flow);
+    ASSERT_EQ(packed.cells(), cells);
+    std::vector<RequestCount> out(cells, 0);
+    packed.unpack(out);
+    EXPECT_EQ(out, flow) << "round " << round;
+  }
+}
+
+TEST(MergeKernelTest, PackedTablePicksTheNarrowestWidth) {
+  const std::vector<RequestCount> small{1, kInvalidFlow, 0xFFFF};
+  EXPECT_EQ(PackedTable::pack(small).width(), 2);
+  const std::vector<RequestCount> medium{1, 0x10000};
+  EXPECT_EQ(PackedTable::pack(medium).width(), 4);
+  const std::vector<RequestCount> wide{1, 0x100000000ull};
+  EXPECT_EQ(PackedTable::pack(wide).width(), 8);
+  // All-invalid tables carry no payload at all.
+  const std::vector<RequestCount> dead(64, kInvalidFlow);
+  const PackedTable packed = PackedTable::pack(dead);
+  EXPECT_TRUE(packed.runs().empty());
+  EXPECT_TRUE(packed.payload().empty());
+  std::vector<RequestCount> out(64, 0);
+  packed.unpack(out);
+  EXPECT_EQ(out, dead);
+}
+
+TEST(MergeKernelTest, PackedTableElidesDeadCells) {
+  // A sparse table: the encoding must cost ~valid_cells * width, not
+  // cells * 8 — the >= 2x session-bytes claim rests on this.
+  std::vector<RequestCount> flow(1024, kInvalidFlow);
+  for (std::size_t i = 0; i < flow.size(); i += 16) flow[i] = i;
+  const PackedTable packed = PackedTable::pack(flow);
+  EXPECT_EQ(packed.width(), 2);
+  EXPECT_LE(packed.heap_bytes(),
+            flow.size() * sizeof(RequestCount) / 4);
+}
+
+TEST(MergeKernelTest, PackedDecisionsRoundTripAtNarrowWidths) {
+  Xoshiro256 rng(0xdecau);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t cells = rng.uniform(0, 200);
+    const std::uint32_t left_max =
+        round % 3 == 0 ? 0xFF : round % 3 == 1 ? 0xFFFF : 0xFFFFFF;
+    std::vector<Decision> dec(cells);
+    for (Decision& d : dec) {
+      d.left = static_cast<std::uint32_t>(rng.uniform(0, left_max));
+      d.right = static_cast<std::uint32_t>(rng.uniform(0, 0xFFFF));
+      d.mode = static_cast<std::int8_t>(
+          static_cast<int>(rng.uniform(0, 5)) - 1);
+    }
+    const PackedDecisions packed = PackedDecisions::pack(dec);
+    EXPECT_LE(packed.cell_bytes(), 7);  // never the padded 12 bytes
+    std::vector<Decision> out(cells);
+    packed.unpack(out);
+    for (std::size_t i = 0; i < cells; ++i) {
+      EXPECT_EQ(out[i].left, dec[i].left);
+      EXPECT_EQ(out[i].right, dec[i].right);
+      EXPECT_EQ(out[i].mode, dec[i].mode);
+    }
+  }
+}
+
+TEST(MergeKernelTest, PackedDecisionsElideDeadCellsBehindFlowRuns) {
+  // A sparse companion flow table shrinks the decision encoding to the
+  // valid cells (plus the shared run list); dead cells decode zeroed and
+  // garbage operands in them must not widen the chosen flats.
+  Xoshiro256 rng(0xe11du);
+  std::vector<RequestCount> flow(512, kInvalidFlow);
+  std::vector<Decision> dec(512);
+  for (std::size_t i = 0; i < dec.size(); ++i) {
+    dec[i].left = 0xFFFFFFFFu;  // garbage everywhere...
+    dec[i].right = 0xFFFFFFFFu;
+    dec[i].mode = -1;
+    if (i % 8 == 0) {  // ...except the valid 1/8 of cells
+      flow[i] = static_cast<RequestCount>(rng.uniform(0, 1000));
+      dec[i].left = static_cast<std::uint32_t>(rng.uniform(0, 200));
+      dec[i].right = static_cast<std::uint32_t>(rng.uniform(0, 200));
+      dec[i].mode = static_cast<std::int8_t>(rng.uniform(0, 3));
+    }
+  }
+  const PackedDecisions packed = PackedDecisions::pack(dec, flow);
+  EXPECT_TRUE(packed.elided());
+  EXPECT_EQ(packed.cell_bytes(), 3);  // garbage did not force width 4
+  EXPECT_LE(packed.heap_bytes(), dec.size() * sizeof(Decision) / 4);
+  std::vector<Decision> out(dec.size());
+  packed.unpack(out);
+  for (std::size_t i = 0; i < dec.size(); ++i) {
+    if (flow[i] != kInvalidFlow) {
+      EXPECT_EQ(out[i].left, dec[i].left);
+      EXPECT_EQ(out[i].right, dec[i].right);
+      EXPECT_EQ(out[i].mode, dec[i].mode);
+    } else {
+      EXPECT_EQ(out[i].left, 0u);
+      EXPECT_EQ(out[i].right, 0u);
+      EXPECT_EQ(out[i].mode, -1);
+    }
+  }
+}
+
+TEST(MergeKernelTest, PackedDecisionsFromPartsRejectsCorruptShapes) {
+  using Run = PackedTable::Run;
+  const auto payload = [](std::size_t n) {
+    return std::vector<std::uint8_t>(n, 0);
+  };
+  EXPECT_NO_THROW(PackedDecisions::from_parts(4, 0, 1, 2, {}, payload(16)));
+  // Bad widths.
+  EXPECT_THROW(PackedDecisions::from_parts(4, 0, 3, 2, {}, payload(24)),
+               CheckError);
+  EXPECT_THROW(PackedDecisions::from_parts(4, 0, 1, 8, {}, payload(40)),
+               CheckError);
+  // Payload size mismatch.
+  EXPECT_THROW(PackedDecisions::from_parts(4, 0, 1, 2, {}, payload(15)),
+               CheckError);
+  // Dense encodings must not carry runs.
+  EXPECT_THROW(
+      PackedDecisions::from_parts(4, 0, 1, 2, {Run{0, 4}}, payload(16)),
+      CheckError);
+  // Elided: run out of bounds / overlapping, payload vs covered cells.
+  EXPECT_NO_THROW(
+      PackedDecisions::from_parts(8, 1, 1, 2, {Run{2, 2}}, payload(8)));
+  EXPECT_THROW(
+      PackedDecisions::from_parts(8, 1, 1, 2, {Run{6, 4}}, payload(16)),
+      CheckError);
+  EXPECT_THROW(PackedDecisions::from_parts(
+                   8, 1, 1, 2, {Run{2, 2}, Run{1, 2}}, payload(16)),
+               CheckError);
+  EXPECT_THROW(
+      PackedDecisions::from_parts(8, 1, 1, 2, {Run{2, 2}}, payload(12)),
+      CheckError);
+}
+
+TEST(MergeKernelTest, PackedTableFromPartsRejectsCorruptShapes) {
+  using Run = PackedTable::Run;
+  const auto payload = [](std::size_t n) {
+    return std::vector<std::uint8_t>(n, 0);
+  };
+  // Valid baseline.
+  EXPECT_NO_THROW(PackedTable::from_parts(8, 2, {Run{1, 3}}, payload(6)));
+  // Bad width.
+  EXPECT_THROW(PackedTable::from_parts(8, 3, {Run{1, 3}}, payload(9)),
+               CheckError);
+  // Zero-length run.
+  EXPECT_THROW(PackedTable::from_parts(8, 2, {Run{1, 0}}, payload(0)),
+               CheckError);
+  // Overlapping / non-ascending runs.
+  EXPECT_THROW(
+      PackedTable::from_parts(8, 2, {Run{0, 3}, Run{2, 2}}, payload(10)),
+      CheckError);
+  // Run past the end of the table.
+  EXPECT_THROW(PackedTable::from_parts(8, 2, {Run{6, 3}}, payload(6)),
+               CheckError);
+  // Payload size mismatch.
+  EXPECT_THROW(PackedTable::from_parts(8, 2, {Run{1, 3}}, payload(7)),
+               CheckError);
 }
 
 }  // namespace

@@ -137,5 +137,100 @@ TEST(TreeGenTest, InvalidConfigsThrow) {
   EXPECT_THROW(generate_tree(config, 1, 0), CheckError);
 }
 
+// ---------------------------------------------------------------------------
+// Skew trees (the million-user serving shape)
+
+TEST(SkewTreeTest, ExactCountsAndRequestRange) {
+  SkewTreeConfig config;
+  config.num_internal = 150;
+  config.num_users = 5000;
+  config.min_requests = 2;
+  config.max_requests = 4;
+  const Tree t = generate_skew_tree(config, 3, 0);
+  EXPECT_EQ(t.num_internal(), 150u);
+  EXPECT_EQ(t.num_clients(), 5000u);
+  for (NodeId client : t.client_ids()) {
+    EXPECT_GE(t.requests(client), 2u);
+    EXPECT_LE(t.requests(client), 4u);
+  }
+}
+
+TEST(SkewTreeTest, DeterministicForSameSeedDistinctAcrossIndices) {
+  SkewTreeConfig config;
+  config.num_internal = 80;
+  config.num_users = 1000;
+  const Tree a = generate_skew_tree(config, 11, 0);
+  const Tree b = generate_skew_tree(config, 11, 0);
+  const Tree c = generate_skew_tree(config, 11, 1);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.total_requests(), b.total_requests());
+  for (NodeId node : a.internal_ids()) {
+    EXPECT_EQ(a.client_mass(node), b.client_mass(node));
+  }
+  bool differs = c.num_nodes() != a.num_nodes() ||
+                 c.total_requests() != a.total_requests();
+  if (!differs) {
+    for (NodeId node : a.internal_ids()) {
+      if (a.client_mass(node) != c.client_mass(node)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SkewTreeTest, ZipfAttachmentConcentratesUsers) {
+  // With attach_skew > 0 the hottest attachment points own far more than
+  // a uniform share of the users.
+  SkewTreeConfig config;
+  config.num_internal = 200;
+  config.num_users = 20000;
+  config.attach_skew = 0.8;
+  const Tree t = generate_skew_tree(config, 5, 0);
+  std::vector<std::uint64_t> users_per_node;
+  for (NodeId node : t.internal_ids()) {
+    std::uint64_t users = 0;
+    for (NodeId child : t.children(node)) {
+      if (t.is_client(child)) ++users;
+    }
+    users_per_node.push_back(users);
+  }
+  std::sort(users_per_node.rbegin(), users_per_node.rend());
+  const double uniform_share =
+      static_cast<double>(config.num_users) / 200.0;  // = 100
+  EXPECT_GT(users_per_node.front(), 5 * uniform_share);
+  // Top 10% of attachment points own ~4x their uniform share.
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < 20; ++i) top += users_per_node[i];
+  EXPECT_GT(top, config.num_users * 2 / 5);
+}
+
+TEST(SkewTreeTest, HubsWidenTheFanout) {
+  SkewTreeConfig config;
+  config.num_internal = 400;
+  config.num_users = 100;
+  config.shape = TreeShape{2, 4};
+  config.hub_probability = 0.2;
+  config.hub_fanout = 24;
+  const Tree t = generate_skew_tree(config, 9, 0);
+  std::size_t max_internal_fanout = 0;
+  for (NodeId node : t.internal_ids()) {
+    max_internal_fanout =
+        std::max(max_internal_fanout, t.internal_children(node).size());
+  }
+  EXPECT_GT(max_internal_fanout, 4u);   // some hub exceeded the base shape
+  EXPECT_LE(max_internal_fanout, 24u);  // but respected the hub ceiling
+}
+
+TEST(SkewTreeTest, InvalidConfigsThrow) {
+  SkewTreeConfig bad;
+  bad.hub_fanout = 1;  // below shape.max_children
+  EXPECT_THROW(generate_skew_tree(bad, 1, 0), CheckError);
+  SkewTreeConfig negative_skew;
+  negative_skew.attach_skew = -0.5;
+  EXPECT_THROW(generate_skew_tree(negative_skew, 1, 0), CheckError);
+}
+
 }  // namespace
 }  // namespace treeplace

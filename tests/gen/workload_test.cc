@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "gen/tree_gen.h"
 
 namespace treeplace {
@@ -77,6 +81,103 @@ TEST(WorkloadTest, PerturbClampsAtBounds) {
     EXPECT_GE(t.requests(c), 1u);
     EXPECT_LE(t.requests(c), 6u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Diurnal workload engine
+
+TEST(WorkloadTest, DiurnalTicksPerDayFromCadence) {
+  const Tree t = make_tree();
+  DiurnalConfig config;
+  config.day_seconds = 86400.0;
+  config.tick_seconds = 300.0;
+  DiurnalWorkload workload(t.topology_ptr(), config, Xoshiro256(5));
+  EXPECT_EQ(workload.ticks_per_day(), 288u);
+}
+
+TEST(WorkloadTest, DiurnalIsDeterministicInTheSeed) {
+  const Tree t = make_tree();
+  DiurnalConfig config;
+  DiurnalWorkload a(t.topology_ptr(), config, Xoshiro256(17));
+  DiurnalWorkload b(t.topology_ptr(), config, Xoshiro256(17));
+  for (int i = 0; i < 50; ++i) {
+    const DiurnalWorkload::Tick ta = a.next();
+    const DiurnalWorkload::Tick tb = b.next();
+    EXPECT_DOUBLE_EQ(ta.multiplier, tb.multiplier);
+    ASSERT_EQ(ta.deltas.size(), tb.deltas.size());
+    for (std::size_t k = 0; k < ta.deltas.size(); ++k) {
+      EXPECT_EQ(ta.deltas[k].node, tb.deltas[k].node);
+      EXPECT_EQ(ta.deltas[k].requests, tb.deltas[k].requests);
+    }
+  }
+}
+
+TEST(WorkloadTest, DiurnalDeltasNameClientsAndSizeWithTouchFraction) {
+  Tree t = make_tree();
+  DiurnalConfig config;
+  config.touch_fraction = 0.05;
+  DiurnalWorkload workload(t.topology_ptr(), config, Xoshiro256(3));
+  const std::size_t expected =
+      static_cast<std::size_t>(t.client_ids().size() * 0.05);
+  for (int i = 0; i < 20; ++i) {
+    DiurnalWorkload::Tick tick = workload.next();
+    EXPECT_EQ(tick.deltas.size(), std::max<std::size_t>(1, expected));
+    for (const ScenarioDelta& d : tick.deltas) {
+      EXPECT_EQ(d.op, ScenarioDelta::Op::kSetRequests);
+      EXPECT_TRUE(t.is_client(d.node));
+      EXPECT_GE(d.requests, 1u);
+      // Deltas are native serve vocabulary — applying them must be legal.
+      apply_delta(t.scenario(), d);
+    }
+  }
+}
+
+TEST(WorkloadTest, DiurnalMultiplierPeaksMidDayAndTroughsAtNight) {
+  const Tree t = make_tree();
+  DiurnalConfig config;
+  config.tick_seconds = 3600.0;  // 24 ticks/day
+  config.amplitude = 0.6;
+  config.peak_fraction = 0.58;
+  config.flash_probability = 0.0;  // isolate the sine
+  DiurnalWorkload workload(t.topology_ptr(), config, Xoshiro256(9));
+  std::vector<double> mult;
+  for (std::size_t i = 0; i < workload.ticks_per_day(); ++i) {
+    mult.push_back(workload.next().multiplier);
+  }
+  // Peak lands at ~14:00 (hour 14 of 24 at peak_fraction 0.58), trough
+  // ~12 hours away; the diurnal swing covers [1-a, 1+a].
+  const auto peak = std::max_element(mult.begin(), mult.end());
+  const auto trough = std::min_element(mult.begin(), mult.end());
+  EXPECT_NEAR(*peak, 1.6, 0.05);
+  EXPECT_NEAR(*trough, 0.4, 0.05);
+  const auto peak_hour = std::distance(mult.begin(), peak);
+  EXPECT_NEAR(static_cast<double>(peak_hour), 14.0, 1.5);
+}
+
+TEST(WorkloadTest, DiurnalFlashCrowdsRampAndDecay) {
+  const Tree t = make_tree();
+  DiurnalConfig config;
+  config.flash_probability = 0.2;  // frequent, to observe several spikes
+  config.flash_magnitude = 4.0;
+  config.flash_ticks = 6;
+  config.amplitude = 0.0;  // isolate the flash ramp
+  DiurnalWorkload workload(t.topology_ptr(), config, Xoshiro256(21));
+  int flash_ticks_seen = 0;
+  double max_mult = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const DiurnalWorkload::Tick tick = workload.next();
+    if (tick.flash) {
+      ++flash_ticks_seen;
+      EXPECT_GE(tick.multiplier, 1.0);
+      EXPECT_LE(tick.multiplier, config.flash_magnitude + 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(tick.multiplier, 1.0);
+    }
+    max_mult = std::max(max_mult, tick.multiplier);
+  }
+  EXPECT_GT(flash_ticks_seen, 10);
+  // The triangular ramp approaches (not necessarily hits) the magnitude.
+  EXPECT_GT(max_mult, 2.0);
 }
 
 }  // namespace

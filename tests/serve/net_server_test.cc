@@ -10,6 +10,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -342,6 +343,61 @@ TEST(NetServerTest, PollBackendServesIdentically) {
   }
   ::unsetenv("TREEPLACE_POLLER");
   EXPECT_EQ(strip_timings(received), stream_reference(stream));
+}
+
+TEST(NetServerTest, ArmTcpKeepaliveSetsAllFourSocketOptions) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(arm_tcp_keepalive(fd, 75));
+
+  int value = 0;
+  socklen_t len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &value, &len), 0);
+  EXPECT_NE(value, 0);
+  len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &value, &len), 0);
+  EXPECT_EQ(value, 75);
+  len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &value, &len), 0);
+  EXPECT_EQ(value, 25);  // max(1, 75 / 3)
+  len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &value, &len), 0);
+  EXPECT_EQ(value, 3);
+  ::close(fd);
+
+  // Sub-3-second idle clamps the probe interval to 1, never 0.
+  const int fast = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fast, 0);
+  EXPECT_TRUE(arm_tcp_keepalive(fast, 2));
+  len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fast, IPPROTO_TCP, TCP_KEEPINTVL, &value, &len), 0);
+  EXPECT_EQ(value, 1);
+  ::close(fast);
+}
+
+TEST(NetServerTest, ArmTcpKeepaliveIsBestEffortOnBadInput) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  EXPECT_FALSE(arm_tcp_keepalive(fd, 0));   // disabled: no-op, reports false
+  EXPECT_FALSE(arm_tcp_keepalive(fd, -5));  // negative idle never armed
+  ::close(fd);
+  EXPECT_FALSE(arm_tcp_keepalive(-1, 60));  // bad fd: false, no throw
+}
+
+TEST(NetServerTest, KeepaliveConfigArmsAcceptedSockets) {
+  NetServerConfig config = net_config(2, 8);
+  config.keepalive_seconds = 120;
+  RunningServer running(config);
+
+  const int fd = connect_loopback(running.port());
+  const std::string stream = make_stream();
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  // Keepalive hardening must not perturb the served bytes.
+  const std::string received = recv_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(strip_timings(received), stream_reference(stream));
+  running.stop();
 }
 
 }  // namespace

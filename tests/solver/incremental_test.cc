@@ -321,6 +321,60 @@ TEST(IncrementalSolveTest, WarmSolveSplicesCellsThroughLazyJoins) {
   }
 }
 
+TEST(IncrementalSolveTest, BurstDeltaBatchKeepsTheLazyJoinPath) {
+  // A burst: several clients across different arms change in one step, so
+  // the root's merge tree sees joins where BOTH operands moved.  The
+  // two-sided lazy kernel must still splice cells (not bail to full
+  // rebuilds) while staying bit-identical to a cold solve.
+  constexpr int kFanout = 48;
+  for (const char* algo : {"power-sym", "power-exact", "update-dp"}) {
+    Tree tree = make_star_tree(kFanout);
+    const bool single_mode = std::string(algo) == "update-dp";
+    const ModeSet modes =
+        single_mode ? ModeSet::single(10) : ModeSet({5, 10}, 12.5, 3.0);
+    const CostModel costs =
+        single_mode ? CostModel::simple(0.1, 0.01)
+                    : CostModel::uniform(2, 0.1, 0.01, 0.001, 0.001);
+    const auto warm_solver = make_solver(algo);
+    const auto cold_solver = make_solver(algo);
+    SolveSession session(tree.topology_ptr());
+
+    const auto instance = [&] {
+      return single_mode
+                 ? Instance::single_mode(tree.topology_ptr(), tree.scenario(),
+                                         10, 0.1, 0.01)
+                 : Instance{tree.topology_ptr(), tree.scenario(), modes,
+                            costs, std::nullopt};
+    };
+    warm_solver->solve_incremental(instance(), {}, session);
+
+    Xoshiro256 rng(0x6b75u * static_cast<std::uint64_t>(algo[0]));
+    std::uint64_t spliced_steps = 0;
+    for (int step = 0; step < 4; ++step) {
+      // 4-6 clients per burst, spread over distinct arms.
+      const int burst = 4 + static_cast<int>(rng.uniform(0, 2));
+      std::vector<ScenarioDelta> deltas;
+      for (int b = 0; b < burst; ++b) {
+        const NodeId client =
+            tree.client_ids()[(b * (kFanout / burst) + step) % kFanout];
+        deltas.push_back(ScenarioDelta::set_requests(
+            client, 1 + (tree.requests(client) + step) % 5));
+        apply_delta(tree.scenario(), deltas.back());
+      }
+      const std::uint64_t before = session.stats().cells_skipped;
+      const Solution warm =
+          warm_solver->solve_incremental(instance(), deltas, session);
+      expect_identical(warm, cold_solver->solve(instance()),
+                       std::string(algo) + " burst step " +
+                           std::to_string(step));
+      if (session.stats().cells_skipped > before) ++spliced_steps;
+    }
+    EXPECT_GE(spliced_steps, 3u)
+        << algo << ": burst deltas must keep splicing through lazy joins "
+        << "instead of bailing to full rebuilds";
+  }
+}
+
 TEST(IncrementalSolveTest, ByteBudgetShedsColdestSubtreesFirst) {
   // Repeatedly dirty one arm of a star: its root path becomes hot, every
   // other arm stays at zero invalidations.  Budget shedding must evict the

@@ -261,6 +261,108 @@ TEST(SessionSnapshotTest, UpdateDpRoundTripThreaded) {
 }
 
 // ---------------------------------------------------------------------------
+// Compaction: SolveSession::compact() packs resident tables losslessly.
+
+// `expect_halved`: the >= 2x floor only binds for the power-sym serving
+// engine, whose flow/decision tables dominate its sessions.  The other
+// engines' fuzz trees carry many one-cell slot tables where the
+// smaller-only commit rule in NodeState::pack leaves nodes arena-backed;
+// for them the gate is monotonicity (compact never grows a session) plus
+// the same bit-identity and serialization checks.
+void run_compact_fuzz(const FuzzSetup& setup, bool expect_halved) {
+  const ModeSet modes = setup.single_mode
+                            ? ModeSet::single(10)
+                            : ModeSet({5, 10}, 12.5, 3.0);
+  const CostModel costs =
+      setup.single_mode
+          ? CostModel::simple(0.1, 0.01)
+          : CostModel::uniform(modes.count(), 0.1, 0.01, 0.001, 0.001);
+  const auto solver = make_solver(setup.algo);
+  const auto cold_solver = make_solver(setup.algo);
+
+  Tree tree = make_fuzz_tree(93, 0, setup.num_internal);
+  SolveSession session(tree.topology_ptr());
+  Xoshiro256 rng = make_rng(93, 0, RngStream::kWorkloadUpdate);
+  solver->solve(
+      SolveRequest{make_instance(tree, setup, modes, costs), {}, &session});
+
+  for (int step = 0; step < 6; ++step) {
+    // Compact between steps: resident bytes must drop >= 2x (the solve
+    // just unpacked the whole reconstruction walk) and the next warm
+    // solve (which unpacks on demand) must stay bit-identical.
+    const std::string unpacked_bytes = save_to_bytes(session);
+    const std::size_t before = session.resident_bytes();
+    const std::size_t after = session.compact();
+    EXPECT_EQ(session.resident_bytes(), after);
+    if (expect_halved) {
+      EXPECT_LE(after * 2, before)
+          << setup.algo << " step " << step
+          << ": narrow-cell packing must at least halve resident bytes";
+    } else {
+      EXPECT_LE(after, before)
+          << setup.algo << " step " << step
+          << ": compact() must never grow a session";
+    }
+    EXPECT_EQ(session.compact(), after) << "compact() must be idempotent";
+    // A compacted session serializes to the same bytes as an unpacked one
+    // (deterministic pack), so persistence is compaction-oblivious.
+    EXPECT_EQ(save_to_bytes(session), unpacked_bytes)
+        << setup.algo << " step " << step;
+
+    const std::vector<ScenarioDelta> deltas =
+        random_step(tree.topology(), rng);
+    for (const ScenarioDelta& d : deltas) apply_delta(tree.scenario(), d);
+    const Instance instance = make_instance(tree, setup, modes, costs);
+    const Solution warm =
+        solver->solve(SolveRequest{instance, deltas, &session});
+    expect_identical(warm, cold_solver->solve(instance),
+                     setup.algo + " compacted step " + std::to_string(step));
+  }
+
+  // Round-trip a compacted session through the snapshot and ensure the
+  // restored session solves identically warm.
+  const std::string bytes = save_to_bytes(session);
+  Tree tree2 = make_fuzz_tree(93, 0, setup.num_internal);
+  // Replay the live scenario wholesale (same topology, same state).
+  for (NodeId client : tree.client_ids()) {
+    tree2.set_requests(client, tree.requests(client));
+  }
+  for (NodeId node : tree.internal_ids()) {
+    if (tree.pre_existing(node)) {
+      tree2.set_pre_existing(node, tree.original_mode(node));
+    } else {
+      tree2.clear_pre_existing(node);
+    }
+  }
+  SolveSession restored(tree2.topology_ptr());
+  restore_from_bytes(restored, bytes);
+  const std::vector<ScenarioDelta> deltas =
+      random_step(tree2.topology(), rng);
+  for (const ScenarioDelta& d : deltas) {
+    apply_delta(tree.scenario(), d);
+    apply_delta(tree2.scenario(), d);
+  }
+  const Instance instance = make_instance(tree2, setup, modes, costs);
+  const Solution warm =
+      solver->solve(SolveRequest{instance, deltas, &restored});
+  expect_identical(warm, cold_solver->solve(instance),
+                   setup.algo + " restored-from-compacted");
+  EXPECT_EQ(restored.stats().cold_solves, 0u);
+}
+
+TEST(SessionSnapshotTest, CompactHalvesResidentBytesPowerSym) {
+  run_compact_fuzz({"power-sym", 24, false}, /*expect_halved=*/true);
+}
+
+TEST(SessionSnapshotTest, CompactShrinksLosslesslyPowerExact) {
+  run_compact_fuzz({"power-exact", 12, false}, /*expect_halved=*/false);
+}
+
+TEST(SessionSnapshotTest, CompactShrinksLosslesslyUpdateDp) {
+  run_compact_fuzz({"update-dp", 24, true}, /*expect_halved=*/false);
+}
+
+// ---------------------------------------------------------------------------
 // Rejection: bad snapshots throw CheckError and leave no partial state.
 
 struct RejectionRig {

@@ -34,6 +34,7 @@
 #include "serve/net_server.h"
 #include "serve/stream_server.h"
 #include "treeplace.h"
+#include "tree/aggregate.h"
 #include "tree/metrics.h"
 
 using namespace treeplace;
@@ -53,6 +54,21 @@ constexpr int kExitUsage = 2;
       "  gen          generate a random distribution tree to stdout\n"
       "               --nodes N --shape fat|high --client-prob P\n"
       "               --requests LO,HI --pre E --modes M --seed S --index I\n"
+      "  workload     emit a simulated day of diurnal traffic as a serve\n"
+      "               stream (one skew tree + one scenario-delta record per\n"
+      "               tick) — pipe into `treeplace serve`\n"
+      "               --internal N       skew-tree internal nodes (400)\n"
+      "               --users U          client population (100000)\n"
+      "               --skew A           Zipf attachment skew (0.8)\n"
+      "               --requests LO,HI --pre E --seed S --index I\n"
+      "               --ticks T          delta batches (default: one day)\n"
+      "               --tick-seconds S   batch cadence (300 = 288/day)\n"
+      "               --touch F          clients re-drawn per tick (0.02)\n"
+      "               --amplitude A      diurnal swing (0.6)\n"
+      "               --flash-prob P     flash-crowd chance per tick (0.01)\n"
+      "               --aggregate        emit the aggregated tree and fold\n"
+      "                                  each batch into attachment-point\n"
+      "                                  records (Aggregation::map_deltas)\n"
       "  solve        run a registered solver on the tree(s) from stdin;\n"
       "               concatenated trees stream as a batch (one placement\n"
       "               per tree, shared solver instance)\n"
@@ -89,6 +105,11 @@ constexpr int kExitUsage = 2;
       "               --max-conns N      connection cap (default 4096)\n"
       "               --idle-timeout S   reap idle connections after S\n"
       "                                  seconds (0 = never, default 300)\n"
+      "               --keepalive S      arm TCP keepalive probes on every\n"
+      "                                  accepted socket (SO_KEEPALIVE,\n"
+      "                                  first probe after S idle seconds)\n"
+      "                                  so half-dead peers are reaped by\n"
+      "                                  the kernel (0 = off, default)\n"
       "               --shards K         independent serving shards behind\n"
       "                                  the router (default 1); a hello\n"
       "                                  name= pins a client to its shard\n"
@@ -115,7 +136,7 @@ class Args {
       key = key.substr(2);
       // "exact" stays a value-less flag so the legacy `solve-power --exact`
       // invocation reaches the migration hint instead of dying in parsing.
-      if (key == "list-algos" || key == "exact") {
+      if (key == "list-algos" || key == "exact" || key == "aggregate") {
         values_[key] = "1";
       } else {
         if (i + 1 >= argc) usage("missing value for --" + key);
@@ -205,6 +226,99 @@ int cmd_gen(const Args& args) {
                                static_cast<int>(args.get_int("modes", 1)));
   }
   serialize_tree(tree, std::cout);
+  return kExitSuccess;
+}
+
+/// One scenario delta as a serve-stream record line (the grammar of
+/// serve/request_stream.h — the inverse of its parse_delta_line).
+void print_delta_line(std::ostream& os, const ScenarioDelta& d) {
+  switch (d.op) {
+    case ScenarioDelta::Op::kSetRequests:
+      os << "R " << d.node << " " << d.requests << "\n";
+      break;
+    case ScenarioDelta::Op::kSetPreExisting:
+      os << "E " << d.node << " " << d.mode << "\n";
+      break;
+    case ScenarioDelta::Op::kClearPreExisting:
+      os << "X " << d.node << "\n";
+      break;
+    case ScenarioDelta::Op::kClearAllPre:
+      os << "Z\n";
+      break;
+  }
+}
+
+/// The diurnal workload engine driven through the serve stream format:
+/// one skew tree record, then one `treeplace-scenario v1 1` record per
+/// tick.  With --aggregate the *aggregated* tree is published and each
+/// user-level batch is folded through Aggregation::map_deltas into
+/// attachment-point records first — the million-user day collapses to a
+/// stream whose per-tick record count is bounded by the number of touched
+/// attachment points, not touched users.
+int cmd_workload(const Args& args) {
+  SkewTreeConfig gen;
+  gen.num_internal = static_cast<int>(get_count(args, "internal", 400, 1));
+  gen.num_users = get_count(args, "users", 100000, 1);
+  gen.attach_skew = args.get_double("skew", 0.8);
+  const auto requests = args.get_list("requests");
+  if (requests.size() == 2) {
+    gen.min_requests = requests[0];
+    gen.max_requests = requests[1];
+  } else if (!requests.empty()) {
+    usage("--requests expects LO,HI");
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto index = static_cast<std::uint64_t>(args.get_int("index", 0));
+  Tree tree = generate_skew_tree(gen, seed, index);
+  const std::size_t num_pre = get_count(args, "pre", 0, 0);
+  if (num_pre > 0) {
+    Xoshiro256 pre_rng = make_rng(seed, index, RngStream::kPreExisting);
+    assign_random_pre_existing(tree, num_pre, pre_rng,
+                               static_cast<int>(args.get_int("modes", 1)));
+  }
+
+  DiurnalConfig day;
+  day.tick_seconds = args.get_double("tick-seconds", day.tick_seconds);
+  day.touch_fraction = args.get_double("touch", day.touch_fraction);
+  day.amplitude = args.get_double("amplitude", day.amplitude);
+  day.flash_probability = args.get_double("flash-prob", day.flash_probability);
+  day.min_requests = gen.min_requests;
+  day.max_requests = gen.max_requests;
+  DiurnalWorkload workload(tree.topology_ptr(), day,
+                           make_rng(seed, index, RngStream::kWorkloadUpdate));
+  const std::size_t ticks =
+      get_count(args, "ticks", static_cast<std::int64_t>(
+                                   workload.ticks_per_day()), 1);
+
+  const bool aggregate = args.has("aggregate");
+  std::optional<Aggregation> agg;
+  if (aggregate) {
+    agg.emplace(tree.topology_ptr());
+    serialize_tree(Tree(agg->aggregated(), agg->aggregate(tree.scenario())),
+                   std::cout);
+  } else {
+    serialize_tree(tree, std::cout);
+  }
+
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    DiurnalWorkload::Tick t = workload.next();
+    // map_deltas reads post-delta client masses, so the user-level
+    // scenario is kept current even when only aggregate records are
+    // emitted.
+    for (const ScenarioDelta& d : t.deltas) apply_delta(tree.scenario(), d);
+    std::cout << "# tick " << tick << " sim_s=" << t.sim_seconds
+              << " mult=" << t.multiplier << (t.flash ? " flash" : "")
+              << "\n";
+    std::cout << "treeplace-scenario v1 1\n";
+    if (aggregate) {
+      for (const ScenarioDelta& d :
+           agg->map_deltas(tree.scenario(), t.deltas)) {
+        print_delta_line(std::cout, d);
+      }
+    } else {
+      for (const ScenarioDelta& d : t.deltas) print_delta_line(std::cout, d);
+    }
+  }
   return kExitSuccess;
 }
 
@@ -417,6 +531,8 @@ int cmd_serve_net(const Args& args, serve::StreamServerConfig stream_config) {
   config.port = static_cast<std::uint16_t>(port);
   config.max_conns = get_count(args, "max-conns", 4096, 1);
   config.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+  config.keepalive_seconds =
+      static_cast<int>(get_count(args, "keepalive", 0, 0));
   config.shards = get_count(args, "shards", 1, 1);
   config.persist_dir = args.get("persist", "");
   config.stream = std::move(stream_config);
@@ -533,6 +649,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   try {
     if (command == "gen") return cmd_gen(args);
+    if (command == "workload") return cmd_workload(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "list-algos" || command == "--list-algos") {
