@@ -52,6 +52,14 @@ struct DayConfig {
   std::size_t num_pre_existing = 0;
   bool verify_against_original = false;  ///< cold original solve per tick
   bool gate_pack_ratio = false;          ///< demand >= 2x compaction
+  /// Frozen-subtree contraction (SolveSession::Options::contract) for the
+  /// serving session.  Contracted rows run a *sparse* day (touch_fraction
+  /// below): contraction fires when the per-tick dirty set stays within
+  /// the delta fast-path gate, which a 2%-of-users day exceeds on the
+  /// aggregated tree.  Gated on subtrees_sealed > 0 and the same
+  /// bit-identity column as every other row.
+  bool contract = false;
+  double touch_fraction = 0.02;  ///< DiurnalConfig::touch_fraction
 };
 
 struct DayResult {
@@ -68,6 +76,7 @@ struct DayResult {
   std::size_t packed_bytes = 0;    ///< end-of-day, after compact()
   bool identical = true;  ///< verify config: aggregated == original
   bool pack_ok = true;    ///< gated config: ratio >= 2x
+  std::uint64_t subtrees_sealed = 0;  ///< contraction builds over the day
 };
 
 double percentile_ms(std::vector<double> seconds, double p) {
@@ -104,7 +113,13 @@ DayResult run_day(const DayConfig& config) {
   Scenario agg_scenario = aggregation.aggregate(tree.scenario());
   const auto warm_solver = make_solver(kAlgo);
   const auto cold_solver = make_solver(kAlgo);
-  SolveSession session(aggregation.aggregated());
+  SolveSession::Options session_options;
+  if (config.contract) {
+    session_options.contract = true;
+    session_options.contract_min_internal = 32;
+    session_options.contract_min_shrink = 2;
+  }
+  SolveSession session(aggregation.aggregated(), session_options);
 
   DayResult r;
   Stopwatch cold_watch;
@@ -119,6 +134,7 @@ DayResult run_day(const DayConfig& config) {
   const std::uint64_t skipped_base = session.stats().cells_skipped;
 
   DiurnalConfig diurnal;
+  diurnal.touch_fraction = config.touch_fraction;
   DiurnalWorkload workload(tree.topology_ptr(), diurnal, Xoshiro256(7002));
 
   std::vector<double> latencies;
@@ -160,6 +176,7 @@ DayResult run_day(const DayConfig& config) {
   r.p99_ms = percentile_ms(latencies, 0.99);
   r.unpacked_bytes = session.resident_bytes();
   r.packed_bytes = session.compact();
+  r.subtrees_sealed = session.stats().subtrees_sealed;
   if (config.gate_pack_ratio) {
     r.pack_ok = r.packed_bytes * 2 <= r.unpacked_bytes;
   }
@@ -187,13 +204,15 @@ void add_result(Table& table, Table& gate, const DayConfig& config,
                  r.p50_ms, r.p99_ms,
                  static_cast<double>(r.peak_bytes) / 1048576.0,
                  static_cast<double>(r.packed_bytes) / 1048576.0, ratio,
-                 identical, pack_ok});
+                 static_cast<std::int64_t>(r.subtrees_sealed), identical,
+                 pack_ok});
   gate.add_row({config.label, static_cast<std::int64_t>(config.num_users),
                 static_cast<std::int64_t>(config.ticks),
                 static_cast<std::int64_t>(r.user_deltas),
                 static_cast<std::int64_t>(r.agg_deltas),
                 static_cast<std::int64_t>(r.warm_work),
-                static_cast<std::int64_t>(r.cells_skipped), identical,
+                static_cast<std::int64_t>(r.cells_skipped),
+                static_cast<std::int64_t>(r.subtrees_sealed), identical,
                 pack_ok});
 }
 
@@ -220,15 +239,33 @@ int main(int argc, char** argv) {
                   scaled<std::size_t>(96, 288)),
        /*num_pre_existing=*/0, /*verify_against_original=*/false,
        /*gate_pack_ratio=*/true},
+      // Contracted twins of both rows on a *sparse* day (a tick touches a
+      // handful of users, the serving regime frozen-subtree contraction
+      // targets): the warm session solves each tick on a tree the size of
+      // the dirty region.  The verify twin keeps the per-tick cold solve
+      // of the un-aggregated original, so zero objective drift under
+      // contraction is gated exactly like aggregation exactness is.
+      {"verify_N4k_contract", 60, 4000, 20, /*num_pre_existing=*/10,
+       /*verify_against_original=*/true, /*gate_pack_ratio=*/false,
+       /*contract=*/true, /*touch_fraction=*/0.001},
+      {"day_N1e5_contract",
+       static_cast<int>(env_size_t("TREEPLACE_DAY_INTERNAL", 400)),
+       env_size_t("TREEPLACE_DAY_USERS", 100000),
+       env_size_t("TREEPLACE_DAY_TICKS",
+                  scaled<std::size_t>(96, 288)),
+       /*num_pre_existing=*/0, /*verify_against_original=*/false,
+       /*gate_pack_ratio=*/true, /*contract=*/true,
+       /*touch_fraction=*/0.0002},
   };
 
   Table table({"config", "users", "ticks", "user_deltas", "agg_deltas",
                "warm_work", "cells_skipped", "scen_per_sec", "p50_ms",
-               "p99_ms", "peak_mb", "packed_mb", "pack_ratio", "identical",
-               "pack_ok"});
+               "p99_ms", "peak_mb", "packed_mb", "pack_ratio",
+               "subtrees_sealed", "identical", "pack_ok"});
   table.set_title("Simulated day over a warm serving session");
   Table gate({"config", "users", "ticks", "user_deltas", "agg_deltas",
-              "warm_work", "cells_skipped", "identical", "pack_ok"});
+              "warm_work", "cells_skipped", "subtrees_sealed", "identical",
+              "pack_ok"});
   gate.set_title("day_serve (deterministic columns)");
 
   Stopwatch total;
@@ -244,6 +281,10 @@ int main(int argc, char** argv) {
       failures.push_back("config " + config.label + ": compact() ratio " +
                          std::to_string(r.unpacked_bytes) + "/" +
                          std::to_string(r.packed_bytes) + " below 2x");
+    }
+    if (config.contract && r.subtrees_sealed == 0) {
+      failures.push_back("config " + config.label +
+                         ": contraction never fired (subtrees_sealed == 0)");
     }
     add_result(table, gate, config, r);
   }

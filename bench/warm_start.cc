@@ -113,6 +113,7 @@ struct ChainResult {
   std::uint64_t warm_work = 0;
   std::uint64_t nodes_recomputed = 0;
   std::uint64_t nodes_reused = 0;
+  std::uint64_t cells_skipped = 0;
   double cold_seconds = 0.0;
   double warm_seconds = 0.0;
   bool identical = true;
@@ -169,6 +170,7 @@ ChainResult run_chain(const Config& config, const DeltaSize& delta,
   const SolveSession::Stats stats = session.stats();
   r.nodes_recomputed = stats.nodes_recomputed - primed.nodes_recomputed;
   r.nodes_reused = stats.nodes_reused - primed.nodes_reused;
+  r.cells_skipped = stats.cells_skipped - primed.cells_skipped;
   return r;
 }
 
@@ -189,13 +191,15 @@ void add_result(Table& table, Table& gate, const std::string& algo,
                  static_cast<std::int64_t>(r.cold_work),
                  static_cast<std::int64_t>(r.warm_work), ratio,
                  static_cast<std::int64_t>(r.nodes_recomputed),
-                 static_cast<std::int64_t>(r.nodes_reused), r.cold_seconds,
+                 static_cast<std::int64_t>(r.nodes_reused),
+                 static_cast<std::int64_t>(r.cells_skipped), r.cold_seconds,
                  r.warm_seconds, speedup, identical});
   gate.add_row({algo, label, static_cast<std::int64_t>(steps),
                 static_cast<std::int64_t>(r.cold_work),
                 static_cast<std::int64_t>(r.warm_work),
                 static_cast<std::int64_t>(r.nodes_recomputed),
-                static_cast<std::int64_t>(r.nodes_reused), identical});
+                static_cast<std::int64_t>(r.nodes_reused),
+                static_cast<std::int64_t>(r.cells_skipped), identical});
 }
 
 }  // namespace
@@ -214,12 +218,13 @@ int main(int argc, char** argv) {
   };
 
   Table table({"solver", "instance", "steps", "cold_work", "warm_work",
-               "work_ratio", "nodes_recomputed", "nodes_reused", "cold_s",
-               "warm_s", "speedup", "identical"});
+               "work_ratio", "nodes_recomputed", "nodes_reused",
+               "cells_skipped", "cold_s", "warm_s", "speedup", "identical"});
   table.set_title("Warm vs. cold re-solves (" + std::to_string(steps) +
                   " delta steps per row)");
   Table gate({"solver", "instance", "steps", "cold_work", "warm_work",
-              "nodes_recomputed", "nodes_reused", "identical"});
+              "nodes_recomputed", "nodes_reused", "cells_skipped",
+              "identical"});
   gate.set_title("warm_start (deterministic columns)");
 
   Stopwatch total;
@@ -265,6 +270,14 @@ int main(int argc, char** argv) {
   }
   run_row(Config{"update-dp", 0, true, 96},
           DeltaSize{"star96_delta_1", 1});
+
+  // Bursty batches: 8 arms of the 96-star dirty in ONE batch.  The
+  // rolling changed-cell footprint (dp::RollingDiffBudget) keeps the
+  // root-path joins lazy across the whole burst where a per-slot ratio
+  // bail would fall back to full joins — the cells_skipped column pins
+  // the spliced volume alongside the usual identity/work gates.
+  run_row(Config{"power-sym", 0, false, 96}, DeltaSize{"star96_burst8", 8});
+  run_row(Config{"update-dp", 0, true, 96}, DeltaSize{"star96_burst8", 8});
 
   bench::emit(table, "warm_start", total.seconds());
   const std::string json_path = bench::out_path("BENCH_warm_start.json");

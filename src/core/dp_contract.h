@@ -1,0 +1,62 @@
+// What a DP engine needs to know to run on a contracted tree.
+//
+// Subtree contraction (tree/contract.h) hands an engine a smaller
+// Topology/Scenario in which frozen subtrees have become childless sealed
+// leaves whose cached root tables are preloaded into the engine's
+// SubtreeCache.  The engine itself stays oblivious to *how* the tree was
+// contracted — it only needs four things, bundled here:
+//
+//   * id translation (to_original): every placement entry and frontier
+//     point must name original node ids, so the expanded result is
+//     bit-identical to an uncontracted warm solve;
+//   * the sealed mask: reconstruction must not descend into a sealed leaf
+//     (it has no slot decisions in the contracted cache) but instead call
+//     expand_sealed, which walks the *original* session cache and emits
+//     the frozen subtree's placement for the chosen root-table cell;
+//   * planning_internal: the original tree's node count, handed to
+//     plan_warm_solve's fast-path size gate so the contracted solve picks
+//     the same plan shape (and signature counters) as its twin;
+//   * global scenario totals (pre_total_per_mode, num_pre_existing): the
+//     root scans price |E| and per-mode pre-existing totals over the
+//     *whole* tree, which the contracted scenario under-counts (sealed
+//     interiors are invisible) — the session layer computes them on the
+//     original scenario and injects them here.
+//
+// Engines accept a ContractionView through their options/config structs
+// (power_dp.h, dp_update.h); the lifecycle that builds one lives in
+// solver/contracted.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "model/placement.h"
+#include "tree/topology.h"
+
+namespace treeplace::dp {
+
+struct ContractionView {
+  /// Original id per contracted node id (Contraction::to_original_map).
+  std::span<const NodeId> to_original;
+  /// Per contracted *internal index*: 1 = sealed leaf (Contraction::sealed).
+  std::span<const std::uint8_t> sealed;
+  /// num_internal of the original tree (plan_warm_solve's planning_n).
+  std::size_t planning_internal = 0;
+  /// Pre-existing node count per mode over the original scenario — the
+  /// exact power DP's root-scan baseline (sealed interiors included).
+  std::vector<int> pre_total_per_mode;
+  /// |E| over the original scenario — the symmetric power and MinCost
+  /// root scans read it for deletion pricing.
+  std::size_t num_pre_existing = 0;
+  /// Emits the placement of the frozen subtree rooted at original node
+  /// `original_root`, given the chosen flat index into its cached root
+  /// table.  Bound by the session layer to a decision walk over the
+  /// original (uncontracted) cache.  Engines call it from the serial
+  /// frontier-reconstruction pass only, so it may unpack cache entries.
+  std::function<void(NodeId original_root, std::size_t flat, Placement&)>
+      expand_sealed;
+};
+
+}  // namespace treeplace::dp

@@ -64,7 +64,7 @@ class MinCostSolver {
     finish_stats(result);
     if (!std::isfinite(best.cost)) return result;
     result.feasible = true;
-    if (best.place_root) result.placement.add(topo_.root(), 0);
+    if (best.place_root) result.placement.add(out_id(topo_.root()), 0);
     const NodeState& s = node_state(topo_.internal_index(topo_.root()));
     reconstruct(topo_.root(), flat_idx(best.e, best.n, s.nb),
                 result.placement);
@@ -87,10 +87,12 @@ class MinCostSolver {
   dp::DirtyPlan plan_dirty() {
     // Only W shapes the tables; create/delete costs price the root scan,
     // recomputed every solve.
-    return dp::plan_warm_solve(topo_, cache_,
-                               {static_cast<std::uint64_t>(config_.capacity)},
-                               [this](NodeId j) { return signature(j); },
-                               config_.deltas);
+    return dp::plan_warm_solve(
+        topo_, cache_, {static_cast<std::uint64_t>(config_.capacity)},
+        [this](NodeId j) { return signature(j); }, config_.deltas,
+        config_.contraction != nullptr
+            ? config_.contraction->planning_internal
+            : 0);
   }
 
   void finish_stats(MinCostResult& result) const {
@@ -137,6 +139,15 @@ class MinCostSolver {
     }
     slot_diff_.assign(slots, SlotDiff::kClean);
     slot_changed_.resize(slots);
+    if (resume) {
+      // One rolling changed-cell footprint for the whole rebuild (see
+      // dp::RollingDiffBudget).
+      std::size_t dirty_cells = 0;
+      for (std::size_t t = 0; t < slots; ++t) {
+        if (slot_dirty.dirty[t] != 0) dirty_cells += s.slot_flows[t].size();
+      }
+      diff_budget_.reset(dirty_cells);
+    }
 
     for (std::size_t c = 0; c < k; ++c) {
       if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c], resume);
@@ -171,8 +182,10 @@ class MinCostSolver {
       ArenaTable<RequestCount>& old_flow = s.slot_flows[slot];
       if (old_flow.size() == flow.size() && s.slot_eb[slot] == eb &&
           s.slot_nb[slot] == nb &&
-          dp::diff_tables(old_flow.span(), flow.span(), flow.size() / 4 + 8,
+          dp::diff_tables(old_flow.span(), flow.span(),
+                          diff_budget_.slot_cap(flow.size()),
                           slot_changed_[slot])) {
+        diff_budget_.charge(slot_changed_[slot].size());
         slot_diff_[slot] = slot_changed_[slot].empty() ? SlotDiff::kClean
                                                        : SlotDiff::kChanged;
       } else {
@@ -320,7 +333,11 @@ class MinCostSolver {
     }
     const NodeState& s = node_state(topo_.internal_index(root));
     const bool root_pre = scen_.pre_existing(root);
-    const int e_total = static_cast<int>(scen_.num_pre_existing());
+    // Deletions price against the whole tree's E; the contracted scenario
+    // cannot see sealed interiors, so the view carries the original total.
+    const int e_total = static_cast<int>(
+        config_.contraction != nullptr ? config_.contraction->num_pre_existing
+                                       : scen_.num_pre_existing());
     RootChoice best;
 
     const auto consider = [&](int e, int n, bool place_root, int reused,
@@ -362,6 +379,13 @@ class MinCostSolver {
   /// Unwinds node j's merge tree from the root-slot flat index, adding
   /// child replicas to `placement`.
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // A sealed leaf owns no slot decisions here: its frozen subtree's
+    // placement is reconstructed from the original session cache.
+    if (config_.contraction != nullptr &&
+        config_.contraction->sealed[topo_.internal_index(j)] != 0) {
+      config_.contraction->expand_sealed(out_id(j), flat, placement);
+      return;
+    }
     // Clean nodes skipped by the warm solve may still be packed; the walk
     // reads their decisions.
     if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
@@ -381,7 +405,7 @@ class MinCostSolver {
     const Decision d = s.slot_decisions[slot][flat];
     if (slot < mplan.num_leaves()) {
       const NodeId c = children[slot];
-      if (d.mode >= 0) placement.add(c, /*mode=*/0);
+      if (d.mode >= 0) placement.add(out_id(c), /*mode=*/0);
       reconstruct(c, d.right, placement);
       return;
     }
@@ -389,6 +413,13 @@ class MinCostSolver {
         mplan.steps()[slot - mplan.num_leaves()];
     reconstruct_slot(s, children, mplan, step.left, d.left, placement);
     reconstruct_slot(s, children, mplan, step.right, d.right, placement);
+  }
+
+  /// Output-id translation: contracted solves emit original ids.
+  NodeId out_id(NodeId c) const {
+    return config_.contraction != nullptr
+               ? config_.contraction->to_original[static_cast<std::size_t>(c)]
+               : c;
   }
 
   const Topology& topo_;
@@ -402,6 +433,7 @@ class MinCostSolver {
   mutable std::vector<NodeState> local_states_;
   mutable dp::MergePlanCache plans_;
   dp::JoinScratch scratch_;
+  dp::RollingDiffBudget diff_budget_;
   /// Per-slot diff state of the node currently being processed.
   std::vector<SlotDiff> slot_diff_;
   std::vector<std::vector<std::uint32_t>> slot_changed_;
@@ -420,12 +452,56 @@ MinCostResult solve_min_cost_with_pre(const Topology& topo,
   TREEPLACE_CHECK(config.delete_cost >= 0.0);
   MinCostSolver solver(topo, scen, config);
   MinCostResult result = solver.solve();
-  if (result.feasible) {
+  // A contracted solve's placement names original ids, which this
+  // topo/scen cannot price; the caller evaluates on the original instance.
+  if (result.feasible && config.contraction == nullptr) {
     result.breakdown = evaluate_cost(
         topo, scen, result.placement,
         CostModel::simple(config.create, config.delete_cost));
   }
   return result;
+}
+
+namespace {
+
+void reconstruct_min_cost_slot(const Topology& topo,
+                               dp::MinCostSubtreeCache& cache,
+                               dp::MergePlanCache& plans,
+                               const dp::MinCostNodeState& s,
+                               std::span<const NodeId> children,
+                               const dp::MergePlan& mplan, std::uint32_t slot,
+                               std::size_t flat, Placement& placement) {
+  const Decision d = s.slot_decisions[slot][flat];
+  if (slot < mplan.num_leaves()) {
+    const NodeId c = children[slot];
+    if (d.mode >= 0) placement.add(c, /*mode=*/0);
+    reconstruct_min_cost_subtree(topo, cache, plans, c, d.right, placement);
+    return;
+  }
+  const dp::MergePlan::Step& step = mplan.steps()[slot - mplan.num_leaves()];
+  reconstruct_min_cost_slot(topo, cache, plans, s, children, mplan, step.left,
+                            d.left, placement);
+  reconstruct_min_cost_slot(topo, cache, plans, s, children, mplan,
+                            step.right, d.right, placement);
+}
+
+}  // namespace
+
+void reconstruct_min_cost_subtree(const Topology& topo,
+                                  dp::MinCostSubtreeCache& cache,
+                                  dp::MergePlanCache& plans, NodeId j,
+                                  std::size_t flat, Placement& placement) {
+  const std::size_t i = topo.internal_index(j);
+  cache.ensure_unpacked(i);
+  const dp::MinCostNodeState& s = cache.state(i);
+  const auto children = topo.internal_children(j);
+  if (children.empty()) {
+    TREEPLACE_DCHECK(flat == 0);
+    return;
+  }
+  const dp::MergePlan& mplan = plans.get(children.size());
+  reconstruct_min_cost_slot(topo, cache, plans, s, children, mplan,
+                            mplan.root_slot(), flat, placement);
 }
 
 }  // namespace treeplace

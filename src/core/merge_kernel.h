@@ -403,4 +403,37 @@ bool diff_tables(std::span<const RequestCount> old_flow,
                  std::span<const RequestCount> new_flow,
                  std::size_t max_changed, std::vector<std::uint32_t>& out);
 
+/// Rolling changed-cell footprint of one node's warm rebuild.  Classifying
+/// a slot as lazily joinable used to be purely per-slot (diff at most a
+/// fixed fraction of the slot), which made bursty multi-delta batches —
+/// many dirty children of one node, each with a modest diff — bail to full
+/// joins one slot at a time.  The budget instead grants the whole rebuild
+/// one footprint, a fraction of the total dirty-slot cells, and lets any
+/// single slot spend up to half its own size from it: a burst whose
+/// *aggregate* churn is small stays lazy even when one slot's local ratio
+/// is high, while a genuinely churned rebuild exhausts the footprint and
+/// degrades to full joins exactly as before.
+class RollingDiffBudget {
+ public:
+  /// Arms the budget for one node rebuild; `dirty_cells_total` is the cell
+  /// count of the slots this rebuild will replace (their old snapshots).
+  void reset(std::size_t dirty_cells_total) {
+    remaining_ = dirty_cells_total / 4 + 8;
+  }
+  /// The diff cap for one slot of `cells` cells — generous locally, but
+  /// never more than what remains of the rolling footprint.
+  std::size_t slot_cap(std::size_t cells) const {
+    const std::size_t local = cells / 2 + 8;
+    return local < remaining_ ? local : remaining_;
+  }
+  /// Consumes `changed` cells of the footprint after a successful diff.
+  void charge(std::size_t changed) {
+    remaining_ -= changed < remaining_ ? changed : remaining_;
+  }
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  std::size_t remaining_ = 0;
+};
+
 }  // namespace treeplace::dp

@@ -53,7 +53,16 @@ class ExactPowerSolver {
         cache_(options.cache),
         arena_(options.cache ? &options.cache->arena() : &own_arena_),
         deltas_(options.deltas),
+        contraction_(options.contraction),
         local_states_(options.cache ? 0 : topo.num_internal()) {
+    if (contraction_ != nullptr) {
+      // The contracted scenario under-counts E (sealed interiors are
+      // invisible); the session layer totals the original scenario.
+      TREEPLACE_CHECK(contraction_->pre_total_per_mode.size() ==
+                      static_cast<std::size_t>(m_));
+      pre_total_per_mode_ = contraction_->pre_total_per_mode;
+      return;
+    }
     pre_total_per_mode_.assign(static_cast<std::size_t>(m_), 0);
     for (NodeId e : scen_.pre_existing_nodes()) {
       const int o = scen_.original_mode(e);
@@ -101,9 +110,10 @@ class ExactPowerSolver {
   }
 
   dp::DirtyPlan plan_dirty() {
-    return dp::plan_warm_solve(topo_, cache_, dp::capacity_params(modes_),
-                               [this](NodeId j) { return signature(j); },
-                               deltas_);
+    return dp::plan_warm_solve(
+        topo_, cache_, dp::capacity_params(modes_),
+        [this](NodeId j) { return signature(j); }, deltas_,
+        contraction_ != nullptr ? contraction_->planning_internal : 0);
   }
 
   void finish_stats(PowerDPResult& result, const Stopwatch& watch) const {
@@ -160,6 +170,16 @@ class ExactPowerSolver {
     }
     slot_diff_.assign(slots, SlotDiff::kClean);
     slot_changed_.resize(slots);
+    if (resume) {
+      // One rolling changed-cell footprint for the whole rebuild (see
+      // dp::RollingDiffBudget): bursty batches that dirty many slots of
+      // this node stay lazy as long as their aggregate churn is small.
+      std::size_t dirty_cells = 0;
+      for (std::size_t t = 0; t < slots; ++t) {
+        if (slot_dirty.dirty[t] != 0) dirty_cells += s.slot_flows[t].size();
+      }
+      diff_budget_.reset(dirty_cells);
+    }
 
     for (std::size_t c = 0; c < k; ++c) {
       if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c], resume);
@@ -204,8 +224,10 @@ class ExactPowerSolver {
       ArenaTable<RequestCount>& old_flow = s.slot_flows[slot];
       if (old_flow.size() == flow.size() &&
           s.slot_boxes[slot].bounds() == box.bounds() &&
-          dp::diff_tables(old_flow.span(), flow.span(), flow.size() / 4 + 8,
+          dp::diff_tables(old_flow.span(), flow.span(),
+                          diff_budget_.slot_cap(flow.size()),
                           slot_changed_[slot])) {
+        diff_budget_.charge(slot_changed_[slot].size());
         slot_diff_[slot] = slot_changed_[slot].empty() ? SlotDiff::kClean
                                                        : SlotDiff::kChanged;
       } else {
@@ -440,18 +462,36 @@ class ExactPowerSolver {
     result.frontier.reserve(swept.size());
     for (const Candidate& c : swept) {
       PowerParetoPoint point;
-      if (c.root_mode >= 0) point.placement.add(topo_.root(), c.root_mode);
+      if (c.root_mode >= 0) {
+        point.placement.add(out_id(topo_.root()), c.root_mode);
+      }
       reconstruct(topo_.root(), c.flat, point.placement);
-      point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
-      point.cost = point.breakdown.cost;
-      point.power = total_power(point.placement, modes_);
-      TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
-      TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      if (contraction_ != nullptr) {
+        // The placement names original ids, which this contracted
+        // topo/scen cannot price; the caller re-evaluates every point on
+        // the original instance (the exact calls the uncontracted solve
+        // makes, so the doubles land bit-identical).
+        point.cost = c.cost;
+        point.power = c.power;
+      } else {
+        point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
+        point.cost = point.breakdown.cost;
+        point.power = total_power(point.placement, modes_);
+        TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
+        TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      }
       result.frontier.push_back(std::move(point));
     }
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // A sealed leaf owns no slot decisions here: its frozen subtree's
+    // placement is reconstructed from the original session cache.
+    if (contraction_ != nullptr &&
+        contraction_->sealed[topo_.internal_index(j)] != 0) {
+      contraction_->expand_sealed(out_id(j), flat, placement);
+      return;
+    }
     // Clean nodes skipped by the warm solve may still be packed; the walk
     // reads their decisions.
     if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
@@ -471,7 +511,7 @@ class ExactPowerSolver {
     const Decision d = s.slot_decisions[slot][flat];
     if (slot < mplan.num_leaves()) {
       const NodeId c = children[slot];
-      if (d.mode >= 0) placement.add(c, d.mode);
+      if (d.mode >= 0) placement.add(out_id(c), d.mode);
       reconstruct(c, d.right, placement);
       return;
     }
@@ -479,6 +519,13 @@ class ExactPowerSolver {
         mplan.steps()[slot - mplan.num_leaves()];
     reconstruct_slot(s, children, mplan, step.left, d.left, placement);
     reconstruct_slot(s, children, mplan, step.right, d.right, placement);
+  }
+
+  /// Output-id translation: contracted solves emit original ids.
+  NodeId out_id(NodeId c) const {
+    return contraction_ != nullptr
+               ? contraction_->to_original[static_cast<std::size_t>(c)]
+               : c;
   }
 
   const Topology& topo_;
@@ -501,10 +548,12 @@ class ExactPowerSolver {
   TableArena own_arena_;
   TableArena* const arena_;
   const std::span<const ScenarioDelta> deltas_;
+  const dp::ContractionView* const contraction_;
   mutable std::vector<NodeState> local_states_;
   mutable dp::MergePlanCache plans_;
   std::vector<int> pre_total_per_mode_;
   dp::JoinScratch scratch_;
+  dp::RollingDiffBudget diff_budget_;
   /// Per-slot diff state of the node currently being processed.
   std::vector<SlotDiff> slot_diff_;
   std::vector<std::vector<std::uint32_t>> slot_changed_;
@@ -526,6 +575,48 @@ PowerDPResult solve_power_exact(const Topology& topo, const Scenario& scen,
                       "cost model and mode set disagree on M");
   ExactPowerSolver solver(topo, scen, modes, costs, options);
   return solver.solve();
+}
+
+namespace {
+
+void reconstruct_power_slot(const Topology& topo,
+                            dp::PowerSubtreeCache& cache,
+                            dp::MergePlanCache& plans,
+                            const dp::PowerNodeState& s,
+                            std::span<const NodeId> children,
+                            const dp::MergePlan& mplan, std::uint32_t slot,
+                            std::size_t flat, Placement& placement) {
+  const Decision d = s.slot_decisions[slot][flat];
+  if (slot < mplan.num_leaves()) {
+    const NodeId c = children[slot];
+    if (d.mode >= 0) placement.add(c, d.mode);
+    reconstruct_power_subtree(topo, cache, plans, c, d.right, placement);
+    return;
+  }
+  const dp::MergePlan::Step& step = mplan.steps()[slot - mplan.num_leaves()];
+  reconstruct_power_slot(topo, cache, plans, s, children, mplan, step.left,
+                         d.left, placement);
+  reconstruct_power_slot(topo, cache, plans, s, children, mplan, step.right,
+                         d.right, placement);
+}
+
+}  // namespace
+
+void reconstruct_power_subtree(const Topology& topo,
+                               dp::PowerSubtreeCache& cache,
+                               dp::MergePlanCache& plans, NodeId j,
+                               std::size_t flat, Placement& placement) {
+  const std::size_t i = topo.internal_index(j);
+  cache.ensure_unpacked(i);
+  const dp::PowerNodeState& s = cache.state(i);
+  const auto children = topo.internal_children(j);
+  if (children.empty()) {
+    TREEPLACE_DCHECK(flat == 0);
+    return;
+  }
+  const dp::MergePlan& mplan = plans.get(children.size());
+  reconstruct_power_slot(topo, cache, plans, s, children, mplan,
+                         mplan.root_slot(), flat, placement);
 }
 
 }  // namespace treeplace

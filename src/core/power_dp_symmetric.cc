@@ -53,6 +53,7 @@ class SymmetricPowerSolver {
         cache_(options.cache),
         arena_(options.cache ? &options.cache->arena() : &own_arena_),
         deltas_(options.deltas),
+        contraction_(options.contraction),
         local_states_(options.cache ? 0 : topo.num_internal()) {}
 
   PowerDPResult solve() {
@@ -90,9 +91,10 @@ class SymmetricPowerSolver {
   }
 
   dp::DirtyPlan plan_dirty() {
-    return dp::plan_warm_solve(topo_, cache_, dp::capacity_params(modes_),
-                               [this](NodeId j) { return signature(j); },
-                               deltas_);
+    return dp::plan_warm_solve(
+        topo_, cache_, dp::capacity_params(modes_),
+        [this](NodeId j) { return signature(j); }, deltas_,
+        contraction_ != nullptr ? contraction_->planning_internal : 0);
   }
 
   void finish_stats(PowerDPResult& result, const Stopwatch& watch) const {
@@ -136,6 +138,15 @@ class SymmetricPowerSolver {
     }
     slot_diff_.assign(slots, SlotDiff::kClean);
     slot_changed_.resize(slots);
+    if (resume) {
+      // One rolling changed-cell footprint for the whole rebuild (see
+      // dp::RollingDiffBudget).
+      std::size_t dirty_cells = 0;
+      for (std::size_t t = 0; t < slots; ++t) {
+        if (slot_dirty.dirty[t] != 0) dirty_cells += s.slot_flows[t].size();
+      }
+      diff_budget_.reset(dirty_cells);
+    }
 
     for (std::size_t c = 0; c < k; ++c) {
       if (slot_dirty.dirty[c] != 0) expand_leaf(s, c, children[c], resume);
@@ -177,8 +188,10 @@ class SymmetricPowerSolver {
       ArenaTable<RequestCount>& old_flow = s.slot_flows[slot];
       if (old_flow.size() == flow.size() &&
           s.slot_boxes[slot].bounds() == box.bounds() &&
-          dp::diff_tables(old_flow.span(), flow.span(), flow.size() / 4 + 8,
+          dp::diff_tables(old_flow.span(), flow.span(),
+                          diff_budget_.slot_cap(flow.size()),
                           slot_changed_[slot])) {
+        diff_budget_.charge(slot_changed_[slot].size());
         slot_diff_[slot] = slot_changed_[slot].empty() ? SlotDiff::kClean
                                                        : SlotDiff::kChanged;
       } else {
@@ -364,7 +377,11 @@ class SymmetricPowerSolver {
     const int reused = e_same + e_changed;
     const int created = servers - reused;
     TREEPLACE_DCHECK(created >= 0);
-    const int e_total = static_cast<int>(scen_.num_pre_existing());
+    // Deletions price against the whole tree's E; the contracted scenario
+    // cannot see sealed interiors, so the view carries the original total.
+    const int e_total = static_cast<int>(
+        contraction_ != nullptr ? contraction_->num_pre_existing
+                                : scen_.num_pre_existing());
     const double cost = static_cast<double>(servers) +
                         static_cast<double>(created) * create_ +
                         static_cast<double>(e_same) * changed_same_ +
@@ -400,18 +417,34 @@ class SymmetricPowerSolver {
     result.frontier.reserve(swept.size());
     for (const Candidate& c : swept) {
       PowerParetoPoint point;
-      if (c.root_mode >= 0) point.placement.add(topo_.root(), c.root_mode);
+      if (c.root_mode >= 0) {
+        point.placement.add(out_id(topo_.root()), c.root_mode);
+      }
       reconstruct(topo_.root(), c.flat, point.placement);
-      point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
-      point.cost = point.breakdown.cost;
-      point.power = total_power(point.placement, modes_);
-      TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
-      TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      if (contraction_ != nullptr) {
+        // Original-id placement over a contracted topo/scen: the caller
+        // re-prices every point on the original instance.
+        point.cost = c.cost;
+        point.power = c.power;
+      } else {
+        point.breakdown = evaluate_cost(topo_, scen_, point.placement, costs_);
+        point.cost = point.breakdown.cost;
+        point.power = total_power(point.placement, modes_);
+        TREEPLACE_DCHECK(std::fabs(point.cost - c.cost) < 1e-6);
+        TREEPLACE_DCHECK(std::fabs(point.power - c.power) < 1e-6);
+      }
       result.frontier.push_back(std::move(point));
     }
   }
 
   void reconstruct(NodeId j, std::size_t flat, Placement& placement) const {
+    // A sealed leaf owns no slot decisions here: its frozen subtree's
+    // placement is reconstructed from the original session cache.
+    if (contraction_ != nullptr &&
+        contraction_->sealed[topo_.internal_index(j)] != 0) {
+      contraction_->expand_sealed(out_id(j), flat, placement);
+      return;
+    }
     // Clean nodes skipped by the warm solve may still be packed; the walk
     // reads their decisions.
     if (cache_ != nullptr) cache_->ensure_unpacked(topo_.internal_index(j));
@@ -431,7 +464,7 @@ class SymmetricPowerSolver {
     const Decision d = s.slot_decisions[slot][flat];
     if (slot < mplan.num_leaves()) {
       const NodeId c = children[slot];
-      if (d.mode >= 0) placement.add(c, d.mode);
+      if (d.mode >= 0) placement.add(out_id(c), d.mode);
       reconstruct(c, d.right, placement);
       return;
     }
@@ -439,6 +472,13 @@ class SymmetricPowerSolver {
         mplan.steps()[slot - mplan.num_leaves()];
     reconstruct_slot(s, children, mplan, step.left, d.left, placement);
     reconstruct_slot(s, children, mplan, step.right, d.right, placement);
+  }
+
+  /// Output-id translation: contracted solves emit original ids.
+  NodeId out_id(NodeId c) const {
+    return contraction_ != nullptr
+               ? contraction_->to_original[static_cast<std::size_t>(c)]
+               : c;
   }
 
   const Topology& topo_;
@@ -464,9 +504,11 @@ class SymmetricPowerSolver {
   TableArena own_arena_;
   TableArena* const arena_;
   const std::span<const ScenarioDelta> deltas_;
+  const dp::ContractionView* const contraction_;
   mutable std::vector<NodeState> local_states_;
   mutable dp::MergePlanCache plans_;
   dp::JoinScratch scratch_;
+  dp::RollingDiffBudget diff_budget_;
   /// Per-slot diff state of the node currently being processed.
   std::vector<SlotDiff> slot_diff_;
   std::vector<std::vector<std::uint32_t>> slot_changed_;

@@ -7,10 +7,13 @@
 // Solution's breakdown/power always agree with validate()'s view of the
 // placement regardless of which strategy produced it.
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/dp_contract.h"
 #include "core/dp_update.h"
 #include "core/exhaustive.h"
 #include "core/greedy.h"
@@ -19,6 +22,7 @@
 #include "core/power_dp.h"
 #include "core/power_dp_symmetric.h"
 #include "model/placement.h"
+#include "solver/contracted.h"
 #include "solver/registry.h"
 #include "solver/session.h"
 #include "support/check.h"
@@ -68,6 +72,65 @@ Solution finish_frontier(const Instance& in, bool feasible,
   s.breakdown = pick->breakdown;
   s.power = pick->power;
   return s;
+}
+
+// --- Frozen-subtree contraction plumbing -----------------------------------
+
+/// Per-mode pre-existing totals over the *original* scenario: the exact
+/// power DP's root scan prices deletions against the whole tree's E, which
+/// a contracted scenario under-counts (same range CHECK as the engine's
+/// own uncontracted scan).
+std::vector<int> power_pre_totals(const Scenario& scen, int m) {
+  std::vector<int> totals(static_cast<std::size_t>(m), 0);
+  for (NodeId e : scen.pre_existing_nodes()) {
+    const int o = scen.original_mode(e);
+    TREEPLACE_CHECK_MSG(o >= 0 && o < m,
+                        "pre-existing node " << e << " has original mode "
+                                             << o << " outside the ModeSet");
+    ++totals[static_cast<std::size_t>(o)];
+  }
+  return totals;
+}
+
+/// Re-prices a contracted run's frontier on the original instance.  These
+/// are the exact per-point evaluator calls the uncontracted engine makes
+/// in build_frontier, so the reported doubles land bit-identical.
+void reprice_frontier(const Instance& in, PowerDPResult& r) {
+  for (PowerParetoPoint& point : r.frontier) {
+    point.breakdown = evaluate_cost(in.topo(), in.scen(), point.placement,
+                                    in.costs);
+    point.cost = point.breakdown.cost;
+    point.power = total_power(point.placement, in.modes);
+  }
+}
+
+/// Runs a power engine over the contracted twin of `in` and restores the
+/// original-instance view of the result: frontier re-priced, frozen
+/// interiors counted as reused (the twin would have spliced each one).
+template <typename EngineFn>
+PowerDPResult run_contracted_power(
+    const Instance& in, dp::PowerSubtreeCache& full,
+    const contracted::Prepared<dp::PowerNodeState>& prep, PowerDPOptions opts,
+    const EngineFn& engine) {
+  dp::MergePlanCache plans;
+  dp::ContractionView view;
+  view.to_original = prep.map->to_original_map();
+  view.sealed = prep.map->sealed();
+  view.planning_internal = in.topo().num_internal();
+  view.pre_total_per_mode = power_pre_totals(in.scen(), in.modes.count());
+  view.num_pre_existing = in.scen().num_pre_existing();
+  view.expand_sealed = [&in, &full, &plans](NodeId root, std::size_t flat,
+                                            Placement& placement) {
+    reconstruct_power_subtree(in.topo(), full, plans, root, flat, placement);
+  };
+  opts.cache = prep.cache;
+  opts.deltas = prep.deltas;
+  opts.contraction = &view;
+  PowerDPResult r =
+      engine(*prep.map->contracted(), prep.scenario, in.modes, in.costs, opts);
+  reprice_frontier(in, r);
+  r.stats.nodes_reused += prep.hidden_internal;
+  return r;
 }
 
 // --- Greedy family ---------------------------------------------------------
@@ -183,10 +246,6 @@ class UpdateDpSolver : public Solver {
                             SolveSession* session) const {
     Stopwatch timer;
     MinCostConfig config{in.capacity(), in.costs.create(0), in.costs.del(0)};
-    if (session != nullptr) {
-      config.cache = &session->min_cost_cache(name());
-      config.deltas = deltas;
-    }
     // The DP plans against the single-mode Eq. 2 model and only reads the
     // pre-existing flags; on multi-mode instances, collapse the original
     // modes to 0 for its internal accounting (finish_placement re-prices
@@ -195,20 +254,53 @@ class UpdateDpSolver : public Solver {
     for (NodeId id : in.scen().pre_existing_nodes()) {
       if (in.scen().original_mode(id) != 0) multi_mode_pre = true;
     }
-    MinCostResult r;
+    std::optional<Scenario> collapsed;
     if (multi_mode_pre) {
       // Forking the scenario is cheap (flat arrays, shared topology).
-      Scenario collapsed = in.scen();
-      for (NodeId id : collapsed.pre_existing_nodes()) {
-        collapsed.set_pre_existing(id, 0);
+      collapsed.emplace(in.scen());
+      for (NodeId id : collapsed->pre_existing_nodes()) {
+        collapsed->set_pre_existing(id, 0);
       }
-      r = solve_min_cost_with_pre(in.topo(), collapsed, config);
-    } else {
-      r = solve_min_cost_with_pre(in.topo(), in.scen(), config);
     }
+    const Scenario& scen = multi_mode_pre ? *collapsed : in.scen();
+    MinCostResult r;
     if (session != nullptr) {
+      dp::MinCostSubtreeCache& full = session->min_cost_cache(name());
+      config.cache = &full;
+      config.deltas = deltas;
+      // Contraction tracks the scenario the DP actually sees — the
+      // collapsed fork on multi-mode instances — so sealed signatures
+      // grade against the same normalized modes the engine commits.
+      contracted::Prepared<dp::MinCostNodeState> prep = contracted::prepare(
+          *session, full, session->min_cost_contraction(name()), scen,
+          {static_cast<std::uint64_t>(config.capacity)}, deltas);
+      if (prep.active) {
+        dp::MergePlanCache plans;
+        dp::ContractionView view;
+        view.to_original = prep.map->to_original_map();
+        view.sealed = prep.map->sealed();
+        view.planning_internal = in.topo().num_internal();
+        view.num_pre_existing = scen.num_pre_existing();
+        view.expand_sealed = [&in, &full, &plans](NodeId root,
+                                                  std::size_t flat,
+                                                  Placement& placement) {
+          reconstruct_min_cost_subtree(in.topo(), full, plans, root, flat,
+                                       placement);
+        };
+        config.cache = prep.cache;
+        config.deltas = prep.deltas;
+        config.contraction = &view;
+        r = solve_min_cost_with_pre(*prep.map->contracted(), prep.scenario,
+                                    config);
+        // The frozen interiors the twin would have spliced and counted.
+        r.nodes_reused += prep.hidden_internal;
+      } else {
+        r = solve_min_cost_with_pre(in.topo(), scen, config);
+      }
       session->record_warm(r.nodes_recomputed, r.nodes_reused, r.merge_steps,
                            r.signatures_checked, r.cells_skipped);
+    } else {
+      r = solve_min_cost_with_pre(in.topo(), scen, config);
     }
     return finish_placement(in, r.feasible, std::move(r.placement),
                             {timer.seconds(), r.merge_iterations});
@@ -245,9 +337,23 @@ class PowerExactSolver : public Solver {
     SolveSession& session = *request.session;
     session.check_topology(in.topology);
     PowerDPOptions opts = dp_options();
-    opts.cache = &session.power_cache(name());
-    opts.deltas = request.deltas;
-    PowerDPResult r = run_dp(in, opts);
+    dp::PowerSubtreeCache& full = session.power_cache(name());
+    contracted::Prepared<dp::PowerNodeState> prep = contracted::prepare(
+        session, full, session.power_contraction(name()), in.scen(),
+        dp::capacity_params(in.modes), request.deltas);
+    PowerDPResult r;
+    if (prep.active) {
+      r = run_contracted_power(
+          in, full, prep, opts,
+          [](const Topology& topo, const Scenario& scen, const ModeSet& modes,
+             const CostModel& costs, const PowerDPOptions& o) {
+            return solve_power_exact(topo, scen, modes, costs, o);
+          });
+    } else {
+      opts.cache = &full;
+      opts.deltas = request.deltas;
+      r = run_dp(in, opts);
+    }
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
                         r.stats.merge_steps, r.stats.signatures_checked,
                         r.stats.cells_skipped);
@@ -301,9 +407,26 @@ class PowerSymmetricSolver : public Solver {
     SolveSession& session = *request.session;
     session.check_topology(in.topology);
     PowerDPOptions opts = dp_options();
-    opts.cache = &session.power_cache(name());
-    opts.deltas = request.deltas;
-    PowerDPResult r = run_dp(in, opts);
+    dp::PowerSubtreeCache& full = session.power_cache(name());
+    contracted::Prepared<dp::PowerNodeState> prep = contracted::prepare(
+        session, full, session.power_contraction(name()), in.scen(),
+        dp::capacity_params(in.modes), request.deltas);
+    PowerDPResult r;
+    if (prep.active) {
+      TREEPLACE_CHECK_MSG(in.costs.is_symmetric(),
+                          "power-sym requires a symmetric cost model; use "
+                          "power-exact for general Eq. 4 costs");
+      r = run_contracted_power(
+          in, full, prep, opts,
+          [](const Topology& topo, const Scenario& scen, const ModeSet& modes,
+             const CostModel& costs, const PowerDPOptions& o) {
+            return solve_power_symmetric(topo, scen, modes, costs, o);
+          });
+    } else {
+      opts.cache = &full;
+      opts.deltas = request.deltas;
+      r = run_dp(in, opts);
+    }
     session.record_warm(r.stats.nodes_recomputed, r.stats.nodes_reused,
                         r.stats.merge_steps, r.stats.signatures_checked,
                         r.stats.cells_skipped);

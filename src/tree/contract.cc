@@ -1,0 +1,165 @@
+#include "tree/contract.h"
+
+#include <deque>
+#include <utility>
+
+namespace treeplace {
+
+std::vector<std::uint8_t> Contraction::open_closure(
+    const Topology& topo, std::span<const NodeId> touched) {
+  std::vector<std::uint8_t> open(topo.num_internal(), 0);
+  open[topo.internal_index(topo.root())] = 1;
+  for (NodeId node : touched) {
+    TREEPLACE_CHECK_MSG(topo.valid_id(node) && topo.is_internal(node),
+                        "open_closure: non-internal node " << node);
+    // Walk to the root, stopping at the first already-open ancestor (its
+    // own path is already open) — total work O(|closure|), not O(k depth).
+    while (node != kNoNode && !open[topo.internal_index(node)]) {
+      open[topo.internal_index(node)] = 1;
+      node = topo.parent(node);
+    }
+  }
+  return open;
+}
+
+Contraction::Contraction(std::shared_ptr<const Topology> original,
+                         std::vector<std::uint8_t> open)
+    : original_(std::move(original)), open_(std::move(open)) {
+  TREEPLACE_CHECK_MSG(original_ != nullptr && !original_->empty(),
+                      "Contraction over an empty topology");
+  const Topology& topo = *original_;
+  TREEPLACE_CHECK_MSG(open_.size() == topo.num_internal(),
+                      "open mask size " << open_.size() << " != num_internal "
+                                        << topo.num_internal());
+  TREEPLACE_CHECK_MSG(open_[topo.internal_index(topo.root())] != 0,
+                      "Contraction with a frozen root");
+#ifndef NDEBUG
+  for (NodeId id : topo.internal_ids()) {
+    if (open_[topo.internal_index(id)] != 0 && id != topo.root()) {
+      TREEPLACE_DCHECK(open_[topo.internal_index(topo.parent(id))] != 0);
+    }
+  }
+#endif
+  to_contracted_.assign(topo.num_nodes(), kNoNode);
+
+  // Top-down rebuild mirroring Aggregation: every open node is added
+  // before its children, children keep their original order (the merge
+  // plans index internal_children positionally, so order is load-bearing).
+  // A non-open internal child becomes a childless sealed leaf; its entire
+  // subtree — clients included — stays out of the frontier and vanishes.
+  TreeBuilder builder;
+  std::deque<NodeId> frontier{topo.root()};
+  to_contracted_[static_cast<std::size_t>(topo.root())] = builder.add_root();
+  std::vector<std::pair<NodeId, NodeId>> pairs;  // (contracted, orig)
+  pairs.emplace_back(to_contracted_[static_cast<std::size_t>(topo.root())],
+                     topo.root());
+  std::vector<std::pair<NodeId, NodeId>> sealed_pairs;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const NodeId cnode = to_contracted_[static_cast<std::size_t>(node)];
+    for (NodeId child : topo.children(node)) {
+      if (topo.is_internal(child)) {
+        const NodeId cchild = builder.add_internal(cnode);
+        to_contracted_[static_cast<std::size_t>(child)] = cchild;
+        pairs.emplace_back(cchild, child);
+        if (open_[topo.internal_index(child)] != 0) {
+          frontier.push_back(child);
+        } else {
+          sealed_pairs.emplace_back(cchild, child);
+        }
+      } else {
+        // Mass is scenario state: created empty, filled by contract().
+        const NodeId cchild = builder.add_client(cnode, /*requests=*/0);
+        to_contracted_[static_cast<std::size_t>(child)] = cchild;
+        pairs.emplace_back(cchild, child);
+      }
+    }
+  }
+
+  Tree tree = std::move(builder).build();
+  contracted_ = tree.topology_ptr();
+  to_original_.assign(contracted_->num_nodes(), kNoNode);
+  for (const auto& [contracted, orig] : pairs) {
+    to_original_[static_cast<std::size_t>(contracted)] = orig;
+  }
+  sealed_.assign(contracted_->num_internal(), 0);
+  sealed_roots_.reserve(sealed_pairs.size());
+  for (const auto& [contracted, orig] : sealed_pairs) {
+    sealed_[contracted_->internal_index(contracted)] = 1;
+    sealed_roots_.push_back(orig);
+  }
+}
+
+Scenario Contraction::contract(const Scenario& orig) const {
+  TREEPLACE_CHECK_MSG(orig.topology_ptr() == original_,
+                      "contract() on a scenario of a different topology");
+  Scenario out(contracted_);
+  for (std::size_t c = 0; c < to_original_.size(); ++c) {
+    const NodeId cid = static_cast<NodeId>(c);
+    const NodeId oid = to_original_[c];
+    if (contracted_->is_internal(cid)) {
+      // Sealed roots included: the engines read a *child's* pre-existing
+      // state to size and stride its leaf table, so a sealed leaf must
+      // look exactly like its original subtree root from the outside.
+      if (orig.pre_existing(oid)) {
+        out.set_pre_existing(cid, orig.original_mode(oid));
+      }
+    } else {
+      out.set_requests(cid, orig.requests(oid));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<ScenarioDelta>> Contraction::map_deltas(
+    std::span<const ScenarioDelta> deltas) const {
+  const Topology& topo = *original_;
+  std::vector<ScenarioDelta> out;
+  out.reserve(deltas.size());
+  for (const ScenarioDelta& d : deltas) {
+    switch (d.op) {
+      case ScenarioDelta::Op::kSetRequests: {
+        TREEPLACE_CHECK_MSG(topo.valid_id(d.node) && topo.is_client(d.node),
+                            "map_deltas: R names non-client " << d.node);
+        const NodeId c = to_contracted_[static_cast<std::size_t>(d.node)];
+        if (c == kNoNode) return std::nullopt;  // client under a sealed root
+        out.push_back(ScenarioDelta::set_requests(c, d.requests));
+        break;
+      }
+      case ScenarioDelta::Op::kSetPreExisting:
+      case ScenarioDelta::Op::kClearPreExisting: {
+        TREEPLACE_CHECK_MSG(topo.valid_id(d.node) && topo.is_internal(d.node),
+                            "map_deltas: E/X names non-internal " << d.node);
+        const NodeId c = to_contracted_[static_cast<std::size_t>(d.node)];
+        // Hidden inside a sealed subtree, or exactly on a sealed root: a
+        // frozen table would go stale, so the seal must break first.
+        if (c == kNoNode || sealed_[contracted_->internal_index(c)] != 0) {
+          return std::nullopt;
+        }
+        out.push_back(d.op == ScenarioDelta::Op::kSetPreExisting
+                          ? ScenarioDelta::set_pre_existing(c, d.mode)
+                          : ScenarioDelta::clear_pre_existing(c));
+        break;
+      }
+      case ScenarioDelta::Op::kClearAllPre:
+        // Touches every internal node, sealed interiors included.
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+Placement Contraction::expand(const Placement& contracted) const {
+  Placement out;
+  for (std::size_t i = 0; i < contracted.nodes().size(); ++i) {
+    const NodeId node = contracted.nodes()[i];
+    TREEPLACE_CHECK_MSG(contracted_->is_internal(node),
+                        "expand: placement names client " << node);
+    out.add(to_original_[static_cast<std::size_t>(node)],
+            contracted.modes()[i]);
+  }
+  return out;
+}
+
+}  // namespace treeplace

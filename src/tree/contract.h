@@ -1,0 +1,131 @@
+// Frozen-subtree contraction: solve a warm day on a tree the size of the
+// delta.
+//
+// The DPs of the paper compose strictly bottom-up: an internal subtree
+// interacts with the rest of the tree only through the DP table at its
+// root (Benoit–Rehn–Robert, Section 3 — every parent merge reads child
+// *tables*, never child structure).  So on a warm re-solve whose delta
+// batch leaves a whole subtree untouched, that subtree can be replaced by
+// a single *sealed leaf* — a childless internal node whose cached root
+// table is injected verbatim into the merge plan — and the solve runs on
+// a contracted tree whose size is O(dirty region + root paths), not N.
+//
+// A Contraction is the structural half of that bargain.  Given the set of
+// *open* internal nodes (the ancestor closure of everything a delta batch
+// can touch, see open_closure()), it builds:
+//
+//   * a contracted Topology: open internals survive 1:1 with their client
+//     children and child order intact; every non-open internal child of an
+//     open node becomes a childless sealed leaf; everything strictly
+//     inside a sealed subtree vanishes;
+//   * the id maps (to_contracted / to_original) plus the sealed mask per
+//     contracted internal index;
+//   * contract(scenario)  — the contracted Scenario: kept clients keep
+//     their requests, kept internals (sealed roots included — the engines
+//     read a child's pre-existing state to size its leaf table) keep
+//     their E/mode state.  Sealed leaves own no clients, so their
+//     client_mass is 0 — which is exactly the signature the session layer
+//     stamps on a preloaded sealed entry, making even a full signature
+//     sweep over the contracted tree leave sealed tables untouched;
+//   * map_deltas(span)    — renumber a delta span onto the contracted
+//     tree, or nullopt when any edit lands on or under a sealed subtree
+//     (the caller must then unseal: decontract and rebuild);
+//   * expand(placement)   — pure renumbering back to original ids.
+//
+// The DP-side half (preloading sealed tables, counter accounting, the
+// session lifecycle) lives in core/dp_contract.h and solver/contracted.h.
+// Exactness is fuzz-gated by tests/tree/contract_test.cc and
+// bench/contraction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/placement.h"
+#include "tree/scenario_delta.h"
+#include "tree/tree.h"
+
+namespace treeplace {
+
+class Contraction {
+ public:
+  /// Builds the contracted topology for `original` given the open mask
+  /// (one byte per *internal index*, ancestor-closed, root open — the
+  /// shape open_closure() produces).  Nodes outside the mask freeze.
+  Contraction(std::shared_ptr<const Topology> original,
+              std::vector<std::uint8_t> open);
+
+  /// The ancestor closure of `touched` (internal node ids): every touched
+  /// node and every ancestor up to the root is open, everything else is
+  /// frozen.  Returns one byte per internal index.  The root is always
+  /// open, even for an empty touched set.
+  static std::vector<std::uint8_t> open_closure(
+      const Topology& topo, std::span<const NodeId> touched);
+
+  const std::shared_ptr<const Topology>& original() const {
+    return original_;
+  }
+  const std::shared_ptr<const Topology>& contracted() const {
+    return contracted_;
+  }
+
+  /// Whether original internal index `i` survived as an open node.
+  bool open(std::size_t internal_index) const {
+    return open_[internal_index] != 0;
+  }
+
+  /// Contracted id of an original node; kNoNode for nodes hidden inside a
+  /// sealed subtree.  Sealed roots map to their sealed leaf.
+  NodeId to_contracted(NodeId original_id) const {
+    return to_contracted_[static_cast<std::size_t>(original_id)];
+  }
+  /// Original id of a contracted node (always valid: every contracted
+  /// node has exactly one original twin).
+  NodeId to_original(NodeId contracted_id) const {
+    return to_original_[static_cast<std::size_t>(contracted_id)];
+  }
+  /// Per contracted node id, for building a dp::ContractionView.
+  std::span<const NodeId> to_original_map() const { return to_original_; }
+
+  /// Per *contracted internal index*: 1 when that node is a sealed leaf.
+  std::span<const std::uint8_t> sealed() const { return sealed_; }
+  /// Original ids of the sealed subtree roots, in contracted id order.
+  const std::vector<NodeId>& sealed_roots() const { return sealed_roots_; }
+  std::size_t num_sealed() const { return sealed_roots_.size(); }
+
+  /// Internal nodes hidden by the contraction (frozen but not sealed
+  /// roots): the warm work the contracted solve never touches.
+  std::size_t hidden_internal() const {
+    return original_->num_internal() - contracted_->num_internal();
+  }
+
+  /// The contracted scenario equivalent to `orig` outside sealed
+  /// subtrees.  `orig` must belong to original().
+  Scenario contract(const Scenario& orig) const;
+
+  /// Renumbers a delta span onto the contracted tree.  Returns nullopt
+  /// when any edit touches a sealed subtree (its root included — a sealed
+  /// root going dirty means the seal must break) or clears all
+  /// pre-existing state; the caller then unseals.
+  std::optional<std::vector<ScenarioDelta>> map_deltas(
+      std::span<const ScenarioDelta> deltas) const;
+
+  /// Maps a placement over the contracted topology back to original node
+  /// ids.  A sealed leaf maps to its subtree root; sealed *interiors*
+  /// never appear here — they are reconstructed from the cached tables.
+  Placement expand(const Placement& contracted) const;
+
+ private:
+  std::shared_ptr<const Topology> original_;
+  std::shared_ptr<const Topology> contracted_;
+  std::vector<std::uint8_t> open_;          ///< per original internal index
+  std::vector<NodeId> to_contracted_;       ///< per original node id
+  std::vector<NodeId> to_original_;         ///< per contracted node id
+  std::vector<std::uint8_t> sealed_;        ///< per contracted internal index
+  std::vector<NodeId> sealed_roots_;        ///< original ids
+};
+
+}  // namespace treeplace

@@ -94,6 +94,10 @@ constexpr int kExitUsage = 2;
       "               --cache C          resident topologies (default 16)\n"
       "               --session-bytes B  warm-state byte budget per resident\n"
       "                                  topology (0 = unbounded)\n"
+      "               --contract         frozen-subtree contraction: warm\n"
+      "                                  delta solves run on a tree the size\n"
+      "                                  of the dirty region (bit-identical;\n"
+      "                                  ignored with --session-bytes)\n"
       "               --solver-threads K solver-internal threads\n"
       "               (instance flags as for solve)\n"
       "               network mode (instead of stdin/stdout):\n"
@@ -136,7 +140,8 @@ class Args {
       key = key.substr(2);
       // "exact" stays a value-less flag so the legacy `solve-power --exact`
       // invocation reaches the migration hint instead of dying in parsing.
-      if (key == "list-algos" || key == "exact" || key == "aggregate") {
+      if (key == "list-algos" || key == "exact" || key == "aggregate" ||
+          key == "contract") {
         values_[key] = "1";
       } else {
         if (i + 1 >= argc) usage("missing value for --" + key);
@@ -583,6 +588,11 @@ int cmd_serve(const Args& args) {
       static_cast<int>(get_count(args, "solver-threads", 1, 1));
   config.cache_capacity = get_count(args, "cache", 16, 1);
   config.session_max_bytes = get_count(args, "session-bytes", 0, 0);
+  config.session_contract = args.has("contract");
+  if (config.session_contract && config.session_max_bytes != 0) {
+    usage("--contract is incompatible with --session-bytes (budget shedding "
+          "could evict the tables sealed leaves splice in)");
+  }
   config.modes = params.modes;
   config.costs = params.costs;
   config.cost_budget = params.budget;
